@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: test bench bench-full bench-smoke examples clean
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_SMOKE=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/policy_showdown.py
+	python examples/shared_cluster_day.py
+	python examples/monitor_failover.py
+	python examples/custom_cluster.py
+	python examples/job_stream.py
+
+clean:
+	rm -rf benchmarks/output .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

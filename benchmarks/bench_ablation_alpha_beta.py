@@ -1,0 +1,76 @@
+"""Ablation — sensitivity to the α/β compute/network trade-off.
+
+The paper sets α/β empirically (0.3/0.7 for miniMD, 0.4/0.6 for miniFE)
+and notes the weights should follow an application's
+computation/communication split.  This bench sweeps α for both apps and
+checks that (a) extreme settings are never catastrophically better than
+the paper's choice, and (b) a pure-compute α=1 (equivalent to load-aware
+scoring) loses to the paper's mixed setting for the comm-heavy miniMD.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.minife import MiniFE
+from repro.apps.minimd import MiniMD
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.core.weights import TradeOff
+from repro.experiments.scenario import paper_scenario
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+
+ALPHAS = (0.0, 0.1, 0.3, 0.4, 0.6, 0.8, 1.0)
+
+
+def sweep(app_factory, n_procs, repeats=4, seed=21):
+    sc = paper_scenario(seed=seed, warmup_s=3600.0)
+    results = {a: [] for a in ALPHAS}
+    for _ in range(repeats):
+        snapshot = sc.snapshot()
+        for alpha in ALPHAS:
+            request = AllocationRequest(
+                n_processes=n_procs, ppn=4, tradeoff=TradeOff.from_alpha(alpha)
+            )
+            alloc = NetworkLoadAwarePolicy().allocate(snapshot, request)
+            job = SimJob(
+                app_factory(), Placement.from_allocation(alloc),
+                sc.cluster, sc.network,
+            )
+            results[alpha].append(job.run().total_time_s)
+        sc.advance(900.0)
+    return {a: float(np.mean(v)) for a, v in results.items()}
+
+
+@pytest.fixture(scope="module")
+def minimd_sweep():
+    return sweep(lambda: MiniMD(16), n_procs=32)
+
+
+@pytest.fixture(scope="module")
+def minife_sweep():
+    return sweep(lambda: MiniFE(96), n_procs=32, seed=22)
+
+
+def test_alpha_beta_sweep_minimd(benchmark, minimd_sweep):
+    times = run_once(benchmark, lambda: minimd_sweep)
+    lines = ["alpha sweep, miniMD 32 procs s=16 (mean exec time s):"]
+    for a, t in times.items():
+        marker = " <- paper" if a == 0.3 else ""
+        lines.append(f"  alpha={a:.1f}  {t:8.3f}{marker}")
+    emit("ablation_alpha_beta_minimd", "\n".join(lines))
+    paper = times[0.3]
+    # Paper's empirical choice should be competitive with the best alpha.
+    assert paper <= 1.35 * min(times.values())
+    # Pure compute weighting ignores the network and should lose.
+    assert times[1.0] >= paper
+
+
+def test_alpha_beta_sweep_minife(benchmark, minife_sweep):
+    times = run_once(benchmark, lambda: minife_sweep)
+    lines = ["alpha sweep, miniFE 32 procs nx=96 (mean exec time s):"]
+    for a, t in times.items():
+        marker = " <- paper" if a == 0.4 else ""
+        lines.append(f"  alpha={a:.1f}  {t:8.3f}{marker}")
+    emit("ablation_alpha_beta_minife", "\n".join(lines))
+    assert times[0.4] <= 1.35 * min(times.values())

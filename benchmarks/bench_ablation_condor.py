@@ -1,0 +1,62 @@
+"""Ablation — HTCondor-style rank matchmaking vs the paper's algorithm.
+
+§2: HTCondor's "ranking criterion is limited to local node attributes";
+the paper's critique is that per-node ranks cannot see the network
+between the selected nodes.  This bench quantifies that gap: a Condor
+Rank preferring fast idle machines vs the network-and-load-aware
+algorithm, on the comm-heavy miniMD and the alltoall-dominated FFT proxy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.fft import FFT3D
+from repro.apps.minimd import MiniMD
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.experiments.scenario import paper_scenario
+from repro.integrations.condor import CondorLikePolicy
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+
+
+def run_pair(app, tradeoff, seed):
+    sc = paper_scenario(seed=seed, warmup_s=3600.0)
+    request = AllocationRequest(n_processes=32, ppn=4, tradeoff=tradeoff)
+    ours_pol = NetworkLoadAwarePolicy()
+    condor_pol = CondorLikePolicy()
+    ours_t, condor_t = [], []
+    for _ in range(4):
+        snapshot = sc.snapshot()
+        for pol, sink in ((ours_pol, ours_t), (condor_pol, condor_t)):
+            alloc = pol.allocate(snapshot, request)
+            sink.append(
+                SimJob(
+                    app, Placement.from_allocation(alloc),
+                    sc.cluster, sc.network,
+                ).run().total_time_s
+            )
+        sc.advance(900.0)
+    return float(np.mean(ours_t)), float(np.mean(condor_t))
+
+
+@pytest.fixture(scope="module")
+def results():
+    md = run_pair(MiniMD(16), MiniMD(16).recommended_tradeoff(), seed=71)
+    fft = run_pair(FFT3D(128), FFT3D(128).recommended_tradeoff(), seed=72)
+    return {"miniMD": md, "fft3d": fft}
+
+
+def test_condor_rank_vs_network_aware(benchmark, results):
+    res = run_once(benchmark, lambda: results)
+    lines = ["Condor-style rank matchmaking vs network+load-aware:"]
+    for app, (ours, condor) in res.items():
+        gain = (1 - ours / condor) * 100
+        lines.append(
+            f"  {app:7s} ours {ours:7.3f}s  condor_rank {condor:7.3f}s  "
+            f"gain {gain:5.1f}%"
+        )
+    emit("ablation_condor", "\n".join(lines))
+    # The network term should pay off on both communication-heavy apps.
+    for app, (ours, condor) in res.items():
+        assert ours <= condor * 1.05, app

@@ -1,0 +1,60 @@
+"""Ablation — hierarchical (group-level) allocation vs the flat algorithm.
+
+Implements the scalability adaptation §3.3.2/§6 suggest and measures both
+the decision-time speedup and the allocation-quality cost on the paper
+cluster (4 switch groups, 60 nodes).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.minimd import MiniMD
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.core.policies.hierarchical import HierarchicalNetworkLoadAwarePolicy
+from repro.core.weights import MINIMD_TRADEOFF
+from repro.experiments.scenario import paper_scenario
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    sc = paper_scenario(seed=61, warmup_s=3600.0)
+    request = AllocationRequest(n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF)
+    flat_pol = NetworkLoadAwarePolicy()
+    hier_pol = HierarchicalNetworkLoadAwarePolicy()
+    rounds = 5
+    out = {"flat": {"time": [], "decide": []},
+           "hier": {"time": [], "decide": []}}
+    for _ in range(rounds):
+        snapshot = sc.snapshot()
+        for key, pol in (("flat", flat_pol), ("hier", hier_pol)):
+            t0 = time.perf_counter()
+            alloc = pol.allocate(snapshot, request)
+            out[key]["decide"].append(time.perf_counter() - t0)
+            job = SimJob(
+                MiniMD(16), Placement.from_allocation(alloc),
+                sc.cluster, sc.network,
+            )
+            out[key]["time"].append(job.run().total_time_s)
+        sc.advance(900.0)
+    return {
+        k: {m: float(np.mean(v)) for m, v in d.items()}
+        for k, d in out.items()
+    }
+
+
+def test_hierarchical_quality_and_speed(benchmark, comparison):
+    stats = run_once(benchmark, lambda: comparison)
+    emit(
+        "ablation_hierarchical",
+        f"flat:         exec {stats['flat']['time']:.3f}s, "
+        f"decision {stats['flat']['decide'] * 1e3:.2f} ms\n"
+        f"hierarchical: exec {stats['hier']['time']:.3f}s, "
+        f"decision {stats['hier']['decide'] * 1e3:.2f} ms",
+    )
+    # Group-level decisions give up little quality on a 4-switch cluster.
+    assert stats["hier"]["time"] <= 1.5 * stats["flat"]["time"]

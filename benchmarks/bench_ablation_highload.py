@@ -1,0 +1,94 @@
+"""Ablation — the saturated-cluster regime (§6).
+
+"If the overall load on the cluster is extremely high, the performance
+gain will not be significant because there are not enough lightly loaded
+processors; in that case, our tool should recommend waiting."
+
+We triple the background intensity, verify the gain over random shrinks
+compared to the normal regime, and check the broker's WaitRecommended
+guard fires.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.minimd import MiniMD
+from repro.core.broker import ResourceBroker, WaitRecommended
+from repro.core.policies import AllocationRequest
+from repro.core.weights import MINIMD_TRADEOFF
+from repro.experiments.metrics import gain_percent
+from repro.experiments.runner import compare_policies
+from repro.experiments.scenario import paper_scenario
+from repro.workload.generator import WorkloadConfig
+
+
+def heavy_config() -> WorkloadConfig:
+    """§6's regime: *uniformly* saturated — nowhere lightly loaded to dodge.
+
+    Merely multiplying burst arrival rates leaves idle pockets the
+    allocator exploits (the gain then grows, not shrinks); the paper's
+    scenario needs a high load floor on every node, which the ambient
+    component provides.
+    """
+    base = WorkloadConfig()
+    return replace(
+        base,
+        ambient_load_mu=14.0,   # ≥ 1 runnable process per core everywhere
+        busyness_sigma=0.1,     # near-uniform: no quiet machines left
+        sessions=replace(
+            base.sessions,
+            arrival_rate_per_hour=2 * base.sessions.arrival_rate_per_hour,
+        ),
+    )
+
+
+def mean_gain_over_random(workload_config, seed):
+    sc = paper_scenario(
+        seed=seed, warmup_s=3600.0, workload_config=workload_config
+    )
+    request = AllocationRequest(n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF)
+    gains = []
+    for _ in range(4):
+        comparison = compare_policies(
+            sc, MiniMD(16), request, rng=sc.streams.child("highload")
+        )
+        gains.append(
+            gain_percent(
+                comparison.runs["random"].time_s,
+                comparison.runs["network_load_aware"].time_s,
+            )
+        )
+        sc.advance(900.0)
+    return sc, float(np.mean(gains))
+
+
+@pytest.fixture(scope="module")
+def regimes():
+    _, normal = mean_gain_over_random(None, seed=51)
+    heavy_sc, heavy = mean_gain_over_random(heavy_config(), seed=51)
+    return heavy_sc, normal, heavy
+
+
+def test_gain_shrinks_under_saturation(benchmark, regimes):
+    _, normal, heavy = run_once(benchmark, lambda: regimes)
+    emit(
+        "ablation_highload",
+        f"gain over random: normal cluster {normal:.1f}%, "
+        f"saturated cluster {heavy:.1f}%",
+    )
+    assert heavy < normal
+
+
+def test_broker_recommends_waiting(benchmark, regimes):
+    run_once(benchmark, lambda: None)
+    heavy_sc, _, _ = regimes
+    broker = ResourceBroker(
+        heavy_sc.snapshot, wait_threshold_load_per_core=0.75
+    )
+    with pytest.raises(WaitRecommended):
+        broker.request(
+            AllocationRequest(n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF)
+        )

@@ -1,0 +1,54 @@
+"""Ablation — sensitivity to the w_lt/w_bw network-weight split.
+
+The paper uses w_lt = 0.25, w_bw = 0.75 (Equation 2).  §3.2.2 argues
+latency weight should rise for chatty low-volume programs and bandwidth
+weight for bulky ones.  We verify the paper's setting is competitive
+across the sweep for miniMD (which has both many small halo messages and
+periodic bulky reneighbouring).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.minimd import MiniMD
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.core.weights import MINIMD_TRADEOFF, NetworkWeights
+from repro.experiments.scenario import paper_scenario
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+
+W_LT_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    sc = paper_scenario(seed=23, warmup_s=3600.0)
+    results = {w: [] for w in W_LT_VALUES}
+    for _ in range(4):
+        snapshot = sc.snapshot()
+        for w_lt in W_LT_VALUES:
+            request = AllocationRequest(
+                n_processes=32,
+                ppn=4,
+                tradeoff=MINIMD_TRADEOFF,
+                network_weights=NetworkWeights(w_lt=w_lt, w_bw=1.0 - w_lt),
+            )
+            alloc = NetworkLoadAwarePolicy().allocate(snapshot, request)
+            job = SimJob(
+                MiniMD(16), Placement.from_allocation(alloc),
+                sc.cluster, sc.network,
+            )
+            results[w_lt].append(job.run().total_time_s)
+        sc.advance(900.0)
+    return {w: float(np.mean(v)) for w, v in results.items()}
+
+
+def test_network_weight_sweep(benchmark, sweep):
+    times = run_once(benchmark, lambda: sweep)
+    lines = ["w_lt sweep, miniMD 32 procs s=16 (mean exec time s):"]
+    for w, t in times.items():
+        marker = " <- paper" if w == 0.25 else ""
+        lines.append(f"  w_lt={w:.2f}  {t:8.3f}{marker}")
+    emit("ablation_netweights", "\n".join(lines))
+    assert times[0.25] <= 1.35 * min(times.values())

@@ -1,0 +1,56 @@
+"""Ablation — monitoring staleness.
+
+The whole point of the paper's Resource Monitor is allocating on *current*
+state.  Here we allocate from snapshots of increasing age and measure how
+execution degrades toward random-like quality, quantifying the value of
+fresh monitoring data.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.minimd import MiniMD
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.core.weights import MINIMD_TRADEOFF
+from repro.experiments.scenario import paper_scenario
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+
+AGES_S = (0.0, 600.0, 3600.0, 4 * 3600.0)
+
+
+@pytest.fixture(scope="module")
+def staleness():
+    sc = paper_scenario(seed=41, warmup_s=3600.0)
+    request = AllocationRequest(n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF)
+    results = {age: [] for age in AGES_S}
+    for _ in range(4):
+        # Take snapshots as the cluster evolves, then allocate with each
+        # old snapshot but *execute* against the final (current) state.
+        taken = {}
+        ages = sorted(AGES_S, reverse=True)
+        for i, age in enumerate(ages):
+            taken[age] = sc.snapshot()
+            gap = age - (ages[i + 1] if i + 1 < len(ages) else 0.0)
+            if gap > 0:
+                sc.advance(gap)
+        for age, snapshot in taken.items():
+            alloc = NetworkLoadAwarePolicy().allocate(snapshot, request)
+            job = SimJob(
+                MiniMD(16), Placement.from_allocation(alloc),
+                sc.cluster, sc.network,
+            )
+            results[age].append(job.run().total_time_s)
+        sc.advance(1800.0)
+    return {age: float(np.mean(v)) for age, v in results.items()}
+
+
+def test_stale_snapshots_degrade_allocations(benchmark, staleness):
+    times = run_once(benchmark, lambda: staleness)
+    lines = ["snapshot age vs miniMD execution time (32 procs, s=16):"]
+    for age, t in sorted(times.items()):
+        lines.append(f"  age={age / 60.0:6.0f} min  {t:8.3f} s")
+    emit("ablation_staleness", "\n".join(lines))
+    # Fresh data should beat multi-hour-old data.
+    assert times[0.0] <= times[max(AGES_S)] * 1.05

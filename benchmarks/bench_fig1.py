@@ -1,0 +1,44 @@
+"""Figure 1 — resource-usage variation in the shared cluster.
+
+Regenerates the two-day traces of CPU load (1a), network I/O (1b) and
+CPU utilization / memory (1c) over a 20-node sample, and checks the
+qualitative bands the paper reports.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once, scale
+from repro.experiments.figures import fig1
+
+HOURS = {"smoke": 6.0, "default": 48.0, "full": 48.0}[scale()]
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    return fig1(seed=1, hours=HOURS)
+
+
+def test_fig1a_cpu_load_variation(benchmark, result):
+    run_once(benchmark, lambda: None)
+    summary = result.summary()
+    emit("fig1", result.render())
+    from benchmarks.conftest import OUTPUT_DIR
+    result.save_svgs(OUTPUT_DIR)
+    # Paper: occasional spikes, low typical load.
+    assert summary["max_cpu_load"] > 3 * summary["mean_cpu_load"]
+
+
+def test_fig1b_network_io_variation(benchmark, result):
+    run_once(benchmark, lambda: None)
+    import numpy as np
+
+    avg = result._avg("flow_rate_mbs")
+    # Strong variation over time (paper: "a lot of variation").
+    assert np.std(avg) > 0.1 * max(np.mean(avg), 1e-9)
+
+
+def test_fig1c_cpu_util_and_memory(benchmark, result):
+    run_once(benchmark, lambda: None)
+    s = result.summary()
+    assert 10.0 <= s["mean_cpu_util_pct"] <= 45.0  # paper band: 20-35 %
+    assert 2.0 <= s["mean_memory_gb"] <= 8.0  # paper: ~25 % of 16 GB

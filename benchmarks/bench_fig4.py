@@ -1,0 +1,37 @@
+"""Figure 4 — miniMD strong scaling under the four allocation policies.
+
+Prints the mean execution time per (process count, problem size) cell and
+checks the paper's qualitative claims: random is worst overall and the
+network-and-load-aware algorithm is best overall.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import render_fig4, save_grid_svgs
+
+
+def test_fig4_minimd_strong_scaling(benchmark, minimd_grid):
+    grid = run_once(benchmark, lambda: minimd_grid)
+    emit("fig4", render_fig4(grid))
+    from benchmarks.conftest import OUTPUT_DIR
+    save_grid_svgs(grid, OUTPUT_DIR, prefix="fig4")
+
+    def overall(policy):
+        return np.mean([np.mean(v) for v in grid.times[policy].values()])
+
+    # Paper §5.1: "random allocation performs worst on almost all
+    # configurations" and the proposed algorithm achieves the best times.
+    assert overall("network_load_aware") < overall("random")
+    assert overall("network_load_aware") < overall("sequential")
+    assert overall("network_load_aware") < overall("load_aware")
+    assert overall("random") == max(overall(p) for p in grid.policies)
+
+
+def test_fig4_time_grows_with_problem_size(benchmark, minimd_grid):
+    run_once(benchmark, lambda: None)
+    grid = minimd_grid
+    for policy in grid.policies:
+        for n in grid.proc_counts:
+            times = [grid.mean_time(policy, n, s) for s in grid.sizes]
+            assert times[-1] > times[0]

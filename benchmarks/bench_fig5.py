@@ -1,0 +1,22 @@
+"""Figure 5 — average CPU load per logical core at allocation time.
+
+Paper values: network-and-load-aware 0.43, load-aware 0.31, sequential
+0.68, random 0.72.  The shape to reproduce: load-aware picks the least
+loaded nodes; the proposed algorithm accepts slightly more load than
+load-aware (trading it for connectivity); random and sequential sit well
+above both.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig5, render_fig5, save_fig5_svg
+
+
+def test_fig5_load_per_core(benchmark, minimd_grid):
+    loads = run_once(benchmark, lambda: fig5(minimd_grid))
+    emit("fig5", render_fig5(loads))
+    import os
+    from benchmarks.conftest import OUTPUT_DIR
+    save_fig5_svg(loads, os.path.join(OUTPUT_DIR, "fig5.svg"))
+    assert loads["load_aware"] <= loads["network_load_aware"]
+    assert loads["network_load_aware"] < loads["sequential"]
+    assert loads["network_load_aware"] < loads["random"]

@@ -1,0 +1,30 @@
+"""Figure 6 — miniFE strong scaling under the four allocation policies."""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import render_fig6, save_grid_svgs
+
+
+def test_fig6_minife_strong_scaling(benchmark, minife_grid):
+    grid = run_once(benchmark, lambda: minife_grid)
+    emit("fig6", render_fig6(grid))
+    from benchmarks.conftest import OUTPUT_DIR
+    save_grid_svgs(grid, OUTPUT_DIR, prefix="fig6")
+
+    def overall(policy):
+        return np.mean([np.mean(v) for v in grid.times[policy].values()])
+
+    assert overall("network_load_aware") == min(
+        overall(p) for p in grid.policies
+    )
+    assert overall("random") == max(overall(p) for p in grid.policies)
+
+
+def test_fig6_time_grows_with_nx(benchmark, minife_grid):
+    run_once(benchmark, lambda: None)
+    grid = minife_grid
+    for policy in grid.policies:
+        for n in grid.proc_counts:
+            times = [grid.mean_time(policy, n, s) for s in grid.sizes]
+            assert times[-1] > times[0]

@@ -1,0 +1,49 @@
+"""Figure 7 — cluster state and per-policy node selections, one instance.
+
+Renders the bandwidth-complement heatmap, the nodes each policy selected,
+and the per-node CPU-load row, then checks the paper's two qualitative
+observations: the proposed algorithm concentrates its selection
+topologically (fewest switches) and avoids the most-loaded nodes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.cluster.topology import paper_cluster
+from repro.experiments.figures import fig7
+from repro.experiments.scenario import paper_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig7(scenario=paper_scenario(seed=5, warmup_s=3600.0))
+
+
+def test_fig7_selection_analysis(benchmark, result):
+    res = run_once(benchmark, lambda: result)
+    emit("fig7", res.render())
+    import os
+    from benchmarks.conftest import OUTPUT_DIR
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    res.save_svg(os.path.join(OUTPUT_DIR, "fig7.svg"))
+
+    _, topo = paper_cluster()
+
+    def switches_used(policy):
+        return len({topo.switch_of(n) for n in res.selections[policy]})
+
+    # Paper: "network and load-aware algorithm automatically captures
+    # topology as it has selected nodes which are topologically close".
+    ours = switches_used("network_load_aware")
+    assert ours <= switches_used("load_aware")
+    assert ours <= switches_used("random")
+
+
+def test_fig7_avoids_hot_nodes(benchmark, result):
+    run_once(benchmark, lambda: None)
+    load_by_node = dict(zip(result.nodes, result.cpu_load))
+    chosen = result.selections["network_load_aware"]
+    chosen_mean = np.mean([load_by_node[n] for n in chosen])
+    cluster_mean = np.mean(result.cpu_load)
+    assert chosen_mean <= cluster_mean + 1e-9

@@ -1,0 +1,78 @@
+"""§4 — "light-weight" monitoring: measure the monitor's own footprint.
+
+The paper claims its daemons are light-weight.  We quantify what the
+monitoring stack itself costs on the 60-node cluster over a simulated
+hour: probe traffic injected onto the network, store writes, and the
+simulation-event overhead relative to an unmonitored cluster.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.scenario import paper_scenario
+from repro.net.probes import round_robin_rounds
+
+
+@pytest.fixture(scope="module")
+def accounting():
+    sc = paper_scenario(seed=91, warmup_s=0.0)
+    assert sc.monitoring is not None
+    cfg = sc.monitoring.config
+    store = sc.monitoring.store
+    t0 = time.perf_counter()
+    sc.advance(3600.0)
+    wall_monitored = time.perf_counter() - t0
+
+    bare = paper_scenario(seed=91, warmup_s=0.0, with_monitoring=False)
+    t0 = time.perf_counter()
+    bare.advance(3600.0)
+    wall_bare = time.perf_counter() - t0
+
+    n = len(sc.cluster)
+    pairs = n * (n - 1) // 2
+    lat_sweeps = 3600.0 / cfg.latency_period_s
+    bw_sweeps = 3600.0 / cfg.bandwidth_period_s
+    # Each pair probe ~ a few KB of traffic for latency, ~1 MB for a
+    # bandwidth burst; per-node per-second average:
+    probe_mb_per_node_s = (
+        (lat_sweeps * pairs * 0.004 + bw_sweeps * pairs * 1.0)
+        / 3600.0
+        / n
+        * 2.0  # both endpoints
+    )
+    return {
+        "store_keys": len(store.keys()),
+        "events_per_hour": sc.engine.events_processed,
+        "rounds_per_latency_sweep": len(round_robin_rounds(sc.cluster.names)),
+        "probe_mb_per_node_s": probe_mb_per_node_s,
+        "wall_monitored_s": wall_monitored,
+        "wall_bare_s": wall_bare,
+    }
+
+
+def test_monitoring_footprint(benchmark, accounting):
+    acc = run_once(benchmark, lambda: accounting)
+    emit(
+        "monitor_overhead",
+        "monitoring footprint, 60 nodes, 1 simulated hour:\n"
+        f"  store keys maintained      {acc['store_keys']}\n"
+        f"  engine events processed    {acc['events_per_hour']}\n"
+        f"  latency sweep rounds       {acc['rounds_per_latency_sweep']}"
+        " (n/2 disjoint pairs each, per the paper's schedule)\n"
+        f"  probe traffic per node     {acc['probe_mb_per_node_s']:.3f} MB/s\n"
+        f"  sim wall: monitored {acc['wall_monitored_s']:.1f}s vs bare "
+        f"{acc['wall_bare_s']:.1f}s",
+    )
+    # "Light-weight": probe traffic well under 1 % of a GigE NIC.
+    assert acc["probe_mb_per_node_s"] < 1.25
+    # The schedule is the paper's n-1 rounds of disjoint pairs.
+    assert acc["rounds_per_latency_sweep"] == len(paper_nodes()) - 1
+
+
+def paper_nodes():
+    from repro.cluster.topology import paper_cluster
+
+    specs, _ = paper_cluster()
+    return [s.name for s in specs]

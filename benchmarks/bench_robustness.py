@@ -1,0 +1,61 @@
+"""Robustness — the headline result across independent seeds.
+
+Guards against seed cherry-picking: a reduced miniMD grid is repeated
+under three unrelated simulation seeds and the paper's headline claim —
+the network-and-load-aware policy beats every baseline on average — must
+hold for each.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig4
+from repro.experiments.tables import BASELINES, OURS, gain_table
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    out = {}
+    for seed in SEEDS:
+        grid = fig4(
+            seed=seed,
+            proc_counts=(8, 32),
+            sizes=(16, 32),
+            repeats=2,
+            gap_s=300.0,
+        )
+        out[seed] = gain_table(grid)
+    return out
+
+
+def test_headline_holds_across_seeds(benchmark, sweeps):
+    tables = run_once(benchmark, lambda: sweeps)
+    lines = ["average gain of network_load_aware, by seed:"]
+    for seed, table in tables.items():
+        gains = {b: table.gains[b].average for b in BASELINES}
+        lines.append(
+            f"  seed {seed}: "
+            + "  ".join(f"{b}={g:5.1f}%" for b, g in gains.items())
+        )
+    emit("robustness_seeds", "\n".join(lines))
+    for seed, table in tables.items():
+        mean_gain = float(
+            np.mean([table.gains[b].average for b in BASELINES])
+        )
+        assert mean_gain > 0.0, f"seed {seed}: ours lost on average"
+        # random must always lose clearly
+        assert table.gains["random"].average > 10.0, seed
+
+
+def test_ours_most_stable_across_seeds(benchmark, sweeps):
+    run_once(benchmark, lambda: None)
+    stable = sum(
+        1
+        for table in sweeps.values()
+        if table.cov[OURS] == min(table.cov.values())
+    )
+    # lowest CoV in at least 2 of 3 seeds (the paper's stability claim)
+    assert stable >= 2

@@ -1,0 +1,85 @@
+"""Extension — job-stream scheduling: policy impact on queue metrics.
+
+The paper evaluates one allocation at a time; a deployed broker serves a
+queue.  This bench replays the same Poisson stream of miniMD/miniFE jobs
+through the scheduler under each §5 policy and compares mean turnaround
+— allocation quality compounds across a stream because bad placements
+occupy the cluster for longer.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.minife import MiniFE, MiniFEConfig
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.core.policies import PAPER_POLICIES
+from repro.experiments.scenario import paper_scenario
+from repro.scheduler import ClusterScheduler, JobRequest
+
+N_JOBS = 10
+
+
+def job_stream(rng):
+    """A reproducible mixed stream of paper workloads."""
+    jobs = []
+    t = 0.0
+    for _ in range(N_JOBS):
+        t += float(rng.exponential(20.0))
+        if rng.uniform() < 0.5:
+            app = MiniMD(16, MiniMDConfig(timesteps=500))
+        else:
+            app = MiniFE(96, config=MiniFEConfig(cg_iterations=100))
+        procs = int(rng.choice([16, 24, 32]))
+        jobs.append((t, app, procs))
+    return jobs
+
+
+def run_stream(policy_name, seed=81):
+    sc = paper_scenario(seed=seed, warmup_s=1800.0)
+    stream_rng = np.random.default_rng(99)  # same stream for every policy
+    sched = ClusterScheduler(
+        sc.engine,
+        sc.workload,
+        sc.network,
+        sc.snapshot,
+        policy=PAPER_POLICIES[policy_name](),
+        rng=sc.streams.child("stream"),
+    )
+    base = sc.engine.now
+    for offset, app, procs in job_stream(stream_rng):
+        sched.submit(
+            JobRequest(app=app, n_processes=procs, ppn=4,
+                       submit_time=base + offset)
+        )
+    return sched.drain()
+
+
+@pytest.fixture(scope="module")
+def stream_results():
+    return {name: run_stream(name) for name in PAPER_POLICIES}
+
+
+def test_job_stream_by_policy(benchmark, stream_results):
+    results = run_once(benchmark, lambda: stream_results)
+    lines = [
+        f"{N_JOBS}-job stream (identical arrivals) per allocation policy:",
+        f"{'policy':>20s}  {'makespan':>9s}  {'mean wait':>9s}  "
+        f"{'turnaround':>10s}",
+    ]
+    for name, st in results.items():
+        lines.append(
+            f"{name:>20s}  {st.makespan_s:9.1f}  {st.mean_wait_s:9.1f}  "
+            f"{st.mean_turnaround_s:10.1f}"
+        )
+    emit("scheduler_stream", "\n".join(lines))
+    ours = results["network_load_aware"]
+    rnd = results["random"]
+    # Better placements finish jobs sooner across the whole stream.
+    assert ours.mean_turnaround_s < rnd.mean_turnaround_s
+
+
+def test_every_stream_completes(benchmark, stream_results):
+    run_once(benchmark, lambda: None)
+    for name, st in stream_results.items():
+        assert st.n_jobs == N_JOBS, name

@@ -1,0 +1,25 @@
+"""Table 3 — percentage gains of the algorithm for miniFE (+ §5.2 CoV).
+
+Paper values (average / median / maximum gain):
+  random      47.9 / 50.4 / 92.1
+  sequential  31.1 / 28.0 / 80.4
+  load-aware  34.8 / 38.7 / 91.0
+CoV: 0.05 (ours) vs 0.08 (load-aware) vs 0.11 (sequential).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.tables import table3
+
+
+def test_table3_minife_gains(benchmark, minife_grid):
+    result = run_once(benchmark, lambda: table3(minife_grid))
+    emit("table3", result.render(table_no=3))
+    for baseline, stats in result.gains.items():
+        assert stats.average > 5.0, f"{baseline}: {stats.average}"
+        assert stats.maximum > 25.0, f"{baseline}: {stats.maximum}"
+
+
+def test_table3_cov_stability(benchmark, minife_grid):
+    run_once(benchmark, lambda: None)
+    cov = table3(minife_grid).cov
+    assert cov["network_load_aware"] == min(cov.values())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fault tolerance: daemon crashes, node outages, and master failover.
+
+Exercises the §4 resilience story end to end:
+
+1. a NodeStateD daemon crashes → the Central Monitor relaunches it;
+2. a node goes down → livehosts drops it and the allocator avoids it;
+3. the Central Monitor master dies → the slave promotes itself and
+   spawns a replacement slave;
+4. the node comes back → monitoring data flows again.
+
+Run:  python examples/monitor_failover.py
+"""
+
+from repro import AllocationRequest, MINIMD_TRADEOFF, paper_scenario
+from repro.monitor.failures import FailureInjector
+
+
+def show(label, scenario):
+    snap = scenario.snapshot()
+    mon = scenario.monitoring
+    print(f"t={scenario.engine.now / 60:6.1f} min  {label}")
+    print(f"    livehosts: {len(snap.livehosts)}/60, "
+          f"monitored nodes: {len(snap.nodes)}, "
+          f"master id: {mon.central.master.monitor_id} "
+          f"(restarts performed: {mon.central.master.restarts_performed})")
+
+
+def main() -> None:
+    scenario = paper_scenario(seed=4, warmup_s=1800.0)
+    mon = scenario.monitoring
+    injector = FailureInjector(scenario.engine, scenario.cluster)
+    show("steady state", scenario)
+
+    # 1. Crash a node-state daemon; the master notices the stale
+    #    heartbeat and relaunches it.
+    victim = mon.nodestate["csews7"]
+    victim.crash()
+    print("\n-> crashed NodeStateD on csews7")
+    scenario.advance(300.0)
+    show("after supervision window", scenario)
+    print(f"    csews7 daemon alive again: {victim.alive}")
+
+    # 2. Take a node down; livehosts drops it and allocations avoid it.
+    injector.node_down("csews3", at=scenario.engine.now + 10.0, duration=1200.0)
+    scenario.advance(120.0)
+    show("csews3 is down", scenario)
+    broker = scenario.broker()
+    result = broker.request(
+        AllocationRequest(n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF)
+    )
+    assert "csews3" not in result.allocation.nodes
+    print(f"    allocation avoids csews3: {result.allocation.nodes}")
+
+    # 3. Kill the master; the slave takes over and spawns a new slave.
+    old_master = mon.central.master
+    old_master.crash()
+    print("\n-> killed the Central Monitor master")
+    scenario.advance(300.0)
+    show("after failover", scenario)
+    assert mon.central.master is not old_master
+    assert mon.central.master.alive and mon.central.slave.alive
+    print("    slave promoted, replacement slave running")
+
+    # 4. Node recovery.
+    scenario.advance(1500.0)
+    snap = scenario.snapshot()
+    assert "csews3" in snap.livehosts
+    show("csews3 recovered", scenario)
+
+
+if __name__ == "__main__":
+    main()

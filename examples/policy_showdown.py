@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Policy showdown: the §5 evaluation protocol in miniature.
+
+Runs miniMD and miniFE under all four §5 allocation policies against the
+same evolving cluster, repeating the comparison several times, and prints
+per-policy execution times, gains and run-time stability.
+
+Run:  python examples/policy_showdown.py
+"""
+
+import numpy as np
+
+from repro import AllocationRequest, paper_scenario
+from repro.apps import MiniFE, MiniMD
+from repro.experiments.metrics import coefficient_of_variation, gain_percent
+from repro.experiments.report import format_table
+from repro.experiments.runner import POLICY_ORDER, compare_policies
+
+REPEATS = 3
+
+
+def showdown(scenario, app, request, label):
+    times = {p: [] for p in POLICY_ORDER}
+    for _ in range(REPEATS):
+        comparison = compare_policies(
+            scenario, app, request, rng=scenario.streams.child("showdown")
+        )
+        for p, run in comparison.runs.items():
+            times[p].append(run.time_s)
+        scenario.advance(900.0)  # let the cluster evolve between repeats
+
+    rows = []
+    ours = float(np.mean(times["network_load_aware"]))
+    for p in POLICY_ORDER:
+        mean = float(np.mean(times[p]))
+        gain = gain_percent(mean, ours) if p != "network_load_aware" else 0.0
+        rows.append([
+            p,
+            mean,
+            coefficient_of_variation(times[p]),
+            f"{gain:.1f}%" if p != "network_load_aware" else "—",
+        ])
+    print()
+    print(format_table(
+        ["policy", "mean time (s)", "CoV", "our gain"],
+        rows,
+        title=label,
+    ))
+
+
+def main() -> None:
+    print("warming up the shared cluster...")
+    scenario = paper_scenario(seed=12, warmup_s=3600.0)
+
+    showdown(
+        scenario,
+        MiniMD(s=16),
+        AllocationRequest(
+            n_processes=32, ppn=4, tradeoff=MiniMD(16).recommended_tradeoff()
+        ),
+        "miniMD, 32 processes, s=16 (16K atoms)",
+    )
+    showdown(
+        scenario,
+        MiniFE(nx=96),
+        AllocationRequest(
+            n_processes=32, ppn=4, tradeoff=MiniFE(96).recommended_tradeoff()
+        ),
+        "miniFE, 32 processes, nx=ny=nz=96",
+    )
+
+
+if __name__ == "__main__":
+    main()

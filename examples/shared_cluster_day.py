@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""A day in the life of the shared cluster (the paper's Figure 1 & 2 view).
+
+Simulates 24 hours of background activity — interactive sessions, batch
+jobs, other users' MPI runs, data transfers — and prints resource-usage
+sparklines for selected nodes, cluster-wide statistics, and a P2P
+bandwidth heatmap.
+
+Run:  python examples/shared_cluster_day.py
+"""
+
+import numpy as np
+
+from repro import paper_scenario
+from repro.experiments.report import ascii_heatmap, series_summary, sparkline
+from repro.workload.traces import TraceRecorder
+
+HOURS = 24.0
+
+
+def main() -> None:
+    scenario = paper_scenario(seed=3, warmup_s=0.0, with_monitoring=False)
+    recorder = TraceRecorder(
+        scenario.engine,
+        scenario.cluster,
+        period_s=600.0,
+        network=scenario.network,
+        pairs=[("csews1", "csews2"), ("csews1", "csews40")],
+    )
+    print(f"simulating {HOURS:.0f} hours of background activity...")
+    scenario.engine.run(HOURS * 3600.0)
+    trace = recorder.finish()
+
+    busy = scenario.workload.busyness
+    sample = scenario.cluster.names[:20]
+    node_a = max(sample, key=lambda n: busy[n])  # a chatty machine
+    node_b = min(sample, key=lambda n: busy[n])  # a quiet one
+
+    for metric, unit in (
+        ("cpu_load", ""),
+        ("cpu_util", "%"),
+        ("flow_rate_mbs", "MB/s"),
+        ("memory_used_gb", "GB"),
+    ):
+        print(f"\n{metric}:")
+        print(f"  {node_a:>8s} {sparkline(trace.series(node_a, metric))}")
+        print(f"  {node_b:>8s} {sparkline(trace.series(node_b, metric))}")
+        print("  " + series_summary("cluster avg", trace.mean_series(metric), unit=unit))
+
+    print("\nP2P bandwidth across time (same switch vs cross switch):")
+    for pair in trace.pairs:
+        s = trace.pair_series(pair)
+        print(f"  {pair[0]}-{pair[1]}: {sparkline(s)}  "
+              f"mean {np.mean(s):.0f} MB/s")
+
+    nodes = scenario.cluster.names[:30]
+    pairs = [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1:]]
+    bw = scenario.network.bulk_available_bandwidth(pairs)
+    n = len(nodes)
+    mat = np.full((n, n), np.nan)
+    for i in range(n):
+        for j in range(i + 1, n):
+            mat[i, j] = mat[j, i] = bw[(nodes[i], nodes[j])]
+    print("\nP2P available bandwidth right now (dark = low):")
+    print(ascii_heatmap(mat, labels=nodes, invert=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — Network and Load-Aware Resource Manager for MPI Programs.
+
+A full reproduction of Kumar, Jain & Malakar (ICPP Workshops 2020) on a
+simulated shared cluster: the resource-monitoring stack, the network- and
+load-aware allocation heuristic, the §5 baselines, miniMD/miniFE proxy
+models, and drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import paper_scenario, AllocationRequest, MINIMD_TRADEOFF
+    from repro.apps import MiniMD
+    from repro.simmpi import SimJob, Placement
+
+    sc = paper_scenario(seed=0)
+    broker = sc.broker()
+    result = broker.request(
+        AllocationRequest(n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF),
+        rng=sc.streams.child("demo"),
+    )
+    job = SimJob(MiniMD(16), Placement.from_allocation(result.allocation),
+                 sc.cluster, sc.network)
+    print(job.run().total_time_s)
+"""
+
+from repro.core import (
+    Allocation,
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+    BruteForcePolicy,
+    ComputeWeights,
+    LoadAwarePolicy,
+    MINIFE_TRADEOFF,
+    MINIMD_TRADEOFF,
+    NetworkLoadAwarePolicy,
+    NetworkWeights,
+    PAPER_POLICIES,
+    RandomPolicy,
+    ResourceBroker,
+    SequentialPolicy,
+    TradeOff,
+    WaitRecommended,
+)
+from repro.experiments.scenario import Scenario, paper_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "AllocationPolicy",
+    "AllocationRequest",
+    "BruteForcePolicy",
+    "ComputeWeights",
+    "LoadAwarePolicy",
+    "MINIFE_TRADEOFF",
+    "MINIMD_TRADEOFF",
+    "NetworkLoadAwarePolicy",
+    "NetworkWeights",
+    "PAPER_POLICIES",
+    "RandomPolicy",
+    "ResourceBroker",
+    "SequentialPolicy",
+    "TradeOff",
+    "WaitRecommended",
+    "Scenario",
+    "paper_scenario",
+    "__version__",
+]

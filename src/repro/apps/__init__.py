@@ -1,0 +1,21 @@
+"""Proxy application models: miniMD, miniFE, and a generic 3-D stencil."""
+
+from repro.apps.base import AppModel, StepBlock, StepDemand
+from repro.apps.fft import FFT3D
+from repro.apps.grid import halo_messages, neighbors, proc_grid
+from repro.apps.minife import MiniFE
+from repro.apps.minimd import MiniMD
+from repro.apps.stencil import Stencil3D
+
+__all__ = [
+    "AppModel",
+    "StepBlock",
+    "StepDemand",
+    "FFT3D",
+    "halo_messages",
+    "neighbors",
+    "proc_grid",
+    "MiniFE",
+    "MiniMD",
+    "Stencil3D",
+]

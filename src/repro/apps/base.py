@@ -1,0 +1,77 @@
+"""Application model interface.
+
+An :class:`AppModel` describes *what* a parallel program demands per BSP
+step — compute cycles per rank, halo-exchange phases, collective calls —
+without prescribing *where* it runs.  The :class:`repro.simmpi.job.SimJob`
+executor then prices those demands against a concrete placement and the
+live cluster/network state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.weights import TradeOff
+from repro.simmpi.costmodel import CommPhase
+
+
+@dataclass(frozen=True)
+class StepDemand:
+    """Resource demands of one BSP step (identical for every rank).
+
+    compute_gcycles:
+        Work per rank in giga-cycles (converted to seconds by each host
+        node's clock frequency and contention).
+    phases:
+        Point-to-point communication phases, executed in order, each
+        internally concurrent.
+    allreduce_mb:
+        Message sizes of the step's allreduce calls (MB; 8e-6 for one
+        double).
+    alltoall_mb:
+        Per-pair message sizes of the step's alltoall calls (MB each) —
+        used by transpose-based codes such as 3-D FFTs.
+    """
+
+    compute_gcycles: float
+    phases: tuple[CommPhase, ...] = ()
+    allreduce_mb: tuple[float, ...] = ()
+    alltoall_mb: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.compute_gcycles < 0:
+            raise ValueError(
+                f"compute_gcycles must be non-negative: {self.compute_gcycles}"
+            )
+        if any(v < 0 for v in self.alltoall_mb):
+            raise ValueError("alltoall message sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class StepBlock:
+    """``count`` consecutive steps sharing one demand profile."""
+
+    demand: StepDemand
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"step count must be positive, got {self.count}")
+
+
+class AppModel(ABC):
+    """A parallel application expressed as per-step demands."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def schedule(self, n_ranks: int) -> list[StepBlock]:
+        """Demand profile for a run on ``n_ranks`` processes."""
+
+    @abstractmethod
+    def recommended_tradeoff(self) -> TradeOff:
+        """The α/β the paper (or profiling) recommends for this app."""
+
+    def total_steps(self, n_ranks: int) -> int:
+        return sum(b.count for b in self.schedule(n_ranks))

@@ -1,0 +1,86 @@
+"""3-D FFT proxy (transpose/alltoall-dominated extension app).
+
+Pseudo-spectral codes perform 3-D FFTs by computing 1-D transforms along
+local axes and *transposing* the distributed array between them — two
+``MPI_Alltoall`` calls per forward+inverse FFT pair.  Unlike the
+halo-exchange apps (miniMD/miniFE), an alltoall touches *every* pair of
+ranks, so network quality between all selected nodes (exactly what
+Equation 2 measures) dominates.  This makes the FFT proxy the most
+network-sensitive workload in the suite and a natural α→0 stress case
+for the allocator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel, StepBlock, StepDemand
+from repro.core.weights import TradeOff
+from repro.util.validation import require_positive
+
+#: bytes per complex-double grid value
+_BYTES_PER_VALUE = 16.0
+
+
+@dataclass(frozen=True)
+class FFTConfig:
+    """Calibration constants for the FFT proxy."""
+
+    #: cycles per point per 1-D transform (5 N log2 N flops at a few
+    #: cycles each, folded with packing/unpacking overhead)
+    cycles_per_point_log: float = 8.0
+    #: forward+inverse FFT pairs per simulated step
+    transforms_per_step: int = 2
+    steps: int = 100
+
+    def __post_init__(self) -> None:
+        require_positive(self.cycles_per_point_log, "cycles_per_point_log")
+        require_positive(self.transforms_per_step, "transforms_per_step")
+        require_positive(self.steps, "steps")
+
+
+class FFT3D(AppModel):
+    """Distributed 3-D FFT over an ``n³`` complex grid (slab/pencil)."""
+
+    name = "fft3d"
+
+    def __init__(self, n: int, config: FFTConfig | None = None) -> None:
+        require_positive(n, "n")
+        self.n = int(n)
+        self.config = config or FFTConfig()
+
+    @property
+    def points(self) -> int:
+        return self.n**3
+
+    def recommended_tradeoff(self) -> TradeOff:
+        # alltoall communication dominates: weight the network maximally
+        # within the paper's observed range.
+        return TradeOff(alpha=0.2, beta=0.8)
+
+    def schedule(self, n_ranks: int) -> list[StepBlock]:
+        require_positive(n_ranks, "n_ranks")
+        cfg = self.config
+        points_per_rank = self.points / n_ranks
+        # 3 axes of 1-D FFTs per transform, 5 N log N work per axis folded
+        # into cycles_per_point_log.
+        compute_gc = (
+            points_per_rank
+            * 3.0
+            * cfg.cycles_per_point_log
+            * math.log2(max(self.n, 2))
+            * cfg.transforms_per_step
+            / 1e9
+        )
+        # Each transform needs 2 transposes; every rank re-distributes its
+        # whole slab: per-pair volume = local points / ranks.
+        per_pair_mb = (
+            points_per_rank / n_ranks * _BYTES_PER_VALUE / 1e6
+        )
+        n_alltoalls = 2 * cfg.transforms_per_step
+        step = StepDemand(
+            compute_gcycles=compute_gc,
+            alltoall_mb=(per_pair_mb,) * n_alltoalls,
+        )
+        return [StepBlock(step, cfg.steps)]

@@ -1,0 +1,109 @@
+"""3-D process-grid decomposition and halo-exchange message construction.
+
+Both miniMD (spatial decomposition) and miniFE (brick domain) place their
+ranks on a 3-D Cartesian grid and exchange faces with six neighbours.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.simmpi.costmodel import Message
+
+
+def proc_grid(n: int) -> tuple[int, int, int]:
+    """Factor ``n`` into (px, py, pz) minimizing communication surface.
+
+    Mirrors ``MPI_Dims_create``'s goal: the most cube-like factorization.
+    Deterministic: among ties the lexicographically smallest wins.
+    """
+    if n <= 0:
+        raise ValueError(f"process count must be positive, got {n}")
+    best: tuple[int, int, int] | None = None
+    best_surface = math.inf
+    for px in range(1, n + 1):
+        if n % px:
+            continue
+        rest = n // px
+        for py in range(1, rest + 1):
+            if rest % py:
+                continue
+            pz = rest // py
+            # Surface-to-volume proxy for a unit cube split px*py*pz ways.
+            surface = px * py + py * pz + px * pz
+            if surface < best_surface:
+                best_surface = surface
+                best = (px, py, pz)
+    assert best is not None
+    return tuple(sorted(best))  # type: ignore[return-value]
+
+
+def coord_of(rank: int, dims: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Rank → (x, y, z) grid coordinate (x fastest, like MPI row-major z)."""
+    px, py, pz = dims
+    if not 0 <= rank < px * py * pz:
+        raise ValueError(f"rank {rank} outside grid {dims}")
+    x = rank % px
+    y = (rank // px) % py
+    z = rank // (px * py)
+    return (x, y, z)
+
+
+def rank_of(coord: tuple[int, int, int], dims: tuple[int, int, int]) -> int:
+    """(x, y, z) grid coordinate → rank."""
+    px, py, pz = dims
+    x, y, z = coord
+    if not (0 <= x < px and 0 <= y < py and 0 <= z < pz):
+        raise ValueError(f"coordinate {coord} outside grid {dims}")
+    return x + y * px + z * px * py
+
+
+def neighbors(rank: int, dims: tuple[int, int, int]) -> list[int]:
+    """The six face neighbours with periodic boundaries (dedup for thin dims).
+
+    In a dimension of extent 1 the neighbour is the rank itself and is
+    dropped (no self-messages); extent 2 yields one distinct neighbour.
+    """
+    x, y, z = coord_of(rank, dims)
+    px, py, pz = dims
+    out: list[int] = []
+    for d, (c, extent) in enumerate(((x, px), (y, py), (z, pz))):
+        for step in (-1, 1):
+            cc = [x, y, z]
+            cc[d] = (c + step) % extent
+            other = rank_of(tuple(cc), dims)  # type: ignore[arg-type]
+            if other != rank and other not in out:
+                out.append(other)
+    return out
+
+
+def halo_messages(
+    dims: tuple[int, int, int],
+    face_volumes_mb: tuple[float, float, float],
+) -> list[Message]:
+    """All face-exchange messages for one halo sweep over the grid.
+
+    ``face_volumes_mb`` gives the per-face data volume perpendicular to
+    each axis.  Every rank sends to each distinct face neighbour; message
+    pairs (a→b and b→a) are both present, as in a real exchange.
+    """
+    px, py, pz = dims
+    n = px * py * pz
+    msgs: list[Message] = []
+    for rank in range(n):
+        x, y, z = coord_of(rank, dims)
+        for d, extent in enumerate((px, py, pz)):
+            if extent == 1:
+                continue
+            vol = face_volumes_mb[d]
+            for step in (-1, 1):
+                cc = [x, y, z]
+                cc[d] = (cc[d] + step) % extent
+                other = rank_of(tuple(cc), dims)  # type: ignore[arg-type]
+                if other == rank:
+                    continue
+                msgs.append(Message(src_rank=rank, dst_rank=other, volume_mb=vol))
+                if extent == 2:
+                    break  # only one distinct neighbour in this dimension
+    return msgs

@@ -1,0 +1,99 @@
+"""miniFE model — Mantevo's implicit finite-element proxy (paper §5.2).
+
+miniFE assembles a sparse linear system on a brick of ``nx × ny × nz``
+hexahedral elements ((nx+1)³ unknowns for the paper's cubic runs) and
+solves it with unpreconditioned CG.  Each CG iteration:
+
+* one sparse matrix-vector product over the 27-point stencil rows,
+  requiring a halo exchange of boundary-row values;
+* two dot products → two 8-byte allreduces (latency-bound — this is why
+  miniFE is more latency- than bandwidth-sensitive);
+* three vector updates (axpy), folded into the compute term.
+
+The model's communication share matches the paper's profiling (~25–60 %,
+about 40 % at 48 processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel, StepBlock, StepDemand
+from repro.apps.grid import halo_messages, proc_grid
+from repro.core.weights import MINIFE_TRADEOFF, TradeOff
+from repro.simmpi.costmodel import CommPhase
+from repro.util.validation import require_positive
+
+#: nonzeros per matrix row (27-point hexahedral stencil)
+_NNZ_PER_ROW = 27.0
+#: bytes per exchanged boundary value (one double)
+_BYTES_PER_VALUE = 8.0
+
+
+@dataclass(frozen=True)
+class MiniFEConfig:
+    """Calibration constants (see EXPERIMENTS.md §calibration)."""
+
+    #: CPU cycles per nonzero in the SpMV (memory-bound ⇒ several cycles),
+    #: including the axpy/dot flops amortized per row
+    cycles_per_nnz: float = 14.0
+    cg_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        require_positive(self.cycles_per_nnz, "cycles_per_nnz")
+        require_positive(self.cg_iterations, "cg_iterations")
+
+
+class MiniFE(AppModel):
+    """miniFE with global brick dimensions nx = ny = nz."""
+
+    name = "miniFE"
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int | None = None,
+        nz: int | None = None,
+        config: MiniFEConfig | None = None,
+    ) -> None:
+        require_positive(nx, "nx")
+        self.nx = int(nx)
+        self.ny = int(ny) if ny is not None else self.nx
+        self.nz = int(nz) if nz is not None else self.nx
+        require_positive(self.ny, "ny")
+        require_positive(self.nz, "nz")
+        self.config = config or MiniFEConfig()
+
+    @property
+    def rows(self) -> int:
+        """Global unknown count: (nx+1)(ny+1)(nz+1) nodal values."""
+        return (self.nx + 1) * (self.ny + 1) * (self.nz + 1)
+
+    def recommended_tradeoff(self) -> TradeOff:
+        return MINIFE_TRADEOFF
+
+    # ------------------------------------------------------------------
+    def schedule(self, n_ranks: int) -> list[StepBlock]:
+        require_positive(n_ranks, "n_ranks")
+        cfg = self.config
+        dims = proc_grid(n_ranks)
+        px, py, pz = dims
+        rows_per_rank = self.rows / n_ranks
+        compute_gc = rows_per_rank * _NNZ_PER_ROW * cfg.cycles_per_nnz / 1e9
+
+        # Boundary faces of the local brick, one double per nodal value.
+        def face_mb(a: float, b: float) -> float:
+            return a * b * _BYTES_PER_VALUE / 1e6
+
+        fx = face_mb((self.ny + 1) / py, (self.nz + 1) / pz)
+        fy = face_mb((self.nx + 1) / px, (self.nz + 1) / pz)
+        fz = face_mb((self.nx + 1) / px, (self.ny + 1) / py)
+        spmv_halo = CommPhase.of(halo_messages(dims, (fx, fy, fz)))
+
+        dot = 8e-6  # one double, MB
+        iteration = StepDemand(
+            compute_gcycles=compute_gc,
+            phases=(spmv_halo,),
+            allreduce_mb=(dot, dot),
+        )
+        return [StepBlock(iteration, cfg.cg_iterations)]

@@ -1,0 +1,130 @@
+"""miniMD model — Mantevo's molecular-dynamics proxy (paper §5.1).
+
+miniMD performs Lennard-Jones MD with spatial decomposition: the cubic
+simulation box of ``s³`` unit cells (4 atoms each, fcc lattice — the
+paper's s = 8…48 spans "2K – 442K atoms", i.e. 4·s³) is split over a 3-D
+process grid.  Each timestep:
+
+* computes forces over the neighbour lists (≈ 76 pairs/atom at the
+  standard 2.5 σ cutoff);
+* exchanges ghost-atom positions with the six face neighbours (forward
+  communication) and force contributions back (reverse communication);
+* every ``reneighbor_every`` steps rebuilds neighbour lists and migrates
+  atoms (a heavier exchange);
+* every ``thermo_every`` steps reduces scalar thermodynamic output.
+
+The communication/computation split of this model lands in the paper's
+profiled 40–80 % communication-time band on a loaded Gigabit cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel, StepBlock, StepDemand
+from repro.apps.grid import halo_messages, proc_grid
+from repro.core.weights import MINIMD_TRADEOFF, TradeOff
+from repro.simmpi.costmodel import CommPhase
+from repro.util.validation import require_positive
+
+#: atoms per fcc unit cell
+_ATOMS_PER_CELL = 4
+#: average neighbour-list pairs per atom at 2.5 sigma cutoff
+_PAIRS_PER_ATOM = 76.0
+#: bytes exchanged per ghost atom (3 coordinate doubles)
+_BYTES_PER_ATOM = 24.0
+
+
+@dataclass(frozen=True)
+class MiniMDConfig:
+    """Calibration constants (see EXPERIMENTS.md §calibration)."""
+
+    #: CPU cycles per pair interaction, folding in neighbour-list and
+    #: integration overhead
+    cycles_per_pair: float = 55.0
+    #: ghost-shell thickness in unit cells (cutoff 2.5 sigma ≈ 1.5 cells)
+    ghost_cells: float = 1.5
+    timesteps: int = 1000
+    reneighbor_every: int = 20
+    thermo_every: int = 10
+
+    def __post_init__(self) -> None:
+        require_positive(self.cycles_per_pair, "cycles_per_pair")
+        require_positive(self.ghost_cells, "ghost_cells")
+        require_positive(self.timesteps, "timesteps")
+        require_positive(self.reneighbor_every, "reneighbor_every")
+        require_positive(self.thermo_every, "thermo_every")
+
+
+class MiniMD(AppModel):
+    """miniMD with problem size ``s`` (box edge, unit cells)."""
+
+    name = "miniMD"
+
+    def __init__(self, s: int, config: MiniMDConfig | None = None) -> None:
+        require_positive(s, "s")
+        self.s = int(s)
+        self.config = config or MiniMDConfig()
+
+    @property
+    def atoms(self) -> int:
+        """Total atom count: 4·s³ (fcc lattice)."""
+        return _ATOMS_PER_CELL * self.s**3
+
+    def recommended_tradeoff(self) -> TradeOff:
+        return MINIMD_TRADEOFF
+
+    # ------------------------------------------------------------------
+    def schedule(self, n_ranks: int) -> list[StepBlock]:
+        require_positive(n_ranks, "n_ranks")
+        cfg = self.config
+        dims = proc_grid(n_ranks)
+        atoms_per_rank = self.atoms / n_ranks
+        compute_gc = atoms_per_rank * _PAIRS_PER_ATOM * cfg.cycles_per_pair / 1e9
+
+        # Face ghost volumes: local sub-box is (s/px, s/py, s/pz) cells; a
+        # face perpendicular to x carries ghost_cells * (s/py)*(s/pz)
+        # cells' worth of atoms.
+        px, py, pz = dims
+        def face_mb(a: float, b: float) -> float:
+            cells = cfg.ghost_cells * a * b
+            return cells * _ATOMS_PER_CELL * _BYTES_PER_ATOM / 1e6
+
+        fx = face_mb(self.s / py, self.s / pz)
+        fy = face_mb(self.s / px, self.s / pz)
+        fz = face_mb(self.s / px, self.s / py)
+        halo = halo_messages(dims, (fx, fy, fz))
+        # Forward (positions out) + reverse (forces back) each step.
+        exchange = CommPhase.of(halo)
+        base_phases = (exchange, exchange)
+        # Reneighbouring migrates atoms and rebuilds the full ghost shell:
+        # roughly 3x the face traffic.
+        heavy = CommPhase.of(
+            [m.__class__(m.src_rank, m.dst_rank, 3.0 * m.volume_mb) for m in halo]
+        )
+
+        thermo = 8e-6  # one double, MB
+
+        blocks: list[StepBlock] = []
+        plain = StepDemand(compute_gcycles=compute_gc, phases=base_phases)
+        plain_thermo = StepDemand(
+            compute_gcycles=compute_gc, phases=base_phases, allreduce_mb=(thermo,)
+        )
+        reneigh = StepDemand(
+            compute_gcycles=compute_gc * 1.15,  # list rebuild costs ~15 %
+            phases=(exchange, exchange, heavy),
+            allreduce_mb=(thermo,),
+        )
+        cycle = cfg.reneighbor_every
+        n_cycles, leftover = divmod(cfg.timesteps, cycle)
+        thermo_per_cycle = max(1, cycle // cfg.thermo_every)
+        plain_per_cycle = cycle - 1 - (thermo_per_cycle - 1)
+        for _ in range(n_cycles):
+            if plain_per_cycle > 0:
+                blocks.append(StepBlock(plain, plain_per_cycle))
+            if thermo_per_cycle > 1:
+                blocks.append(StepBlock(plain_thermo, thermo_per_cycle - 1))
+            blocks.append(StepBlock(reneigh, 1))
+        if leftover:
+            blocks.append(StepBlock(plain, leftover))
+        return blocks

@@ -1,0 +1,78 @@
+"""Generic 3-D Jacobi stencil application (extension beyond the paper).
+
+A tunable proxy whose compute/communication ratio can be swept — useful
+for the α/β sensitivity ablation: the right trade-off for a stencil
+depends directly on its ``flops_per_cell`` and grid size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel, StepBlock, StepDemand
+from repro.apps.grid import halo_messages, proc_grid
+from repro.core.weights import TradeOff
+from repro.simmpi.costmodel import CommPhase
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """Tunables of the generic stencil."""
+
+    cycles_per_cell: float = 40.0
+    iterations: int = 500
+    bytes_per_cell: float = 8.0
+    #: allreduce (residual check) every this many iterations
+    reduce_every: int = 10
+
+    def __post_init__(self) -> None:
+        require_positive(self.cycles_per_cell, "cycles_per_cell")
+        require_positive(self.iterations, "iterations")
+        require_positive(self.bytes_per_cell, "bytes_per_cell")
+        require_positive(self.reduce_every, "reduce_every")
+
+
+class Stencil3D(AppModel):
+    """7-point Jacobi relaxation on an ``n³`` grid."""
+
+    name = "stencil3d"
+
+    def __init__(self, n: int, config: StencilConfig | None = None) -> None:
+        require_positive(n, "n")
+        self.n = int(n)
+        self.config = config or StencilConfig()
+
+    def recommended_tradeoff(self) -> TradeOff:
+        # Stencils sit between miniMD and miniFE in communication volume.
+        return TradeOff(alpha=0.35, beta=0.65)
+
+    def schedule(self, n_ranks: int) -> list[StepBlock]:
+        require_positive(n_ranks, "n_ranks")
+        cfg = self.config
+        dims = proc_grid(n_ranks)
+        px, py, pz = dims
+        cells_per_rank = self.n**3 / n_ranks
+        compute_gc = cells_per_rank * cfg.cycles_per_cell / 1e9
+
+        def face_mb(a: float, b: float) -> float:
+            return a * b * cfg.bytes_per_cell / 1e6
+
+        fx = face_mb(self.n / py, self.n / pz)
+        fy = face_mb(self.n / px, self.n / pz)
+        fz = face_mb(self.n / px, self.n / py)
+        halo = CommPhase.of(halo_messages(dims, (fx, fy, fz)))
+
+        plain = StepDemand(compute_gcycles=compute_gc, phases=(halo,))
+        with_reduce = StepDemand(
+            compute_gcycles=compute_gc, phases=(halo,), allreduce_mb=(8e-6,)
+        )
+        blocks: list[StepBlock] = []
+        cycles, leftover = divmod(cfg.iterations, cfg.reduce_every)
+        for _ in range(cycles):
+            if cfg.reduce_every > 1:
+                blocks.append(StepBlock(plain, cfg.reduce_every - 1))
+            blocks.append(StepBlock(with_reduce, 1))
+        if leftover:
+            blocks.append(StepBlock(plain, leftover))
+        return blocks

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on a freshly built simulated paper cluster (seeded, so
+every invocation is reproducible):
+
+* ``allocate`` — request nodes and print an MPICH-style hostfile;
+* ``simulate`` — allocate and price a miniMD/miniFE/stencil run;
+* ``compare``  — the §5 four-policy comparison at one configuration;
+* ``trace``    — record cluster resource usage to CSV (Figure 1 data);
+* ``report``   — regenerate a figure/table of the paper by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.base import AppModel
+from repro.apps.fft import FFT3D
+from repro.apps.minife import MiniFE
+from repro.apps.minimd import MiniMD
+from repro.apps.stencil import Stencil3D
+from repro.core.policies import AllocationRequest
+from repro.core.weights import TradeOff
+from repro.experiments.runner import POLICY_ORDER, compare_policies
+from repro.experiments.scenario import paper_scenario
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+
+APPS = {"minimd": MiniMD, "minife": MiniFE, "stencil": Stencil3D, "fft": FFT3D}
+
+
+def make_app(name: str, size: int) -> AppModel:
+    try:
+        return APPS[name](size)
+    except KeyError:
+        raise SystemExit(f"unknown app {name!r}; choose from {sorted(APPS)}")
+
+
+def add_scenario_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0, help="simulation seed")
+    p.add_argument(
+        "--warmup-min", type=float, default=30.0,
+        help="background warm-up before acting (simulated minutes)",
+    )
+
+
+def add_request_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-n", "--procs", type=int, default=32)
+    p.add_argument("--ppn", type=int, default=4, help="processes per node")
+    p.add_argument(
+        "--alpha", type=float, default=0.3,
+        help="compute weight (beta = 1 - alpha weighs the network)",
+    )
+
+
+def build_request(args: argparse.Namespace) -> AllocationRequest:
+    return AllocationRequest(
+        n_processes=args.procs,
+        ppn=args.ppn,
+        tradeoff=TradeOff.from_alpha(args.alpha),
+    )
+
+
+def cmd_allocate(args: argparse.Namespace) -> int:
+    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    broker = sc.broker()
+    result = broker.request(
+        build_request(args),
+        rng=sc.streams.child("cli"),
+        policy=args.policy,
+    )
+    alloc = result.allocation
+    print(f"# policy={alloc.policy} overhead={result.overhead_ms:.2f}ms")
+    sys.stdout.write(alloc.hostfile())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    broker = sc.broker()
+    app = make_app(args.app, args.size)
+    result = broker.request(
+        build_request(args),
+        rng=sc.streams.child("cli"),
+        policy=args.policy,
+    )
+    report = SimJob(
+        app,
+        Placement.from_allocation(result.allocation),
+        sc.cluster,
+        sc.network,
+    ).run()
+    print(f"app={report.app} ranks={report.n_ranks} "
+          f"nodes={len(report.nodes)} policy={result.allocation.policy}")
+    print(f"time={report.total_time_s:.3f}s "
+          f"compute={report.compute_time_s:.3f}s "
+          f"comm={report.comm_time_s:.3f}s "
+          f"({report.comm_fraction * 100:.0f}% communication)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    app = make_app(args.app, args.size)
+    comparison = compare_policies(
+        sc, app, build_request(args), rng=sc.streams.child("cli")
+    )
+    print(f"{'policy':>20s}  {'time (s)':>9s}  {'nodes':>5s}")
+    for name in POLICY_ORDER:
+        run = comparison.runs[name]
+        print(f"{name:>20s}  {run.time_s:9.3f}  {run.allocation.n_nodes:5d}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workload.traces import TraceRecorder
+
+    sc = paper_scenario(seed=args.seed, warmup_s=0.0, with_monitoring=False)
+    rec = TraceRecorder(sc.engine, sc.cluster, period_s=args.period_s)
+    sc.engine.run(args.hours * 3600.0)
+    trace = rec.finish()
+    text = trace.to_csv(args.output)
+    if args.output:
+        print(f"wrote {len(trace.times)} samples x {len(trace.nodes)} nodes "
+              f"to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(v) for v in text.split(",") if v)
+    except ValueError:
+        raise SystemExit(f"expected comma-separated integers, got {text!r}")
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import figures, tables
+
+    grid_kwargs: dict = {"seed": args.seed, "repeats": args.repeats}
+    if args.procs:
+        grid_kwargs["proc_counts"] = _int_list(args.procs)
+    if args.sizes:
+        grid_kwargs["sizes"] = _int_list(args.sizes)
+
+    name = args.artifact
+    if name == "fig1":
+        print(figures.fig1(seed=args.seed, hours=args.hours).render())
+    elif name == "fig2":
+        print(figures.fig2(seed=args.seed).render())
+    elif name in ("fig4", "fig5", "table2"):
+        grid = figures.fig4(**grid_kwargs)
+        if name == "fig4":
+            print(figures.render_fig4(grid))
+        elif name == "fig5":
+            print(figures.render_fig5(figures.fig5(grid)))
+        else:
+            print(tables.table2(grid).render(table_no=2))
+    elif name in ("fig6", "table3"):
+        grid = figures.fig6(**grid_kwargs)
+        if name == "fig6":
+            print(figures.render_fig6(grid))
+        else:
+            print(tables.table3(grid).render(table_no=3))
+    elif name == "table4":
+        print(tables.table4(seed=args.seed).render())
+    elif name == "fig7":
+        print(figures.fig7(seed=args.seed).render())
+    else:
+        raise SystemExit(f"unknown artifact {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Network and load-aware resource manager (ICPP'20 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("allocate", help="print a hostfile for a request")
+    add_scenario_args(p)
+    add_request_args(p)
+    p.add_argument("--policy", default="network_load_aware")
+    p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("simulate", help="allocate and price an app run")
+    add_scenario_args(p)
+    add_request_args(p)
+    p.add_argument("--policy", default="network_load_aware")
+    p.add_argument("--app", default="minimd", choices=sorted(APPS))
+    p.add_argument("--size", type=int, default=16,
+                   help="problem size (s for miniMD, nx for miniFE, n for stencil)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="run all four §5 policies once")
+    add_scenario_args(p)
+    add_request_args(p)
+    p.add_argument("--app", default="minimd", choices=sorted(APPS))
+    p.add_argument("--size", type=int, default=16)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("trace", help="record resource usage to CSV")
+    add_scenario_args(p)
+    p.add_argument("--hours", type=float, default=24.0)
+    p.add_argument("--period-s", type=float, default=300.0)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("report", help="regenerate a paper figure/table")
+    add_scenario_args(p)
+    p.add_argument(
+        "artifact",
+        choices=["fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+                 "table2", "table3", "table4"],
+    )
+    p.add_argument("--hours", type=float, default=48.0)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--procs", default=None,
+        help="comma-separated process counts for grid artifacts "
+             "(default: the paper's)",
+    )
+    p.add_argument(
+        "--sizes", default=None,
+        help="comma-separated problem sizes for grid artifacts",
+    )
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Cluster description substrate: node specs, states, and switch topology."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeSpec, NodeState
+from repro.cluster.topology import SwitchTopology, paper_cluster, uniform_cluster
+
+__all__ = [
+    "Cluster",
+    "NodeSpec",
+    "NodeState",
+    "SwitchTopology",
+    "paper_cluster",
+    "uniform_cluster",
+]

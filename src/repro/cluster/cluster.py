@@ -1,0 +1,104 @@
+"""The :class:`Cluster` container: specs, topology, and live node states."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.cluster.node import NodeSpec, NodeState
+from repro.cluster.topology import SwitchTopology
+
+
+class Cluster:
+    """A shared compute cluster: static specs + mutable per-node state.
+
+    This is the ground-truth object the simulator evolves.  The monitoring
+    subsystem *observes* it (possibly with staleness); the allocator only
+    ever sees monitor snapshots, never this object directly — exactly the
+    information boundary of the paper's architecture (Figure 3).
+    """
+
+    def __init__(self, specs: Sequence[NodeSpec], topology: SwitchTopology) -> None:
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate node names: {dupes}")
+        topo_nodes = set(topology.nodes)
+        spec_nodes = set(names)
+        if topo_nodes != spec_nodes:
+            missing = sorted(spec_nodes - topo_nodes)
+            extra = sorted(topo_nodes - spec_nodes)
+            raise ValueError(
+                f"specs/topology mismatch: missing from topology {missing}, "
+                f"extra in topology {extra}"
+            )
+        for spec in specs:
+            if topology.switch_of(spec.name) != spec.switch:
+                raise ValueError(
+                    f"node {spec.name}: spec says switch {spec.switch!r} but "
+                    f"topology says {topology.switch_of(spec.name)!r}"
+                )
+        self._specs: dict[str, NodeSpec] = {s.name: s for s in specs}
+        self._topology = topology
+        self._states: dict[str, NodeState] = {s.name: NodeState() for s in specs}
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> SwitchTopology:
+        return self._topology
+
+    @property
+    def names(self) -> list[str]:
+        """Node names in spec order."""
+        return list(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def spec(self, name: str) -> NodeSpec:
+        """Static spec of ``name``."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def state(self, name: str) -> NodeState:
+        """Mutable dynamic state of ``name`` (ground truth)."""
+        try:
+            return self._states[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def specs(self) -> Mapping[str, NodeSpec]:
+        """Read-only view of all specs."""
+        return dict(self._specs)
+
+    def set_state(self, name: str, state: NodeState) -> None:
+        """Replace the dynamic state of ``name``."""
+        if name not in self._specs:
+            raise KeyError(f"unknown node {name!r}")
+        state.validate()
+        self._states[name] = state
+
+    # ------------------------------------------------------------------
+    def up_nodes(self) -> list[str]:
+        """Names of nodes currently up (ground truth, not monitor view)."""
+        return [n for n in self._specs if self._states[n].up]
+
+    def total_cores(self, names: Iterable[str] | None = None) -> int:
+        """Sum of logical cores over ``names`` (default: whole cluster)."""
+        selected = self.names if names is None else list(names)
+        return sum(self.spec(n).cores for n in selected)
+
+    def mark_down(self, name: str) -> None:
+        """Take a node down (fails pings; excluded from livehosts)."""
+        self.state(name).up = False
+
+    def mark_up(self, name: str) -> None:
+        """Bring a node back up."""
+        self.state(name).up = True

@@ -1,0 +1,87 @@
+"""Node attribute registry — Table 1 of the paper.
+
+Each attribute has an *optimization criterion*: ``minimize`` (low is good:
+CPU load, CPU utilization, data-flow rate, current users) or ``maximize``
+(high is good: core count, frequency, total/available memory).  Dynamic
+attributes blend the 1/5/15-minute running means so that spiky
+instantaneous readings don't dominate the decision, matching the paper's
+"running mean of the last 1, 5, and 15 minutes ... allows our allocator
+to make a more informed selection".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.monitor.snapshot import NodeView
+
+
+class Criterion(enum.Enum):
+    """Whether lower or higher values make a node preferable."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+def _blend(stats: Mapping[str, float]) -> float:
+    """Average the 1/5/15-minute means of a dynamic attribute."""
+    return (stats["m1"] + stats["m5"] + stats["m15"]) / 3.0
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One row of Table 1: name, criterion, and a NodeView extractor."""
+
+    name: str
+    criterion: Criterion
+    extract: Callable[[NodeView], float]
+    static: bool = False
+
+
+#: The full Table 1 registry, in the paper's order.
+ATTRIBUTES: tuple[Attribute, ...] = (
+    Attribute("core_count", Criterion.MAXIMIZE, lambda v: float(v.cores), static=True),
+    Attribute(
+        "cpu_frequency",
+        Criterion.MAXIMIZE,
+        lambda v: float(v.frequency_ghz),
+        static=True,
+    ),
+    Attribute(
+        "total_memory", Criterion.MAXIMIZE, lambda v: float(v.memory_gb), static=True
+    ),
+    Attribute("users", Criterion.MINIMIZE, lambda v: float(v.users)),
+    Attribute("cpu_load", Criterion.MINIMIZE, lambda v: _blend(v.cpu_load)),
+    Attribute("cpu_util", Criterion.MINIMIZE, lambda v: _blend(v.cpu_util)),
+    Attribute(
+        "flow_rate", Criterion.MINIMIZE, lambda v: _blend(v.flow_rate_mbs)
+    ),
+    Attribute(
+        "available_memory",
+        Criterion.MAXIMIZE,
+        lambda v: _blend(v.available_memory_gb),
+    ),
+)
+
+ATTRIBUTE_NAMES: tuple[str, ...] = tuple(a.name for a in ATTRIBUTES)
+
+_BY_NAME: dict[str, Attribute] = {a.name: a for a in ATTRIBUTES}
+
+
+def get_attribute(name: str) -> Attribute:
+    """Look up an attribute by name; raises ``KeyError`` with choices."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attribute {name!r}; choose from {ATTRIBUTE_NAMES}"
+        ) from None
+
+
+def extract_matrix(views: Mapping[str, NodeView]) -> dict[str, dict[str, float]]:
+    """Raw attribute values: ``{attribute: {node: value}}``."""
+    return {
+        a.name: {n: a.extract(v) for n, v in views.items()} for a in ATTRIBUTES
+    }

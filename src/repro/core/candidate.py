@@ -1,0 +1,129 @@
+"""Candidate generation — Algorithm 1 of the paper.
+
+For a starting node ``v``, every other node ``u`` gets an *addition cost*
+``A_v(u) = α·CL(u) + β·NL(v, u)`` (and ``A_v(v) = 0``).  Nodes are added
+in increasing addition cost until the requested process count is covered
+by effective processor counts; any shortfall after exhausting the cluster
+is assigned round-robin over the selected nodes.
+
+Complexity is O(V log V) per candidate, O(V² log V) for all |V|
+candidates — the figures given in §3.3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.network_load import PairKey
+from repro.core.weights import TradeOff
+
+
+@dataclass(frozen=True)
+class CandidateSubgraph:
+    """A candidate node group grown from ``start``.
+
+    ``procs`` maps each selected node to the process count it would host;
+    its values sum to the requested ``n``.
+    """
+
+    start: str
+    nodes: tuple[str, ...]
+    procs: Mapping[str, int]
+
+    @property
+    def total_procs(self) -> int:
+        return sum(self.procs.values())
+
+
+def addition_costs(
+    start: str,
+    nodes: Sequence[str],
+    compute_load: Mapping[str, float],
+    network_load: Mapping[PairKey, float],
+    tradeoff: TradeOff,
+    *,
+    missing_penalty: float | None = None,
+) -> dict[str, float]:
+    """``A_v(u)`` for every node (``A_v(v) = 0`` per Algorithm 1 line 4)."""
+    if start not in nodes:
+        raise ValueError(f"start node {start!r} not among candidates")
+    if missing_penalty is None:
+        missing_penalty = max(network_load.values()) if network_load else 0.0
+    costs: dict[str, float] = {}
+    for u in nodes:
+        if u == start:
+            costs[u] = 0.0
+            continue
+        key = (start, u) if start <= u else (u, start)
+        nl = network_load.get(key, missing_penalty)
+        costs[u] = tradeoff.alpha * compute_load[u] + tradeoff.beta * nl
+    return costs
+
+
+def generate_candidate(
+    start: str,
+    nodes: Sequence[str],
+    compute_load: Mapping[str, float],
+    network_load: Mapping[PairKey, float],
+    effective_procs: Mapping[str, int],
+    n_processes: int,
+    tradeoff: TradeOff,
+) -> CandidateSubgraph:
+    """Algorithm 1: grow the candidate sub-graph for ``start``."""
+    if n_processes <= 0:
+        raise ValueError(f"n_processes must be positive, got {n_processes}")
+    for u in nodes:
+        if u not in compute_load:
+            raise KeyError(f"no compute load for node {u!r}")
+        if u not in effective_procs:
+            raise KeyError(f"no effective proc count for node {u!r}")
+
+    costs = addition_costs(start, nodes, compute_load, network_load, tradeoff)
+    # Stable sort: ties break on node order, keeping runs deterministic.
+    order = sorted(nodes, key=lambda u: (costs[u], u != start))
+
+    selected: list[str] = []
+    procs: dict[str, int] = {}
+    allocated = 0
+    for u in order:
+        if allocated >= n_processes:
+            break
+        take = min(max(effective_procs[u], 0), n_processes - allocated)
+        selected.append(u)
+        procs[u] = take
+        allocated += take
+    # Lines 12-13: cluster exhausted — round-robin the remainder over the
+    # selected nodes (oversubscription).
+    if allocated < n_processes:
+        if not selected:
+            raise ValueError("no nodes available to allocate on")
+        i = 0
+        while allocated < n_processes:
+            u = selected[i % len(selected)]
+            procs[u] = procs.get(u, 0) + 1
+            allocated += 1
+            i += 1
+    # Drop nodes that ended up contributing zero processes (fully loaded
+    # nodes selected early can have pc=0).
+    final = [u for u in selected if procs.get(u, 0) > 0]
+    procs = {u: procs[u] for u in final}
+    return CandidateSubgraph(start=start, nodes=tuple(final), procs=procs)
+
+
+def generate_all_candidates(
+    nodes: Sequence[str],
+    compute_load: Mapping[str, float],
+    network_load: Mapping[PairKey, float],
+    effective_procs: Mapping[str, int],
+    n_processes: int,
+    tradeoff: TradeOff,
+) -> list[CandidateSubgraph]:
+    """One candidate per possible starting node (the set ``C`` of §3.3.2)."""
+    return [
+        generate_candidate(
+            v, nodes, compute_load, network_load, effective_procs,
+            n_processes, tradeoff,
+        )
+        for v in nodes
+    ]

@@ -1,0 +1,53 @@
+"""Compute load — Equation 1 of the paper.
+
+``CL_v = Σ_{a ∈ attributes} w_a · val_va`` where ``val_va`` is node ``v``'s
+normalized, unidirectionalized (cost-direction) value of attribute ``a``.
+Lower ``CL_v`` means the node is more attractive for new work.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.attributes import ATTRIBUTES, extract_matrix
+from repro.core.normalization import to_cost
+from repro.core.saw import saw_scores
+from repro.core.weights import ComputeWeights
+from repro.monitor.snapshot import ClusterSnapshot, NodeView
+
+
+def attribute_costs(
+    views: Mapping[str, NodeView], *, method: str = "mean"
+) -> dict[str, dict[str, float]]:
+    """Per-attribute normalized costs (the ``val_va`` of Equation 1)."""
+    raw = extract_matrix(views)
+    return {
+        a.name: to_cost(raw[a.name], a.criterion, method=method)
+        for a in ATTRIBUTES
+    }
+
+
+def compute_loads(
+    snapshot: ClusterSnapshot,
+    weights: ComputeWeights | None = None,
+    *,
+    nodes: list[str] | None = None,
+    method: str = "mean",
+) -> dict[str, float]:
+    """``CL_v`` for every node in the snapshot (or the given subset).
+
+    Normalization is performed over exactly the node set being ranked,
+    as the paper does (values are divided by the sum across all
+    candidate nodes).
+    """
+    weights = weights or ComputeWeights()
+    views = snapshot.nodes
+    if nodes is not None:
+        missing = [n for n in nodes if n not in views]
+        if missing:
+            raise KeyError(f"nodes absent from snapshot: {missing}")
+        views = {n: views[n] for n in nodes}
+    if not views:
+        return {}
+    costs = attribute_costs(views, method=method)
+    return saw_scores(costs, dict(weights.weights))

@@ -1,0 +1,85 @@
+"""Normalization and unidirectionalization of attribute values (§3.2.1).
+
+The paper: "First, the attribute values of each node are normalized by
+dividing the value by the sum of attribute values of all nodes.  Then, we
+convert all the attributes in unidirectional units (same sign).  This is
+done by complementing (with respect to the maximum value) for attributes
+having maximization criterion."
+
+After this transform, *every* attribute is a cost: lower is better.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.attributes import Criterion
+
+
+def sum_normalize(values: Mapping[str, float]) -> dict[str, float]:
+    """Divide each value by the sum over all nodes.
+
+    An all-zero (or empty) attribute normalizes to all zeros — such an
+    attribute carries no ranking information.
+    """
+    total = sum(values.values())
+    if total == 0:
+        return {k: 0.0 for k in values}
+    return {k: v / total for k, v in values.items()}
+
+
+def mean_normalize(values: Mapping[str, float]) -> dict[str, float]:
+    """Divide each value by the mean over all nodes (average becomes 1).
+
+    Ranking-equivalent to :func:`sum_normalize` (they differ by the
+    constant factor N), but the result's scale is independent of how many
+    items were normalized.  This matters when mixing quantities
+    normalized over sets of very different cardinality: the paper's
+    Equation-1 compute load is normalized over |V| nodes while the
+    Equation-2 network load is normalized over |V|(|V|−1)/2 pairs, so a
+    literal sum-normalization makes the network term ~|V|/2 times smaller
+    than the compute term and α/β loses its advertised meaning.  Mean
+    normalization restores comparability while leaving each equation's
+    internal ranking untouched; see DESIGN.md "Known deviations".
+    """
+    if not values:
+        return {}
+    mean = sum(values.values()) / len(values)
+    if mean == 0:
+        return {k: 0.0 for k in values}
+    return {k: v / mean for k, v in values.items()}
+
+
+#: normalization methods selectable throughout the core package
+NORMALIZERS = {"sum": sum_normalize, "mean": mean_normalize}
+
+
+def complement_to_max(values: Mapping[str, float]) -> dict[str, float]:
+    """Flip a maximization attribute into a cost: ``max(vals) - val``."""
+    if not values:
+        return {}
+    top = max(values.values())
+    return {k: top - v for k, v in values.items()}
+
+
+def to_cost(
+    values: Mapping[str, float],
+    criterion: Criterion,
+    *,
+    method: str = "mean",
+) -> dict[str, float]:
+    """Full §3.2.1 transform: normalize, then complement if maximizing.
+
+    ``method`` selects ``"mean"`` (default; see :func:`mean_normalize`)
+    or ``"sum"`` (the paper's literal wording).
+    """
+    try:
+        normalize = NORMALIZERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown normalization {method!r}; choose from {sorted(NORMALIZERS)}"
+        ) from None
+    normalized = normalize(values)
+    if criterion is Criterion.MAXIMIZE:
+        return complement_to_max(normalized)
+    return normalized

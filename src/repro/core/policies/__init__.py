@@ -1,0 +1,38 @@
+"""Allocation policies: the paper's heuristic plus all §5 baselines."""
+
+from repro.core.policies.base import (
+    Allocation,
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+    distribute,
+)
+from repro.core.policies.brute_force import BruteForcePolicy
+from repro.core.policies.hierarchical import HierarchicalNetworkLoadAwarePolicy
+from repro.core.policies.load_aware import LoadAwarePolicy
+from repro.core.policies.network_load_aware import NetworkLoadAwarePolicy
+from repro.core.policies.random_policy import RandomPolicy
+from repro.core.policies.sequential import SequentialPolicy
+
+#: The four policies evaluated in §5, keyed by their table names.
+PAPER_POLICIES: dict[str, type[AllocationPolicy]] = {
+    "random": RandomPolicy,
+    "sequential": SequentialPolicy,
+    "load_aware": LoadAwarePolicy,
+    "network_load_aware": NetworkLoadAwarePolicy,
+}
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "AllocationPolicy",
+    "AllocationRequest",
+    "distribute",
+    "BruteForcePolicy",
+    "HierarchicalNetworkLoadAwarePolicy",
+    "LoadAwarePolicy",
+    "NetworkLoadAwarePolicy",
+    "RandomPolicy",
+    "SequentialPolicy",
+    "PAPER_POLICIES",
+]

@@ -1,0 +1,271 @@
+"""Hierarchical network-and-load-aware allocation (§3.3.2 / §6 extension).
+
+The paper: "our solution may need to be adapted for larger scale by
+grouping the nodes based on cluster topology and calculating inter-group
+bandwidth/latency so that P2P bandwidth/latency calculation requires less
+amount of communication."
+
+This policy implements that adaptation:
+
+1. group nodes by their leaf switch;
+2. summarize each group by its members' compute loads and the group's
+   average intra-pair network load, and each group pair by the average
+   network load over measured cross pairs (O(G²) summaries instead of
+   O(V²) pairs at decision time);
+3. run the greedy candidate generation *over groups* — one candidate per
+   starting group, grown by minimal α/β-weighted addition cost;
+4. fill the process request from the chosen groups' least-loaded nodes.
+
+Complexity is O(G² log G + V log V) per allocation versus the flat
+algorithm's O(V² log V); quality on switch-structured clusters is close
+(see ``benchmarks/bench_ablation_hierarchical.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.compute_load import compute_loads
+from repro.core.effective_procs import effective_proc_counts
+from repro.core.network_load import PairKey, network_loads
+from repro.core.policies.base import (
+    Allocation,
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+)
+from repro.core.weights import TradeOff
+from repro.monitor.snapshot import ClusterSnapshot
+
+
+@dataclass(frozen=True)
+class GroupSummary:
+    """Aggregated view of one topology group (leaf switch)."""
+
+    name: str
+    nodes: tuple[str, ...]
+    mean_compute_load: float
+    intra_network_load: float
+    capacity: int
+
+
+def summarize_groups(
+    groups: Mapping[str, Sequence[str]],
+    cl: Mapping[str, float],
+    nl: Mapping[PairKey, float],
+    pc: Mapping[str, int],
+) -> tuple[dict[str, GroupSummary], dict[tuple[str, str], float]]:
+    """Build per-group and per-group-pair summaries."""
+    worst_nl = max(nl.values()) if nl else 0.0
+    summaries: dict[str, GroupSummary] = {}
+    for gname, members in groups.items():
+        members = tuple(members)
+        if not members:
+            continue
+        intra_pairs = [
+            nl.get((a, b) if a <= b else (b, a), worst_nl)
+            for a, b in itertools.combinations(members, 2)
+        ]
+        summaries[gname] = GroupSummary(
+            name=gname,
+            nodes=members,
+            mean_compute_load=float(np.mean([cl[m] for m in members])),
+            intra_network_load=float(np.mean(intra_pairs)) if intra_pairs else 0.0,
+            capacity=int(sum(max(pc[m], 0) for m in members)),
+        )
+    cross: dict[tuple[str, str], float] = {}
+    names = sorted(summaries)
+    for ga, gb in itertools.combinations(names, 2):
+        vals = [
+            nl.get((a, b) if a <= b else (b, a), worst_nl)
+            for a in summaries[ga].nodes
+            for b in summaries[gb].nodes
+        ]
+        cross[(ga, gb)] = float(np.mean(vals)) if vals else worst_nl
+    return summaries, cross
+
+
+class HierarchicalNetworkLoadAwarePolicy(AllocationPolicy):
+    """Group-granular variant of the paper's heuristic."""
+
+    name = "hierarchical_network_load_aware"
+
+    def __init__(self, *, load_key: str = "m1") -> None:
+        self.load_key = load_key
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        snapshot: ClusterSnapshot,
+        request: AllocationRequest,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Allocation:
+        usable = self._usable_nodes(snapshot)
+        cl = compute_loads(snapshot, request.compute_weights, nodes=usable)
+        nl = network_loads(snapshot, request.network_weights, nodes=usable)
+        pc_all = effective_proc_counts(
+            snapshot, ppn=request.ppn, load_key=self.load_key
+        )
+        pc = {n: pc_all[n] for n in usable}
+
+        groups = self._groups_from_network(snapshot, usable)
+        summaries, cross = summarize_groups(groups, cl, nl, pc)
+        if not summaries:
+            raise AllocationError("no topology groups with usable nodes")
+
+        best_groups = self._select_groups(
+            summaries, cross, request.n_processes, request.tradeoff
+        )
+        nodes, procs = self._fill_from_groups(
+            best_groups, summaries, cl, pc, request.n_processes
+        )
+        return Allocation(
+            policy=self.name,
+            nodes=tuple(nodes),
+            procs=procs,
+            request=request,
+            snapshot_time=snapshot.time,
+            metadata={"groups_used": float(len(best_groups))},
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _groups_from_network(
+        snapshot: ClusterSnapshot, usable: Sequence[str]
+    ) -> dict[str, list[str]]:
+        """Topology groups: reported leaf switch, else inferred.
+
+        The monitor knows each node's switch statically (the paper's
+        "grouping the nodes based on cluster topology"); when every view
+        carries it, group by switch directly.  Views lacking topology
+        info fall back to clustering by peak-bandwidth adjacency: pairs
+        achieving the global top peak are assumed co-located.  This
+        fallback degenerates (one big group) on clusters whose uplinks
+        are not the peak bottleneck — switch labels are the reliable
+        source.
+        """
+        switches = {n: snapshot.nodes[n].switch for n in usable}
+        if all(sw is not None for sw in switches.values()):
+            groups: dict[str, list[str]] = {}
+            for n in usable:
+                groups.setdefault(f"switch:{switches[n]}", []).append(n)
+            return groups
+        # Union-find over pairs achieving the global peak bandwidth.
+        parent = {n: n for n in usable}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        peaks = [
+            snapshot.peak_bandwidth_mbs.get((a, b) if a <= b else (b, a))
+            for a, b in itertools.combinations(usable, 2)
+        ]
+        peaks = [p for p in peaks if p is not None]
+        if peaks:
+            top = max(peaks)
+            for a, b in itertools.combinations(usable, 2):
+                key = (a, b) if a <= b else (b, a)
+                if snapshot.peak_bandwidth_mbs.get(key) == top:
+                    union(a, b)
+        groups: dict[str, list[str]] = {}
+        for n in usable:
+            groups.setdefault(f"group:{find(n)}", []).append(n)
+        return groups
+
+    @staticmethod
+    def _select_groups(
+        summaries: Mapping[str, GroupSummary],
+        cross: Mapping[tuple[str, str], float],
+        n_processes: int,
+        tradeoff: TradeOff,
+    ) -> list[str]:
+        """Greedy candidate generation at group granularity."""
+        names = sorted(summaries)
+        worst_cross = max(cross.values()) if cross else 0.0
+
+        def pair_load(a: str, b: str) -> float:
+            key = (a, b) if a <= b else (b, a)
+            return cross.get(key, worst_cross)
+
+        best: list[str] | None = None
+        best_cost = float("inf")
+        for start in names:
+            chosen = [start]
+            capacity = summaries[start].capacity
+            cost = (
+                tradeoff.alpha * summaries[start].mean_compute_load
+                + tradeoff.beta * summaries[start].intra_network_load
+            )
+            remaining = [g for g in names if g != start]
+            while capacity < n_processes and remaining:
+                def addition(g: str) -> float:
+                    link = float(
+                        np.mean([pair_load(g, c) for c in chosen])
+                    )
+                    return (
+                        tradeoff.alpha * summaries[g].mean_compute_load
+                        + tradeoff.beta
+                        * (summaries[g].intra_network_load + link) / 2.0
+                    )
+
+                nxt = min(remaining, key=lambda g: (addition(g), g))
+                chosen.append(nxt)
+                capacity += summaries[nxt].capacity
+                cost += addition(nxt)
+                remaining.remove(nxt)
+            if capacity >= n_processes or not remaining:
+                normalized = cost / len(chosen)
+                if normalized < best_cost:
+                    best_cost = normalized
+                    best = chosen
+        if best is None:  # pragma: no cover - defensive
+            raise AllocationError("group selection failed")
+        return best
+
+    @staticmethod
+    def _fill_from_groups(
+        group_names: Sequence[str],
+        summaries: Mapping[str, GroupSummary],
+        cl: Mapping[str, float],
+        pc: Mapping[str, int],
+        n_processes: int,
+    ) -> tuple[list[str], dict[str, int]]:
+        """Take the least-loaded nodes of the chosen groups, in order."""
+        nodes: list[str] = []
+        procs: dict[str, int] = {}
+        allocated = 0
+        for gname in group_names:
+            for node in sorted(
+                summaries[gname].nodes, key=lambda n: (cl[n], n)
+            ):
+                if allocated >= n_processes:
+                    break
+                take = min(max(pc[node], 0), n_processes - allocated)
+                if take <= 0:
+                    continue
+                nodes.append(node)
+                procs[node] = take
+                allocated += take
+        if allocated < n_processes:
+            if not nodes:
+                raise AllocationError("no capacity in selected groups")
+            i = 0
+            while allocated < n_processes:  # oversubscribe round-robin
+                node = nodes[i % len(nodes)]
+                procs[node] += 1
+                allocated += 1
+                i += 1
+        return nodes, procs

@@ -1,0 +1,55 @@
+"""Load-aware allocation — baseline 3 of §5.
+
+"Load-aware allocation selects the group of nodes with minimal load."
+We rank nodes by the Equation-1 compute load ``CL_v`` (the same metric
+the full algorithm uses) and take the least-loaded ones, ignoring all
+network state — this is exactly the policy the paper shows losing to the
+network-aware algorithm at larger node counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.compute_load import compute_loads
+from repro.core.policies.base import (
+    Allocation,
+    AllocationPolicy,
+    AllocationRequest,
+    distribute,
+)
+from repro.monitor.snapshot import ClusterSnapshot
+
+
+class LoadAwarePolicy(AllocationPolicy):
+    """Pick the k nodes with the smallest compute load."""
+
+    name = "load_aware"
+
+    def allocate(
+        self,
+        snapshot: ClusterSnapshot,
+        request: AllocationRequest,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Allocation:
+        usable = self._usable_nodes(snapshot)
+        loads = compute_loads(snapshot, request.compute_weights, nodes=usable)
+        if request.ppn is not None:
+            k = min(request.nodes_needed, len(usable))
+        else:
+            k = min(max(1, math.ceil(request.n_processes / 4)), len(usable))
+        ranked = sorted(usable, key=lambda n: (loads[n], n))
+        chosen = ranked[:k]
+        procs = distribute(chosen, request.n_processes, request.ppn)
+        nodes = tuple(n for n in chosen if n in procs)
+        return Allocation(
+            policy=self.name,
+            nodes=nodes,
+            procs=procs,
+            request=request,
+            snapshot_time=snapshot.time,
+            metadata={"mean_compute_load": sum(loads[n] for n in nodes) / len(nodes)},
+        )

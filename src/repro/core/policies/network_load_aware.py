@@ -1,0 +1,70 @@
+"""Network-and-load-aware allocation — the paper's contribution (§3.3).
+
+Pipeline: compute loads (Eq. 1) → network loads (Eq. 2) → effective
+processor counts (Eq. 3) → |V| greedy candidates (Algorithm 1) → best
+candidate by Equation 4 (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.candidate import generate_all_candidates
+from repro.core.compute_load import compute_loads
+from repro.core.effective_procs import effective_proc_counts
+from repro.core.network_load import network_loads
+from repro.core.policies.base import (
+    Allocation,
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+)
+from repro.core.selection import select_best
+from repro.monitor.snapshot import ClusterSnapshot
+
+
+class NetworkLoadAwarePolicy(AllocationPolicy):
+    """The full Algorithm 1 + Algorithm 2 heuristic."""
+
+    name = "network_load_aware"
+
+    def __init__(self, *, load_key: str = "m1") -> None:
+        #: which running mean feeds Equation 3 (m1/m5/m15/now)
+        self.load_key = load_key
+
+    def allocate(
+        self,
+        snapshot: ClusterSnapshot,
+        request: AllocationRequest,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Allocation:
+        usable = self._usable_nodes(snapshot)
+        cl = compute_loads(snapshot, request.compute_weights, nodes=usable)
+        nl = network_loads(snapshot, request.network_weights, nodes=usable)
+        pc_all = effective_proc_counts(
+            snapshot, ppn=request.ppn, load_key=self.load_key
+        )
+        pc = {n: pc_all[n] for n in usable}
+        candidates = generate_all_candidates(
+            usable, cl, nl, pc, request.n_processes, request.tradeoff
+        )
+        candidates = [c for c in candidates if c.nodes]
+        if not candidates:
+            raise AllocationError("candidate generation produced no groups")
+        best = select_best(candidates, cl, nl, request.tradeoff)
+        cand = best.candidate
+        return Allocation(
+            policy=self.name,
+            nodes=cand.nodes,
+            procs=dict(cand.procs),
+            request=request,
+            snapshot_time=snapshot.time,
+            metadata={
+                "total_cost": best.total,
+                "compute_cost": best.compute_cost,
+                "network_cost": best.network_cost,
+                "compute_cost_normalized": best.compute_cost_normalized,
+                "network_cost_normalized": best.network_cost_normalized,
+            },
+        )

@@ -1,0 +1,55 @@
+"""Random allocation — baseline 1 of §5.
+
+"Random allocation randomly selects the required number of nodes from
+active nodes."  This models the typical user who writes an arbitrary
+hostfile without checking the cluster state.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.policies.base import (
+    Allocation,
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+    distribute,
+)
+from repro.monitor.snapshot import ClusterSnapshot
+
+
+class RandomPolicy(AllocationPolicy):
+    """Uniformly random node selection among live nodes."""
+
+    name = "random"
+
+    def allocate(
+        self,
+        snapshot: ClusterSnapshot,
+        request: AllocationRequest,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Allocation:
+        if rng is None:
+            raise AllocationError("RandomPolicy requires an rng")
+        usable = self._usable_nodes(snapshot)
+        if request.ppn is not None:
+            k = min(request.nodes_needed, len(usable))
+        else:
+            # Without ppn, spread over as many nodes as a 4-ppn run would
+            # use (a neutral default for a baseline with no load model).
+            k = min(max(1, math.ceil(request.n_processes / 4)), len(usable))
+        chosen_idx = rng.choice(len(usable), size=k, replace=False)
+        chosen = [usable[i] for i in sorted(chosen_idx)]
+        procs = distribute(chosen, request.n_processes, request.ppn)
+        nodes = tuple(n for n in chosen if n in procs)
+        return Allocation(
+            policy=self.name,
+            nodes=nodes,
+            procs=procs,
+            request=request,
+            snapshot_time=snapshot.time,
+        )

@@ -1,0 +1,54 @@
+"""Sequential allocation — baseline 2 of §5.
+
+"Sequential allocation first selects a random node and adds neighboring
+nodes (topologically) as required.  This is because users often tend to
+select consecutive nodes."  Node numbering in the paper's cluster follows
+physical proximity, so consecutive names are topological neighbours.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.policies.base import (
+    Allocation,
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+    distribute,
+)
+from repro.monitor.snapshot import ClusterSnapshot
+
+
+class SequentialPolicy(AllocationPolicy):
+    """Random start, then consecutive (proximity-ordered) nodes, wrapping."""
+
+    name = "sequential"
+
+    def allocate(
+        self,
+        snapshot: ClusterSnapshot,
+        request: AllocationRequest,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> Allocation:
+        if rng is None:
+            raise AllocationError("SequentialPolicy requires an rng")
+        usable = self._usable_nodes(snapshot)  # snapshot preserves spec order
+        if request.ppn is not None:
+            k = min(request.nodes_needed, len(usable))
+        else:
+            k = min(max(1, math.ceil(request.n_processes / 4)), len(usable))
+        start = int(rng.integers(len(usable)))
+        chosen = [usable[(start + i) % len(usable)] for i in range(k)]
+        procs = distribute(chosen, request.n_processes, request.ppn)
+        nodes = tuple(n for n in chosen if n in procs)
+        return Allocation(
+            policy=self.name,
+            nodes=nodes,
+            procs=procs,
+            request=request,
+            snapshot_time=snapshot.time,
+        )

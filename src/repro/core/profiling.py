@@ -1,0 +1,103 @@
+"""Deriving α/β from application profiles (§5 of the paper).
+
+"These values were determined empirically. One may set these weights by
+profiling an application and decide the relative weights on the basis of
+the computation and communication times."
+
+:func:`profile_app` runs an application model on a reference placement of
+idle nodes and measures its communication fraction;
+:func:`tradeoff_from_profile` maps that fraction to an α/β pair the way
+the paper's empirical choices do (miniMD: 40–80 % comm → β = 0.7;
+miniFE: 25–60 % comm → β = 0.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.core.weights import TradeOff
+from repro.net.model import NetworkModel
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+from repro.util.validation import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Result of a profiling run."""
+
+    app: str
+    n_ranks: int
+    comm_fraction: float
+    compute_time_s: float
+    comm_time_s: float
+
+    def __post_init__(self) -> None:
+        require_in_range(self.comm_fraction, 0.0, 1.0, "comm_fraction")
+
+
+def profile_app(
+    app: AppModel,
+    *,
+    n_ranks: int = 32,
+    ppn: int = 4,
+    cores: int = 12,
+    frequency_ghz: float = 4.6,
+) -> AppProfile:
+    """Measure an app's compute/communication split on an idle reference
+    cluster (no background load, no contention) — the controlled profiling
+    run the paper prescribes.
+    """
+    require_positive(n_ranks, "n_ranks")
+    require_positive(ppn, "ppn")
+    n_nodes = (n_ranks + ppn - 1) // ppn
+    specs, topo = uniform_cluster(
+        n_nodes,
+        nodes_per_switch=max(n_nodes, 1),
+        cores=cores,
+        frequency_ghz=frequency_ghz,
+        name_prefix="profile",
+    )
+    cluster = Cluster(specs, topo)
+    network = NetworkModel(topo)
+    placement = Placement.block(cluster.names, ppn, n_ranks)
+    report = SimJob(app, placement, cluster, network).run()
+    return AppProfile(
+        app=app.name,
+        n_ranks=n_ranks,
+        comm_fraction=report.comm_fraction,
+        compute_time_s=report.compute_time_s,
+        comm_time_s=report.comm_time_s,
+    )
+
+
+def tradeoff_from_profile(
+    profile: AppProfile,
+    *,
+    beta_floor: float = 0.4,
+    beta_ceiling: float = 0.8,
+) -> TradeOff:
+    """Map a communication fraction to an α/β pair.
+
+    A linear map anchored on the paper's empirical points: ~40 % comm →
+    β ≈ 0.6 (miniFE) and ~60 % comm → β ≈ 0.7 (miniMD), clamped to
+    [beta_floor, beta_ceiling] so even extreme profiles keep both terms
+    alive (the paper never drops either term entirely).
+    """
+    if not 0.0 <= beta_floor <= beta_ceiling <= 1.0:
+        raise ValueError(
+            f"need 0 <= beta_floor <= beta_ceiling <= 1, got "
+            f"{beta_floor}, {beta_ceiling}"
+        )
+    # Anchors: (comm_fraction, beta) = (0.4, 0.6) and (0.6, 0.7).
+    beta = 0.6 + (profile.comm_fraction - 0.4) * 0.5
+    beta = min(max(beta, beta_floor), beta_ceiling)
+    return TradeOff(alpha=round(1.0 - beta, 6), beta=round(beta, 6))
+
+
+def recommend_tradeoff(app: AppModel, **profile_kwargs) -> TradeOff:
+    """Profile ``app`` and return the derived α/β in one call."""
+    return tradeoff_from_profile(profile_app(app, **profile_kwargs))

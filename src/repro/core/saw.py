@@ -1,0 +1,46 @@
+"""Simple Additive Weighting (SAW) combination.
+
+SAW is the multi-criteria decision method the paper adopts (§3.2.1,
+citing Abdullah & Adawiyah 2014): each alternative's score is the
+weighted sum of its normalized criterion values.  After the §3.2.1
+transform every criterion is a *cost*, so lower SAW scores are better.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def saw_scores(
+    costs: Mapping[str, Mapping[str, float]],
+    weights: Mapping[str, float],
+) -> dict[str, float]:
+    """Weighted sum per node.
+
+    Parameters
+    ----------
+    costs:
+        ``{criterion: {node: normalized cost}}`` — every criterion must
+        cover the same node set.
+    weights:
+        ``{criterion: weight}``; criteria missing from ``weights`` count
+        as weight 0.
+
+    Returns
+    -------
+    ``{node: score}`` with lower meaning more preferable.
+    """
+    if not costs:
+        return {}
+    node_sets = {frozenset(v) for v in costs.values()}
+    if len(node_sets) > 1:
+        raise ValueError("criteria cover different node sets")
+    nodes = next(iter(costs.values())).keys()
+    scores = {n: 0.0 for n in nodes}
+    for criterion, values in costs.items():
+        w = float(weights.get(criterion, 0.0))
+        if w == 0.0:
+            continue
+        for n, v in values.items():
+            scores[n] += w * v
+    return scores

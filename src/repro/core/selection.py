@@ -1,0 +1,79 @@
+"""Best-candidate selection — Algorithm 2 and Equation 4 of the paper.
+
+For each candidate sub-graph ``G_v``: total compute cost
+``C_Gv = Σ_{u ∈ V_v} CL_u`` and total network cost
+``N_Gv = Σ_{(x,y) ∈ E_v} NL_(x,y)`` (all pairs — candidates are complete
+sub-graphs of a complete graph).  Both totals are normalized by their
+sums over all candidates, then combined:
+
+``T_Gv = α · C_norm + β · N_norm``
+
+The candidate with minimal ``T`` wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.candidate import CandidateSubgraph
+from repro.core.network_load import PairKey, total_group_network_load
+from repro.core.weights import TradeOff
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """A candidate with its Equation-4 decomposition."""
+
+    candidate: CandidateSubgraph
+    compute_cost: float
+    network_cost: float
+    compute_cost_normalized: float
+    network_cost_normalized: float
+    total: float
+
+
+def score_candidates(
+    candidates: Sequence[CandidateSubgraph],
+    compute_load: Mapping[str, float],
+    network_load: Mapping[PairKey, float],
+    tradeoff: TradeOff,
+) -> list[ScoredCandidate]:
+    """Compute ``T_Gv`` for every candidate."""
+    if not candidates:
+        return []
+    raw: list[tuple[float, float]] = []
+    for cand in candidates:
+        c = sum(compute_load[u] for u in cand.nodes)
+        n = total_group_network_load(network_load, cand.nodes)
+        raw.append((c, n))
+    c_total = sum(c for c, _ in raw)
+    n_total = sum(n for _, n in raw)
+    scored: list[ScoredCandidate] = []
+    for cand, (c, n) in zip(candidates, raw):
+        c_norm = c / c_total if c_total > 0 else 0.0
+        n_norm = n / n_total if n_total > 0 else 0.0
+        scored.append(
+            ScoredCandidate(
+                candidate=cand,
+                compute_cost=c,
+                network_cost=n,
+                compute_cost_normalized=c_norm,
+                network_cost_normalized=n_norm,
+                total=tradeoff.alpha * c_norm + tradeoff.beta * n_norm,
+            )
+        )
+    return scored
+
+
+def select_best(
+    candidates: Sequence[CandidateSubgraph],
+    compute_load: Mapping[str, float],
+    network_load: Mapping[PairKey, float],
+    tradeoff: TradeOff,
+) -> ScoredCandidate:
+    """Algorithm 2: the candidate minimizing ``T`` (deterministic ties)."""
+    scored = score_candidates(candidates, compute_load, network_load, tradeoff)
+    if not scored:
+        raise ValueError("no candidates to select from")
+    return min(scored, key=lambda s: (s.total, s.candidate.start))

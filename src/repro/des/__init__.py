@@ -1,0 +1,10 @@
+"""Discrete-event simulation engine.
+
+The whole substrate (workload evolution, monitoring daemons, probe
+schedules, job execution) runs on a single shared event clock provided by
+:class:`repro.des.engine.Engine`.
+"""
+
+from repro.des.engine import Engine, Event, PeriodicTask
+
+__all__ = ["Engine", "Event", "PeriodicTask"]

@@ -1,0 +1,194 @@
+"""A small, fast discrete-event engine.
+
+Design goals (see the HPC-Python guides used for this project):
+
+* **simple and legible first** — a binary heap of ``(time, seq, Event)``
+  entries; no coroutine magic;
+* **deterministic** — ties in time are broken by insertion sequence, so a
+  run with the same seeds replays identically;
+* **cancellable events** — daemons get stopped by failure injection, so an
+  event handle can be cancelled in O(1) (lazy deletion from the heap).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback. Returned by :meth:`Engine.schedule`."""
+
+    time: float
+    seq: int
+    action: Optional[Callable[[], None]] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Cancel the event; the engine will skip it when popped."""
+        self.cancelled = True
+        self.action = None
+
+
+class PeriodicTask:
+    """A callback re-scheduled every ``period`` seconds until stopped.
+
+    ``jitter_rng`` (optional) adds uniform jitter in ``[0, jitter]`` to each
+    period, modelling daemons that do not tick in lock-step.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        action: Callable[[], None],
+        period: float,
+        *,
+        start: float | None = None,
+        jitter: float = 0.0,
+        jitter_rng=None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if jitter > 0 and jitter_rng is None:
+            raise ValueError("jitter requires a jitter_rng")
+        self._engine = engine
+        self._action = action
+        self.period = period
+        self._jitter = jitter
+        self._jitter_rng = jitter_rng
+        self._stopped = False
+        self._pending: Event | None = None
+        first = engine.now if start is None else start
+        if first < engine.now:
+            raise ValueError(
+                f"cannot start a periodic task in the past: {first} < {engine.now}"
+            )
+        self._pending = engine.schedule_at(first, self._fire)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._action()
+        if self._stopped:  # action may stop the task
+            return
+        delay = self.period
+        if self._jitter > 0:
+            delay += float(self._jitter_rng.uniform(0.0, self._jitter))
+        self._pending = self._engine.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop the task; any pending tick is cancelled."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+
+class Engine:
+    """Event queue with a monotonically advancing clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now={self._now}"
+            )
+        ev = Event(time=time, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        return ev
+
+    def every(
+        self,
+        period: float,
+        action: Callable[[], None],
+        *,
+        start: float | None = None,
+        jitter: float = 0.0,
+        jitter_rng=None,
+    ) -> PeriodicTask:
+        """Create a :class:`PeriodicTask` on this engine."""
+        return PeriodicTask(
+            self, action, period, start=start, jitter=jitter, jitter_rng=jitter_rng
+        )
+
+    def step(self) -> bool:
+        """Execute the next event. Returns ``False`` if the queue is empty."""
+        while self._heap:
+            time, _seq, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = time
+            action = ev.action
+            ev.action = None  # free the reference
+            self._events_processed += 1
+            action()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp ``<= time``; clock ends at ``time``.
+
+        Events scheduled exactly at ``time`` are executed.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot run backwards: {time} < now={self._now}")
+        while self._heap:
+            t, _seq, ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if t > time:
+                break
+            self.step()
+        self._now = max(self._now, time)
+
+    def run(self, duration: float) -> None:
+        """Run for ``duration`` seconds of simulated time."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        self.run_until(self._now + duration)
+
+    def drain(self, max_events: int | None = None) -> int:
+        """Run until the queue empties (or ``max_events``); return count run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count

@@ -1,0 +1,28 @@
+"""Evaluation harness: scenarios, runners, metrics, and the drivers that
+regenerate every table and figure of the paper (see DESIGN.md §4)."""
+
+from repro.experiments.metrics import (
+    coefficient_of_variation,
+    gain_percent,
+    gain_stats,
+)
+from repro.experiments.runner import (
+    ComparisonRun,
+    GridResult,
+    compare_policies,
+    run_grid,
+)
+from repro.experiments.scenario import Scenario, paper_scenario, small_scenario
+
+__all__ = [
+    "coefficient_of_variation",
+    "gain_percent",
+    "gain_stats",
+    "ComparisonRun",
+    "GridResult",
+    "compare_policies",
+    "run_grid",
+    "Scenario",
+    "paper_scenario",
+    "small_scenario",
+]

@@ -1,0 +1,481 @@
+"""Figure-reproduction drivers (Figures 1, 2, 4, 5, 6, 7 of the paper).
+
+Each driver returns a structured result object with the figure's data plus
+a ``render()`` text form; the corresponding benchmark in ``benchmarks/``
+prints exactly these renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import (
+    POLICY_ORDER,
+    GridResult,
+    run_grid,
+)
+from repro.experiments.report import (
+    ascii_heatmap,
+    comparison_table,
+    format_table,
+    series_summary,
+    sparkline,
+)
+from repro.experiments.scenario import Scenario, paper_scenario
+from repro.apps.minife import MiniFE
+from repro.apps.minimd import MiniMD
+from repro.workload.traces import ClusterTrace, TraceRecorder
+
+#: §5.1 grid — miniMD problem sizes and process counts
+MINIMD_SIZES = (8, 16, 24, 32, 40, 48)
+MINIMD_PROCS = (8, 16, 32, 64)
+#: §5.2 grid — miniFE problem sizes and process counts
+MINIFE_SIZES = (48, 96, 144, 256, 384)
+MINIFE_PROCS = (8, 16, 32, 48)
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — resource-usage variation over two days
+# ----------------------------------------------------------------------
+@dataclass
+class Fig1Result:
+    """Data behind Figure 1(a)-(c)."""
+
+    trace: ClusterTrace
+    node_a: str
+    node_b: str
+    sample_nodes: list[str]
+
+    def hours(self) -> np.ndarray:
+        return self.trace.times / 3600.0
+
+    def _avg(self, metric: str) -> np.ndarray:
+        cols = [self.trace.nodes.index(n) for n in self.sample_nodes]
+        from repro.workload.traces import FIELDS
+
+        return self.trace.data[:, cols, FIELDS.index(metric)].mean(axis=1)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "mean_cpu_util_pct": float(self._avg("cpu_util").mean()),
+            "mean_cpu_load": float(self._avg("cpu_load").mean()),
+            "max_cpu_load": float(
+                max(
+                    self.trace.series(self.node_a, "cpu_load").max(),
+                    self.trace.series(self.node_b, "cpu_load").max(),
+                )
+            ),
+            "mean_memory_gb": float(self._avg("memory_used_gb").mean()),
+            "mean_flow_mbs": float(self._avg("flow_rate_mbs").mean()),
+        }
+
+    def save_svgs(self, directory) -> list[str]:
+        """Write Fig 1(a)-(c) as SVG files; returns the paths."""
+        from pathlib import Path
+
+        from repro.viz.svg import line_chart
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        hours = list(self.hours())
+        paths = []
+        panels = (
+            ("fig1a_cpu_load", "CPU load", "cpu_load"),
+            ("fig1b_network_io", "network I/O (MB/s)", "flow_rate_mbs"),
+            ("fig1c_cpu_util", "CPU utilization (%)", "cpu_util"),
+        )
+        for fname, label, metric in panels:
+            path = directory / f"{fname}.svg"
+            line_chart(
+                {
+                    f"node A ({self.node_a})": (
+                        hours, list(self.trace.series(self.node_a, metric))
+                    ),
+                    f"node B ({self.node_b})": (
+                        hours, list(self.trace.series(self.node_b, metric))
+                    ),
+                    "average": (hours, list(self._avg(metric))),
+                },
+                title=f"Figure 1 — {label}",
+                x_label="hours",
+                y_label=label,
+                path=path,
+            )
+            paths.append(str(path))
+        return paths
+
+    def render(self) -> str:
+        out = ["Figure 1 — resource usage variation over the trace window", ""]
+        for label, metric in (
+            ("(a) CPU load", "cpu_load"),
+            ("(b) network I/O (MB/s)", "flow_rate_mbs"),
+            ("(c) CPU utilization (%)", "cpu_util"),
+        ):
+            out.append(label)
+            out.append(
+                f"  node A {self.node_a}: "
+                + sparkline(self.trace.series(self.node_a, metric))
+            )
+            out.append(
+                f"  node B {self.node_b}: "
+                + sparkline(self.trace.series(self.node_b, metric))
+            )
+            out.append("  average:        " + sparkline(self._avg(metric)))
+            out.append(
+                "  "
+                + series_summary("avg", self._avg(metric))
+            )
+            out.append("")
+        out.append("  memory: " + series_summary("avg", self._avg("memory_used_gb"), unit="GB"))
+        return "\n".join(out)
+
+
+def fig1(
+    seed: int = 0,
+    *,
+    hours: float = 48.0,
+    sample_period_s: float = 300.0,
+    n_sample_nodes: int = 20,
+) -> Fig1Result:
+    """Reproduce Figure 1: two-day resource traces on a 20-node sample."""
+    sc = paper_scenario(seed=seed, warmup_s=0.0, with_monitoring=False)
+    sample = sc.cluster.names[:n_sample_nodes]
+    rec = TraceRecorder(sc.engine, sc.cluster, period_s=sample_period_s)
+    sc.engine.run(hours * 3600.0)
+    trace = rec.finish()
+    # node A: the busiest of the sample, node B: the quietest — the paper
+    # shows one of each flavour.
+    busy = sc.workload.busyness
+    ranked = sorted(sample, key=lambda n: busy[n])
+    return Fig1Result(
+        trace=trace, node_a=ranked[-1], node_b=ranked[0], sample_nodes=list(sample)
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — P2P bandwidth structure and variability
+# ----------------------------------------------------------------------
+@dataclass
+class Fig2Result:
+    """Data behind Figure 2(a) (heatmap) and 2(b) (pair series)."""
+
+    nodes: list[str]
+    mean_bandwidth: np.ndarray  # (N, N) MB/s averaged over samples
+    pair_names: list[tuple[str, str]]
+    pair_times_h: np.ndarray
+    pair_series: np.ndarray  # (T, P)
+
+    def proximity_correlation(self) -> float:
+        """Correlation between hop count and mean bandwidth (negative)."""
+        from repro.cluster.topology import paper_cluster
+
+        _, topo = paper_cluster()
+        hops, bw = [], []
+        for i, a in enumerate(self.nodes):
+            for j in range(i + 1, len(self.nodes)):
+                hops.append(topo.hops(a, self.nodes[j]))
+                bw.append(self.mean_bandwidth[i, j])
+        return float(np.corrcoef(hops, bw)[0, 1])
+
+    def save_svgs(self, directory) -> list[str]:
+        """Write Fig 2(a) heatmap and 2(b) series as SVG; returns paths."""
+        from pathlib import Path
+
+        from repro.viz.svg import heatmap, line_chart
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        a = directory / "fig2a_bandwidth_heatmap.svg"
+        heatmap(
+            self.mean_bandwidth.tolist(),
+            labels=self.nodes,
+            invert=True,
+            title="Figure 2(a) — mean P2P bandwidth (dark = low)",
+            path=a,
+        )
+        b = directory / "fig2b_bandwidth_over_time.svg"
+        hours = list(self.pair_times_h)
+        line_chart(
+            {
+                f"{u}-{v}": (hours, list(self.pair_series[:, k]))
+                for k, (u, v) in enumerate(self.pair_names)
+            },
+            title="Figure 2(b) — P2P bandwidth across time",
+            x_label="hours",
+            y_label="MB/s",
+            path=b,
+        )
+        return [str(a), str(b)]
+
+    def render(self) -> str:
+        out = [
+            "Figure 2(a) — mean P2P available bandwidth heatmap "
+            "(dark = low bandwidth)",
+            ascii_heatmap(
+                self.mean_bandwidth, labels=self.nodes, invert=True
+            ),
+            "",
+            f"hop-count vs bandwidth correlation: "
+            f"{self.proximity_correlation():.3f} (proximity ⇒ bandwidth)",
+            "",
+            "Figure 2(b) — P2P bandwidth across time for three pairs",
+        ]
+        for k, (a, b) in enumerate(self.pair_names):
+            out.append(f"  {a}-{b}: " + sparkline(self.pair_series[:, k]))
+            out.append(
+                "  " + series_summary(f"{a}-{b}", self.pair_series[:, k], unit="MB/s")
+            )
+        return "\n".join(out)
+
+
+def fig2(
+    seed: int = 0,
+    *,
+    n_nodes: int = 30,
+    n_heatmap_samples: int = 10,
+    heatmap_gap_s: float = 600.0,
+    series_hours: float = 48.0,
+    series_period_s: float = 600.0,
+    n_pairs: int = 3,
+) -> Fig2Result:
+    """Reproduce Figure 2 on the first ``n_nodes`` of the paper cluster."""
+    sc = paper_scenario(seed=seed, warmup_s=1800.0, with_monitoring=False)
+    nodes = sc.cluster.names[:n_nodes]
+    # (a) heatmap averaged over repeated measurements, like the paper's
+    # "averaged over ten runs".
+    acc = np.zeros((n_nodes, n_nodes))
+    pairs = [
+        (nodes[i], nodes[j])
+        for i in range(n_nodes)
+        for j in range(i + 1, n_nodes)
+    ]
+    for _ in range(n_heatmap_samples):
+        bw = sc.network.bulk_available_bandwidth(pairs)
+        for i in range(n_nodes):
+            for j in range(i + 1, n_nodes):
+                acc[i, j] += bw[(nodes[i], nodes[j])]
+        sc.advance(heatmap_gap_s)
+    acc = (acc + acc.T) / n_heatmap_samples
+    np.fill_diagonal(acc, np.nan)
+
+    # (b) three randomly-selected pairs followed over two days.
+    rng = sc.streams.child("fig2_pairs")
+    idx = rng.choice(len(pairs), size=n_pairs, replace=False)
+    tracked = [pairs[i] for i in sorted(idx)]
+    rec = TraceRecorder(
+        sc.engine,
+        sc.cluster,
+        period_s=series_period_s,
+        network=sc.network,
+        pairs=tracked,
+    )
+    sc.engine.run(series_hours * 3600.0)
+    trace = rec.finish()
+    assert trace.pair_bandwidth is not None
+    return Fig2Result(
+        nodes=list(nodes),
+        mean_bandwidth=acc,
+        pair_names=[tuple(p) for p in trace.pairs],
+        pair_times_h=trace.times / 3600.0,
+        pair_series=trace.pair_bandwidth,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 4/5 (miniMD) and 6 (miniFE) — strong-scaling comparisons
+# ----------------------------------------------------------------------
+def fig4(
+    seed: int = 0,
+    *,
+    proc_counts: Sequence[int] = MINIMD_PROCS,
+    sizes: Sequence[int] = MINIMD_SIZES,
+    repeats: int = 5,
+    gap_s: float = 600.0,
+    scenario: Scenario | None = None,
+) -> GridResult:
+    """Reproduce Figure 4: miniMD strong scaling under the four policies."""
+    sc = scenario or paper_scenario(seed=seed)
+    return run_grid(
+        sc,
+        lambda s: MiniMD(s),
+        proc_counts=proc_counts,
+        sizes=sizes,
+        ppn=4,
+        repeats=repeats,
+        gap_s=gap_s,
+    )
+
+
+def render_fig4(grid: GridResult) -> str:
+    return comparison_table(
+        grid.times,
+        grid.proc_counts,
+        grid.sizes,
+        title=f"Figure 4 — {grid.app_name} mean execution time (s), "
+        f"{grid.repeats} repeats",
+    )
+
+
+def save_grid_svgs(grid: GridResult, directory, *, prefix: str) -> list[str]:
+    """One strong-scaling line chart per process count (Fig 4/6 layout)."""
+    from pathlib import Path
+
+    from repro.viz.svg import line_chart
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for n in grid.proc_counts:
+        path = directory / f"{prefix}_procs{n}.svg"
+        line_chart(
+            {
+                policy: (
+                    list(grid.sizes),
+                    [grid.mean_time(policy, n, s) for s in grid.sizes],
+                )
+                for policy in grid.policies
+            },
+            title=f"{grid.app_name} — {n} processes",
+            x_label="problem size",
+            y_label="execution time (s)",
+            path=path,
+        )
+        paths.append(str(path))
+    return paths
+
+
+def save_fig5_svg(loads: Mapping[str, float], path) -> str:
+    """Figure 5 as a bar chart."""
+    from repro.viz.svg import bar_chart
+
+    return bar_chart(
+        dict(loads),
+        title="Figure 5 — CPU load per logical core at allocation",
+        y_label="load / core",
+        path=path,
+    )
+
+
+def fig5(grid: GridResult) -> dict[str, float]:
+    """Figure 5: average CPU load per logical core per policy."""
+    return {p: grid.mean_load_per_core(p) for p in grid.policies}
+
+
+def render_fig5(loads: Mapping[str, float]) -> str:
+    rows = [[p, float(v)] for p, v in loads.items()]
+    return format_table(
+        ["policy", "avg CPU load / logical core"],
+        rows,
+        title="Figure 5 — average CPU load per logical core at allocation",
+    )
+
+
+def fig6(
+    seed: int = 0,
+    *,
+    proc_counts: Sequence[int] = MINIFE_PROCS,
+    sizes: Sequence[int] = MINIFE_SIZES,
+    repeats: int = 5,
+    gap_s: float = 600.0,
+    scenario: Scenario | None = None,
+) -> GridResult:
+    """Reproduce Figure 6: miniFE strong scaling under the four policies."""
+    sc = scenario or paper_scenario(seed=seed)
+    return run_grid(
+        sc,
+        lambda nx: MiniFE(nx),
+        proc_counts=proc_counts,
+        sizes=sizes,
+        ppn=4,
+        repeats=repeats,
+        gap_s=gap_s,
+    )
+
+
+def render_fig6(grid: GridResult) -> str:
+    return comparison_table(
+        grid.times,
+        grid.proc_counts,
+        grid.sizes,
+        title=f"Figure 6 — {grid.app_name} mean execution time (s), "
+        f"{grid.repeats} repeats",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — one allocation instance in detail
+# ----------------------------------------------------------------------
+@dataclass
+class Fig7Result:
+    """Bandwidth heatmap + per-policy selections + CPU-load row."""
+
+    nodes: list[str]
+    bandwidth_complement: np.ndarray
+    cpu_load: list[float]
+    selections: Mapping[str, tuple[str, ...]]
+
+    def save_svg(self, path) -> str:
+        """Figure 7's bandwidth-complement heatmap as SVG."""
+        from repro.viz.svg import heatmap
+
+        return heatmap(
+            self.bandwidth_complement.tolist(),
+            labels=self.nodes,
+            title="Figure 7 — bandwidth complement (dark = congested)",
+            path=path,
+        )
+
+    def render(self) -> str:
+        out = [
+            "Figure 7 — complement of available P2P bandwidth "
+            "(dark = low available bandwidth)",
+            ascii_heatmap(self.bandwidth_complement, labels=self.nodes),
+            "",
+            "node selections:",
+        ]
+        for policy, chosen in self.selections.items():
+            marks = "".join(
+                "X" if n in chosen else "." for n in self.nodes
+            )
+            out.append(f"  {policy:>20s} {marks}")
+        loads = " ".join(f"{v:4.1f}" for v in self.cpu_load)
+        out.append(f"  {'CPU load':>20s} {loads}")
+        return "\n".join(out)
+
+
+def fig7(
+    seed: int = 0,
+    *,
+    n_processes: int = 32,
+    ppn: int = 4,
+    s: int = 16,
+    scenario: Scenario | None = None,
+) -> Fig7Result:
+    """Reproduce Figure 7: cluster state + selections for one miniMD run."""
+    from repro.experiments.tables import allocation_analysis
+
+    analysis = allocation_analysis(
+        seed=seed, n_processes=n_processes, ppn=ppn, s=s, scenario=scenario
+    )
+    snap = analysis.snapshot
+    nodes = [n for n in snap.names]
+    n = len(nodes)
+    bwc = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            key = (nodes[i], nodes[j]) if nodes[i] <= nodes[j] else (nodes[j], nodes[i])
+            if key in snap.bandwidth_mbs:
+                val = snap.bandwidth_complement(*key)
+            else:
+                val = np.nan
+            bwc[i, j] = bwc[j, i] = val
+    np.fill_diagonal(bwc, np.nan)
+    return Fig7Result(
+        nodes=nodes,
+        bandwidth_complement=bwc,
+        cpu_load=[snap.nodes[x].cpu_load["now"] for x in nodes],
+        selections={p: r.allocation.nodes for p, r in analysis.runs.items()},
+    )

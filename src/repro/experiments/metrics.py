@@ -1,0 +1,67 @@
+"""Result metrics used throughout §5 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def gain_percent(baseline_time: float, our_time: float) -> float:
+    """Percentage improvement of ``our_time`` over ``baseline_time``.
+
+    Positive when ours is faster: ``(t_base − t_ours) / t_base × 100``.
+    """
+    if baseline_time <= 0:
+        raise ValueError(f"baseline time must be positive, got {baseline_time}")
+    return (baseline_time - our_time) / baseline_time * 100.0
+
+
+@dataclass(frozen=True)
+class GainStats:
+    """The Average/Median/Maximum Gain columns of Tables 2 and 3."""
+
+    average: float
+    median: float
+    maximum: float
+    n: int
+
+    def row(self) -> tuple[float, float, float]:
+        return (self.average, self.median, self.maximum)
+
+
+def gain_stats(
+    baseline_times: Sequence[float], our_times: Sequence[float]
+) -> GainStats:
+    """Gain statistics over paired (same-configuration) measurements."""
+    if len(baseline_times) != len(our_times):
+        raise ValueError(
+            f"paired series differ in length: {len(baseline_times)} vs {len(our_times)}"
+        )
+    if not baseline_times:
+        raise ValueError("need at least one measurement pair")
+    gains = np.array(
+        [gain_percent(b, o) for b, o in zip(baseline_times, our_times)]
+    )
+    return GainStats(
+        average=float(gains.mean()),
+        median=float(np.median(gains)),
+        maximum=float(gains.max()),
+        n=len(gains),
+    )
+
+
+def coefficient_of_variation(times: Sequence[float]) -> float:
+    """std / mean — the paper's run-stability metric (§5.1/§5.2).
+
+    Uses population standard deviation (ddof=0); the paper's 5-run
+    samples are tiny either way.
+    """
+    arr = np.asarray(times, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one measurement")
+    mean = arr.mean()
+    if mean == 0:
+        raise ValueError("mean execution time is zero")
+    return float(arr.std() / mean)

@@ -1,0 +1,143 @@
+"""Plain-text rendering of results: tables, heatmaps, series.
+
+The original paper uses matplotlib figures; this offline reproduction
+emits aligned text tables and ASCII heatmaps (plus CSV via the trace
+utilities) so every artefact is diffable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: shade ramp from low to high value
+_SHADES = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table with right-aligned numeric columns."""
+    str_rows = [
+        [f"{c:.2f}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        cells = []
+        for i, c in enumerate(row):
+            if i == 0:
+                cells.append(c.ljust(widths[i]))
+            else:
+                cells.append(c.rjust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    *,
+    labels: Sequence[str] | None = None,
+    invert: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render a matrix as shaded ASCII (dark = high, like Fig 2a/Fig 7).
+
+    ``invert=True`` makes *low* values dark (useful when low bandwidth
+    should look dark, matching the paper's colouring).
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D matrix, got shape {m.shape}")
+    if labels is not None and len(labels) != m.shape[0]:
+        raise ValueError(
+            f"{len(labels)} labels for {m.shape[0]} heatmap rows"
+        )
+    finite = m[np.isfinite(m)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(m.shape[0]):
+        cells = []
+        for j in range(m.shape[1]):
+            v = m[i, j]
+            if not np.isfinite(v):
+                cells.append(" ")
+                continue
+            frac = (v - lo) / span
+            if invert:
+                frac = 1.0 - frac
+            idx = min(int(frac * len(_SHADES)), len(_SHADES) - 1)
+            cells.append(_SHADES[idx])
+        label = f"{labels[i]:>10s} " if labels else ""
+        lines.append(label + "".join(cells))
+    return "\n".join(lines)
+
+
+def series_summary(
+    name: str, values: Sequence[float], *, unit: str = ""
+) -> str:
+    """One-line min/mean/max summary of a series."""
+    arr = np.asarray(values, dtype=float)
+    u = f" {unit}" if unit else ""
+    return (
+        f"{name}: min={arr.min():.3g}{u} mean={arr.mean():.3g}{u} "
+        f"max={arr.max():.3g}{u} (n={arr.size})"
+    )
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Downsample a series into a one-line shade plot."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1, dtype=int)
+        arr = np.array(
+            [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo or 1.0
+    return "".join(
+        _SHADES[min(int((v - lo) / span * len(_SHADES)), len(_SHADES) - 1)]
+        for v in arr
+    )
+
+
+def comparison_table(
+    times: Mapping[str, Mapping[tuple[int, int], Sequence[float]]],
+    proc_counts: Sequence[int],
+    sizes: Sequence[int],
+    *,
+    title: str | None = None,
+) -> str:
+    """Figure 4/6-style grid: mean time per policy per (procs, size)."""
+    blocks = []
+    for n in proc_counts:
+        headers = ["policy"] + [f"size={s}" for s in sizes]
+        rows = []
+        for policy, cells in times.items():
+            row: list[object] = [policy]
+            for s in sizes:
+                row.append(float(np.mean(cells[(n, s)])))
+            rows.append(row)
+        blocks.append(
+            format_table(headers, rows, title=f"#procs = {n}")
+        )
+    head = [title] if title else []
+    return "\n\n".join(head + blocks)

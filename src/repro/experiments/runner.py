@@ -1,0 +1,233 @@
+"""Experiment runners: policy comparisons and strong-scaling grids.
+
+The protocol follows §5: "We ran all four approaches in sequence for fair
+evaluation, and repeated this for 5 times to account for network
+variability.  Each data point ... is the average of 5 runs."  Within one
+repeat every policy allocates from the *same* snapshot; between repeats
+the cluster evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.base import AppModel
+from repro.core.policies import (
+    Allocation,
+    AllocationPolicy,
+    AllocationRequest,
+    PAPER_POLICIES,
+)
+from repro.core.weights import TradeOff
+from repro.experiments.scenario import Scenario
+from repro.simmpi.job import ExecutionReport, SimJob
+from repro.simmpi.placement import Placement
+
+#: §5 policy order used in all tables and figures
+POLICY_ORDER = ("random", "sequential", "load_aware", "network_load_aware")
+
+
+@dataclass(frozen=True)
+class PolicyRun:
+    """One policy's allocation + simulated execution."""
+
+    policy: str
+    allocation: Allocation
+    report: ExecutionReport
+    #: mean CPU load per logical core of the allocated nodes at
+    #: allocation time (Figure 5's metric)
+    mean_load_per_core: float = 0.0
+
+    @property
+    def time_s(self) -> float:
+        return self.report.total_time_s
+
+
+@dataclass(frozen=True)
+class ComparisonRun:
+    """All policies executed against one snapshot (one §5 'run')."""
+
+    time: float
+    runs: Mapping[str, PolicyRun]
+
+    def times(self) -> dict[str, float]:
+        return {p: r.time_s for p, r in self.runs.items()}
+
+
+def compare_policies(
+    scenario: Scenario,
+    app: AppModel,
+    request: AllocationRequest,
+    *,
+    rng: np.random.Generator,
+    policies: Sequence[str] = POLICY_ORDER,
+    policy_factory: Callable[[str], AllocationPolicy] | None = None,
+) -> ComparisonRun:
+    """Allocate with every policy from the same snapshot and price each run."""
+    snapshot = scenario.snapshot()
+    factory = policy_factory or (lambda name: PAPER_POLICIES[name]())
+    runs: dict[str, PolicyRun] = {}
+    for name in policies:
+        policy = factory(name)
+        allocation = policy.allocate(snapshot, request, rng=rng)
+        job = SimJob(
+            app,
+            Placement.from_allocation(allocation),
+            scenario.cluster,
+            scenario.network,
+        )
+        load_per_core = float(
+            np.mean(
+                [
+                    snapshot.nodes[n].cpu_load["now"] / snapshot.nodes[n].cores
+                    for n in allocation.nodes
+                ]
+            )
+        )
+        runs[name] = PolicyRun(
+            policy=name,
+            allocation=allocation,
+            report=job.run(),
+            mean_load_per_core=load_per_core,
+        )
+    return ComparisonRun(time=snapshot.time, runs=runs)
+
+
+@dataclass
+class GridResult:
+    """Strong-scaling grid: times[policy][(n_procs, size)] = list over repeats."""
+
+    app_name: str
+    proc_counts: tuple[int, ...]
+    sizes: tuple[int, ...]
+    repeats: int
+    policies: tuple[str, ...]
+    times: dict[str, dict[tuple[int, int], list[float]]] = field(
+        default_factory=dict
+    )
+    allocations: dict[str, dict[tuple[int, int], list[Allocation]]] = field(
+        default_factory=dict
+    )
+    #: Figure 5's metric, same indexing as ``times``
+    loads_per_core: dict[str, dict[tuple[int, int], list[float]]] = field(
+        default_factory=dict
+    )
+
+    def mean_load_per_core(self, policy: str) -> float:
+        """Average over every configuration and repeat (Figure 5 bar)."""
+        vals = [
+            v for cell in self.loads_per_core[policy].values() for v in cell
+        ]
+        return float(np.mean(vals))
+
+    def mean_time(self, policy: str, n_procs: int, size: int) -> float:
+        return float(np.mean(self.times[policy][(n_procs, size)]))
+
+    def paired_times(self, policy_a: str, policy_b: str) -> tuple[list[float], list[float]]:
+        """Per-(config, repeat) paired execution times of two policies."""
+        a_out, b_out = [], []
+        for key in self.times[policy_a]:
+            a_out.extend(self.times[policy_a][key])
+            b_out.extend(self.times[policy_b][key])
+        return a_out, b_out
+
+    def repeat_series(self, policy: str) -> list[list[float]]:
+        """Per-configuration lists of repeat times (for CoV)."""
+        return [list(v) for v in self.times[policy].values()]
+
+    def to_csv(self, path=None) -> str:
+        """Raw per-repeat rows: policy, procs, size, repeat, time_s.
+
+        The flat form plotting tools want; optionally written to ``path``.
+        """
+        import csv
+        import io
+        from pathlib import Path
+
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(
+            ["app", "policy", "procs", "size", "repeat", "time_s",
+             "load_per_core"]
+        )
+        for policy in self.policies:
+            for (procs, size), series in self.times[policy].items():
+                loads = self.loads_per_core[policy][(procs, size)]
+                for rep, t in enumerate(series):
+                    writer.writerow(
+                        [
+                            self.app_name,
+                            policy,
+                            procs,
+                            size,
+                            rep,
+                            f"{t:.6g}",
+                            f"{loads[rep]:.6g}" if rep < len(loads) else "",
+                        ]
+                    )
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+
+def run_grid(
+    scenario: Scenario,
+    app_factory: Callable[[int], AppModel],
+    *,
+    proc_counts: Sequence[int],
+    sizes: Sequence[int],
+    ppn: int = 4,
+    tradeoff: TradeOff | None = None,
+    repeats: int = 5,
+    gap_s: float = 600.0,
+    rng: np.random.Generator | None = None,
+    policies: Sequence[str] = POLICY_ORDER,
+) -> GridResult:
+    """The §5 strong-scaling protocol over a (procs × size) grid.
+
+    For each repeat, every (procs, size) cell runs all policies against
+    the same evolving cluster; the scenario advances ``gap_s`` seconds of
+    simulated time between cells so repeats see different states.
+    """
+    if rng is None:
+        rng = scenario.streams.child("experiment")
+    sample_app = app_factory(sizes[0])
+    result = GridResult(
+        app_name=sample_app.name,
+        proc_counts=tuple(proc_counts),
+        sizes=tuple(sizes),
+        repeats=repeats,
+        policies=tuple(policies),
+        times={p: {} for p in policies},
+        allocations={p: {} for p in policies},
+        loads_per_core={p: {} for p in policies},
+    )
+    for p in policies:
+        for n in proc_counts:
+            for s in sizes:
+                result.times[p][(n, s)] = []
+                result.allocations[p][(n, s)] = []
+                result.loads_per_core[p][(n, s)] = []
+    to = tradeoff or sample_app.recommended_tradeoff()
+    for _rep in range(repeats):
+        for n in proc_counts:
+            for s in sizes:
+                app = app_factory(s)
+                request = AllocationRequest(
+                    n_processes=n, ppn=ppn, tradeoff=to
+                )
+                comparison = compare_policies(
+                    scenario, app, request, rng=rng, policies=policies
+                )
+                for p, run in comparison.runs.items():
+                    result.times[p][(n, s)].append(run.time_s)
+                    result.allocations[p][(n, s)].append(run.allocation)
+                    result.loads_per_core[p][(n, s)].append(
+                        run.mean_load_per_core
+                    )
+                scenario.advance(gap_s)
+    return result

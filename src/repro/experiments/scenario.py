@@ -1,0 +1,121 @@
+"""Scenario — one fully wired simulated shared cluster.
+
+Bundles engine + cluster + network + background workload + monitoring the
+way §5 of the paper deploys them on the IITK lab cluster, with a single
+seed controlling every stochastic component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeSpec
+from repro.cluster.topology import SwitchTopology, paper_cluster, uniform_cluster
+from repro.core.broker import ResourceBroker
+from repro.des.engine import Engine
+from repro.monitor.snapshot import ClusterSnapshot
+from repro.monitor.system import MonitorConfig, MonitoringSystem
+from repro.net.model import NetworkModel
+from repro.util.rng import RngStream
+from repro.workload.generator import BackgroundWorkload, WorkloadConfig
+
+
+@dataclass
+class Scenario:
+    """A live simulated cluster with workload and monitoring attached."""
+
+    engine: Engine
+    cluster: Cluster
+    network: NetworkModel
+    workload: BackgroundWorkload
+    monitoring: MonitoringSystem | None
+    streams: RngStream
+
+    @classmethod
+    def build(
+        cls,
+        specs: list[NodeSpec],
+        topology: SwitchTopology,
+        *,
+        seed: int = 0,
+        workload_config: WorkloadConfig | None = None,
+        monitor_config: MonitorConfig | None = None,
+        with_monitoring: bool = True,
+    ) -> "Scenario":
+        streams = RngStream(seed)
+        engine = Engine()
+        cluster = Cluster(specs, topology)
+        network = NetworkModel(topology)
+        workload = BackgroundWorkload(
+            engine, cluster, network, config=workload_config, seed=streams
+        )
+        monitoring = None
+        if with_monitoring:
+            monitoring = MonitoringSystem(
+                engine, cluster, network, config=monitor_config, seed=streams
+            )
+            monitoring.start()
+        return cls(
+            engine=engine,
+            cluster=cluster,
+            network=network,
+            workload=workload,
+            monitoring=monitoring,
+            streams=streams,
+        )
+
+    # ------------------------------------------------------------------
+    def warm_up(self, duration_s: float = 1800.0) -> None:
+        """Advance until workload and monitor data reach steady state."""
+        self.engine.run(duration_s)
+
+    def advance(self, duration_s: float) -> None:
+        """Let the cluster evolve (between repeated experiments)."""
+        self.engine.run(duration_s)
+
+    def snapshot(self) -> ClusterSnapshot:
+        if self.monitoring is None:
+            raise RuntimeError(
+                "scenario was built with with_monitoring=False; no snapshots"
+            )
+        return self.monitoring.snapshot()
+
+    def broker(self, **kwargs) -> ResourceBroker:
+        return ResourceBroker(self.snapshot, **kwargs)
+
+
+def paper_scenario(
+    seed: int = 0,
+    *,
+    warmup_s: float = 1800.0,
+    workload_config: WorkloadConfig | None = None,
+    with_monitoring: bool = True,
+) -> Scenario:
+    """The §5 evaluation environment: 60-node IITK-style shared cluster."""
+    specs, topo = paper_cluster()
+    sc = Scenario.build(
+        specs,
+        topo,
+        seed=seed,
+        workload_config=workload_config,
+        with_monitoring=with_monitoring,
+    )
+    if warmup_s > 0:
+        sc.warm_up(warmup_s)
+    return sc
+
+
+def small_scenario(
+    n_nodes: int = 8,
+    seed: int = 0,
+    *,
+    warmup_s: float = 600.0,
+    nodes_per_switch: int = 4,
+) -> Scenario:
+    """A small homogeneous cluster for tests and brute-force comparisons."""
+    specs, topo = uniform_cluster(n_nodes, nodes_per_switch=nodes_per_switch)
+    sc = Scenario.build(specs, topo, seed=seed)
+    if warmup_s > 0:
+        sc.warm_up(warmup_s)
+    return sc

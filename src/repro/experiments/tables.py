@@ -1,0 +1,192 @@
+"""Table-reproduction drivers (Tables 2, 3, 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.policies import AllocationRequest
+from repro.core.weights import MINIMD_TRADEOFF
+from repro.experiments.metrics import (
+    GainStats,
+    coefficient_of_variation,
+    gain_stats,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    POLICY_ORDER,
+    ComparisonRun,
+    GridResult,
+    PolicyRun,
+    compare_policies,
+)
+from repro.experiments.scenario import Scenario, paper_scenario
+from repro.apps.minimd import MiniMD
+from repro.monitor.snapshot import ClusterSnapshot
+
+OURS = "network_load_aware"
+BASELINES = ("random", "sequential", "load_aware")
+
+
+# ----------------------------------------------------------------------
+# Tables 2 and 3 — percentage gains (+ the §5 CoV numbers)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GainTable:
+    """Per-baseline gain statistics plus run-stability CoV per policy."""
+
+    app_name: str
+    gains: Mapping[str, GainStats]
+    cov: Mapping[str, float]
+
+    def render(self, *, table_no: int) -> str:
+        rows = [
+            [
+                baseline,
+                f"{st.average:.1f}%",
+                f"{st.median:.1f}%",
+                f"{st.maximum:.1f}%",
+            ]
+            for baseline, st in self.gains.items()
+        ]
+        gain_tbl = format_table(
+            ["Allocation Policy", "Average Gain", "Median Gain", "Maximum Gain"],
+            rows,
+            title=(
+                f"Table {table_no} — gain of network_load_aware over each "
+                f"baseline ({self.app_name})"
+            ),
+        )
+        cov_rows = [[p, float(v)] for p, v in self.cov.items()]
+        cov_tbl = format_table(
+            ["policy", "coefficient of variation"],
+            cov_rows,
+            title="Run-time stability (CoV across repeats, §5)",
+        )
+        return gain_tbl + "\n\n" + cov_tbl
+
+
+def gain_table(grid: GridResult) -> GainTable:
+    """Compute the Table 2/3 statistics from a strong-scaling grid.
+
+    Gains pair each (configuration, repeat) of a baseline against the same
+    (configuration, repeat) of the network-and-load-aware policy; CoV is
+    computed per configuration across repeats, then averaged.
+    """
+    gains: dict[str, GainStats] = {}
+    for baseline in BASELINES:
+        base_t, ours_t = grid.paired_times(baseline, OURS)
+        gains[baseline] = gain_stats(base_t, ours_t)
+    cov: dict[str, float] = {}
+    for policy in grid.policies:
+        per_config = [
+            coefficient_of_variation(times)
+            for times in grid.repeat_series(policy)
+            if len(times) > 1
+        ]
+        cov[policy] = float(np.mean(per_config)) if per_config else 0.0
+    return GainTable(app_name=grid.app_name, gains=gains, cov=cov)
+
+
+def table2(grid_minimd: GridResult) -> GainTable:
+    """Table 2: miniMD gains (expects a Figure-4 grid result)."""
+    if grid_minimd.app_name != "miniMD":
+        raise ValueError(f"table2 expects a miniMD grid, got {grid_minimd.app_name}")
+    return gain_table(grid_minimd)
+
+
+def table3(grid_minife: GridResult) -> GainTable:
+    """Table 3: miniFE gains (expects a Figure-6 grid result)."""
+    if grid_minife.app_name != "miniFE":
+        raise ValueError(f"table3 expects a miniFE grid, got {grid_minife.app_name}")
+    return gain_table(grid_minife)
+
+
+# ----------------------------------------------------------------------
+# Table 4 — state of the allocated groups for one miniMD instance
+# ----------------------------------------------------------------------
+@dataclass
+class AllocationAnalysis:
+    """One §5.3 analysis: all four policies on the same snapshot."""
+
+    snapshot: ClusterSnapshot
+    runs: Mapping[str, PolicyRun]
+
+    def group_state(self, policy: str) -> dict[str, float]:
+        """Avg CPU load, avg bandwidth complement, avg latency of a group."""
+        run = self.runs[policy]
+        nodes = run.allocation.nodes
+        snap = self.snapshot
+        loads = [snap.nodes[n].cpu_load["now"] for n in nodes]
+        bwc, lat = [], []
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                key = (a, b) if a <= b else (b, a)
+                if key in snap.bandwidth_mbs:
+                    bwc.append(snap.bandwidth_complement(*key))
+                if key in snap.latency_us:
+                    lat.append(snap.latency(*key))
+        return {
+            "avg_cpu_load": float(np.mean(loads)),
+            "avg_bandwidth_complement_mbs": float(np.mean(bwc)) if bwc else 0.0,
+            "avg_latency_us": float(np.mean(lat)) if lat else 0.0,
+            "execution_time_s": run.time_s,
+        }
+
+    def render(self) -> str:
+        rows = []
+        for policy in self.runs:
+            st = self.group_state(policy)
+            rows.append(
+                [
+                    policy,
+                    st["avg_cpu_load"],
+                    st["avg_bandwidth_complement_mbs"],
+                    st["avg_latency_us"],
+                    st["execution_time_s"],
+                ]
+            )
+        return format_table(
+            [
+                "Algorithm",
+                "Avg. CPU load",
+                "Avg. BW complement (MB/s)",
+                "Avg. latency (us)",
+                "Exec time (s)",
+            ],
+            rows,
+            title="Table 4 — usage of allocated resource group during allocation",
+        )
+
+
+def allocation_analysis(
+    seed: int = 0,
+    *,
+    n_processes: int = 32,
+    ppn: int = 4,
+    s: int = 16,
+    scenario: Scenario | None = None,
+) -> AllocationAnalysis:
+    """§5.3 setup: miniMD, 32 processes, 4 ppn, s = 16 (16K atoms)."""
+    sc = scenario or paper_scenario(seed=seed)
+    snapshot = sc.snapshot()
+    request = AllocationRequest(
+        n_processes=n_processes, ppn=ppn, tradeoff=MINIMD_TRADEOFF
+    )
+    comparison = compare_policies(
+        sc,
+        MiniMD(s),
+        request,
+        rng=sc.streams.child("table4"),
+        policies=POLICY_ORDER,
+    )
+    return AllocationAnalysis(snapshot=snapshot, runs=comparison.runs)
+
+
+def table4(
+    seed: int = 0, *, scenario: Scenario | None = None
+) -> AllocationAnalysis:
+    """Table 4 driver (shares its snapshot with Figure 7)."""
+    return allocation_analysis(seed=seed, scenario=scenario)

@@ -1,0 +1,18 @@
+"""Integrations with external resource managers (paper §2/§6).
+
+* :mod:`repro.integrations.slurm` — a Slurm select-plugin-shaped adapter
+  (§6: "We also intend to explore integrating our tool as a plugin for
+  SLURM job scheduler").
+* :mod:`repro.integrations.condor` — an HTCondor-style rank-expression
+  matchmaker, reproducing the §2 comparison point.
+"""
+
+from repro.integrations.condor import CondorLikePolicy, RankExpression
+from repro.integrations.slurm import SlurmJobSpec, SlurmSelectAdapter
+
+__all__ = [
+    "CondorLikePolicy",
+    "RankExpression",
+    "SlurmJobSpec",
+    "SlurmSelectAdapter",
+]

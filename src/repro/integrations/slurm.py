@@ -1,0 +1,238 @@
+"""Slurm select-plugin-shaped adapter (§6 future work, realized).
+
+Slurm's node-selection plugins receive a job description (task count,
+tasks per node, constraints) and return the chosen node set.  This module
+gives the paper's allocator that shape:
+
+* :class:`SlurmJobSpec` parses the common ``sbatch``/``srun`` options
+  (``--ntasks``, ``--ntasks-per-node``, ``--constraint``, ``--exclude``);
+* :class:`SlurmSelectAdapter` maps a spec onto an
+  :class:`~repro.core.policies.base.AllocationRequest`, runs any
+  registered policy against the live monitor snapshot, and renders the
+  result as Slurm-style outputs (``--nodelist`` with hostlist
+  compression, ``SLURM_JOB_NODELIST``-like environment, tasks per node).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.policies import (
+    Allocation,
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+    NetworkLoadAwarePolicy,
+)
+from repro.core.weights import TradeOff
+from repro.monitor.snapshot import ClusterSnapshot
+
+
+@dataclass(frozen=True)
+class SlurmJobSpec:
+    """The subset of a Slurm job description the selector consumes."""
+
+    ntasks: int
+    ntasks_per_node: int | None = None
+    exclude: tuple[str, ...] = ()
+    #: constraint expressions over static attributes, e.g. "cores>=12"
+    constraints: tuple[str, ...] = ()
+    #: α for the trade-off; Slurm would carry this as a plugin option
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.ntasks <= 0:
+            raise ValueError(f"ntasks must be positive, got {self.ntasks}")
+        if self.ntasks_per_node is not None and self.ntasks_per_node <= 0:
+            raise ValueError("ntasks-per-node must be positive")
+
+    @classmethod
+    def from_options(cls, options: str) -> "SlurmJobSpec":
+        """Parse a compact option string, e.g.
+        ``"--ntasks=32 --ntasks-per-node=4 --exclude=csews3,csews4
+        --constraint=cores>=12"``.
+        """
+        ntasks: int | None = None
+        per_node: int | None = None
+        exclude: tuple[str, ...] = ()
+        constraints: list[str] = []
+        alpha = 0.3
+        for token in options.split():
+            if "=" not in token:
+                raise ValueError(f"malformed option {token!r}")
+            key, value = token.split("=", 1)
+            if key == "--ntasks" or key == "-n":
+                ntasks = int(value)
+            elif key == "--ntasks-per-node":
+                per_node = int(value)
+            elif key == "--exclude":
+                exclude = tuple(v for v in value.split(",") if v)
+            elif key == "--constraint":
+                constraints.append(value)
+            elif key == "--alpha":
+                alpha = float(value)
+            else:
+                raise ValueError(f"unsupported option {key!r}")
+        if ntasks is None:
+            raise ValueError("--ntasks is required")
+        return cls(
+            ntasks=ntasks,
+            ntasks_per_node=per_node,
+            exclude=exclude,
+            constraints=tuple(constraints),
+            alpha=alpha,
+        )
+
+
+_CONSTRAINT = re.compile(
+    r"^(?P<attr>cores|frequency_ghz|memory_gb)"
+    r"(?P<op>>=|<=|==|>|<)"
+    r"(?P<value>[0-9.]+)$"
+)
+
+_OPS: Mapping[str, Callable[[float, float], bool]] = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+}
+
+
+def _passes(snapshot: ClusterSnapshot, node: str, constraint: str) -> bool:
+    m = _CONSTRAINT.match(constraint)
+    if m is None:
+        raise ValueError(
+            f"unsupported constraint {constraint!r} "
+            "(use cores/frequency_ghz/memory_gb with >=, <=, ==, >, <)"
+        )
+    view = snapshot.nodes[node]
+    value = {
+        "cores": float(view.cores),
+        "frequency_ghz": view.frequency_ghz,
+        "memory_gb": view.memory_gb,
+    }[m.group("attr")]
+    return _OPS[m.group("op")](value, float(m.group("value")))
+
+
+def compress_hostlist(nodes: list[str]) -> str:
+    """Render a Slurm hostlist, e.g. ``csews[1-3,7]`` from csews1..csews3,
+    csews7.  Mixed prefixes are comma-joined."""
+    by_prefix: dict[str, list[int]] = {}
+    plain: list[str] = []
+    for n in nodes:
+        m = re.match(r"^(.*?)(\d+)$", n)
+        if m:
+            by_prefix.setdefault(m.group(1), []).append(int(m.group(2)))
+        else:
+            plain.append(n)
+    parts: list[str] = []
+    for prefix in sorted(by_prefix):
+        nums = sorted(by_prefix[prefix])
+        ranges: list[str] = []
+        for _, grp in itertools.groupby(
+            enumerate(nums), key=lambda iv: iv[1] - iv[0]
+        ):
+            block = [v for _, v in grp]
+            ranges.append(
+                str(block[0]) if len(block) == 1 else f"{block[0]}-{block[-1]}"
+            )
+        parts.append(f"{prefix}[{','.join(ranges)}]")
+    parts.extend(sorted(plain))
+    return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class SlurmSelection:
+    """What the plugin hands back to the scheduler."""
+
+    allocation: Allocation
+    nodelist: str
+    tasks_per_node: tuple[int, ...]
+
+    def environment(self) -> dict[str, str]:
+        """SLURM_* environment variables a job step would see."""
+        return {
+            "SLURM_JOB_NODELIST": self.nodelist,
+            "SLURM_JOB_NUM_NODES": str(self.allocation.n_nodes),
+            "SLURM_NTASKS": str(self.allocation.request.n_processes),
+            "SLURM_TASKS_PER_NODE": ",".join(
+                str(c) for c in self.tasks_per_node
+            ),
+        }
+
+
+class SlurmSelectAdapter:
+    """The paper's allocator wearing a Slurm select-plugin interface."""
+
+    def __init__(
+        self,
+        snapshot_source: Callable[[], ClusterSnapshot],
+        *,
+        policy: AllocationPolicy | None = None,
+    ) -> None:
+        self._snapshot_source = snapshot_source
+        self.policy = policy or NetworkLoadAwarePolicy()
+
+    def select(
+        self,
+        spec: SlurmJobSpec,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> SlurmSelection:
+        """Choose nodes for ``spec``; raises AllocationError if
+        constraints/exclusions leave nothing usable."""
+        snapshot = self._snapshot_source()
+        eligible = [
+            n
+            for n in snapshot.nodes
+            if n in snapshot.livehosts
+            and n not in spec.exclude
+            and all(_passes(snapshot, n, c) for c in spec.constraints)
+        ]
+        if not eligible:
+            raise AllocationError(
+                "no nodes satisfy the job's constraints/exclusions"
+            )
+        filtered = _filter_snapshot(snapshot, eligible)
+        request = AllocationRequest(
+            n_processes=spec.ntasks,
+            ppn=spec.ntasks_per_node,
+            tradeoff=TradeOff.from_alpha(spec.alpha),
+        )
+        allocation = self.policy.allocate(filtered, request, rng=rng)
+        return SlurmSelection(
+            allocation=allocation,
+            nodelist=compress_hostlist(list(allocation.nodes)),
+            tasks_per_node=tuple(
+                allocation.procs[n] for n in allocation.nodes
+            ),
+        )
+
+
+def _filter_snapshot(
+    snapshot: ClusterSnapshot, nodes: list[str]
+) -> ClusterSnapshot:
+    keep = set(nodes)
+    return ClusterSnapshot(
+        time=snapshot.time,
+        nodes={n: v for n, v in snapshot.nodes.items() if n in keep},
+        bandwidth_mbs={
+            k: v for k, v in snapshot.bandwidth_mbs.items()
+            if k[0] in keep and k[1] in keep
+        },
+        latency_us={
+            k: v for k, v in snapshot.latency_us.items()
+            if k[0] in keep and k[1] in keep
+        },
+        peak_bandwidth_mbs={
+            k: v for k, v in snapshot.peak_bandwidth_mbs.items()
+            if k[0] in keep and k[1] in keep
+        },
+        livehosts=tuple(n for n in snapshot.livehosts if n in keep),
+    )

@@ -1,0 +1,222 @@
+"""Central Monitor: master/slave supervisor for the daemon fleet.
+
+Paper §4: "Central Monitor launches, supervises and removes [daemons] ...
+If any daemon crashes, it is relaunched on appropriate nodes.  We keep one
+master and one slave instance ... If the master process dies, the slave
+will detect that the process is dead.  The slave will become new master
+and launches a new slave on another node.  If slave dies, master launches
+a new slave on another node."
+
+The supervisor only acts on what it can observe — heartbeat staleness in
+the shared store — never on simulator ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable
+
+from repro.cluster.cluster import Cluster
+from repro.des.engine import Engine
+from repro.monitor.daemons import HEARTBEAT_PREFIX, Daemon
+from repro.monitor.store import SharedStore
+from repro.util.validation import require_positive
+
+_monitor_ids = itertools.count()
+
+MASTER_KEY = "central/master"
+SLAVE_KEY = "central/slave"
+
+
+class CentralMonitor:
+    """One master-or-slave instance of the Central Monitor."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        store: SharedStore,
+        cluster: Cluster,
+        *,
+        role: str,
+        host: str,
+        period_s: float = 15.0,
+        stale_factor: float = 3.5,
+        supervised: Iterable[Daemon] = (),
+        on_promoted: Callable[["CentralMonitor"], None] | None = None,
+    ) -> None:
+        if role not in ("master", "slave"):
+            raise ValueError(f"role must be 'master' or 'slave', got {role!r}")
+        require_positive(period_s, "period_s")
+        if stale_factor <= 1.0:
+            raise ValueError("stale_factor must exceed 1 or restarts thrash")
+        self.engine = engine
+        self.store = store
+        self.cluster = cluster
+        self.role = role
+        self.host = host
+        self.period_s = period_s
+        self.stale_factor = stale_factor
+        self.supervised: list[Daemon] = list(supervised)
+        self.on_promoted = on_promoted
+        self.monitor_id = next(_monitor_ids)
+        self.restarts_performed = 0
+        self._task = None
+        #: first time each daemon was supervised — grace period anchor
+        self._first_seen: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._task is not None and not self._task.stopped
+
+    def start(self) -> None:
+        if self.alive:
+            return
+        # Announce immediately so peers don't see a stale heartbeat during
+        # the first period (prevents promote/respawn loops right after a
+        # replacement is launched).
+        if self._host_up():
+            key = MASTER_KEY if self.role == "master" else SLAVE_KEY
+            self.store.put(key, self.monitor_id, self.engine.now)
+        self._task = self.engine.every(
+            self.period_s, self._tick, start=self.engine.now + self.period_s
+        )
+
+    def crash(self) -> None:
+        """The monitor process dies (its heartbeat goes stale)."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _host_up(self) -> bool:
+        return self.cluster.state(self.host).up
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self._host_up():
+            return
+        now = self.engine.now
+        key = MASTER_KEY if self.role == "master" else SLAVE_KEY
+        self.store.put(key, self.monitor_id, now)
+        if self.role == "master":
+            self._supervise(now)
+            self._check_peer(SLAVE_KEY, now)
+        else:
+            self._check_peer(MASTER_KEY, now)
+
+    def _check_peer(self, peer_key: str, now: float) -> None:
+        age = self.store.age(peer_key, now)
+        threshold = self.stale_factor * self.period_s
+        if age is not None and age <= threshold:
+            return  # peer healthy
+        if age is None:
+            return  # peer never started; leave bootstrap to the service
+        if peer_key == MASTER_KEY:
+            # We are the slave and the master is dead: promote.
+            self.role = "master"
+            self.store.put(MASTER_KEY, self.monitor_id, now)
+            if self.on_promoted is not None:
+                self.on_promoted(self)
+        else:
+            # We are the master and the slave is dead: ask for a new one.
+            if self.on_promoted is not None:
+                self.on_promoted(self)
+
+    def _supervise(self, now: float) -> None:
+        for daemon in self.supervised:
+            hb_key = HEARTBEAT_PREFIX + daemon.name
+            age = self.store.age(hb_key, now)
+            first = self._first_seen.setdefault(daemon.name, now)
+            grace = self.stale_factor * max(daemon.period_s, self.period_s)
+            if age is None:
+                stale = (now - first) > grace
+            else:
+                stale = age > grace
+            if not stale:
+                continue
+            self._relaunch(daemon)
+
+    def _relaunch(self, daemon: Daemon) -> None:
+        """Restart a stale daemon, relocating it if its host is down."""
+        if daemon.host is not None and not self.cluster.state(daemon.host).up:
+            new_host = self._pick_host(exclude=daemon.host)
+            if new_host is None:
+                return  # nowhere to put it
+            # NodeStateD is pinned: it *must* sample its own node.
+            if daemon.name.startswith("nodestate/"):
+                return
+            daemon.host = new_host
+        daemon.crash()
+        daemon.start()
+        self.restarts_performed += 1
+
+    def _pick_host(self, exclude: str | None = None) -> str | None:
+        live = self.store.value("livehosts")
+        candidates = live if live is not None else self.cluster.names
+        for n in candidates:
+            if n != exclude and n in self.cluster and self.cluster.state(n).up:
+                return n
+        return None
+
+
+class CentralService:
+    """Owns the master/slave pair and replaces dead members.
+
+    This is the piece of the paper's design that keeps exactly one master
+    and one slave alive (as long as two up nodes exist).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        store: SharedStore,
+        cluster: Cluster,
+        supervised: Iterable[Daemon],
+        *,
+        master_host: str,
+        slave_host: str,
+        period_s: float = 15.0,
+        stale_factor: float = 3.5,
+    ) -> None:
+        self.engine = engine
+        self.store = store
+        self.cluster = cluster
+        self.supervised = list(supervised)
+        self.period_s = period_s
+        self.stale_factor = stale_factor
+        self.master = self._make("master", master_host)
+        self.slave = self._make("slave", slave_host)
+
+    def _make(self, role: str, host: str) -> CentralMonitor:
+        return CentralMonitor(
+            self.engine,
+            self.store,
+            self.cluster,
+            role=role,
+            host=host,
+            period_s=self.period_s,
+            stale_factor=self.stale_factor,
+            supervised=self.supervised,
+            on_promoted=self._on_needs_slave,
+        )
+
+    def start(self) -> None:
+        self.master.start()
+        self.slave.start()
+
+    def _on_needs_slave(self, survivor: CentralMonitor) -> None:
+        """A monitor became (or remained) master without a live slave."""
+        if survivor.role != "master":  # pragma: no cover - defensive
+            return
+        old_master = self.master
+        if survivor is not self.master:
+            self.master = survivor
+            if old_master.alive:
+                old_master.crash()
+        new_host = survivor._pick_host(exclude=survivor.host)
+        if new_host is None:
+            return
+        if self.slave is not None and self.slave is not survivor and self.slave.alive:
+            self.slave.crash()
+        self.slave = self._make("slave", new_host)
+        self.slave.start()

@@ -1,0 +1,142 @@
+"""Time-series forecasting of resource signals (NWS-style extension).
+
+The paper's related work (§2) leans on the Network Weather Service, which
+"applies various time series methods and uses the method that exhibits
+smallest prediction error for next forecast".  This module implements
+that adaptive scheme over three simple predictors:
+
+* last value (random-walk),
+* running mean over a trailing window,
+* single exponential smoothing.
+
+:class:`AdaptiveForecaster` tracks each predictor's mean absolute error
+online and forecasts with the current best — usable for any monitored
+scalar (CPU load, flow rate, pair bandwidth).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+from repro.util.validation import require_in_range, require_positive
+
+
+class Predictor(ABC):
+    """Online one-step-ahead predictor of a scalar series."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def update(self, value: float) -> None:
+        """Feed the next observation."""
+
+    @abstractmethod
+    def forecast(self) -> float | None:
+        """Predict the next value; ``None`` until enough data arrived."""
+
+
+class LastValue(Predictor):
+    """Random-walk predictor: tomorrow looks like today."""
+
+    name = "last_value"
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    def update(self, value: float) -> None:
+        self._last = float(value)
+
+    def forecast(self) -> float | None:
+        return self._last
+
+
+class RunningMean(Predictor):
+    """Mean of the last ``window`` observations."""
+
+    name = "running_mean"
+
+    def __init__(self, window: int = 12) -> None:
+        require_positive(window, "window")
+        self._buf: deque[float] = deque(maxlen=int(window))
+
+    def update(self, value: float) -> None:
+        self._buf.append(float(value))
+
+    def forecast(self) -> float | None:
+        if not self._buf:
+            return None
+        return sum(self._buf) / len(self._buf)
+
+
+class ExponentialSmoothing(Predictor):
+    """Single exponential smoothing with factor ``alpha``."""
+
+    name = "exp_smoothing"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        require_in_range(alpha, 0.0, 1.0, "alpha")
+        self.alpha = float(alpha)
+        self._state: float | None = None
+
+    def update(self, value: float) -> None:
+        v = float(value)
+        if self._state is None:
+            self._state = v
+        else:
+            self._state = self.alpha * v + (1.0 - self.alpha) * self._state
+
+    def forecast(self) -> float | None:
+        return self._state
+
+
+class AdaptiveForecaster:
+    """NWS-style selector: forecast with the lowest-MAE predictor so far.
+
+    Before each update, every predictor's pending forecast is scored
+    against the arriving observation; the forecaster's own prediction
+    always comes from the predictor with the smallest mean absolute
+    error to date (ties break by registration order).
+    """
+
+    def __init__(self, predictors: list[Predictor] | None = None) -> None:
+        if predictors is None:
+            predictors = [LastValue(), RunningMean(), ExponentialSmoothing()]
+        if not predictors:
+            raise ValueError("need at least one predictor")
+        self.predictors = list(predictors)
+        self._abs_err = {p.name: 0.0 for p in self.predictors}
+        self._scored = {p.name: 0 for p in self.predictors}
+        self.observations = 0
+
+    def update(self, value: float) -> None:
+        """Score pending forecasts against ``value``, then ingest it."""
+        v = float(value)
+        for p in self.predictors:
+            pending = p.forecast()
+            if pending is not None:
+                self._abs_err[p.name] += abs(pending - v)
+                self._scored[p.name] += 1
+            p.update(v)
+        self.observations += 1
+
+    def mae(self, name: str) -> float | None:
+        """Mean absolute error of predictor ``name`` so far."""
+        if name not in self._abs_err:
+            raise KeyError(f"unknown predictor {name!r}")
+        if self._scored[name] == 0:
+            return None
+        return self._abs_err[name] / self._scored[name]
+
+    def best_predictor(self) -> Predictor:
+        """The predictor with the smallest MAE (first one before scoring)."""
+        def key(p: Predictor) -> float:
+            m = self.mae(p.name)
+            return float("inf") if m is None else m
+
+        best = min(self.predictors, key=key)
+        return best
+
+    def forecast(self) -> float | None:
+        """One-step-ahead forecast from the current best predictor."""
+        return self.best_predictor().forecast()

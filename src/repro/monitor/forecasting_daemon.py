@@ -1,0 +1,42 @@
+"""NodeStateD with NWS-style forecasting (monitoring extension).
+
+Augments every dynamic attribute's record with a one-step-ahead
+``forecast`` from an :class:`~repro.monitor.forecast.AdaptiveForecaster`.
+Policies can then plan against *predicted* rather than instantaneous
+state — e.g. ``NetworkLoadAwarePolicy(load_key="forecast")`` sizes
+Equation 3 with the forecasted CPU load, which helps when loads are
+spiky and monitoring intervals are long.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.daemons import NodeStateD
+from repro.monitor.forecast import AdaptiveForecaster
+
+
+class ForecastingNodeStateD(NodeStateD):
+    """Per-node sampler that also forecasts each dynamic attribute."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._forecasters = {
+            attr: AdaptiveForecaster() for attr in self.DYNAMIC
+        }
+
+    def sample(self) -> None:
+        super().sample()
+        key = f"nodestate/{self.node}"
+        rec = self.store.value(key)
+        assert rec is not None  # super().sample() just wrote it
+        for attr, forecaster in self._forecasters.items():
+            observed = rec[attr]["now"]
+            forecaster.update(observed)
+            prediction = forecaster.forecast()
+            rec[attr]["forecast"] = (
+                observed if prediction is None else prediction
+            )
+        self.store.put(key, rec, self.engine.now)
+
+    def predictor_in_charge(self, attr: str) -> str:
+        """Name of the currently best predictor for ``attr`` (diagnostics)."""
+        return self._forecasters[attr].best_predictor().name

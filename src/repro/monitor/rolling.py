@@ -1,0 +1,73 @@
+"""Time-windowed running means (1/5/15 minutes by default).
+
+The paper's daemons "keep track of the running mean of the last 1, 5, and
+15 minutes of historical data of dynamic attributes".  We keep a deque of
+timestamped samples and compute window means on demand, evicting samples
+older than the largest window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.util.units import MINUTES
+
+#: The paper's windows, in seconds.
+DEFAULT_WINDOWS: tuple[float, ...] = (1 * MINUTES, 5 * MINUTES, 15 * MINUTES)
+
+
+class RollingWindows:
+    """Running means of a scalar signal over multiple trailing windows."""
+
+    def __init__(self, windows: Sequence[float] = DEFAULT_WINDOWS) -> None:
+        if not windows:
+            raise ValueError("need at least one window")
+        ws = tuple(float(w) for w in windows)
+        if any(w <= 0 for w in ws):
+            raise ValueError(f"windows must be positive, got {ws}")
+        self.windows = tuple(sorted(ws))
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def add(self, time: float, value: float) -> None:
+        """Record a sample; timestamps must be non-decreasing."""
+        if self._samples and time < self._samples[-1][0]:
+            raise ValueError(
+                f"samples must arrive in time order: {time} < {self._samples[-1][0]}"
+            )
+        self._samples.append((time, float(value)))
+        horizon = time - self.windows[-1]
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def mean(self, window: float, now: float | None = None) -> float | None:
+        """Mean over the trailing ``window`` seconds; ``None`` if empty.
+
+        ``now`` defaults to the newest sample's timestamp.
+        """
+        if not self._samples:
+            return None
+        if now is None:
+            now = self._samples[-1][0]
+        cutoff = now - window
+        total, count = 0.0, 0
+        for t, v in reversed(self._samples):
+            if t < cutoff:
+                break
+            total += v
+            count += 1
+        if count == 0:
+            return None
+        return total / count
+
+    def means(self, now: float | None = None) -> dict[float, float | None]:
+        """Means for every configured window."""
+        return {w: self.mean(w, now) for w in self.windows}
+
+    @property
+    def latest(self) -> float | None:
+        """Most recent sample value (instantaneous reading)."""
+        return self._samples[-1][1] if self._samples else None
+
+    def __len__(self) -> int:
+        return len(self._samples)

@@ -1,0 +1,216 @@
+"""ClusterSnapshot — the allocator's entire view of the world.
+
+The Node Allocator in the paper never inspects nodes directly; it reads
+what the Resource Monitor wrote to the shared filesystem.  A snapshot is
+therefore assembled *only* from store contents (possibly stale), plus
+static peak-bandwidth knowledge.  For tests and oracle experiments,
+:func:`oracle_snapshot` builds one directly from ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cluster.cluster import Cluster
+from repro.monitor.store import SharedStore
+from repro.net.model import NetworkModel
+from repro.net.probes import round_robin_rounds
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """Monitor-reported attributes of one node (Table 1 of the paper)."""
+
+    name: str
+    # static
+    cores: int
+    frequency_ghz: float
+    memory_gb: float
+    # dynamic — instantaneous and 1/5/15-minute means
+    users: int
+    cpu_load: Mapping[str, float]          # keys: now/m1/m5/m15
+    cpu_util: Mapping[str, float]
+    flow_rate_mbs: Mapping[str, float]
+    available_memory_gb: Mapping[str, float]
+    #: leaf switch the node attaches to (static, known to the monitor;
+    #: ``None`` when assembled from records lacking topology info)
+    switch: str | None = None
+
+    def load_now(self) -> float:
+        return float(self.cpu_load["now"])
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """Everything the allocator may consult when placing a job."""
+
+    time: float
+    nodes: Mapping[str, NodeView]
+    #: effective (measured) bandwidth per unordered pair, MB/s
+    bandwidth_mbs: Mapping[tuple[str, str], float]
+    #: measured latency per unordered pair, microseconds
+    latency_us: Mapping[tuple[str, str], float]
+    #: idle-network peak bandwidth per unordered pair, MB/s
+    peak_bandwidth_mbs: Mapping[tuple[str, str], float]
+    livehosts: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for pairmap, label in (
+            (self.bandwidth_mbs, "bandwidth"),
+            (self.latency_us, "latency"),
+            (self.peak_bandwidth_mbs, "peak bandwidth"),
+        ):
+            for a, b in pairmap:
+                if a > b:
+                    raise ValueError(
+                        f"{label} pair {(a, b)} not canonically ordered"
+                    )
+
+    # -- accessors --------------------------------------------------------
+    def pair(self, u: str, v: str) -> tuple[str, str]:
+        return (u, v) if u <= v else (v, u)
+
+    def bandwidth(self, u: str, v: str) -> float:
+        return float(self.bandwidth_mbs[self.pair(u, v)])
+
+    def latency(self, u: str, v: str) -> float:
+        return float(self.latency_us[self.pair(u, v)])
+
+    def peak_bandwidth(self, u: str, v: str) -> float:
+        return float(self.peak_bandwidth_mbs[self.pair(u, v)])
+
+    def bandwidth_complement(self, u: str, v: str) -> float:
+        """The paper's ``peak bandwidth − available bandwidth`` term."""
+        return max(self.peak_bandwidth(u, v) - self.bandwidth(u, v), 0.0)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.nodes)
+
+
+def build_snapshot(
+    store: SharedStore,
+    cluster: Cluster,
+    network: NetworkModel,
+    now: float,
+) -> ClusterSnapshot:
+    """Assemble a snapshot from monitor records in the shared store.
+
+    Nodes lacking a ``nodestate`` record (daemon never ran / crashed
+    before writing) are omitted — the allocator cannot reason about nodes
+    it has no data for.  Pairs lacking probe data are omitted likewise;
+    policies treat missing network data conservatively.
+    """
+    live = store.value("livehosts")
+    livehosts = tuple(live) if live is not None else tuple(cluster.names)
+
+    views: dict[str, NodeView] = {}
+    for name in cluster.names:
+        rec = store.value(f"nodestate/{name}")
+        if rec is None:
+            continue
+        views[name] = NodeView(
+            name=name,
+            cores=int(rec["static"]["cores"]),
+            frequency_ghz=float(rec["static"]["frequency_ghz"]),
+            memory_gb=float(rec["static"]["memory_gb"]),
+            users=int(rec["users"]),
+            cpu_load=_fill(rec["cpu_load"]),
+            cpu_util=_fill(rec["cpu_util"]),
+            flow_rate_mbs=_fill(rec["flow_rate_mbs"]),
+            available_memory_gb=_fill(rec["available_memory_gb"]),
+            switch=rec["static"].get("switch"),
+        )
+
+    bandwidth: dict[tuple[str, str], float] = {}
+    latency: dict[tuple[str, str], float] = {}
+    peak: dict[tuple[str, str], float] = {}
+    names = list(views)
+    for i, a in enumerate(names):
+        bw_rec = store.value(f"bandwidth/{a}") or {}
+        lat_rec = store.value(f"latency/{a}") or {}
+        for b in names[i + 1 :]:
+            key = (a, b) if a <= b else (b, a)
+            if b in bw_rec:
+                bandwidth[key] = float(bw_rec[b])
+            if b in lat_rec:
+                # Prefer the 1-minute mean per §4; fall back to instantaneous.
+                stats = lat_rec[b]
+                latency[key] = float(
+                    stats["m1"] if stats.get("m1") is not None else stats["now"]
+                )
+            peak[key] = network.peak_bandwidth(a, b)
+
+    return ClusterSnapshot(
+        time=now,
+        nodes=views,
+        bandwidth_mbs=bandwidth,
+        latency_us=latency,
+        peak_bandwidth_mbs=peak,
+        livehosts=livehosts,
+    )
+
+
+def _fill(stats: Mapping[str, float | None]) -> dict[str, float]:
+    """Backfill missing rolling means with the freshest available value.
+
+    An optional ``forecast`` entry (written by the forecasting daemon
+    extension) passes through so policies can plan on predicted state.
+    """
+    now = float(stats["now"])  # type: ignore[arg-type]
+    out = {"now": now}
+    prev = now
+    for k in ("m1", "m5", "m15"):
+        v = stats.get(k)
+        prev = float(v) if v is not None else prev
+        out[k] = prev
+    if stats.get("forecast") is not None:
+        out["forecast"] = float(stats["forecast"])  # type: ignore[arg-type]
+    return out
+
+
+def oracle_snapshot(
+    cluster: Cluster,
+    network: NetworkModel,
+    now: float = 0.0,
+    *,
+    rng=None,
+) -> ClusterSnapshot:
+    """Ground-truth snapshot (no monitoring delay/staleness).
+
+    Useful for unit tests and for isolating allocator quality from
+    monitoring quality in ablations.
+    """
+    views: dict[str, NodeView] = {}
+    up = [n for n in cluster.names if cluster.state(n).up]
+    for name in up:
+        spec, state = cluster.spec(name), cluster.state(name)
+        flat = lambda v: {"now": v, "m1": v, "m5": v, "m15": v}  # noqa: E731
+        views[name] = NodeView(
+            name=name,
+            cores=spec.cores,
+            frequency_ghz=spec.frequency_ghz,
+            memory_gb=spec.memory_gb,
+            users=state.users,
+            cpu_load=flat(state.cpu_load),
+            cpu_util=flat(state.cpu_util),
+            flow_rate_mbs=flat(state.flow_rate_mbs),
+            available_memory_gb=flat(max(spec.memory_gb - state.memory_used_gb, 0.0)),
+            switch=spec.switch,
+        )
+    pairs = [p for rnd in round_robin_rounds(up) for p in rnd]
+    bw = network.bulk_available_bandwidth(pairs)
+    bandwidth = {k: float(v) for k, v in bw.items()}
+    latency = {
+        (a, b): network.latency_us(a, b, rng=rng) for a, b in pairs
+    }
+    peak = {(a, b): network.peak_bandwidth(a, b) for a, b in pairs}
+    return ClusterSnapshot(
+        time=now,
+        nodes=views,
+        bandwidth_mbs=bandwidth,
+        latency_us=latency,
+        peak_bandwidth_mbs=peak,
+        livehosts=tuple(up),
+    )

@@ -1,0 +1,132 @@
+"""Shared key-value store standing in for the paper's NFS data plane.
+
+Every daemon writes its observations here; the Node Allocator reads only
+from here.  Two implementations share one interface:
+
+* :class:`InMemoryStore` — fast, used by simulations and tests;
+* :class:`FileStore` — one JSON file per key under a directory, matching
+  the paper's "each node daemon writes its data to the shared file
+  system" literally (useful for inspecting runs on disk).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Iterable
+
+
+class SharedStore(ABC):
+    """Abstract timestamped key-value store."""
+
+    @abstractmethod
+    def put(self, key: str, value: Any, time: float) -> None:
+        """Write ``value`` under ``key`` with write timestamp ``time``."""
+
+    @abstractmethod
+    def get(self, key: str) -> tuple[float, Any] | None:
+        """Return ``(time, value)`` or ``None`` if the key is absent."""
+
+    @abstractmethod
+    def keys(self, prefix: str = "") -> list[str]:
+        """All keys starting with ``prefix``, sorted."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; return whether it existed."""
+
+    # -- convenience ------------------------------------------------------
+    def value(self, key: str, default: Any = None) -> Any:
+        """The stored value, or ``default``."""
+        rec = self.get(key)
+        return default if rec is None else rec[1]
+
+    def age(self, key: str, now: float) -> float | None:
+        """Seconds since ``key`` was last written, or ``None``."""
+        rec = self.get(key)
+        return None if rec is None else now - rec[0]
+
+
+class InMemoryStore(SharedStore):
+    """Dictionary-backed store."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, tuple[float, Any]] = {}
+
+    def put(self, key: str, value: Any, time: float) -> None:
+        self._data[key] = (time, value)
+
+    def get(self, key: str) -> tuple[float, Any] | None:
+        return self._data.get(key)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    def delete(self, key: str) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_SAFE = re.compile(r"[^A-Za-z0-9_.|-]")
+
+
+class FileStore(SharedStore):
+    """One JSON file per key under ``root`` (an NFS directory in the paper).
+
+    Keys may contain ``/`` which maps to subdirectories; other unsafe
+    characters are percent-escaped so arbitrary node names round-trip.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        parts = [
+            _SAFE.sub(lambda m: f"%{ord(m.group()):02x}", p)
+            for p in key.split("/")
+        ]
+        if any(p in ("", ".", "..") for p in parts):
+            raise ValueError(f"invalid key {key!r}")
+        return self._root.joinpath(*parts).with_suffix(".json")
+
+    def put(self, key: str, value: Any, time: float) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"time": time, "value": value}))
+        tmp.replace(path)  # atomic on POSIX — readers never see torn writes
+
+    def get(self, key: str) -> tuple[float, Any] | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        rec = json.loads(path.read_text())
+        return (float(rec["time"]), rec["value"])
+
+    def keys(self, prefix: str = "") -> list[str]:
+        out = []
+        for p in self._root.rglob("*.json"):
+            rel = p.relative_to(self._root).with_suffix("")
+            key = "/".join(
+                re.sub(
+                    r"%([0-9a-f]{2})",
+                    lambda m: chr(int(m.group(1), 16)),
+                    part,
+                )
+                for part in rel.parts
+            )
+            if key.startswith(prefix):
+                out.append(key)
+        return sorted(out)
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False

@@ -1,0 +1,170 @@
+"""MonitoringSystem — wires the full Resource Monitor together.
+
+One call builds the paper's Figure 3 left-hand side: a ``NodeStateD`` per
+node, redundant ``LivehostsD`` instances at different frequencies, one
+``LatencyD`` and one ``BandwidthD``, all supervised by a master/slave
+Central Monitor pair, all writing to one shared store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.des.engine import Engine
+from repro.monitor.central import CentralService
+from repro.monitor.daemons import Daemon, LivehostsD, NodeStateD
+from repro.monitor.netdaemons import BandwidthD, LatencyD
+from repro.monitor.snapshot import ClusterSnapshot, build_snapshot
+from repro.monitor.store import InMemoryStore, SharedStore
+from repro.net.model import NetworkModel
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Periods for each daemon type (paper defaults)."""
+
+    nodestate_period_s: float = 5.0       # "every 3-10 seconds"
+    nodestate_jitter_s: float = 4.0
+    #: use ForecastingNodeStateD (adds NWS-style per-attribute forecasts)
+    forecasting: bool = False
+    livehosts_periods_s: tuple[float, ...] = (20.0, 45.0)  # "different frequencies"
+    latency_period_s: float = 60.0        # "1 minute for latency"
+    bandwidth_period_s: float = 300.0     # "5 minutes for bandwidth"
+    central_period_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "nodestate_period_s",
+            "latency_period_s",
+            "bandwidth_period_s",
+            "central_period_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not self.livehosts_periods_s:
+            raise ValueError("need at least one LivehostsD instance")
+
+
+class MonitoringSystem:
+    """The assembled Resource Monitor."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        network: NetworkModel,
+        *,
+        store: SharedStore | None = None,
+        config: MonitorConfig | None = None,
+        seed: int | RngStream = 0,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.network = network
+        self.store = store if store is not None else InMemoryStore()
+        self.config = config or MonitorConfig()
+        streams = seed if isinstance(seed, RngStream) else RngStream(seed)
+        cfg = self.config
+
+        jitter_rng = streams.child("monitor_jitter")
+        if cfg.forecasting:
+            from repro.monitor.forecasting_daemon import ForecastingNodeStateD
+
+            nodestate_cls: type[NodeStateD] = ForecastingNodeStateD
+        else:
+            nodestate_cls = NodeStateD
+        self.nodestate: dict[str, NodeStateD] = {
+            n: nodestate_cls(
+                engine,
+                self.store,
+                cluster,
+                n,
+                period_s=cfg.nodestate_period_s,
+                jitter_s=cfg.nodestate_jitter_s,
+                jitter_rng=jitter_rng,
+            )
+            for n in cluster.names
+        }
+        hosts = cluster.names
+        self.livehosts: list[LivehostsD] = [
+            LivehostsD(
+                engine,
+                self.store,
+                cluster,
+                instance=str(i),
+                host=hosts[i % len(hosts)],
+                period_s=p,
+            )
+            for i, p in enumerate(cfg.livehosts_periods_s)
+        ]
+        self.latencyd = LatencyD(
+            engine,
+            self.store,
+            cluster,
+            network,
+            host=hosts[min(2, len(hosts) - 1)],
+            period_s=cfg.latency_period_s,
+            rng=streams.child("latency_probe"),
+        )
+        self.bandwidthd = BandwidthD(
+            engine,
+            self.store,
+            cluster,
+            network,
+            host=hosts[min(3, len(hosts) - 1)],
+            period_s=cfg.bandwidth_period_s,
+        )
+        supervised: list[Daemon] = [
+            *self.nodestate.values(),
+            *self.livehosts,
+            self.latencyd,
+            self.bandwidthd,
+        ]
+        self.central = CentralService(
+            engine,
+            self.store,
+            cluster,
+            supervised,
+            master_host=hosts[0],
+            slave_host=hosts[min(1, len(hosts) - 1)],
+            period_s=cfg.central_period_s,
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch every daemon and the central monitor pair."""
+        for d in self.nodestate.values():
+            d.start()
+        for d in self.livehosts:
+            d.start()
+        self.latencyd.start()
+        self.bandwidthd.start()
+        self.central.start()
+
+    def all_daemons(self) -> list[Daemon]:
+        return [
+            *self.nodestate.values(),
+            *self.livehosts,
+            self.latencyd,
+            self.bandwidthd,
+        ]
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Current allocator view, assembled from the shared store."""
+        return build_snapshot(self.store, self.cluster, self.network, self.engine.now)
+
+    def prime(self) -> None:
+        """Force one immediate sample of everything (bootstrap helper).
+
+        Real deployments wait a probe interval before the first
+        allocation; tests and short experiments can prime instead.
+        """
+        for d in self.all_daemons():
+            if d.alive and (d.host is None or self.cluster.state(d.host).up):
+                d.ticks += 1
+                self.store.put(f"heartbeat/{d.name}", d.ticks, self.engine.now)
+                d.sample()

@@ -1,0 +1,18 @@
+"""Network substrate: tree routing, flows, fair-share bandwidth, latency."""
+
+from repro.net.bandwidth import FairShareSolver, available_bandwidth
+from repro.net.flows import Flow, FlowSet
+from repro.net.latency import LatencyConfig, LatencyModel
+from repro.net.model import NetworkModel
+from repro.net.probes import round_robin_rounds
+
+__all__ = [
+    "FairShareSolver",
+    "available_bandwidth",
+    "Flow",
+    "FlowSet",
+    "LatencyConfig",
+    "LatencyModel",
+    "NetworkModel",
+    "round_robin_rounds",
+]

@@ -1,0 +1,94 @@
+"""Traffic flows over the cluster network.
+
+A :class:`Flow` is a unidirectional data stream between two compute nodes
+with an offered demand (MB/s).  Background workload and running MPI jobs
+both express their traffic as flows; the fair-share solver then decides the
+rate each flow actually achieves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+_flow_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional traffic flow.
+
+    ``demand_mbs = float('inf')`` models a greedy (TCP-like, always
+    backlogged) flow that takes whatever fair share it can get.
+    """
+
+    src: str
+    dst: str
+    demand_mbs: float
+    tag: str = "background"
+    flow_id: int = field(default_factory=lambda: next(_flow_ids))
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"flow endpoints must differ, got {self.src!r} twice")
+        if not self.demand_mbs > 0:
+            raise ValueError(f"flow demand must be positive, got {self.demand_mbs}")
+
+
+class FlowSet:
+    """A mutable collection of flows with O(1) add/remove by id."""
+
+    def __init__(self, flows: Iterable[Flow] = ()) -> None:
+        self._flows: dict[int, Flow] = {}
+        for f in flows:
+            self.add(f)
+
+    def add(self, flow: Flow) -> Flow:
+        if flow.flow_id in self._flows:
+            raise ValueError(f"duplicate flow id {flow.flow_id}")
+        self._flows[flow.flow_id] = flow
+        return flow
+
+    def remove(self, flow: Flow) -> None:
+        try:
+            del self._flows[flow.flow_id]
+        except KeyError:
+            raise KeyError(f"flow {flow.flow_id} not in set") from None
+
+    def remove_tag(self, tag: str) -> int:
+        """Remove every flow with the given tag; return how many."""
+        doomed = [fid for fid, f in self._flows.items() if f.tag == tag]
+        for fid in doomed:
+            del self._flows[fid]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._flows.clear()
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows.values())
+
+    def __contains__(self, flow: Flow) -> bool:
+        return flow.flow_id in self._flows
+
+    def with_tag(self, tag: str) -> list[Flow]:
+        """All flows carrying ``tag``."""
+        return [f for f in self._flows.values() if f.tag == tag]
+
+    def node_flow_rate(self, rates: dict[int, float]) -> dict[str, float]:
+        """Aggregate achieved rate (MB/s) in+out per node.
+
+        ``rates`` maps flow_id -> achieved rate, as returned by the
+        fair-share solver.  This is what the paper's *node data flow rate*
+        attribute measures at the NIC.
+        """
+        per_node: dict[str, float] = {}
+        for f in self._flows.values():
+            r = rates.get(f.flow_id, 0.0)
+            per_node[f.src] = per_node.get(f.src, 0.0) + r
+            per_node[f.dst] = per_node.get(f.dst, 0.0) + r
+        return per_node

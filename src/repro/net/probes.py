@@ -1,0 +1,66 @@
+"""P2P probe scheduling.
+
+The paper distributes bandwidth/latency measurements so that "one node
+communicates with only one other node in each round (n/2 distinct pairs of
+nodes communicate at a time). There are n−1 such rounds."  That is exactly
+a round-robin tournament schedule (the *circle method*).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def round_robin_rounds(nodes: Sequence[str]) -> list[list[tuple[str, str]]]:
+    """Partition all node pairs into rounds of disjoint pairs.
+
+    For an even number of nodes ``n`` this yields ``n - 1`` rounds of
+    ``n / 2`` pairs; for odd ``n`` there are ``n`` rounds and one node sits
+    out each round.  Every unordered pair appears exactly once overall.
+    """
+    names = list(nodes)
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate node names in probe schedule")
+    if len(names) < 2:
+        return []
+    bye = None
+    if len(names) % 2 == 1:
+        bye = object()  # sentinel that never pairs
+        names.append(bye)  # type: ignore[arg-type]
+    n = len(names)
+    rounds: list[list[tuple[str, str]]] = []
+    # Circle method: fix names[0], rotate the rest.
+    ring = names[1:]
+    for _ in range(n - 1):
+        order = [names[0]] + ring
+        pairs = []
+        for i in range(n // 2):
+            a, b = order[i], order[n - 1 - i]
+            if a is bye or b is bye:
+                continue
+            pairs.append((a, b) if str(a) <= str(b) else (b, a))
+        rounds.append(pairs)
+        ring = ring[-1:] + ring[:-1]
+    return rounds
+
+
+def validate_rounds(
+    nodes: Sequence[str], rounds: list[list[tuple[str, str]]]
+) -> None:
+    """Assert the schedule is a valid tournament (used by tests/daemons)."""
+    seen: set[tuple[str, str]] = set()
+    for rnd in rounds:
+        busy: set[str] = set()
+        for a, b in rnd:
+            if a in busy or b in busy:
+                raise ValueError(f"node reused within a round: {(a, b)}")
+            busy.update((a, b))
+            key = (a, b) if a <= b else (b, a)
+            if key in seen:
+                raise ValueError(f"pair measured twice: {key}")
+            seen.add(key)
+    expected = {(a, b) if a <= b else (b, a)
+                for i, a in enumerate(nodes) for b in list(nodes)[i + 1:]}
+    if seen != expected:
+        missing = sorted(expected - seen)
+        raise ValueError(f"schedule misses pairs: {missing[:5]}...")

@@ -1,0 +1,19 @@
+"""Multi-job scheduling on top of the broker (system extension).
+
+The paper's broker answers one request at a time.  This layer simulates
+the *queue* a deployed broker would serve: MPI jobs arrive over time,
+each is allocated by a policy, occupies its nodes (adding CPU load and
+halo traffic that later jobs must route around), and departs when its
+priced execution completes.  Policies can then be compared on stream
+metrics — makespan, mean turnaround, wait — rather than single runs.
+"""
+
+from repro.scheduler.queue import JobRequest, SchedulerStats, ScheduledJob
+from repro.scheduler.scheduler import ClusterScheduler
+
+__all__ = [
+    "JobRequest",
+    "SchedulerStats",
+    "ScheduledJob",
+    "ClusterScheduler",
+]

@@ -1,0 +1,91 @@
+"""Job-queue data types for the scheduling layer."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.policies import Allocation
+from repro.util.validation import require_non_negative
+
+if TYPE_CHECKING:
+    from repro.apps.base import AppModel
+
+_job_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One MPI job submitted to the scheduler."""
+
+    app: "AppModel"
+    n_processes: int
+    ppn: int | None = 4
+    submit_time: float = 0.0
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    def __post_init__(self) -> None:
+        if self.n_processes <= 0:
+            raise ValueError(
+                f"n_processes must be positive, got {self.n_processes}"
+            )
+        require_non_negative(self.submit_time, "submit_time")
+
+
+@dataclass
+class ScheduledJob:
+    """Lifecycle record of a job inside the scheduler."""
+
+    request: JobRequest
+    allocation: Allocation | None = None
+    start_time: float | None = None
+    finish_time: float | None = None
+    execution_time_s: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def wait_s(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.request.submit_time
+
+    @property
+    def turnaround_s(self) -> float | None:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.request.submit_time
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Stream-level outcome of a scheduling run."""
+
+    n_jobs: int
+    makespan_s: float
+    mean_wait_s: float
+    mean_turnaround_s: float
+    mean_execution_s: float
+
+    @classmethod
+    def from_jobs(cls, jobs: list[ScheduledJob]) -> "SchedulerStats":
+        finished = [j for j in jobs if j.done]
+        if not finished:
+            raise ValueError("no finished jobs to summarize")
+        return cls(
+            n_jobs=len(finished),
+            makespan_s=max(j.finish_time for j in finished)  # type: ignore[type-var]
+            - min(j.request.submit_time for j in finished),
+            mean_wait_s=float(np.mean([j.wait_s for j in finished])),
+            mean_turnaround_s=float(
+                np.mean([j.turnaround_s for j in finished])
+            ),
+            mean_execution_s=float(
+                np.mean([j.execution_time_s for j in finished])
+            ),
+        )

@@ -1,0 +1,35 @@
+"""Simulated MPI execution substrate.
+
+Replaces the paper's MPICH + real cluster with a BSP cost model: per-step
+compute time scaled by node contention, point-to-point message time from
+fair-share bandwidth and congestion latency, log-tree collectives.
+"""
+
+from repro.simmpi.collectives import (
+    allreduce_time_s,
+    alltoall_time_s,
+    barrier_time_s,
+    bcast_time_s,
+)
+from repro.simmpi.costmodel import (
+    CommCostConfig,
+    CommPhase,
+    Message,
+    MessageCostModel,
+)
+from repro.simmpi.job import ExecutionReport, SimJob
+from repro.simmpi.placement import Placement
+
+__all__ = [
+    "allreduce_time_s",
+    "alltoall_time_s",
+    "barrier_time_s",
+    "bcast_time_s",
+    "CommCostConfig",
+    "CommPhase",
+    "Message",
+    "MessageCostModel",
+    "ExecutionReport",
+    "SimJob",
+    "Placement",
+]

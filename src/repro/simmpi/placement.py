@@ -1,0 +1,72 @@
+"""Rank-to-node placement derived from an allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.policies.base import Allocation
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Which node hosts each MPI rank.
+
+    Ranks are assigned block-wise in node order (MPICH hostfile
+    semantics): node0 gets ranks ``0..procs0-1``, node1 the next block,
+    and so on.
+    """
+
+    node_of_rank: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node_of_rank:
+            raise ValueError("placement must contain at least one rank")
+
+    @classmethod
+    def from_allocation(cls, allocation: Allocation) -> "Placement":
+        ranks: list[str] = []
+        for node in allocation.nodes:
+            ranks.extend([node] * allocation.procs[node])
+        return cls(node_of_rank=tuple(ranks))
+
+    @classmethod
+    def block(cls, nodes: Sequence[str], ppn: int, n_processes: int) -> "Placement":
+        """``ppn`` ranks per node, truncated to ``n_processes``."""
+        if ppn <= 0:
+            raise ValueError(f"ppn must be positive, got {ppn}")
+        ranks: list[str] = []
+        for node in nodes:
+            ranks.extend([node] * ppn)
+            if len(ranks) >= n_processes:
+                break
+        if len(ranks) < n_processes:
+            raise ValueError(
+                f"{len(nodes)} nodes x {ppn} ppn < {n_processes} processes"
+            )
+        return cls(node_of_rank=tuple(ranks[:n_processes]))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return len(self.node_of_rank)
+
+    @property
+    def nodes(self) -> list[str]:
+        """Distinct nodes in first-rank order."""
+        return list(dict.fromkeys(self.node_of_rank))
+
+    def node(self, rank: int) -> str:
+        return self.node_of_rank[rank]
+
+    def ranks_on(self, node: str) -> list[int]:
+        return [r for r, n in enumerate(self.node_of_rank) if n == node]
+
+    def procs_per_node(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for n in self.node_of_rank:
+            counts[n] = counts.get(n, 0) + 1
+        return counts
+
+    def colocated(self, rank_a: int, rank_b: int) -> bool:
+        return self.node_of_rank[rank_a] == self.node_of_rank[rank_b]

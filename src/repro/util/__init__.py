@@ -1,0 +1,29 @@
+"""Shared utilities: RNG management, units, validation helpers."""
+
+from repro.util.rng import RngStream, as_generator, spawn_children
+from repro.util.units import (
+    GIGABIT_PER_S_IN_MB_S,
+    MB,
+    MINUTES,
+    gbps_to_mbs,
+    mbs_to_gbps,
+)
+from repro.util.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = [
+    "RngStream",
+    "as_generator",
+    "spawn_children",
+    "GIGABIT_PER_S_IN_MB_S",
+    "MB",
+    "MINUTES",
+    "gbps_to_mbs",
+    "mbs_to_gbps",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+]

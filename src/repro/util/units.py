@@ -1,0 +1,42 @@
+"""Unit conventions used throughout the simulator.
+
+* **time** — seconds (floats on the simulation clock)
+* **bandwidth** — megabytes per second (MB/s)
+* **data volume** — megabytes (MB)
+* **latency** — microseconds where the paper reports microseconds; the
+  network model works in seconds internally and converts at the edges.
+
+Gigabit Ethernet (the paper's interconnect) carries 1 Gbit/s = 125 MB/s
+of raw capacity per link direction.
+"""
+
+from __future__ import annotations
+
+#: One megabyte, in bytes.
+MB: int = 1_000_000
+
+#: Seconds in a minute (rolling-mean windows are 1/5/15 minutes).
+MINUTES: float = 60.0
+
+#: Raw capacity of a 1 Gbit/s link in MB/s.
+GIGABIT_PER_S_IN_MB_S: float = 125.0
+
+
+def gbps_to_mbs(gbps: float) -> float:
+    """Convert gigabits per second to megabytes per second."""
+    return gbps * GIGABIT_PER_S_IN_MB_S
+
+
+def mbs_to_gbps(mbs: float) -> float:
+    """Convert megabytes per second to gigabits per second."""
+    return mbs / GIGABIT_PER_S_IN_MB_S
+
+
+def microseconds(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us * 1e-6
+
+
+def to_microseconds(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6

@@ -1,0 +1,44 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_in_range(
+    value: float, lo: float, hi: float, name: str, *, inclusive: bool = True
+) -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi`` (or strict)."""
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def require_type(value: Any, types: type | tuple[type, ...], name: str) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,10 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+matplotlib is unavailable offline, so this tiny renderer produces the
+line charts (Fig 1/2b/4/6), heatmaps (Fig 2a/7) and bar charts (Fig 5)
+as standalone ``.svg`` files from plain Python.
+"""
+
+from repro.viz.svg import SvgCanvas, bar_chart, heatmap, line_chart
+
+__all__ = ["SvgCanvas", "bar_chart", "heatmap", "line_chart"]

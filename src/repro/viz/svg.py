@@ -1,0 +1,255 @@
+"""Minimal SVG chart primitives (no third-party plotting available).
+
+Three chart builders cover every figure shape in the paper:
+
+* :func:`line_chart`  — multi-series time/size series (Fig 1, 2b, 4, 6)
+* :func:`heatmap`     — matrix shading (Fig 2a, 7)
+* :func:`bar_chart`   — per-category values (Fig 5)
+
+Each returns a complete ``<svg>`` document string; pass ``path`` to also
+write the file.  Output is deliberately simple — axes, ticks, legend —
+and valid standalone SVG 1.1.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: categorical series colours (colour-blind-safe Okabe-Ito subset)
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9")
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2g}"
+    return f"{v:.3g}"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements; renders a standalone document."""
+
+    def __init__(self, width: int = 640, height: int = 400) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"canvas must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+
+    def line(self, x1, y1, x2, y2, *, stroke="#333", width=1.0) -> None:
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def polyline(self, points, *, stroke="#0072B2", width=1.5) -> None:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def rect(self, x, y, w, h, *, fill="#ccc", stroke="none") -> None:
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(
+        self, x, y, content, *, size=11, anchor="start", fill="#222",
+        rotate: float | None = None,
+    ) -> None:
+        transform = (
+            f' transform="rotate({rotate:.0f} {x:.1f} {y:.1f})"'
+            if rotate is not None
+            else ""
+        )
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="sans-serif"{transform}>{_esc(content)}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _save(svg: str, path: str | Path | None) -> str:
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def _axes(canvas: SvgCanvas, box, x_range, y_range, title, x_label, y_label):
+    x0, y0, x1, y1 = box  # plot rectangle (y0 = top)
+    canvas.line(x0, y1, x1, y1)  # x axis
+    canvas.line(x0, y0, x0, y1)  # y axis
+    if title:
+        canvas.text(
+            (x0 + x1) / 2, 16, title, size=13, anchor="middle"
+        )
+    if x_label:
+        canvas.text((x0 + x1) / 2, y1 + 32, x_label, anchor="middle")
+    if y_label:
+        canvas.text(14, (y0 + y1) / 2, y_label, anchor="middle", rotate=-90)
+    lo_x, hi_x = x_range
+    lo_y, hi_y = y_range
+    for i in range(5):
+        frac = i / 4
+        xv = lo_x + frac * (hi_x - lo_x)
+        xp = x0 + frac * (x1 - x0)
+        canvas.line(xp, y1, xp, y1 + 4)
+        canvas.text(xp, y1 + 16, _fmt(xv), size=9, anchor="middle")
+        yv = lo_y + frac * (hi_y - lo_y)
+        yp = y1 - frac * (y1 - y0)
+        canvas.line(x0 - 4, yp, x0, yp)
+        canvas.text(x0 - 6, yp + 3, _fmt(yv), size=9, anchor="end")
+
+
+def line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 400,
+    path: str | Path | None = None,
+) -> str:
+    """Multi-series line chart: ``{name: (xs, ys)}``."""
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x/y length mismatch")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+    all_x = [v for xs, _ in series.values() for v in xs]
+    all_y = [v for _, ys in series.values() for v in ys]
+    lo_x, hi_x = min(all_x), max(all_x)
+    lo_y, hi_y = min(min(all_y), 0.0), max(all_y)
+    if hi_x == lo_x:
+        hi_x = lo_x + 1.0
+    if hi_y == lo_y:
+        hi_y = lo_y + 1.0
+    canvas = SvgCanvas(width, height)
+    box = (56.0, 28.0, width - 130.0, height - 44.0)
+    x0, y0, x1, y1 = box
+
+    def px(v):
+        return x0 + (v - lo_x) / (hi_x - lo_x) * (x1 - x0)
+
+    def py(v):
+        return y1 - (v - lo_y) / (hi_y - lo_y) * (y1 - y0)
+
+    _axes(canvas, box, (lo_x, hi_x), (lo_y, hi_y), title, x_label, y_label)
+    for k, (name, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[k % len(PALETTE)]
+        canvas.polyline(
+            [(px(x), py(y)) for x, y in zip(xs, ys)], stroke=color
+        )
+        ly = 40 + 16 * k
+        canvas.line(x1 + 8, ly - 4, x1 + 26, ly - 4, stroke=color, width=2)
+        canvas.text(x1 + 30, ly, name, size=10)
+    return _save(canvas.render(), path)
+
+
+def heatmap(
+    matrix: Sequence[Sequence[float]],
+    *,
+    labels: Sequence[str] | None = None,
+    title: str = "",
+    invert: bool = False,
+    width: int = 640,
+    height: int = 640,
+    path: str | Path | None = None,
+) -> str:
+    """Matrix shading; NaN cells render light grey. ``invert`` darkens lows."""
+    rows = [list(r) for r in matrix]
+    if not rows or not rows[0]:
+        raise ValueError("heatmap needs a non-empty matrix")
+    n_r, n_c = len(rows), len(rows[0])
+    if any(len(r) != n_c for r in rows):
+        raise ValueError("heatmap rows must have equal length")
+    finite = [v for r in rows for v in r if not math.isnan(v)]
+    lo = min(finite) if finite else 0.0
+    hi = max(finite) if finite else 1.0
+    span = hi - lo or 1.0
+    canvas = SvgCanvas(width, height)
+    box = (90.0, 30.0, width - 16.0, height - 60.0)
+    x0, y0, x1, y1 = box
+    cw, ch = (x1 - x0) / n_c, (y1 - y0) / n_r
+    if title:
+        canvas.text((x0 + x1) / 2, 18, title, size=13, anchor="middle")
+    for i, row in enumerate(rows):
+        for j, v in enumerate(row):
+            if math.isnan(v):
+                fill = "#eeeeee"
+            else:
+                frac = (v - lo) / span
+                if invert:
+                    frac = 1.0 - frac
+                shade = int(245 - frac * 215)
+                fill = f"rgb({shade},{shade},{shade})"
+            canvas.rect(x0 + j * cw, y0 + i * ch, cw + 0.5, ch + 0.5, fill=fill)
+        if labels is not None:
+            canvas.text(
+                x0 - 5, y0 + i * ch + ch * 0.7, labels[i], size=8, anchor="end"
+            )
+    canvas.text(x0, y1 + 20, f"min {_fmt(lo)}", size=10)
+    canvas.text(x1, y1 + 20, f"max {_fmt(hi)}", size=10, anchor="end")
+    return _save(canvas.render(), path)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    y_label: str = "",
+    width: int = 520,
+    height: int = 360,
+    path: str | Path | None = None,
+) -> str:
+    """Single-series bar chart: ``{category: value}`` (Fig 5 shape)."""
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    hi = max(max(values.values()), 1e-12)
+    canvas = SvgCanvas(width, height)
+    box = (56.0, 30.0, width - 20.0, height - 70.0)
+    x0, y0, x1, y1 = box
+    _axes(canvas, box, (0, len(values)), (0.0, hi), title, "", y_label)
+    n = len(values)
+    slot = (x1 - x0) / n
+    for k, (name, v) in enumerate(values.items()):
+        bh = (v / hi) * (y1 - y0)
+        bx = x0 + k * slot + slot * 0.15
+        canvas.rect(
+            bx, y1 - bh, slot * 0.7, bh, fill=PALETTE[k % len(PALETTE)]
+        )
+        canvas.text(
+            bx + slot * 0.35, y1 + 14, name, size=9, anchor="middle",
+            rotate=-20,
+        )
+        canvas.text(
+            bx + slot * 0.35, y1 - bh - 4, _fmt(v), size=9, anchor="middle"
+        )
+    return _save(canvas.render(), path)

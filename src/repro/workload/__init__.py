@@ -1,0 +1,30 @@
+"""Background workload substrate.
+
+Reproduces the *shared cluster* environment of the paper's Figure 1: a lab
+cluster where users log in interactively, run assignments and experiments,
+stream lectures, and copy data around — producing time-varying CPU load,
+CPU utilization, memory usage and network traffic on every node.
+"""
+
+from repro.workload.generator import BackgroundWorkload, WorkloadConfig
+from repro.workload.jobs import BatchJobConfig, BatchJobProcess
+from repro.workload.netflows import NetFlowConfig, NetFlowProcess
+from repro.workload.ou_process import OUProcess
+from repro.workload.replay import TraceReplayer
+from repro.workload.sessions import SessionConfig, SessionProcess
+from repro.workload.traces import ClusterTrace, TraceRecorder
+
+__all__ = [
+    "BackgroundWorkload",
+    "WorkloadConfig",
+    "BatchJobConfig",
+    "BatchJobProcess",
+    "NetFlowConfig",
+    "NetFlowProcess",
+    "OUProcess",
+    "TraceReplayer",
+    "SessionConfig",
+    "SessionProcess",
+    "ClusterTrace",
+    "TraceRecorder",
+]

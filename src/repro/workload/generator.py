@@ -1,0 +1,233 @@
+"""Orchestrates all background activity into ground-truth cluster state.
+
+:class:`BackgroundWorkload` wires per-node session processes, the
+cluster-wide batch-job and transfer processes, and a mean-reverting
+ambient-load component onto one discrete-event engine, and keeps every
+node's :class:`~repro.cluster.node.NodeState` up to date.
+
+Per-node *busyness* multipliers (drawn once per run) make some machines
+systematically quieter than others — the node A / node B contrast in the
+paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.des.engine import Engine
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+from repro.util.rng import RngStream
+from repro.util.validation import require_positive
+from repro.workload.jobs import BatchJobConfig, BatchJobProcess
+from repro.workload.netflows import NetFlowConfig, NetFlowProcess
+from repro.workload.ou_process import OUProcess
+from repro.workload.sessions import SessionConfig, SessionProcess
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Top-level workload tunables.
+
+    Defaults are calibrated so a 48-hour run over the paper cluster
+    reproduces the Figure 1 statistics: mean CPU utilization in the
+    20–35 % band, low median load with spikes, ~25 % memory use, and
+    strongly varying network I/O.
+    """
+
+    sessions: SessionConfig = field(default_factory=SessionConfig)
+    jobs: BatchJobConfig = field(default_factory=BatchJobConfig)
+    netflows: NetFlowConfig = field(default_factory=NetFlowConfig)
+    #: ground-truth refresh period, seconds
+    tick_s: float = 15.0
+    #: ambient OU load component (OS housekeeping, stragglers)
+    ambient_load_mu: float = 0.15
+    ambient_load_theta: float = 1.0 / 600.0
+    ambient_load_sigma: float = 0.02
+    #: OS + services baseline memory, GB
+    base_memory_gb: float = 2.5
+    #: CPU utilization percent contributed per unit of CPU load per core.
+    #: Well below 100: much of a lab cluster's "load" (runnable queue) is
+    #: I/O-bound or time-sliced, which is how the paper's cluster shows
+    #: load spikes while utilization stays in the 20-35 % band (Fig 1).
+    util_per_load: float = 35.0
+    #: baseline utilization percent (kernel, monitoring, desktop)
+    util_base: float = 12.0
+    #: std-dev of multiplicative node busyness (lognormal sigma)
+    busyness_sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_positive(self.tick_s, "tick_s")
+        require_positive(self.ambient_load_theta, "ambient_load_theta")
+        if self.busyness_sigma < 0:
+            raise ValueError("busyness_sigma must be non-negative")
+
+
+class BackgroundWorkload:
+    """Drives background activity and maintains ground-truth node states."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        network: NetworkModel,
+        *,
+        config: WorkloadConfig | None = None,
+        seed: int | RngStream = 0,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.network = network
+        self.config = config or WorkloadConfig()
+        streams = seed if isinstance(seed, RngStream) else RngStream(seed)
+        self._rng = streams
+
+        cfg = self.config
+        busy_rng = streams.child("busyness")
+        #: per-node activity multiplier; quiet and busy machines coexist
+        self.busyness: dict[str, float] = {
+            n: float(busy_rng.lognormal(0.0, cfg.busyness_sigma))
+            for n in cluster.names
+        }
+
+        self._ambient: dict[str, OUProcess] = {}
+        self._sessions: dict[str, SessionProcess] = {}
+        self._stream_flows: dict[str, list[Flow]] = {n: [] for n in cluster.names}
+        ambient_rng = streams.child("ambient")
+        self._ambient_rng = ambient_rng
+        for n in cluster.names:
+            mult = self.busyness[n]
+            self._ambient[n] = OUProcess(
+                mu=cfg.ambient_load_mu * mult,
+                theta=cfg.ambient_load_theta,
+                sigma=cfg.ambient_load_sigma * mult,
+                x0=cfg.ambient_load_mu * mult,
+            )
+            per_node_cfg = replace(
+                cfg.sessions,
+                arrival_rate_per_hour=cfg.sessions.arrival_rate_per_hour * mult,
+            )
+            self._sessions[n] = SessionProcess(
+                engine,
+                n,
+                per_node_cfg,
+                streams.child(f"sessions:{n}"),
+                on_change=self._on_node_change,
+                pick_peer=self._pick_peer,
+            )
+
+        self._jobs = BatchJobProcess(
+            engine,
+            cluster.names,
+            cfg.jobs,
+            streams.child("jobs"),
+            on_change=self._on_node_change,
+            add_flow=network.add_flow,
+            remove_flow=network.remove_flow,
+        )
+        self._netflows = NetFlowProcess(
+            engine,
+            cluster.names,
+            cluster.topology.switch_of,
+            cfg.netflows,
+            streams.child("netflows"),
+            add_flow=network.add_flow,
+            remove_flow=network.remove_flow,
+        )
+        #: extra CPU load per node contributed by *scheduled MPI jobs*
+        #: (the scheduling layer registers running jobs here so their
+        #: ranks show up in ground truth like any other process)
+        self.external_load: dict[str, float] = {}
+        self._util_noise_rng = streams.child("util_noise")
+        # Busy hosts progress MPI messages slowly; feed ground-truth load
+        # into the network model's endpoint-latency term.
+        network.set_node_load_provider(
+            lambda n: cluster.state(n).cpu_load / cluster.spec(n).cores
+        )
+        self._tick_task = engine.every(cfg.tick_s, self._tick)
+        self._refresh_all()
+
+    # ------------------------------------------------------------------
+    def _pick_peer(self, node: str, rng: np.random.Generator) -> str | None:
+        others = [n for n in self.cluster.names if n != node]
+        if not others:
+            return None
+        return others[int(rng.integers(len(others)))]
+
+    def _on_node_change(self, node: str) -> None:
+        self._sync_stream_flows(node)
+        self._refresh_node(node)
+
+    def _sync_stream_flows(self, node: str) -> None:
+        for old in self._stream_flows[node]:
+            if old in self.network.flows:
+                self.network.remove_flow(old)
+        fresh: list[Flow] = []
+        for _sid, peer, mbs in self._sessions[node].streams():
+            fresh.append(
+                self.network.add_flow(
+                    Flow(src=peer, dst=node, demand_mbs=mbs, tag="stream")
+                )
+            )
+        self._stream_flows[node] = fresh
+
+    def _tick(self) -> None:
+        dt = self.config.tick_s
+        for proc in self._ambient.values():
+            proc.step(dt, self._ambient_rng)
+        self._refresh_all()
+
+    def _refresh_all(self) -> None:
+        node_rates = self.network.node_flow_rates()
+        for n in self.cluster.names:
+            self._refresh_node(n, node_rates)
+
+    def _refresh_node(self, node: str, node_rates: dict[str, float] | None = None) -> None:
+        cfg = self.config
+        spec = self.cluster.spec(node)
+        state = self.cluster.state(node)
+        sess = self._sessions[node]
+
+        load = (
+            self._ambient[node].x
+            + sess.cpu_load
+            + self._jobs.load_on(node)
+            + self.external_load.get(node, 0.0)
+        )
+        util = cfg.util_base + cfg.util_per_load * min(load, spec.cores) / spec.cores
+        util += float(self._util_noise_rng.normal(0.0, 1.5))
+        util = float(np.clip(util, 0.0, 100.0))
+
+        mem = cfg.base_memory_gb + sess.memory_gb + self._jobs.memory_on(node)
+        mem = min(mem, spec.memory_gb)
+
+        if node_rates is None:
+            node_rates = self.network.node_flow_rates()
+        state.cpu_load = float(load)
+        state.cpu_util = util
+        state.memory_used_gb = float(mem)
+        state.flow_rate_mbs = float(node_rates.get(node, 0.0))
+        state.users = sess.user_count
+
+    # ------------------------------------------------------------------
+    def add_external_load(self, node: str, delta: float) -> None:
+        """Adjust a node's scheduled-job load and refresh its state."""
+        self.external_load[node] = self.external_load.get(node, 0.0) + delta
+        if abs(self.external_load[node]) < 1e-12:
+            del self.external_load[node]
+        self._refresh_node(node)
+
+    def stop(self) -> None:
+        """Stop all generating processes (existing activity drains)."""
+        self._tick_task.stop()
+        for s in self._sessions.values():
+            s.stop()
+        self._jobs.stop()
+        self._netflows.stop()
+
+    def warm_up(self, duration_s: float = 4 * 3600.0) -> None:
+        """Run the engine so the workload reaches steady state."""
+        self.engine.run(duration_s)

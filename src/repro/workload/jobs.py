@@ -1,0 +1,230 @@
+"""Background batch jobs (research experiments, assignments, MPI runs).
+
+A cluster-wide Poisson stream of compute jobs.  Three flavours:
+
+* **normal** single-node jobs burning a few cores;
+* **heavy** single-node jobs — the occasional load spikes visible in the
+  paper's Fig. 1(a);
+* **MPI** multi-node jobs on *consecutive* nodes — other users of the
+  shared cluster launching their own parallel runs the naive way ("users
+  often tend to select consecutive nodes", §5).  These create correlated
+  load across node blocks and traffic among them, which is exactly why
+  the paper's sequential baseline keeps colliding with existing work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.des.engine import Engine
+from repro.net.flows import Flow
+from repro.util.validation import require_non_negative, require_positive
+
+_job_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class BatchJobConfig:
+    """Tunables for the background batch-job process (cluster-wide)."""
+
+    arrival_rate_per_hour: float = 20.0
+    mean_duration_s: float = 1800.0
+    #: normal jobs burn 1..max_procs_normal processes
+    max_procs_normal: int = 4
+    #: fraction of jobs that are heavy (load spikes)
+    heavy_prob: float = 0.08
+    #: heavy jobs burn heavy_procs_min..heavy_procs_max processes
+    heavy_procs_min: int = 6
+    heavy_procs_max: int = 14
+    #: memory per process, GB
+    mem_per_proc_gb: float = 0.5
+    #: fraction of jobs that are multi-node MPI runs on consecutive nodes
+    mpi_prob: float = 0.30
+    mpi_nodes_min: int = 2
+    mpi_nodes_max: int = 6
+    mpi_procs_per_node_min: int = 2
+    mpi_procs_per_node_max: int = 6
+    #: traffic each MPI job puts between neighbouring block nodes, MB/s
+    mpi_flow_min_mbs: float = 3.0
+    mpi_flow_max_mbs: float = 20.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.arrival_rate_per_hour, "arrival_rate_per_hour")
+        require_positive(self.mean_duration_s, "mean_duration_s")
+        require_positive(self.max_procs_normal, "max_procs_normal")
+        if not 0.0 <= self.heavy_prob <= 1.0:
+            raise ValueError("heavy_prob must be in [0, 1]")
+        if not 0.0 <= self.mpi_prob <= 1.0:
+            raise ValueError("mpi_prob must be in [0, 1]")
+        if self.heavy_prob + self.mpi_prob > 1.0:
+            raise ValueError("heavy_prob + mpi_prob must not exceed 1")
+        if self.heavy_procs_max < self.heavy_procs_min:
+            raise ValueError("heavy_procs_max must be >= heavy_procs_min")
+        if self.mpi_nodes_max < self.mpi_nodes_min:
+            raise ValueError("mpi_nodes_max must be >= mpi_nodes_min")
+        if self.mpi_nodes_min < 2:
+            raise ValueError("an MPI job needs at least 2 nodes")
+        if self.mpi_procs_per_node_max < self.mpi_procs_per_node_min:
+            raise ValueError(
+                "mpi_procs_per_node_max must be >= mpi_procs_per_node_min"
+            )
+        if self.mpi_flow_max_mbs < self.mpi_flow_min_mbs:
+            raise ValueError("mpi_flow_max_mbs must be >= mpi_flow_min_mbs")
+        require_non_negative(self.mem_per_proc_gb, "mem_per_proc_gb")
+
+
+@dataclass
+class BatchJob:
+    """A running background job spanning one or more nodes."""
+
+    job_id: int
+    #: procs per node (single-node jobs have one entry)
+    procs: dict[str, int]
+    memory_gb_per_node: float
+    kind: str  # "normal" | "heavy" | "mpi"
+    flows: list[Flow] = field(default_factory=list)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self.procs)
+
+
+class BatchJobProcess:
+    """Cluster-wide arrival process for background batch jobs.
+
+    ``nodes`` must be in physical-proximity order (as cluster names are);
+    MPI jobs occupy consecutive slices of it.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: Sequence[str],
+        config: BatchJobConfig,
+        rng: np.random.Generator,
+        *,
+        on_change: Callable[[str], None],
+        add_flow: Callable[[Flow], object] | None = None,
+        remove_flow: Callable[[Flow], None] | None = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("BatchJobProcess needs at least one node")
+        self._engine = engine
+        self._nodes = list(nodes)
+        self.config = config
+        self._rng = rng
+        self._on_change = on_change
+        self._add_flow = add_flow
+        self._remove_flow = remove_flow
+        self.active: dict[int, BatchJob] = {}
+        self._stopped = False
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        if self._stopped:
+            return
+        rate_per_s = self.config.arrival_rate_per_hour / 3600.0
+        gap = float(self._rng.exponential(1.0 / rate_per_s))
+        self._engine.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        cfg = self.config
+        rng = self._rng
+        roll = rng.uniform()
+        if roll < cfg.mpi_prob and len(self._nodes) >= cfg.mpi_nodes_min:
+            job = self._make_mpi_job()
+        elif roll < cfg.mpi_prob + cfg.heavy_prob:
+            job = self._make_single_job(heavy=True)
+        else:
+            job = self._make_single_job(heavy=False)
+        self.active[job.job_id] = job
+        if self._add_flow is not None:
+            for f in job.flows:
+                self._add_flow(f)
+        duration = float(rng.exponential(cfg.mean_duration_s))
+        self._engine.schedule(duration, lambda: self._depart(job.job_id))
+        for n in job.nodes:
+            self._on_change(n)
+        self._schedule_next_arrival()
+
+    def _make_single_job(self, *, heavy: bool) -> BatchJob:
+        cfg, rng = self.config, self._rng
+        node = self._nodes[int(rng.integers(len(self._nodes)))]
+        if heavy:
+            procs = int(
+                rng.integers(cfg.heavy_procs_min, cfg.heavy_procs_max + 1)
+            )
+        else:
+            procs = int(rng.integers(1, cfg.max_procs_normal + 1))
+        return BatchJob(
+            job_id=next(_job_ids),
+            procs={node: procs},
+            memory_gb_per_node=procs * cfg.mem_per_proc_gb,
+            kind="heavy" if heavy else "normal",
+        )
+
+    def _make_mpi_job(self) -> BatchJob:
+        cfg, rng = self.config, self._rng
+        width = int(
+            rng.integers(
+                cfg.mpi_nodes_min, min(cfg.mpi_nodes_max, len(self._nodes)) + 1
+            )
+        )
+        start = int(rng.integers(len(self._nodes)))
+        block = [
+            self._nodes[(start + i) % len(self._nodes)] for i in range(width)
+        ]
+        ppn = int(
+            rng.integers(
+                cfg.mpi_procs_per_node_min, cfg.mpi_procs_per_node_max + 1
+            )
+        )
+        flows: list[Flow] = []
+        demand = float(rng.uniform(cfg.mpi_flow_min_mbs, cfg.mpi_flow_max_mbs))
+        # Ring traffic among block members (halo-exchange style).
+        for a, b in zip(block, block[1:] + block[:1]):
+            if a != b:
+                flows.append(
+                    Flow(src=a, dst=b, demand_mbs=demand, tag="background_mpi")
+                )
+        return BatchJob(
+            job_id=next(_job_ids),
+            procs={n: ppn for n in block},
+            memory_gb_per_node=ppn * cfg.mem_per_proc_gb,
+            kind="mpi",
+            flows=flows,
+        )
+
+    def _depart(self, job_id: int) -> None:
+        job = self.active.pop(job_id, None)
+        if job is None:
+            return
+        if self._remove_flow is not None:
+            for f in job.flows:
+                self._remove_flow(f)
+        for n in job.nodes:
+            self._on_change(n)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- aggregates ------------------------------------------------------
+    def load_on(self, node: str) -> float:
+        """CPU-load contribution (runnable processes) on ``node``."""
+        return float(
+            sum(j.procs.get(node, 0) for j in self.active.values())
+        )
+
+    def memory_on(self, node: str) -> float:
+        """Memory contribution (GB) on ``node``."""
+        return sum(
+            j.memory_gb_per_node
+            for j in self.active.values()
+            if node in j.procs
+        )

@@ -1,0 +1,122 @@
+"""Background network traffic: data copies, backups, distributed jobs.
+
+A cluster-wide Poisson stream of node-to-node transfers.  These flows are
+what congests shared switch uplinks and produces the dark patches and
+temporal fluctuation of the paper's Fig. 2 bandwidth heatmaps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.des.engine import Engine
+from repro.net.flows import Flow
+from repro.util.validation import require_positive
+
+_transfer_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class NetFlowConfig:
+    """Tunables for background transfers (cluster-wide)."""
+
+    arrival_rate_per_hour: float = 30.0
+    mean_duration_s: float = 600.0
+    #: lognormal demand parameters, MB/s (median ≈ exp(mu))
+    demand_mu: float = 2.5
+    demand_sigma: float = 0.8
+    #: cap on a single transfer's demand, MB/s
+    demand_cap_mbs: float = 120.0
+    #: probability the transfer crosses switches (vs. same-switch peer)
+    cross_switch_prob: float = 0.6
+
+    def __post_init__(self) -> None:
+        require_positive(self.arrival_rate_per_hour, "arrival_rate_per_hour")
+        require_positive(self.mean_duration_s, "mean_duration_s")
+        require_positive(self.demand_cap_mbs, "demand_cap_mbs")
+        if not 0.0 <= self.cross_switch_prob <= 1.0:
+            raise ValueError("cross_switch_prob must be in [0, 1]")
+
+
+class NetFlowProcess:
+    """Generates and retires background flows on the network model.
+
+    ``add_flow(flow)`` / ``remove_flow(flow)`` are injected so the process
+    stays decoupled from :class:`repro.net.model.NetworkModel`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: Sequence[str],
+        switch_of: Callable[[str], str],
+        config: NetFlowConfig,
+        rng: np.random.Generator,
+        *,
+        add_flow: Callable[[Flow], object],
+        remove_flow: Callable[[Flow], None],
+    ) -> None:
+        if len(nodes) < 2:
+            raise ValueError("NetFlowProcess needs at least two nodes")
+        self._engine = engine
+        self._nodes = list(nodes)
+        self._switch_of = switch_of
+        self.config = config
+        self._rng = rng
+        self._add_flow = add_flow
+        self._remove_flow = remove_flow
+        self.active: dict[int, Flow] = {}
+        self._stopped = False
+        self._by_switch: dict[str, list[str]] = {}
+        for n in self._nodes:
+            self._by_switch.setdefault(switch_of(n), []).append(n)
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        if self._stopped:
+            return
+        rate_per_s = self.config.arrival_rate_per_hour / 3600.0
+        gap = float(self._rng.exponential(1.0 / rate_per_s))
+        self._engine.schedule(gap, self._arrive)
+
+    def _pick_pair(self) -> tuple[str, str]:
+        rng = self._rng
+        src = self._nodes[int(rng.integers(len(self._nodes)))]
+        cross = rng.uniform() < self.config.cross_switch_prob
+        sw = self._switch_of(src)
+        same_switch_peers = [n for n in self._by_switch[sw] if n != src]
+        other_peers = [n for n in self._nodes if self._switch_of(n) != sw]
+        pool = other_peers if (cross and other_peers) else same_switch_peers
+        if not pool:
+            pool = [n for n in self._nodes if n != src]
+        dst = pool[int(rng.integers(len(pool)))]
+        return src, dst
+
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        cfg = self.config
+        src, dst = self._pick_pair()
+        demand = min(
+            float(self._rng.lognormal(cfg.demand_mu, cfg.demand_sigma)),
+            cfg.demand_cap_mbs,
+        )
+        tid = next(_transfer_ids)
+        flow = Flow(src=src, dst=dst, demand_mbs=demand, tag="background")
+        self.active[tid] = flow
+        self._add_flow(flow)
+        duration = float(self._rng.exponential(cfg.mean_duration_s))
+        self._engine.schedule(duration, lambda: self._depart(tid))
+        self._schedule_next_arrival()
+
+    def _depart(self, tid: int) -> None:
+        flow = self.active.pop(tid, None)
+        if flow is not None:
+            self._remove_flow(flow)
+
+    def stop(self) -> None:
+        self._stopped = True

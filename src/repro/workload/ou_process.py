@@ -1,0 +1,59 @@
+"""Mean-reverting (Ornstein–Uhlenbeck) stochastic processes.
+
+The baseline component of per-node CPU load and ambient network noise in
+Figure 1 of the paper is well described by a process that fluctuates
+around a base value with occasional excursions — exactly what an OU
+process clipped at zero gives us.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.validation import require_non_negative, require_positive
+
+
+class OUProcess:
+    """Discrete-time Ornstein–Uhlenbeck process, clipped to ``>= floor``.
+
+    dX = theta * (mu - X) dt + sigma dW
+
+    The exact discretisation is used (not Euler), so arbitrary step sizes
+    are fine:
+
+    X(t+dt) = mu + (X(t) - mu) * exp(-theta*dt)
+              + sigma * sqrt((1 - exp(-2*theta*dt)) / (2*theta)) * N(0,1)
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        theta: float,
+        sigma: float,
+        *,
+        x0: float | None = None,
+        floor: float = 0.0,
+    ) -> None:
+        require_positive(theta, "theta")
+        require_non_negative(sigma, "sigma")
+        self.mu = float(mu)
+        self.theta = float(theta)
+        self.sigma = float(sigma)
+        self.floor = float(floor)
+        self.x = max(self.floor, float(mu if x0 is None else x0))
+
+    def step(self, dt: float, rng: np.random.Generator) -> float:
+        """Advance by ``dt`` seconds and return the new value."""
+        require_positive(dt, "dt")
+        decay = math.exp(-self.theta * dt)
+        std = self.sigma * math.sqrt((1.0 - decay * decay) / (2.0 * self.theta))
+        self.x = self.mu + (self.x - self.mu) * decay + std * float(rng.normal())
+        if self.x < self.floor:
+            self.x = self.floor
+        return self.x
+
+    def stationary_std(self) -> float:
+        """Standard deviation of the (unclipped) stationary distribution."""
+        return self.sigma / math.sqrt(2.0 * self.theta)

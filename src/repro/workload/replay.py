@@ -1,0 +1,111 @@
+"""Replaying recorded cluster traces as ground truth.
+
+The paper's Figure 1 data is *historical* monitoring of a real cluster.
+:class:`TraceReplayer` drives a simulated cluster's node states from a
+recorded :class:`~repro.workload.traces.ClusterTrace` instead of the
+stochastic generator — enabling reproducible scenario libraries ("replay
+Tuesday's load and compare allocators on it") and fair A/B studies where
+both policies face literally identical background conditions.
+
+Network state is not part of a node trace; replay pairs naturally with a
+live :class:`~repro.net.model.NetworkModel` whose background flows are
+either left empty or driven separately.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.des.engine import Engine
+from repro.workload.traces import FIELDS, ClusterTrace
+
+
+class TraceReplayer:
+    """Feeds a recorded trace into cluster ground truth on the engine.
+
+    Parameters
+    ----------
+    interpolate:
+        Linearly interpolate between samples (user counts are rounded);
+        when ``False``, the most recent sample is held (zero-order hold).
+    loop:
+        Wrap around and replay from the start after the trace ends;
+        otherwise the final sample holds forever.
+    period_s:
+        How often ground truth is refreshed from the trace.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        trace: ClusterTrace,
+        *,
+        period_s: float = 15.0,
+        interpolate: bool = True,
+        loop: bool = False,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        if trace.data.shape[0] == 0:
+            raise ValueError("cannot replay an empty trace")
+        missing = [n for n in cluster.names if n not in trace.nodes]
+        if missing:
+            raise ValueError(f"trace lacks nodes: {missing}")
+        self.engine = engine
+        self.cluster = cluster
+        self.trace = trace
+        self.interpolate = interpolate
+        self.loop = loop
+        self._col = {n: trace.nodes.index(n) for n in cluster.names}
+        self._t0 = engine.now
+        self._task = engine.every(period_s, self._apply)
+        self._apply()
+
+    # ------------------------------------------------------------------
+    def _trace_time(self) -> float:
+        elapsed = self.engine.now - self._t0
+        times = self.trace.times
+        start, end = float(times[0]), float(times[-1])
+        span = end - start
+        t = start + elapsed
+        if self.loop and span > 0:
+            t = start + (elapsed % span)
+        return min(t, end)
+
+    def _row(self, t: float) -> np.ndarray:
+        times = self.trace.times
+        data = self.trace.data
+        idx = bisect.bisect_right(list(times), t) - 1
+        idx = max(idx, 0)
+        if not self.interpolate or idx >= len(times) - 1:
+            return data[idx]
+        t0, t1 = float(times[idx]), float(times[idx + 1])
+        if t1 == t0:
+            return data[idx]
+        frac = (t - t0) / (t1 - t0)
+        return (1.0 - frac) * data[idx] + frac * data[idx + 1]
+
+    def _apply(self) -> None:
+        row = self._row(self._trace_time())
+        for name, col in self._col.items():
+            state = self.cluster.state(name)
+            vals = row[col]
+            state.cpu_load = float(max(vals[FIELDS.index("cpu_load")], 0.0))
+            state.cpu_util = float(
+                np.clip(vals[FIELDS.index("cpu_util")], 0.0, 100.0)
+            )
+            state.memory_used_gb = float(
+                max(vals[FIELDS.index("memory_used_gb")], 0.0)
+            )
+            state.flow_rate_mbs = float(
+                max(vals[FIELDS.index("flow_rate_mbs")], 0.0)
+            )
+            state.users = int(round(max(vals[FIELDS.index("users")], 0.0)))
+
+    def stop(self) -> None:
+        """Stop refreshing; the last applied state holds."""
+        self._task.stop()

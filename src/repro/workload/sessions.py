@@ -1,0 +1,159 @@
+"""Interactive user sessions on shared lab machines.
+
+Each node receives a Poisson stream of login sessions.  A session holds a
+seat (users += 1), contributes CPU load and memory proportional to its
+activity level, and with some probability streams data (video lectures,
+downloads) as a background network flow from a randomly chosen peer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.des.engine import Engine
+from repro.util.validation import require_non_negative, require_positive
+
+_session_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tunables for the interactive-session process (per node).
+
+    Defaults target the paper's Fig. 1 regime: a handful of concurrent
+    users at busy times, light average CPU load, ~25 % memory use.
+    """
+
+    arrival_rate_per_hour: float = 3.0
+    mean_duration_s: float = 5400.0
+    #: lognormal parameters of per-session CPU-load contribution
+    load_mu: float = -0.4
+    load_sigma: float = 0.9
+    #: memory per session, GB (uniform range)
+    mem_min_gb: float = 0.1
+    mem_max_gb: float = 0.8
+    #: probability the session streams data over the network
+    streaming_prob: float = 0.3
+    #: streaming demand, MB/s (uniform range) — e.g. video lectures
+    stream_min_mbs: float = 0.5
+    stream_max_mbs: float = 6.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.arrival_rate_per_hour, "arrival_rate_per_hour")
+        require_positive(self.mean_duration_s, "mean_duration_s")
+        require_non_negative(self.mem_min_gb, "mem_min_gb")
+        if self.mem_max_gb < self.mem_min_gb:
+            raise ValueError("mem_max_gb must be >= mem_min_gb")
+        if not 0.0 <= self.streaming_prob <= 1.0:
+            raise ValueError("streaming_prob must be in [0, 1]")
+        if self.stream_max_mbs < self.stream_min_mbs:
+            raise ValueError("stream_max_mbs must be >= stream_min_mbs")
+
+
+@dataclass
+class Session:
+    """A live login session and its resource contributions."""
+
+    session_id: int
+    node: str
+    cpu_load: float
+    memory_gb: float
+    stream_mbs: float  # 0 if not streaming
+
+
+class SessionProcess:
+    """Drives session arrivals/departures for one node on the engine.
+
+    ``on_change(node)`` is invoked whenever this node's session set
+    changes, so the workload orchestrator can refresh ground-truth state.
+    ``pick_peer(node, rng)`` supplies the remote end for streaming flows.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: str,
+        config: SessionConfig,
+        rng: np.random.Generator,
+        *,
+        on_change: Callable[[str], None],
+        pick_peer: Callable[[str, np.random.Generator], str | None],
+    ) -> None:
+        self._engine = engine
+        self.node = node
+        self.config = config
+        self._rng = rng
+        self._on_change = on_change
+        self._pick_peer = pick_peer
+        self.active: dict[int, Session] = {}
+        self.peers: dict[int, str] = {}
+        self._stopped = False
+        self._schedule_next_arrival()
+
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self) -> None:
+        if self._stopped:
+            return
+        rate_per_s = self.config.arrival_rate_per_hour / 3600.0
+        gap = float(self._rng.exponential(1.0 / rate_per_s))
+        self._engine.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        cfg = self.config
+        sid = next(_session_ids)
+        stream = 0.0
+        if self._rng.uniform() < cfg.streaming_prob:
+            peer = self._pick_peer(self.node, self._rng)
+            if peer is not None:
+                stream = float(
+                    self._rng.uniform(cfg.stream_min_mbs, cfg.stream_max_mbs)
+                )
+                self.peers[sid] = peer
+        sess = Session(
+            session_id=sid,
+            node=self.node,
+            cpu_load=float(self._rng.lognormal(cfg.load_mu, cfg.load_sigma)),
+            memory_gb=float(self._rng.uniform(cfg.mem_min_gb, cfg.mem_max_gb)),
+            stream_mbs=stream,
+        )
+        self.active[sid] = sess
+        duration = float(self._rng.exponential(cfg.mean_duration_s))
+        self._engine.schedule(duration, lambda: self._depart(sid))
+        self._on_change(self.node)
+        self._schedule_next_arrival()
+
+    def _depart(self, sid: int) -> None:
+        if self.active.pop(sid, None) is not None:
+            self.peers.pop(sid, None)
+            self._on_change(self.node)
+
+    def stop(self) -> None:
+        """Stop generating new sessions (active ones still drain)."""
+        self._stopped = True
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def user_count(self) -> int:
+        return len(self.active)
+
+    @property
+    def cpu_load(self) -> float:
+        return sum(s.cpu_load for s in self.active.values())
+
+    @property
+    def memory_gb(self) -> float:
+        return sum(s.memory_gb for s in self.active.values())
+
+    def streams(self) -> list[tuple[int, str, float]]:
+        """(session_id, peer, MB/s) for each streaming session."""
+        return [
+            (sid, self.peers[sid], s.stream_mbs)
+            for sid, s in self.active.items()
+            if s.stream_mbs > 0 and sid in self.peers
+        ]

@@ -1,0 +1,147 @@
+"""Recording cluster time series (the raw material of the paper's Fig. 1/2).
+
+:class:`TraceRecorder` samples ground-truth node states (and optionally a
+set of P2P bandwidths) on a fixed period and accumulates them into a
+:class:`ClusterTrace` of NumPy arrays, which can be summarised or dumped
+to CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.des.engine import Engine
+from repro.net.model import NetworkModel
+
+#: Node-state fields captured per sample, in column order.
+FIELDS = ("cpu_load", "cpu_util", "memory_used_gb", "flow_rate_mbs", "users")
+
+
+@dataclass
+class ClusterTrace:
+    """Time-indexed samples of node state and optional pair bandwidths."""
+
+    nodes: list[str]
+    times: np.ndarray  # (T,)
+    data: np.ndarray  # (T, N, len(FIELDS))
+    pairs: list[tuple[str, str]] = field(default_factory=list)
+    pair_bandwidth: np.ndarray | None = None  # (T, P) MB/s
+
+    def series(self, node: str, metric: str) -> np.ndarray:
+        """Time series of ``metric`` (a name in FIELDS) for one node."""
+        if metric not in FIELDS:
+            raise KeyError(f"unknown metric {metric!r}; choose from {FIELDS}")
+        try:
+            j = self.nodes.index(node)
+        except ValueError:
+            raise KeyError(f"unknown node {node!r}") from None
+        return self.data[:, j, FIELDS.index(metric)]
+
+    def mean_series(self, metric: str) -> np.ndarray:
+        """Cluster-average time series of ``metric``."""
+        if metric not in FIELDS:
+            raise KeyError(f"unknown metric {metric!r}; choose from {FIELDS}")
+        return self.data[:, :, FIELDS.index(metric)].mean(axis=1)
+
+    def pair_series(self, pair: tuple[str, str]) -> np.ndarray:
+        """Available-bandwidth series for a tracked node pair."""
+        if self.pair_bandwidth is None:
+            raise ValueError("trace did not record pair bandwidths")
+        canon = pair if pair[0] <= pair[1] else (pair[1], pair[0])
+        try:
+            j = self.pairs.index(canon)
+        except ValueError:
+            raise KeyError(f"pair {pair!r} was not tracked") from None
+        return self.pair_bandwidth[:, j]
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Render node-state samples as CSV; optionally write to ``path``."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(["time", "node", *FIELDS])
+        for t_idx, t in enumerate(self.times):
+            for n_idx, node in enumerate(self.nodes):
+                writer.writerow(
+                    [f"{t:.1f}", node]
+                    + [f"{v:.6g}" for v in self.data[t_idx, n_idx]]
+                )
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+
+class TraceRecorder:
+    """Samples the cluster on a period; ``finish()`` yields the trace."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        *,
+        period_s: float = 300.0,
+        network: NetworkModel | None = None,
+        pairs: Sequence[tuple[str, str]] = (),
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        if pairs and network is None:
+            raise ValueError("tracking pair bandwidth requires a network model")
+        self._cluster = cluster
+        self._network = network
+        self._pairs = [
+            (a, b) if a <= b else (b, a) for a, b in pairs
+        ]
+        self._times: list[float] = []
+        self._rows: list[np.ndarray] = []
+        self._bw_rows: list[list[float]] = []
+        # First sample one full period in, so a recorder attached at t and
+        # run for k*period yields exactly k samples.
+        self._task = engine.every(
+            period_s,
+            lambda: self._sample(engine.now),
+            start=engine.now + period_s,
+        )
+
+    def _sample(self, now: float) -> None:
+        snapshot = np.empty((len(self._cluster.names), len(FIELDS)))
+        for i, n in enumerate(self._cluster.names):
+            st = self._cluster.state(n)
+            snapshot[i] = (
+                st.cpu_load,
+                st.cpu_util,
+                st.memory_used_gb,
+                st.flow_rate_mbs,
+                st.users,
+            )
+        self._times.append(now)
+        self._rows.append(snapshot)
+        if self._pairs:
+            assert self._network is not None
+            self._bw_rows.append(
+                [self._network.available_bandwidth(a, b) for a, b in self._pairs]
+            )
+
+    def finish(self) -> ClusterTrace:
+        """Stop sampling and return the accumulated trace."""
+        self._task.stop()
+        n_fields = len(FIELDS)
+        if self._rows:
+            data = np.stack(self._rows)
+        else:
+            data = np.empty((0, len(self._cluster.names), n_fields))
+        bw = np.array(self._bw_rows) if self._pairs else None
+        return ClusterTrace(
+            nodes=list(self._cluster.names),
+            times=np.array(self._times),
+            data=data,
+            pairs=list(self._pairs),
+            pair_bandwidth=bw,
+        )

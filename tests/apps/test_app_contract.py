@@ -1,0 +1,64 @@
+"""Contract tests every application model must satisfy."""
+
+import pytest
+
+from repro.apps import FFT3D, MiniFE, MiniMD, Stencil3D
+
+ALL_APPS = [
+    ("miniMD", lambda: MiniMD(16)),
+    ("miniFE", lambda: MiniFE(96)),
+    ("stencil3d", lambda: Stencil3D(64)),
+    ("fft3d", lambda: FFT3D(64)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_APPS)
+class TestAppContract:
+    def test_name_matches(self, name, factory):
+        assert factory().name == name
+
+    def test_tradeoff_valid(self, name, factory):
+        t = factory().recommended_tradeoff()
+        assert t.alpha + t.beta == pytest.approx(1.0)
+
+    def test_schedule_positive_counts(self, name, factory):
+        for block in factory().schedule(8):
+            assert block.count > 0
+            assert block.demand.compute_gcycles >= 0
+
+    def test_total_steps_stable(self, name, factory):
+        app = factory()
+        assert app.total_steps(8) == app.total_steps(8)
+
+    def test_messages_reference_valid_ranks(self, name, factory):
+        n_ranks = 16
+        for block in factory().schedule(n_ranks):
+            for phase in block.demand.phases:
+                for m in phase.messages:
+                    assert 0 <= m.src_rank < n_ranks
+                    assert 0 <= m.dst_rank < n_ranks
+                    assert m.src_rank != m.dst_rank
+
+    def test_invalid_rank_count_rejected(self, name, factory):
+        with pytest.raises(ValueError):
+            factory().schedule(0)
+
+    def test_more_ranks_less_compute_each(self, name, factory):
+        app = factory()
+        c8 = app.schedule(8)[0].demand.compute_gcycles
+        c32 = app.schedule(32)[0].demand.compute_gcycles
+        assert c32 < c8
+
+    def test_runs_on_simjob(self, name, factory):
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.topology import uniform_cluster
+        from repro.net.model import NetworkModel
+        from repro.simmpi.job import SimJob
+        from repro.simmpi.placement import Placement
+
+        specs, topo = uniform_cluster(4, nodes_per_switch=2)
+        cluster, net = Cluster(specs, topo), NetworkModel(topo)
+        placement = Placement.block(cluster.names, 2, 8)
+        report = SimJob(factory(), placement, cluster, net).run()
+        assert report.total_time_s > 0
+        assert 0.0 <= report.comm_fraction <= 1.0

@@ -1,0 +1,45 @@
+"""Calibration checks: idle-cluster communication fractions per app.
+
+§5 profiling bands on the paper's loaded cluster: miniMD 40-80 %,
+miniFE 25-60 %. On an *idle* reference cluster fractions sit below their
+loaded values; these tests pin the calibrated idle baselines and the
+cross-app ordering, so model-constant drift is caught immediately.
+"""
+
+import pytest
+
+from repro.apps import FFT3D, MiniFE, MiniMD, Stencil3D
+from repro.core.profiling import profile_app
+
+
+@pytest.fixture(scope="module")
+def fractions():
+    return {
+        "minimd": profile_app(MiniMD(16), n_ranks=32).comm_fraction,
+        "minife": profile_app(MiniFE(96), n_ranks=32).comm_fraction,
+        "stencil": profile_app(Stencil3D(64), n_ranks=32).comm_fraction,
+        "fft": profile_app(FFT3D(128), n_ranks=32).comm_fraction,
+    }
+
+
+class TestCommFractionCalibration:
+    def test_minimd_band(self, fractions):
+        assert 0.30 <= fractions["minimd"] <= 0.85
+
+    def test_minife_band(self, fractions):
+        assert 0.15 <= fractions["minife"] <= 0.65
+
+    def test_ordering(self, fractions):
+        """fft (alltoall) > miniMD (chatty halo) > miniFE (CG)."""
+        assert fractions["fft"] > fractions["minimd"] > fractions["minife"]
+
+    def test_all_fractions_proper(self, fractions):
+        for name, f in fractions.items():
+            assert 0.0 < f < 1.0, name
+
+    def test_fraction_grows_with_scale(self):
+        """Strong scaling: more ranks, less compute each, same latency —
+        communication share rises (the paper's 64-process saturation)."""
+        f8 = profile_app(MiniMD(16), n_ranks=8).comm_fraction
+        f64 = profile_app(MiniMD(16), n_ranks=64, ppn=4).comm_fraction
+        assert f64 > f8

@@ -1,0 +1,80 @@
+"""Tests for the 3-D FFT (alltoall) proxy application."""
+
+import pytest
+
+from repro.apps.fft import FFT3D, FFTConfig
+
+
+class TestFFT3D:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FFT3D(0)
+        with pytest.raises(ValueError):
+            FFTConfig(steps=0)
+
+    def test_points(self):
+        assert FFT3D(64).points == 64**3
+
+    def test_schedule_structure(self):
+        app = FFT3D(128, FFTConfig(transforms_per_step=2, steps=100))
+        blocks = app.schedule(32)
+        assert len(blocks) == 1
+        assert blocks[0].count == 100
+        d = blocks[0].demand
+        assert len(d.alltoall_mb) == 4  # 2 transposes x 2 transforms
+        assert d.phases == ()  # no halo exchanges
+
+    def test_per_pair_volume_scales_inverse_square_ranks(self):
+        v8 = FFT3D(128).schedule(8)[0].demand.alltoall_mb[0]
+        v16 = FFT3D(128).schedule(16)[0].demand.alltoall_mb[0]
+        assert v8 == pytest.approx(4 * v16)
+
+    def test_compute_grows_superlinearly_with_n(self):
+        c64 = FFT3D(64).schedule(8)[0].demand.compute_gcycles
+        c128 = FFT3D(128).schedule(8)[0].demand.compute_gcycles
+        assert c128 > 8 * c64  # n^3 log n
+
+    def test_network_heavy_tradeoff(self):
+        t = FFT3D(128).recommended_tradeoff()
+        assert t.beta >= 0.7
+
+    def test_most_network_sensitive_app(self):
+        """FFT's comm share exceeds miniMD's on the same footprint."""
+        from repro.apps.minimd import MiniMD
+        from repro.core.profiling import profile_app
+
+        fft = profile_app(FFT3D(128), n_ranks=32)
+        md = profile_app(MiniMD(16), n_ranks=32)
+        assert fft.comm_fraction > md.comm_fraction
+
+
+class TestAlltoallCost:
+    def test_alltoall_monotone_in_ranks(self):
+        from repro.cluster.topology import uniform_cluster
+        from repro.net.model import NetworkModel
+        from repro.simmpi import Placement, alltoall_time_s
+
+        _, topo = uniform_cluster(8, nodes_per_switch=4)
+        net = NetworkModel(topo)
+        p4 = Placement.block(topo.nodes[:4], 1, 4)
+        p8 = Placement.block(topo.nodes, 1, 8)
+        assert alltoall_time_s(net, p8, 0.01) > alltoall_time_s(net, p4, 0.01)
+
+    def test_single_rank_free(self):
+        from repro.cluster.topology import uniform_cluster
+        from repro.net.model import NetworkModel
+        from repro.simmpi import Placement, alltoall_time_s
+
+        _, topo = uniform_cluster(2, nodes_per_switch=2)
+        net = NetworkModel(topo)
+        assert alltoall_time_s(net, Placement(("node1",)), 1.0) == 0.0
+
+    def test_negative_volume_rejected(self):
+        from repro.cluster.topology import uniform_cluster
+        from repro.net.model import NetworkModel
+        from repro.simmpi import Placement, alltoall_time_s
+
+        _, topo = uniform_cluster(2, nodes_per_switch=2)
+        net = NetworkModel(topo)
+        with pytest.raises(ValueError):
+            alltoall_time_s(net, Placement(("node1", "node2")), -1.0)

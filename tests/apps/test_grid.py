@@ -1,0 +1,97 @@
+"""Tests for process-grid decomposition and halo messages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.grid import (
+    coord_of,
+    halo_messages,
+    neighbors,
+    proc_grid,
+    rank_of,
+)
+
+
+class TestProcGrid:
+    def test_perfect_cubes(self):
+        assert proc_grid(8) == (2, 2, 2)
+        assert proc_grid(27) == (3, 3, 3)
+        assert proc_grid(64) == (4, 4, 4)
+
+    def test_common_counts(self):
+        assert proc_grid(1) == (1, 1, 1)
+        assert proc_grid(2) == (1, 1, 2)
+        assert proc_grid(16) == (2, 2, 4)
+        assert proc_grid(32) == (2, 4, 4)
+        assert proc_grid(48) == (3, 4, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            proc_grid(0)
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_product_equals_n(self, n):
+        px, py, pz = proc_grid(n)
+        assert px * py * pz == n
+        assert px <= py <= pz
+
+
+class TestCoords:
+    def test_roundtrip(self):
+        dims = (2, 3, 4)
+        for r in range(24):
+            assert rank_of(coord_of(r, dims), dims) == r
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            coord_of(24, (2, 3, 4))
+        with pytest.raises(ValueError):
+            rank_of((2, 0, 0), (2, 3, 4))
+
+
+class TestNeighbors:
+    def test_full_grid_six_neighbors(self):
+        n = neighbors(13, (3, 3, 3))  # centre of a 3x3x3 grid
+        assert len(n) == 6
+
+    def test_thin_dimension_deduplicated(self):
+        # extent 1 in two dims: only the z-axis neighbours remain
+        n = neighbors(0, (1, 1, 4))
+        assert set(n) == {1, 3}
+
+    def test_extent_two_single_neighbor(self):
+        n = neighbors(0, (2, 1, 1))
+        assert n == [1]
+
+    def test_no_self_neighbors(self):
+        for dims in [(1, 1, 1), (2, 2, 2), (1, 2, 3)]:
+            total = dims[0] * dims[1] * dims[2]
+            for r in range(total):
+                assert r not in neighbors(r, dims)
+
+
+class TestHaloMessages:
+    def test_symmetric_exchange(self):
+        msgs = halo_messages((2, 2, 2), (1.0, 1.0, 1.0))
+        pairs = {(m.src_rank, m.dst_rank) for m in msgs}
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_volumes_by_axis(self):
+        msgs = halo_messages((2, 1, 1), (0.5, 9.0, 9.0))
+        assert all(m.volume_mb == 0.5 for m in msgs)
+        assert len(msgs) == 2  # one each way
+
+    def test_extent_two_no_duplicate_messages(self):
+        msgs = halo_messages((2, 2, 2), (1.0, 1.0, 1.0))
+        # each rank has 3 distinct neighbours -> 8 * 3 = 24 directed sends
+        assert len(msgs) == 24
+        assert len({(m.src_rank, m.dst_rank) for m in msgs}) == 24
+
+    def test_larger_grid_message_count(self):
+        msgs = halo_messages((4, 4, 4), (1.0, 1.0, 1.0))
+        # 64 ranks x 6 neighbours, all distinct in a 4-extent torus
+        assert len(msgs) == 64 * 6
+
+    def test_single_rank_no_messages(self):
+        assert halo_messages((1, 1, 1), (1.0, 1.0, 1.0)) == []

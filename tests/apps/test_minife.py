@@ -1,0 +1,58 @@
+"""Tests for the miniFE application model."""
+
+import pytest
+
+from repro.apps.minife import MiniFE, MiniFEConfig
+from repro.core.weights import MINIFE_TRADEOFF
+
+
+class TestConfiguration:
+    def test_row_count(self):
+        app = MiniFE(96)
+        assert app.rows == 97**3
+
+    def test_anisotropic_brick(self):
+        app = MiniFE(10, 20, 30)
+        assert app.rows == 11 * 21 * 31
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MiniFE(0)
+        with pytest.raises(ValueError):
+            MiniFEConfig(cg_iterations=0)
+
+    def test_recommended_tradeoff_is_papers(self):
+        assert MiniFE(96).recommended_tradeoff() == MINIFE_TRADEOFF
+
+
+class TestSchedule:
+    def test_one_block_of_cg_iterations(self):
+        app = MiniFE(96, config=MiniFEConfig(cg_iterations=200))
+        blocks = app.schedule(32)
+        assert len(blocks) == 1
+        assert blocks[0].count == 200
+
+    def test_two_dot_product_allreduces_per_iteration(self):
+        d = MiniFE(96).schedule(32)[0].demand
+        assert len(d.allreduce_mb) == 2
+        assert all(mb == pytest.approx(8e-6) for mb in d.allreduce_mb)
+
+    def test_one_spmv_halo_per_iteration(self):
+        d = MiniFE(96).schedule(32)[0].demand
+        assert len(d.phases) == 1
+        assert d.phases[0].messages  # non-trivial on 32 ranks
+
+    def test_compute_scales_inverse_with_ranks(self):
+        d8 = MiniFE(96).schedule(8)[0].demand
+        d64 = MiniFE(96).schedule(64)[0].demand
+        assert d8.compute_gcycles == pytest.approx(8 * d64.compute_gcycles)
+
+    def test_compute_grows_with_nx(self):
+        small = MiniFE(48).schedule(8)[0].demand
+        big = MiniFE(384).schedule(8)[0].demand
+        assert big.compute_gcycles > 100 * small.compute_gcycles
+
+    def test_halo_volume_smaller_than_minimd_relatively(self):
+        """miniFE halo carries one double per value (vs 3 for miniMD)."""
+        d = MiniFE(96).schedule(32)[0].demand
+        assert max(m.volume_mb for m in d.phases[0].messages) < 1.0

@@ -1,0 +1,80 @@
+"""Tests for the miniMD application model."""
+
+import pytest
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.core.weights import MINIMD_TRADEOFF
+
+
+class TestConfiguration:
+    def test_atom_count_is_4_s_cubed(self):
+        assert MiniMD(8).atoms == 4 * 8**3  # 2K atoms (paper lower end)
+        assert MiniMD(48).atoms == 4 * 48**3  # ~442K atoms (upper end)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MiniMD(0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MiniMDConfig(cycles_per_pair=0.0)
+        with pytest.raises(ValueError):
+            MiniMDConfig(timesteps=0)
+
+    def test_recommended_tradeoff_is_papers(self):
+        assert MiniMD(16).recommended_tradeoff() == MINIMD_TRADEOFF
+
+
+class TestSchedule:
+    def test_total_steps_match_config(self):
+        app = MiniMD(16, MiniMDConfig(timesteps=1000))
+        assert app.total_steps(32) == 1000
+
+    def test_leftover_steps(self):
+        app = MiniMD(16, MiniMDConfig(timesteps=105, reneighbor_every=20))
+        assert app.total_steps(8) == 105
+
+    def test_compute_scales_inverse_with_ranks(self):
+        app = MiniMD(16)
+        d8 = app.schedule(8)[0].demand
+        d64 = app.schedule(64)[0].demand
+        assert d8.compute_gcycles == pytest.approx(8 * d64.compute_gcycles)
+
+    def test_compute_scales_with_problem_size(self):
+        small = MiniMD(8).schedule(8)[0].demand
+        big = MiniMD(16).schedule(8)[0].demand
+        assert big.compute_gcycles == pytest.approx(
+            8 * small.compute_gcycles
+        )  # atoms ~ s^3
+
+    def test_two_exchanges_per_plain_step(self):
+        app = MiniMD(16)
+        plain = app.schedule(32)[0].demand
+        assert len(plain.phases) == 2  # forward + reverse
+
+    def test_reneighbor_steps_heavier(self):
+        app = MiniMD(16)
+        blocks = app.schedule(32)
+        reneigh = [
+            b.demand for b in blocks if len(b.demand.phases) == 3
+        ]
+        plain = blocks[0].demand
+        assert reneigh
+        assert reneigh[0].compute_gcycles > plain.compute_gcycles
+
+    def test_halo_volume_shrinks_with_more_ranks(self):
+        v8 = max(
+            m.volume_mb
+            for m in MiniMD(32).schedule(8)[0].demand.phases[0].messages
+        )
+        v64 = max(
+            m.volume_mb
+            for m in MiniMD(32).schedule(64)[0].demand.phases[0].messages
+        )
+        assert v64 < v8
+
+    def test_single_rank_has_no_messages(self):
+        app = MiniMD(16)
+        for block in app.schedule(1):
+            for phase in block.demand.phases:
+                assert phase.messages == ()

@@ -1,0 +1,41 @@
+"""Tests for the generic 3-D stencil application."""
+
+import pytest
+
+from repro.apps.stencil import Stencil3D, StencilConfig
+
+
+class TestStencil:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Stencil3D(0)
+        with pytest.raises(ValueError):
+            StencilConfig(iterations=0)
+
+    def test_total_steps(self):
+        app = Stencil3D(64, StencilConfig(iterations=500, reduce_every=10))
+        assert app.total_steps(8) == 500
+
+    def test_leftover_iterations(self):
+        app = Stencil3D(64, StencilConfig(iterations=23, reduce_every=10))
+        assert app.total_steps(8) == 23
+
+    def test_reduce_cadence(self):
+        app = Stencil3D(64, StencilConfig(iterations=20, reduce_every=5))
+        blocks = app.schedule(8)
+        reduced = sum(
+            b.count for b in blocks if b.demand.allreduce_mb
+        )
+        assert reduced == 4  # one per 5 iterations
+
+    def test_tradeoff_between_the_two_mantevo_apps(self):
+        t = Stencil3D(64).recommended_tradeoff()
+        assert 0.3 <= t.alpha <= 0.4
+
+    def test_compute_configurable(self):
+        cheap = Stencil3D(64, StencilConfig(cycles_per_cell=1.0))
+        costly = Stencil3D(64, StencilConfig(cycles_per_cell=100.0))
+        assert (
+            costly.schedule(8)[0].demand.compute_gcycles
+            > cheap.schedule(8)[0].demand.compute_gcycles
+        )

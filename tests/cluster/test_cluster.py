@@ -1,0 +1,83 @@
+"""Tests for the Cluster container."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeSpec, NodeState
+from repro.cluster.topology import uniform_cluster
+
+
+@pytest.fixture
+def cluster():
+    specs, topo = uniform_cluster(6, nodes_per_switch=3)
+    return Cluster(specs, topo)
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        specs, topo = uniform_cluster(3, nodes_per_switch=3)
+        dup = specs + [specs[0]]
+        with pytest.raises(ValueError, match="duplicate"):
+            Cluster(dup, topo)
+
+    def test_spec_topology_mismatch(self):
+        specs, topo = uniform_cluster(4, nodes_per_switch=2)
+        with pytest.raises(ValueError, match="mismatch"):
+            Cluster(specs[:3], topo)
+
+    def test_switch_disagreement(self):
+        specs, topo = uniform_cluster(4, nodes_per_switch=2)
+        bad = list(specs)
+        bad[0] = NodeSpec(
+            name=bad[0].name,
+            cores=bad[0].cores,
+            frequency_ghz=bad[0].frequency_ghz,
+            memory_gb=bad[0].memory_gb,
+            switch="switch2",  # actually on switch1
+        )
+        with pytest.raises(ValueError, match="switch"):
+            Cluster(bad, topo)
+
+
+class TestAccess:
+    def test_len_iter_contains(self, cluster):
+        assert len(cluster) == 6
+        assert "node1" in cluster
+        assert list(cluster) == cluster.names
+
+    def test_spec_lookup(self, cluster):
+        assert cluster.spec("node1").cores == 12
+
+    def test_unknown_node(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.spec("ghost")
+        with pytest.raises(KeyError):
+            cluster.state("ghost")
+
+    def test_initial_state_idle(self, cluster):
+        st = cluster.state("node1")
+        assert st.cpu_load == 0.0 and st.up
+
+    def test_set_state_validates(self, cluster):
+        good = NodeState(cpu_load=1.0)
+        cluster.set_state("node1", good)
+        assert cluster.state("node1").cpu_load == 1.0
+        with pytest.raises(KeyError):
+            cluster.set_state("ghost", good)
+
+    def test_specs_view_is_copy(self, cluster):
+        view = cluster.specs()
+        view.pop("node1")
+        assert "node1" in cluster
+
+
+class TestAggregates:
+    def test_total_cores(self, cluster):
+        assert cluster.total_cores() == 6 * 12
+        assert cluster.total_cores(["node1", "node2"]) == 24
+
+    def test_up_down(self, cluster):
+        cluster.mark_down("node3")
+        assert "node3" not in cluster.up_nodes()
+        cluster.mark_up("node3")
+        assert "node3" in cluster.up_nodes()

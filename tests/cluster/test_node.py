@@ -1,0 +1,68 @@
+"""Tests for node specs and states."""
+
+import pytest
+
+from repro.cluster.node import NodeSpec, NodeState
+
+
+def spec(**kw):
+    base = dict(
+        name="n1", cores=12, frequency_ghz=4.6, memory_gb=16.0, switch="s1"
+    )
+    base.update(kw)
+    return NodeSpec(**base)
+
+
+class TestNodeSpec:
+    def test_valid(self):
+        s = spec()
+        assert s.cores == 12 and s.switch == "s1"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            spec().cores = 8  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"name": ""},
+            {"cores": 0},
+            {"cores": -4},
+            {"frequency_ghz": 0.0},
+            {"memory_gb": -1.0},
+            {"switch": ""},
+        ],
+    )
+    def test_invalid_fields(self, kw):
+        with pytest.raises(ValueError):
+            spec(**kw)
+
+
+class TestNodeState:
+    def test_defaults_are_idle_and_up(self):
+        st = NodeState()
+        assert st.cpu_load == 0.0 and st.up
+
+    def test_copy_is_independent(self):
+        st = NodeState(cpu_load=2.0)
+        cp = st.copy()
+        cp.cpu_load = 5.0
+        assert st.cpu_load == 2.0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"cpu_load": -1.0},
+            {"cpu_util": -5.0},
+            {"cpu_util": 101.0},
+            {"memory_used_gb": -0.5},
+            {"flow_rate_mbs": -1.0},
+            {"users": -1},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            NodeState(**kw)
+
+    def test_boundary_util(self):
+        assert NodeState(cpu_util=100.0).cpu_util == 100.0

@@ -1,0 +1,47 @@
+"""Proximity-numbering invariants of the paper cluster.
+
+§1: "Node numbering is based on physical proximity (1 - 4 hops)" and
+§5's sequential baseline depends on consecutive names being close.
+"""
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster()
+
+
+class TestProximityNumbering:
+    def test_hop_range_is_two_to_four(self, cluster):
+        _, topo = cluster
+        hops = {
+            topo.hops(f"csews{i}", f"csews{j}")
+            for i in range(1, 61)
+            for j in range(i + 1, 61, 7)
+        }
+        assert hops <= {2, 4}
+
+    def test_consecutive_pairs_mostly_two_hops(self, cluster):
+        _, topo = cluster
+        two_hop = sum(
+            1
+            for i in range(1, 60)
+            if topo.hops(f"csews{i}", f"csews{i + 1}") == 2
+        )
+        # only the 3 switch boundaries break adjacency
+        assert two_hop == 59 - 3
+
+    def test_distance_monotone_in_name_gap_on_average(self, cluster):
+        import numpy as np
+
+        _, topo = cluster
+        near = np.mean(
+            [topo.hops(f"csews{i}", f"csews{i + 1}") for i in range(1, 60)]
+        )
+        far = np.mean(
+            [topo.hops(f"csews{i}", f"csews{i + 30}") for i in range(1, 31)]
+        )
+        assert near < far

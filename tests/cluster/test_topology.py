@@ -1,0 +1,148 @@
+"""Tests for the switch-tree topology."""
+
+import networkx as nx
+import pytest
+
+from repro.cluster.topology import (
+    SwitchTopology,
+    paper_cluster,
+    uniform_cluster,
+)
+
+
+def two_level() -> SwitchTopology:
+    parents = {"root": None, "s1": "root", "s2": "root"}
+    nodes = {"a": "s1", "b": "s1", "c": "s2", "d": "s2"}
+    return SwitchTopology(parents, nodes)
+
+
+class TestConstruction:
+    def test_single_root_required(self):
+        with pytest.raises(ValueError, match="exactly one root"):
+            SwitchTopology({"s1": None, "s2": None}, {})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError, match="unknown parent"):
+            SwitchTopology({"root": None, "s1": "ghost"}, {})
+
+    def test_unknown_switch_for_node(self):
+        with pytest.raises(ValueError, match="unknown switch"):
+            SwitchTopology({"root": None}, {"a": "nope"})
+
+    def test_graph_contains_nodes_and_switches(self):
+        topo = two_level()
+        assert set(topo.graph) == {"root", "s1", "s2", "a", "b", "c", "d"}
+
+    def test_capacity_override(self):
+        parents = {"root": None, "s1": "root"}
+        topo = SwitchTopology(
+            parents, {"a": "s1"}, uplink_capacity_mbs=500.0, edge_capacity_mbs=250.0
+        )
+        assert topo.link_capacity("s1", "root") == 500.0
+        assert topo.link_capacity("a", "s1") == 250.0
+
+
+class TestPaths:
+    def test_same_switch_path(self):
+        topo = two_level()
+        assert topo.path("a", "b") == ("a", "s1", "b")
+
+    def test_cross_switch_path(self):
+        topo = two_level()
+        assert topo.path("a", "c") == ("a", "s1", "root", "s2", "c")
+
+    def test_path_is_reversible(self):
+        topo = two_level()
+        assert topo.path("c", "a") == topo.path("a", "c")[::-1]
+
+    def test_hops(self):
+        topo = two_level()
+        assert topo.hops("a", "b") == 2
+        assert topo.hops("a", "c") == 4
+        assert topo.hops("a", "a") == 0
+
+    def test_links_canonical_order(self):
+        topo = two_level()
+        for a, b in topo.links_on_path("a", "c"):
+            assert a <= b
+
+    def test_links_match_graph_edges(self):
+        topo = two_level()
+        for a, b in topo.links_on_path("a", "d"):
+            assert topo.graph.has_edge(a, b)
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            two_level().switch_of("zzz")
+
+    def test_three_level_tree(self):
+        parents = {
+            "root": None,
+            "mid1": "root",
+            "mid2": "root",
+            "leaf1": "mid1",
+            "leaf2": "mid2",
+        }
+        topo = SwitchTopology(parents, {"a": "leaf1", "b": "leaf2"})
+        assert topo.hops("a", "b") == 6
+        assert topo.switch_path("leaf1", "leaf2") == (
+            "leaf1", "mid1", "root", "mid2", "leaf2",
+        )
+
+    def test_nodes_on_switch(self):
+        topo = two_level()
+        assert topo.nodes_on_switch("s1") == ["a", "b"]
+        with pytest.raises(KeyError):
+            topo.nodes_on_switch("zzz")
+
+
+class TestPaperCluster:
+    def test_sixty_nodes_four_switches(self):
+        specs, topo = paper_cluster()
+        assert len(specs) == 60
+        assert len(topo.switches) == 5  # root + 4 leaves
+
+    def test_core_mix(self):
+        specs, _ = paper_cluster()
+        twelve = [s for s in specs if s.cores == 12]
+        eight = [s for s in specs if s.cores == 8]
+        assert len(twelve) == 40 and len(eight) == 8 * 0 + 20
+
+    def test_frequencies(self):
+        specs, _ = paper_cluster()
+        freqs = {s.cores: s.frequency_ghz for s in specs}
+        assert freqs[12] == 4.6 and freqs[8] == 2.8
+
+    def test_consecutive_nodes_share_switch(self):
+        specs, topo = paper_cluster()
+        assert topo.switch_of("csews1") == topo.switch_of("csews15")
+        assert topo.switch_of("csews1") != topo.switch_of("csews16")
+
+    def test_specs_match_topology(self):
+        specs, topo = paper_cluster()
+        for s in specs:
+            assert topo.switch_of(s.name) == s.switch
+
+    def test_tree_structure(self):
+        _, topo = paper_cluster()
+        assert nx.is_tree(topo.graph)
+
+
+class TestUniformCluster:
+    def test_node_count(self):
+        specs, _ = uniform_cluster(10, nodes_per_switch=4)
+        assert len(specs) == 10
+
+    def test_switch_count_rounds_up(self):
+        _, topo = uniform_cluster(10, nodes_per_switch=4)
+        assert len(topo.switches) == 4  # root + ceil(10/4)=3 leaves
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            uniform_cluster(0)
+        with pytest.raises(ValueError):
+            uniform_cluster(4, nodes_per_switch=0)
+
+    def test_homogeneous_spec(self):
+        specs, _ = uniform_cluster(4, cores=8, frequency_ghz=3.0)
+        assert all(s.cores == 8 and s.frequency_ghz == 3.0 for s in specs)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import paper_cluster, uniform_cluster
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_topo():
+    """(specs, topology) of the §5 evaluation cluster."""
+    return paper_cluster()
+
+
+@pytest.fixture
+def paper_cluster_obj(paper_topo) -> Cluster:
+    specs, topo = paper_topo
+    return Cluster(specs, topo)
+
+
+@pytest.fixture
+def small_topo():
+    """A small 8-node, 2-switch homogeneous cluster."""
+    return uniform_cluster(8, nodes_per_switch=4)
+
+
+@pytest.fixture
+def small_cluster(small_topo) -> Cluster:
+    specs, topo = small_topo
+    return Cluster(specs, topo)
+
+
+@pytest.fixture
+def small_network(small_topo) -> NetworkModel:
+    _specs, topo = small_topo
+    return NetworkModel(topo)

@@ -1,0 +1,88 @@
+"""Synthetic snapshot builders for allocator tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.monitor.snapshot import ClusterSnapshot, NodeView
+
+
+def flat(v: float) -> dict[str, float]:
+    return {"now": v, "m1": v, "m5": v, "m15": v}
+
+
+def make_view(
+    name: str,
+    *,
+    cores: int = 12,
+    freq: float = 4.6,
+    mem: float = 16.0,
+    users: int = 0,
+    load: float = 0.0,
+    util: float = 10.0,
+    flow: float = 0.0,
+    avail: float = 12.0,
+) -> NodeView:
+    return NodeView(
+        name=name,
+        cores=cores,
+        frequency_ghz=freq,
+        memory_gb=mem,
+        users=users,
+        cpu_load=flat(load),
+        cpu_util=flat(util),
+        flow_rate_mbs=flat(flow),
+        available_memory_gb=flat(avail),
+    )
+
+
+def make_snapshot(
+    views: dict[str, NodeView],
+    *,
+    bandwidth: dict[tuple[str, str], float] | None = None,
+    latency: dict[tuple[str, str], float] | None = None,
+    peak: float = 125.0,
+    time: float = 0.0,
+) -> ClusterSnapshot:
+    """Snapshot with uniform defaults for any unspecified pair."""
+    names = list(views)
+    pairs = [
+        (a, b) if a <= b else (b, a)
+        for a, b in itertools.combinations(names, 2)
+    ]
+    bw = {p: 125.0 for p in pairs}
+    lat = {p: 100.0 for p in pairs}
+    if bandwidth:
+        for k, v in bandwidth.items():
+            key = k if k[0] <= k[1] else (k[1], k[0])
+            bw[key] = v
+    if latency:
+        for k, v in latency.items():
+            key = k if k[0] <= k[1] else (k[1], k[0])
+            lat[key] = v
+    return ClusterSnapshot(
+        time=time,
+        nodes=views,
+        bandwidth_mbs=bw,
+        latency_us=lat,
+        peak_bandwidth_mbs={p: peak for p in pairs},
+        livehosts=tuple(names),
+    )
+
+
+@pytest.fixture
+def four_node_snapshot() -> ClusterSnapshot:
+    """Two idle well-connected nodes (a, b), one loaded (c), one far (d)."""
+    views = {
+        "a": make_view("a", load=0.5),
+        "b": make_view("b", load=0.5),
+        "c": make_view("c", load=10.0, util=80.0, users=4),
+        "d": make_view("d", load=0.5),
+    }
+    return make_snapshot(
+        views,
+        bandwidth={("a", "d"): 30.0, ("b", "d"): 30.0, ("c", "d"): 30.0},
+        latency={("a", "d"): 400.0, ("b", "d"): 400.0, ("c", "d"): 400.0},
+    )

@@ -1,0 +1,72 @@
+"""Tests for the Table 1 attribute registry."""
+
+import pytest
+
+from repro.core.attributes import (
+    ATTRIBUTE_NAMES,
+    ATTRIBUTES,
+    Criterion,
+    extract_matrix,
+    get_attribute,
+)
+from repro.monitor.snapshot import NodeView
+
+
+def view(name="n1", cores=12, freq=4.6, mem=16.0, users=1, load=2.0,
+         util=30.0, flow=5.0, avail=10.0):
+    flat = lambda v: {"now": v, "m1": v, "m5": v, "m15": v}  # noqa: E731
+    return NodeView(
+        name=name, cores=cores, frequency_ghz=freq, memory_gb=mem,
+        users=users, cpu_load=flat(load), cpu_util=flat(util),
+        flow_rate_mbs=flat(flow), available_memory_gb=flat(avail),
+    )
+
+
+class TestRegistry:
+    def test_table1_rows_present(self):
+        expected = {
+            "core_count", "cpu_frequency", "total_memory", "users",
+            "cpu_load", "cpu_util", "flow_rate", "available_memory",
+        }
+        assert set(ATTRIBUTE_NAMES) == expected
+
+    def test_criteria_match_table1(self):
+        by_name = {a.name: a.criterion for a in ATTRIBUTES}
+        assert by_name["core_count"] is Criterion.MAXIMIZE
+        assert by_name["cpu_frequency"] is Criterion.MAXIMIZE
+        assert by_name["total_memory"] is Criterion.MAXIMIZE
+        assert by_name["available_memory"] is Criterion.MAXIMIZE
+        assert by_name["users"] is Criterion.MINIMIZE
+        assert by_name["cpu_load"] is Criterion.MINIMIZE
+        assert by_name["cpu_util"] is Criterion.MINIMIZE
+        assert by_name["flow_rate"] is Criterion.MINIMIZE
+
+    def test_static_flags(self):
+        statics = {a.name for a in ATTRIBUTES if a.static}
+        assert statics == {"core_count", "cpu_frequency", "total_memory"}
+
+    def test_get_attribute(self):
+        assert get_attribute("cpu_load").name == "cpu_load"
+        with pytest.raises(KeyError, match="unknown attribute"):
+            get_attribute("nope")
+
+
+class TestExtraction:
+    def test_static_values(self):
+        m = extract_matrix({"n1": view(cores=8, freq=2.8, mem=16.0)})
+        assert m["core_count"]["n1"] == 8.0
+        assert m["cpu_frequency"]["n1"] == 2.8
+        assert m["total_memory"]["n1"] == 16.0
+
+    def test_dynamic_blend_averages_windows(self):
+        v = view()
+        object.__setattr__(
+            v, "cpu_load", {"now": 0.0, "m1": 3.0, "m5": 6.0, "m15": 9.0}
+        )
+        m = extract_matrix({"n1": v})
+        assert m["cpu_load"]["n1"] == pytest.approx(6.0)
+
+    def test_matrix_covers_all_nodes(self):
+        m = extract_matrix({"a": view("a"), "b": view("b")})
+        for attr in ATTRIBUTE_NAMES:
+            assert set(m[attr]) == {"a", "b"}

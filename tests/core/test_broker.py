@@ -1,0 +1,78 @@
+"""Tests for the ResourceBroker façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.broker import BrokerResult, ResourceBroker, WaitRecommended
+from repro.core.policies import (
+    AllocationError,
+    AllocationRequest,
+    LoadAwarePolicy,
+)
+from tests.core.conftest import make_snapshot, make_view
+
+
+@pytest.fixture
+def snapshot():
+    views = {f"n{i}": make_view(f"n{i}", load=0.5) for i in range(1, 5)}
+    return make_snapshot(views, time=100.0)
+
+
+@pytest.fixture
+def broker(snapshot):
+    return ResourceBroker(lambda: snapshot)
+
+
+class TestRequest:
+    def test_default_policy_is_network_load_aware(self, broker):
+        res = broker.request(AllocationRequest(8, ppn=4))
+        assert res.allocation.policy == "network_load_aware"
+        assert isinstance(res, BrokerResult)
+
+    def test_policy_by_name(self, broker):
+        rng = np.random.default_rng(0)
+        res = broker.request(AllocationRequest(8, ppn=4), rng=rng, policy="random")
+        assert res.allocation.policy == "random"
+
+    def test_policy_by_instance(self, broker):
+        res = broker.request(
+            AllocationRequest(8, ppn=4), policy=LoadAwarePolicy()
+        )
+        assert res.allocation.policy == "load_aware"
+
+    def test_unknown_policy_name(self, broker):
+        with pytest.raises(AllocationError, match="unknown policy"):
+            broker.request(AllocationRequest(8, ppn=4), policy="magic")
+
+    def test_overhead_measured(self, broker):
+        res = broker.request(AllocationRequest(8, ppn=4))
+        assert res.overhead_ms >= 0.0
+
+    def test_snapshot_age(self, broker):
+        res = broker.request(AllocationRequest(8, ppn=4), now=130.0)
+        assert res.snapshot_age_s == pytest.approx(30.0)
+
+
+class TestWaitRecommendation:
+    def test_saturated_cluster_recommends_waiting(self):
+        views = {f"n{i}": make_view(f"n{i}", load=30.0) for i in range(1, 5)}
+        snap = make_snapshot(views)
+        broker = ResourceBroker(
+            lambda: snap, wait_threshold_load_per_core=1.0
+        )
+        with pytest.raises(WaitRecommended) as exc:
+            broker.request(AllocationRequest(8, ppn=4))
+        assert exc.value.mean_load_per_core > 1.0
+
+    def test_light_cluster_allocates(self, snapshot):
+        broker = ResourceBroker(
+            lambda: snapshot, wait_threshold_load_per_core=1.0
+        )
+        res = broker.request(AllocationRequest(8, ppn=4))
+        assert res.allocation.n_nodes == 2
+
+    def test_no_threshold_never_waits(self):
+        views = {f"n{i}": make_view(f"n{i}", load=50.0) for i in range(1, 5)}
+        snap = make_snapshot(views)
+        broker = ResourceBroker(lambda: snap)
+        assert broker.request(AllocationRequest(8, ppn=4)).allocation

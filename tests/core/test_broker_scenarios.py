@@ -1,0 +1,45 @@
+"""Broker behaviour across live scenarios (timing, policy switching)."""
+
+import pytest
+
+from repro.core.broker import ResourceBroker
+from repro.core.policies import AllocationRequest
+from repro.core.policies.hierarchical import HierarchicalNetworkLoadAwarePolicy
+from repro.core.weights import MINIMD_TRADEOFF
+from repro.experiments.scenario import small_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return small_scenario(n_nodes=8, seed=37, warmup_s=600.0)
+
+
+class TestBrokerOnLiveScenario:
+    def test_repeated_requests_follow_cluster_evolution(self, scenario):
+        broker = scenario.broker()
+        req = AllocationRequest(8, ppn=4, tradeoff=MINIMD_TRADEOFF)
+        picks = set()
+        for _ in range(5):
+            picks.add(broker.request(req).allocation.nodes)
+            scenario.advance(1800.0)
+        # across 2.5 hours of churn the best pair should change at least once
+        assert len(picks) >= 2
+
+    def test_overhead_reasonable_on_small_cluster(self, scenario):
+        broker = scenario.broker()
+        res = broker.request(AllocationRequest(8, ppn=4))
+        assert res.overhead_ms < 50.0
+
+    def test_hierarchical_as_default_policy(self, scenario):
+        broker = ResourceBroker(
+            scenario.snapshot, policy=HierarchicalNetworkLoadAwarePolicy()
+        )
+        res = broker.request(AllocationRequest(8, ppn=4))
+        assert res.allocation.policy == "hierarchical_network_load_aware"
+
+    def test_snapshot_age_from_engine_clock(self, scenario):
+        broker = scenario.broker()
+        res = broker.request(
+            AllocationRequest(8, ppn=4), now=scenario.engine.now + 42.0
+        )
+        assert res.snapshot_age_s == pytest.approx(42.0)

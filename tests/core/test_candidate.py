@@ -1,0 +1,124 @@
+"""Tests for Algorithm 1 (candidate generation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate import (
+    addition_costs,
+    generate_all_candidates,
+    generate_candidate,
+)
+from repro.core.weights import TradeOff
+
+NODES = ["a", "b", "c", "d"]
+CL = {"a": 0.1, "b": 0.2, "c": 0.9, "d": 0.3}
+NL = {
+    ("a", "b"): 0.1,
+    ("a", "c"): 0.2,
+    ("a", "d"): 0.9,
+    ("b", "c"): 0.2,
+    ("b", "d"): 0.8,
+    ("c", "d"): 0.1,
+}
+PC = {"a": 4, "b": 4, "c": 4, "d": 4}
+T = TradeOff(alpha=0.5, beta=0.5)
+
+
+class TestAdditionCosts:
+    def test_start_node_is_free(self):
+        costs = addition_costs("a", NODES, CL, NL, T)
+        assert costs["a"] == 0.0
+
+    def test_formula(self):
+        costs = addition_costs("a", NODES, CL, NL, T)
+        assert costs["b"] == pytest.approx(0.5 * 0.2 + 0.5 * 0.1)
+        assert costs["d"] == pytest.approx(0.5 * 0.3 + 0.5 * 0.9)
+
+    def test_start_must_be_candidate(self):
+        with pytest.raises(ValueError):
+            addition_costs("zzz", NODES, CL, NL, T)
+
+    def test_missing_pair_penalised(self):
+        nl = {("a", "b"): 0.5}
+        costs = addition_costs("a", ["a", "b", "c"], CL, nl, T)
+        # (a, c) unmeasured -> worst observed NL (0.5)
+        assert costs["c"] == pytest.approx(0.5 * 0.9 + 0.5 * 0.5)
+
+
+class TestGenerateCandidate:
+    def test_exact_fill(self):
+        cand = generate_candidate("a", NODES, CL, NL, PC, 8, T)
+        assert cand.total_procs == 8
+        assert len(cand.nodes) == 2
+        assert cand.start == "a"
+        assert cand.nodes[0] == "a"  # start node always first
+
+    def test_greedy_prefers_cheap_neighbours(self):
+        cand = generate_candidate("a", NODES, CL, NL, PC, 8, T)
+        # from a: b costs 0.15, c costs 0.55, d costs 0.6 -> picks b
+        assert set(cand.nodes) == {"a", "b"}
+
+    def test_partial_last_node(self):
+        cand = generate_candidate("a", NODES, CL, NL, PC, 6, T)
+        assert cand.total_procs == 6
+        assert cand.procs["a"] == 4
+        assert cand.procs[cand.nodes[1]] == 2
+
+    def test_oversubscription_round_robin(self):
+        # cluster holds 16 slots; ask for 20 -> round-robin the extra 4
+        cand = generate_candidate("a", NODES, CL, NL, PC, 20, T)
+        assert cand.total_procs == 20
+        assert set(cand.nodes) == set(NODES)
+        assert all(v >= 4 for v in cand.procs.values())
+
+    def test_zero_capacity_node_dropped(self):
+        pc = dict(PC, b=0)
+        cand = generate_candidate("a", NODES, CL, NL, pc, 8, T)
+        assert "b" not in cand.nodes
+        assert cand.total_procs == 8
+
+    def test_invalid_process_count(self):
+        with pytest.raises(ValueError):
+            generate_candidate("a", NODES, CL, NL, PC, 0, T)
+
+    def test_missing_data_rejected(self):
+        with pytest.raises(KeyError):
+            generate_candidate("a", NODES, {"a": 0.1}, NL, PC, 4, T)
+        with pytest.raises(KeyError):
+            generate_candidate("a", NODES, CL, NL, {"a": 4}, 4, T)
+
+    def test_deterministic_tie_break(self):
+        cl = {n: 0.5 for n in NODES}
+        nl = {k: 0.5 for k in NL}
+        c1 = generate_candidate("a", NODES, cl, nl, PC, 12, T)
+        c2 = generate_candidate("a", NODES, cl, nl, PC, 12, T)
+        assert c1.nodes == c2.nodes
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        seed=st.integers(0, 99),
+    )
+    def test_allocation_invariants(self, n, seed):
+        """Property: procs sum to n; all listed nodes host >= 1 proc."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        cl = {x: float(rng.uniform(0, 1)) for x in NODES}
+        nl = {k: float(rng.uniform(0, 1)) for k in NL}
+        pc = {x: int(rng.integers(1, 6)) for x in NODES}
+        cand = generate_candidate("a", NODES, cl, nl, pc, n, T)
+        assert cand.total_procs == n
+        assert all(cand.procs[x] >= 1 for x in cand.nodes)
+        assert set(cand.procs) == set(cand.nodes)
+
+
+class TestGenerateAllCandidates:
+    def test_one_per_start_node(self):
+        cands = generate_all_candidates(NODES, CL, NL, PC, 8, T)
+        assert [c.start for c in cands] == NODES
+
+    def test_each_satisfies_request(self):
+        for cand in generate_all_candidates(NODES, CL, NL, PC, 10, T):
+            assert cand.total_procs == 10

@@ -1,0 +1,78 @@
+"""Tests for Equation 1 (compute load)."""
+
+import pytest
+
+from repro.core.compute_load import attribute_costs, compute_loads
+from repro.core.weights import ComputeWeights
+from tests.core.conftest import make_snapshot, make_view
+
+
+class TestAttributeCosts:
+    def test_all_attributes_present(self):
+        views = {"a": make_view("a"), "b": make_view("b")}
+        costs = attribute_costs(views)
+        assert "cpu_load" in costs and "core_count" in costs
+
+    def test_loaded_node_costs_more(self):
+        views = {"a": make_view("a", load=0.0), "b": make_view("b", load=8.0)}
+        costs = attribute_costs(views)
+        assert costs["cpu_load"]["b"] > costs["cpu_load"]["a"]
+
+    def test_bigger_node_costs_less(self):
+        views = {
+            "a": make_view("a", cores=12, freq=4.6),
+            "b": make_view("b", cores=8, freq=2.8),
+        }
+        costs = attribute_costs(views)
+        assert costs["core_count"]["a"] < costs["core_count"]["b"]
+        assert costs["cpu_frequency"]["a"] < costs["cpu_frequency"]["b"]
+
+
+class TestComputeLoads:
+    def test_idle_node_preferred(self, four_node_snapshot):
+        cl = compute_loads(four_node_snapshot)
+        assert cl["c"] > cl["a"]
+        assert cl["c"] > cl["b"]
+
+    def test_equal_nodes_equal_loads(self):
+        snap = make_snapshot({"a": make_view("a"), "b": make_view("b")})
+        cl = compute_loads(snap)
+        assert cl["a"] == pytest.approx(cl["b"])
+
+    def test_node_subset(self, four_node_snapshot):
+        cl = compute_loads(four_node_snapshot, nodes=["a", "c"])
+        assert set(cl) == {"a", "c"}
+
+    def test_unknown_subset_node(self, four_node_snapshot):
+        with pytest.raises(KeyError):
+            compute_loads(four_node_snapshot, nodes=["a", "zzz"])
+
+    def test_empty_snapshot(self):
+        snap = make_snapshot({"a": make_view("a")})
+        assert compute_loads(snap, nodes=[]) == {}
+
+    def test_custom_weights_change_ranking(self):
+        # node a: idle but tiny; node b: loaded but big.
+        views = {
+            "a": make_view("a", cores=4, freq=2.0, load=0.0),
+            "b": make_view("b", cores=16, freq=5.0, load=4.0),
+        }
+        snap = make_snapshot(views)
+        load_only = ComputeWeights({"cpu_load": 1.0})
+        size_only = ComputeWeights({"core_count": 0.5, "cpu_frequency": 0.5})
+        cl_load = compute_loads(snap, load_only)
+        cl_size = compute_loads(snap, size_only)
+        assert cl_load["a"] < cl_load["b"]
+        assert cl_size["b"] < cl_size["a"]
+
+    def test_sum_and_mean_methods_rank_identically(self, four_node_snapshot):
+        cl_sum = compute_loads(four_node_snapshot, method="sum")
+        cl_mean = compute_loads(four_node_snapshot, method="mean")
+        rank = lambda d: sorted(d, key=d.get)  # noqa: E731
+        assert rank(cl_sum) == rank(cl_mean)
+
+    def test_mean_method_scale_is_order_one(self, four_node_snapshot):
+        cl = compute_loads(four_node_snapshot, method="mean")
+        # weights sum to 1 and per-attribute means are 1 ⇒ average CL ≈ O(1)
+        avg = sum(cl.values()) / len(cl)
+        assert 0.1 < avg < 3.0

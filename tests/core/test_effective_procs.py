@@ -1,0 +1,68 @@
+"""Tests for Equation 3 (effective processor count)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.effective_procs import effective_proc_count, effective_proc_counts
+from tests.core.conftest import make_snapshot, make_view
+
+
+class TestEffectiveProcCount:
+    def test_idle_node_offers_all_cores(self):
+        # ceil(0) % 12 = 0 -> 12 (the paper's formula keeps full capacity)
+        assert effective_proc_count(12, 0.0) == 12
+
+    def test_partial_load(self):
+        # ceil(2.3) = 3, 3 % 12 = 3 -> 9
+        assert effective_proc_count(12, 2.3) == 9
+
+    def test_integer_load(self):
+        assert effective_proc_count(12, 5.0) == 7
+
+    def test_exact_multiple_wraps(self):
+        # The paper's modulo: ceil(12) % 12 = 0 -> full 12.  Documented quirk.
+        assert effective_proc_count(12, 12.0) == 12
+
+    def test_overloaded_node_wraps_partially(self):
+        # ceil(13) % 12 = 1 -> 11
+        assert effective_proc_count(12, 13.0) == 11
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            effective_proc_count(0, 1.0)
+        with pytest.raises(ValueError):
+            effective_proc_count(4, -1.0)
+
+    @given(
+        cores=st.integers(min_value=1, max_value=128),
+        load=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_always_in_valid_range(self, cores, load):
+        pc = effective_proc_count(cores, load)
+        assert 1 <= pc <= cores
+
+
+class TestEffectiveProcCounts:
+    def test_ppn_overrides_formula(self):
+        snap = make_snapshot({"a": make_view("a", load=11.0)})
+        pcs = effective_proc_counts(snap, ppn=4)
+        assert pcs == {"a": 4}
+
+    def test_invalid_ppn(self):
+        snap = make_snapshot({"a": make_view("a")})
+        with pytest.raises(ValueError):
+            effective_proc_counts(snap, ppn=0)
+
+    def test_uses_selected_window(self):
+        v = make_view("a")
+        object.__setattr__(
+            v, "cpu_load", {"now": 0.0, "m1": 5.0, "m5": 0.0, "m15": 0.0}
+        )
+        snap = make_snapshot({"a": v})
+        assert effective_proc_counts(snap, load_key="m1")["a"] == 7
+        assert effective_proc_counts(snap, load_key="now")["a"] == 12
+
+    def test_covers_all_nodes(self, four_node_snapshot):
+        pcs = effective_proc_counts(four_node_snapshot)
+        assert set(pcs) == {"a", "b", "c", "d"}

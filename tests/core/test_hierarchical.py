@@ -1,0 +1,144 @@
+"""Tests for the hierarchical (group-granular) allocation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import AllocationRequest
+from repro.core.policies.hierarchical import (
+    HierarchicalNetworkLoadAwarePolicy,
+    summarize_groups,
+)
+from repro.core.weights import TradeOff
+from tests.core.conftest import make_snapshot, make_view
+
+
+@pytest.fixture
+def snapshot():
+    """Two implicit groups: n1-n4 tightly coupled, n5-n8 tightly coupled,
+    slow links across. Group 2 is loaded."""
+    views = {}
+    for i in range(1, 9):
+        load = 8.0 if i >= 5 else 0.4
+        views[f"n{i}"] = make_view(f"n{i}", load=load)
+    bandwidth, latency, peak = {}, {}, {}
+    for i in range(1, 9):
+        for j in range(i + 1, 9):
+            a, b = f"n{i}", f"n{j}"
+            same = (i <= 4) == (j <= 4)
+            bandwidth[(a, b)] = 120.0 if same else 40.0
+            latency[(a, b)] = 60.0 if same else 420.0
+    snap = make_snapshot(views, bandwidth=bandwidth, latency=latency)
+    # peak bandwidth mirrors topology: same-group pairs at the top tier
+    peaks = dict(snap.peak_bandwidth_mbs)
+    for (a, b) in peaks:
+        same = (int(a[1:]) <= 4) == (int(b[1:]) <= 4)
+        peaks[(a, b)] = 125.0 if same else 110.0
+    object.__setattr__(snap, "peak_bandwidth_mbs", peaks)
+    return snap
+
+
+class TestGroupInference:
+    def test_groups_follow_peak_bandwidth(self, snapshot):
+        """Fallback path: no switch labels -> peak-bandwidth clustering."""
+        policy = HierarchicalNetworkLoadAwarePolicy()
+        groups = policy._groups_from_network(snapshot, list(snapshot.nodes))
+        partitions = sorted(tuple(sorted(v)) for v in groups.values())
+        assert partitions == [
+            ("n1", "n2", "n3", "n4"),
+            ("n5", "n6", "n7", "n8"),
+        ]
+
+    def test_switch_labels_take_precedence(self):
+        """Reported switches group directly, regardless of peak structure."""
+        from dataclasses import replace
+
+        views = {}
+        for i in range(1, 7):
+            v = make_view(f"n{i}")
+            views[f"n{i}"] = replace(v, switch="sw_a" if i <= 3 else "sw_b")
+        snap = make_snapshot(views)
+        policy = HierarchicalNetworkLoadAwarePolicy()
+        groups = policy._groups_from_network(snap, list(snap.nodes))
+        partitions = sorted(tuple(sorted(v)) for v in groups.values())
+        assert partitions == [("n1", "n2", "n3"), ("n4", "n5", "n6")]
+
+    def test_paper_cluster_groups_by_switch(self):
+        """End to end: the live monitor reports switches, so the paper
+        cluster yields exactly its four leaf-switch groups."""
+        from repro.experiments.scenario import paper_scenario
+
+        sc = paper_scenario(seed=1, warmup_s=120.0)
+        snap = sc.snapshot()
+        policy = HierarchicalNetworkLoadAwarePolicy()
+        groups = policy._groups_from_network(snap, list(snap.nodes))
+        assert len(groups) == 4
+        assert all(len(v) == 15 for v in groups.values())
+
+
+class TestSummaries:
+    def test_group_summary_values(self):
+        cl = {"a": 0.1, "b": 0.3, "c": 0.8}
+        nl = {("a", "b"): 0.2, ("a", "c"): 0.6, ("b", "c"): 0.4}
+        pc = {"a": 4, "b": 4, "c": 4}
+        groups = {"g1": ["a", "b"], "g2": ["c"]}
+        summaries, cross = summarize_groups(groups, cl, nl, pc)
+        assert summaries["g1"].mean_compute_load == pytest.approx(0.2)
+        assert summaries["g1"].intra_network_load == pytest.approx(0.2)
+        assert summaries["g1"].capacity == 8
+        assert summaries["g2"].intra_network_load == 0.0
+        assert cross[("g1", "g2")] == pytest.approx((0.6 + 0.4) / 2)
+
+
+class TestAllocation:
+    def test_prefers_idle_group(self, snapshot):
+        policy = HierarchicalNetworkLoadAwarePolicy()
+        request = AllocationRequest(
+            n_processes=16, ppn=4, tradeoff=TradeOff(0.3, 0.7)
+        )
+        alloc = policy.allocate(snapshot, request)
+        assert set(alloc.nodes) == {"n1", "n2", "n3", "n4"}
+        assert sum(alloc.procs.values()) == 16
+        assert alloc.metadata["groups_used"] == 1.0
+
+    def test_spans_groups_when_one_is_too_small(self, snapshot):
+        policy = HierarchicalNetworkLoadAwarePolicy()
+        request = AllocationRequest(
+            n_processes=32, ppn=4, tradeoff=TradeOff(0.3, 0.7)
+        )
+        alloc = policy.allocate(snapshot, request)
+        assert sum(alloc.procs.values()) == 32
+        assert alloc.metadata["groups_used"] == 2.0
+
+    def test_oversubscription_round_robin(self, snapshot):
+        policy = HierarchicalNetworkLoadAwarePolicy()
+        request = AllocationRequest(
+            n_processes=40, ppn=4, tradeoff=TradeOff(0.3, 0.7)
+        )
+        alloc = policy.allocate(snapshot, request)
+        assert sum(alloc.procs.values()) == 40
+
+    def test_close_to_flat_policy_on_small_cluster(self, snapshot):
+        """On switch-structured clusters the group shortcut should agree
+        with the flat algorithm."""
+        from repro.core.policies import NetworkLoadAwarePolicy
+
+        request = AllocationRequest(
+            n_processes=16, ppn=4, tradeoff=TradeOff(0.3, 0.7)
+        )
+        flat = NetworkLoadAwarePolicy().allocate(snapshot, request)
+        hier = HierarchicalNetworkLoadAwarePolicy().allocate(snapshot, request)
+        assert set(flat.nodes) == set(hier.nodes)
+
+    def test_scales_to_larger_clusters(self):
+        """240 virtual nodes: group-level decision stays fast and valid."""
+        views, bandwidth, latency = {}, {}, {}
+        rng = np.random.default_rng(0)
+        names = [f"m{i:03d}" for i in range(60)]
+        for i, n in enumerate(names):
+            views[n] = make_view(n, load=float(rng.uniform(0, 6)))
+        snap = make_snapshot(views)
+        request = AllocationRequest(
+            n_processes=48, ppn=4, tradeoff=TradeOff(0.3, 0.7)
+        )
+        alloc = HierarchicalNetworkLoadAwarePolicy().allocate(snap, request)
+        assert sum(alloc.procs.values()) == 48

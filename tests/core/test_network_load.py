@@ -1,0 +1,100 @@
+"""Tests for Equation 2 (network load)."""
+
+import pytest
+
+from repro.core.network_load import (
+    group_network_load,
+    network_loads,
+    total_group_network_load,
+)
+from repro.core.weights import NetworkWeights
+from tests.core.conftest import make_snapshot, make_view
+
+
+@pytest.fixture
+def snap(four_node_snapshot):
+    return four_node_snapshot
+
+
+class TestNetworkLoads:
+    def test_all_pairs_covered(self, snap):
+        nl = network_loads(snap)
+        assert len(nl) == 6
+
+    def test_far_pair_costs_more(self, snap):
+        nl = network_loads(snap)
+        assert nl[("a", "d")] > nl[("a", "b")]
+
+    def test_keys_canonical(self, snap):
+        for a, b in network_loads(snap):
+            assert a <= b
+
+    def test_subset(self, snap):
+        nl = network_loads(snap, nodes=["a", "b", "c"])
+        assert set(nl) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_latency_only_weighting(self):
+        views = {"a": make_view("a"), "b": make_view("b"), "c": make_view("c")}
+        snap = make_snapshot(
+            views,
+            latency={("a", "b"): 50.0, ("a", "c"): 500.0, ("b", "c"): 50.0},
+        )
+        nl = network_loads(snap, NetworkWeights(w_lt=1.0, w_bw=0.0))
+        assert nl[("a", "c")] > nl[("a", "b")]
+        # bandwidth identical everywhere: it contributes nothing here
+        assert nl[("a", "b")] == pytest.approx(nl[("b", "c")])
+
+    def test_bandwidth_only_weighting(self):
+        views = {"a": make_view("a"), "b": make_view("b"), "c": make_view("c")}
+        snap = make_snapshot(
+            views, bandwidth={("a", "c"): 10.0}  # others at 125 peak
+        )
+        nl = network_loads(snap, NetworkWeights(w_lt=0.0, w_bw=1.0))
+        assert nl[("a", "c")] > nl[("a", "b")]
+        assert nl[("a", "b")] == pytest.approx(0.0)  # no complement at peak
+
+    def test_missing_pair_omitted(self):
+        views = {"a": make_view("a"), "b": make_view("b"), "c": make_view("c")}
+        snap = make_snapshot(views)
+        # remove one latency measurement
+        lat = dict(snap.latency_us)
+        del lat[("a", "b")]
+        from dataclasses import replace
+
+        snap2 = replace(snap, latency_us=lat)
+        nl = network_loads(snap2)
+        assert ("a", "b") not in nl
+
+    def test_unknown_method(self, snap):
+        with pytest.raises(ValueError):
+            network_loads(snap, method="bogus")
+
+
+class TestGroupNetworkLoad:
+    def test_average_over_pairs(self):
+        loads = {("a", "b"): 1.0, ("a", "c"): 2.0, ("b", "c"): 3.0}
+        assert group_network_load(loads, ["a", "b", "c"]) == pytest.approx(2.0)
+
+    def test_total_over_pairs(self):
+        loads = {("a", "b"): 1.0, ("a", "c"): 2.0, ("b", "c"): 3.0}
+        assert total_group_network_load(loads, ["a", "b", "c"]) == pytest.approx(6.0)
+
+    def test_single_node_is_zero(self):
+        assert group_network_load({}, ["a"]) == 0.0
+        assert total_group_network_load({}, ["a"]) == 0.0
+
+    def test_duplicates_ignored(self):
+        loads = {("a", "b"): 4.0}
+        assert group_network_load(loads, ["a", "b", "a"]) == pytest.approx(4.0)
+
+    def test_missing_pair_penalised_with_worst(self):
+        loads = {("a", "b"): 1.0, ("a", "c"): 5.0}
+        # pair (b, c) unmeasured -> gets max observed (5.0)
+        assert total_group_network_load(loads, ["a", "b", "c"]) == pytest.approx(11.0)
+
+    def test_explicit_missing_penalty(self):
+        loads = {("a", "b"): 1.0}
+        out = total_group_network_load(
+            loads, ["a", "b", "c"], missing_penalty=10.0
+        )
+        assert out == pytest.approx(1.0 + 10.0 + 10.0)

@@ -1,0 +1,112 @@
+"""Tests for §3.2.1 normalization and unidirectionalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attributes import Criterion
+from repro.core.normalization import (
+    complement_to_max,
+    mean_normalize,
+    sum_normalize,
+    to_cost,
+)
+
+# Zero or well-scaled positive values: subnormal floats (~5e-324) make the
+# mean underflow to exactly 0 and turn ranking ties into noise, which is a
+# float-arithmetic artefact rather than a normalization property.
+values_strategy = st.dictionaries(
+    st.text(min_size=1, max_size=4),
+    st.one_of(st.just(0.0), st.floats(min_value=1e-6, max_value=1e6)),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestSumNormalize:
+    def test_sums_to_one(self):
+        out = sum_normalize({"a": 1.0, "b": 3.0})
+        assert sum(out.values()) == pytest.approx(1.0)
+        assert out["b"] == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert sum_normalize({"a": 0.0, "b": 0.0}) == {"a": 0.0, "b": 0.0}
+
+    def test_empty(self):
+        assert sum_normalize({}) == {}
+
+    @given(values_strategy)
+    def test_preserves_order(self, values):
+        out = sum_normalize(values)
+        keys = list(values)
+        for a in keys:
+            for b in keys:
+                if values[a] < values[b]:
+                    assert out[a] <= out[b]
+
+
+class TestMeanNormalize:
+    def test_mean_becomes_one(self):
+        out = mean_normalize({"a": 1.0, "b": 3.0})
+        assert sum(out.values()) / 2 == pytest.approx(1.0)
+
+    def test_scale_independent_of_cardinality(self):
+        small = mean_normalize({"a": 2.0, "b": 4.0})
+        big = mean_normalize({f"k{i}": v for i, v in enumerate([2.0, 4.0] * 50)})
+        assert small["a"] == pytest.approx(big["k0"])
+
+    def test_ranking_equivalent_to_sum(self):
+        vals = {"a": 5.0, "b": 1.0, "c": 3.0}
+        rank = lambda d: sorted(d, key=d.get)  # noqa: E731
+        assert rank(sum_normalize(vals)) == rank(mean_normalize(vals))
+
+    def test_all_zero(self):
+        assert mean_normalize({"a": 0.0}) == {"a": 0.0}
+
+    def test_empty(self):
+        assert mean_normalize({}) == {}
+
+
+class TestComplement:
+    def test_flips_direction(self):
+        out = complement_to_max({"a": 0.2, "b": 0.8})
+        assert out == {"a": pytest.approx(0.6), "b": 0.0}
+
+    def test_empty(self):
+        assert complement_to_max({}) == {}
+
+    def test_max_element_becomes_zero(self):
+        out = complement_to_max({"a": 1.0, "b": 7.0, "c": 3.0})
+        assert out["b"] == 0.0
+        assert all(v >= 0 for v in out.values())
+
+
+class TestToCost:
+    def test_minimize_passthrough(self):
+        out = to_cost({"a": 1.0, "b": 3.0}, Criterion.MINIMIZE, method="sum")
+        assert out["a"] < out["b"]
+
+    def test_maximize_complemented(self):
+        out = to_cost({"a": 1.0, "b": 3.0}, Criterion.MAXIMIZE, method="sum")
+        assert out["a"] > out["b"]  # big raw value = low cost
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown normalization"):
+            to_cost({"a": 1.0}, Criterion.MINIMIZE, method="median")
+
+    @given(values_strategy)
+    def test_costs_non_negative(self, values):
+        for crit in Criterion:
+            for method in ("sum", "mean"):
+                out = to_cost(values, crit, method=method)
+                assert all(v >= -1e-12 for v in out.values())
+
+    @given(values_strategy)
+    def test_best_node_invariant_across_methods(self, values):
+        """Property: sum- and mean-normalization rank identically."""
+        for crit in Criterion:
+            a = to_cost(values, crit, method="sum")
+            b = to_cost(values, crit, method="mean")
+            best_a = min(sorted(a), key=lambda k: a[k])
+            best_b = min(sorted(b), key=lambda k: b[k])
+            assert best_a == best_b

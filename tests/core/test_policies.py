@@ -1,0 +1,260 @@
+"""Tests for all allocation policies and shared plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    Allocation,
+    AllocationError,
+    AllocationRequest,
+    BruteForcePolicy,
+    LoadAwarePolicy,
+    NetworkLoadAwarePolicy,
+    PAPER_POLICIES,
+    RandomPolicy,
+    SequentialPolicy,
+    distribute,
+)
+from repro.core.weights import TradeOff
+from tests.core.conftest import make_snapshot, make_view
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def snapshot():
+    """8 nodes: 1-4 idle & well connected; 5-6 loaded; 7-8 far away."""
+    views = {}
+    for i in range(1, 9):
+        load = 9.0 if i in (5, 6) else 0.3
+        views[f"n{i}"] = make_view(f"n{i}", load=load)
+    bandwidth = {}
+    latency = {}
+    for i in range(1, 9):
+        for j in range(i + 1, 9):
+            a, b = f"n{i}", f"n{j}"
+            far = i >= 7 or j >= 7
+            bandwidth[(a, b)] = 20.0 if far else 120.0
+            latency[(a, b)] = 500.0 if far else 60.0
+    return make_snapshot(dict(sorted(views.items())), bandwidth=bandwidth, latency=latency)
+
+
+class TestAllocationRequest:
+    def test_nodes_needed(self):
+        assert AllocationRequest(32, ppn=4).nodes_needed == 8
+        assert AllocationRequest(30, ppn=4).nodes_needed == 8
+        assert AllocationRequest(32).nodes_needed is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllocationRequest(0)
+        with pytest.raises(ValueError):
+            AllocationRequest(4, ppn=0)
+
+
+class TestAllocation:
+    def test_consistency_enforced(self):
+        req = AllocationRequest(8, ppn=4)
+        with pytest.raises(ValueError, match="at least one node"):
+            Allocation("x", (), {}, req, 0.0)
+        with pytest.raises(ValueError, match="exactly match"):
+            Allocation("x", ("a",), {"b": 8}, req, 0.0)
+        with pytest.raises(ValueError, match=">= 1"):
+            Allocation("x", ("a", "b"), {"a": 8, "b": 0}, req, 0.0)
+        with pytest.raises(ValueError, match="hosts"):
+            Allocation("x", ("a",), {"a": 5}, req, 0.0)
+
+    def test_hostfile_format(self):
+        req = AllocationRequest(8, ppn=4)
+        a = Allocation("x", ("a", "b"), {"a": 4, "b": 4}, req, 0.0)
+        assert a.hostfile() == "a:4\nb:4\n"
+        assert a.n_nodes == 2
+
+
+class TestDistribute:
+    def test_ppn_fill(self):
+        assert distribute(["a", "b"], 8, 4) == {"a": 4, "b": 4}
+
+    def test_ppn_partial_tail(self):
+        assert distribute(["a", "b"], 6, 4) == {"a": 4, "b": 2}
+
+    def test_ppn_oversubscribe_round_robin(self):
+        out = distribute(["a", "b"], 11, 4)
+        assert sum(out.values()) == 11
+        assert out["a"] >= 4 and out["b"] >= 4
+
+    def test_balanced_without_ppn(self):
+        out = distribute(["a", "b", "c"], 7, None)
+        assert sorted(out.values()) == [2, 2, 3]
+
+    def test_empty_nodes(self):
+        with pytest.raises(AllocationError):
+            distribute([], 4, 4)
+
+
+class TestRandomPolicy:
+    def test_requires_rng(self, snapshot):
+        with pytest.raises(AllocationError, match="rng"):
+            RandomPolicy().allocate(snapshot, AllocationRequest(8, ppn=4))
+
+    def test_selects_requested_node_count(self, snapshot, rng):
+        a = RandomPolicy().allocate(snapshot, AllocationRequest(16, ppn=4), rng=rng)
+        assert a.n_nodes == 4
+        assert sum(a.procs.values()) == 16
+
+    def test_varies_with_rng(self, snapshot):
+        r1 = RandomPolicy().allocate(
+            snapshot, AllocationRequest(8, ppn=4), rng=np.random.default_rng(1)
+        )
+        picks = {
+            RandomPolicy()
+            .allocate(
+                snapshot,
+                AllocationRequest(8, ppn=4),
+                rng=np.random.default_rng(s),
+            )
+            .nodes
+            for s in range(10)
+        }
+        assert len(picks) > 1
+
+    def test_default_spread_without_ppn(self, snapshot, rng):
+        a = RandomPolicy().allocate(snapshot, AllocationRequest(8), rng=rng)
+        assert a.n_nodes == 2  # ceil(8/4) neutral default
+
+
+class TestSequentialPolicy:
+    def test_consecutive_selection(self, snapshot, rng):
+        a = SequentialPolicy().allocate(
+            snapshot, AllocationRequest(12, ppn=4), rng=rng
+        )
+        names = list(snapshot.nodes)
+        idx = [names.index(n) for n in a.nodes]
+        gaps = np.diff(sorted(idx))
+        assert sum(g != 1 for g in gaps) <= 1  # consecutive mod wrap
+
+    def test_requires_rng(self, snapshot):
+        with pytest.raises(AllocationError):
+            SequentialPolicy().allocate(snapshot, AllocationRequest(8, ppn=4))
+
+    def test_wraps_around(self, snapshot):
+        # force a start near the end by trying many seeds until wrap occurs
+        wrapped = False
+        for s in range(30):
+            a = SequentialPolicy().allocate(
+                snapshot,
+                AllocationRequest(12, ppn=4),
+                rng=np.random.default_rng(s),
+            )
+            names = list(snapshot.nodes)
+            idx = sorted(names.index(n) for n in a.nodes)
+            if idx[0] == 0 and idx[-1] == len(names) - 1:
+                wrapped = True
+        assert wrapped
+
+
+class TestLoadAwarePolicy:
+    def test_avoids_loaded_nodes(self, snapshot, rng):
+        a = LoadAwarePolicy().allocate(
+            snapshot, AllocationRequest(16, ppn=4), rng=rng
+        )
+        assert "n5" not in a.nodes and "n6" not in a.nodes
+
+    def test_ignores_network(self, snapshot, rng):
+        # far nodes n7/n8 are idle: load-aware happily takes them
+        a = LoadAwarePolicy().allocate(
+            snapshot, AllocationRequest(24, ppn=4), rng=rng
+        )
+        assert {"n7", "n8"} <= set(a.nodes)
+
+    def test_metadata_reports_load(self, snapshot, rng):
+        a = LoadAwarePolicy().allocate(
+            snapshot, AllocationRequest(8, ppn=4), rng=rng
+        )
+        assert "mean_compute_load" in a.metadata
+
+
+class TestNetworkLoadAwarePolicy:
+    def test_prefers_idle_well_connected_group(self, snapshot, rng):
+        a = NetworkLoadAwarePolicy().allocate(
+            snapshot,
+            AllocationRequest(16, ppn=4, tradeoff=TradeOff(0.3, 0.7)),
+            rng=rng,
+        )
+        assert set(a.nodes) == {"n1", "n2", "n3", "n4"}
+
+    def test_avoids_far_nodes_when_beta_high(self, snapshot, rng):
+        a = NetworkLoadAwarePolicy().allocate(
+            snapshot,
+            AllocationRequest(24, ppn=4, tradeoff=TradeOff(0.1, 0.9)),
+            rng=rng,
+        )
+        # needs 6 nodes; should pick loaded n5/n6 over distant n7/n8
+        assert {"n7", "n8"} & set(a.nodes) == set()
+
+    def test_metadata_decomposition(self, snapshot, rng):
+        a = NetworkLoadAwarePolicy().allocate(
+            snapshot, AllocationRequest(8, ppn=4), rng=rng
+        )
+        for key in ("total_cost", "compute_cost", "network_cost"):
+            assert key in a.metadata
+
+    def test_works_without_rng(self, snapshot):
+        a = NetworkLoadAwarePolicy().allocate(snapshot, AllocationRequest(8, ppn=4))
+        assert a.n_nodes == 2
+
+    def test_respects_effective_capacity_without_ppn(self, snapshot):
+        # n5/n6 are loaded: Equation 3 gives them fewer slots
+        a = NetworkLoadAwarePolicy().allocate(snapshot, AllocationRequest(40))
+        assert sum(a.procs.values()) == 40
+        for n in a.nodes:
+            if n in ("n5", "n6"):
+                assert a.procs[n] <= 3  # 12 - ceil(9) = 3
+
+
+class TestBruteForcePolicy:
+    def test_requires_ppn(self, snapshot, rng):
+        with pytest.raises(AllocationError, match="ppn"):
+            BruteForcePolicy().allocate(snapshot, AllocationRequest(8), rng=rng)
+
+    def test_finds_obvious_optimum(self, snapshot, rng):
+        a = BruteForcePolicy().allocate(
+            snapshot,
+            AllocationRequest(16, ppn=4, tradeoff=TradeOff(0.3, 0.7)),
+            rng=rng,
+        )
+        assert set(a.nodes) == {"n1", "n2", "n3", "n4"}
+
+    def test_greedy_close_to_optimal(self, snapshot, rng):
+        """The paper's heuristic should match brute force on easy inputs."""
+        req = AllocationRequest(16, ppn=4, tradeoff=TradeOff(0.3, 0.7))
+        greedy = NetworkLoadAwarePolicy().allocate(snapshot, req, rng=rng)
+        brute = BruteForcePolicy().allocate(snapshot, req, rng=rng)
+        assert set(greedy.nodes) == set(brute.nodes)
+
+
+class TestPaperPoliciesRegistry:
+    def test_contains_the_four_section5_policies(self):
+        assert set(PAPER_POLICIES) == {
+            "random",
+            "sequential",
+            "load_aware",
+            "network_load_aware",
+        }
+
+    def test_all_allocate(self, snapshot, rng):
+        req = AllocationRequest(8, ppn=4)
+        for name, cls in PAPER_POLICIES.items():
+            a = cls().allocate(snapshot, req, rng=rng)
+            assert a.policy == name
+            assert sum(a.procs.values()) == 8
+
+    def test_empty_livehosts_rejected(self, rng):
+        snap = make_snapshot({"a": make_view("a")})
+        object.__setattr__(snap, "livehosts", ())
+        for cls in PAPER_POLICIES.values():
+            with pytest.raises(AllocationError):
+                cls().allocate(snap, AllocationRequest(4, ppn=4), rng=rng)

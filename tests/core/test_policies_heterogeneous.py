@@ -1,0 +1,67 @@
+"""Allocation behaviour on heterogeneous hardware (8- vs 12-core mix).
+
+§1 motivates handling clusters that "vary in software and hardware
+configurations": the allocator must reason about core counts and clock
+speeds, not just load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compute_load import compute_loads
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.core.weights import ComputeWeights, TradeOff
+from tests.core.conftest import make_snapshot, make_view
+
+
+@pytest.fixture
+def mixed_snapshot():
+    """Equally idle nodes; half are big/fast, half small/slow."""
+    views = {}
+    for i in range(1, 5):
+        views[f"big{i}"] = make_view(f"big{i}", cores=12, freq=4.6)
+        views[f"small{i}"] = make_view(f"small{i}", cores=8, freq=2.8)
+    return make_snapshot(dict(sorted(views.items())))
+
+
+class TestHeterogeneity:
+    def test_static_attributes_break_ties(self, mixed_snapshot):
+        """All else equal, Equation 1's static terms prefer big nodes."""
+        cl = compute_loads(mixed_snapshot)
+        assert max(cl[f"big{i}"] for i in range(1, 5)) < min(
+            cl[f"small{i}"] for i in range(1, 5)
+        )
+
+    def test_allocator_picks_big_nodes_when_idle(self, mixed_snapshot):
+        alloc = NetworkLoadAwarePolicy().allocate(
+            mixed_snapshot,
+            AllocationRequest(16, ppn=4, tradeoff=TradeOff(0.5, 0.5)),
+        )
+        assert all(n.startswith("big") for n in alloc.nodes)
+
+    def test_load_outweighs_hardware_with_paper_weights(self):
+        """The paper weights CPU load (0.3) far above clock speed (0.05):
+        a busy fast node loses to an idle slow one."""
+        views = {
+            "fast_busy": make_view("fast_busy", cores=12, freq=4.6, load=8.0),
+            "slow_idle": make_view("slow_idle", cores=8, freq=2.8, load=0.1),
+        }
+        cl = compute_loads(make_snapshot(views))
+        assert cl["slow_idle"] < cl["fast_busy"]
+
+    def test_custom_weights_can_invert_that(self):
+        views = {
+            "fast_busy": make_view("fast_busy", cores=12, freq=4.6, load=8.0),
+            "slow_idle": make_view("slow_idle", cores=8, freq=2.8, load=0.1),
+        }
+        hw_weights = ComputeWeights(
+            {"core_count": 0.45, "cpu_frequency": 0.45, "cpu_load": 0.10}
+        )
+        cl = compute_loads(make_snapshot(views), hw_weights)
+        assert cl["fast_busy"] < cl["slow_idle"]
+
+    def test_equation3_gives_more_slots_to_big_nodes(self, mixed_snapshot):
+        from repro.core.effective_procs import effective_proc_counts
+
+        pcs = effective_proc_counts(mixed_snapshot)
+        assert pcs["big1"] == 12 and pcs["small1"] == 8

@@ -1,0 +1,116 @@
+"""Property-based tests: allocation invariants over randomized snapshots.
+
+Hypothesis drives cluster size, load patterns, network quality and request
+shape; every policy must emit allocations that satisfy the structural
+invariants regardless.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    AllocationRequest,
+    HierarchicalNetworkLoadAwarePolicy,
+    LoadAwarePolicy,
+    NetworkLoadAwarePolicy,
+    RandomPolicy,
+    SequentialPolicy,
+)
+from repro.core.weights import TradeOff
+from repro.monitor.snapshot import ClusterSnapshot
+from tests.core.conftest import make_view
+
+
+@st.composite
+def snapshots(draw) -> ClusterSnapshot:
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    views = {}
+    for i in range(n):
+        name = f"h{i:02d}"
+        views[name] = make_view(
+            name,
+            cores=int(rng.choice([8, 12])),
+            freq=float(rng.choice([2.8, 4.6])),
+            load=float(rng.uniform(0, 15)),
+            util=float(rng.uniform(0, 100)),
+            flow=float(rng.uniform(0, 60)),
+            users=int(rng.integers(0, 6)),
+            avail=float(rng.uniform(1, 14)),
+        )
+    names = sorted(views)
+    bw, lat, peak = {}, {}, {}
+    for a, b in itertools.combinations(names, 2):
+        bw[(a, b)] = float(rng.uniform(5, 125))
+        lat[(a, b)] = float(rng.uniform(40, 900))
+        peak[(a, b)] = 125.0
+    return ClusterSnapshot(
+        time=0.0,
+        nodes=views,
+        bandwidth_mbs=bw,
+        latency_us=lat,
+        peak_bandwidth_mbs=peak,
+        livehosts=tuple(names),
+    )
+
+
+requests = st.builds(
+    AllocationRequest,
+    n_processes=st.integers(min_value=1, max_value=64),
+    ppn=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    tradeoff=st.sampled_from(
+        [TradeOff(0.0, 1.0), TradeOff(0.3, 0.7), TradeOff(1.0, 0.0)]
+    ),
+)
+
+POLICIES = [
+    RandomPolicy(),
+    SequentialPolicy(),
+    LoadAwarePolicy(),
+    NetworkLoadAwarePolicy(),
+    HierarchicalNetworkLoadAwarePolicy(),
+]
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(snapshot=snapshots(), request_=requests, pidx=st.integers(0, 4))
+def test_allocation_invariants(snapshot, request_, pidx):
+    policy = POLICIES[pidx]
+    rng = np.random.default_rng(0)
+    alloc = policy.allocate(snapshot, request_, rng=rng)
+    # 1. exactly the requested process count is hosted
+    assert sum(alloc.procs.values()) == request_.n_processes
+    # 2. only live, monitored nodes are used
+    assert set(alloc.nodes) <= set(snapshot.livehosts)
+    assert set(alloc.nodes) <= set(snapshot.nodes)
+    # 3. every listed node hosts at least one process
+    assert all(alloc.procs[n] >= 1 for n in alloc.nodes)
+    # 4. nodes and procs keys agree, no duplicates
+    assert len(set(alloc.nodes)) == len(alloc.nodes)
+    assert set(alloc.nodes) == set(alloc.procs)
+    # 5. the hostfile round-trips the process count
+    total = sum(
+        int(line.split(":")[1])
+        for line in alloc.hostfile().strip().splitlines()
+    )
+    assert total == request_.n_processes
+
+
+@settings(max_examples=30, deadline=None)
+@given(snapshot=snapshots())
+def test_network_policy_deterministic_without_rng(snapshot):
+    request = AllocationRequest(n_processes=8, ppn=4)
+    a = NetworkLoadAwarePolicy().allocate(snapshot, request)
+    b = NetworkLoadAwarePolicy().allocate(snapshot, request)
+    assert a.nodes == b.nodes and a.procs == b.procs

@@ -1,0 +1,75 @@
+"""Tests for the α/β profiling helper."""
+
+import pytest
+
+from repro.apps.minife import MiniFE
+from repro.apps.minimd import MiniMD
+from repro.apps.stencil import Stencil3D, StencilConfig
+from repro.core.profiling import (
+    AppProfile,
+    profile_app,
+    recommend_tradeoff,
+    tradeoff_from_profile,
+)
+
+
+class TestProfileApp:
+    def test_minimd_profile_structure(self):
+        p = profile_app(MiniMD(16), n_ranks=16)
+        assert p.app == "miniMD"
+        assert p.n_ranks == 16
+        assert 0.0 < p.comm_fraction < 1.0
+        assert p.compute_time_s > 0 and p.comm_time_s > 0
+
+    def test_minimd_more_comm_heavy_than_minife(self):
+        """§5: miniMD's communication share exceeds miniFE's."""
+        md = profile_app(MiniMD(16), n_ranks=32)
+        fe = profile_app(MiniFE(96), n_ranks=32)
+        assert md.comm_fraction > fe.comm_fraction
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            profile_app(MiniMD(16), n_ranks=0)
+        with pytest.raises(ValueError):
+            profile_app(MiniMD(16), ppn=0)
+
+    def test_compute_bound_stencil_low_fraction(self):
+        heavy = Stencil3D(96, StencilConfig(cycles_per_cell=5000.0))
+        assert profile_app(heavy, n_ranks=8).comm_fraction < 0.3
+
+
+class TestTradeoffFromProfile:
+    def prof(self, frac):
+        return AppProfile(
+            app="x", n_ranks=8, comm_fraction=frac,
+            compute_time_s=1.0, comm_time_s=1.0,
+        )
+
+    def test_anchor_points(self):
+        # The linear map passes through the paper's empirical settings.
+        assert tradeoff_from_profile(self.prof(0.4)).beta == pytest.approx(0.6)
+        assert tradeoff_from_profile(self.prof(0.6)).beta == pytest.approx(0.7)
+
+    def test_clamped_extremes(self):
+        assert tradeoff_from_profile(self.prof(0.0)).beta == pytest.approx(0.4)
+        assert tradeoff_from_profile(self.prof(1.0)).beta == pytest.approx(0.8)
+
+    def test_alpha_beta_sum_to_one(self):
+        t = tradeoff_from_profile(self.prof(0.55))
+        assert t.alpha + t.beta == pytest.approx(1.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            tradeoff_from_profile(self.prof(0.5), beta_floor=0.9, beta_ceiling=0.5)
+
+
+class TestRecommendTradeoff:
+    def test_minimd_lands_near_papers_choice(self):
+        t = recommend_tradeoff(MiniMD(16), n_ranks=32)
+        # Paper uses beta = 0.7 for miniMD; profiling should land nearby.
+        assert 0.55 <= t.beta <= 0.8
+
+    def test_minife_less_network_weighted_than_minimd(self):
+        t_md = recommend_tradeoff(MiniMD(16), n_ranks=32)
+        t_fe = recommend_tradeoff(MiniFE(96), n_ranks=32)
+        assert t_fe.beta <= t_md.beta

@@ -1,0 +1,34 @@
+"""Tests for Simple Additive Weighting."""
+
+import pytest
+
+from repro.core.saw import saw_scores
+
+
+class TestSawScores:
+    def test_weighted_sum(self):
+        costs = {
+            "load": {"a": 0.2, "b": 0.8},
+            "util": {"a": 0.6, "b": 0.4},
+        }
+        out = saw_scores(costs, {"load": 0.75, "util": 0.25})
+        assert out["a"] == pytest.approx(0.75 * 0.2 + 0.25 * 0.6)
+        assert out["b"] == pytest.approx(0.75 * 0.8 + 0.25 * 0.4)
+
+    def test_missing_weight_counts_zero(self):
+        costs = {"load": {"a": 1.0}, "junk": {"a": 99.0}}
+        out = saw_scores(costs, {"load": 1.0})
+        assert out["a"] == 1.0
+
+    def test_empty_costs(self):
+        assert saw_scores({}, {}) == {}
+
+    def test_mismatched_node_sets_rejected(self):
+        costs = {"load": {"a": 1.0}, "util": {"b": 1.0}}
+        with pytest.raises(ValueError, match="different node sets"):
+            saw_scores(costs, {"load": 1.0})
+
+    def test_zero_weights_give_zero_scores(self):
+        costs = {"load": {"a": 1.0, "b": 2.0}}
+        out = saw_scores(costs, {"load": 0.0})
+        assert out == {"a": 0.0, "b": 0.0}

@@ -1,0 +1,86 @@
+"""Tests for Algorithm 2 / Equation 4 (best-candidate selection)."""
+
+import pytest
+
+from repro.core.candidate import CandidateSubgraph, generate_all_candidates
+from repro.core.selection import score_candidates, select_best
+from repro.core.weights import TradeOff
+
+CL = {"a": 0.1, "b": 0.2, "c": 0.9, "d": 0.3}
+NL = {
+    ("a", "b"): 0.1,
+    ("a", "c"): 0.2,
+    ("a", "d"): 0.9,
+    ("b", "c"): 0.2,
+    ("b", "d"): 0.8,
+    ("c", "d"): 0.1,
+}
+
+
+def cand(*nodes):
+    return CandidateSubgraph(
+        start=nodes[0], nodes=tuple(nodes), procs={n: 4 for n in nodes}
+    )
+
+
+class TestScoreCandidates:
+    def test_cost_decomposition(self):
+        scored = score_candidates(
+            [cand("a", "b"), cand("c", "d")], CL, NL, TradeOff(0.5, 0.5)
+        )
+        ab, cd = scored
+        assert ab.compute_cost == pytest.approx(0.3)
+        assert ab.network_cost == pytest.approx(0.1)
+        assert cd.compute_cost == pytest.approx(1.2)
+        assert cd.network_cost == pytest.approx(0.1)
+
+    def test_normalization_across_candidates(self):
+        scored = score_candidates(
+            [cand("a", "b"), cand("c", "d")], CL, NL, TradeOff(0.5, 0.5)
+        )
+        total_c = sum(s.compute_cost_normalized for s in scored)
+        total_n = sum(s.network_cost_normalized for s in scored)
+        assert total_c == pytest.approx(1.0)
+        assert total_n == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert score_candidates([], CL, NL, TradeOff(0.5, 0.5)) == []
+
+    def test_alpha_beta_extremes(self):
+        # ab: cheap compute, cd: equal network. With alpha=1 ab must win.
+        cands = [cand("a", "b"), cand("c", "d")]
+        compute_only = select_best(cands, CL, NL, TradeOff(1.0, 0.0))
+        assert compute_only.candidate.start == "a"
+
+    def test_beta_prefers_connected_group(self):
+        # ad has terrible network (0.9); bc is fine (0.2).
+        cands = [cand("a", "d"), cand("b", "c")]
+        network_only = select_best(cands, CL, NL, TradeOff(0.0, 1.0))
+        assert network_only.candidate.start == "b"
+
+
+class TestSelectBest:
+    def test_minimum_total_wins(self):
+        cands = [cand("a", "b"), cand("c", "d"), cand("a", "d")]
+        best = select_best(cands, CL, NL, TradeOff(0.5, 0.5))
+        assert set(best.candidate.nodes) == {"a", "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_best([], CL, NL, TradeOff(0.5, 0.5))
+
+    def test_deterministic_tie_break_on_start(self):
+        cands = [cand("b", "c"), cand("a", "b")]
+        cl = {n: 0.5 for n in CL}
+        nl = {k: 0.5 for k in NL}
+        best = select_best(cands, cl, nl, TradeOff(0.5, 0.5))
+        assert best.candidate.start == "a"
+
+    def test_end_to_end_with_algorithm1(self):
+        pc = {n: 4 for n in CL}
+        cands = generate_all_candidates(
+            list(CL), CL, NL, pc, 8, TradeOff(0.5, 0.5)
+        )
+        best = select_best(cands, CL, NL, TradeOff(0.5, 0.5))
+        # the (a, b) pair dominates every alternative on both axes
+        assert set(best.candidate.nodes) == {"a", "b"}

@@ -1,0 +1,43 @@
+"""Policies must respect livehosts even when views exist for dead nodes."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.policies import PAPER_POLICIES, AllocationRequest
+from tests.core.conftest import make_snapshot, make_view
+
+
+@pytest.fixture
+def snapshot_with_stale_view():
+    """node4 has monitoring data but dropped out of livehosts (it just
+    went down; its last NodeStateD record is still in the store)."""
+    views = {f"node{i}": make_view(f"node{i}") for i in range(1, 5)}
+    snap = make_snapshot(views)
+    return replace(snap, livehosts=("node1", "node2", "node3"))
+
+
+class TestLivehostsFilter:
+    @pytest.mark.parametrize("name", sorted(PAPER_POLICIES))
+    def test_dead_node_with_stale_data_never_allocated(
+        self, name, snapshot_with_stale_view
+    ):
+        policy = PAPER_POLICIES[name]()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            alloc = policy.allocate(
+                snapshot_with_stale_view,
+                AllocationRequest(8, ppn=4),
+                rng=rng,
+            )
+            assert "node4" not in alloc.nodes
+
+    def test_capacity_shrinks_with_livehosts(self, snapshot_with_stale_view):
+        policy = PAPER_POLICIES["network_load_aware"]()
+        alloc = policy.allocate(
+            snapshot_with_stale_view, AllocationRequest(16, ppn=4)
+        )
+        # 3 live nodes x 4 ppn = 12 slots; the 4 extra oversubscribe
+        assert set(alloc.nodes) <= {"node1", "node2", "node3"}
+        assert sum(alloc.procs.values()) == 16

@@ -1,0 +1,57 @@
+"""§6 wait-recommendation interplay with live workload regimes."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.broker import ResourceBroker, WaitRecommended
+from repro.core.policies import AllocationRequest
+from repro.experiments.scenario import Scenario
+from repro.cluster.topology import uniform_cluster
+from repro.workload.generator import WorkloadConfig
+
+
+def scenario_with_ambient(mu: float):
+    base = WorkloadConfig()
+    cfg = replace(
+        base,
+        ambient_load_mu=mu,
+        busyness_sigma=0.05,
+        # cluster-wide rates are calibrated for 60 nodes; scale for 6 so
+        # the ambient floor (the variable under test) dominates
+        jobs=replace(base.jobs, arrival_rate_per_hour=2.0),
+        sessions=replace(base.sessions, arrival_rate_per_hour=0.3),
+    )
+    specs, topo = uniform_cluster(6, nodes_per_switch=3)
+    sc = Scenario.build(specs, topo, seed=3, workload_config=cfg)
+    sc.warm_up(900.0)
+    return sc
+
+
+class TestWaitThresholdRegimes:
+    def test_quiet_cluster_allocates(self):
+        sc = scenario_with_ambient(0.2)
+        broker = ResourceBroker(sc.snapshot, wait_threshold_load_per_core=0.8)
+        res = broker.request(AllocationRequest(8, ppn=4))
+        assert res.allocation.n_nodes == 2
+
+    def test_saturated_cluster_waits(self):
+        sc = scenario_with_ambient(14.0)  # > 1 runnable per core everywhere
+        broker = ResourceBroker(sc.snapshot, wait_threshold_load_per_core=0.8)
+        with pytest.raises(WaitRecommended) as exc:
+            broker.request(AllocationRequest(8, ppn=4))
+        assert exc.value.threshold == 0.8
+        assert exc.value.mean_load_per_core > 0.8
+
+    def test_wait_clears_when_load_drains(self):
+        sc = scenario_with_ambient(14.0)
+        broker = ResourceBroker(sc.snapshot, wait_threshold_load_per_core=0.8)
+        with pytest.raises(WaitRecommended):
+            broker.request(AllocationRequest(8, ppn=4))
+        # the load floor drops: waiting paid off
+        for proc in sc.workload._ambient.values():
+            proc.mu = 0.1
+            proc.x = 0.1
+        sc.advance(1200.0)  # let states + 5-minute means refresh
+        res = broker.request(AllocationRequest(8, ppn=4))
+        assert res.allocation.n_nodes == 2

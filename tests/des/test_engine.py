@@ -1,0 +1,186 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Engine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        order: list[str] = []
+        eng.schedule(2.0, lambda: order.append("b"))
+        eng.schedule(1.0, lambda: order.append("a"))
+        eng.schedule(3.0, lambda: order.append("c"))
+        eng.drain()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        eng = Engine()
+        order: list[int] = []
+        for i in range(5):
+            eng.schedule(1.0, lambda i=i: order.append(i))
+        eng.drain()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        eng = Engine()
+        seen: list[float] = []
+        eng.schedule(4.5, lambda: seen.append(eng.now))
+        eng.drain()
+        assert seen == [4.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(ValueError, match="past"):
+            eng.schedule_at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        eng = Engine()
+        out: list[float] = []
+
+        def outer():
+            eng.schedule(1.0, lambda: out.append(eng.now))
+
+        eng.schedule(1.0, outer)
+        eng.drain()
+        assert out == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        out: list[str] = []
+        ev = eng.schedule(1.0, lambda: out.append("no"))
+        ev.cancel()
+        eng.drain()
+        assert out == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        ev = eng.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert eng.drain() == 0
+
+    def test_events_processed_excludes_cancelled(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        ev = eng.schedule(2.0, lambda: None)
+        ev.cancel()
+        eng.drain()
+        assert eng.events_processed == 1
+
+
+class TestRunUntil:
+    def test_runs_events_up_to_and_including_time(self):
+        eng = Engine()
+        out: list[float] = []
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule(t, lambda t=t: out.append(t))
+        eng.run_until(2.0)
+        assert out == [1.0, 2.0]
+        assert eng.now == 2.0
+
+    def test_clock_lands_on_target_with_no_events(self):
+        eng = Engine()
+        eng.run_until(7.0)
+        assert eng.now == 7.0
+
+    def test_run_duration(self):
+        eng = Engine(start_time=10.0)
+        eng.run(5.0)
+        assert eng.now == 15.0
+
+    def test_backwards_rejected(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            eng.run_until(5.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().run(-1.0)
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        eng = Engine()
+        hits: list[float] = []
+        eng.every(10.0, lambda: hits.append(eng.now))
+        eng.run_until(35.0)
+        assert hits == [0.0, 10.0, 20.0, 30.0]
+
+    def test_start_offset(self):
+        eng = Engine()
+        hits: list[float] = []
+        eng.every(10.0, lambda: hits.append(eng.now), start=5.0)
+        eng.run_until(26.0)
+        assert hits == [5.0, 15.0, 25.0]
+
+    def test_stop_halts_ticks(self):
+        eng = Engine()
+        hits: list[float] = []
+        task = eng.every(1.0, lambda: hits.append(eng.now))
+        eng.run_until(2.5)
+        task.stop()
+        eng.run_until(10.0)
+        assert hits == [0.0, 1.0, 2.0]
+        assert task.stopped
+
+    def test_action_can_stop_own_task(self):
+        eng = Engine()
+        hits: list[float] = []
+        task = eng.every(1.0, lambda: (hits.append(eng.now), task.stop()))
+        eng.run_until(5.0)
+        assert hits == [0.0]
+
+    def test_jitter_requires_rng(self):
+        eng = Engine()
+        with pytest.raises(ValueError, match="jitter_rng"):
+            eng.every(1.0, lambda: None, jitter=0.5)
+
+    def test_jitter_delays_within_bounds(self):
+        eng = Engine()
+        rng = np.random.default_rng(0)
+        hits: list[float] = []
+        eng.every(10.0, lambda: hits.append(eng.now), jitter=2.0, jitter_rng=rng)
+        eng.run_until(100.0)
+        gaps = np.diff(hits)
+        assert (gaps >= 10.0).all() and (gaps <= 12.0).all()
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError, match="period"):
+            Engine().every(0.0, lambda: None)
+
+    def test_start_in_past_rejected(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(ValueError, match="past"):
+            eng.every(1.0, lambda: None, start=1.0)
+
+
+class TestDrain:
+    def test_returns_event_count(self):
+        eng = Engine()
+        for t in range(5):
+            eng.schedule(float(t), lambda: None)
+        assert eng.drain() == 5
+
+    def test_max_events_bound(self):
+        eng = Engine()
+        for t in range(10):
+            eng.schedule(float(t), lambda: None)
+        assert eng.drain(max_events=3) == 3
+        assert eng.pending == 7

@@ -1,0 +1,91 @@
+"""Tests that figure results render to valid SVG files."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    Fig1Result,
+    Fig2Result,
+    Fig7Result,
+    save_fig5_svg,
+    save_grid_svgs,
+)
+from repro.experiments.runner import GridResult
+from tests.experiments.test_figures_unit import tiny_trace
+
+
+def valid_svg(path):
+    root = ET.parse(path).getroot()
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestFig1Svgs:
+    def test_three_panels(self, tmp_path):
+        res = Fig1Result(
+            trace=tiny_trace(), node_a="a", node_b="b", sample_nodes=["a", "b"]
+        )
+        paths = res.save_svgs(tmp_path)
+        assert len(paths) == 3
+        for p in paths:
+            valid_svg(p)
+
+
+class TestFig2Svgs:
+    def test_heatmap_and_series(self, tmp_path):
+        mat = np.array([[np.nan, 50.0], [50.0, np.nan]])
+        res = Fig2Result(
+            nodes=["x", "y"],
+            mean_bandwidth=mat,
+            pair_names=[("x", "y")],
+            pair_times_h=np.array([0.0, 1.0, 2.0]),
+            pair_series=np.array([[10.0], [20.0], [15.0]]),
+        )
+        paths = res.save_svgs(tmp_path)
+        assert len(paths) == 2
+        for p in paths:
+            valid_svg(p)
+
+
+class TestGridSvgs:
+    def test_one_chart_per_proc_count(self, tmp_path):
+        grid = GridResult(
+            app_name="miniMD",
+            proc_counts=(8, 32),
+            sizes=(16, 32),
+            repeats=1,
+            policies=("random", "network_load_aware"),
+            times={
+                "random": {(8, 16): [2.0], (8, 32): [4.0],
+                           (32, 16): [2.5], (32, 32): [5.0]},
+                "network_load_aware": {(8, 16): [1.0], (8, 32): [2.0],
+                                       (32, 16): [1.2], (32, 32): [2.4]},
+            },
+            allocations={},
+            loads_per_core={},
+        )
+        paths = save_grid_svgs(grid, tmp_path, prefix="fig4")
+        assert len(paths) == 2
+        assert paths[0].endswith("fig4_procs8.svg")
+        for p in paths:
+            valid_svg(p)
+
+
+class TestFig5AndFig7Svgs:
+    def test_fig5_bar(self, tmp_path):
+        path = tmp_path / "fig5.svg"
+        save_fig5_svg({"random": 0.72, "ours": 0.43}, path)
+        valid_svg(path)
+
+    def test_fig7_heatmap(self, tmp_path):
+        res = Fig7Result(
+            nodes=["n1", "n2"],
+            bandwidth_complement=np.array([[np.nan, 3.0], [3.0, np.nan]]),
+            cpu_load=[1.0, 2.0],
+            selections={"ours": ("n1",)},
+        )
+        path = tmp_path / "fig7.svg"
+        res.save_svg(path)
+        valid_svg(path)

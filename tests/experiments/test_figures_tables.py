@@ -1,0 +1,164 @@
+"""Smoke-scale tests for every figure and table driver.
+
+Full paper-scale runs live in ``benchmarks/``; here each driver runs on a
+reduced grid/horizon and we verify structure plus the qualitative claims
+the paper makes about each artefact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.scenario import paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return paper_scenario(seed=11, warmup_s=1800.0)
+
+
+@pytest.fixture(scope="module")
+def minimd_grid(scenario):
+    return figures.fig4(
+        scenario=scenario,
+        proc_counts=(8, 32),
+        sizes=(16,),
+        repeats=2,
+        gap_s=120.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def minife_grid(scenario):
+    return figures.fig6(
+        scenario=scenario,
+        proc_counts=(8, 32),
+        sizes=(96,),
+        repeats=2,
+        gap_s=120.0,
+    )
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.fig1(seed=2, hours=6.0, sample_period_s=600.0)
+
+    def test_structure(self, result):
+        assert len(result.sample_nodes) == 20
+        assert len(result.trace.times) == 36
+
+    def test_stats_in_paper_bands(self, result):
+        s = result.summary()
+        assert 10.0 <= s["mean_cpu_util_pct"] <= 45.0  # paper: 20-35 %
+        assert s["max_cpu_load"] > s["mean_cpu_load"]  # spikes exist
+        assert 2.0 <= s["mean_memory_gb"] <= 8.0  # ~25 % of 16 GB
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 1" in text
+        assert result.node_a in text and result.node_b in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.fig2(
+            seed=2,
+            n_nodes=20,
+            n_heatmap_samples=3,
+            heatmap_gap_s=120.0,
+            series_hours=3.0,
+            series_period_s=600.0,
+        )
+
+    def test_heatmap_symmetric(self, result):
+        m = result.mean_bandwidth
+        mask = ~np.isnan(m)
+        assert np.allclose(m[mask], m.T[mask])
+
+    def test_proximity_structure(self, result):
+        """Paper: closer nodes have higher bandwidth (negative corr)."""
+        assert result.proximity_correlation() < 0.0
+
+    def test_series_tracked(self, result):
+        assert result.pair_series.shape[1] == 3
+        assert (result.pair_series > 0).all()
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 2(a)" in text and "Figure 2(b)" in text
+
+
+class TestFig4AndTable2:
+    def test_network_load_aware_wins_on_average(self, minimd_grid):
+        t = tables.table2(minimd_grid)
+        assert t.gains["random"].average > 0
+        # Not every baseline must lose in a smoke run, but random should
+        # lose clearly and the full ordering is checked at bench scale.
+
+    def test_render_fig4(self, minimd_grid):
+        text = figures.render_fig4(minimd_grid)
+        assert "miniMD" in text and "#procs = 8" in text
+
+    def test_table2_requires_minimd(self, minife_grid):
+        with pytest.raises(ValueError):
+            tables.table2(minife_grid)
+
+    def test_table2_render(self, minimd_grid):
+        text = tables.table2(minimd_grid).render(table_no=2)
+        assert "Average Gain" in text and "coefficient of variation" in text
+
+
+class TestFig5:
+    def test_loads_per_policy(self, minimd_grid):
+        loads = figures.fig5(minimd_grid)
+        assert set(loads) == set(minimd_grid.policies)
+        # load-aware picks the least-loaded nodes by construction
+        assert loads["load_aware"] <= loads["random"]
+        text = figures.render_fig5(loads)
+        assert "Figure 5" in text
+
+
+class TestFig6AndTable3:
+    def test_structure(self, minife_grid):
+        assert minife_grid.app_name == "miniFE"
+        t = tables.table3(minife_grid)
+        assert set(t.gains) == {"random", "sequential", "load_aware"}
+
+    def test_table3_requires_minife(self, minimd_grid):
+        with pytest.raises(ValueError):
+            tables.table3(minimd_grid)
+
+    def test_render_fig6(self, minife_grid):
+        assert "miniFE" in figures.render_fig6(minife_grid)
+
+
+class TestTable4AndFig7:
+    @pytest.fixture(scope="class")
+    def analysis(self, scenario):
+        return tables.table4(scenario=scenario)
+
+    def test_all_policies_present(self, analysis):
+        assert set(analysis.runs) == {
+            "random", "sequential", "load_aware", "network_load_aware",
+        }
+
+    def test_paper_shape(self, analysis):
+        """Net-aware group: low BW complement and low latency (Table 4)."""
+        ours = analysis.group_state("network_load_aware")
+        rnd = analysis.group_state("random")
+        assert ours["avg_bandwidth_complement_mbs"] <= rnd["avg_bandwidth_complement_mbs"]
+        assert ours["avg_latency_us"] <= rnd["avg_latency_us"]
+
+    def test_render(self, analysis):
+        text = analysis.render()
+        assert "Table 4" in text and "Avg. CPU load" in text
+
+    def test_fig7_structure(self, scenario):
+        result = figures.fig7(scenario=scenario)
+        n = len(result.nodes)
+        assert result.bandwidth_complement.shape == (n, n)
+        assert len(result.cpu_load) == n
+        text = result.render()
+        assert "Figure 7" in text and "CPU load" in text

@@ -1,0 +1,91 @@
+"""Fast unit tests for figure-result helpers (no paper-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import Fig1Result, Fig7Result, fig5, render_fig5
+from repro.experiments.runner import GridResult
+from repro.workload.traces import FIELDS, ClusterTrace
+
+
+def tiny_trace(nodes=("a", "b"), n_samples=4):
+    data = np.zeros((n_samples, len(nodes), len(FIELDS)))
+    for t in range(n_samples):
+        for j in range(len(nodes)):
+            data[t, j, FIELDS.index("cpu_load")] = t + j
+            data[t, j, FIELDS.index("cpu_util")] = 25.0
+            data[t, j, FIELDS.index("memory_used_gb")] = 4.0
+            data[t, j, FIELDS.index("flow_rate_mbs")] = 2.0 * j
+    return ClusterTrace(
+        nodes=list(nodes),
+        times=np.arange(n_samples) * 300.0,
+        data=data,
+    )
+
+
+class TestFig1Result:
+    @pytest.fixture
+    def result(self):
+        return Fig1Result(
+            trace=tiny_trace(),
+            node_a="a",
+            node_b="b",
+            sample_nodes=["a", "b"],
+        )
+
+    def test_hours(self, result):
+        assert result.hours()[1] == pytest.approx(300.0 / 3600.0)
+
+    def test_summary_keys(self, result):
+        s = result.summary()
+        assert set(s) == {
+            "mean_cpu_util_pct",
+            "mean_cpu_load",
+            "max_cpu_load",
+            "mean_memory_gb",
+            "mean_flow_mbs",
+        }
+        assert s["mean_cpu_util_pct"] == pytest.approx(25.0)
+
+    def test_render_mentions_all_panels(self, result):
+        text = result.render()
+        for marker in ("(a) CPU load", "(b) network I/O", "(c) CPU utilization"):
+            assert marker in text
+
+
+class TestFig7Result:
+    def test_render_marks_selection(self):
+        res = Fig7Result(
+            nodes=["n1", "n2", "n3"],
+            bandwidth_complement=np.zeros((3, 3)),
+            cpu_load=[0.5, 1.5, 2.5],
+            selections={"ours": ("n1", "n3")},
+        )
+        text = res.render()
+        row = next(l for l in text.splitlines() if "ours" in l)
+        assert row.strip().endswith("X.X")
+        assert "CPU load" in text
+
+
+class TestFig5FromGrid:
+    def test_fig5_averages_loads(self):
+        grid = GridResult(
+            app_name="miniMD",
+            proc_counts=(8,),
+            sizes=(16,),
+            repeats=2,
+            policies=("random", "network_load_aware"),
+            times={
+                "random": {(8, 16): [2.0, 4.0]},
+                "network_load_aware": {(8, 16): [1.0, 1.0]},
+            },
+            allocations={"random": {}, "network_load_aware": {}},
+            loads_per_core={
+                "random": {(8, 16): [0.6, 0.8]},
+                "network_load_aware": {(8, 16): [0.2, 0.4]},
+            },
+        )
+        loads = fig5(grid)
+        assert loads["random"] == pytest.approx(0.7)
+        assert loads["network_load_aware"] == pytest.approx(0.3)
+        assert "Figure 5" in render_fig5(loads)

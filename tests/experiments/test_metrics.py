@@ -1,0 +1,70 @@
+"""Tests for experiment metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.metrics import (
+    coefficient_of_variation,
+    gain_percent,
+    gain_stats,
+)
+
+
+class TestGainPercent:
+    def test_faster_is_positive(self):
+        assert gain_percent(10.0, 5.0) == pytest.approx(50.0)
+
+    def test_slower_is_negative(self):
+        assert gain_percent(5.0, 10.0) == pytest.approx(-100.0)
+
+    def test_equal_is_zero(self):
+        assert gain_percent(3.0, 3.0) == 0.0
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            gain_percent(0.0, 1.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_bounded_above_by_100(self, base, ours):
+        assert gain_percent(base, ours) <= 100.0
+
+
+class TestGainStats:
+    def test_statistics(self):
+        base = [10.0, 20.0, 40.0]
+        ours = [5.0, 10.0, 10.0]  # gains: 50, 50, 75
+        st_ = gain_stats(base, ours)
+        assert st_.average == pytest.approx(175.0 / 3)
+        assert st_.median == pytest.approx(50.0)
+        assert st_.maximum == pytest.approx(75.0)
+        assert st_.n == 3
+        assert st_.row() == (st_.average, st_.median, st_.maximum)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            gain_stats([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            gain_stats([], [])
+
+
+class TestCoV:
+    def test_constant_series_zero(self):
+        assert coefficient_of_variation([4.0, 4.0, 4.0]) == 0.0
+
+    def test_known_value(self):
+        # std([1, 3]) = 1 (population), mean = 2 -> CoV 0.5
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+    def test_zero_mean(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([0.0, 0.0])

@@ -1,0 +1,92 @@
+"""Tests for text rendering of results."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    ascii_heatmap,
+    comparison_table,
+    format_table,
+    series_summary,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ["name", "value"], [["alpha", 1.234], ["b", 10.0]], title="T"
+        )
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "alpha" in out and "1.23" in out and "10.00" in out
+
+    def test_header_only(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestAsciiHeatmap:
+    def test_shape_and_labels(self):
+        m = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = ascii_heatmap(m, labels=["r1", "r2"])
+        lines = out.split("\n")
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("r1")
+
+    def test_invert_flips_shades(self):
+        m = np.array([[0.0, 1.0]])
+        normal = ascii_heatmap(m)
+        inverted = ascii_heatmap(m, invert=True)
+        assert normal != inverted
+
+    def test_nan_rendered_blank(self):
+        m = np.array([[np.nan, 1.0]])
+        out = ascii_heatmap(m)
+        assert out[0] == " "
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(3))
+
+    def test_label_count_must_match_rows(self):
+        with pytest.raises(ValueError, match="labels"):
+            ascii_heatmap(np.zeros((2, 2)), labels=["only-one"])
+
+    def test_constant_matrix(self):
+        out = ascii_heatmap(np.ones((2, 2)))
+        assert len(set(out.replace("\n", ""))) == 1
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        out = sparkline(list(range(1000)), width=50)
+        assert len(out) <= 50
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_shades(self):
+        out = sparkline([0.0, 10.0])
+        assert out[0] != out[-1]
+
+
+class TestSeriesSummary:
+    def test_contents(self):
+        s = series_summary("x", [1.0, 2.0, 3.0], unit="s")
+        assert "min=1" in s and "max=3" in s and "(n=3)" in s
+
+
+class TestComparisonTable:
+    def test_grid_layout(self):
+        times = {
+            "random": {(8, 16): [2.0, 4.0], (8, 32): [8.0]},
+            "ours": {(8, 16): [1.0, 1.0], (8, 32): [2.0]},
+        }
+        out = comparison_table(times, [8], [16, 32], title="Fig")
+        assert "#procs = 8" in out
+        assert "3.00" in out  # mean of 2, 4
+        assert "random" in out and "ours" in out

@@ -1,0 +1,62 @@
+"""Extra runner tests: policy subsets and custom factories."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.core.policies.hierarchical import HierarchicalNetworkLoadAwarePolicy
+from repro.experiments.runner import compare_policies, run_grid
+from repro.experiments.scenario import small_scenario
+from repro.integrations.condor import CondorLikePolicy
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return small_scenario(n_nodes=8, seed=23, warmup_s=600.0)
+
+
+class TestCustomPolicySets:
+    def test_policy_factory_extends_comparison(self, scenario):
+        """The runner accepts extension policies alongside the §5 four."""
+        extra = {
+            "condor_rank": CondorLikePolicy,
+            "hierarchical": HierarchicalNetworkLoadAwarePolicy,
+            "network_load_aware": NetworkLoadAwarePolicy,
+        }
+        comparison = compare_policies(
+            scenario,
+            MiniMD(8, MiniMDConfig(timesteps=50)),
+            AllocationRequest(8, ppn=4),
+            rng=np.random.default_rng(0),
+            policies=tuple(extra),
+            policy_factory=lambda name: extra[name](),
+        )
+        assert set(comparison.runs) == set(extra)
+
+    def test_grid_with_policy_subset(self, scenario):
+        grid = run_grid(
+            scenario,
+            lambda s: MiniMD(s, MiniMDConfig(timesteps=50)),
+            proc_counts=(8,),
+            sizes=(8,),
+            repeats=1,
+            gap_s=60.0,
+            policies=("random", "network_load_aware"),
+        )
+        assert set(grid.times) == {"random", "network_load_aware"}
+
+    def test_grid_respects_explicit_tradeoff(self, scenario):
+        from repro.core.weights import TradeOff
+
+        grid = run_grid(
+            scenario,
+            lambda s: MiniMD(s, MiniMDConfig(timesteps=50)),
+            proc_counts=(8,),
+            sizes=(8,),
+            repeats=1,
+            gap_s=60.0,
+            tradeoff=TradeOff(1.0, 0.0),
+        )
+        alloc = grid.allocations["network_load_aware"][(8, 8)][0]
+        assert alloc.request.tradeoff.alpha == 1.0

@@ -1,0 +1,46 @@
+"""Extra scenario-builder tests."""
+
+import pytest
+
+from repro.experiments.scenario import Scenario, paper_scenario, small_scenario
+from repro.cluster.topology import uniform_cluster
+from repro.monitor.system import MonitorConfig
+from repro.workload.generator import WorkloadConfig
+
+
+class TestScenarioOptions:
+    def test_small_scenario_shape(self):
+        sc = small_scenario(n_nodes=6, seed=0, warmup_s=0.0, nodes_per_switch=3)
+        assert len(sc.cluster) == 6
+        assert len(sc.cluster.topology.switches) == 3  # root + 2 leaves
+
+    def test_custom_workload_config(self):
+        cfg = WorkloadConfig(tick_s=30.0)
+        specs, topo = uniform_cluster(4, nodes_per_switch=2)
+        sc = Scenario.build(specs, topo, seed=0, workload_config=cfg)
+        assert sc.workload.config.tick_s == 30.0
+
+    def test_custom_monitor_config(self):
+        specs, topo = uniform_cluster(4, nodes_per_switch=2)
+        sc = Scenario.build(
+            specs, topo, seed=0,
+            monitor_config=MonitorConfig(nodestate_period_s=9.0),
+        )
+        assert sc.monitoring.config.nodestate_period_s == 9.0
+
+    def test_paper_scenario_is_paper_cluster(self):
+        sc = paper_scenario(seed=0, warmup_s=0.0)
+        assert len(sc.cluster) == 60
+        assert sc.cluster.spec("csews1").cores == 12
+        assert sc.cluster.spec("csews11").cores == 8
+
+    def test_same_seed_same_livehosts_and_states(self):
+        a = small_scenario(n_nodes=4, seed=4, warmup_s=300.0)
+        b = small_scenario(n_nodes=4, seed=4, warmup_s=300.0)
+        sa = {n: a.cluster.state(n).cpu_load for n in a.cluster.names}
+        sb = {n: b.cluster.state(n).cpu_load for n in b.cluster.names}
+        assert sa == sb
+
+    def test_warmup_advances_clock(self):
+        sc = small_scenario(n_nodes=4, seed=0, warmup_s=123.0)
+        assert sc.engine.now == 123.0

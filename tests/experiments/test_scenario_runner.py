@@ -1,0 +1,125 @@
+"""Integration tests for scenarios and the experiment runner.
+
+These run small clusters and short horizons to stay fast while still
+exercising the full §5 protocol end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.core.policies import AllocationRequest
+from repro.core.weights import MINIMD_TRADEOFF
+from repro.experiments.runner import POLICY_ORDER, compare_policies, run_grid
+from repro.experiments.scenario import Scenario, paper_scenario, small_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return small_scenario(n_nodes=10, seed=3, warmup_s=900.0, nodes_per_switch=5)
+
+
+class TestScenario:
+    def test_small_scenario_wired(self, scenario):
+        assert len(scenario.cluster) == 10
+        snap = scenario.snapshot()
+        assert len(snap.nodes) == 10
+
+    def test_advance_moves_clock(self, scenario):
+        t = scenario.engine.now
+        scenario.advance(60.0)
+        assert scenario.engine.now == t + 60.0
+
+    def test_broker_from_scenario(self, scenario):
+        broker = scenario.broker()
+        res = broker.request(
+            AllocationRequest(8, ppn=4, tradeoff=MINIMD_TRADEOFF)
+        )
+        assert res.allocation.n_nodes == 2
+
+    def test_without_monitoring(self):
+        sc = paper_scenario(seed=0, warmup_s=0.0, with_monitoring=False)
+        assert sc.monitoring is None
+        with pytest.raises(RuntimeError):
+            sc.snapshot()
+
+
+class TestComparePolicies:
+    def test_all_policies_run(self, scenario):
+        app = MiniMD(8, MiniMDConfig(timesteps=50))
+        comparison = compare_policies(
+            scenario,
+            app,
+            AllocationRequest(8, ppn=4, tradeoff=MINIMD_TRADEOFF),
+            rng=np.random.default_rng(0),
+        )
+        assert set(comparison.runs) == set(POLICY_ORDER)
+        for run in comparison.runs.values():
+            assert run.time_s > 0
+            assert run.mean_load_per_core >= 0
+
+    def test_runs_share_snapshot_time(self, scenario):
+        app = MiniMD(8, MiniMDConfig(timesteps=50))
+        comparison = compare_policies(
+            scenario,
+            app,
+            AllocationRequest(8, ppn=4),
+            rng=np.random.default_rng(0),
+        )
+        times = {r.allocation.snapshot_time for r in comparison.runs.values()}
+        assert len(times) == 1
+
+
+class TestRunGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        sc = small_scenario(n_nodes=10, seed=7, warmup_s=900.0, nodes_per_switch=5)
+        return run_grid(
+            sc,
+            lambda s: MiniMD(s, MiniMDConfig(timesteps=50)),
+            proc_counts=(8,),
+            sizes=(8, 16),
+            repeats=2,
+            gap_s=120.0,
+        )
+
+    def test_grid_shape(self, grid):
+        assert grid.proc_counts == (8,)
+        assert grid.sizes == (8, 16)
+        for p in POLICY_ORDER:
+            for key in [(8, 8), (8, 16)]:
+                assert len(grid.times[p][key]) == 2
+
+    def test_mean_time(self, grid):
+        assert grid.mean_time("random", 8, 8) > 0
+
+    def test_paired_times_alignment(self, grid):
+        a, b = grid.paired_times("random", "network_load_aware")
+        assert len(a) == len(b) == 4
+
+    def test_repeats_differ(self, grid):
+        """Between repeats the cluster evolved, so times should vary."""
+        varied = any(
+            len(set(v)) > 1
+            for v in grid.times["network_load_aware"].values()
+        )
+        assert varied
+
+    def test_loads_recorded(self, grid):
+        assert grid.mean_load_per_core("random") >= 0.0
+
+    def test_allocations_recorded(self, grid):
+        allocs = grid.allocations["sequential"][(8, 8)]
+        assert len(allocs) == 2
+        assert all(a.policy == "sequential" for a in allocs)
+
+    def test_to_csv(self, grid, tmp_path):
+        path = tmp_path / "grid.csv"
+        text = grid.to_csv(path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        header, rows = lines[0], lines[1:]
+        assert header.startswith("app,policy,procs,size,repeat")
+        # 4 policies x 2 configs x 2 repeats
+        assert len(rows) == 16
+        assert all(r.split(",")[0] == "miniMD" for r in rows)

@@ -1,0 +1,61 @@
+"""AllocationAnalysis unit tests with synthetic runs (Table 4 shape)."""
+
+import pytest
+
+from repro.core.policies import Allocation, AllocationRequest
+from repro.experiments.runner import PolicyRun
+from repro.experiments.tables import AllocationAnalysis
+from repro.simmpi.job import ExecutionReport
+from tests.core.conftest import make_snapshot, make_view
+
+
+def run_for(nodes, time_s, request):
+    alloc = Allocation(
+        policy="x",
+        nodes=tuple(nodes),
+        procs={n: request.n_processes // len(nodes) for n in nodes},
+        request=request,
+        snapshot_time=0.0,
+    )
+    report = ExecutionReport(
+        app="toy", n_ranks=request.n_processes, nodes=tuple(nodes),
+        total_time_s=time_s, compute_time_s=time_s / 2,
+        comm_time_s=time_s / 2, steps=10,
+    )
+    return PolicyRun(policy="x", allocation=alloc, report=report)
+
+
+class TestGroupState:
+    def test_metrics_computed_over_group_pairs(self):
+        views = {
+            "a": make_view("a", load=1.0),
+            "b": make_view("b", load=3.0),
+            "c": make_view("c", load=5.0),
+        }
+        snap = make_snapshot(
+            views,
+            bandwidth={("a", "b"): 100.0, ("a", "c"): 25.0, ("b", "c"): 75.0},
+            latency={("a", "b"): 80.0, ("a", "c"): 400.0, ("b", "c"): 120.0},
+        )
+        request = AllocationRequest(4, ppn=2)
+        analysis = AllocationAnalysis(
+            snapshot=snap,
+            runs={"p": run_for(["a", "b"], 5.0, request)},
+        )
+        st = analysis.group_state("p")
+        assert st["avg_cpu_load"] == pytest.approx(2.0)
+        # complement of available bandwidth: 125 - 100 = 25
+        assert st["avg_bandwidth_complement_mbs"] == pytest.approx(25.0)
+        assert st["avg_latency_us"] == pytest.approx(80.0)
+        assert st["execution_time_s"] == 5.0
+
+    def test_render_has_all_columns(self):
+        views = {"a": make_view("a"), "b": make_view("b")}
+        snap = make_snapshot(views)
+        request = AllocationRequest(4, ppn=2)
+        analysis = AllocationAnalysis(
+            snapshot=snap, runs={"p": run_for(["a", "b"], 1.0, request)}
+        )
+        text = analysis.render()
+        for col in ("Avg. CPU load", "BW complement", "latency", "Exec time"):
+            assert col in text

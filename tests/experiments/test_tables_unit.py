@@ -1,0 +1,54 @@
+"""Fast unit tests for table helpers (no paper-scale runs)."""
+
+import pytest
+
+from repro.experiments.runner import GridResult
+from repro.experiments.tables import GainTable, gain_table
+
+
+def synthetic_grid(app="miniMD"):
+    """Grid where the proposed policy is exactly 2x faster than random,
+    1.25x faster than sequential, and equal to load_aware."""
+    policies = ("random", "sequential", "load_aware", "network_load_aware")
+    times = {
+        "random": {(8, 16): [4.0, 8.0]},
+        "sequential": {(8, 16): [2.5, 5.0]},
+        "load_aware": {(8, 16): [2.0, 4.0]},
+        "network_load_aware": {(8, 16): [2.0, 4.0]},
+    }
+    return GridResult(
+        app_name=app,
+        proc_counts=(8,),
+        sizes=(16,),
+        repeats=2,
+        policies=policies,
+        times=times,
+        allocations={p: {} for p in policies},
+        loads_per_core={p: {(8, 16): [0.1, 0.1]} for p in policies},
+    )
+
+
+class TestGainTable:
+    def test_gain_values(self):
+        table = gain_table(synthetic_grid())
+        assert table.gains["random"].average == pytest.approx(50.0)
+        assert table.gains["sequential"].average == pytest.approx(20.0)
+        assert table.gains["load_aware"].average == pytest.approx(0.0)
+
+    def test_cov_per_policy(self):
+        table = gain_table(synthetic_grid())
+        # times [2, 4]: std=1, mean=3 -> CoV 1/3
+        assert table.cov["network_load_aware"] == pytest.approx(1.0 / 3.0)
+
+    def test_render_contains_rows(self):
+        text = gain_table(synthetic_grid()).render(table_no=2)
+        assert "Table 2" in text
+        assert "50.0%" in text
+        assert "coefficient of variation" in text
+
+    def test_single_repeat_cov_zero(self):
+        grid = synthetic_grid()
+        for p in grid.policies:
+            grid.times[p] = {(8, 16): [3.0]}
+        table = gain_table(grid)
+        assert all(v == 0.0 for v in table.cov.values())

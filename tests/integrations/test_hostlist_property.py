@@ -1,0 +1,55 @@
+"""Property-based tests for Slurm hostlist compression."""
+
+import re
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.integrations.slurm import compress_hostlist
+
+
+def expand(hostlist: str) -> set[str]:
+    """Reference expansion of the compressed form."""
+    out: set[str] = set()
+    # split on commas that are *outside* brackets
+    parts = re.findall(r"[^,\[\]]+\[[^\]]*\]|[^,\[\]]+", hostlist)
+    for part in parts:
+        m = re.match(r"^(.*)\[(.*)\]$", part)
+        if not m:
+            out.add(part)
+            continue
+        prefix, ranges = m.groups()
+        for r in ranges.split(","):
+            if "-" in r:
+                lo, hi = r.split("-")
+                for i in range(int(lo), int(hi) + 1):
+                    out.add(f"{prefix}{i}")
+            else:
+                out.add(f"{prefix}{int(r)}")
+    return out
+
+
+node_sets = st.sets(
+    st.integers(min_value=1, max_value=99), min_size=1, max_size=30
+)
+
+
+@given(node_sets)
+def test_roundtrip_single_prefix(nums):
+    nodes = [f"csews{i}" for i in sorted(nums)]
+    compressed = compress_hostlist(nodes)
+    assert expand(compressed) == set(nodes)
+
+
+@given(node_sets, node_sets)
+def test_roundtrip_two_prefixes(a, b):
+    nodes = [f"a{i}" for i in a] + [f"b{i}" for i in b]
+    compressed = compress_hostlist(nodes)
+    assert expand(compressed) == set(nodes)
+
+
+@given(node_sets)
+def test_compression_is_order_insensitive(nums):
+    fwd = [f"n{i}" for i in sorted(nums)]
+    rev = list(reversed(fwd))
+    assert compress_hostlist(fwd) == compress_hostlist(rev)

@@ -1,0 +1,128 @@
+"""Tests for the Slurm select-plugin adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import AllocationError, LoadAwarePolicy
+from repro.integrations.slurm import (
+    SlurmJobSpec,
+    SlurmSelectAdapter,
+    compress_hostlist,
+)
+from tests.core.conftest import make_snapshot, make_view
+
+
+@pytest.fixture
+def snapshot():
+    views = {}
+    for i in range(1, 9):
+        views[f"csews{i}"] = make_view(
+            f"csews{i}",
+            cores=12 if i <= 6 else 8,
+            freq=4.6 if i <= 6 else 2.8,
+            load=6.0 if i in (1, 2) else 0.3,
+        )
+    return make_snapshot(dict(sorted(views.items())))
+
+
+class TestSlurmJobSpec:
+    def test_parse_options(self):
+        spec = SlurmJobSpec.from_options(
+            "--ntasks=32 --ntasks-per-node=4 "
+            "--exclude=csews3,csews4 --constraint=cores>=12 --alpha=0.4"
+        )
+        assert spec.ntasks == 32
+        assert spec.ntasks_per_node == 4
+        assert spec.exclude == ("csews3", "csews4")
+        assert spec.constraints == ("cores>=12",)
+        assert spec.alpha == 0.4
+
+    def test_short_ntasks_flag(self):
+        assert SlurmJobSpec.from_options("-n=8").ntasks == 8
+
+    def test_ntasks_required(self):
+        with pytest.raises(ValueError, match="ntasks"):
+            SlurmJobSpec.from_options("--ntasks-per-node=4")
+
+    def test_unknown_option(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            SlurmJobSpec.from_options("--ntasks=4 --gpu=1")
+
+    def test_malformed_option(self):
+        with pytest.raises(ValueError, match="malformed"):
+            SlurmJobSpec.from_options("--ntasks")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlurmJobSpec(ntasks=0)
+        with pytest.raises(ValueError):
+            SlurmJobSpec(ntasks=4, ntasks_per_node=0)
+
+
+class TestHostlistCompression:
+    def test_consecutive_range(self):
+        assert compress_hostlist(["csews1", "csews2", "csews3"]) == "csews[1-3]"
+
+    def test_gaps(self):
+        out = compress_hostlist(["csews1", "csews2", "csews7"])
+        assert out == "csews[1-2,7]"
+
+    def test_mixed_prefixes(self):
+        out = compress_hostlist(["a1", "b2", "b3"])
+        assert out == "a[1],b[2-3]"
+
+    def test_non_numeric_names(self):
+        assert compress_hostlist(["gateway"]) == "gateway"
+
+
+class TestSelect:
+    def test_basic_selection(self, snapshot):
+        adapter = SlurmSelectAdapter(lambda: snapshot)
+        sel = adapter.select(SlurmJobSpec(ntasks=16, ntasks_per_node=4))
+        assert sum(sel.tasks_per_node) == 16
+        assert sel.allocation.n_nodes == 4
+        env = sel.environment()
+        assert env["SLURM_NTASKS"] == "16"
+        assert env["SLURM_JOB_NUM_NODES"] == "4"
+        assert env["SLURM_JOB_NODELIST"] == sel.nodelist
+
+    def test_exclusion_respected(self, snapshot):
+        adapter = SlurmSelectAdapter(lambda: snapshot)
+        spec = SlurmJobSpec(
+            ntasks=16, ntasks_per_node=4, exclude=("csews3", "csews4")
+        )
+        sel = adapter.select(spec)
+        assert {"csews3", "csews4"} & set(sel.allocation.nodes) == set()
+
+    def test_constraint_filters_static_attributes(self, snapshot):
+        adapter = SlurmSelectAdapter(lambda: snapshot)
+        spec = SlurmJobSpec(
+            ntasks=16, ntasks_per_node=4, constraints=("cores>=12",)
+        )
+        sel = adapter.select(spec)
+        assert {"csews7", "csews8"} & set(sel.allocation.nodes) == set()
+
+    def test_unsatisfiable_constraints(self, snapshot):
+        adapter = SlurmSelectAdapter(lambda: snapshot)
+        spec = SlurmJobSpec(
+            ntasks=8, ntasks_per_node=4, constraints=("cores>=64",)
+        )
+        with pytest.raises(AllocationError):
+            adapter.select(spec)
+
+    def test_invalid_constraint_syntax(self, snapshot):
+        adapter = SlurmSelectAdapter(lambda: snapshot)
+        spec = SlurmJobSpec(
+            ntasks=8, ntasks_per_node=4, constraints=("gpus>=1",)
+        )
+        with pytest.raises(ValueError, match="unsupported constraint"):
+            adapter.select(spec)
+
+    def test_custom_policy(self, snapshot):
+        adapter = SlurmSelectAdapter(
+            lambda: snapshot, policy=LoadAwarePolicy()
+        )
+        sel = adapter.select(SlurmJobSpec(ntasks=8, ntasks_per_node=4))
+        assert sel.allocation.policy == "load_aware"
+        # loaded csews1/csews2 are avoided by a load-aware plugin
+        assert {"csews1", "csews2"} & set(sel.allocation.nodes) == set()

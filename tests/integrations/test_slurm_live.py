@@ -1,0 +1,35 @@
+"""Live-scenario integration test for the Slurm adapter."""
+
+import pytest
+
+from repro.experiments.scenario import paper_scenario
+from repro.integrations.slurm import SlurmJobSpec, SlurmSelectAdapter
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return paper_scenario(seed=19, warmup_s=900.0)
+
+
+class TestSlurmOnLiveCluster:
+    def test_sbatch_like_flow(self, scenario):
+        adapter = SlurmSelectAdapter(scenario.snapshot)
+        spec = SlurmJobSpec.from_options(
+            "--ntasks=32 --ntasks-per-node=4 --constraint=cores>=12 "
+            "--alpha=0.3"
+        )
+        sel = adapter.select(spec, rng=scenario.streams.child("slurm"))
+        # constraint: only 12-core machines (cswes 12-core subset)
+        for n in sel.allocation.nodes:
+            assert scenario.cluster.spec(n).cores >= 12
+        assert sel.environment()["SLURM_NTASKS"] == "32"
+        # hostlist round-trips the node count
+        assert sel.allocation.n_nodes == 8
+
+    def test_down_node_never_selected(self, scenario):
+        scenario.cluster.mark_down("csews5")
+        scenario.advance(120.0)
+        adapter = SlurmSelectAdapter(scenario.snapshot)
+        sel = adapter.select(SlurmJobSpec(ntasks=32, ntasks_per_node=4))
+        assert "csews5" not in sel.allocation.nodes
+        scenario.cluster.mark_up("csews5")

@@ -1,0 +1,168 @@
+"""Tests for the Central Monitor master/slave supervision and failover."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.central import MASTER_KEY, SLAVE_KEY, CentralMonitor, CentralService
+from repro.monitor.daemons import LivehostsD, NodeStateD
+from repro.monitor.store import InMemoryStore
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(6, nodes_per_switch=3)
+    cluster = Cluster(specs, topo)
+    return Engine(), InMemoryStore(), cluster
+
+
+def make_service(engine, store, cluster, daemons=()):
+    return CentralService(
+        engine,
+        store,
+        cluster,
+        daemons,
+        master_host="node1",
+        slave_host="node2",
+        period_s=15.0,
+    )
+
+
+class TestCentralMonitor:
+    def test_role_validation(self, env):
+        engine, store, cluster = env
+        with pytest.raises(ValueError, match="role"):
+            CentralMonitor(
+                engine, store, cluster, role="emperor", host="node1"
+            )
+
+    def test_stale_factor_validation(self, env):
+        engine, store, cluster = env
+        with pytest.raises(ValueError, match="stale_factor"):
+            CentralMonitor(
+                engine, store, cluster, role="master", host="node1",
+                stale_factor=0.5,
+            )
+
+    def test_heartbeats_written(self, env):
+        engine, store, cluster = env
+        svc = make_service(engine, store, cluster)
+        svc.start()
+        engine.run(30.0)
+        assert store.get(MASTER_KEY) is not None
+        assert store.get(SLAVE_KEY) is not None
+
+
+class TestDaemonSupervision:
+    def test_crashed_daemon_restarted(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node3", period_s=5.0)
+        d.start()
+        svc = make_service(engine, store, cluster, daemons=[d])
+        svc.start()
+        engine.run(60.0)
+        d.crash()
+        engine.run(300.0)
+        assert d.alive
+        assert svc.master.restarts_performed >= 1
+
+    def test_healthy_daemon_not_restarted(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node3", period_s=5.0)
+        d.start()
+        svc = make_service(engine, store, cluster, daemons=[d])
+        svc.start()
+        engine.run(600.0)
+        assert svc.master.restarts_performed == 0
+
+    def test_relocatable_daemon_moves_off_dead_host(self, env):
+        engine, store, cluster = env
+        live = LivehostsD(engine, store, cluster, host="node3", period_s=10.0)
+        live.start()
+        svc = make_service(engine, store, cluster, daemons=[live])
+        svc.start()
+        engine.run(60.0)
+        cluster.mark_down("node3")
+        engine.run(600.0)
+        assert live.host != "node3"
+        assert cluster.state(live.host).up
+        # daemon resumed on the new host
+        assert store.age("livehosts", engine.now) < 60.0
+
+    def test_nodestate_daemon_never_relocated(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node3", period_s=5.0)
+        d.start()
+        svc = make_service(engine, store, cluster, daemons=[d])
+        svc.start()
+        cluster.mark_down("node3")
+        engine.run(600.0)
+        assert d.host == "node3"  # pinned: it samples its own node
+
+
+class TestFailover:
+    def test_slave_promotes_when_master_dies(self, env):
+        engine, store, cluster = env
+        svc = make_service(engine, store, cluster)
+        svc.start()
+        engine.run(60.0)
+        original_master = svc.master
+        original_master.crash()
+        engine.run(600.0)
+        assert svc.master is not original_master
+        assert svc.master.role == "master"
+        assert svc.master.alive
+
+    def test_new_slave_spawned_after_promotion(self, env):
+        engine, store, cluster = env
+        svc = make_service(engine, store, cluster)
+        svc.start()
+        engine.run(60.0)
+        svc.master.crash()
+        engine.run(600.0)
+        assert svc.slave.alive
+        assert svc.slave.role == "slave"
+        assert svc.slave is not svc.master
+
+    def test_master_replaces_dead_slave(self, env):
+        engine, store, cluster = env
+        svc = make_service(engine, store, cluster)
+        svc.start()
+        engine.run(60.0)
+        old_slave = svc.slave
+        old_slave.crash()
+        engine.run(600.0)
+        assert svc.slave is not old_slave
+        assert svc.slave.alive
+
+    def test_supervision_survives_failover(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node4", period_s=5.0)
+        d.start()
+        svc = make_service(engine, store, cluster, daemons=[d])
+        svc.start()
+        engine.run(60.0)
+        svc.master.crash()
+        engine.run(300.0)
+        d.crash()
+        engine.run(300.0)
+        assert d.alive  # the promoted master restarted it
+
+    def test_master_host_down_triggers_promotion(self, env):
+        engine, store, cluster = env
+        svc = make_service(engine, store, cluster)
+        svc.start()
+        engine.run(60.0)
+        cluster.mark_down("node1")  # master host
+        engine.run(600.0)
+        assert svc.master.alive
+        assert cluster.state(svc.master.host).up
+
+    def test_no_thrashing_when_healthy(self, env):
+        engine, store, cluster = env
+        svc = make_service(engine, store, cluster)
+        svc.start()
+        first_master = svc.master
+        engine.run(3600.0)
+        assert svc.master is first_master

@@ -1,0 +1,81 @@
+"""Edge cases for the Central Monitor's host selection and supervision."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.central import CentralMonitor, CentralService
+from repro.monitor.daemons import LivehostsD
+from repro.monitor.store import InMemoryStore
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    return Engine(), InMemoryStore(), Cluster(specs, topo)
+
+
+class TestPickHost:
+    def test_prefers_livehosts_record(self, env):
+        engine, store, cluster = env
+        store.put("livehosts", ["node3", "node4"], 0.0)
+        mon = CentralMonitor(
+            engine, store, cluster, role="master", host="node1"
+        )
+        assert mon._pick_host() == "node3"
+
+    def test_falls_back_to_cluster_names(self, env):
+        engine, store, cluster = env
+        mon = CentralMonitor(
+            engine, store, cluster, role="master", host="node1"
+        )
+        assert mon._pick_host(exclude="node1") == "node2"
+
+    def test_skips_down_nodes(self, env):
+        engine, store, cluster = env
+        cluster.mark_down("node1")
+        cluster.mark_down("node2")
+        mon = CentralMonitor(
+            engine, store, cluster, role="master", host="node3"
+        )
+        assert mon._pick_host() == "node3"
+
+    def test_none_when_everything_down(self, env):
+        engine, store, cluster = env
+        for n in cluster.names:
+            cluster.mark_down(n)
+        mon = CentralMonitor(
+            engine, store, cluster, role="master", host="node1"
+        )
+        assert mon._pick_host() is None
+
+
+class TestSupervisionGrace:
+    def test_slow_daemon_not_restarted_within_grace(self, env):
+        """A daemon slower than the monitor but within its own grace
+        window must not be restarted."""
+        engine, store, cluster = env
+        slow = LivehostsD(engine, store, cluster, period_s=120.0)
+        slow.start()
+        svc = CentralService(
+            engine, store, cluster, [slow],
+            master_host="node1", slave_host="node2", period_s=15.0,
+        )
+        svc.start()
+        engine.run(360.0)
+        assert svc.master.restarts_performed == 0
+        assert slow.ticks >= 2
+
+    def test_never_started_daemon_gets_launched(self, env):
+        """Supervision launches daemons that never produced a heartbeat."""
+        engine, store, cluster = env
+        dead = LivehostsD(engine, store, cluster, period_s=30.0)
+        # never started
+        svc = CentralService(
+            engine, store, cluster, [dead],
+            master_host="node1", slave_host="node2", period_s=15.0,
+        )
+        svc.start()
+        engine.run(600.0)
+        assert dead.alive

@@ -1,0 +1,61 @@
+"""Tests for daemon tick jitter (fleet desynchronization)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.daemons import NodeStateD
+from repro.monitor.store import InMemoryStore
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    return Engine(), InMemoryStore(), Cluster(specs, topo)
+
+
+class TestJitteredDaemons:
+    def test_jitter_requires_rng(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(
+            engine, store, cluster, "node1", period_s=5.0, jitter_s=2.0
+        )
+        with pytest.raises(ValueError, match="jitter_rng"):
+            d.start()
+
+    def test_jittered_ticks_within_bounds(self, env):
+        engine, store, cluster = env
+        rng = np.random.default_rng(0)
+        d = NodeStateD(
+            engine, store, cluster, "node1",
+            period_s=5.0, jitter_s=3.0, jitter_rng=rng,
+        )
+        d.start()
+        engine.run(600.0)
+        # ticks happen at least every period, at most period + jitter
+        assert 600.0 / 8.0 <= d.ticks <= 600.0 / 5.0 + 1
+
+    def test_fleet_desynchronizes(self, env):
+        """With jitter, two same-period daemons drift apart — the paper's
+        daemons must not stampede the shared filesystem in lock-step."""
+        engine, store, cluster = env
+        rng = np.random.default_rng(1)
+        tick_times: dict[str, list[float]] = {"node1": [], "node2": []}
+
+        class Spy(NodeStateD):
+            def sample(self):
+                tick_times[self.node].append(self.engine.now)
+                super().sample()
+
+        for n in ("node1", "node2"):
+            Spy(
+                engine, store, cluster, n,
+                period_s=5.0, jitter_s=4.0, jitter_rng=rng,
+            ).start()
+        engine.run(600.0)
+        a, b = tick_times["node1"], tick_times["node2"]
+        k = min(len(a), len(b))
+        offsets = {round(abs(x - y), 3) for x, y in zip(a[:k], b[:k])}
+        assert len(offsets) > 1  # not in lock-step

@@ -1,0 +1,156 @@
+"""Tests for NodeStateD and LivehostsD."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.daemons import LivehostsD, NodeStateD
+from repro.monitor.store import InMemoryStore
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    cluster = Cluster(specs, topo)
+    return Engine(), InMemoryStore(), cluster
+
+
+class TestDaemonLifecycle:
+    def test_not_alive_before_start(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node1")
+        assert not d.alive
+
+    def test_start_and_crash(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        assert d.alive
+        engine.run(20.0)
+        ticks = d.ticks
+        d.crash()
+        assert not d.alive
+        engine.run(60.0)
+        assert d.ticks == ticks
+
+    def test_restart_resumes(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(10.0)
+        d.crash()
+        d.start()
+        engine.run(10.0)
+        assert d.ticks >= 3
+
+    def test_start_idempotent(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        d.start()
+        engine.run(5.0)
+        assert d.ticks == 1
+
+    def test_heartbeat_written(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(5.0)
+        assert store.value("heartbeat/nodestate/node1") == 1
+
+    def test_down_host_skips_work_and_heartbeat(self, env):
+        engine, store, cluster = env
+        cluster.mark_down("node1")
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(30.0)
+        assert store.get("heartbeat/nodestate/node1") is None
+        assert d.ticks == 0
+
+    def test_start_announces_heartbeat_immediately(self, env):
+        engine, store, cluster = env
+        engine.run(100.0)
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        # No tick has run yet, but the heartbeat is already fresh, so a
+        # supervisor won't restart-loop the daemon before its first tick.
+        assert store.age("heartbeat/nodestate/node1", engine.now) == 0.0
+
+    def test_invalid_period(self, env):
+        engine, store, cluster = env
+        with pytest.raises(ValueError):
+            NodeStateD(engine, store, cluster, "node1", period_s=0.0)
+
+
+class TestNodeStateD:
+    def test_record_structure(self, env):
+        engine, store, cluster = env
+        cluster.state("node1").cpu_load = 3.0
+        cluster.state("node1").users = 2
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(5.0)
+        rec = store.value("nodestate/node1")
+        assert rec["static"]["cores"] == 12
+        assert rec["users"] == 2
+        assert rec["cpu_load"]["now"] == 3.0
+        assert set(rec["cpu_load"]) == {"now", "m1", "m5", "m15"}
+
+    def test_available_memory_derived(self, env):
+        engine, store, cluster = env
+        cluster.state("node1").memory_used_gb = 6.0
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(5.0)
+        rec = store.value("nodestate/node1")
+        assert rec["available_memory_gb"]["now"] == pytest.approx(10.0)
+
+    def test_rolling_means_track_history(self, env):
+        engine, store, cluster = env
+        d = NodeStateD(engine, store, cluster, "node1", period_s=10.0)
+        d.start()
+        cluster.state("node1").cpu_load = 0.0
+        engine.run(300.0)
+        cluster.state("node1").cpu_load = 12.0
+        engine.run(60.0)
+        rec = store.value("nodestate/node1")
+        # 1-minute mean reacts fast; 15-minute mean lags behind
+        assert rec["cpu_load"]["m1"] > rec["cpu_load"]["m15"]
+
+
+class TestLivehostsD:
+    def test_reports_up_nodes(self, env):
+        engine, store, cluster = env
+        d = LivehostsD(engine, store, cluster, period_s=10.0)
+        d.start()
+        engine.run(10.0)
+        assert store.value("livehosts") == cluster.names
+
+    def test_down_node_excluded(self, env):
+        engine, store, cluster = env
+        d = LivehostsD(engine, store, cluster, period_s=10.0)
+        d.start()
+        cluster.mark_down("node2")
+        engine.run(10.0)
+        assert "node2" not in store.value("livehosts")
+
+    def test_multiple_instances_same_key(self, env):
+        engine, store, cluster = env
+        d1 = LivehostsD(engine, store, cluster, instance="0", period_s=10.0)
+        d2 = LivehostsD(engine, store, cluster, instance="1", period_s=25.0)
+        d1.start()
+        d2.start()
+        engine.run(50.0)
+        # freshest write wins; both heartbeat separately
+        assert store.get("livehosts")[0] == 50.0
+        assert store.value("heartbeat/livehosts/0") == 5
+        assert store.value("heartbeat/livehosts/1") == 2
+
+    def test_hosted_instance_dies_with_host(self, env):
+        engine, store, cluster = env
+        d = LivehostsD(engine, store, cluster, host="node1", period_s=10.0)
+        d.start()
+        cluster.mark_down("node1")
+        engine.run(50.0)
+        assert store.get("livehosts") is None

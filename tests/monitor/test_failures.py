@@ -1,0 +1,63 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.daemons import NodeStateD
+from repro.monitor.failures import FailureInjector
+from repro.monitor.store import InMemoryStore
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    cluster = Cluster(specs, topo)
+    return Engine(), cluster
+
+
+class TestNodeOutage:
+    def test_permanent_outage(self, env):
+        engine, cluster = env
+        inj = FailureInjector(engine, cluster)
+        inj.node_down("node1", at=100.0)
+        engine.run(200.0)
+        assert not cluster.state("node1").up
+        assert inj.log.node_outages[0][1] == "node1"
+
+    def test_transient_outage_recovers(self, env):
+        engine, cluster = env
+        inj = FailureInjector(engine, cluster)
+        inj.node_down("node1", at=100.0, duration=50.0)
+        engine.run(120.0)
+        assert not cluster.state("node1").up
+        engine.run(100.0)
+        assert cluster.state("node1").up
+
+    def test_unknown_node(self, env):
+        engine, cluster = env
+        inj = FailureInjector(engine, cluster)
+        with pytest.raises(KeyError):
+            inj.node_down("ghost", at=0.0)
+
+    def test_invalid_duration(self, env):
+        engine, cluster = env
+        inj = FailureInjector(engine, cluster)
+        with pytest.raises(ValueError):
+            inj.node_down("node1", at=0.0, duration=0.0)
+
+
+class TestCrash:
+    def test_daemon_crashed_at_time(self, env):
+        engine, cluster = env
+        store = InMemoryStore()
+        d = NodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        inj = FailureInjector(engine, cluster)
+        inj.crash(d, at=50.0)
+        engine.run(40.0)
+        assert d.alive
+        engine.run(20.0)
+        assert not d.alive
+        assert inj.log.crashes[0][1] == "nodestate/node1"

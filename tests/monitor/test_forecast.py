@@ -1,0 +1,111 @@
+"""Tests for the NWS-style adaptive forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.forecast import (
+    AdaptiveForecaster,
+    ExponentialSmoothing,
+    LastValue,
+    RunningMean,
+)
+
+
+class TestLastValue:
+    def test_cold_start(self):
+        assert LastValue().forecast() is None
+
+    def test_tracks_latest(self):
+        p = LastValue()
+        p.update(1.0)
+        p.update(5.0)
+        assert p.forecast() == 5.0
+
+
+class TestRunningMean:
+    def test_window(self):
+        p = RunningMean(window=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            p.update(v)
+        assert p.forecast() == pytest.approx(3.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RunningMean(window=0)
+
+    def test_cold_start(self):
+        assert RunningMean().forecast() is None
+
+
+class TestExponentialSmoothing:
+    def test_first_value_initialises_state(self):
+        p = ExponentialSmoothing(alpha=0.5)
+        p.update(10.0)
+        assert p.forecast() == 10.0
+
+    def test_smoothing_formula(self):
+        p = ExponentialSmoothing(alpha=0.5)
+        p.update(10.0)
+        p.update(20.0)
+        assert p.forecast() == pytest.approx(15.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(alpha=1.5)
+
+
+class TestAdaptiveForecaster:
+    def test_empty_predictor_list_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveForecaster(predictors=[])
+
+    def test_cold_start_returns_none(self):
+        assert AdaptiveForecaster().forecast() is None
+
+    def test_mae_tracking(self):
+        f = AdaptiveForecaster(predictors=[LastValue()])
+        f.update(1.0)
+        f.update(3.0)  # LastValue predicted 1.0 -> abs err 2.0
+        assert f.mae("last_value") == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            f.mae("bogus")
+
+    def test_constant_series_all_predictors_perfect(self):
+        f = AdaptiveForecaster()
+        for _ in range(20):
+            f.update(7.0)
+        assert f.forecast() == pytest.approx(7.0)
+        for p in f.predictors:
+            assert f.mae(p.name) == pytest.approx(0.0)
+
+    def test_picks_best_for_random_walk(self):
+        """On a random walk, last-value has the smallest MAE."""
+        rng = np.random.default_rng(0)
+        x = np.cumsum(rng.normal(size=500))
+        f = AdaptiveForecaster()
+        for v in x:
+            f.update(float(v))
+        assert f.best_predictor().name == "last_value"
+
+    def test_picks_mean_for_noisy_constant(self):
+        """On iid noise around a constant, averaging beats last-value."""
+        rng = np.random.default_rng(1)
+        f = AdaptiveForecaster(
+            predictors=[LastValue(), RunningMean(window=50)]
+        )
+        for _ in range(500):
+            f.update(float(10.0 + rng.normal()))
+        assert f.best_predictor().name == "running_mean"
+
+    def test_forecast_tracks_signal(self):
+        f = AdaptiveForecaster()
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            f.update(v)
+        fc = f.forecast()
+        assert fc is not None and 1.0 <= fc <= 5.0
+
+    def test_observation_count(self):
+        f = AdaptiveForecaster()
+        for v in range(5):
+            f.update(float(v))
+        assert f.observations == 5

@@ -1,0 +1,94 @@
+"""Tests for the forecasting NodeStateD extension."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.forecasting_daemon import ForecastingNodeStateD
+from repro.monitor.store import InMemoryStore
+from repro.monitor.system import MonitorConfig, MonitoringSystem
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    cluster = Cluster(specs, topo)
+    return Engine(), InMemoryStore(), cluster, NetworkModel(topo)
+
+
+class TestForecastingNodeStateD:
+    def test_record_contains_forecast(self, env):
+        engine, store, cluster, _ = env
+        d = ForecastingNodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(30.0)
+        rec = store.value("nodestate/node1")
+        for attr in ForecastingNodeStateD.DYNAMIC:
+            assert "forecast" in rec[attr]
+
+    def test_constant_signal_forecast_converges(self, env):
+        engine, store, cluster, _ = env
+        cluster.state("node1").cpu_load = 4.0
+        d = ForecastingNodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(300.0)
+        rec = store.value("nodestate/node1")
+        assert rec["cpu_load"]["forecast"] == pytest.approx(4.0, abs=0.01)
+
+    def test_predictor_in_charge(self, env):
+        engine, store, cluster, _ = env
+        d = ForecastingNodeStateD(engine, store, cluster, "node1", period_s=5.0)
+        d.start()
+        engine.run(60.0)
+        assert d.predictor_in_charge("cpu_load") in (
+            "last_value", "running_mean", "exp_smoothing",
+        )
+
+
+class TestSystemIntegration:
+    def test_forecasting_flag_wires_daemon_class(self, env):
+        engine, _store, cluster, network = env
+        mon = MonitoringSystem(
+            engine,
+            cluster,
+            network,
+            config=MonitorConfig(forecasting=True),
+        )
+        assert all(
+            isinstance(d, ForecastingNodeStateD)
+            for d in mon.nodestate.values()
+        )
+
+    def test_forecast_reaches_snapshot(self, env):
+        engine, _store, cluster, network = env
+        mon = MonitoringSystem(
+            engine, cluster, network, config=MonitorConfig(forecasting=True)
+        )
+        mon.start()
+        engine.run(120.0)
+        snap = mon.snapshot()
+        view = snap.nodes["node1"]
+        assert "forecast" in view.cpu_load
+
+    def test_policy_can_plan_on_forecast(self, env):
+        from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+
+        engine, _store, cluster, network = env
+        mon = MonitoringSystem(
+            engine, cluster, network, config=MonitorConfig(forecasting=True)
+        )
+        mon.start()
+        engine.run(120.0)
+        policy = NetworkLoadAwarePolicy(load_key="forecast")
+        alloc = policy.allocate(mon.snapshot(), AllocationRequest(8))
+        assert sum(alloc.procs.values()) == 8
+
+    def test_default_config_has_no_forecast(self, env):
+        engine, _store, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network)
+        mon.start()
+        engine.run(60.0)
+        view = mon.snapshot().nodes["node1"]
+        assert "forecast" not in view.cpu_load

@@ -1,0 +1,77 @@
+"""Conformance checks against the paper's §4 monitoring parameters."""
+
+from repro.monitor.rolling import DEFAULT_WINDOWS
+from repro.monitor.system import MonitorConfig
+
+
+class TestSection4Parameters:
+    def test_nodestate_period_in_3_to_10_seconds(self):
+        """§4: daemons extract data 'every 3-10 seconds'."""
+        cfg = MonitorConfig()
+        lo = cfg.nodestate_period_s
+        hi = cfg.nodestate_period_s + cfg.nodestate_jitter_s
+        assert lo >= 3.0
+        assert hi <= 10.0
+
+    def test_latency_interval_one_minute(self):
+        """§4: 'regular intervals of 1 minute for latency'."""
+        assert MonitorConfig().latency_period_s == 60.0
+
+    def test_bandwidth_interval_five_minutes(self):
+        """§4: '5 minutes for bandwidth'."""
+        assert MonitorConfig().bandwidth_period_s == 300.0
+
+    def test_rolling_windows_1_5_15_minutes(self):
+        """§3.2.1/§4: running means over the last 1, 5 and 15 minutes."""
+        assert DEFAULT_WINDOWS == (60.0, 300.0, 900.0)
+
+    def test_multiple_livehosts_frequencies(self):
+        """§4: LivehostsD runs 'on a few selected nodes at different
+        frequencies'."""
+        periods = MonitorConfig().livehosts_periods_s
+        assert len(periods) >= 2
+        assert len(set(periods)) == len(periods)
+
+
+class TestSection5Parameters:
+    def test_paper_compute_weights(self):
+        """§5: 0.3/0.2/0.2/0.1/0.1/0.05/0.05 across the seven attributes."""
+        from repro.core.weights import PAPER_COMPUTE_WEIGHTS
+
+        assert sorted(PAPER_COMPUTE_WEIGHTS.values(), reverse=True) == [
+            0.30, 0.20, 0.20, 0.10, 0.10, 0.05, 0.05,
+        ]
+
+    def test_paper_network_weights(self):
+        """§5: w_lt = 0.25 and w_bw = 0.75."""
+        from repro.core.weights import NetworkWeights
+
+        nw = NetworkWeights()
+        assert (nw.w_lt, nw.w_bw) == (0.25, 0.75)
+
+    def test_paper_grid_definitions(self):
+        """§5.1/§5.2 evaluation grids."""
+        from repro.experiments.figures import (
+            MINIFE_PROCS,
+            MINIFE_SIZES,
+            MINIMD_PROCS,
+            MINIMD_SIZES,
+        )
+
+        assert MINIMD_PROCS == (8, 16, 32, 64)
+        assert MINIMD_SIZES == (8, 16, 24, 32, 40, 48)
+        assert MINIFE_PROCS == (8, 16, 32, 48)
+        assert MINIFE_SIZES == (48, 96, 144, 256, 384)
+
+    def test_paper_cluster_inventory(self):
+        """§5: 40 x 12-core @4.6 GHz + 20 x 8-core @2.8 GHz, 4 switches."""
+        from repro.cluster.topology import paper_cluster
+
+        specs, topo = paper_cluster()
+        twelve = [s for s in specs if (s.cores, s.frequency_ghz) == (12, 4.6)]
+        eight = [s for s in specs if (s.cores, s.frequency_ghz) == (8, 2.8)]
+        assert len(twelve) == 40 and len(eight) == 20
+        leaves = [s for s in topo.switches if s != topo.root]
+        assert len(leaves) == 4
+        for leaf in leaves:
+            assert 10 <= len(topo.nodes_on_switch(leaf)) <= 15

@@ -1,0 +1,88 @@
+"""Tests for rolling-window running means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.rolling import DEFAULT_WINDOWS, RollingWindows
+
+
+class TestConstruction:
+    def test_default_windows_are_paper_windows(self):
+        assert DEFAULT_WINDOWS == (60.0, 300.0, 900.0)
+
+    def test_windows_sorted(self):
+        rw = RollingWindows((300.0, 60.0))
+        assert rw.windows == (60.0, 300.0)
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValueError):
+            RollingWindows(())
+
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(ValueError):
+            RollingWindows((0.0,))
+
+
+class TestMeans:
+    def test_empty_returns_none(self):
+        rw = RollingWindows()
+        assert rw.mean(60.0) is None
+        assert rw.latest is None
+
+    def test_single_sample(self):
+        rw = RollingWindows()
+        rw.add(0.0, 5.0)
+        assert rw.mean(60.0) == 5.0
+        assert rw.latest == 5.0
+
+    def test_window_selects_recent_samples(self):
+        rw = RollingWindows((60.0, 300.0))
+        for t, v in [(0.0, 10.0), (100.0, 20.0), (290.0, 30.0), (300.0, 40.0)]:
+            rw.add(t, v)
+        # 60-s window at t=300: samples at 290, 300
+        assert rw.mean(60.0) == pytest.approx(35.0)
+        # 300-s window: samples at 100, 290, 300 (0.0 < 300-300 cutoff edge)
+        assert rw.mean(300.0) == pytest.approx((10 + 20 + 30 + 40) / 4)
+
+    def test_eviction_beyond_largest_window(self):
+        rw = RollingWindows((60.0,))
+        rw.add(0.0, 1.0)
+        rw.add(1000.0, 2.0)
+        assert len(rw) == 1
+
+    def test_out_of_order_rejected(self):
+        rw = RollingWindows()
+        rw.add(10.0, 1.0)
+        with pytest.raises(ValueError, match="time order"):
+            rw.add(5.0, 2.0)
+
+    def test_equal_timestamps_allowed(self):
+        rw = RollingWindows()
+        rw.add(1.0, 1.0)
+        rw.add(1.0, 3.0)
+        assert rw.mean(60.0) == 2.0
+
+    def test_explicit_now(self):
+        rw = RollingWindows((60.0,))
+        rw.add(0.0, 10.0)
+        assert rw.mean(60.0, now=100.0) is None  # sample now stale
+
+    def test_means_bulk(self):
+        rw = RollingWindows((60.0, 300.0))
+        rw.add(0.0, 2.0)
+        assert rw.means() == {60.0: 2.0, 300.0: 2.0}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+        )
+    )
+    def test_mean_matches_numpy_within_window(self, values):
+        """Property: windowed mean equals numpy mean of in-window samples."""
+        rw = RollingWindows((1e9,))  # effectively unbounded window
+        for i, v in enumerate(values):
+            rw.add(float(i), v)
+        assert rw.mean(1e9) == pytest.approx(float(np.mean(values)))

@@ -1,0 +1,47 @@
+"""Additional rolling-window scenarios: gaps, bursts, long horizons."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.rolling import RollingWindows
+
+
+class TestGapsAndBursts:
+    def test_long_gap_empties_short_window(self):
+        rw = RollingWindows((60.0, 900.0))
+        rw.add(0.0, 10.0)
+        rw.add(500.0, 20.0)
+        # 1-minute window at t=500 only covers the new sample
+        assert rw.mean(60.0) == 20.0
+        # 15-minute window still averages both
+        assert rw.mean(900.0) == 15.0
+
+    def test_burst_of_samples_same_second(self):
+        rw = RollingWindows((60.0,))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            rw.add(100.0, v)
+        assert rw.mean(60.0) == pytest.approx(2.5)
+
+    def test_spike_decays_through_windows(self):
+        """A single spike weighs more in short windows than in long ones
+        — the property that lets the allocator discount bursts."""
+        rw = RollingWindows((60.0, 300.0, 900.0))
+        t = 0.0
+        for _ in range(170):  # 850 s of calm
+            rw.add(t, 1.0)
+            t += 5.0
+        rw.add(t, 100.0)  # spike
+        means = rw.means()
+        assert means[60.0] > means[300.0] > means[900.0]
+
+    def test_long_horizon_memory_bounded(self):
+        rw = RollingWindows((60.0,))
+        for i in range(100_000):
+            rw.add(float(i), 1.0)
+        # eviction keeps only ~window worth of samples
+        assert len(rw) <= 62
+
+    def test_mean_with_future_now_is_empty(self):
+        rw = RollingWindows((60.0,))
+        rw.add(0.0, 5.0)
+        assert rw.mean(60.0, now=1e6) is None

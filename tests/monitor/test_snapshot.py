@@ -1,0 +1,124 @@
+"""Tests for snapshot assembly (the allocator's world view)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.snapshot import ClusterSnapshot, build_snapshot, oracle_snapshot
+from repro.monitor.system import MonitoringSystem
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(6, nodes_per_switch=3)
+    cluster = Cluster(specs, topo)
+    network = NetworkModel(topo)
+    engine = Engine()
+    return engine, cluster, network
+
+
+class TestOracleSnapshot:
+    def test_covers_all_up_nodes_and_pairs(self, env):
+        _, cluster, network = env
+        snap = oracle_snapshot(cluster, network)
+        assert set(snap.nodes) == set(cluster.names)
+        n = len(cluster.names)
+        assert len(snap.bandwidth_mbs) == n * (n - 1) // 2
+        assert len(snap.latency_us) == n * (n - 1) // 2
+
+    def test_down_nodes_excluded(self, env):
+        _, cluster, network = env
+        cluster.mark_down("node2")
+        snap = oracle_snapshot(cluster, network)
+        assert "node2" not in snap.nodes
+        assert all("node2" not in pair for pair in snap.bandwidth_mbs)
+
+    def test_accessors_symmetric(self, env):
+        _, cluster, network = env
+        snap = oracle_snapshot(cluster, network)
+        assert snap.bandwidth("node1", "node2") == snap.bandwidth("node2", "node1")
+        assert snap.latency("node1", "node4") == snap.latency("node4", "node1")
+
+    def test_bandwidth_complement_non_negative(self, env):
+        _, cluster, network = env
+        network.add_flow(Flow("node1", "node4", 100.0))
+        snap = oracle_snapshot(cluster, network)
+        for i, a in enumerate(snap.names):
+            for b in snap.names[i + 1 :]:
+                assert snap.bandwidth_complement(a, b) >= 0.0
+
+    def test_reflects_ground_truth_state(self, env):
+        _, cluster, network = env
+        cluster.state("node1").cpu_load = 7.5
+        snap = oracle_snapshot(cluster, network)
+        assert snap.nodes["node1"].cpu_load["now"] == 7.5
+
+    def test_canonical_pair_validation(self):
+        with pytest.raises(ValueError, match="canonically"):
+            ClusterSnapshot(
+                time=0.0,
+                nodes={},
+                bandwidth_mbs={("b", "a"): 1.0},
+                latency_us={},
+                peak_bandwidth_mbs={},
+            )
+
+
+class TestBuildSnapshot:
+    def test_empty_store_yields_empty_views(self, env):
+        engine, cluster, network = env
+        from repro.monitor.store import InMemoryStore
+
+        snap = build_snapshot(InMemoryStore(), cluster, network, now=0.0)
+        assert snap.nodes == {}
+        # without a livehosts record every node is assumed reachable
+        assert set(snap.livehosts) == set(cluster.names)
+
+    def test_full_monitoring_pipeline(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network, seed=0)
+        mon.start()
+        engine.run(600.0)
+        snap = mon.snapshot()
+        assert set(snap.nodes) == set(cluster.names)
+        n = len(cluster.names)
+        assert len(snap.bandwidth_mbs) == n * (n - 1) // 2
+        assert len(snap.latency_us) == n * (n - 1) // 2
+        assert snap.time == 600.0
+
+    def test_latency_prefers_one_minute_mean(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network, seed=0)
+        mon.start()
+        engine.run(600.0)
+        snap = mon.snapshot()
+        rec = mon.store.value("latency/node1")["node2"]
+        assert snap.latency("node1", "node2") == pytest.approx(rec["m1"])
+
+    def test_crashed_nodestate_daemon_hides_node(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network, seed=0)
+        # only start some daemons: node5's never runs
+        for name, d in mon.nodestate.items():
+            if name != "node5":
+                d.start()
+        mon.latencyd.start()
+        mon.bandwidthd.start()
+        for lh in mon.livehosts:
+            lh.start()
+        engine.run(600.0)
+        snap = mon.snapshot()
+        assert "node5" not in snap.nodes
+
+    def test_view_backfills_missing_means(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network, seed=0)
+        mon.start()
+        engine.run(20.0)  # under a minute: m1/m5/m15 partially empty
+        snap = mon.snapshot()
+        v = snap.nodes["node1"]
+        for key in ("now", "m1", "m5", "m15"):
+            assert v.cpu_load[key] is not None

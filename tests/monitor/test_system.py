@@ -1,0 +1,96 @@
+"""Integration tests for the assembled MonitoringSystem."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.monitor.failures import FailureInjector
+from repro.monitor.store import FileStore
+from repro.monitor.system import MonitorConfig, MonitoringSystem
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(6, nodes_per_switch=3)
+    cluster = Cluster(specs, topo)
+    network = NetworkModel(topo)
+    engine = Engine()
+    return engine, cluster, network
+
+
+class TestMonitorConfig:
+    def test_invalid_periods(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(nodestate_period_s=0.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(livehosts_periods_s=())
+
+
+class TestMonitoringSystem:
+    def test_one_nodestate_daemon_per_node(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network)
+        assert set(mon.nodestate) == set(cluster.names)
+
+    def test_all_daemons_alive_after_start(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network)
+        mon.start()
+        assert all(d.alive for d in mon.all_daemons())
+        assert mon.central.master.alive and mon.central.slave.alive
+
+    def test_prime_populates_store_immediately(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network)
+        mon.start()
+        mon.prime()
+        snap = mon.snapshot()
+        assert set(snap.nodes) == set(cluster.names)
+
+    def test_file_store_backend(self, env, tmp_path):
+        engine, cluster, network = env
+        mon = MonitoringSystem(
+            engine, cluster, network, store=FileStore(tmp_path / "nfs")
+        )
+        mon.start()
+        engine.run(400.0)
+        snap = mon.snapshot()
+        assert set(snap.nodes) == set(cluster.names)
+        assert (tmp_path / "nfs").exists()
+
+    def test_node_outage_flows_into_livehosts(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network)
+        mon.start()
+        inj = FailureInjector(engine, cluster)
+        inj.node_down("node4", at=100.0)
+        engine.run(400.0)
+        snap = mon.snapshot()
+        assert "node4" not in snap.livehosts
+
+    def test_recovery_after_transient_outage(self, env):
+        engine, cluster, network = env
+        mon = MonitoringSystem(engine, cluster, network)
+        mon.start()
+        inj = FailureInjector(engine, cluster)
+        inj.node_down("node4", at=100.0, duration=120.0)
+        engine.run(1200.0)
+        snap = mon.snapshot()
+        assert "node4" in snap.livehosts
+        # state data is fresh again (daemon resumed with its host)
+        assert mon.store.age("nodestate/node4", engine.now) < 60.0
+
+    def test_monitoring_is_deterministic(self):
+        def run(seed):
+            specs, topo = uniform_cluster(4, nodes_per_switch=2)
+            cluster = Cluster(specs, topo)
+            engine = Engine()
+            network = NetworkModel(topo)
+            mon = MonitoringSystem(engine, cluster, network, seed=seed)
+            mon.start()
+            engine.run(300.0)
+            return sorted(mon.store.keys())
+
+        assert run(5) == run(5)

@@ -1,0 +1,170 @@
+"""Tests for max–min fair-share bandwidth allocation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import uniform_cluster
+from repro.net.bandwidth import FairShareSolver, available_bandwidth
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def topo():
+    _, topo = uniform_cluster(8, nodes_per_switch=4)
+    return topo
+
+
+@pytest.fixture
+def solver(topo):
+    return FairShareSolver(topo)
+
+
+class TestFairShare:
+    def test_empty(self, solver):
+        assert solver.solve([]) == {}
+
+    def test_single_flow_gets_bottleneck(self, solver):
+        f = Flow("node1", "node2", math.inf)
+        rates = solver.solve([f])
+        assert rates[f.flow_id] == pytest.approx(125.0)
+
+    def test_demand_cap_respected(self, solver):
+        f = Flow("node1", "node2", 10.0)
+        assert solver.solve([f])[f.flow_id] == pytest.approx(10.0)
+
+    def test_two_greedy_flows_share_nic(self, solver):
+        f1 = Flow("node1", "node2", math.inf)
+        f2 = Flow("node1", "node3", math.inf)
+        rates = solver.solve([f1, f2])
+        # Both exit node1's NIC: equal split.
+        assert rates[f1.flow_id] == pytest.approx(62.5)
+        assert rates[f2.flow_id] == pytest.approx(62.5)
+
+    def test_small_flow_frees_capacity_for_greedy(self, solver):
+        small = Flow("node1", "node2", 25.0)
+        greedy = Flow("node1", "node3", math.inf)
+        rates = solver.solve([small, greedy])
+        assert rates[small.flow_id] == pytest.approx(25.0)
+        assert rates[greedy.flow_id] == pytest.approx(100.0)
+
+    def test_disjoint_flows_independent(self, solver):
+        f1 = Flow("node1", "node2", math.inf)
+        f2 = Flow("node3", "node4", math.inf)
+        rates = solver.solve([f1, f2])
+        assert rates[f1.flow_id] == pytest.approx(125.0)
+        assert rates[f2.flow_id] == pytest.approx(125.0)
+
+    def test_no_link_overloaded(self, solver, topo):
+        rng = np.random.default_rng(0)
+        nodes = topo.nodes
+        flows = []
+        for _ in range(30):
+            a, b = rng.choice(len(nodes), size=2, replace=False)
+            flows.append(
+                Flow(nodes[a], nodes[b], float(rng.uniform(5, 500)))
+            )
+        rates = solver.solve(flows)
+        util = solver.link_utilization(flows, rates)
+        assert all(u <= 1.0 + 1e-9 for u in util.values())
+
+    def test_rates_never_exceed_demand(self, solver, topo):
+        rng = np.random.default_rng(1)
+        nodes = topo.nodes
+        flows = [
+            Flow(nodes[0], nodes[i], float(rng.uniform(1, 50)))
+            for i in range(1, 8)
+        ]
+        rates = solver.solve(flows)
+        for f in flows:
+            assert rates[f.flow_id] <= f.demand_mbs + 1e-9
+
+    def test_maxmin_fairness_single_bottleneck(self, topo, solver):
+        """On one shared bottleneck, greedy flows get exactly equal shares
+        and no rate can grow without shrinking an equal-or-smaller one."""
+        flows = [Flow("node1", f"node{i}", math.inf) for i in (2, 3, 4)]
+        rates = solver.solve(flows)
+        vals = [rates[f.flow_id] for f in flows]
+        assert all(v == pytest.approx(vals[0]) for v in vals)
+        assert sum(vals) == pytest.approx(125.0)
+
+    def test_maxmin_lexicographic_improvement(self, topo, solver):
+        """Max–min dominates naive equal-split: a flow limited by a small
+        demand releases its unused share to the others."""
+        flows = [
+            Flow("node1", "node2", 5.0),
+            Flow("node1", "node3", math.inf),
+            Flow("node1", "node4", math.inf),
+        ]
+        rates = solver.solve(flows)
+        assert rates[flows[0].flow_id] == pytest.approx(5.0)
+        assert rates[flows[1].flow_id] == pytest.approx(60.0)
+        assert rates[flows[2].flow_id] == pytest.approx(60.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.5, max_value=400.0), min_size=1, max_size=12
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_maxmin_properties_hold(self, demands, seed):
+        """Property: feasibility + demand caps + non-negativity."""
+        _, topo = uniform_cluster(6, nodes_per_switch=3)
+        solver = FairShareSolver(topo)
+        rng = np.random.default_rng(seed)
+        nodes = topo.nodes
+        flows = []
+        for d in demands:
+            a, b = rng.choice(len(nodes), size=2, replace=False)
+            flows.append(Flow(nodes[a], nodes[b], d))
+        rates = solver.solve(flows)
+        assert all(r >= 0 for r in rates.values())
+        for f in flows:
+            assert rates[f.flow_id] <= f.demand_mbs + 1e-6
+        util = solver.link_utilization(flows, rates)
+        assert all(u <= 1.0 + 1e-6 for u in util.values())
+
+
+class TestAvailableBandwidth:
+    def test_idle_network_gives_peak(self, topo):
+        bw = available_bandwidth(topo, [], "node1", "node2")
+        assert bw == pytest.approx(125.0)
+
+    def test_probe_gets_fair_share_on_saturated_link(self, topo):
+        bg = [Flow("node1", "node2", math.inf)]
+        bw = available_bandwidth(topo, bg, "node1", "node3")
+        assert bw == pytest.approx(62.5)
+
+    def test_same_node_rejected(self, topo):
+        with pytest.raises(ValueError):
+            available_bandwidth(topo, [], "node1", "node1")
+
+    def test_bulk_matches_exact_on_idle_network(self, topo):
+        net = NetworkModel(topo)
+        pairs = [("node1", "node2"), ("node1", "node5")]
+        bulk = net.bulk_available_bandwidth(pairs)
+        for u, v in pairs:
+            assert bulk[(u, v)] == pytest.approx(net.available_bandwidth(u, v))
+
+    def test_bulk_close_to_exact_under_load(self, topo):
+        net = NetworkModel(topo)
+        rng = np.random.default_rng(7)
+        nodes = topo.nodes
+        for _ in range(12):
+            a, b = rng.choice(len(nodes), size=2, replace=False)
+            net.add_flow(Flow(nodes[a], nodes[b], float(rng.uniform(10, 120))))
+        pairs = [
+            (nodes[i], nodes[j])
+            for i in range(len(nodes))
+            for j in range(i + 1, len(nodes))
+        ]
+        bulk = net.bulk_available_bandwidth(pairs)
+        for u, v in pairs:
+            exact = net.available_bandwidth(u, v)
+            # The documented approximation bound: within 30 % or 5 MB/s.
+            assert abs(bulk[(u, v)] - exact) <= max(0.3 * exact, 5.0)

@@ -1,0 +1,68 @@
+"""Tests for traffic flows and the flow set."""
+
+import pytest
+
+from repro.net.flows import Flow, FlowSet
+
+
+class TestFlow:
+    def test_distinct_endpoints_required(self):
+        with pytest.raises(ValueError, match="differ"):
+            Flow("a", "a", 1.0)
+
+    def test_positive_demand_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            Flow("a", "b", 0.0)
+
+    def test_infinite_demand_allowed(self):
+        f = Flow("a", "b", float("inf"))
+        assert f.demand_mbs == float("inf")
+
+    def test_unique_ids(self):
+        assert Flow("a", "b", 1.0).flow_id != Flow("a", "b", 1.0).flow_id
+
+
+class TestFlowSet:
+    def test_add_remove(self):
+        fs = FlowSet()
+        f = fs.add(Flow("a", "b", 1.0))
+        assert f in fs and len(fs) == 1
+        fs.remove(f)
+        assert f not in fs and len(fs) == 0
+
+    def test_duplicate_rejected(self):
+        fs = FlowSet()
+        f = fs.add(Flow("a", "b", 1.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            fs.add(f)
+
+    def test_remove_missing(self):
+        fs = FlowSet()
+        with pytest.raises(KeyError):
+            fs.remove(Flow("a", "b", 1.0))
+
+    def test_remove_tag(self):
+        fs = FlowSet(
+            [Flow("a", "b", 1.0, tag="x"), Flow("a", "b", 1.0, tag="y")]
+        )
+        assert fs.remove_tag("x") == 1
+        assert len(fs) == 1
+
+    def test_with_tag(self):
+        fs = FlowSet([Flow("a", "b", 1.0, tag="x")])
+        assert len(fs.with_tag("x")) == 1
+        assert fs.with_tag("zzz") == []
+
+    def test_clear(self):
+        fs = FlowSet([Flow("a", "b", 1.0)])
+        fs.clear()
+        assert len(fs) == 0
+
+    def test_node_flow_rate_sums_in_and_out(self):
+        f1 = Flow("a", "b", 10.0)
+        f2 = Flow("b", "c", 10.0)
+        fs = FlowSet([f1, f2])
+        rates = fs.node_flow_rate({f1.flow_id: 4.0, f2.flow_id: 6.0})
+        assert rates["a"] == 4.0
+        assert rates["b"] == 10.0  # 4 in + 6 out
+        assert rates["c"] == 6.0

@@ -1,0 +1,111 @@
+"""Tests for the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.net.flows import Flow
+from repro.net.latency import LatencyConfig, LatencyModel
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def topo():
+    _, topo = uniform_cluster(8, nodes_per_switch=4)
+    return topo
+
+
+class TestLatencyConfig:
+    def test_defaults_valid(self):
+        LatencyConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"base_per_hop_us": 0.0},
+            {"queue_factor": -1.0},
+            {"endpoint_load_us": -5.0},
+            {"jitter_us": -1.0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            LatencyConfig(**kw)
+
+
+class TestLatencyModel:
+    def test_self_latency_zero(self, topo):
+        model = LatencyModel(topo)
+        assert model.latency_us("node1", "node1", {}) == 0.0
+
+    def test_idle_latency_scales_with_hops(self, topo):
+        model = LatencyModel(topo, LatencyConfig(base_per_hop_us=25.0))
+        same = model.latency_us("node1", "node2", {})
+        cross = model.latency_us("node1", "node5", {})
+        assert same == pytest.approx(50.0)  # 2 hops
+        assert cross == pytest.approx(100.0)  # 4 hops
+
+    def test_congestion_increases_latency(self, topo):
+        model = LatencyModel(topo)
+        idle = model.latency_us("node1", "node2", {})
+        util = {("node1", "switch1"): 0.8}
+        loaded = model.latency_us("node1", "node2", util)
+        assert loaded > idle
+
+    def test_utilization_clamped_below_one(self, topo):
+        model = LatencyModel(topo)
+        util = {("node1", "switch1"): 1.0}
+        assert np.isfinite(model.latency_us("node1", "node2", util))
+
+    def test_endpoint_load_term(self, topo):
+        model = LatencyModel(topo, LatencyConfig(endpoint_load_us=100.0))
+        idle = model.latency_us("node1", "node2", {})
+        loaded = model.latency_us(
+            "node1", "node2", {}, endpoint_load_per_core=(0.5, 1.0)
+        )
+        assert loaded == pytest.approx(idle + 150.0)
+
+    def test_jitter_bounded(self, topo):
+        cfg = LatencyConfig(jitter_us=10.0)
+        model = LatencyModel(topo, cfg)
+        rng = np.random.default_rng(0)
+        base = model.latency_us("node1", "node2", {})
+        vals = [
+            model.latency_us("node1", "node2", {}, rng=rng) for _ in range(50)
+        ]
+        assert all(abs(v - base) <= 10.0 for v in vals)
+
+    def test_latency_from_flows(self, topo):
+        model = LatencyModel(topo)
+        idle = model.latency_from_flows("node1", "node2", [])
+        busy = model.latency_from_flows(
+            "node1", "node2", [Flow("node1", "node3", 120.0)]
+        )
+        assert busy > idle
+
+
+class TestNetworkModelLatency:
+    def test_endpoint_loads_flow_into_latency(self, topo):
+        net = NetworkModel(topo)
+        base = net.latency_us("node1", "node2")
+        loads = {"node1": 12.0, "node2": 0.0}
+        net.set_node_load_provider(lambda n: loads.get(n, 0.0) / 12.0)
+        assert net.latency_us("node1", "node2") > base
+
+    def test_latency_matrix_symmetric(self, topo):
+        net = NetworkModel(topo)
+        mat = net.latency_matrix(["node1", "node2", "node5"])
+        assert np.allclose(mat, mat.T)
+        assert np.all(np.diag(mat) == 0.0)
+
+    def test_endpoint_bw_factor(self, topo):
+        net = NetworkModel(topo, endpoint_bw_load_factor=1.0)
+        assert net.endpoint_bw_factor("node1", "node2") == 1.0
+        net.set_node_load_provider(lambda n: 1.0 if n == "node1" else 0.0)
+        assert net.endpoint_bw_factor("node1", "node2") == pytest.approx(0.5)
+
+    def test_endpoint_bw_throttles_available_bandwidth(self, topo):
+        net = NetworkModel(topo)
+        free = net.available_bandwidth("node1", "node2")
+        net.set_node_load_provider(lambda n: 2.0)
+        assert net.available_bandwidth("node1", "node2") < free

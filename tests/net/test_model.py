@@ -1,0 +1,84 @@
+"""Tests for the NetworkModel façade."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def net():
+    _, topo = uniform_cluster(8, nodes_per_switch=4)
+    return NetworkModel(topo)
+
+
+class TestFlowManagement:
+    def test_add_and_remove(self, net):
+        f = net.add_flow(Flow("node1", "node2", 10.0))
+        assert len(net.flows) == 1
+        net.remove_flow(f)
+        assert len(net.flows) == 0
+
+    def test_add_flows_bulk(self, net):
+        net.add_flows([Flow("node1", "node2", 5.0), Flow("node3", "node4", 5.0)])
+        assert len(net.flows) == 2
+
+    def test_replace_tag(self, net):
+        net.add_flow(Flow("node1", "node2", 5.0, tag="stream"))
+        net.replace_tag("stream", [Flow("node3", "node4", 7.0, tag="stream")])
+        flows = list(net.flows)
+        assert len(flows) == 1 and flows[0].src == "node3"
+
+    def test_replace_tag_mismatch_rejected(self, net):
+        with pytest.raises(ValueError, match="does not match"):
+            net.replace_tag("stream", [Flow("node1", "node2", 5.0, tag="other")])
+
+    def test_cache_invalidation(self, net):
+        assert net.available_bandwidth("node1", "node2") == pytest.approx(125.0)
+        net.add_flow(Flow("node1", "node3", math.inf))
+        assert net.available_bandwidth("node1", "node2") < 125.0
+
+
+class TestSolvedState:
+    def test_rates_cached_object(self, net):
+        net.add_flow(Flow("node1", "node2", 10.0))
+        assert net.rates() is net.rates()
+
+    def test_node_flow_rates(self, net):
+        net.add_flow(Flow("node1", "node2", 10.0))
+        rates = net.node_flow_rates()
+        assert rates["node1"] == pytest.approx(10.0)
+        assert rates["node2"] == pytest.approx(10.0)
+
+    def test_link_utilization_bounds(self, net):
+        net.add_flow(Flow("node1", "node2", math.inf))
+        util = net.link_utilization()
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
+
+class TestMeasurements:
+    def test_peak_bandwidth_min_capacity(self, net):
+        assert net.peak_bandwidth("node1", "node2") == pytest.approx(125.0)
+
+    def test_peak_same_node_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.peak_bandwidth("node1", "node1")
+
+    def test_bandwidth_matrix_symmetric(self, net):
+        nodes = ["node1", "node2", "node5"]
+        mat = net.bandwidth_matrix(nodes)
+        assert mat[0, 1] == mat[1, 0]
+        assert math.isinf(mat[0, 0])
+
+    def test_bulk_rejects_self_pairs(self, net):
+        with pytest.raises(ValueError):
+            net.bulk_available_bandwidth([("node1", "node1")])
+
+    def test_latency_increases_with_congestion(self, net):
+        idle = net.latency_us("node1", "node5")
+        net.add_flow(Flow("node2", "node6", math.inf))
+        assert net.latency_us("node1", "node5") > idle

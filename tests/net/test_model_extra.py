@@ -1,0 +1,60 @@
+"""Extra NetworkModel tests: constructor validation and hop factors."""
+
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def topo():
+    _, topo = uniform_cluster(8, nodes_per_switch=4)
+    return topo
+
+
+class TestConstructorValidation:
+    def test_negative_endpoint_factor(self, topo):
+        with pytest.raises(ValueError, match="endpoint_bw_load_factor"):
+            NetworkModel(topo, endpoint_bw_load_factor=-0.1)
+
+    @pytest.mark.parametrize("eff", [0.0, 1.5, -0.2])
+    def test_bad_hop_efficiency(self, topo, eff):
+        with pytest.raises(ValueError, match="hop_bw_efficiency"):
+            NetworkModel(topo, hop_bw_efficiency=eff)
+
+    def test_efficiency_of_one_disables_hop_penalty(self, topo):
+        net = NetworkModel(topo, hop_bw_efficiency=1.0)
+        assert net.hop_bw_factor("node1", "node5") == 1.0
+
+
+class TestHopFactor:
+    def test_same_switch_unpenalized(self, topo):
+        net = NetworkModel(topo, hop_bw_efficiency=0.9)
+        assert net.hop_bw_factor("node1", "node2") == 1.0
+
+    def test_cross_switch_penalized_per_extra_hop(self, topo):
+        net = NetworkModel(topo, hop_bw_efficiency=0.9)
+        # 4 hops: two beyond the same-switch base -> 0.9^2
+        assert net.hop_bw_factor("node1", "node5") == pytest.approx(0.81)
+
+    def test_factor_applied_to_measurements(self, topo):
+        strict = NetworkModel(topo, hop_bw_efficiency=0.5)
+        assert strict.available_bandwidth("node1", "node5") == pytest.approx(
+            125.0 * 0.25
+        )
+        bulk = strict.bulk_available_bandwidth([("node1", "node5")])
+        assert bulk[("node1", "node5")] == pytest.approx(125.0 * 0.25)
+
+
+class TestEndpointProvider:
+    def test_provider_can_be_cleared(self, topo):
+        net = NetworkModel(topo)
+        net.set_node_load_provider(lambda n: 5.0)
+        throttled = net.available_bandwidth("node1", "node2")
+        net.set_node_load_provider(None)
+        assert net.available_bandwidth("node1", "node2") > throttled
+
+    def test_negative_loads_clamped(self, topo):
+        net = NetworkModel(topo)
+        net.set_node_load_provider(lambda n: -3.0)
+        assert net.endpoint_bw_factor("node1", "node2") == 1.0

@@ -1,0 +1,68 @@
+"""Fair-share and latency behaviour on a three-level switch tree."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import SwitchTopology
+from repro.net.bandwidth import FairShareSolver
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def deep_topo():
+    parents = {
+        "core": None,
+        "agg1": "core",
+        "agg2": "core",
+        "leaf1": "agg1",
+        "leaf2": "agg1",
+        "leaf3": "agg2",
+    }
+    nodes = {
+        "a1": "leaf1", "a2": "leaf1",
+        "b1": "leaf2", "b2": "leaf2",
+        "c1": "leaf3", "c2": "leaf3",
+    }
+    return SwitchTopology(parents, nodes, uplink_capacity_mbs=200.0)
+
+
+class TestDeepTreeRouting:
+    def test_hop_counts(self, deep_topo):
+        assert deep_topo.hops("a1", "a2") == 2  # same leaf
+        assert deep_topo.hops("a1", "b1") == 4  # via agg1
+        assert deep_topo.hops("a1", "c1") == 6  # via core
+
+    def test_uplink_is_bottleneck_for_core_crossing(self, deep_topo):
+        solver = FairShareSolver(deep_topo)
+        # two greedy flows crossing the core share agg uplinks of 200:
+        flows = [
+            Flow("a1", "c1", math.inf),
+            Flow("b1", "c2", math.inf),
+        ]
+        rates = solver.solve(flows)
+        for f in flows:
+            # both flows share the agg1-core and core-agg2 trunks (200):
+            # the equal split (100) binds before the 125 NIC
+            assert rates[f.flow_id] == pytest.approx(100.0)
+
+    def test_latency_grows_with_depth(self, deep_topo):
+        net = NetworkModel(deep_topo)
+        assert (
+            net.latency_us("a1", "a2")
+            < net.latency_us("a1", "b1")
+            < net.latency_us("a1", "c1")
+        )
+
+    def test_hop_efficiency_compounds(self, deep_topo):
+        net = NetworkModel(deep_topo, hop_bw_efficiency=0.9)
+        # 6-hop path: 4 extra hops -> 0.9^4
+        assert net.hop_bw_factor("a1", "c1") == pytest.approx(0.9**4)
+
+    def test_same_leaf_unaffected_by_core_traffic(self, deep_topo):
+        net = NetworkModel(deep_topo)
+        before = net.available_bandwidth("a1", "a2")
+        net.add_flow(Flow("b1", "c1", 150.0))
+        after = net.available_bandwidth("a1", "a2")
+        assert after == pytest.approx(before)

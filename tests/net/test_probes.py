@@ -1,0 +1,70 @@
+"""Tests for the round-robin probe schedule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.probes import round_robin_rounds, validate_rounds
+
+
+class TestRoundRobin:
+    def test_two_nodes_single_round(self):
+        rounds = round_robin_rounds(["a", "b"])
+        assert rounds == [[("a", "b")]]
+
+    def test_even_count_structure(self):
+        nodes = [f"n{i}" for i in range(8)]
+        rounds = round_robin_rounds(nodes)
+        assert len(rounds) == 7
+        assert all(len(r) == 4 for r in rounds)
+
+    def test_odd_count_structure(self):
+        nodes = [f"n{i}" for i in range(7)]
+        rounds = round_robin_rounds(nodes)
+        assert len(rounds) == 7
+        assert all(len(r) == 3 for r in rounds)
+
+    def test_all_pairs_covered_exactly_once(self):
+        nodes = [f"n{i}" for i in range(10)]
+        rounds = round_robin_rounds(nodes)
+        validate_rounds(nodes, rounds)  # raises on any violation
+
+    def test_empty_and_single(self):
+        assert round_robin_rounds([]) == []
+        assert round_robin_rounds(["a"]) == []
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            round_robin_rounds(["a", "a"])
+
+    @given(st.integers(min_value=2, max_value=20))
+    def test_tournament_property(self, n):
+        nodes = [f"n{i:02d}" for i in range(n)]
+        rounds = round_robin_rounds(nodes)
+        validate_rounds(nodes, rounds)
+        # no node appears twice within any round
+        for rnd in rounds:
+            flat = [x for pair in rnd for x in pair]
+            assert len(flat) == len(set(flat))
+
+
+class TestValidateRounds:
+    def test_detects_missing_pair(self):
+        nodes = ["a", "b", "c", "d"]
+        rounds = round_robin_rounds(nodes)
+        rounds[0] = rounds[0][:-1]  # drop a pair
+        with pytest.raises(ValueError, match="misses"):
+            validate_rounds(nodes, rounds)
+
+    def test_detects_node_reuse(self):
+        with pytest.raises(ValueError, match="reused"):
+            validate_rounds(
+                ["a", "b", "c"], [[("a", "b"), ("a", "c")], [("b", "c")]]
+            )
+
+    def test_detects_duplicate_pair(self):
+        with pytest.raises(ValueError, match="twice"):
+            validate_rounds(
+                ["a", "b", "c", "d"],
+                [[("a", "b")], [("a", "b")], [("c", "d")]],
+            )

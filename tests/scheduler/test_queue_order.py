@@ -1,0 +1,73 @@
+"""FIFO-ordering and blocking semantics of the scheduler queue."""
+
+import pytest
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.experiments.scenario import small_scenario
+from repro.scheduler import ClusterScheduler, JobRequest
+
+
+@pytest.fixture
+def scenario():
+    return small_scenario(n_nodes=8, seed=29, warmup_s=600.0)
+
+
+def make_scheduler(sc):
+    return ClusterScheduler(
+        sc.engine, sc.workload, sc.network, sc.snapshot,
+        rng=sc.streams.child("fifo"),
+    )
+
+
+class TestFifoSemantics:
+    def test_start_order_follows_submit_order(self, scenario):
+        sched = make_scheduler(scenario)
+        now = scenario.engine.now
+        jobs = [
+            sched.submit(
+                JobRequest(
+                    app=MiniMD(8, MiniMDConfig(timesteps=200)),
+                    n_processes=16,
+                    ppn=4,
+                    submit_time=now + k * 0.001,
+                )
+            )
+            for k in range(4)
+        ]
+        sched.drain()
+        starts = [j.start_time for j in jobs]
+        assert starts == sorted(starts)
+
+    def test_blocked_head_blocks_smaller_followers(self, scenario):
+        """Strict FIFO: a big job at the head keeps later small jobs
+        queued even if they would fit (no backfilling)."""
+        sched = make_scheduler(scenario)
+        now = scenario.engine.now
+        app = MiniMD(8, MiniMDConfig(timesteps=500))
+        first = sched.submit(
+            JobRequest(app=app, n_processes=24, ppn=4, submit_time=now)
+        )  # takes 6 of 8 nodes
+        big = sched.submit(
+            JobRequest(app=app, n_processes=24, ppn=4, submit_time=now)
+        )  # needs 6: blocked while first runs
+        small = sched.submit(
+            JobRequest(app=app, n_processes=8, ppn=4, submit_time=now)
+        )  # would fit in the 2 idle nodes, but FIFO keeps it behind
+        sched.drain()
+        assert big.start_time >= first.finish_time
+        assert small.start_time >= big.start_time
+
+    def test_pending_visible_while_blocked(self, scenario):
+        sched = make_scheduler(scenario)
+        now = scenario.engine.now
+        app = MiniMD(8, MiniMDConfig(timesteps=2000))
+        sched.submit(
+            JobRequest(app=app, n_processes=32, ppn=4, submit_time=now)
+        )
+        blocked = sched.submit(
+            JobRequest(app=app, n_processes=32, ppn=4, submit_time=now)
+        )
+        # advance just past the enqueue events
+        scenario.engine.run(1.0)
+        assert blocked in sched.pending
+        assert len(sched.running) == 1

@@ -1,0 +1,183 @@
+"""Tests for the multi-job scheduling layer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.core.policies import AllocationError, LoadAwarePolicy
+from repro.experiments.scenario import small_scenario
+from repro.scheduler import ClusterScheduler, JobRequest, SchedulerStats
+
+
+def make_scheduler(sc, **kwargs):
+    return ClusterScheduler(
+        sc.engine,
+        sc.workload,
+        sc.network,
+        sc.snapshot,
+        rng=sc.streams.child("sched"),
+        **kwargs,
+    )
+
+
+def small_app():
+    return MiniMD(8, MiniMDConfig(timesteps=100))
+
+
+@pytest.fixture
+def scenario():
+    return small_scenario(n_nodes=8, seed=17, warmup_s=600.0)
+
+
+class TestJobRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobRequest(app=small_app(), n_processes=0)
+        with pytest.raises(ValueError):
+            JobRequest(app=small_app(), n_processes=4, submit_time=-1.0)
+
+    def test_unique_ids(self):
+        a = JobRequest(app=small_app(), n_processes=4)
+        b = JobRequest(app=small_app(), n_processes=4)
+        assert a.job_id != b.job_id
+
+
+class TestSingleJob:
+    def test_lifecycle(self, scenario):
+        sched = make_scheduler(scenario)
+        job = sched.submit(
+            JobRequest(app=small_app(), n_processes=8, ppn=4,
+                       submit_time=scenario.engine.now)
+        )
+        stats = sched.drain()
+        assert job.done
+        assert job.allocation is not None
+        assert job.wait_s == pytest.approx(0.0)
+        assert job.turnaround_s == pytest.approx(job.execution_time_s)
+        assert stats.n_jobs == 1
+
+    def test_occupation_released(self, scenario):
+        sched = make_scheduler(scenario)
+        sched.submit(
+            JobRequest(app=small_app(), n_processes=8, ppn=4,
+                       submit_time=scenario.engine.now)
+        )
+        sched.drain()
+        assert scenario.workload.external_load == {}
+        assert sched._busy_nodes == set()
+        assert not any(
+            f.tag.startswith("sched_job") for f in scenario.network.flows
+        )
+
+    def test_impossible_job_rejected_at_submit(self, scenario):
+        sched = make_scheduler(scenario)
+        with pytest.raises(AllocationError, match="never satisfiable"):
+            sched.submit(JobRequest(app=small_app(), n_processes=10**6))
+
+
+class TestOccupation:
+    def test_running_job_adds_ground_truth_load(self, scenario):
+        sched = make_scheduler(scenario)
+        job = sched.submit(
+            JobRequest(app=small_app(), n_processes=8, ppn=4,
+                       submit_time=scenario.engine.now)
+        )
+        # step until the job starts
+        while job.start_time is None:
+            scenario.engine.step()
+        node = job.allocation.nodes[0]
+        assert scenario.workload.external_load[node] == 4.0
+        assert scenario.cluster.state(node).cpu_load >= 4.0
+
+    def test_exclusive_nodes_serialize_conflicting_jobs(self, scenario):
+        sched = make_scheduler(scenario)
+        now = scenario.engine.now
+        # each job needs 4 of the 8 nodes; three jobs cannot all overlap
+        jobs = [
+            sched.submit(
+                JobRequest(app=small_app(), n_processes=16, ppn=4,
+                           submit_time=now)
+            )
+            for _ in range(3)
+        ]
+        stats = sched.drain()
+        assert all(j.done for j in jobs)
+        # at least one job had to wait for a departure
+        assert max(j.wait_s for j in jobs) > 0.0
+        # while running, allocations never overlapped
+        intervals = [
+            (j.start_time, j.finish_time, set(j.allocation.nodes))
+            for j in jobs
+        ]
+        for i, (s1, f1, n1) in enumerate(intervals):
+            for s2, f2, n2 in intervals[i + 1:]:
+                if s1 < f2 and s2 < f1:  # overlap in time
+                    assert n1 & n2 == set()
+
+    def test_shared_mode_allows_overlap(self, scenario):
+        sched = make_scheduler(scenario, exclusive_nodes=False)
+        now = scenario.engine.now
+        jobs = [
+            sched.submit(
+                JobRequest(app=small_app(), n_processes=16, ppn=4,
+                           submit_time=now)
+            )
+            for _ in range(3)
+        ]
+        sched.drain()
+        assert all(j.wait_s == pytest.approx(0.0) for j in jobs)
+
+
+class TestStreamMetrics:
+    def test_stats_fields(self, scenario):
+        sched = make_scheduler(scenario)
+        now = scenario.engine.now
+        for k in range(4):
+            sched.submit(
+                JobRequest(app=small_app(), n_processes=8, ppn=4,
+                           submit_time=now + 30.0 * k)
+            )
+        stats = sched.drain()
+        assert stats.n_jobs == 4
+        assert stats.makespan_s > 0
+        # turnaround = wait + execution (float-addition tolerance)
+        assert stats.mean_turnaround_s >= stats.mean_execution_s - 1e-9
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerStats.from_jobs([])
+
+    def test_interference_slows_shared_jobs(self, scenario):
+        """Jobs priced while others run see their load and traffic."""
+        solo_sc = small_scenario(n_nodes=8, seed=17, warmup_s=600.0)
+        solo = make_scheduler(solo_sc, exclusive_nodes=False)
+        solo.submit(
+            JobRequest(app=small_app(), n_processes=16, ppn=4,
+                       submit_time=solo_sc.engine.now)
+        )
+        solo_stats = solo.drain()
+
+        crowded = make_scheduler(scenario, exclusive_nodes=False)
+        now = scenario.engine.now
+        # all submitted at the same instant: later jobs are priced while
+        # the earlier ones already occupy their nodes
+        jobs = [
+            crowded.submit(
+                JobRequest(app=small_app(), n_processes=16, ppn=4,
+                           submit_time=now)
+            )
+            for _ in range(4)
+        ]
+        crowded.drain()
+        assert jobs[-1].execution_time_s > solo_stats.mean_execution_s
+
+
+class TestPolicyPluggability:
+    def test_custom_policy(self, scenario):
+        sched = make_scheduler(scenario, policy=LoadAwarePolicy())
+        job = sched.submit(
+            JobRequest(app=small_app(), n_processes=8, ppn=4,
+                       submit_time=scenario.engine.now)
+        )
+        sched.drain()
+        assert job.allocation.policy == "load_aware"

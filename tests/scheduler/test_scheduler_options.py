@@ -1,0 +1,52 @@
+"""Scheduler option coverage: flow-less jobs, ppn-less requests."""
+
+import pytest
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.experiments.scenario import small_scenario
+from repro.scheduler import ClusterScheduler, JobRequest
+
+
+@pytest.fixture
+def scenario():
+    return small_scenario(n_nodes=8, seed=41, warmup_s=600.0)
+
+
+class TestOptions:
+    def test_zero_job_flow_adds_no_traffic(self, scenario):
+        sched = ClusterScheduler(
+            scenario.engine, scenario.workload, scenario.network,
+            scenario.snapshot, job_flow_mbs=0.0,
+            rng=scenario.streams.child("x"),
+        )
+        job = sched.submit(
+            JobRequest(app=MiniMD(8, MiniMDConfig(timesteps=200)),
+                       n_processes=16, ppn=4,
+                       submit_time=scenario.engine.now)
+        )
+        while job.start_time is None:
+            scenario.engine.step()
+        assert not any(
+            f.tag.startswith("sched_job") for f in scenario.network.flows
+        )
+
+    def test_negative_job_flow_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            ClusterScheduler(
+                scenario.engine, scenario.workload, scenario.network,
+                scenario.snapshot, job_flow_mbs=-1.0,
+            )
+
+    def test_request_without_ppn_uses_equation3(self, scenario):
+        sched = ClusterScheduler(
+            scenario.engine, scenario.workload, scenario.network,
+            scenario.snapshot, rng=scenario.streams.child("y"),
+        )
+        job = sched.submit(
+            JobRequest(app=MiniMD(8, MiniMDConfig(timesteps=200)),
+                       n_processes=12, ppn=None,
+                       submit_time=scenario.engine.now)
+        )
+        sched.drain()
+        assert job.done
+        assert sum(job.allocation.procs.values()) == 12

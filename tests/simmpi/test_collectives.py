@@ -1,0 +1,66 @@
+"""Tests for collective cost models."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+from repro.simmpi.collectives import allreduce_time_s, barrier_time_s, bcast_time_s
+from repro.simmpi.placement import Placement
+
+
+@pytest.fixture
+def net():
+    _, topo = uniform_cluster(8, nodes_per_switch=4)
+    return NetworkModel(topo)
+
+
+class TestAllreduce:
+    def test_single_rank_free(self, net):
+        p = Placement(("node1",))
+        assert allreduce_time_s(net, p, 1.0) == 0.0
+
+    def test_rounds_grow_logarithmically(self, net):
+        # Same 2-node group: 2 ranks -> 1 round, 8 ranks -> 3 rounds.
+        p2 = Placement(("node1", "node2"))
+        p8 = Placement(("node1", "node2") * 4)
+        t2 = allreduce_time_s(net, p2, 0.0)
+        t8 = allreduce_time_s(net, p8, 0.0)
+        assert t8 == pytest.approx(3 * t2)
+
+    def test_message_size_adds_transfer_time(self, net):
+        p = Placement(("node1", "node2"))
+        small = allreduce_time_s(net, p, 8e-6)
+        big = allreduce_time_s(net, p, 10.0)
+        assert big > small
+
+    def test_single_node_group_uses_no_network(self, net):
+        p = Placement(("node1", "node1", "node1", "node1"))
+        t = allreduce_time_s(net, p, 1.0)
+        # 2 rounds of pure software overhead, no network term
+        assert t == pytest.approx(2 * 20e-6)
+
+    def test_congestion_slows_collective(self, net):
+        p = Placement(("node1", "node2", "node5", "node6"))
+        idle = allreduce_time_s(net, p, 8e-6)
+        net.add_flow(Flow("node1", "node5", math.inf))
+        assert allreduce_time_s(net, p, 8e-6) > idle
+
+
+class TestBcastAndBarrier:
+    def test_bcast_positive(self, net):
+        p = Placement(("node1", "node2", "node3"))
+        assert bcast_time_s(net, p, 1.0) > 0.0
+
+    def test_barrier_is_zero_size_allreduce(self, net):
+        p = Placement(("node1", "node2", "node3"))
+        assert barrier_time_s(net, p) == pytest.approx(
+            allreduce_time_s(net, p, 0.0)
+        )
+
+    def test_single_rank_free(self, net):
+        p = Placement(("node1",))
+        assert bcast_time_s(net, p, 1.0) == 0.0
+        assert barrier_time_s(net, p) == 0.0

@@ -1,0 +1,47 @@
+"""Tests for the group-extreme helper behind collective pricing."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+from repro.simmpi.collectives import _group_network_extremes
+
+
+@pytest.fixture
+def net():
+    _, topo = uniform_cluster(8, nodes_per_switch=4)
+    return NetworkModel(topo)
+
+
+class TestGroupExtremes:
+    def test_single_node_trivial(self, net):
+        lat, bw = _group_network_extremes(net, ["node1"])
+        assert lat == 0.0 and math.isinf(bw)
+
+    def test_duplicates_collapse(self, net):
+        a = _group_network_extremes(net, ["node1", "node2", "node1"])
+        b = _group_network_extremes(net, ["node1", "node2"])
+        assert a == b
+
+    def test_worst_latency_is_cross_switch(self, net):
+        lat, _ = _group_network_extremes(net, ["node1", "node2", "node5"])
+        cross = net.latency_us("node1", "node5")
+        assert lat == pytest.approx(cross)
+
+    def test_worst_bandwidth_reflects_congestion(self, net):
+        _, idle_bw = _group_network_extremes(net, ["node1", "node2"])
+        net.add_flow(Flow("node1", "node3", 100.0))
+        _, busy_bw = _group_network_extremes(net, ["node1", "node2"])
+        assert busy_bw < idle_bw
+
+    def test_extremes_monotone_in_group_size(self, net):
+        """Adding a member can only worsen (or keep) the extremes."""
+        small_lat, small_bw = _group_network_extremes(net, ["node1", "node2"])
+        big_lat, big_bw = _group_network_extremes(
+            net, ["node1", "node2", "node7"]
+        )
+        assert big_lat >= small_lat
+        assert big_bw <= small_bw

@@ -1,0 +1,119 @@
+"""Tests for the point-to-point message cost model."""
+
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.net.flows import Flow
+from repro.net.model import NetworkModel
+from repro.simmpi.costmodel import (
+    CommCostConfig,
+    CommPhase,
+    Message,
+    MessageCostModel,
+)
+from repro.simmpi.placement import Placement
+
+
+@pytest.fixture
+def net():
+    _, topo = uniform_cluster(6, nodes_per_switch=3)
+    return NetworkModel(topo)
+
+
+@pytest.fixture
+def model(net):
+    return MessageCostModel(net)
+
+
+class TestMessage:
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 0, 1.0)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, -1.0)
+
+
+class TestCommCostConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"intranode_bandwidth_mbs": 0.0},
+            {"intranode_latency_us": -1.0},
+            {"software_overhead_us": -1.0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            CommCostConfig(**kw)
+
+
+class TestPhaseTime:
+    def test_empty_phase_free(self, model):
+        p = Placement(("node1", "node2"))
+        assert model.phase_time_s(CommPhase.of([]), p) == 0.0
+
+    def test_intranode_cheaper_than_internode(self, model):
+        intra = Placement(("node1", "node1"))
+        inter = Placement(("node1", "node2"))
+        phase = CommPhase.of([Message(0, 1, 0.1)])
+        assert model.phase_time_s(phase, intra) < model.phase_time_s(phase, inter)
+
+    def test_phase_is_max_not_sum(self, model):
+        p = Placement(("node1", "node2", "node4", "node5"))
+        short = CommPhase.of([Message(0, 1, 0.001)])
+        both = CommPhase.of([Message(0, 1, 0.001), Message(2, 3, 0.001)])
+        # messages on disjoint paths run concurrently: same phase time
+        assert model.phase_time_s(both, p) == pytest.approx(
+            model.phase_time_s(short, p), rel=0.05
+        )
+
+    def test_sharing_a_nic_slows_messages(self, model):
+        p = Placement(("node1", "node2", "node3"))
+        one = CommPhase.of([Message(0, 1, 5.0)])
+        two = CommPhase.of([Message(0, 1, 5.0), Message(0, 2, 5.0)])
+        assert model.phase_time_s(two, p) > model.phase_time_s(one, p)
+
+    def test_background_traffic_slows_phase(self, net, model):
+        p = Placement(("node1", "node2"))
+        phase = CommPhase.of([Message(0, 1, 5.0)])
+        idle = model.phase_time_s(phase, p)
+        net.add_flow(Flow("node1", "node3", 100.0))
+        assert model.phase_time_s(phase, p) > idle
+
+    def test_job_flows_removed_after_phase(self, net, model):
+        p = Placement(("node1", "node2"))
+        model.phase_time_s(CommPhase.of([Message(0, 1, 5.0)]), p)
+        assert len(net.flows) == 0
+
+    def test_latency_uses_background_congestion_only(self, net, model):
+        """The phase's own flows must not explode the latency term."""
+        p = Placement(tuple(f"node{i}" for i in (1, 2, 3)))
+        msgs = [Message(i, j, 0.001) for i in range(3) for j in range(3) if i != j]
+        t = model.phase_time_s(CommPhase.of(msgs), p)
+        # with idle background, time stays near base latency (< 1 ms)
+        assert t < 1e-3
+
+    def test_endpoint_load_throttles_rate(self, net, model):
+        p = Placement(("node1", "node2"))
+        phase = CommPhase.of([Message(0, 1, 10.0)])
+        idle = model.phase_time_s(phase, p)
+        net.set_node_load_provider(lambda n: 2.0)
+        assert model.phase_time_s(phase, p) > idle
+
+
+class TestPointToPoint:
+    def test_same_node_shared_memory(self, model):
+        t = model.point_to_point_time_s("node1", "node1", 1.0)
+        cfg = model.config
+        expected = (
+            (cfg.intranode_latency_us + cfg.software_overhead_us) * 1e-6
+            + 1.0 / cfg.intranode_bandwidth_mbs
+        )
+        assert t == pytest.approx(expected)
+
+    def test_volume_scales_time(self, model):
+        t1 = model.point_to_point_time_s("node1", "node2", 1.0)
+        t10 = model.point_to_point_time_s("node1", "node2", 10.0)
+        assert t10 > t1

@@ -1,0 +1,127 @@
+"""Tests for the SimJob BSP executor."""
+
+import pytest
+
+from repro.apps.base import AppModel, StepBlock, StepDemand
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.core.weights import TradeOff
+from repro.net.model import NetworkModel
+from repro.simmpi.costmodel import CommPhase, Message
+from repro.simmpi.job import ContentionConfig, SimJob
+from repro.simmpi.placement import Placement
+
+
+class ToyApp(AppModel):
+    """Two-rank app with known compute and one message per step."""
+
+    name = "toy"
+
+    def __init__(self, steps=10, gcycles=1.0, volume=0.0):
+        self._steps = steps
+        self._gc = gcycles
+        self._vol = volume
+
+    def schedule(self, n_ranks):
+        phases = ()
+        if n_ranks > 1 and self._vol >= 0:
+            phases = (CommPhase.of([Message(0, n_ranks - 1, self._vol)]),)
+        return [
+            StepBlock(
+                StepDemand(compute_gcycles=self._gc, phases=phases),
+                self._steps,
+            )
+        ]
+
+    def recommended_tradeoff(self):
+        return TradeOff(0.5, 0.5)
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    return Cluster(specs, topo), NetworkModel(topo)
+
+
+class TestContention:
+    def test_idle_node_no_slowdown_beyond_one(self, env):
+        cluster, net = env
+        job = SimJob(ToyApp(), Placement(("node1", "node2")), cluster, net)
+        assert job.rank_slowdown("node1") == pytest.approx(1.0)
+
+    def test_soft_interference_scales_with_load(self, env):
+        cluster, net = env
+        cluster.state("node1").cpu_load = 6.0
+        job = SimJob(
+            ToyApp(),
+            Placement(("node1", "node2")),
+            cluster,
+            net,
+            contention=ContentionConfig(soft_interference=1.0),
+        )
+        assert job.rank_slowdown("node1") == pytest.approx(1.5)  # 1 + 6/12
+
+    def test_hard_timesharing_when_oversubscribed(self, env):
+        cluster, net = env
+        cluster.state("node1").cpu_load = 20.0
+        p = Placement(("node1",) * 4 + ("node2",) * 4)
+        job = SimJob(
+            ToyApp(), p, cluster, net,
+            contention=ContentionConfig(soft_interference=0.0),
+        )
+        assert job.rank_slowdown("node1") == pytest.approx(2.0)  # (20+4)/12
+
+    def test_compute_time_uses_frequency(self, env):
+        cluster, net = env
+        job = SimJob(ToyApp(), Placement(("node1", "node2")), cluster, net)
+        assert job.compute_time_s("node1", 4.6) == pytest.approx(1.0)
+
+
+class TestRun:
+    def test_totals_decompose(self, env):
+        cluster, net = env
+        job = SimJob(
+            ToyApp(steps=5, gcycles=2.0, volume=1.0),
+            Placement(("node1", "node2")),
+            cluster,
+            net,
+        )
+        r = job.run()
+        assert r.total_time_s == pytest.approx(r.compute_time_s + r.comm_time_s)
+        assert r.steps == 5
+        assert 0.0 < r.comm_fraction < 1.0
+
+    def test_slowest_node_gates_compute(self, env):
+        cluster, net = env
+        cluster.state("node2").cpu_load = 24.0
+        fast = SimJob(
+            ToyApp(volume=0.0), Placement(("node1", "node3")), cluster, net
+        ).run()
+        slow = SimJob(
+            ToyApp(volume=0.0), Placement(("node1", "node2")), cluster, net
+        ).run()
+        assert slow.compute_time_s > fast.compute_time_s
+
+    def test_loaded_cluster_slows_execution(self, env):
+        cluster, net = env
+        p = Placement(("node1", "node2"))
+        before = SimJob(ToyApp(volume=0.5), p, cluster, net).run()
+        for n in cluster.names:
+            cluster.state(n).cpu_load = 18.0
+        net.set_node_load_provider(
+            lambda n: cluster.state(n).cpu_load / cluster.spec(n).cores
+        )
+        after = SimJob(ToyApp(volume=0.5), p, cluster, net).run()
+        assert after.total_time_s > before.total_time_s
+
+    def test_unknown_node_rejected(self, env):
+        cluster, net = env
+        with pytest.raises(KeyError):
+            SimJob(ToyApp(), Placement(("ghost",)), cluster, net)
+
+    def test_report_details(self, env):
+        cluster, net = env
+        r = SimJob(ToyApp(), Placement(("node1", "node2")), cluster, net).run()
+        assert "max_slowdown" in r.details
+        assert r.app == "toy"
+        assert r.n_ranks == 2

@@ -1,0 +1,42 @@
+"""Tests for rank placement."""
+
+import pytest
+
+from repro.core.policies import Allocation, AllocationRequest
+from repro.simmpi.placement import Placement
+
+
+class TestPlacement:
+    def test_from_allocation_block_order(self):
+        req = AllocationRequest(6, ppn=4)
+        alloc = Allocation(
+            "x", ("a", "b"), {"a": 4, "b": 2}, req, 0.0
+        )
+        p = Placement.from_allocation(alloc)
+        assert p.node_of_rank == ("a", "a", "a", "a", "b", "b")
+
+    def test_block_constructor(self):
+        p = Placement.block(["a", "b", "c"], ppn=2, n_processes=5)
+        assert p.node_of_rank == ("a", "a", "b", "b", "c")
+
+    def test_block_insufficient_nodes(self):
+        with pytest.raises(ValueError):
+            Placement.block(["a"], ppn=2, n_processes=5)
+
+    def test_block_invalid_ppn(self):
+        with pytest.raises(ValueError):
+            Placement.block(["a"], ppn=0, n_processes=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(node_of_rank=())
+
+    def test_accessors(self):
+        p = Placement(("a", "a", "b"))
+        assert p.n_ranks == 3
+        assert p.nodes == ["a", "b"]
+        assert p.node(2) == "b"
+        assert p.ranks_on("a") == [0, 1]
+        assert p.procs_per_node() == {"a": 2, "b": 1}
+        assert p.colocated(0, 1)
+        assert not p.colocated(0, 2)

@@ -1,0 +1,59 @@
+"""Edge-case tests for execution reports and zero-work demands."""
+
+import pytest
+
+from repro.apps.base import AppModel, StepBlock, StepDemand
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.core.weights import TradeOff
+from repro.net.model import NetworkModel
+from repro.simmpi.costmodel import CommPhase, Message
+from repro.simmpi.job import ExecutionReport, SimJob
+from repro.simmpi.placement import Placement
+
+
+class NoOpApp(AppModel):
+    name = "noop"
+
+    def schedule(self, n_ranks):
+        return [StepBlock(StepDemand(compute_gcycles=0.0), 1)]
+
+    def recommended_tradeoff(self):
+        return TradeOff(0.5, 0.5)
+
+
+class TestExecutionReportEdges:
+    def test_zero_time_comm_fraction(self):
+        r = ExecutionReport(
+            app="x", n_ranks=1, nodes=("a",), total_time_s=0.0,
+            compute_time_s=0.0, comm_time_s=0.0, steps=0,
+        )
+        assert r.comm_fraction == 0.0
+
+    def test_noop_app_runs_instantly(self):
+        specs, topo = uniform_cluster(2, nodes_per_switch=2)
+        cluster, net = Cluster(specs, topo), NetworkModel(topo)
+        r = SimJob(NoOpApp(), Placement(("node1", "node2")), cluster, net).run()
+        assert r.total_time_s == 0.0
+        assert r.steps == 1
+
+
+class TestZeroVolumeMessages:
+    def test_zero_volume_costs_latency_only(self):
+        specs, topo = uniform_cluster(2, nodes_per_switch=2)
+        cluster, net = Cluster(specs, topo), NetworkModel(topo)
+        from repro.simmpi.costmodel import MessageCostModel
+
+        model = MessageCostModel(net)
+        p = Placement(("node1", "node2"))
+        t = model.phase_time_s(CommPhase.of([Message(0, 1, 0.0)]), p)
+        # ~base latency + overhead, well under a millisecond
+        assert 0.0 < t < 1e-3
+
+    def test_allowed_in_step_demand(self):
+        d = StepDemand(compute_gcycles=0.0, allreduce_mb=(0.0,))
+        assert d.allreduce_mb == (0.0,)
+
+    def test_negative_alltoall_rejected(self):
+        with pytest.raises(ValueError):
+            StepDemand(compute_gcycles=0.0, alltoall_mb=(-1.0,))

@@ -1,0 +1,51 @@
+"""Tests for benchmark-scale configuration (REPRO_FULL / REPRO_SMOKE)."""
+
+import pytest
+
+from benchmarks.conftest import grid_params, scale
+
+
+class TestScaleSelection:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        assert scale() == "default"
+
+    def test_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        assert scale() == "full"
+
+    def test_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert scale() == "smoke"
+
+
+class TestGridParams:
+    def test_full_matches_paper_protocol(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        md = grid_params("minimd")
+        fe = grid_params("minife")
+        assert md["proc_counts"] == (8, 16, 32, 64)
+        assert md["sizes"] == (8, 16, 24, 32, 40, 48)
+        assert md["repeats"] == 5  # "repeated this for 5 times"
+        assert fe["proc_counts"] == (8, 16, 32, 48)
+        assert fe["sizes"] == (48, 96, 144, 256, 384)
+        assert fe["repeats"] == 5
+
+    def test_default_covers_full_grid_fewer_repeats(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        md = grid_params("minimd")
+        assert md["sizes"] == (8, 16, 24, 32, 40, 48)
+        assert md["repeats"] < 5
+
+    def test_smoke_is_reduced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        md = grid_params("minimd")
+        assert len(md["sizes"]) < 6
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            grid_params("hpl")

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface.
+
+CLI commands build real (small-warm-up) scenarios, so these are
+integration tests; they use short warm-ups to stay quick.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--warmup-min", "5"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["allocate"])
+        assert args.procs == 32 and args.ppn == 4
+        assert args.policy == "network_load_aware"
+
+
+class TestAllocate:
+    def test_prints_hostfile(self, capsys):
+        assert main(["allocate", "-n", "8", "--seed", "1", *FAST]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        assert len(lines) == 2
+        assert all(":" in l for l in lines)
+        total = sum(int(l.split(":")[1]) for l in lines)
+        assert total == 8
+
+    def test_policy_selection(self, capsys):
+        assert main(
+            ["allocate", "-n", "8", "--policy", "load_aware", "--seed", "1", *FAST]
+        ) == 0
+        assert "policy=load_aware" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_minimd(self, capsys):
+        rc = main(
+            ["simulate", "-n", "8", "--app", "minimd", "--size", "8",
+             "--seed", "1", *FAST]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "app=miniMD" in out and "time=" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--app", "hpl", *FAST])
+
+
+class TestCompare:
+    def test_all_policies_listed(self, capsys):
+        rc = main(
+            ["compare", "-n", "8", "--app", "minife", "--size", "48",
+             "--alpha", "0.4", "--seed", "1", *FAST]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for policy in ("random", "sequential", "load_aware", "network_load_aware"):
+            assert policy in out
+
+
+class TestTrace:
+    def test_csv_to_stdout(self, capsys):
+        rc = main(
+            ["trace", "--hours", "0.5", "--period-s", "600", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("time,node,")
+
+    def test_csv_to_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.csv"
+        rc = main(
+            ["trace", "--hours", "0.5", "--period-s", "600",
+             "--seed", "1", "-o", str(target)]
+        )
+        assert rc == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_table4(self, capsys):
+        rc = main(["report", "table4", "--seed", "1", *FAST])
+        assert rc == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_fig1_short(self, capsys):
+        rc = main(["report", "fig1", "--hours", "2", "--seed", "1"])
+        assert rc == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["report", "fig99"])
+
+    def test_reduced_grid_table2(self, capsys):
+        rc = main(
+            ["report", "table2", "--procs", "8", "--sizes", "16",
+             "--repeats", "1", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_bad_grid_list(self):
+        with pytest.raises(SystemExit):
+            main(["report", "fig4", "--procs", "eight"])

@@ -1,0 +1,178 @@
+"""Cross-subsystem integration tests.
+
+These exercise the full pipeline — workload → monitor → snapshot →
+allocation → execution — and the global properties that only hold when
+every piece cooperates: determinism, information boundaries, and the §4
+resilience promises that span multiple components.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.core.policies import AllocationRequest, PAPER_POLICIES
+from repro.core.weights import MINIMD_TRADEOFF
+from repro.experiments.runner import compare_policies
+from repro.experiments.scenario import paper_scenario, small_scenario
+from repro.monitor.failures import FailureInjector
+from repro.simmpi.job import SimJob
+from repro.simmpi.placement import Placement
+
+
+class TestDeterminism:
+    def run_pipeline(self, seed):
+        sc = small_scenario(n_nodes=8, seed=seed, warmup_s=900.0)
+        request = AllocationRequest(
+            n_processes=8, ppn=4, tradeoff=MINIMD_TRADEOFF
+        )
+        comparison = compare_policies(
+            sc,
+            MiniMD(8, MiniMDConfig(timesteps=50)),
+            request,
+            rng=sc.streams.child("det"),
+        )
+        return {
+            p: (r.allocation.nodes, round(r.time_s, 9))
+            for p, r in comparison.runs.items()
+        }
+
+    def test_same_seed_same_everything(self):
+        assert self.run_pipeline(5) == self.run_pipeline(5)
+
+    def test_different_seed_differs(self):
+        a, b = self.run_pipeline(5), self.run_pipeline(6)
+        assert a != b
+
+
+class TestInformationBoundary:
+    def test_allocator_only_sees_monitor_data(self):
+        """Nodes the monitor never reported must never be allocated,
+        even though they exist and are idle in ground truth."""
+        sc = small_scenario(n_nodes=8, seed=1, warmup_s=0.0)
+        mon = sc.monitoring
+        silenced = {"node7", "node8"}
+        # Crash their state daemons before any sample lands: the nodes
+        # are up and idle, but the allocator never learns about them.
+        for name in silenced:
+            mon.nodestate[name].crash()
+        mon.central.master.crash()  # keep the supervisor from reviving them
+        mon.central.slave.crash()
+        sc.advance(900.0)
+        request = AllocationRequest(n_processes=24, ppn=4)
+        for name, cls in PAPER_POLICIES.items():
+            alloc = cls().allocate(
+                sc.snapshot(), request, rng=sc.streams.child(name)
+            )
+            assert silenced & set(alloc.nodes) == set(), name
+
+    def test_snapshot_lags_ground_truth(self):
+        """A crashed NodeStateD freezes the allocator's view of its node
+        while ground truth keeps evolving — the view is the *store*, not
+        the cluster."""
+        sc = small_scenario(n_nodes=4, seed=2, warmup_s=600.0)
+        mon = sc.monitoring
+        node = sc.cluster.names[0]
+        mon.central.master.crash()  # nobody revives the daemon below
+        mon.central.slave.crash()
+        frozen = sc.snapshot().nodes[node].cpu_load["now"]
+        mon.nodestate[node].crash()
+        sc.advance(1800.0)
+        later = sc.snapshot().nodes[node].cpu_load["now"]
+        assert later == frozen  # stale record served unchanged
+        assert mon.store.age(f"nodestate/{node}", sc.engine.now) >= 1800.0
+        # ...while the other nodes' views kept refreshing.
+        other = sc.cluster.names[1]
+        assert mon.store.age(f"nodestate/{other}", sc.engine.now) < 60.0
+
+
+class TestResilienceEndToEnd:
+    def test_monitorless_daemons_keep_working(self):
+        """§4: if both Central Monitor instances die, daemons continue
+        (but crashed daemons stay down)."""
+        sc = small_scenario(n_nodes=6, seed=3, warmup_s=600.0)
+        mon = sc.monitoring
+        mon.central.master.crash()
+        mon.central.slave.crash()
+        t0 = sc.engine.now
+        sc.advance(600.0)
+        snap = sc.snapshot()
+        assert len(snap.nodes) == 6  # data still flowing
+        assert mon.store.age("livehosts", sc.engine.now) < 120.0
+        # but supervision is gone: a crashed daemon stays dead
+        victim = mon.nodestate["node2"]
+        victim.crash()
+        sc.advance(600.0)
+        assert not victim.alive
+
+    def test_allocation_during_partial_outage(self):
+        sc = paper_scenario(seed=8, warmup_s=1800.0)
+        injector = FailureInjector(sc.engine, sc.cluster)
+        for i, node in enumerate(["csews2", "csews17", "csews33"]):
+            injector.node_down(node, at=sc.engine.now + 10.0 + i)
+        sc.advance(120.0)
+        request = AllocationRequest(
+            n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF
+        )
+        result = sc.broker().request(request, rng=sc.streams.child("x"))
+        downed = {"csews2", "csews17", "csews33"}
+        assert downed & set(result.allocation.nodes) == set()
+        # the job runs fine on the surviving allocation
+        report = SimJob(
+            MiniMD(8, MiniMDConfig(timesteps=50)),
+            Placement.from_allocation(result.allocation),
+            sc.cluster,
+            sc.network,
+        ).run()
+        assert report.total_time_s > 0
+
+
+class TestExecutionSanity:
+    def test_comm_fractions_in_paper_bands(self):
+        """§5 profiling: miniMD 40-80 % comm, miniFE 25-60 % at scale.
+
+        Under background load our model runs slightly hotter; assert a
+        tolerant band and the miniMD > miniFE ordering.
+        """
+        from repro.apps.minife import MiniFE
+
+        sc = paper_scenario(seed=10, warmup_s=1800.0)
+        request = AllocationRequest(
+            n_processes=32, ppn=4, tradeoff=MINIMD_TRADEOFF
+        )
+        alloc = sc.broker().request(request).allocation
+        placement = Placement.from_allocation(alloc)
+        md = SimJob(MiniMD(16), placement, sc.cluster, sc.network).run()
+        fe = SimJob(MiniFE(96), placement, sc.cluster, sc.network).run()
+        assert 0.35 <= md.comm_fraction <= 0.9
+        assert 0.15 <= fe.comm_fraction <= 0.75
+        assert md.comm_fraction > fe.comm_fraction
+
+    def test_better_connected_allocation_runs_faster(self):
+        """Directly validates the execution model's core mechanism: a
+        same-switch group beats a maximally scattered group of equally
+        idle nodes."""
+        sc = paper_scenario(seed=13, warmup_s=0.0)  # idle cluster
+        same_switch = ["csews1", "csews2", "csews3", "csews4"]
+        scattered = ["csews1", "csews16", "csews31", "csews46"]
+        app = MiniMD(16)
+        t_same = SimJob(
+            app, Placement.block(same_switch, 4, 16), sc.cluster, sc.network
+        ).run().total_time_s
+        t_scattered = SimJob(
+            app, Placement.block(scattered, 4, 16), sc.cluster, sc.network
+        ).run().total_time_s
+        assert t_same < t_scattered
+
+    def test_loaded_allocation_runs_slower(self):
+        sc = paper_scenario(seed=14, warmup_s=0.0)
+        nodes = ["csews1", "csews2", "csews3", "csews4"]
+        app = MiniMD(16)
+        idle = SimJob(
+            app, Placement.block(nodes, 4, 16), sc.cluster, sc.network
+        ).run().total_time_s
+        for n in nodes:
+            sc.cluster.state(n).cpu_load = 10.0
+        loaded = SimJob(
+            app, Placement.block(nodes, 4, 16), sc.cluster, sc.network
+        ).run().total_time_s
+        assert loaded > idle

@@ -1,0 +1,67 @@
+"""Sanity checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_paper_policies_complete(self):
+        assert set(repro.PAPER_POLICIES) == {
+            "random", "sequential", "load_aware", "network_load_aware",
+        }
+
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.core.policies",
+    "repro.cluster",
+    "repro.net",
+    "repro.des",
+    "repro.workload",
+    "repro.monitor",
+    "repro.simmpi",
+    "repro.apps",
+    "repro.experiments",
+    "repro.integrations",
+    "repro.scheduler",
+    "repro.viz",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("module", SUBPACKAGES)
+def test_subpackage_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+@pytest.mark.parametrize("module", SUBPACKAGES)
+def test_subpackage_has_docstring(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__ and mod.__doc__.strip(), module
+
+
+def test_public_classes_documented():
+    """Every exported class/function carries a docstring."""
+    import inspect
+
+    undocumented = []
+    for module_name in SUBPACKAGES:
+        mod = importlib.import_module(module_name)
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{module_name}.{name}")
+    assert undocumented == []

@@ -1,0 +1,29 @@
+"""Tests for unit conversion helpers."""
+
+from repro.util.units import (
+    GIGABIT_PER_S_IN_MB_S,
+    gbps_to_mbs,
+    mbs_to_gbps,
+    microseconds,
+    to_microseconds,
+)
+
+
+def test_gigabit_constant():
+    assert GIGABIT_PER_S_IN_MB_S == 125.0
+
+
+def test_gbps_roundtrip():
+    assert mbs_to_gbps(gbps_to_mbs(2.5)) == 2.5
+
+
+def test_gbps_to_mbs():
+    assert gbps_to_mbs(1.0) == 125.0
+
+
+def test_microseconds():
+    assert microseconds(1e6) == 1.0
+
+
+def test_to_microseconds():
+    assert to_microseconds(1.0) == 1e6

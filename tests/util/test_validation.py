@@ -1,0 +1,58 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequirePositive:
+    def test_passes(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    def test_zero_fails(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0, "x")
+
+    def test_negative_fails(self):
+        with pytest.raises(ValueError):
+            require_positive(-1, "x")
+
+
+class TestRequireNonNegative:
+    def test_zero_passes(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_negative_fails(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            require_in_range(0.0, 0.0, 1.0, "x", inclusive=False)
+
+    def test_outside_fails(self):
+        with pytest.raises(ValueError, match="must be in"):
+            require_in_range(2.0, 0.0, 1.0, "x")
+
+
+class TestRequireType:
+    def test_passes(self):
+        assert require_type(3, int, "x") == 3
+
+    def test_tuple_of_types(self):
+        assert require_type(3.0, (int, float), "x") == 3.0
+
+    def test_fails(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            require_type("s", int, "x")

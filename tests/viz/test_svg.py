@@ -1,0 +1,123 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import SvgCanvas, bar_chart, heatmap, line_chart
+
+
+def parse(svg: str) -> ET.Element:
+    """Round-trip through an XML parser: output must be well-formed."""
+    return ET.fromstring(svg)
+
+
+class TestSvgCanvas:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 100)
+
+    def test_render_is_valid_xml(self):
+        c = SvgCanvas(100, 80)
+        c.line(0, 0, 10, 10)
+        c.rect(5, 5, 20, 20)
+        c.text(10, 10, "hello <&> world")
+        root = parse(c.render())
+        assert root.tag.endswith("svg")
+        assert root.attrib["width"] == "100"
+
+    def test_text_escaping(self):
+        c = SvgCanvas(100, 80)
+        c.text(0, 0, "<script>")
+        assert "<script>" not in c.render()
+
+    def test_rotated_text(self):
+        c = SvgCanvas(100, 80)
+        c.text(10, 10, "y", rotate=-90)
+        assert "rotate(-90" in c.render()
+
+
+class TestLineChart:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        svg = line_chart(
+            {"a": ([0, 1, 2], [1.0, 3.0, 2.0]), "b": ([0, 1, 2], [2.0, 2.0, 2.0])},
+            title="T",
+            x_label="x",
+            y_label="y",
+            path=path,
+        )
+        root = parse(svg)
+        assert path.read_text() == svg
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        assert len(polylines) == 2
+        assert "T" in svg and ">a<" in svg and ">b<" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": ([], [])})
+        with pytest.raises(ValueError):
+            line_chart({"a": ([1], [1, 2])})
+
+    def test_constant_series(self):
+        svg = line_chart({"flat": ([0, 1], [5.0, 5.0])})
+        parse(svg)  # degenerate y-range must not divide by zero
+
+    def test_single_point(self):
+        parse(line_chart({"dot": ([3], [7.0])}))
+
+
+class TestHeatmap:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "hm.svg"
+        svg = heatmap(
+            [[0.0, 1.0], [1.0, 0.0]], labels=["r1", "r2"], path=path,
+            title="H",
+        )
+        root = parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert len(rects) >= 5  # background + 4 cells
+        assert "r1" in svg
+
+    def test_nan_cells_grey(self):
+        svg = heatmap([[float("nan"), 1.0]])
+        assert "#eeeeee" in svg
+
+    def test_invert_flips_shades(self):
+        plain = heatmap([[0.0, 1.0]])
+        flipped = heatmap([[0.0, 1.0]], invert=True)
+        assert plain != flipped
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap([[1.0, 2.0], [1.0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap([])
+
+
+class TestBarChart:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "bars.svg"
+        svg = bar_chart(
+            {"random": 0.72, "ours": 0.43}, title="Fig5", y_label="load",
+            path=path,
+        )
+        parse(svg)
+        assert "random" in svg and "ours" in svg
+        assert "0.72" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_tallest_bar_spans_plot(self):
+        svg = bar_chart({"a": 1.0, "b": 0.5})
+        root = parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        heights = sorted(float(r.attrib["height"]) for r in rects[1:])
+        assert heights[-1] > 1.9 * heights[0]

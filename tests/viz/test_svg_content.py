@@ -1,0 +1,66 @@
+"""Content-level assertions on rendered SVG charts."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import bar_chart, heatmap, line_chart
+
+
+def polyline_points(svg: str) -> list[list[tuple[float, float]]]:
+    root = ET.fromstring(svg)
+    out = []
+    for e in root.iter():
+        if e.tag.endswith("polyline"):
+            pts = [
+                tuple(map(float, p.split(",")))
+                for p in e.attrib["points"].split()
+            ]
+            out.append(pts)
+    return out
+
+
+class TestLineGeometry:
+    def test_monotone_series_renders_monotone_pixels(self):
+        svg = line_chart({"up": ([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])})
+        (pts,) = polyline_points(svg)
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        assert xs == sorted(xs)
+        # SVG y grows downward: increasing data = decreasing pixel y
+        assert ys == sorted(ys, reverse=True)
+
+    def test_series_with_higher_values_sits_above(self):
+        svg = line_chart(
+            {"low": ([0, 1], [1.0, 1.0]), "high": ([0, 1], [9.0, 9.0])}
+        )
+        low, high = polyline_points(svg)
+        assert high[0][1] < low[0][1]  # smaller pixel y = visually higher
+
+
+class TestHeatmapGeometry:
+    def test_extreme_cells_get_extreme_shades(self):
+        svg = heatmap([[0.0, 100.0]])
+        shades = [
+            int(m.group(1))
+            for m in re.finditer(r'fill="rgb\((\d+),\d+,\d+\)"', svg)
+        ]
+        assert max(shades) - min(shades) > 150
+
+    def test_uniform_matrix_uniform_shade(self):
+        svg = heatmap([[5.0, 5.0], [5.0, 5.0]])
+        shades = {
+            m.group(1)
+            for m in re.finditer(r'fill="rgb\((\d+),\d+,\d+\)"', svg)
+        }
+        assert len(shades) == 1
+
+
+class TestBarGeometry:
+    def test_bar_heights_proportional(self):
+        svg = bar_chart({"half": 0.5, "full": 1.0})
+        root = ET.fromstring(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        heights = sorted(float(r.attrib["height"]) for r in rects[1:])
+        assert heights[1] == pytest.approx(2 * heights[0], rel=0.01)

@@ -1,0 +1,65 @@
+"""Tests for the external-load hook (scheduler ↔ workload coupling)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.net.model import NetworkModel
+from repro.workload.generator import BackgroundWorkload
+
+
+@pytest.fixture
+def wl():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    cluster = Cluster(specs, topo)
+    engine = Engine()
+    workload = BackgroundWorkload(engine, cluster, NetworkModel(topo), seed=0)
+    return engine, cluster, workload
+
+
+class TestExternalLoad:
+    def test_add_raises_ground_truth_immediately(self, wl):
+        _, cluster, workload = wl
+        before = cluster.state("node1").cpu_load
+        workload.add_external_load("node1", 4.0)
+        assert cluster.state("node1").cpu_load == pytest.approx(before + 4.0)
+
+    def test_remove_restores(self, wl):
+        _, cluster, workload = wl
+        workload.add_external_load("node1", 4.0)
+        workload.add_external_load("node1", -4.0)
+        assert "node1" not in workload.external_load
+
+    def test_accumulates(self, wl):
+        _, cluster, workload = wl
+        workload.add_external_load("node1", 2.0)
+        workload.add_external_load("node1", 3.0)
+        assert workload.external_load["node1"] == 5.0
+
+    def test_survives_workload_ticks(self, wl):
+        engine, cluster, workload = wl
+        workload.add_external_load("node1", 6.0)
+        engine.run(600.0)  # many refresh ticks
+        # the external component persists through every refresh
+        other = cluster.state("node2").cpu_load
+        assert cluster.state("node1").cpu_load >= 6.0
+        assert cluster.state("node1").cpu_load > other
+
+    def test_feeds_endpoint_latency(self, wl):
+        engine, cluster, workload = wl
+        net = workload.network
+        before = net.latency_us("node1", "node2")
+        workload.add_external_load("node1", 12.0)
+        assert net.latency_us("node1", "node2") > before
+
+    def test_visible_to_monitor(self, wl):
+        engine, cluster, workload = wl
+        from repro.monitor.system import MonitoringSystem
+
+        mon = MonitoringSystem(engine, cluster, workload.network, seed=1)
+        mon.start()
+        workload.add_external_load("node3", 8.0)
+        engine.run(60.0)
+        view = mon.snapshot().nodes["node3"]
+        assert view.cpu_load["now"] >= 8.0

@@ -1,0 +1,116 @@
+"""Tests for the BackgroundWorkload orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.net.model import NetworkModel
+from repro.workload.generator import BackgroundWorkload, WorkloadConfig
+
+
+@pytest.fixture
+def setup():
+    specs, topo = uniform_cluster(6, nodes_per_switch=3)
+    cluster = Cluster(specs, topo)
+    network = NetworkModel(topo)
+    engine = Engine()
+    return engine, cluster, network
+
+
+class TestWorkloadConfig:
+    @pytest.mark.parametrize(
+        "kw", [{"tick_s": 0.0}, {"ambient_load_theta": 0.0}, {"busyness_sigma": -1.0}]
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kw)
+
+
+class TestBackgroundWorkload:
+    def test_states_populated_after_run(self, setup):
+        engine, cluster, network = setup
+        BackgroundWorkload(engine, cluster, network, seed=0)
+        engine.run(3600.0)
+        loads = [cluster.state(n).cpu_load for n in cluster.names]
+        assert any(v > 0 for v in loads)
+        utils = [cluster.state(n).cpu_util for n in cluster.names]
+        assert all(0.0 <= u <= 100.0 for u in utils)
+
+    def test_memory_capped_at_physical(self, setup):
+        engine, cluster, network = setup
+        BackgroundWorkload(engine, cluster, network, seed=0)
+        engine.run(6 * 3600.0)
+        for n in cluster.names:
+            assert cluster.state(n).memory_used_gb <= cluster.spec(n).memory_gb
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            specs, topo = uniform_cluster(4, nodes_per_switch=2)
+            cluster = Cluster(specs, topo)
+            engine = Engine()
+            BackgroundWorkload(engine, cluster, NetworkModel(topo), seed=seed)
+            engine.run(3600.0)
+            return [cluster.state(n).cpu_load for n in cluster.names]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_busyness_varies_across_nodes(self, setup):
+        engine, cluster, network = setup
+        wl = BackgroundWorkload(engine, cluster, network, seed=3)
+        vals = list(wl.busyness.values())
+        assert len(set(vals)) == len(vals)
+        assert all(v > 0 for v in vals)
+
+    def test_flow_rate_reflects_network(self, setup):
+        engine, cluster, network = setup
+        BackgroundWorkload(engine, cluster, network, seed=0)
+        engine.run(12 * 3600.0)
+        rates = network.node_flow_rates()
+        # ground truth state mirrors the fair-share solution exactly at
+        # refresh time (states refresh on every tick)
+        for n, r in rates.items():
+            if n in cluster:
+                assert cluster.state(n).flow_rate_mbs == pytest.approx(r)
+        if len(network.flows):
+            assert sum(rates.values()) > 0
+
+    def test_stop_freezes_generation(self, setup):
+        engine, cluster, network = setup
+        wl = BackgroundWorkload(engine, cluster, network, seed=0)
+        engine.run(3600.0)
+        wl.stop()
+        engine.run(72 * 3600.0)
+        # all sessions/jobs/flows eventually drain
+        assert len(network.flows) == 0
+        assert all(s.user_count == 0 for s in wl._sessions.values())
+
+    def test_load_provider_wired(self, setup):
+        engine, cluster, network = setup
+        BackgroundWorkload(engine, cluster, network, seed=0)
+        engine.run(3600.0)
+        # endpoint factor reflects ground-truth load
+        n1, n2 = cluster.names[:2]
+        factor = network.endpoint_bw_factor(n1, n2)
+        assert 0.0 < factor <= 1.0
+
+    def test_calibration_bands(self):
+        """48-h statistics stay in the paper's Figure 1 bands."""
+        specs, topo = uniform_cluster(12, nodes_per_switch=4)
+        cluster = Cluster(specs, topo)
+        engine = Engine()
+        network = NetworkModel(topo)
+        BackgroundWorkload(engine, cluster, network, seed=1)
+        utils, loads, mems = [], [], []
+        for _ in range(48):
+            engine.run(3600.0)
+            for n in cluster.names:
+                st = cluster.state(n)
+                utils.append(st.cpu_util)
+                loads.append(st.cpu_load / cluster.spec(n).cores)
+                mems.append(st.memory_used_gb / cluster.spec(n).memory_gb)
+        assert 12.0 <= np.mean(utils) <= 45.0  # paper: 20-35 %
+        assert 0.1 <= np.mean(loads) <= 1.2    # paper Fig 5: 0.3-0.7/core
+        assert 0.15 <= np.mean(mems) <= 0.5    # paper: ~25 % used

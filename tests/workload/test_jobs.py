@@ -1,0 +1,139 @@
+"""Tests for background batch jobs (single-node, heavy, MPI)."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Engine
+from repro.net.flows import Flow
+from repro.workload.jobs import BatchJobConfig, BatchJobProcess
+
+
+def make_proc(engine, nodes=None, config=None, seed=0, flows=None):
+    nodes = nodes or [f"n{i}" for i in range(10)]
+    flow_log = flows if flows is not None else []
+    return BatchJobProcess(
+        engine,
+        nodes,
+        config or BatchJobConfig(),
+        np.random.default_rng(seed),
+        on_change=lambda n: None,
+        add_flow=flow_log.append,
+        remove_flow=lambda f: flow_log.remove(f),
+    )
+
+
+class TestBatchJobConfig:
+    def test_defaults(self):
+        BatchJobConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"arrival_rate_per_hour": 0.0},
+            {"heavy_prob": -0.1},
+            {"heavy_prob": 0.9, "mpi_prob": 0.2},
+            {"heavy_procs_min": 5, "heavy_procs_max": 2},
+            {"mpi_nodes_min": 1},
+            {"mpi_nodes_min": 5, "mpi_nodes_max": 3},
+            {"mpi_procs_per_node_min": 4, "mpi_procs_per_node_max": 2},
+            {"mpi_flow_min_mbs": 5.0, "mpi_flow_max_mbs": 1.0},
+            {"mem_per_proc_gb": -1.0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            BatchJobConfig(**kw)
+
+
+class TestBatchJobProcess:
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            BatchJobProcess(
+                Engine(),
+                [],
+                BatchJobConfig(),
+                np.random.default_rng(0),
+                on_change=lambda n: None,
+            )
+
+    def test_jobs_arrive_and_depart(self):
+        eng = Engine()
+        cfg = BatchJobConfig(arrival_rate_per_hour=120.0, mean_duration_s=300.0)
+        proc = make_proc(eng, config=cfg)
+        eng.run(3600.0)
+        proc.stop()
+        eng.run(48 * 3600.0)
+        assert proc.active == {}
+
+    def test_load_accounting(self):
+        eng = Engine()
+        cfg = BatchJobConfig(arrival_rate_per_hour=240.0, mean_duration_s=1e9)
+        proc = make_proc(eng, config=cfg)
+        eng.run(3600.0)
+        total = sum(proc.load_on(f"n{i}") for i in range(10))
+        expected = sum(sum(j.procs.values()) for j in proc.active.values())
+        assert total == pytest.approx(expected)
+
+    def test_mpi_jobs_use_consecutive_nodes(self):
+        eng = Engine()
+        nodes = [f"n{i:02d}" for i in range(10)]
+        cfg = BatchJobConfig(
+            arrival_rate_per_hour=240.0, mean_duration_s=1e9, mpi_prob=1.0,
+            heavy_prob=0.0,
+        )
+        proc = make_proc(eng, nodes=nodes, config=cfg)
+        eng.run(1800.0)
+        mpi_jobs = [j for j in proc.active.values() if j.kind == "mpi"]
+        assert mpi_jobs
+        for job in mpi_jobs:
+            idx = sorted(nodes.index(n) for n in job.nodes)
+            gaps = np.diff(idx)
+            # consecutive modulo wrap-around: at most one large gap
+            assert sum(g != 1 for g in gaps) <= 1
+
+    def test_mpi_jobs_create_flows(self):
+        eng = Engine()
+        flows: list[Flow] = []
+        cfg = BatchJobConfig(
+            arrival_rate_per_hour=240.0, mean_duration_s=1e9, mpi_prob=1.0,
+            heavy_prob=0.0,
+        )
+        make_proc(eng, config=cfg, flows=flows)
+        eng.run(1800.0)
+        assert flows
+        assert all(f.tag == "background_mpi" for f in flows)
+
+    def test_flows_removed_on_departure(self):
+        eng = Engine()
+        flows: list[Flow] = []
+        cfg = BatchJobConfig(
+            arrival_rate_per_hour=240.0, mean_duration_s=60.0, mpi_prob=1.0,
+            heavy_prob=0.0,
+        )
+        proc = make_proc(eng, config=cfg, flows=flows)
+        eng.run(1800.0)
+        proc.stop()
+        eng.run(48 * 3600.0)
+        assert flows == []
+
+    def test_heavy_jobs_exceed_normal_procs(self):
+        eng = Engine()
+        cfg = BatchJobConfig(
+            arrival_rate_per_hour=480.0, mean_duration_s=1e9,
+            heavy_prob=1.0, mpi_prob=0.0,
+        )
+        proc = make_proc(eng, config=cfg)
+        eng.run(1800.0)
+        heavies = [j for j in proc.active.values() if j.kind == "heavy"]
+        assert heavies
+        for job in heavies:
+            procs = next(iter(job.procs.values()))
+            assert cfg.heavy_procs_min <= procs <= cfg.heavy_procs_max
+
+    def test_memory_accounting(self):
+        eng = Engine()
+        cfg = BatchJobConfig(arrival_rate_per_hour=240.0, mean_duration_s=1e9)
+        proc = make_proc(eng, config=cfg)
+        eng.run(3600.0)
+        for i in range(10):
+            assert proc.memory_on(f"n{i}") >= 0.0

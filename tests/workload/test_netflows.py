@@ -1,0 +1,102 @@
+"""Tests for background network transfers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.net.flows import Flow
+from repro.workload.netflows import NetFlowConfig, NetFlowProcess
+
+
+def make_proc(engine, config=None, seed=0, active=None):
+    _, topo = uniform_cluster(8, nodes_per_switch=4)
+    active = active if active is not None else []
+    return NetFlowProcess(
+        engine,
+        topo.nodes,
+        topo.switch_of,
+        config or NetFlowConfig(),
+        np.random.default_rng(seed),
+        add_flow=active.append,
+        remove_flow=lambda f: active.remove(f),
+    ), active
+
+
+class TestNetFlowConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"arrival_rate_per_hour": 0.0},
+            {"mean_duration_s": 0.0},
+            {"demand_cap_mbs": 0.0},
+            {"cross_switch_prob": 2.0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            NetFlowConfig(**kw)
+
+
+class TestNetFlowProcess:
+    def test_needs_two_nodes(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            NetFlowProcess(
+                eng, ["only"], lambda n: "s", NetFlowConfig(),
+                np.random.default_rng(0),
+                add_flow=lambda f: None, remove_flow=lambda f: None,
+            )
+
+    def test_flows_created_and_capped(self):
+        eng = Engine()
+        cfg = NetFlowConfig(
+            arrival_rate_per_hour=360.0, mean_duration_s=1e9, demand_cap_mbs=50.0
+        )
+        _proc, active = make_proc(eng, cfg)
+        eng.run(3600.0)
+        assert active
+        assert all(f.demand_mbs <= 50.0 for f in active)
+
+    def test_flows_drain_after_stop(self):
+        eng = Engine()
+        cfg = NetFlowConfig(arrival_rate_per_hour=360.0, mean_duration_s=120.0)
+        proc, active = make_proc(eng, cfg)
+        eng.run(3600.0)
+        proc.stop()
+        eng.run(48 * 3600.0)
+        assert active == []
+
+    def test_cross_switch_bias(self):
+        eng = Engine()
+        cfg = NetFlowConfig(
+            arrival_rate_per_hour=720.0, mean_duration_s=1e9,
+            cross_switch_prob=1.0,
+        )
+        proc, active = make_proc(eng, cfg)
+        eng.run(3600.0)
+        _, topo = uniform_cluster(8, nodes_per_switch=4)
+        assert all(
+            topo.switch_of(f.src) != topo.switch_of(f.dst) for f in active
+        )
+
+    def test_same_switch_only(self):
+        eng = Engine()
+        cfg = NetFlowConfig(
+            arrival_rate_per_hour=720.0, mean_duration_s=1e9,
+            cross_switch_prob=0.0,
+        )
+        proc, active = make_proc(eng, cfg)
+        eng.run(3600.0)
+        _, topo = uniform_cluster(8, nodes_per_switch=4)
+        assert all(
+            topo.switch_of(f.src) == topo.switch_of(f.dst) for f in active
+        )
+
+    def test_endpoints_always_differ(self):
+        eng = Engine()
+        proc, active = make_proc(
+            eng, NetFlowConfig(arrival_rate_per_hour=720.0, mean_duration_s=1e9)
+        )
+        eng.run(3600.0)
+        assert all(f.src != f.dst for f in active)

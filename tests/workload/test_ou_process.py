@@ -1,0 +1,81 @@
+"""Tests for the Ornstein–Uhlenbeck process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.ou_process import OUProcess
+
+
+class TestConstruction:
+    def test_starts_at_mu_by_default(self):
+        assert OUProcess(mu=2.0, theta=0.1, sigma=0.5).x == 2.0
+
+    def test_x0_override(self):
+        assert OUProcess(mu=2.0, theta=0.1, sigma=0.5, x0=5.0).x == 5.0
+
+    def test_floor_applied_to_x0(self):
+        p = OUProcess(mu=1.0, theta=0.1, sigma=0.5, x0=-3.0, floor=0.0)
+        assert p.x == 0.0
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            OUProcess(mu=0.0, theta=0.0, sigma=0.1)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            OUProcess(mu=0.0, theta=0.1, sigma=-1.0)
+
+
+class TestDynamics:
+    def test_zero_sigma_decays_to_mu(self):
+        p = OUProcess(mu=1.0, theta=0.5, sigma=0.0, x0=10.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            p.step(10.0, rng)
+        assert p.x == pytest.approx(1.0, abs=1e-3)
+
+    def test_never_below_floor(self):
+        p = OUProcess(mu=0.1, theta=0.01, sigma=1.0, floor=0.0)
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            assert p.step(5.0, rng) >= 0.0
+
+    def test_invalid_dt(self):
+        p = OUProcess(mu=0.0, theta=0.1, sigma=0.1)
+        with pytest.raises(ValueError):
+            p.step(0.0, np.random.default_rng(0))
+
+    def test_stationary_mean_near_mu(self):
+        p = OUProcess(mu=3.0, theta=0.1, sigma=0.2, floor=-100.0)
+        rng = np.random.default_rng(2)
+        # burn in, then sample
+        for _ in range(200):
+            p.step(1.0, rng)
+        samples = [p.step(1.0, rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(3.0, abs=0.15)
+
+    def test_stationary_std_formula(self):
+        p = OUProcess(mu=0.0, theta=0.5, sigma=1.0)
+        assert p.stationary_std() == pytest.approx(1.0)
+
+    def test_exact_discretisation_stationary_std(self):
+        p = OUProcess(mu=0.0, theta=0.2, sigma=0.4, floor=-1e9)
+        rng = np.random.default_rng(3)
+        for _ in range(500):
+            p.step(1.0, rng)
+        samples = np.array([p.step(1.0, rng) for _ in range(20000)])
+        assert samples.std() == pytest.approx(p.stationary_std(), rel=0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mu=st.floats(0.0, 5.0),
+        dt=st.floats(0.1, 600.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_step_is_finite(self, mu, dt, seed):
+        p = OUProcess(mu=mu, theta=0.01, sigma=0.3)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            assert np.isfinite(p.step(dt, rng))

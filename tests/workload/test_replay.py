@@ -1,0 +1,120 @@
+"""Tests for trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.workload.replay import TraceReplayer
+from repro.workload.traces import FIELDS, ClusterTrace
+
+
+def make_trace(nodes, times, loads):
+    """Trace where cpu_load varies per (time, node) and the rest is fixed."""
+    data = np.zeros((len(times), len(nodes), len(FIELDS)))
+    data[:, :, FIELDS.index("cpu_load")] = loads
+    data[:, :, FIELDS.index("cpu_util")] = 20.0
+    data[:, :, FIELDS.index("memory_used_gb")] = 4.0
+    data[:, :, FIELDS.index("flow_rate_mbs")] = 1.0
+    data[:, :, FIELDS.index("users")] = 2.0
+    return ClusterTrace(nodes=list(nodes), times=np.array(times, float), data=data)
+
+
+@pytest.fixture
+def env():
+    specs, topo = uniform_cluster(2, nodes_per_switch=2)
+    return Engine(), Cluster(specs, topo)
+
+
+class TestTraceReplayer:
+    def test_initial_state_applied_immediately(self, env):
+        engine, cluster = env
+        trace = make_trace(cluster.names, [0.0, 100.0], [[3.0, 5.0], [7.0, 9.0]])
+        TraceReplayer(engine, cluster, trace)
+        assert cluster.state("node1").cpu_load == pytest.approx(3.0)
+        assert cluster.state("node2").cpu_load == pytest.approx(5.0)
+        assert cluster.state("node1").users == 2
+
+    def test_interpolation(self, env):
+        engine, cluster = env
+        trace = make_trace(cluster.names, [0.0, 100.0], [[0.0, 0.0], [10.0, 20.0]])
+        TraceReplayer(engine, cluster, trace, period_s=25.0)
+        engine.run(50.0)
+        assert cluster.state("node1").cpu_load == pytest.approx(5.0)
+        assert cluster.state("node2").cpu_load == pytest.approx(10.0)
+
+    def test_zero_order_hold(self, env):
+        engine, cluster = env
+        trace = make_trace(cluster.names, [0.0, 100.0], [[2.0, 2.0], [8.0, 8.0]])
+        TraceReplayer(engine, cluster, trace, period_s=25.0, interpolate=False)
+        engine.run(50.0)
+        assert cluster.state("node1").cpu_load == pytest.approx(2.0)
+        engine.run(50.0)
+        assert cluster.state("node1").cpu_load == pytest.approx(8.0)
+
+    def test_final_sample_holds(self, env):
+        engine, cluster = env
+        trace = make_trace(cluster.names, [0.0, 10.0], [[1.0, 1.0], [4.0, 4.0]])
+        TraceReplayer(engine, cluster, trace, period_s=5.0)
+        engine.run(500.0)
+        assert cluster.state("node1").cpu_load == pytest.approx(4.0)
+
+    def test_loop_wraps(self, env):
+        engine, cluster = env
+        trace = make_trace(cluster.names, [0.0, 100.0], [[0.0, 0.0], [10.0, 10.0]])
+        TraceReplayer(engine, cluster, trace, period_s=10.0, loop=True)
+        engine.run(150.0)  # 150 % 100 = 50 -> interpolated 5.0
+        assert cluster.state("node1").cpu_load == pytest.approx(5.0)
+
+    def test_empty_trace_rejected(self, env):
+        engine, cluster = env
+        empty = ClusterTrace(
+            nodes=list(cluster.names),
+            times=np.array([]),
+            data=np.empty((0, 2, len(FIELDS))),
+        )
+        with pytest.raises(ValueError, match="empty"):
+            TraceReplayer(engine, cluster, empty)
+
+    def test_missing_nodes_rejected(self, env):
+        engine, cluster = env
+        trace = make_trace(["node1"], [0.0], [[1.0]])
+        with pytest.raises(ValueError, match="lacks nodes"):
+            TraceReplayer(engine, cluster, trace)
+
+    def test_stop_freezes_state(self, env):
+        engine, cluster = env
+        trace = make_trace(cluster.names, [0.0, 100.0], [[0.0, 0.0], [10.0, 10.0]])
+        rep = TraceReplayer(engine, cluster, trace, period_s=10.0)
+        engine.run(20.0)
+        frozen = cluster.state("node1").cpu_load
+        rep.stop()
+        engine.run(80.0)
+        assert cluster.state("node1").cpu_load == frozen
+
+    def test_record_then_replay_roundtrip(self):
+        """A trace recorded from a live workload replays to matching state."""
+        from repro.net.model import NetworkModel
+        from repro.workload.generator import BackgroundWorkload
+        from repro.workload.traces import TraceRecorder
+
+        specs, topo = uniform_cluster(4, nodes_per_switch=2)
+        live = Cluster(specs, topo)
+        eng1 = Engine()
+        BackgroundWorkload(eng1, live, NetworkModel(topo), seed=0)
+        rec = TraceRecorder(eng1, live, period_s=60.0)
+        eng1.run(600.0)
+        trace = rec.finish()
+
+        replayed = Cluster(specs, topo)
+        eng2 = Engine()
+        TraceReplayer(eng2, replayed, trace, period_s=60.0)
+        eng2.run(300.0)
+        # replay time is anchored at the trace's first sample (t=60), so
+        # after 300 s of replay we are at recorded time 360
+        idx = list(trace.times).index(360.0)
+        for j, n in enumerate(trace.nodes):
+            assert replayed.state(n).cpu_load == pytest.approx(
+                trace.data[idx, j, FIELDS.index("cpu_load")]
+            )

@@ -1,0 +1,119 @@
+"""Tests for interactive session arrivals/departures."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Engine
+from repro.workload.sessions import SessionConfig, SessionProcess
+
+
+def make_proc(engine, config=None, seed=0, changes=None, peer="other"):
+    changes = changes if changes is not None else []
+    return SessionProcess(
+        engine,
+        "n1",
+        config or SessionConfig(),
+        np.random.default_rng(seed),
+        on_change=lambda n: changes.append(n),
+        pick_peer=lambda node, rng: peer,
+    )
+
+
+class TestSessionConfig:
+    def test_defaults(self):
+        cfg = SessionConfig()
+        assert cfg.arrival_rate_per_hour > 0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"arrival_rate_per_hour": 0.0},
+            {"mean_duration_s": -1.0},
+            {"mem_min_gb": -0.1},
+            {"mem_min_gb": 2.0, "mem_max_gb": 1.0},
+            {"streaming_prob": 1.5},
+            {"stream_min_mbs": 5.0, "stream_max_mbs": 1.0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            SessionConfig(**kw)
+
+
+class TestSessionProcess:
+    def test_sessions_arrive_over_time(self):
+        eng = Engine()
+        proc = make_proc(eng, SessionConfig(arrival_rate_per_hour=60.0))
+        eng.run(4 * 3600.0)
+        # ~4 arrivals/hour-equivalent after departures; just check activity
+        assert proc.user_count >= 0
+        assert proc.cpu_load >= 0.0
+
+    def test_on_change_fires(self):
+        eng = Engine()
+        changes: list[str] = []
+        make_proc(
+            eng, SessionConfig(arrival_rate_per_hour=120.0), changes=changes
+        )
+        eng.run(3600.0)
+        assert changes and all(c == "n1" for c in changes)
+
+    def test_departures_reduce_count(self):
+        eng = Engine()
+        cfg = SessionConfig(arrival_rate_per_hour=120.0, mean_duration_s=60.0)
+        proc = make_proc(eng, cfg)
+        eng.run(3600.0)
+        peak = proc.user_count
+        proc.stop()
+        eng.run(24 * 3600.0)
+        assert proc.user_count <= peak
+        assert proc.user_count == 0  # all drained, no new arrivals
+
+    def test_aggregates_sum_active_sessions(self):
+        eng = Engine()
+        proc = make_proc(
+            eng,
+            SessionConfig(arrival_rate_per_hour=240.0, mean_duration_s=1e9),
+        )
+        eng.run(3600.0)
+        assert proc.user_count == len(proc.active)
+        assert proc.cpu_load == pytest.approx(
+            sum(s.cpu_load for s in proc.active.values())
+        )
+        assert proc.memory_gb == pytest.approx(
+            sum(s.memory_gb for s in proc.active.values())
+        )
+
+    def test_streams_reference_active_sessions(self):
+        eng = Engine()
+        cfg = SessionConfig(
+            arrival_rate_per_hour=240.0, streaming_prob=1.0, mean_duration_s=1e9
+        )
+        proc = make_proc(eng, cfg)
+        eng.run(3600.0)
+        streams = proc.streams()
+        assert streams
+        for sid, peer, mbs in streams:
+            assert sid in proc.active
+            assert peer == "other"
+            assert cfg.stream_min_mbs <= mbs <= cfg.stream_max_mbs
+
+    def test_no_peer_means_no_stream(self):
+        eng = Engine()
+        proc = SessionProcess(
+            eng,
+            "n1",
+            SessionConfig(arrival_rate_per_hour=240.0, streaming_prob=1.0),
+            np.random.default_rng(0),
+            on_change=lambda n: None,
+            pick_peer=lambda node, rng: None,
+        )
+        eng.run(3600.0)
+        assert proc.streams() == []
+
+    def test_stop_prevents_new_arrivals(self):
+        eng = Engine()
+        proc = make_proc(eng, SessionConfig(arrival_rate_per_hour=240.0))
+        proc.stop()
+        eng.run(3600.0)
+        assert proc.user_count == 0

@@ -1,0 +1,116 @@
+"""Tests for trace recording."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.net.model import NetworkModel
+from repro.workload.generator import BackgroundWorkload
+from repro.workload.traces import FIELDS, TraceRecorder
+
+
+@pytest.fixture
+def live():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    cluster = Cluster(specs, topo)
+    network = NetworkModel(topo)
+    engine = Engine()
+    BackgroundWorkload(engine, cluster, network, seed=0)
+    return engine, cluster, network
+
+
+class TestTraceRecorder:
+    def test_sampling_cadence(self, live):
+        engine, cluster, _ = live
+        rec = TraceRecorder(engine, cluster, period_s=100.0)
+        engine.run(1000.0)
+        trace = rec.finish()
+        assert len(trace.times) == 10
+        assert np.allclose(np.diff(trace.times), 100.0)
+
+    def test_invalid_period(self, live):
+        engine, cluster, _ = live
+        with pytest.raises(ValueError):
+            TraceRecorder(engine, cluster, period_s=0.0)
+
+    def test_pairs_require_network(self, live):
+        engine, cluster, _ = live
+        with pytest.raises(ValueError, match="network"):
+            TraceRecorder(engine, cluster, pairs=[("node1", "node2")])
+
+    def test_series_access(self, live):
+        engine, cluster, _ = live
+        rec = TraceRecorder(engine, cluster, period_s=60.0)
+        engine.run(600.0)
+        trace = rec.finish()
+        s = trace.series("node1", "cpu_load")
+        assert s.shape == (10,)
+        with pytest.raises(KeyError):
+            trace.series("ghost", "cpu_load")
+        with pytest.raises(KeyError):
+            trace.series("node1", "nonsense")
+
+    def test_mean_series(self, live):
+        engine, cluster, _ = live
+        rec = TraceRecorder(engine, cluster, period_s=60.0)
+        engine.run(600.0)
+        trace = rec.finish()
+        m = trace.mean_series("cpu_util")
+        manual = trace.data[:, :, FIELDS.index("cpu_util")].mean(axis=1)
+        assert np.allclose(m, manual)
+
+    def test_pair_bandwidth_tracking(self, live):
+        engine, cluster, network = live
+        rec = TraceRecorder(
+            engine,
+            cluster,
+            period_s=120.0,
+            network=network,
+            pairs=[("node2", "node1"), ("node1", "node3")],
+        )
+        engine.run(1200.0)
+        trace = rec.finish()
+        # pair stored canonically but accessible in either order
+        s1 = trace.pair_series(("node1", "node2"))
+        s2 = trace.pair_series(("node2", "node1"))
+        assert np.array_equal(s1, s2)
+        assert (s1 > 0).all()
+        with pytest.raises(KeyError):
+            trace.pair_series(("node1", "node4"))
+
+    def test_pair_series_without_tracking(self, live):
+        engine, cluster, _ = live
+        rec = TraceRecorder(engine, cluster, period_s=60.0)
+        engine.run(120.0)
+        trace = rec.finish()
+        with pytest.raises(ValueError):
+            trace.pair_series(("node1", "node2"))
+
+    def test_csv_round_trip(self, live, tmp_path):
+        engine, cluster, _ = live
+        rec = TraceRecorder(engine, cluster, period_s=60.0)
+        engine.run(180.0)
+        trace = rec.finish()
+        path = tmp_path / "trace.csv"
+        text = trace.to_csv(path)
+        assert path.read_text() == text
+        lines = text.strip().split("\n")
+        assert lines[0] == "time,node," + ",".join(FIELDS)
+        assert len(lines) == 1 + 3 * len(cluster.names)
+
+    def test_finish_stops_sampling(self, live):
+        engine, cluster, _ = live
+        rec = TraceRecorder(engine, cluster, period_s=60.0)
+        engine.run(120.0)
+        trace = rec.finish()
+        n = len(trace.times)
+        engine.run(600.0)
+        assert len(trace.times) == n
+
+    def test_empty_trace(self, live):
+        engine, cluster, _ = live
+        rec = TraceRecorder(engine, cluster, period_s=1000.0)
+        trace = rec.finish()
+        assert trace.data.shape[0] == 0

@@ -1,0 +1,55 @@
+"""Extra trace tests: replay-grade fidelity of recorded fields."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.des.engine import Engine
+from repro.net.model import NetworkModel
+from repro.workload.generator import BackgroundWorkload
+from repro.workload.traces import FIELDS, TraceRecorder
+
+
+class TestFieldFidelity:
+    def test_samples_match_ground_truth_at_sample_instant(self):
+        specs, topo = uniform_cluster(3, nodes_per_switch=3)
+        cluster = Cluster(specs, topo)
+        engine = Engine()
+        BackgroundWorkload(engine, cluster, NetworkModel(topo), seed=5)
+        captured: dict[str, tuple] = {}
+
+        class Spy(TraceRecorder):
+            def _sample(self, now):
+                super()._sample(now)
+                if now == 600.0:
+                    for n in cluster.names:
+                        st = cluster.state(n)
+                        captured[n] = (
+                            st.cpu_load, st.cpu_util, st.memory_used_gb,
+                            st.flow_rate_mbs, st.users,
+                        )
+
+        rec = Spy(engine, cluster, period_s=300.0)
+        engine.run(900.0)
+        trace = rec.finish()
+        idx = list(trace.times).index(600.0)
+        for j, n in enumerate(trace.nodes):
+            assert tuple(trace.data[idx, j]) == pytest.approx(captured[n])
+
+    def test_fields_enumeration_is_stable(self):
+        """Downstream code (replay, CSV) indexes FIELDS positionally."""
+        assert FIELDS == (
+            "cpu_load", "cpu_util", "memory_used_gb", "flow_rate_mbs", "users",
+        )
+
+    def test_users_column_is_integral(self):
+        specs, topo = uniform_cluster(3, nodes_per_switch=3)
+        cluster = Cluster(specs, topo)
+        engine = Engine()
+        BackgroundWorkload(engine, cluster, NetworkModel(topo), seed=5)
+        rec = TraceRecorder(engine, cluster, period_s=300.0)
+        engine.run(1800.0)
+        trace = rec.finish()
+        users = trace.data[:, :, FIELDS.index("users")]
+        assert np.allclose(users, np.round(users))

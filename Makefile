@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: test bench bench-full bench-smoke examples clean
+.PHONY: test bench bench-full bench-smoke bench-json examples clean
 
 test:
 	pytest tests/
@@ -13,6 +13,12 @@ bench-full:
 
 bench-smoke:
 	REPRO_SMOKE=1 pytest benchmarks/ --benchmark-only
+
+# Machine-readable allocator-overhead timings for trajectory tracking
+# (compare BENCH_allocator.json across commits; see docs/PERFORMANCE.md).
+bench-json:
+	pytest benchmarks/bench_allocator_overhead.py --benchmark-only \
+		--benchmark-json=BENCH_allocator.json
 
 examples:
 	python examples/quickstart.py

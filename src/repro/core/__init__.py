@@ -1,5 +1,14 @@
 """The paper's contribution: network- and load-aware resource allocation."""
 
+from repro.core.arrays import (
+    LoadState,
+    addition_cost_matrix,
+    best_candidate_fast,
+    generate_all_candidates_fast,
+    load_state,
+    score_candidates_fast,
+    select_best_fast,
+)
 from repro.core.attributes import ATTRIBUTE_NAMES, ATTRIBUTES, Attribute, Criterion
 from repro.core.broker import BrokerResult, ResourceBroker, WaitRecommended
 from repro.core.candidate import (
@@ -39,6 +48,13 @@ from repro.core.weights import (
 )
 
 __all__ = [
+    "LoadState",
+    "addition_cost_matrix",
+    "best_candidate_fast",
+    "generate_all_candidates_fast",
+    "load_state",
+    "score_candidates_fast",
+    "select_best_fast",
     "ATTRIBUTE_NAMES",
     "ATTRIBUTES",
     "Attribute",

@@ -1,0 +1,341 @@
+"""Vectorized fast path for the allocation pipeline (Eq. 1–4, Alg. 1–2).
+
+The reference implementation in :mod:`repro.core.candidate` and
+:mod:`repro.core.selection` runs Algorithms 1 and 2 as pure-Python dict
+arithmetic over O(V²) pair keys.  This module packs the same quantities
+into NumPy arrays once per snapshot and replays both algorithms as array
+operations:
+
+* :class:`LoadState` — node-index table, Equation-1 ``CL`` vector, dense
+  symmetric Equation-2 ``NL`` matrix (unmeasured pairs filled with the
+  worst observed load, tracked by a mask), and the Equation-3 effective
+  processor vector.  Built once per (snapshot, node subset, weights,
+  normalization, ppn/load-key) and memoized on the snapshot itself via
+  :func:`repro.monitor.snapshot.derived_cache`.
+* :func:`generate_all_candidates_fast` — Algorithm 1 for *all* |V|
+  starting nodes at once: one addition-cost matrix
+  ``A = α·CL[None, :] + β·NL``, one stable per-row lexsort, one
+  cumulative-sum cutoff of effective processor counts, and a closed-form
+  round-robin remainder.
+* :func:`best_candidate_fast` — Algorithm 2 / Equation 4 via a candidate
+  membership matrix ``M``: compute costs ``C = M·CL`` and network costs
+  ``N = ½·diag(M·NL·Mᵀ)``.
+
+Exactness contract: the ``CL``/``NL``/``PC`` values come from the same
+reference functions the dict path uses, and NumPy's element-wise
+``α·CL + β·NL`` is bit-identical to the scalar expression, so the
+per-row lexsort reproduces the reference candidate *exactly* (same
+nodes, same process counts, same tie-breaks).  Equation-4 totals are
+summed in a different order than the reference (pairwise vs. sequential
+float addition), so when the top two candidates land within
+``_TIE_RTOL`` the winner is re-derived with the reference
+:func:`repro.core.selection.select_best` — guaranteeing the fast path
+returns the identical allocation even under exact ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.candidate import CandidateSubgraph
+from repro.core.compute_load import compute_loads
+from repro.core.effective_procs import effective_proc_counts
+from repro.core.network_load import PairKey, network_loads
+from repro.core.selection import ScoredCandidate, select_best
+from repro.core.weights import ComputeWeights, NetworkWeights, TradeOff
+from repro.monitor.snapshot import ClusterSnapshot, derived_cache
+
+#: Relative gap between the best and second-best Equation-4 totals below
+#: which the winner is recomputed with the reference implementation.
+#: Array and dict totals agree to ~1e-13 relative, so any gap larger
+#: than this guarantees both paths rank the winner identically.
+_TIE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class LoadState:
+    """Array view of one snapshot's allocator inputs (Eq. 1–3).
+
+    The dict fields (``cl``, ``nl``, ``pc``) are the *reference* values
+    the arrays were packed from; they are kept so exact-equivalence
+    fallbacks and the hierarchical policy can reuse them without
+    recomputing.
+    """
+
+    #: node names in index order (the usable-node order)
+    nodes: tuple[str, ...]
+    #: name → row/column index
+    index: Mapping[str, int]
+    #: Equation-1 compute loads (reference dict)
+    cl: Mapping[str, float]
+    #: Equation-2 network loads over measured pairs (reference dict)
+    nl: Mapping[PairKey, float]
+    #: Equation-3 effective processor counts (reference dict)
+    pc: Mapping[str, int]
+    #: ``CL`` as a (V,) float vector
+    cl_vec: np.ndarray
+    #: dense symmetric (V, V) ``NL`` matrix — unmeasured pairs hold
+    #: ``missing_penalty``, the diagonal is zero
+    nl_mat: np.ndarray
+    #: (V, V) bool mask, True where the pair was actually measured
+    measured: np.ndarray
+    #: worst observed pair load (0.0 when nothing was measured)
+    missing_penalty: float
+    #: effective processors as a (V,) int vector
+    pc_vec: np.ndarray
+
+
+def load_state(
+    snapshot: ClusterSnapshot,
+    *,
+    nodes: Sequence[str] | None = None,
+    compute_weights: ComputeWeights | None = None,
+    network_weights: NetworkWeights | None = None,
+    ppn: int | None = None,
+    load_key: str = "m1",
+    method: str = "mean",
+) -> LoadState:
+    """The :class:`LoadState` for ``snapshot``, memoized on the snapshot.
+
+    The cache key covers everything the arrays depend on: the node
+    subset (normalization runs over exactly the ranked set), both weight
+    profiles, the normalization method, and the Equation-3 parameters.
+    Repeated allocations against the same snapshot — the broker's hot
+    path — skip all O(V²) Equation-1/2 work after the first call.
+    """
+    names = tuple(nodes) if nodes is not None else tuple(snapshot.nodes)
+    cw = compute_weights or ComputeWeights()
+    nw = network_weights or NetworkWeights()
+    key = (
+        "load_state",
+        names,
+        tuple(sorted(cw.weights.items())),
+        (nw.w_lt, nw.w_bw),
+        ppn,
+        load_key,
+        method,
+    )
+    cache = derived_cache(snapshot)
+    state = cache.get(key)
+    if state is None:
+        state = _build_state(
+            snapshot, names, cw, nw, ppn=ppn, load_key=load_key, method=method
+        )
+        cache[key] = state
+    return state
+
+
+def _build_state(
+    snapshot: ClusterSnapshot,
+    names: tuple[str, ...],
+    compute_weights: ComputeWeights,
+    network_weights: NetworkWeights,
+    *,
+    ppn: int | None,
+    load_key: str,
+    method: str,
+) -> LoadState:
+    cl = compute_loads(
+        snapshot, compute_weights, nodes=list(names), method=method
+    )
+    nl = network_loads(snapshot, network_weights, nodes=names, method=method)
+    pc_all = effective_proc_counts(snapshot, ppn=ppn, load_key=load_key)
+    pc = {n: pc_all[n] for n in names}
+
+    v = len(names)
+    index = {n: i for i, n in enumerate(names)}
+    cl_vec = np.array([cl[n] for n in names], dtype=np.float64)
+    missing_penalty = max(nl.values()) if nl else 0.0
+    nl_mat = np.full((v, v), missing_penalty, dtype=np.float64)
+    np.fill_diagonal(nl_mat, 0.0)
+    measured = np.zeros((v, v), dtype=bool)
+    for (a, b), value in nl.items():
+        i, j = index[a], index[b]
+        nl_mat[i, j] = nl_mat[j, i] = value
+        measured[i, j] = measured[j, i] = True
+    pc_vec = np.array([pc[n] for n in names], dtype=np.int64)
+    return LoadState(
+        nodes=names,
+        index=index,
+        cl=cl,
+        nl=nl,
+        pc=pc,
+        cl_vec=cl_vec,
+        nl_mat=nl_mat,
+        measured=measured,
+        missing_penalty=missing_penalty,
+        pc_vec=pc_vec,
+    )
+
+
+def addition_cost_matrix(state: LoadState, tradeoff: TradeOff) -> np.ndarray:
+    """All |V|² addition costs at once: row ``v`` holds ``A_v(·)``.
+
+    Element-wise ``α·CL + β·NL`` is the same two-multiply-one-add IEEE
+    sequence the scalar reference uses, so entries are bit-identical to
+    :func:`repro.core.candidate.addition_costs`.
+    """
+    a = tradeoff.alpha * state.cl_vec[None, :] + tradeoff.beta * state.nl_mat
+    np.fill_diagonal(a, 0.0)  # A_v(v) = 0 per Algorithm 1 line 4
+    return a
+
+
+def generate_all_candidates_fast(
+    state: LoadState, n_processes: int, tradeoff: TradeOff
+) -> list[CandidateSubgraph]:
+    """Vectorized Algorithm 1 over every starting node.
+
+    Returns candidates identical (nodes, order, process counts) to
+    :func:`repro.core.candidate.generate_all_candidates` run on the same
+    reference dicts.
+    """
+    if n_processes <= 0:
+        raise ValueError(f"n_processes must be positive, got {n_processes}")
+    v = len(state.nodes)
+    if v == 0:
+        return []
+    costs = addition_cost_matrix(state, tradeoff)
+    # Reference sort key is (cost, u != start) with stable ties on node
+    # order; lexsort's last key is primary and full ties keep ascending
+    # index, which *is* node order.
+    not_start = np.ones_like(costs)
+    np.fill_diagonal(not_start, 0.0)
+    order = np.lexsort((not_start, costs), axis=-1)
+
+    caps = np.maximum(state.pc_vec, 0)[order]  # capacities in visit order
+    cum = np.cumsum(caps, axis=1)
+    covered = cum >= n_processes
+    any_covered = covered.any(axis=1)
+    # Nodes are visited while the running total is short of the request,
+    # so the visit count is (first covering index + 1), or all V nodes.
+    k = np.where(any_covered, covered.argmax(axis=1) + 1, v)
+
+    names = state.nodes
+    out: list[CandidateSubgraph] = []
+    for i in range(v):
+        ki = int(k[i])
+        idx = order[i, :ki]
+        takes = caps[i, :ki].copy()
+        filled = int(cum[i, ki - 1])
+        if filled >= n_processes:
+            # Last visited node is truncated to the remaining need.
+            prev = int(cum[i, ki - 2]) if ki >= 2 else 0
+            takes[-1] = n_processes - prev
+        else:
+            # Cluster exhausted: Algorithm 1 lines 12-13 round-robin the
+            # remainder over the visited nodes, in visit order.
+            extra, first = divmod(n_processes - filled, ki)
+            takes += extra
+            takes[:first] += 1
+        sel_nodes: list[str] = []
+        procs: dict[str, int] = {}
+        for j, take in zip(idx.tolist(), takes.tolist()):
+            if take > 0:
+                name = names[j]
+                sel_nodes.append(name)
+                procs[name] = int(take)
+        out.append(
+            CandidateSubgraph(
+                start=names[i], nodes=tuple(sel_nodes), procs=procs
+            )
+        )
+    return out
+
+
+def score_candidates_fast(
+    state: LoadState,
+    candidates: Sequence[CandidateSubgraph],
+    tradeoff: TradeOff,
+) -> list[ScoredCandidate]:
+    """Vectorized Equation 4 over a candidate set (membership matrix)."""
+    if not candidates:
+        return []
+    c_raw, n_raw, c_norm, n_norm, totals = _score_arrays(
+        state, candidates, tradeoff
+    )
+    return [
+        ScoredCandidate(
+            candidate=cand,
+            compute_cost=float(c_raw[i]),
+            network_cost=float(n_raw[i]),
+            compute_cost_normalized=float(c_norm[i]),
+            network_cost_normalized=float(n_norm[i]),
+            total=float(totals[i]),
+        )
+        for i, cand in enumerate(candidates)
+    ]
+
+
+def _score_arrays(
+    state: LoadState,
+    candidates: Sequence[CandidateSubgraph],
+    tradeoff: TradeOff,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    index = state.index
+    members = np.zeros((len(candidates), len(state.nodes)), dtype=np.float64)
+    for i, cand in enumerate(candidates):
+        members[i, [index[n] for n in cand.nodes]] = 1.0
+    c_raw = members @ state.cl_vec
+    # ½·diag(M·NL·Mᵀ): the diagonal of NL is zero, so each row sums the
+    # group's ordered pairs exactly once in each direction.
+    n_raw = 0.5 * np.einsum("ij,ij->i", members @ state.nl_mat, members)
+    c_total = float(c_raw.sum())
+    n_total = float(n_raw.sum())
+    c_norm = c_raw / c_total if c_total > 0 else np.zeros_like(c_raw)
+    n_norm = n_raw / n_total if n_total > 0 else np.zeros_like(n_raw)
+    totals = tradeoff.alpha * c_norm + tradeoff.beta * n_norm
+    return c_raw, n_raw, c_norm, n_norm, totals
+
+
+def select_best_fast(
+    state: LoadState,
+    candidates: Sequence[CandidateSubgraph],
+    tradeoff: TradeOff,
+) -> ScoredCandidate:
+    """Algorithm 2 on arrays, falling back to the reference under ties.
+
+    The fallback makes the fast path allocation-identical to
+    :func:`repro.core.selection.select_best`: whenever the two best
+    array totals are within ``_TIE_RTOL`` (where float summation order
+    could flip the ranking), the winner is re-derived from the reference
+    dicts stored on the state.
+    """
+    if not candidates:
+        raise ValueError("no candidates to select from")
+    c_raw, n_raw, c_norm, n_norm, totals = _score_arrays(
+        state, candidates, tradeoff
+    )
+    ranked = sorted(
+        range(len(candidates)),
+        key=lambda i: (totals[i], candidates[i].start),
+    )
+    best = ranked[0]
+    if len(ranked) > 1:
+        gap = float(totals[ranked[1]] - totals[best])
+        if gap <= _TIE_RTOL * max(1.0, abs(float(totals[best]))):
+            return select_best(candidates, state.cl, state.nl, tradeoff)
+    return ScoredCandidate(
+        candidate=candidates[best],
+        compute_cost=float(c_raw[best]),
+        network_cost=float(n_raw[best]),
+        compute_cost_normalized=float(c_norm[best]),
+        network_cost_normalized=float(n_norm[best]),
+        total=float(totals[best]),
+    )
+
+
+def best_candidate_fast(
+    state: LoadState, n_processes: int, tradeoff: TradeOff
+) -> ScoredCandidate:
+    """Full fast pipeline: Algorithm 1 + Algorithm 2 on one state."""
+    candidates = [
+        c
+        for c in generate_all_candidates_fast(state, n_processes, tradeoff)
+        if c.nodes
+    ]
+    if not candidates:
+        raise ValueError("candidate generation produced no groups")
+    return select_best_fast(state, candidates, tradeoff)

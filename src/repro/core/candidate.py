@@ -69,6 +69,8 @@ def generate_candidate(
     effective_procs: Mapping[str, int],
     n_processes: int,
     tradeoff: TradeOff,
+    *,
+    missing_penalty: float | None = None,
 ) -> CandidateSubgraph:
     """Algorithm 1: grow the candidate sub-graph for ``start``."""
     if n_processes <= 0:
@@ -79,7 +81,10 @@ def generate_candidate(
         if u not in effective_procs:
             raise KeyError(f"no effective proc count for node {u!r}")
 
-    costs = addition_costs(start, nodes, compute_load, network_load, tradeoff)
+    costs = addition_costs(
+        start, nodes, compute_load, network_load, tradeoff,
+        missing_penalty=missing_penalty,
+    )
     # Stable sort: ties break on node order, keeping runs deterministic.
     order = sorted(nodes, key=lambda u: (costs[u], u != start))
 
@@ -120,10 +125,14 @@ def generate_all_candidates(
     tradeoff: TradeOff,
 ) -> list[CandidateSubgraph]:
     """One candidate per possible starting node (the set ``C`` of §3.3.2)."""
+    # Hoisted: the worst-pair penalty scans all O(V²) measured pairs, so
+    # computing it once here instead of once per starting node saves a
+    # factor of |V| on the dominant scan.
+    missing_penalty = max(network_load.values()) if network_load else 0.0
     return [
         generate_candidate(
             v, nodes, compute_load, network_load, effective_procs,
-            n_processes, tradeoff,
+            n_processes, tradeoff, missing_penalty=missing_penalty,
         )
         for v in nodes
     ]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Collection, Mapping
 
 import numpy as np
 
@@ -132,12 +132,26 @@ class AllocationPolicy(ABC):
         request: AllocationRequest,
         *,
         rng: np.random.Generator | None = None,
+        exclude: Collection[str] | None = None,
     ) -> Allocation:
-        """Choose nodes for the request. Stochastic policies need ``rng``."""
+        """Choose nodes for the request. Stochastic policies need ``rng``.
 
-    def _usable_nodes(self, snapshot: ClusterSnapshot) -> list[str]:
-        """Nodes that are live *and* have monitor data."""
+        ``exclude`` masks nodes out of consideration (e.g. nodes busy
+        with exclusively scheduled jobs) without the caller having to
+        rebuild a filtered snapshot — the policy normalizes loads over
+        exactly the remaining node set, as if the snapshot only
+        contained those nodes.
+        """
+
+    def _usable_nodes(
+        self,
+        snapshot: ClusterSnapshot,
+        exclude: Collection[str] | None = None,
+    ) -> list[str]:
+        """Nodes that are live, monitored, and not masked out."""
         live = set(snapshot.livehosts)
+        if exclude:
+            live -= set(exclude)
         usable = [n for n in snapshot.nodes if n in live]
         if not usable:
             raise AllocationError("no live nodes with monitoring data")

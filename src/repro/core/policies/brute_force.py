@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from typing import Collection
 
 import numpy as np
 
@@ -39,12 +40,13 @@ class BruteForcePolicy(AllocationPolicy):
         request: AllocationRequest,
         *,
         rng: np.random.Generator | None = None,
+        exclude: Collection[str] | None = None,
     ) -> Allocation:
         if request.ppn is None:
             raise AllocationError(
                 "BruteForcePolicy needs ppn to know the group size"
             )
-        usable = self._usable_nodes(snapshot)
+        usable = self._usable_nodes(snapshot, exclude)
         k = min(request.nodes_needed, len(usable))
         n_subsets = math.comb(len(usable), k)
         if n_subsets > MAX_SUBSETS:
@@ -66,9 +68,18 @@ class BruteForcePolicy(AllocationPolicy):
         best_score = math.inf
         # Deterministic sample to set the normalizers.
         mean_c = sum(cl.values()) / len(cl) * k
+        # Hoisted: the default penalty rescans all O(V²) measured pairs
+        # per total_group_network_load call; compute it once per search.
+        missing_penalty = max(nl.values()) if nl else 0.0
         sample = list(itertools.islice(itertools.combinations(usable, k), 50))
         mean_n = (
-            sum(total_group_network_load(nl, g) for g in sample) / len(sample)
+            sum(
+                total_group_network_load(
+                    nl, g, missing_penalty=missing_penalty
+                )
+                for g in sample
+            )
+            / len(sample)
             if sample
             else 1.0
         )
@@ -76,7 +87,9 @@ class BruteForcePolicy(AllocationPolicy):
         wn = tradeoff.beta / mean_n if mean_n > 0 else 0.0
         for group in groups:
             c = sum(cl[u] for u in group)
-            n = total_group_network_load(nl, group)
+            n = total_group_network_load(
+                nl, group, missing_penalty=missing_penalty
+            )
             score = wc * c + wn * n
             if score < best_score:
                 best_score = score

@@ -25,13 +25,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Collection, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.compute_load import compute_loads
-from repro.core.effective_procs import effective_proc_counts
-from repro.core.network_load import PairKey, network_loads
+from repro.core.arrays import load_state
+from repro.core.network_load import PairKey
 from repro.core.policies.base import (
     Allocation,
     AllocationError,
@@ -104,14 +103,21 @@ class HierarchicalNetworkLoadAwarePolicy(AllocationPolicy):
         request: AllocationRequest,
         *,
         rng: np.random.Generator | None = None,
+        exclude: Collection[str] | None = None,
     ) -> Allocation:
-        usable = self._usable_nodes(snapshot)
-        cl = compute_loads(snapshot, request.compute_weights, nodes=usable)
-        nl = network_loads(snapshot, request.network_weights, nodes=usable)
-        pc_all = effective_proc_counts(
-            snapshot, ppn=request.ppn, load_key=self.load_key
+        usable = self._usable_nodes(snapshot, exclude)
+        # The NL half shares the snapshot-keyed LoadState cache with the
+        # flat policy: Equations 1-3 are computed (and memoized) once per
+        # (snapshot, node subset, weights) no matter which policy asks.
+        state = load_state(
+            snapshot,
+            nodes=usable,
+            compute_weights=request.compute_weights,
+            network_weights=request.network_weights,
+            ppn=request.ppn,
+            load_key=self.load_key,
         )
-        pc = {n: pc_all[n] for n in usable}
+        cl, nl, pc = state.cl, state.nl, state.pc
 
         groups = self._groups_from_network(snapshot, usable)
         summaries, cross = summarize_groups(groups, cl, nl, pc)

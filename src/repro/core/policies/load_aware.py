@@ -10,6 +10,7 @@ network-aware algorithm at larger node counts.
 from __future__ import annotations
 
 import math
+from typing import Collection
 
 import numpy as np
 
@@ -34,8 +35,9 @@ class LoadAwarePolicy(AllocationPolicy):
         request: AllocationRequest,
         *,
         rng: np.random.Generator | None = None,
+        exclude: Collection[str] | None = None,
     ) -> Allocation:
-        usable = self._usable_nodes(snapshot)
+        usable = self._usable_nodes(snapshot, exclude)
         loads = compute_loads(snapshot, request.compute_weights, nodes=usable)
         if request.ppn is not None:
             k = min(request.nodes_needed, len(usable))

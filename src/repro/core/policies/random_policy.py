@@ -8,6 +8,7 @@ hostfile without checking the cluster state.
 from __future__ import annotations
 
 import math
+from typing import Collection
 
 import numpy as np
 
@@ -32,10 +33,11 @@ class RandomPolicy(AllocationPolicy):
         request: AllocationRequest,
         *,
         rng: np.random.Generator | None = None,
+        exclude: Collection[str] | None = None,
     ) -> Allocation:
         if rng is None:
             raise AllocationError("RandomPolicy requires an rng")
-        usable = self._usable_nodes(snapshot)
+        usable = self._usable_nodes(snapshot, exclude)
         if request.ppn is not None:
             k = min(request.nodes_needed, len(usable))
         else:

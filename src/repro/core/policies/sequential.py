@@ -9,6 +9,7 @@ physical proximity, so consecutive names are topological neighbours.
 from __future__ import annotations
 
 import math
+from typing import Collection
 
 import numpy as np
 
@@ -33,10 +34,11 @@ class SequentialPolicy(AllocationPolicy):
         request: AllocationRequest,
         *,
         rng: np.random.Generator | None = None,
+        exclude: Collection[str] | None = None,
     ) -> Allocation:
         if rng is None:
             raise AllocationError("SequentialPolicy requires an rng")
-        usable = self._usable_nodes(snapshot)  # snapshot preserves spec order
+        usable = self._usable_nodes(snapshot, exclude)  # keeps spec order
         if request.ppn is not None:
             k = min(request.nodes_needed, len(usable))
         else:

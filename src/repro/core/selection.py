@@ -42,10 +42,15 @@ def score_candidates(
     """Compute ``T_Gv`` for every candidate."""
     if not candidates:
         return []
+    # Hoisted: the worst-pair penalty is a full O(V²) scan; compute it
+    # once for the whole candidate set instead of once per candidate.
+    missing_penalty = max(network_load.values()) if network_load else 0.0
     raw: list[tuple[float, float]] = []
     for cand in candidates:
         c = sum(compute_load[u] for u in cand.nodes)
-        n = total_group_network_load(network_load, cand.nodes)
+        n = total_group_network_load(
+            network_load, cand.nodes, missing_penalty=missing_penalty
+        )
         raw.append((c, n))
     c_total = sum(c for c, _ in raw)
     n_total = sum(n for _, n in raw)

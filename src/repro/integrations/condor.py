@@ -14,7 +14,7 @@ so experiments can measure exactly what the missing network term costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Collection
 
 import numpy as np
 
@@ -88,8 +88,9 @@ class CondorLikePolicy(AllocationPolicy):
         request: AllocationRequest,
         *,
         rng: np.random.Generator | None = None,
+        exclude: Collection[str] | None = None,
     ) -> Allocation:
-        usable = self._usable_nodes(snapshot)
+        usable = self._usable_nodes(snapshot, exclude)
         scored = sorted(
             usable,
             key=lambda n: (-self.rank.evaluate(snapshot.nodes[n]), n),

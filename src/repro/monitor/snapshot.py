@@ -89,6 +89,24 @@ class ClusterSnapshot:
         return list(self.nodes)
 
 
+def derived_cache(snapshot: ClusterSnapshot) -> dict:
+    """Per-snapshot memo space for structures derived from its contents.
+
+    A snapshot is immutable, so anything computed from it (normalized
+    load vectors, dense network-load matrices, …) stays valid for the
+    snapshot's lifetime.  The cache lives on the instance itself — it is
+    garbage-collected with the snapshot and never leaks across snapshots
+    — and is *not* a dataclass field, so equality, ``repr`` and
+    ``dataclasses.replace`` are unaffected (a ``replace``d snapshot
+    starts with a fresh, empty cache).
+    """
+    cache = getattr(snapshot, "_derived_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(snapshot, "_derived_cache", cache)
+    return cache
+
+
 def build_snapshot(
     store: SharedStore,
     cluster: Cluster,

@@ -102,15 +102,23 @@ class ClusterScheduler:
     def _start(self, job: ScheduledJob) -> bool:
         req = job.request
         snapshot = self._snapshot_source()
-        if self.exclusive_nodes and self._busy_nodes:
-            snapshot = _without_nodes(snapshot, self._busy_nodes)
+        # Busy nodes are masked out via the policies' exclude parameter —
+        # rebuilding a filtered snapshot would copy all O(V²) pair maps
+        # per job, and would defeat the snapshot-keyed LoadState cache.
+        exclude = (
+            frozenset(self._busy_nodes)
+            if self.exclusive_nodes and self._busy_nodes
+            else None
+        )
         request = AllocationRequest(
             n_processes=req.n_processes,
             ppn=req.ppn,
             tradeoff=req.app.recommended_tradeoff(),
         )
         try:
-            allocation = self.policy.allocate(snapshot, request, rng=self._rng)
+            allocation = self.policy.allocate(
+                snapshot, request, rng=self._rng, exclude=exclude
+            )
         except AllocationError:
             return False
         if self.exclusive_nodes:
@@ -197,27 +205,3 @@ class ClusterScheduler:
         return SchedulerStats.from_jobs(self.jobs)
 
 
-def _without_nodes(
-    snapshot: ClusterSnapshot, excluded: set[str]
-) -> ClusterSnapshot:
-    keep = {n for n in snapshot.nodes if n not in excluded}
-    return ClusterSnapshot(
-        time=snapshot.time,
-        nodes={n: v for n, v in snapshot.nodes.items() if n in keep},
-        bandwidth_mbs={
-            k: v
-            for k, v in snapshot.bandwidth_mbs.items()
-            if k[0] in keep and k[1] in keep
-        },
-        latency_us={
-            k: v
-            for k, v in snapshot.latency_us.items()
-            if k[0] in keep and k[1] in keep
-        },
-        peak_bandwidth_mbs={
-            k: v
-            for k, v in snapshot.peak_bandwidth_mbs.items()
-            if k[0] in keep and k[1] in keep
-        },
-        livehosts=tuple(n for n in snapshot.livehosts if n in keep),
-    )

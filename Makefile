@@ -14,11 +14,13 @@ bench-full:
 bench-smoke:
 	REPRO_SMOKE=1 pytest benchmarks/ --benchmark-only
 
-# Machine-readable allocator-overhead timings for trajectory tracking
-# (compare BENCH_allocator.json across commits; see docs/PERFORMANCE.md).
+# Machine-readable timings for trajectory tracking (compare
+# BENCH_allocator.json / BENCH_broker.json across commits; see
+# docs/PERFORMANCE.md and docs/BROKER.md).
 bench-json:
 	pytest benchmarks/bench_allocator_overhead.py --benchmark-only \
 		--benchmark-json=BENCH_allocator.json
+	pytest benchmarks/bench_broker.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,47 @@
+"""Allocation broker service — the paper's Resource Manager as a daemon.
+
+The one-shot library/CLI path rebuilds a simulated cluster per call; this
+package turns allocation into a *persistent service* the way the paper
+deploys it: a long-lived asyncio daemon owns the monitor state and a
+single allocation pipeline, and MPI launchers talk to it over a tiny
+JSON-lines-over-TCP protocol.
+
+* :mod:`repro.broker.protocol` — versioned request/response schema,
+  validation, structured error codes;
+* :mod:`repro.broker.service` — the transport-free allocation engine:
+  lease lifecycle, micro-batch decisions against one shared
+  :class:`~repro.core.arrays.LoadState`, decision memoization, metrics;
+* :mod:`repro.broker.server` — the asyncio JSON-lines daemon with a
+  bounded admission queue (``BUSY`` backpressure) and an expiry sweeper;
+* :mod:`repro.broker.client` — the synchronous client library with
+  connect retries and timeouts;
+* :mod:`repro.broker.metrics` — counters, batch-size histogram and
+  p50/p99 decision-latency tracking surfaced by the ``status`` RPC.
+"""
+
+from repro.broker.client import BrokerClient, BrokerError, Grant
+from repro.broker.metrics import BrokerMetrics
+from repro.broker.protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    Response,
+)
+from repro.broker.server import BrokerDaemonThread, BrokerServer
+from repro.broker.service import BrokerService
+
+__all__ = [
+    "BrokerClient",
+    "BrokerDaemonThread",
+    "BrokerError",
+    "BrokerMetrics",
+    "BrokerServer",
+    "BrokerService",
+    "ErrorCode",
+    "Grant",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Response",
+]

@@ -1,0 +1,217 @@
+"""Synchronous client library for the broker daemon.
+
+Small by design: a blocking socket, one JSON line per call, structured
+errors surfaced as :class:`BrokerError`.  Connection establishment
+retries with backoff (daemons take a moment to warm the scenario), every
+call carries a timeout, and a broken connection is re-established
+transparently on the next call — so scripted callers get at-most-once
+submission with explicit failures, never hangs.
+
+.. code-block:: python
+
+    from repro.broker import BrokerClient
+
+    with BrokerClient(port=7077) as client:
+        grant = client.allocate(n=32, ppn=4, ttl_s=60.0)
+        try:
+            run_mpi_job(grant.hostfile)
+            client.renew(grant.lease_id)
+        finally:
+            client.release(grant.lease_id)
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.broker.protocol import PROTOCOL_VERSION, encode_request
+
+
+class BrokerError(Exception):
+    """A structured failure from the daemon (or the transport).
+
+    ``code`` matches :class:`repro.broker.protocol.ErrorCode` values,
+    plus the client-side ``CONNECT`` and ``TIMEOUT``.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A successful allocation as seen by the client."""
+
+    lease_id: str
+    nodes: tuple[str, ...]
+    procs: Mapping[str, int]
+    hostfile: str
+    policy: str
+    ttl_s: float
+    expires_at: float
+
+
+class BrokerClient:
+    """Blocking JSON-lines client with connect retries and timeouts."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        *,
+        timeout_s: float = 10.0,
+        connect_retries: int = 20,
+        retry_delay_s: float = 0.1,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive: {timeout_s}")
+        if connect_retries < 0 or retry_delay_s < 0:
+            raise ValueError("retries/delay must be non-negative")
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.connect_retries = connect_retries
+        self.retry_delay_s = retry_delay_s
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._ids = itertools.count(1)
+
+    # -- connection -----------------------------------------------------
+    def connect(self) -> "BrokerClient":
+        """Establish the connection, retrying while the daemon boots."""
+        if self._sock is not None:
+            return self
+        last: Exception | None = None
+        for attempt in range(self.connect_retries + 1):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._sock = sock
+                self._rfile = sock.makefile("rb")
+                return self
+            except OSError as exc:
+                last = exc
+                if attempt < self.connect_retries:
+                    time.sleep(self.retry_delay_s)
+        raise BrokerError(
+            "CONNECT",
+            f"cannot reach broker at {self.host}:{self.port} "
+            f"after {self.connect_retries + 1} attempts: {last}",
+        )
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "BrokerClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- RPC ------------------------------------------------------------
+    def call(self, op: str, params: dict[str, Any] | None = None) -> dict:
+        """One request/response round-trip; returns the result dict.
+
+        Raises :class:`BrokerError` with the server's error code on
+        failure responses, ``TIMEOUT`` when the daemon doesn't answer in
+        ``timeout_s``, and ``CONNECT`` when the connection cannot be
+        (re-)established.
+        """
+        self.connect()
+        assert self._sock is not None and self._rfile is not None
+        req_id = f"c{next(self._ids)}"
+        line = encode_request(req_id, op, params)
+        try:
+            self._sock.sendall(line)
+            raw = self._rfile.readline()
+        except socket.timeout:
+            self.close()
+            raise BrokerError(
+                "TIMEOUT", f"no response to {op!r} within {self.timeout_s}s"
+            ) from None
+        except OSError as exc:
+            self.close()
+            raise BrokerError("CONNECT", f"connection lost: {exc}") from None
+        if not raw:
+            self.close()
+            raise BrokerError("CONNECT", "server closed the connection")
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self.close()
+            raise BrokerError(
+                "INTERNAL", f"unparseable response: {exc}"
+            ) from None
+        if obj.get("v") != PROTOCOL_VERSION:
+            raise BrokerError(
+                "UNSUPPORTED_VERSION",
+                f"server answered v{obj.get('v')}, client speaks "
+                f"v{PROTOCOL_VERSION}",
+            )
+        if not obj.get("ok"):
+            err = obj.get("error") or {}
+            raise BrokerError(
+                str(err.get("code", "INTERNAL")),
+                str(err.get("message", "unknown error")),
+            )
+        result = obj.get("result")
+        return result if isinstance(result, dict) else {}
+
+    # -- typed operations ----------------------------------------------
+    def allocate(
+        self,
+        n: int,
+        *,
+        ppn: int | None = None,
+        alpha: float = 0.3,
+        policy: str | None = None,
+        ttl_s: float | None = None,
+    ) -> Grant:
+        """Request nodes for ``n`` processes; returns the lease grant."""
+        result = self.call(
+            "allocate",
+            {"n": n, "ppn": ppn, "alpha": alpha, "policy": policy,
+             "ttl_s": ttl_s},
+        )
+        return Grant(
+            lease_id=str(result["lease_id"]),
+            nodes=tuple(result["nodes"]),
+            procs={str(k): int(v) for k, v in result["procs"].items()},
+            hostfile=str(result["hostfile"]),
+            policy=str(result["policy"]),
+            ttl_s=float(result["ttl_s"]),
+            expires_at=float(result["expires_at"]),
+        )
+
+    def renew(self, lease_id: str, *, ttl_s: float | None = None) -> dict:
+        """Extend a lease's TTL; returns the renewal record."""
+        return self.call("renew", {"lease_id": lease_id, "ttl_s": ttl_s})
+
+    def release(self, lease_id: str) -> dict:
+        """Release a lease; returns the release record."""
+        return self.call("release", {"lease_id": lease_id})
+
+    def status(self) -> dict:
+        """The daemon's status/metrics block."""
+        return self.call("status")

@@ -1,0 +1,290 @@
+"""Wire protocol of the allocation broker (JSON lines over TCP).
+
+One request per line, one response line per request, always in order:
+
+.. code-block:: json
+
+    {"v": 1, "id": "c1-7", "op": "allocate",
+     "params": {"n": 32, "ppn": 4, "alpha": 0.3, "ttl_s": 60.0}}
+
+    {"v": 1, "id": "c1-7", "ok": true, "result": {"lease_id": "L00000001",
+     "nodes": ["node-03", "..."], "procs": {"node-03": 4}, "...": "..."}}
+
+Failures carry a structured error instead of a result:
+
+.. code-block:: json
+
+    {"v": 1, "id": "c1-8", "ok": false,
+     "error": {"code": "BUSY", "message": "admission queue full"}}
+
+Everything here is transport-free: parsing, validation and encoding only.
+The daemon (:mod:`repro.broker.server`) and the client library
+(:mod:`repro.broker.client`) share this module, so a version or schema
+change happens in exactly one place.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Protocol version spoken by this build.  Requests carrying a different
+#: ``v`` are rejected with ``UNSUPPORTED_VERSION`` (no negotiation — the
+#: client library always sends the version it was built with).
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line; longer lines are a client bug (or an
+#: attack) and are rejected before JSON parsing.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class ErrorCode(str, enum.Enum):
+    """Structured failure codes carried in error responses."""
+
+    #: malformed JSON, missing/invalid fields, bad parameter values
+    BAD_REQUEST = "BAD_REQUEST"
+    #: request ``v`` differs from :data:`PROTOCOL_VERSION`
+    UNSUPPORTED_VERSION = "UNSUPPORTED_VERSION"
+    #: ``op`` is not one of allocate/renew/release/status
+    UNKNOWN_OP = "UNKNOWN_OP"
+    #: admission queue full — retry later (backpressure, not failure)
+    BUSY = "BUSY"
+    #: the policy could not produce an allocation (no capacity/data)
+    NO_CAPACITY = "NO_CAPACITY"
+    #: §6 saturation guard tripped — the broker recommends waiting
+    WAIT = "WAIT"
+    #: ``lease_id`` was never granted, or already released/reclaimed
+    UNKNOWN_LEASE = "UNKNOWN_LEASE"
+    #: the lease's TTL elapsed; its nodes have been reclaimed
+    EXPIRED_LEASE = "EXPIRED_LEASE"
+    #: unexpected server-side failure (bug — check daemon logs)
+    INTERNAL = "INTERNAL"
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served, with its wire error code."""
+
+    def __init__(self, code: ErrorCode, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+#: Operations a client may request.
+OPS = ("allocate", "renew", "release", "status")
+
+
+@dataclass(frozen=True)
+class AllocateParams:
+    """Parameters of an ``allocate`` request."""
+
+    n_processes: int
+    ppn: int | None = None
+    alpha: float = 0.3
+    policy: str | None = None
+    ttl_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_processes <= 0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.n must be a positive integer, got {self.n_processes}",
+            )
+        if self.ppn is not None and self.ppn <= 0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.ppn must be a positive integer, got {self.ppn}",
+            )
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.alpha must lie in [0, 1], got {self.alpha}",
+            )
+        if self.ttl_s is not None and self.ttl_s <= 0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.ttl_s must be positive, got {self.ttl_s}",
+            )
+
+
+@dataclass(frozen=True)
+class RenewParams:
+    """Parameters of a ``renew`` request."""
+
+    lease_id: str
+    ttl_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.lease_id:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "params.lease_id must be non-empty"
+            )
+        if self.ttl_s is not None and self.ttl_s <= 0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.ttl_s must be positive, got {self.ttl_s}",
+            )
+
+
+@dataclass(frozen=True)
+class ReleaseParams:
+    """Parameters of a ``release`` request."""
+
+    lease_id: str
+
+    def __post_init__(self) -> None:
+        if not self.lease_id:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "params.lease_id must be non-empty"
+            )
+
+
+@dataclass(frozen=True)
+class StatusParams:
+    """Parameters of a ``status`` request (none defined in v1)."""
+
+
+Params = AllocateParams | RenewParams | ReleaseParams | StatusParams
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed, validated client request."""
+
+    id: str
+    op: str
+    params: Params
+    v: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Response:
+    """A server response; exactly one of ``result``/``error`` is set."""
+
+    id: str
+    ok: bool
+    result: Mapping[str, Any] | None = None
+    error: ProtocolError | None = None
+    v: int = PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# parsing
+
+def _require(obj: Mapping[str, Any], key: str, types: tuple, where: str) -> Any:
+    value = obj.get(key)
+    if not isinstance(value, types) or isinstance(value, bool):
+        names = "/".join(t.__name__ for t in types)
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"{where}.{key} must be {names}, got {value!r}"
+        )
+    return value
+
+
+def _opt(obj: Mapping[str, Any], key: str, types: tuple, where: str) -> Any:
+    if obj.get(key) is None:
+        return None
+    return _require(obj, key, types, where)
+
+
+def parse_request(line: str | bytes) -> Request:
+    """Parse one wire line into a :class:`Request`.
+
+    Raises :class:`ProtocolError` with ``BAD_REQUEST``,
+    ``UNSUPPORTED_VERSION`` or ``UNKNOWN_OP`` on anything off-spec.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"request exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"request is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, "request must be a JSON object"
+        )
+    version = _require(obj, "v", (int,), "request")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ErrorCode.UNSUPPORTED_VERSION,
+            f"server speaks v{PROTOCOL_VERSION}, request is v{version}",
+        )
+    req_id = str(_require(obj, "id", (str, int), "request"))
+    op = _require(obj, "op", (str,), "request")
+    raw = obj.get("params") or {}
+    if not isinstance(raw, dict):
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, "request.params must be an object"
+        )
+    if op == "allocate":
+        alpha = _opt(raw, "alpha", (int, float), "params")
+        params: Params = AllocateParams(
+            n_processes=_require(raw, "n", (int,), "params"),
+            ppn=_opt(raw, "ppn", (int,), "params"),
+            alpha=0.3 if alpha is None else float(alpha),
+            policy=_opt(raw, "policy", (str,), "params"),
+            ttl_s=_opt(raw, "ttl_s", (int, float), "params"),
+        )
+    elif op == "renew":
+        params = RenewParams(
+            lease_id=_require(raw, "lease_id", (str,), "params"),
+            ttl_s=_opt(raw, "ttl_s", (int, float), "params"),
+        )
+    elif op == "release":
+        params = ReleaseParams(
+            lease_id=_require(raw, "lease_id", (str,), "params")
+        )
+    elif op == "status":
+        params = StatusParams()
+    else:
+        raise ProtocolError(
+            ErrorCode.UNKNOWN_OP, f"unknown op {op!r}; choose from {OPS}"
+        )
+    return Request(id=req_id, op=op, params=params, v=version)
+
+
+# ----------------------------------------------------------------------
+# encoding
+
+def encode_request(
+    req_id: str, op: str, params: Mapping[str, Any] | None = None
+) -> bytes:
+    """One request wire line (used by the client library)."""
+    obj: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": req_id, "op": op}
+    if params:
+        obj["params"] = {k: v for k, v in params.items() if v is not None}
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
+
+
+def ok_response(req_id: str, result: Mapping[str, Any]) -> Response:
+    """A success :class:`Response`."""
+    return Response(id=req_id, ok=True, result=result)
+
+
+def error_response(req_id: str, error: ProtocolError) -> Response:
+    """A failure :class:`Response`."""
+    return Response(id=req_id, ok=False, error=error)
+
+
+def encode_response(response: Response) -> bytes:
+    """One response wire line."""
+    obj: dict[str, Any] = {
+        "v": response.v,
+        "id": response.id,
+        "ok": response.ok,
+    }
+    if response.ok:
+        obj["result"] = response.result or {}
+    else:
+        assert response.error is not None
+        obj["error"] = {
+            "code": response.error.code.value,
+            "message": response.error.message,
+        }
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode()

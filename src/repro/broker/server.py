@@ -1,0 +1,353 @@
+"""The broker daemon — asyncio JSON-lines over TCP.
+
+Transport architecture:
+
+* one :func:`asyncio.start_server` connection handler per client,
+  reading newline-delimited requests and writing one response line per
+  request, in order;
+* ``allocate`` requests flow through a **bounded admission queue** into
+  a single batcher task.  The batcher drains whatever accumulated while
+  the previous batch was being decided (plus, optionally, waits
+  ``batch_window_s`` for stragglers), then decides the whole batch
+  against one shared snapshot via
+  :meth:`~repro.broker.service.BrokerService.allocate_batch`.  When the
+  queue is full the connection handler answers ``BUSY`` immediately —
+  explicit backpressure instead of unbounded buffering;
+* ``renew``/``release``/``status`` are cheap bookkeeping and are served
+  inline by the connection handler;
+* a **sweeper task** reclaims expired leases every ``sweep_period_s`` so
+  capacity held by dead clients returns to the pool even if nobody ever
+  allocates again.
+
+:class:`BrokerDaemonThread` hosts the event loop in a daemon thread so
+synchronous code (benchmarks, tests, notebooks) can run a broker without
+touching asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+from typing import Any
+
+from repro.broker.protocol import (
+    AllocateParams,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    Response,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.broker.service import BrokerService
+
+log = logging.getLogger(__name__)
+
+
+class BrokerServer:
+    """Asyncio TCP daemon around a :class:`BrokerService`.
+
+    ``port=0`` binds an ephemeral port (read it back from ``self.port``
+    after :meth:`start`).  ``batch_window_s=0`` (the default) batches
+    *adaptively*: each batch is whatever arrived while the previous one
+    was being decided — no added latency when traffic is light, large
+    batches exactly when traffic is heavy.  A positive window additionally
+    waits that long for stragglers before deciding.
+    """
+
+    def __init__(
+        self,
+        service: BrokerService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window_s: float = 0.0,
+        max_batch: int = 64,
+        max_queue: int = 128,
+        sweep_period_s: float = 1.0,
+    ) -> None:
+        if batch_window_s < 0:
+            raise ValueError(f"batch_window_s must be >= 0: {batch_window_s}")
+        if max_batch <= 0 or max_queue <= 0:
+            raise ValueError("max_batch and max_queue must be positive")
+        if sweep_period_s <= 0:
+            raise ValueError(f"sweep_period_s must be positive: {sweep_period_s}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.sweep_period_s = sweep_period_s
+        self._server: asyncio.base_events.Server | None = None
+        self._queue: asyncio.Queue | None = None
+        self._tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    async def start(
+        self, *, start_batcher: bool = True, start_sweeper: bool = True
+    ) -> tuple[str, int]:
+        """Bind and start serving; returns the actual ``(host, port)``.
+
+        The batcher/sweeper switches exist for deterministic tests (a
+        paused batcher makes the admission queue fill synchronously).
+        """
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        if start_batcher:
+            self._tasks.append(asyncio.ensure_future(self._batcher()))
+        if start_sweeper:
+            self._tasks.append(asyncio.ensure_future(self._sweeper()))
+        log.info("broker listening on %s:%d", self.host, self.port)
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (after :meth:`start`)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel background tasks, fail queued waiters."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()
+        if self._queue is not None:
+            while not self._queue.empty():
+                _, fut = self._queue.get_nowait()
+                if not fut.done():
+                    fut.set_exception(
+                        ProtocolError(ErrorCode.INTERNAL, "server shutting down")
+                    )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                response = await self._handle_line(line)
+                writer.write(encode_response(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            log.debug("connection from %s closed", peer)
+
+    async def _handle_line(self, line: bytes) -> Response:
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.service.metrics.protocol_errors += 1
+            req_id = _best_effort_id(line)
+            return error_response(req_id, exc)
+        self.service.metrics.record_request(request.op)
+        try:
+            return await self._dispatch(request)
+        except ProtocolError as exc:
+            return error_response(request.id, exc)
+        except Exception as exc:  # noqa: BLE001 — daemon must not die
+            log.exception("internal error serving %s", request.op)
+            return error_response(
+                request.id,
+                ProtocolError(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"),
+            )
+
+    async def _dispatch(self, request: Request) -> Response:
+        if request.op == "allocate":
+            return await self._admit(request)
+        if request.op == "renew":
+            return ok_response(request.id, self.service.renew(request.params))
+        if request.op == "release":
+            return ok_response(request.id, self.service.release(request.params))
+        assert request.op == "status"
+        return ok_response(request.id, self.service.status())
+
+    async def _admit(self, request: Request) -> Response:
+        """Queue an allocate request, or reject with ``BUSY`` when full."""
+        assert self._queue is not None, "server not started"
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request.params, fut))
+        except asyncio.QueueFull:
+            self.service.metrics.busy_rejected += 1
+            return error_response(
+                request.id,
+                ProtocolError(
+                    ErrorCode.BUSY,
+                    f"admission queue full ({self.max_queue}); retry later",
+                ),
+            )
+        outcome = await fut
+        if isinstance(outcome, ProtocolError):
+            return error_response(request.id, outcome)
+        return ok_response(request.id, outcome)
+
+    # ------------------------------------------------------------------
+    async def _batcher(self) -> None:
+        """Collect micro-batches off the admission queue and decide them."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch: list[tuple[AllocateParams, asyncio.Future]] = [first]
+            if self.batch_window_s > 0:
+                deadline = loop.time() + self.batch_window_s
+                while len(batch) < self.max_batch:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), timeout)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                results = self.service.allocate_batch([p for p, _ in batch])
+            except Exception as exc:  # noqa: BLE001 — keep the batcher alive
+                log.exception("batch decision failed")
+                err = ProtocolError(
+                    ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+                results = [err] * len(batch)
+            for (_, fut), result in zip(batch, results):
+                if not fut.done():
+                    fut.set_result(result)
+
+    async def _sweeper(self) -> None:
+        """Periodically reclaim expired leases."""
+        while True:
+            await asyncio.sleep(self.sweep_period_s)
+            reclaimed = self.service.sweep_expired()
+            if reclaimed:
+                log.info(
+                    "sweeper reclaimed %d expired lease(s): %s",
+                    len(reclaimed),
+                    ", ".join(l.lease_id for l in reclaimed),
+                )
+
+
+def _best_effort_id(line: bytes) -> str:
+    """Salvage the request id from an unparseable line (for the reply)."""
+    import json
+
+    try:
+        obj = json.loads(line)
+        if isinstance(obj, dict) and isinstance(obj.get("id"), (str, int)):
+            return str(obj["id"])
+    except Exception:  # noqa: BLE001
+        pass
+    return ""
+
+
+class BrokerDaemonThread:
+    """A broker daemon running its event loop in a background thread.
+
+    Lets synchronous code (benchmarks, the CLI smoke test, notebooks)
+    start a real TCP broker, talk to it with the blocking
+    :class:`~repro.broker.client.BrokerClient`, and tear it down —
+    without writing any asyncio.
+    """
+
+    def __init__(self, server: BrokerServer) -> None:
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        return self.server.port
+
+    def start(self, timeout_s: float = 10.0) -> "BrokerDaemonThread":
+        """Start the loop thread and wait until the server is listening."""
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def boot() -> None:
+                try:
+                    await self.server.start()
+                except BaseException as exc:  # noqa: BLE001
+                    self._start_error = exc
+                    raise
+                finally:
+                    self._started.set()
+
+            try:
+                loop.run_until_complete(boot())
+            except BaseException:  # noqa: BLE001 — reported via _start_error
+                return
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.server.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-broker", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("broker daemon failed to start in time")
+        if self._start_error is not None:
+            raise RuntimeError(
+                f"broker daemon failed to start: {self._start_error}"
+            )
+        return self
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Stop the server and join the loop thread."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "BrokerDaemonThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

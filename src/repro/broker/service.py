@@ -1,0 +1,288 @@
+"""The broker's decision engine — transport-free, deterministic, testable.
+
+:class:`BrokerService` owns the pieces a persistent Resource Manager
+needs beyond the one-shot :class:`~repro.core.broker.ResourceBroker`:
+
+* a **lease table** (:class:`~repro.scheduler.leases.LeaseTable`) so
+  grants expire and dead clients cannot leak capacity;
+* **micro-batch decisions**: :meth:`allocate_batch` resolves every
+  request of a batch against *one* snapshot object, so the PR-1
+  snapshot-keyed :class:`~repro.core.arrays.LoadState` memo is computed
+  once and shared — concurrent requests pay Eq. 1–2 once, not N times;
+* **decision memoization**: allocation is a pure function of
+  ``(snapshot, request, held nodes)``, so repeated identical requests on
+  an unchanged cluster return the cached answer in microseconds.  The
+  memo lives in the snapshot's ``derived_cache`` and therefore can never
+  outlive the snapshot it was computed from;
+* **metrics** for every grant/denial/renewal/expiry and decision latency.
+
+The asyncio daemon in :mod:`repro.broker.server` is a thin transport
+around this class; tests drive it directly with an injected clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.broker.metrics import BrokerMetrics
+from repro.broker.protocol import (
+    PROTOCOL_VERSION,
+    AllocateParams,
+    ErrorCode,
+    ProtocolError,
+    ReleaseParams,
+    RenewParams,
+)
+from repro.core.broker import ResourceBroker, WaitRecommended
+from repro.core.policies import (
+    Allocation,
+    AllocationError,
+    AllocationRequest,
+    PAPER_POLICIES,
+)
+from repro.core.weights import TradeOff
+from repro.monitor.snapshot import (
+    CachedSnapshotSource,
+    ClusterSnapshot,
+    derived_cache,
+)
+from repro.scheduler.leases import Lease, LeaseError, LeaseTable
+
+#: service-level counters start from this wall-clock origin
+_DecisionKey = tuple
+
+
+class BrokerService:
+    """Lease-granting allocation service over a snapshot source.
+
+    ``clock`` drives lease TTLs and uptime; inject a fake for
+    deterministic expiry tests.  ``snapshot_source`` is any
+    ``() -> ClusterSnapshot`` callable — wrap it in
+    :class:`~repro.monitor.snapshot.CachedSnapshotSource` to bound
+    rebuild frequency (the serve command does).
+    """
+
+    def __init__(
+        self,
+        snapshot_source: Callable[[], ClusterSnapshot],
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        default_policy: str = "network_load_aware",
+        default_ttl_s: float = 60.0,
+        min_ttl_s: float = 1.0,
+        max_ttl_s: float = 3600.0,
+        wait_threshold_load_per_core: float | None = None,
+        rng: np.random.Generator | None = None,
+        memoize_decisions: bool = True,
+    ) -> None:
+        if default_policy not in PAPER_POLICIES:
+            raise ValueError(
+                f"unknown policy {default_policy!r}; "
+                f"choose from {sorted(PAPER_POLICIES)}"
+            )
+        self._snapshots = snapshot_source
+        self._clock = clock
+        self.default_policy = default_policy
+        self._broker = ResourceBroker(
+            snapshot_source,
+            wait_threshold_load_per_core=wait_threshold_load_per_core,
+        )
+        self.leases = LeaseTable(
+            clock=clock,
+            default_ttl_s=default_ttl_s,
+            min_ttl_s=min_ttl_s,
+            max_ttl_s=max_ttl_s,
+        )
+        self.metrics = BrokerMetrics()
+        self._rng = rng
+        self.memoize_decisions = memoize_decisions
+        self._started_at = clock()
+
+    # ------------------------------------------------------------------
+    # allocate (micro-batched)
+
+    def allocate_batch(
+        self, batch: list[AllocateParams]
+    ) -> list[dict[str, Any] | ProtocolError]:
+        """Decide a micro-batch of allocate requests against one snapshot.
+
+        Requests are decided in order; each grant's nodes join the
+        exclusion mask of the requests behind it, so one batch can never
+        double-book a node.  Returns, per request, either a result dict
+        for the wire or a :class:`ProtocolError` (``NO_CAPACITY``/
+        ``WAIT``).
+        """
+        if not batch:
+            return []
+        snapshot = self._snapshots()
+        self.metrics.record_batch(len(batch))
+        out: list[dict[str, Any] | ProtocolError] = []
+        for params in batch:
+            out.append(self._allocate_one(snapshot, params))
+        return out
+
+    def _allocate_one(
+        self, snapshot: ClusterSnapshot, params: AllocateParams
+    ) -> dict[str, Any] | ProtocolError:
+        policy = params.policy or self.default_policy
+        if policy not in PAPER_POLICIES:
+            self.metrics.record_decision(0.0, granted=False)
+            return ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"unknown policy {policy!r}; choose from {sorted(PAPER_POLICIES)}",
+            )
+        held = self.leases.held_nodes()
+        t0 = time.perf_counter()
+        try:
+            allocation = self._decide(snapshot, params, policy, held)
+        except WaitRecommended as exc:
+            self.metrics.record_decision(time.perf_counter() - t0, granted=False)
+            return ProtocolError(ErrorCode.WAIT, str(exc))
+        except AllocationError as exc:
+            self.metrics.record_decision(time.perf_counter() - t0, granted=False)
+            return ProtocolError(ErrorCode.NO_CAPACITY, str(exc))
+        lease = self.leases.grant(
+            allocation.nodes,
+            allocation.procs,
+            ttl_s=params.ttl_s,
+            policy=allocation.policy,
+        )
+        self.metrics.record_decision(time.perf_counter() - t0, granted=True)
+        return self._grant_result(lease, allocation)
+
+    def _decide(
+        self,
+        snapshot: ClusterSnapshot,
+        params: AllocateParams,
+        policy: str,
+        held: frozenset[str],
+    ) -> Allocation:
+        request = AllocationRequest(
+            n_processes=params.n_processes,
+            ppn=params.ppn,
+            tradeoff=TradeOff.from_alpha(params.alpha),
+        )
+        # Stochastic policies must not be memoized — two clients asking
+        # twice expect two draws — and are the only rng consumers.
+        memoizable = self.memoize_decisions and policy != "random"
+        if not memoizable:
+            return self._broker.request(
+                request,
+                rng=self._rng,
+                policy=policy,
+                exclude=held or None,
+                snapshot=snapshot,
+            ).allocation
+        key: _DecisionKey = (
+            "broker_decision",
+            policy,
+            params.n_processes,
+            params.ppn,
+            round(params.alpha, 12),
+            held,
+        )
+        cache = derived_cache(snapshot)
+        hit = cache.get(key)
+        if hit is not None:
+            self.metrics.decisions_memoized += 1
+            if isinstance(hit, AllocationError):
+                raise hit
+            return hit
+        try:
+            allocation = self._broker.request(
+                request, policy=policy, exclude=held or None, snapshot=snapshot
+            ).allocation
+        except WaitRecommended:
+            raise  # depends on the threshold config, not worth caching
+        except AllocationError as exc:
+            cache[key] = exc  # a denial is as deterministic as a grant
+            raise
+        cache[key] = allocation
+        return allocation
+
+    def _grant_result(
+        self, lease: Lease, allocation: Allocation
+    ) -> dict[str, Any]:
+        return {
+            "lease_id": lease.lease_id,
+            "nodes": list(lease.nodes),
+            "procs": dict(lease.procs),
+            "hostfile": allocation.hostfile(),
+            "policy": lease.policy,
+            "ttl_s": lease.ttl_s,
+            "expires_at": lease.expires_at,
+            "snapshot_time": allocation.snapshot_time,
+        }
+
+    # ------------------------------------------------------------------
+    # lease lifecycle
+
+    def renew(self, params: RenewParams) -> dict[str, Any]:
+        """Extend a lease; raises :class:`ProtocolError` on bad leases."""
+        try:
+            lease = self.leases.renew(params.lease_id, ttl_s=params.ttl_s)
+        except LeaseError as exc:
+            if exc.code == "EXPIRED_LEASE":
+                self.metrics.expired += 1
+            raise ProtocolError(ErrorCode(exc.code), exc.message) from None
+        self.metrics.renewed += 1
+        return {
+            "lease_id": lease.lease_id,
+            "ttl_s": lease.ttl_s,
+            "expires_at": lease.expires_at,
+            "renewals": lease.renewals,
+        }
+
+    def release(self, params: ReleaseParams) -> dict[str, Any]:
+        """End a lease; raises :class:`ProtocolError` on bad leases."""
+        try:
+            lease = self.leases.release(params.lease_id)
+        except LeaseError as exc:
+            if exc.code == "EXPIRED_LEASE":
+                self.metrics.expired += 1
+            raise ProtocolError(ErrorCode(exc.code), exc.message) from None
+        self.metrics.released += 1
+        return {
+            "lease_id": lease.lease_id,
+            "released": True,
+            "nodes": list(lease.nodes),
+        }
+
+    def sweep_expired(self) -> list[Lease]:
+        """Reclaim expired leases (the daemon calls this periodically)."""
+        reclaimed = self.leases.sweep()
+        self.metrics.expired += len(reclaimed)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # status
+
+    def status(self) -> dict[str, Any]:
+        """The ``status`` RPC result: leases, metrics, snapshot health."""
+        now = self._clock()
+        leases = self.leases.active()
+        result: dict[str, Any] = {
+            "protocol_version": PROTOCOL_VERSION,
+            "uptime_s": max(0.0, now - self._started_at),
+            "policy": self.default_policy,
+            "leases": {
+                "active": len(leases),
+                "nodes_held": len(self.leases.held_nodes()),
+                "soonest_expiry_s": min(
+                    (l.remaining_s(now) for l in leases), default=None
+                ),
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+        if isinstance(self._snapshots, CachedSnapshotSource):
+            age = self._snapshots.age_s()
+            result["snapshot"] = {
+                "age_s": None if age == float("inf") else age,
+                "max_age_s": self._snapshots.max_age_s,
+                "refreshes": self._snapshots.refreshes,
+                "hits": self._snapshots.hits,
+            }
+        return result

@@ -7,12 +7,18 @@ every invocation is reproducible):
 * ``simulate`` — allocate and price a miniMD/miniFE/stencil run;
 * ``compare``  — the §5 four-policy comparison at one configuration;
 * ``trace``    — record cluster resource usage to CSV (Figure 1 data);
-* ``report``   — regenerate a figure/table of the paper by name.
+* ``report``   — regenerate a figure/table of the paper by name;
+* ``serve``    — run the persistent allocation broker daemon (TCP);
+* ``client``   — talk to a running broker (allocate/renew/release/status).
+
+``allocate`` and ``compare`` accept ``--json`` for machine-readable
+output, so scripted callers don't scrape the human-formatted text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.apps.base import AppModel
@@ -71,6 +77,16 @@ def cmd_allocate(args: argparse.Namespace) -> int:
         policy=args.policy,
     )
     alloc = result.allocation
+    if args.json:
+        print(json.dumps({
+            "policy": alloc.policy,
+            "overhead_ms": result.overhead_ms,
+            "n_processes": alloc.request.n_processes,
+            "nodes": list(alloc.nodes),
+            "procs": dict(alloc.procs),
+            "hostfile": alloc.hostfile(),
+        }, indent=2))
+        return 0
     print(f"# policy={alloc.policy} overhead={result.overhead_ms:.2f}ms")
     sys.stdout.write(alloc.hostfile())
     return 0
@@ -106,6 +122,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
     comparison = compare_policies(
         sc, app, build_request(args), rng=sc.streams.child("cli")
     )
+    if args.json:
+        print(json.dumps({
+            "app": args.app,
+            "size": args.size,
+            "n_processes": args.procs,
+            "alpha": args.alpha,
+            "runs": {
+                name: {
+                    "time_s": comparison.runs[name].time_s,
+                    "n_nodes": comparison.runs[name].allocation.n_nodes,
+                    "nodes": list(comparison.runs[name].allocation.nodes),
+                }
+                for name in POLICY_ORDER
+            },
+        }, indent=2))
+        return 0
     print(f"{'policy':>20s}  {'time (s)':>9s}  {'nodes':>5s}")
     for name in POLICY_ORDER:
         run = comparison.runs[name]
@@ -173,6 +205,138 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.broker import BrokerServer, BrokerService
+    from repro.monitor.snapshot import CachedSnapshotSource
+
+    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    refresh_hook = None
+    if args.advance_on_refresh_s > 0:
+        refresh_hook = lambda: sc.advance(args.advance_on_refresh_s)  # noqa: E731
+    source = CachedSnapshotSource(
+        sc.snapshot,
+        max_age_s=args.snapshot_max_age_s,
+        refresh_hook=refresh_hook,
+    )
+    service = BrokerService(
+        source,
+        default_policy=args.policy,
+        default_ttl_s=args.default_ttl_s,
+        max_ttl_s=args.max_ttl_s,
+        wait_threshold_load_per_core=args.wait_threshold,
+        rng=sc.streams.child("broker"),
+    )
+    server = BrokerServer(
+        service,
+        host=args.host,
+        port=args.port,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        sweep_period_s=args.sweep_period_s,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"broker listening on {host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("broker stopped", flush=True)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from repro.broker import BrokerClient, BrokerError
+
+    client = BrokerClient(
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout_s,
+        connect_retries=args.connect_retries,
+    )
+    try:
+        with client:
+            return args.client_func(client, args)
+    except BrokerError as exc:
+        print(f"error: {exc.code}: {exc.message}", file=sys.stderr)
+        return 1
+
+
+def client_allocate(client, args: argparse.Namespace) -> int:
+    grant = client.allocate(
+        args.procs,
+        ppn=args.ppn,
+        alpha=args.alpha,
+        policy=args.policy,
+        ttl_s=args.ttl_s,
+    )
+    if args.json:
+        print(json.dumps({
+            "lease_id": grant.lease_id,
+            "policy": grant.policy,
+            "nodes": list(grant.nodes),
+            "procs": dict(grant.procs),
+            "hostfile": grant.hostfile,
+            "ttl_s": grant.ttl_s,
+            "expires_at": grant.expires_at,
+        }, indent=2))
+        return 0
+    print(f"# lease={grant.lease_id} policy={grant.policy} "
+          f"ttl={grant.ttl_s:.0f}s")
+    sys.stdout.write(grant.hostfile)
+    return 0
+
+
+def client_renew(client, args: argparse.Namespace) -> int:
+    result = client.renew(args.lease_id, ttl_s=args.ttl_s)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(f"lease {result['lease_id']} renewed: ttl={result['ttl_s']:.0f}s "
+              f"renewals={result['renewals']}")
+    return 0
+
+
+def client_release(client, args: argparse.Namespace) -> int:
+    result = client.release(args.lease_id)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(f"lease {result['lease_id']} released "
+              f"({len(result['nodes'])} nodes freed)")
+    return 0
+
+
+def client_status(client, args: argparse.Namespace) -> int:
+    result = client.status()
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+    m = result["metrics"]
+    lat = m["decision_latency_ms"]
+    print(f"broker v{result['protocol_version']} "
+          f"uptime={result['uptime_s']:.1f}s policy={result['policy']}")
+    print(f"leases: active={result['leases']['active']} "
+          f"nodes_held={result['leases']['nodes_held']}")
+    print(f"decisions: granted={m['granted']} denied={m['denied']} "
+          f"busy_rejected={m['busy_rejected']} expired={m['expired']} "
+          f"memoized={m['decisions_memoized']}")
+    print(f"batches: {m['batches']} sizes={m['batch_size_hist']}")
+    print(f"latency: p50={lat['p50']:.3f}ms p99={lat['p99']:.3f}ms "
+          f"max={lat['max']:.3f}ms")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_args(p)
     add_request_args(p)
     p.add_argument("--policy", default="network_load_aware")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of a hostfile")
     p.set_defaults(func=cmd_allocate)
 
     p = sub.add_parser("simulate", help="allocate and price an app run")
@@ -200,6 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_request_args(p)
     p.add_argument("--app", default="minimd", choices=sorted(APPS))
     p.add_argument("--size", type=int, default=16)
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of a table")
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("trace", help="record resource usage to CSV")
@@ -228,6 +396,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated problem sizes for grid artifacts",
     )
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("serve", help="run the allocation broker daemon")
+    add_scenario_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7077,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--policy", default="network_load_aware")
+    p.add_argument("--default-ttl-s", type=float, default=60.0,
+                   help="lease TTL when the client doesn't pick one")
+    p.add_argument("--max-ttl-s", type=float, default=3600.0)
+    p.add_argument("--batch-window-ms", type=float, default=0.0,
+                   help="extra time to wait for micro-batch stragglers "
+                        "(0 = adaptive: batch whatever queued during the "
+                        "previous decision)")
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--max-queue", type=int, default=128,
+                   help="admission queue bound; overflow answers BUSY")
+    p.add_argument("--sweep-period-s", type=float, default=1.0,
+                   help="how often expired leases are reclaimed")
+    p.add_argument("--snapshot-max-age-s", type=float, default=5.0,
+                   help="serve decisions from a snapshot at most this old")
+    p.add_argument("--advance-on-refresh-s", type=float, default=5.0,
+                   help="simulated seconds the cluster advances per "
+                        "snapshot refresh (0 = frozen cluster)")
+    p.add_argument("--wait-threshold", type=float, default=None,
+                   help="§6 saturation guard: mean load/core above which "
+                        "allocate answers WAIT")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running broker daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7077)
+    p.add_argument("--timeout-s", type=float, default=10.0)
+    p.add_argument("--connect-retries", type=int, default=20)
+    csub = p.add_subparsers(dest="client_command", required=True)
+
+    c = csub.add_parser("allocate", help="request nodes and a lease")
+    c.add_argument("-n", "--procs", type=int, default=32)
+    c.add_argument("--ppn", type=int, default=None)
+    c.add_argument("--alpha", type=float, default=0.3)
+    c.add_argument("--policy", default=None)
+    c.add_argument("--ttl-s", type=float, default=None)
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_client, client_func=client_allocate)
+
+    c = csub.add_parser("renew", help="extend a lease's TTL")
+    c.add_argument("lease_id")
+    c.add_argument("--ttl-s", type=float, default=None)
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_client, client_func=client_renew)
+
+    c = csub.add_parser("release", help="release a lease")
+    c.add_argument("lease_id")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_client, client_func=client_release)
+
+    c = csub.add_parser("status", help="daemon status and metrics")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_client, client_func=client_status)
     return parser
 
 

@@ -76,18 +76,28 @@ class ResourceBroker:
         rng: np.random.Generator | None = None,
         policy: AllocationPolicy | str | None = None,
         now: float | None = None,
+        exclude: frozenset[str] | None = None,
+        snapshot: ClusterSnapshot | None = None,
     ) -> BrokerResult:
         """Allocate nodes for ``request``.
 
         ``policy`` overrides the broker default (instance or §5 name).
-        Raises :class:`WaitRecommended` when the saturation guard trips.
+        ``exclude`` masks nodes already held (leased/busy) without
+        rebuilding a filtered snapshot; ``snapshot`` pins the decision to
+        a caller-chosen snapshot (the broker daemon decides every request
+        of one micro-batch against the same one) instead of pulling a
+        fresh one from the source.  Raises :class:`WaitRecommended` when
+        the saturation guard trips.
         """
         chosen = self._resolve_policy(policy)
-        snapshot = self._snapshot_source()
+        if snapshot is None:
+            snapshot = self._snapshot_source()
         if self.wait_threshold is not None:
             self._check_saturation(snapshot, request)
         t0 = self._clock()
-        allocation = chosen.allocate(snapshot, request, rng=rng)
+        allocation = chosen.allocate(
+            snapshot, request, rng=rng, exclude=exclude or None
+        )
         overhead_ms = (self._clock() - t0) * 1e3
         age = 0.0 if now is None else max(0.0, now - snapshot.time)
         return BrokerResult(

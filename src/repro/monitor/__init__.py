@@ -15,7 +15,12 @@ from repro.monitor.daemons import Daemon, LivehostsD, NodeStateD
 from repro.monitor.failures import FailureInjector
 from repro.monitor.netdaemons import BandwidthD, LatencyD
 from repro.monitor.rolling import RollingWindows
-from repro.monitor.snapshot import ClusterSnapshot, NodeView, oracle_snapshot
+from repro.monitor.snapshot import (
+    CachedSnapshotSource,
+    ClusterSnapshot,
+    NodeView,
+    oracle_snapshot,
+)
 from repro.monitor.store import FileStore, InMemoryStore, SharedStore
 from repro.monitor.system import MonitoringSystem
 
@@ -28,6 +33,7 @@ __all__ = [
     "BandwidthD",
     "LatencyD",
     "RollingWindows",
+    "CachedSnapshotSource",
     "ClusterSnapshot",
     "NodeView",
     "oracle_snapshot",

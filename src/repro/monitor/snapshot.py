@@ -232,3 +232,69 @@ def oracle_snapshot(
         peak_bandwidth_mbs=peak,
         livehosts=tuple(up),
     )
+
+
+class CachedSnapshotSource:
+    """Staleness-aware snapshot provider for long-lived services.
+
+    A daemon serving a request stream must not rebuild the snapshot per
+    request (that would defeat the per-snapshot ``derived_cache`` memo),
+    nor serve an arbitrarily old one.  This wrapper memoizes the last
+    snapshot and rebuilds only when it is older than ``max_age_s`` by the
+    injected ``clock`` — so every request decided within one freshness
+    window shares one snapshot object *and therefore one cached
+    LoadState*.
+
+    ``refresh_hook`` (optional) runs right before each rebuild; the serve
+    command uses it to advance the simulated cluster so monitor daemons
+    produce genuinely new data between refreshes.
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        max_age_s: float = 5.0,
+        clock=None,
+        refresh_hook=None,
+    ) -> None:
+        if max_age_s < 0:
+            raise ValueError(f"max_age_s must be non-negative: {max_age_s}")
+        import time as _time
+
+        self._source = source
+        self._clock = clock if clock is not None else _time.monotonic
+        self.max_age_s = max_age_s
+        self._refresh_hook = refresh_hook
+        self._snapshot: ClusterSnapshot | None = None
+        self._built_at: float = float("-inf")
+        #: observability counters (surfaced by the broker's status RPC)
+        self.refreshes = 0
+        self.hits = 0
+
+    def __call__(self) -> ClusterSnapshot:
+        """The current snapshot, rebuilt only when stale."""
+        now = self._clock()
+        if (
+            self._snapshot is not None
+            and now - self._built_at <= self.max_age_s
+        ):
+            self.hits += 1
+            return self._snapshot
+        if self._refresh_hook is not None:
+            self._refresh_hook()
+        self._snapshot = self._source()
+        self._built_at = now
+        self.refreshes += 1
+        return self._snapshot
+
+    def invalidate(self) -> None:
+        """Force the next call to rebuild regardless of age."""
+        self._snapshot = None
+        self._built_at = float("-inf")
+
+    def age_s(self) -> float:
+        """Seconds since the cached snapshot was built (``inf`` if none)."""
+        if self._snapshot is None:
+            return float("inf")
+        return max(0.0, self._clock() - self._built_at)

@@ -12,7 +12,9 @@ from here.  Two implementations share one interface:
 from __future__ import annotations
 
 import json
+import os
 import re
+import tempfile
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Any, Iterable
@@ -92,14 +94,32 @@ class FileStore(SharedStore):
         ]
         if any(p in ("", ".", "..") for p in parts):
             raise ValueError(f"invalid key {key!r}")
-        return self._root.joinpath(*parts).with_suffix(".json")
+        path = self._root.joinpath(*parts)
+        # Append (don't with_suffix-replace) so keys containing dots
+        # ("a.b" vs "a.c") map to distinct files.
+        return path.with_name(path.name + ".json")
 
     def put(self, key: str, value: Any, time: float) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps({"time": time, "value": value}))
-        tmp.replace(path)  # atomic on POSIX — readers never see torn writes
+        # A *uniquely named* temp file in the same directory, then an
+        # atomic rename.  A shared temp name (the old `<key>.tmp`) lets
+        # two concurrent writers interleave create/truncate/rename and
+        # publish a torn file; mkstemp + os.replace guarantees a reader
+        # (e.g. the broker's refresh loop) only ever sees complete JSON.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps({"time": time, "value": value}))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def get(self, key: str) -> tuple[float, Any] | None:
         path = self._path(key)
@@ -111,14 +131,15 @@ class FileStore(SharedStore):
     def keys(self, prefix: str = "") -> list[str]:
         out = []
         for p in self._root.rglob("*.json"):
-            rel = p.relative_to(self._root).with_suffix("")
+            rel = p.relative_to(self._root)
+            parts = rel.parts[:-1] + (rel.name[: -len(".json")],)
             key = "/".join(
                 re.sub(
                     r"%([0-9a-f]{2})",
                     lambda m: chr(int(m.group(1), 16)),
                     part,
                 )
-                for part in rel.parts
+                for part in parts
             )
             if key.startswith(prefix):
                 out.append(key)

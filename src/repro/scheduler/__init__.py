@@ -8,11 +8,15 @@ priced execution completes.  Policies can then be compared on stream
 metrics — makespan, mean turnaround, wait — rather than single runs.
 """
 
+from repro.scheduler.leases import Lease, LeaseError, LeaseTable
 from repro.scheduler.queue import JobRequest, SchedulerStats, ScheduledJob
 from repro.scheduler.scheduler import ClusterScheduler
 
 __all__ = [
     "JobRequest",
+    "Lease",
+    "LeaseError",
+    "LeaseTable",
     "SchedulerStats",
     "ScheduledJob",
     "ClusterScheduler",

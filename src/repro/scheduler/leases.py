@@ -1,0 +1,222 @@
+"""Lease lifecycle — TTL-bounded node grants with exactly-once reclaim.
+
+The one-shot :class:`~repro.core.broker.ResourceBroker` hands out node
+sets and forgets them; the scheduler's :class:`ClusterScheduler` frees
+nodes when the *simulation* says a job ended.  A persistent service can
+rely on neither: real clients crash, lose network, or simply never call
+``release``.  Leases close that hole the way DHCP does — every grant
+carries a TTL, staying alive requires periodic renewal, and an expiry
+sweep reclaims the nodes of any lease whose clock ran out.
+
+Invariants enforced here (and locked in by ``tests/broker/test_leases.py``):
+
+* a lease's nodes are counted as held exactly while the lease is in the
+  table — expiry, ``release`` and the sweeper all *remove* the lease, so
+  nodes can never be reclaimed twice;
+* ``release``/``renew`` of an unknown or already-reclaimed lease raise a
+  structured :class:`LeaseError` (``UNKNOWN_LEASE``) instead of crashing
+  the service;
+* ``renew`` of a lease whose TTL already elapsed is rejected
+  (``EXPIRED_LEASE``) and reclaims the nodes immediately — a client that
+  slept through its TTL must re-allocate, it cannot resurrect the grant.
+
+The clock is injected (any ``() -> float`` callable), so tests drive
+expiry deterministically without real-time sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping
+
+
+class LeaseError(Exception):
+    """A lease operation that cannot be honored.
+
+    ``code`` is a wire-level error string (``UNKNOWN_LEASE`` or
+    ``EXPIRED_LEASE``) so the broker protocol can forward it verbatim.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted allocation with its expiry bookkeeping."""
+
+    lease_id: str
+    nodes: tuple[str, ...]
+    procs: Mapping[str, int]
+    granted_at: float
+    expires_at: float
+    ttl_s: float
+    renewals: int = 0
+    #: §5 policy name that produced the allocation (for status/debugging)
+    policy: str = "network_load_aware"
+
+    def expired(self, now: float) -> bool:
+        """Whether the TTL has elapsed at time ``now``."""
+        return now >= self.expires_at
+
+    def remaining_s(self, now: float) -> float:
+        """Seconds of TTL left (0 when expired)."""
+        return max(0.0, self.expires_at - now)
+
+
+@dataclass
+class LeaseTable:
+    """All live leases, keyed by id, with injected time.
+
+    ``clock`` supplies "now" for grants, renewals and expiry checks;
+    production passes ``time.monotonic``, tests pass a fake.  TTLs are
+    clamped to ``[min_ttl_s, max_ttl_s]`` so a client can neither pin
+    nodes forever nor thrash the sweeper with microscopic leases.
+    """
+
+    clock: Callable[[], float]
+    default_ttl_s: float = 60.0
+    min_ttl_s: float = 1.0
+    max_ttl_s: float = 3600.0
+    _leases: dict[str, Lease] = field(default_factory=dict)
+    _held: dict[str, str] = field(default_factory=dict)  # node -> lease_id
+    _next_id: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_ttl_s <= self.default_ttl_s <= self.max_ttl_s):
+            raise ValueError(
+                "need 0 < min_ttl_s <= default_ttl_s <= max_ttl_s, got "
+                f"{self.min_ttl_s}/{self.default_ttl_s}/{self.max_ttl_s}"
+            )
+
+    # -- queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def get(self, lease_id: str) -> Lease | None:
+        """The live lease with this id, or ``None``."""
+        return self._leases.get(lease_id)
+
+    def active(self) -> list[Lease]:
+        """All live leases (including ones the sweeper hasn't visited)."""
+        return list(self._leases.values())
+
+    def held_nodes(self) -> frozenset[str]:
+        """Nodes currently held by any live lease."""
+        return frozenset(self._held)
+
+    def clamp_ttl(self, ttl_s: float | None) -> float:
+        """The effective TTL for a requested (possibly ``None``) TTL."""
+        if ttl_s is None:
+            return self.default_ttl_s
+        return min(max(ttl_s, self.min_ttl_s), self.max_ttl_s)
+
+    # -- lifecycle ------------------------------------------------------
+    def grant(
+        self,
+        nodes: Iterable[str],
+        procs: Mapping[str, int],
+        *,
+        ttl_s: float | None = None,
+        policy: str = "network_load_aware",
+    ) -> Lease:
+        """Create a lease over ``nodes``; they must not be held already."""
+        node_tuple = tuple(nodes)
+        conflict = [n for n in node_tuple if n in self._held]
+        if conflict:
+            raise LeaseError(
+                "INTERNAL",
+                f"nodes already held by another lease: {conflict}",
+            )
+        now = self.clock()
+        ttl = self.clamp_ttl(ttl_s)
+        lease = Lease(
+            lease_id=f"L{self._next_id:08d}",
+            nodes=node_tuple,
+            procs=dict(procs),
+            granted_at=now,
+            expires_at=now + ttl,
+            ttl_s=ttl,
+            policy=policy,
+        )
+        self._next_id += 1
+        self._leases[lease.lease_id] = lease
+        for n in node_tuple:
+            self._held[n] = lease.lease_id
+        return lease
+
+    def renew(self, lease_id: str, *, ttl_s: float | None = None) -> Lease:
+        """Extend a live lease's TTL from *now*; returns the new lease.
+
+        Raises ``LeaseError(UNKNOWN_LEASE)`` for ids not in the table and
+        ``LeaseError(EXPIRED_LEASE)`` — reclaiming the nodes — when the
+        lease's TTL already elapsed.
+        """
+        lease = self._require(lease_id)
+        now = self.clock()
+        if lease.expired(now):
+            self._evict(lease)
+            raise LeaseError(
+                "EXPIRED_LEASE",
+                f"lease {lease_id} expired at t={lease.expires_at:.3f} "
+                f"(now t={now:.3f}); re-allocate",
+            )
+        ttl = self.clamp_ttl(ttl_s if ttl_s is not None else lease.ttl_s)
+        renewed = replace(
+            lease,
+            expires_at=now + ttl,
+            ttl_s=ttl,
+            renewals=lease.renewals + 1,
+        )
+        self._leases[lease_id] = renewed
+        return renewed
+
+    def release(self, lease_id: str) -> Lease:
+        """End a lease and free its nodes; returns the released lease.
+
+        A second ``release`` of the same id — or a release after the
+        sweeper reclaimed it — raises ``LeaseError(UNKNOWN_LEASE)``.
+        Releasing a lease that expired but was not swept yet reclaims the
+        nodes (exactly once) and raises ``LeaseError(EXPIRED_LEASE)`` so
+        the caller learns its grant had already lapsed.
+        """
+        lease = self._require(lease_id)
+        self._evict(lease)
+        if lease.expired(self.clock()):
+            raise LeaseError(
+                "EXPIRED_LEASE",
+                f"lease {lease_id} had already expired; nodes reclaimed",
+            )
+        return lease
+
+    def sweep(self) -> list[Lease]:
+        """Reclaim every expired lease; returns the leases reclaimed.
+
+        Each expired lease is returned exactly once across all calls —
+        reclaim removes it from the table, so a later sweep (or release)
+        cannot see it again.
+        """
+        now = self.clock()
+        expired = [l for l in self._leases.values() if l.expired(now)]
+        for lease in expired:
+            self._evict(lease)
+        return expired
+
+    # -- internals ------------------------------------------------------
+    def _require(self, lease_id: str) -> Lease:
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            raise LeaseError(
+                "UNKNOWN_LEASE",
+                f"lease {lease_id!r} is not active (never granted, "
+                "already released, or reclaimed after expiry)",
+            )
+        return lease
+
+    def _evict(self, lease: Lease) -> None:
+        self._leases.pop(lease.lease_id, None)
+        for n in lease.nodes:
+            if self._held.get(n) == lease.lease_id:
+                del self._held[n]

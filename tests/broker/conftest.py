@@ -1,0 +1,32 @@
+"""Shared fixtures for the broker subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import small_scenario
+
+
+class FakeClock:
+    """A manually advanced clock: call it for 'now', += to advance."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        assert dt >= 0
+        self.t += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """One warmed 8-node cluster shared by a test module (read-only)."""
+    return small_scenario(8, seed=3, warmup_s=600.0)

@@ -1,0 +1,131 @@
+"""Lease lifecycle invariants (satellite: expiry & double-release).
+
+All timing is driven by the injected FakeClock — no real-time sleeps.
+"""
+
+import pytest
+
+from repro.scheduler.leases import LeaseError, LeaseTable
+
+
+@pytest.fixture
+def table(clock) -> LeaseTable:
+    return LeaseTable(clock=clock, default_ttl_s=30.0, min_ttl_s=1.0,
+                      max_ttl_s=120.0)
+
+
+class TestGrant:
+    def test_grant_holds_nodes(self, table):
+        lease = table.grant(["a", "b"], {"a": 4, "b": 4})
+        assert table.held_nodes() == {"a", "b"}
+        assert table.get(lease.lease_id) is lease
+        assert lease.expires_at == 30.0 and lease.ttl_s == 30.0
+
+    def test_ttl_clamped(self, table):
+        assert table.grant(["a"], {"a": 1}, ttl_s=0.01).ttl_s == 1.0
+        assert table.grant(["b"], {"b": 1}, ttl_s=9999).ttl_s == 120.0
+
+    def test_ids_unique_and_monotonic(self, table):
+        ids = [table.grant([f"n{i}"], {f"n{i}": 1}).lease_id for i in range(3)]
+        assert len(set(ids)) == 3 and ids == sorted(ids)
+
+    def test_double_booking_rejected(self, table):
+        table.grant(["a"], {"a": 1})
+        with pytest.raises(LeaseError) as err:
+            table.grant(["a", "b"], {"a": 1, "b": 1})
+        assert err.value.code == "INTERNAL"
+        # the failed grant must not leak a partial hold on "b"
+        assert table.held_nodes() == {"a"}
+
+
+class TestRenew:
+    def test_renew_extends_from_now(self, table, clock):
+        lease = table.grant(["a"], {"a": 1}, ttl_s=30.0)
+        clock.advance(20.0)
+        renewed = table.renew(lease.lease_id)
+        assert renewed.expires_at == pytest.approx(50.0)
+        assert renewed.renewals == 1
+
+    def test_renew_can_change_ttl(self, table, clock):
+        lease = table.grant(["a"], {"a": 1}, ttl_s=30.0)
+        renewed = table.renew(lease.lease_id, ttl_s=60.0)
+        assert renewed.ttl_s == 60.0 and renewed.expires_at == 60.0
+
+    def test_renew_unknown(self, table):
+        with pytest.raises(LeaseError) as err:
+            table.renew("L99999999")
+        assert err.value.code == "UNKNOWN_LEASE"
+
+    def test_renew_after_expire_rejected_and_reclaims(self, table, clock):
+        lease = table.grant(["a"], {"a": 1}, ttl_s=10.0)
+        clock.advance(10.0)  # expiry is inclusive: now == expires_at
+        with pytest.raises(LeaseError) as err:
+            table.renew(lease.lease_id)
+        assert err.value.code == "EXPIRED_LEASE"
+        assert table.held_nodes() == frozenset()
+        assert table.sweep() == []  # nodes were returned exactly once
+
+
+class TestRelease:
+    def test_release_frees_nodes(self, table):
+        lease = table.grant(["a", "b"], {"a": 1, "b": 1})
+        released = table.release(lease.lease_id)
+        assert released.nodes == ("a", "b")
+        assert table.held_nodes() == frozenset()
+        assert len(table) == 0
+
+    def test_double_release_structured_error(self, table):
+        lease = table.grant(["a"], {"a": 1})
+        table.release(lease.lease_id)
+        with pytest.raises(LeaseError) as err:
+            table.release(lease.lease_id)
+        assert err.value.code == "UNKNOWN_LEASE"
+
+    def test_release_of_expired_reclaims_once(self, table, clock):
+        lease = table.grant(["a"], {"a": 1}, ttl_s=5.0)
+        clock.advance(6.0)
+        with pytest.raises(LeaseError) as err:
+            table.release(lease.lease_id)
+        assert err.value.code == "EXPIRED_LEASE"
+        assert table.held_nodes() == frozenset()
+        # already reclaimed: sweep must not see it again
+        assert table.sweep() == []
+        with pytest.raises(LeaseError) as err:
+            table.release(lease.lease_id)
+        assert err.value.code == "UNKNOWN_LEASE"
+
+
+class TestSweep:
+    def test_sweep_returns_each_expired_lease_exactly_once(self, table, clock):
+        l1 = table.grant(["a"], {"a": 1}, ttl_s=10.0)
+        l2 = table.grant(["b"], {"b": 1}, ttl_s=20.0)
+        l3 = table.grant(["c"], {"c": 1}, ttl_s=90.0)
+        clock.advance(25.0)
+        swept = table.sweep()
+        assert {l.lease_id for l in swept} == {l1.lease_id, l2.lease_id}
+        assert table.held_nodes() == {"c"}
+        assert table.sweep() == []  # exactly once
+        # the survivor is untouched and still releasable
+        assert table.release(l3.lease_id).lease_id == l3.lease_id
+
+    def test_nodes_reusable_after_sweep(self, table, clock):
+        table.grant(["a"], {"a": 1}, ttl_s=5.0)
+        clock.advance(10.0)
+        table.sweep()
+        lease = table.grant(["a"], {"a": 1})  # no double-booking error
+        assert table.held_nodes() == {"a"}
+        assert lease.renewals == 0
+
+    def test_sweep_noop_when_nothing_expired(self, table, clock):
+        table.grant(["a"], {"a": 1}, ttl_s=50.0)
+        clock.advance(10.0)
+        assert table.sweep() == []
+        assert table.held_nodes() == {"a"}
+
+
+class TestValidation:
+    def test_bad_ttl_ordering_rejected(self, clock):
+        with pytest.raises(ValueError):
+            LeaseTable(clock=clock, default_ttl_s=10.0, min_ttl_s=20.0)
+        with pytest.raises(ValueError):
+            LeaseTable(clock=clock, default_ttl_s=10.0, max_ttl_s=5.0)

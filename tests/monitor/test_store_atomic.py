@@ -1,0 +1,107 @@
+"""Regression: FileStore.put must never publish a torn/partial JSON file.
+
+The original implementation wrote every put for a key through one shared
+``<key>.tmp`` path; two concurrent writers could interleave
+create/truncate/rename and atomically publish a *partially written*
+file.  ``put`` now stages through a uniquely named ``mkstemp`` file and
+``os.replace``s it, so a concurrent reader (e.g. the broker's snapshot
+refresh loop) always sees a complete record.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.monitor.store import FileStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FileStore(tmp_path / "nfs")
+
+
+class TestAtomicPut:
+    def test_no_temp_files_left_behind(self, store, tmp_path):
+        for i in range(50):
+            store.put("nodestate/node-01", {"load": i}, time=float(i))
+        leftovers = list((tmp_path / "nfs").rglob("*.tmp"))
+        assert leftovers == []
+        assert store.value("nodestate/node-01") == {"load": 49}
+
+    def test_failed_put_cleans_up_and_keeps_old_value(self, store, tmp_path):
+        store.put("k", {"ok": True}, time=1.0)
+
+        class Unserializable:
+            pass
+
+        with pytest.raises(TypeError):
+            store.put("k", {"bad": Unserializable()}, time=2.0)
+        assert store.get("k") == (1.0, {"ok": True})
+        assert list((tmp_path / "nfs").rglob("*.tmp")) == []
+
+    def test_concurrent_writers_never_publish_torn_json(self, store, tmp_path):
+        """Hammer one key from two writers while a reader parses the file.
+
+        With the old shared-temp-name scheme the reader would eventually
+        hit a JSONDecodeError (truncated file made visible by the other
+        writer's rename).  The payload is large enough that a torn write
+        cannot masquerade as valid JSON.
+        """
+        key = "livehosts"
+        payload = {"hosts": [f"node-{i:03d}" for i in range(200)]}
+        n_puts = 150
+        errors: list[Exception] = []
+        stop = threading.Event()
+        path = tmp_path / "nfs" / "livehosts.json"
+
+        def writer(offset: float) -> None:
+            try:
+                for i in range(n_puts):
+                    store.put(key, payload, time=offset + i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader() -> None:
+            while not stop.is_set():
+                if not path.exists():
+                    continue
+                try:
+                    rec = json.loads(path.read_text())
+                except json.JSONDecodeError as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+                if rec["value"] != payload:  # pragma: no cover
+                    errors.append(AssertionError(f"partial record: {rec}"))
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=(0.0,)),
+            threading.Thread(target=writer, args=(1e6,)),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert errors == []
+        assert store.value(key) == payload
+        assert list((tmp_path / "nfs").rglob("*.tmp")) == []
+
+
+class TestKeySuffixes:
+    def test_dotted_keys_do_not_collide(self, store):
+        """Keys differing only after a dot must map to distinct files."""
+        store.put("rate.m1", 1.0, time=0.0)
+        store.put("rate.m5", 5.0, time=0.0)
+        assert store.value("rate.m1") == 1.0
+        assert store.value("rate.m5") == 5.0
+        assert store.keys() == ["rate.m1", "rate.m5"]
+
+    def test_dotted_keys_roundtrip_through_keys(self, store):
+        store.put("a/b.c/d.e", "x", time=0.0)
+        assert store.keys() == ["a/b.c/d.e"]
+        assert store.delete("a/b.c/d.e") is True
+        assert store.keys() == []

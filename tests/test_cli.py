@@ -117,3 +117,95 @@ class TestReport:
     def test_bad_grid_list(self):
         with pytest.raises(SystemExit):
             main(["report", "fig4", "--procs", "eight"])
+
+
+class TestJsonOutput:
+    def test_allocate_json(self, capsys):
+        import json
+
+        assert main(["allocate", "-n", "8", "--seed", "1", "--json", *FAST]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["policy"] == "network_load_aware"
+        assert sum(data["procs"].values()) == 8
+        assert set(data["procs"]) == set(data["nodes"])
+        assert data["hostfile"].endswith("\n")
+
+    def test_compare_json(self, capsys):
+        import json
+
+        rc = main(
+            ["compare", "-n", "8", "--app", "minimd", "--size", "8",
+             "--seed", "1", "--json", *FAST]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["runs"]) == {
+            "random", "sequential", "load_aware", "network_load_aware",
+        }
+        for run in data["runs"].values():
+            assert run["time_s"] > 0 and run["n_nodes"] == len(run["nodes"])
+
+
+class TestServeClientParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7077 and args.host == "127.0.0.1"
+        assert args.batch_window_ms == 0.0 and args.max_queue == 128
+        assert args.default_ttl_s == 60.0
+
+    def test_client_allocate_defaults(self):
+        args = build_parser().parse_args(["client", "allocate"])
+        assert args.procs == 32 and args.ppn is None
+        assert args.port == 7077 and not args.json
+
+    def test_client_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client"])
+
+
+class TestClientCommands:
+    """Drive the `client` CLI against a real loopback daemon."""
+
+    @pytest.fixture(scope="class")
+    def daemon(self):
+        from repro.broker import BrokerDaemonThread, BrokerServer, BrokerService
+        from repro.experiments.scenario import small_scenario
+        from repro.monitor.snapshot import CachedSnapshotSource
+
+        sc = small_scenario(8, seed=5, warmup_s=600.0)
+        source = CachedSnapshotSource(sc.snapshot, max_age_s=1e9)
+        server = BrokerServer(BrokerService(source), port=0)
+        with BrokerDaemonThread(server) as d:
+            yield d
+
+    def test_full_lease_roundtrip(self, daemon, capsys):
+        import json
+
+        port = str(daemon.port)
+        rc = main(["client", "--port", port, "allocate", "-n", "8",
+                   "--ppn", "4", "--ttl-s", "30", "--json"])
+        assert rc == 0
+        grant = json.loads(capsys.readouterr().out)
+        lease = grant["lease_id"]
+        assert sum(grant["procs"].values()) == 8
+
+        assert main(["client", "--port", port, "renew", lease]) == 0
+        assert "renewed" in capsys.readouterr().out
+
+        assert main(["client", "--port", port, "release", lease]) == 0
+        assert "released" in capsys.readouterr().out
+
+        # double release surfaces the structured code and a non-zero rc
+        assert main(["client", "--port", port, "release", lease]) == 1
+        assert "UNKNOWN_LEASE" in capsys.readouterr().err
+
+    def test_status_command(self, daemon, capsys):
+        assert main(["client", "--port", str(daemon.port), "status"]) == 0
+        out = capsys.readouterr().out
+        assert "leases:" in out and "latency:" in out
+
+    def test_connect_error_exit_code(self, capsys):
+        rc = main(["client", "--port", "1", "--connect-retries", "0",
+                   "status"])
+        assert rc == 1
+        assert "CONNECT" in capsys.readouterr().err

@@ -22,6 +22,7 @@ class TestTopLevelExports:
 
 
 SUBPACKAGES = [
+    "repro.broker",
     "repro.core",
     "repro.core.policies",
     "repro.cluster",

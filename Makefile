@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: test bench bench-full bench-smoke bench-json examples clean
+.PHONY: test bench bench-full bench-smoke bench-json elastic examples clean
 
 test:
 	pytest tests/
@@ -15,12 +15,18 @@ bench-smoke:
 	REPRO_SMOKE=1 pytest benchmarks/ --benchmark-only
 
 # Machine-readable timings for trajectory tracking (compare
-# BENCH_allocator.json / BENCH_broker.json across commits; see
-# docs/PERFORMANCE.md and docs/BROKER.md).
+# BENCH_allocator.json / BENCH_broker.json / BENCH_elastic.json across
+# commits; see docs/PERFORMANCE.md, docs/BROKER.md and docs/ELASTIC.md).
 bench-json:
 	pytest benchmarks/bench_allocator_overhead.py --benchmark-only \
 		--benchmark-json=BENCH_allocator.json
 	pytest benchmarks/bench_broker.py --benchmark-only
+	pytest benchmarks/bench_elastic.py --benchmark-only
+
+# The headline elastic experiment: static vs. elastic scheduling on the
+# same drifting-load world (single reproducible entry point).
+elastic:
+	python -m repro elastic --seed 3 --events
 
 examples:
 	python examples/quickstart.py

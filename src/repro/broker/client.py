@@ -212,6 +212,33 @@ class BrokerClient:
         """Release a lease; returns the release record."""
         return self.call("release", {"lease_id": lease_id})
 
+    def reconfigure(
+        self,
+        lease_id: str,
+        *,
+        remaining_s: float | None = None,
+        alpha: float | None = None,
+    ) -> dict:
+        """Ask the broker to replan the lease against current conditions.
+
+        ``remaining_s`` is this client's estimate of how much work its
+        job still has (the cost/benefit gate amortizes migration cost
+        over it); without it the broker uses the lease's remaining TTL.
+
+        Returns the decision record.  When ``result["reconfigured"]`` is
+        true the caller must checkpoint, restart on ``result["hostfile"]``,
+        and treat ``result["drop_nodes"]`` as gone; when false,
+        ``result["reason"]`` says why staying put won.
+        """
+        return self.call(
+            "reconfigure",
+            {
+                "lease_id": lease_id,
+                "remaining_s": remaining_s,
+                "alpha": alpha,
+            },
+        )
+
     def status(self) -> dict:
         """The daemon's status/metrics block."""
         return self.call("status")

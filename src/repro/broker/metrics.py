@@ -50,6 +50,16 @@ class BrokerMetrics:
         self.expired = 0
         self.renewed = 0
         self.protocol_errors = 0
+        #: protocol errors that were not even parseable JSON objects
+        #: (subset of ``protocol_errors``; garbage on the socket)
+        self.malformed_lines = 0
+        #: request lines rejected for exceeding ``MAX_LINE_BYTES``
+        #: (subset of ``protocol_errors``; client bug or abuse)
+        self.oversized_requests = 0
+        #: reconfigure requests that committed a new placement
+        self.reconfigured = 0
+        #: reconfigure requests answered "stay put" (no plan or gated off)
+        self.reconfig_rejected = 0
         self.decisions_memoized = 0
         self.batches = 0
         self.batch_size_hist: Counter[int] = Counter()
@@ -97,6 +107,10 @@ class BrokerMetrics:
             "expired": self.expired,
             "renewed": self.renewed,
             "protocol_errors": self.protocol_errors,
+            "malformed_lines": self.malformed_lines,
+            "oversized_requests": self.oversized_requests,
+            "reconfigured": self.reconfigured,
+            "reconfig_rejected": self.reconfig_rejected,
             "decisions_memoized": self.decisions_memoized,
             "batches": self.batches,
             "batch_size_hist": {

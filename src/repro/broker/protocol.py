@@ -47,7 +47,7 @@ class ErrorCode(str, enum.Enum):
     BAD_REQUEST = "BAD_REQUEST"
     #: request ``v`` differs from :data:`PROTOCOL_VERSION`
     UNSUPPORTED_VERSION = "UNSUPPORTED_VERSION"
-    #: ``op`` is not one of allocate/renew/release/status
+    #: ``op`` is not one of allocate/renew/release/reconfigure/status
     UNKNOWN_OP = "UNKNOWN_OP"
     #: admission queue full — retry later (backpressure, not failure)
     BUSY = "BUSY"
@@ -59,6 +59,14 @@ class ErrorCode(str, enum.Enum):
     UNKNOWN_LEASE = "UNKNOWN_LEASE"
     #: the lease's TTL elapsed; its nodes have been reclaimed
     EXPIRED_LEASE = "EXPIRED_LEASE"
+    #: a reconfigure would add nodes another lease holds (all-or-nothing)
+    NODE_CONFLICT = "NODE_CONFLICT"
+    #: structurally invalid lease swap (overlapping/unheld/empty sets)
+    BAD_SWAP = "BAD_SWAP"
+    #: the lease changed between planning and applying; retry
+    STALE_PLAN = "STALE_PLAN"
+    #: the migration itself failed; the original allocation is intact
+    RECONFIG_FAILED = "RECONFIG_FAILED"
     #: unexpected server-side failure (bug — check daemon logs)
     INTERNAL = "INTERNAL"
 
@@ -73,7 +81,7 @@ class ProtocolError(Exception):
 
 
 #: Operations a client may request.
-OPS = ("allocate", "renew", "release", "status")
+OPS = ("allocate", "renew", "release", "reconfigure", "status")
 
 
 @dataclass(frozen=True)
@@ -142,11 +150,50 @@ class ReleaseParams:
 
 
 @dataclass(frozen=True)
+class ReconfigureParams:
+    """Parameters of a ``reconfigure`` request.
+
+    Asks the broker to replan the lease's placement against the current
+    snapshot.  ``remaining_s`` is the client's estimate of how long its
+    job still has to run — the cost/benefit gate amortizes the migration
+    bill over it; without it the broker falls back to the lease's
+    remaining TTL (a conservative lower bound).  ``alpha`` overrides the
+    Equation-4 trade-off recorded at grant time.
+    """
+
+    lease_id: str
+    remaining_s: float | None = None
+    alpha: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.lease_id:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "params.lease_id must be non-empty"
+            )
+        if self.remaining_s is not None and self.remaining_s <= 0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.remaining_s must be positive, got {self.remaining_s}",
+            )
+        if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.alpha must lie in [0, 1], got {self.alpha}",
+            )
+
+
+@dataclass(frozen=True)
 class StatusParams:
     """Parameters of a ``status`` request (none defined in v1)."""
 
 
-Params = AllocateParams | RenewParams | ReleaseParams | StatusParams
+Params = (
+    AllocateParams
+    | RenewParams
+    | ReleaseParams
+    | ReconfigureParams
+    | StatusParams
+)
 
 
 @dataclass(frozen=True)
@@ -239,6 +286,13 @@ def parse_request(line: str | bytes) -> Request:
     elif op == "release":
         params = ReleaseParams(
             lease_id=_require(raw, "lease_id", (str,), "params")
+        )
+    elif op == "reconfigure":
+        alpha = _opt(raw, "alpha", (int, float), "params")
+        params = ReconfigureParams(
+            lease_id=_require(raw, "lease_id", (str,), "params"),
+            remaining_s=_opt(raw, "remaining_s", (int, float), "params"),
+            alpha=None if alpha is None else float(alpha),
         )
     elif op == "status":
         params = StatusParams()

@@ -32,6 +32,7 @@ import threading
 from typing import Any
 
 from repro.broker.protocol import (
+    MAX_LINE_BYTES,
     AllocateParams,
     ErrorCode,
     ProtocolError,
@@ -96,8 +97,14 @@ class BrokerServer:
         paused batcher makes the admission queue fill synchronously).
         """
         self._queue = asyncio.Queue(maxsize=self.max_queue)
+        # The stream limit must exceed MAX_LINE_BYTES so oversized-but-
+        # bounded lines are *read* and then rejected (and counted) by
+        # parse_request, instead of blowing up readline() mid-transport.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=4 * MAX_LINE_BYTES,
         )
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
@@ -147,6 +154,25 @@ class BrokerServer:
                     line = await reader.readline()
                 except (ConnectionResetError, asyncio.IncompleteReadError):
                     break
+                except ValueError:
+                    # A line even the raised stream limit couldn't hold.
+                    # The stream can't be resynced mid-line, so answer
+                    # once, count it, and drop the connection.
+                    metrics = self.service.metrics
+                    metrics.protocol_errors += 1
+                    metrics.oversized_requests += 1
+                    writer.write(encode_response(error_response(
+                        "",
+                        ProtocolError(
+                            ErrorCode.BAD_REQUEST,
+                            f"request exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )))
+                    try:
+                        await writer.drain()
+                    except ConnectionResetError:
+                        pass
+                    break
                 if not line:
                     break
                 if line.strip() == b"":
@@ -169,7 +195,12 @@ class BrokerServer:
         try:
             request = parse_request(line)
         except ProtocolError as exc:
-            self.service.metrics.protocol_errors += 1
+            metrics = self.service.metrics
+            metrics.protocol_errors += 1
+            if len(line) > MAX_LINE_BYTES:
+                metrics.oversized_requests += 1
+            elif not _parses_as_object(line):
+                metrics.malformed_lines += 1
             req_id = _best_effort_id(line)
             return error_response(req_id, exc)
         self.service.metrics.record_request(request.op)
@@ -191,6 +222,13 @@ class BrokerServer:
             return ok_response(request.id, self.service.renew(request.params))
         if request.op == "release":
             return ok_response(request.id, self.service.release(request.params))
+        if request.op == "reconfigure":
+            # Served inline: replanning is heavier than renew/release but
+            # the service is synchronous anyway, and reconfigure traffic
+            # is orders of magnitude rarer than allocate.
+            return ok_response(
+                request.id, self.service.reconfigure(request.params)
+            )
         assert request.op == "status"
         return ok_response(request.id, self.service.status())
 
@@ -262,6 +300,16 @@ class BrokerServer:
                     len(reclaimed),
                     ", ".join(l.lease_id for l in reclaimed),
                 )
+
+
+def _parses_as_object(line: bytes) -> bool:
+    """Whether the line is at least a JSON object (vs. raw garbage)."""
+    import json
+
+    try:
+        return isinstance(json.loads(line), dict)
+    except Exception:  # noqa: BLE001
+        return False
 
 
 def _best_effort_id(line: bytes) -> str:

@@ -33,9 +33,14 @@ from repro.broker.protocol import (
     AllocateParams,
     ErrorCode,
     ProtocolError,
+    ReconfigureParams,
     ReleaseParams,
     RenewParams,
 )
+from repro.elastic.cost import MigrationCostConfig, SnapshotMigrationCost
+from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
+from repro.elastic.gate import GateConfig, PlanGate
+from repro.elastic.plan import ReconfigPlanner
 from repro.core.broker import ResourceBroker, WaitRecommended
 from repro.core.policies import (
     Allocation,
@@ -53,6 +58,27 @@ from repro.scheduler.leases import Lease, LeaseError, LeaseTable
 
 #: service-level counters start from this wall-clock origin
 _DecisionKey = tuple
+
+
+class _SnapshotCoster:
+    """Migration-cost adapter bound to whichever snapshot is current.
+
+    The gate holds one cost-model reference for its whole life, but the
+    broker's snapshot changes between requests; this indirection lets
+    :meth:`BrokerService.reconfigure` point the gate at the snapshot the
+    plan was computed from (the service is single-threaded, so the
+    assignment cannot race).
+    """
+
+    def __init__(self, config=None) -> None:
+        self.config = config
+        self.snapshot = None
+
+    def migration_cost_s(self, plan) -> float:
+        assert self.snapshot is not None, "set .snapshot before evaluating"
+        return SnapshotMigrationCost(
+            self.snapshot, self.config
+        ).migration_cost_s(plan)
 
 
 class BrokerService:
@@ -77,6 +103,8 @@ class BrokerService:
         wait_threshold_load_per_core: float | None = None,
         rng: np.random.Generator | None = None,
         memoize_decisions: bool = True,
+        gate_config: GateConfig | None = None,
+        migration_cost_config: MigrationCostConfig | None = None,
     ) -> None:
         if default_policy not in PAPER_POLICIES:
             raise ValueError(
@@ -99,6 +127,13 @@ class BrokerService:
         self.metrics = BrokerMetrics()
         self._rng = rng
         self.memoize_decisions = memoize_decisions
+        # -- elastic reconfiguration plumbing ---------------------------
+        self.planner = ReconfigPlanner()
+        self._coster = _SnapshotCoster(migration_cost_config)
+        self.gate = PlanGate(self._coster, gate_config)
+        self._executor = TwoPhaseExecutor(
+            self.leases, reserve_ttl_s=default_ttl_s
+        )
         self._started_at = clock()
 
     # ------------------------------------------------------------------
@@ -149,6 +184,9 @@ class BrokerService:
             allocation.procs,
             ttl_s=params.ttl_s,
             policy=allocation.policy,
+            # kept on the lease so reconfigure can rebuild the request
+            ppn=params.ppn,
+            alpha=params.alpha,
         )
         self.metrics.record_decision(time.perf_counter() - t0, granted=True)
         return self._grant_result(lease, allocation)
@@ -249,6 +287,106 @@ class BrokerService:
             "lease_id": lease.lease_id,
             "released": True,
             "nodes": list(lease.nodes),
+        }
+
+    def reconfigure(self, params: ReconfigureParams) -> dict[str, Any]:
+        """Replan a live lease; apply the plan if the gate accepts it.
+
+        The planner re-runs Algorithm 1/2 over the lease's own nodes plus
+        every unleased node; the gate weighs the Equation-4 gain (applied
+        to ``remaining_s``) against the checkpoint-transfer bill priced
+        from the snapshot's measured bandwidths.  An accepted plan is
+        applied to the lease table through the two-phase executor, and
+        the result carries the new node set and hostfile — the *client*
+        performs the actual migration after reading the response, exactly
+        as it launches ``mpiexec`` after ``allocate``.
+
+        Returns ``{"reconfigured": false, "reason": ...}`` when staying
+        put wins; raises :class:`ProtocolError` for dead leases or a
+        failed swap.
+        """
+        now = self._clock()
+        lease = self.leases.get(params.lease_id)
+        if lease is None:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_LEASE,
+                f"lease {params.lease_id!r} is not active",
+            )
+        if lease.expired(now):
+            self.leases.sweep()
+            self.metrics.expired += 1
+            raise ProtocolError(
+                ErrorCode.EXPIRED_LEASE,
+                f"lease {params.lease_id} expired; nodes reclaimed — "
+                "re-allocate instead of reconfiguring",
+            )
+        snapshot = self._snapshots()
+        alpha = params.alpha if params.alpha is not None else lease.alpha
+        request = AllocationRequest(
+            n_processes=sum(lease.procs.values()),
+            ppn=lease.ppn,
+            tradeoff=TradeOff.from_alpha(alpha),
+        )
+        t0 = time.perf_counter()
+        plan = self.planner.propose(
+            snapshot,
+            lease_id=lease.lease_id,
+            nodes=lease.nodes,
+            procs=lease.procs,
+            request=request,
+            exclude=self.leases.held_nodes(),
+        )
+        if plan is None:
+            self.metrics.reconfig_rejected += 1
+            return {
+                "lease_id": lease.lease_id,
+                "reconfigured": False,
+                "reason": "placement_already_best",
+                "plan_latency_s": time.perf_counter() - t0,
+            }
+        self._coster.snapshot = snapshot
+        remaining_s = (
+            params.remaining_s
+            if params.remaining_s is not None
+            else lease.remaining_s(now)
+        )
+        decision = self.gate.evaluate(plan, remaining_s=remaining_s, now=now)
+        if not decision:
+            self.metrics.reconfig_rejected += 1
+            return {
+                "lease_id": lease.lease_id,
+                "reconfigured": False,
+                "reason": decision.reason,
+                "kind": plan.kind,
+                "predicted_gain": plan.predicted_gain,
+                "benefit_s": decision.benefit_s,
+                "cost_s": decision.cost_s,
+                "plan_latency_s": time.perf_counter() - t0,
+            }
+        try:
+            swapped = self._executor.apply(plan)
+        except ReconfigError as exc:
+            try:
+                code = ErrorCode(exc.code)
+            except ValueError:  # pragma: no cover — all codes are mapped
+                code = ErrorCode.INTERNAL
+            raise ProtocolError(code, exc.message) from None
+        self.metrics.reconfigured += 1
+        return {
+            "lease_id": swapped.lease_id,
+            "reconfigured": True,
+            "kind": plan.kind,
+            "nodes": list(swapped.nodes),
+            "procs": dict(swapped.procs),
+            "hostfile": plan.allocation().hostfile(),
+            "add_nodes": list(plan.add_nodes),
+            "drop_nodes": list(plan.drop_nodes),
+            "predicted_gain": plan.predicted_gain,
+            "benefit_s": decision.benefit_s,
+            "cost_s": decision.cost_s,
+            "reconfigs": swapped.reconfigs,
+            "expires_at": swapped.expires_at,
+            "plan_latency_s": time.perf_counter() - t0,
         }
 
     def sweep_expired(self) -> list[Lease]:

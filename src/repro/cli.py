@@ -6,10 +6,12 @@ every invocation is reproducible):
 * ``allocate`` — request nodes and print an MPICH-style hostfile;
 * ``simulate`` — allocate and price a miniMD/miniFE/stencil run;
 * ``compare``  — the §5 four-policy comparison at one configuration;
+* ``elastic``  — static vs. elastic scheduling under drifting load (DES);
 * ``trace``    — record cluster resource usage to CSV (Figure 1 data);
 * ``report``   — regenerate a figure/table of the paper by name;
 * ``serve``    — run the persistent allocation broker daemon (TCP);
-* ``client``   — talk to a running broker (allocate/renew/release/status).
+* ``client``   — talk to a running broker
+  (allocate/renew/release/reconfigure/status).
 
 ``allocate`` and ``compare`` accept ``--json`` for machine-readable
 output, so scripted callers don't scrape the human-formatted text.
@@ -122,8 +124,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
     comparison = compare_policies(
         sc, app, build_request(args), rng=sc.streams.child("cli")
     )
+    elastic_cmp = None
+    if args.elastic:
+        from repro.elastic.experiment import run_elastic_comparison
+
+        elastic_cmp = run_elastic_comparison(
+            seed=args.seed,
+            n_processes=args.procs,
+            ppn=args.ppn,
+        )
     if args.json:
-        print(json.dumps({
+        payload = {
             "app": args.app,
             "size": args.size,
             "n_processes": args.procs,
@@ -136,12 +147,57 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 }
                 for name in POLICY_ORDER
             },
-        }, indent=2))
+        }
+        if elastic_cmp is not None:
+            payload["elastic"] = elastic_cmp.to_dict()
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"{'policy':>20s}  {'time (s)':>9s}  {'nodes':>5s}")
     for name in POLICY_ORDER:
         run = comparison.runs[name]
         print(f"{name:>20s}  {run.time_s:9.3f}  {run.allocation.n_nodes:5d}")
+    if elastic_cmp is not None:
+        print()
+        _print_elastic_table(elastic_cmp)
+    return 0
+
+
+def _print_elastic_table(cmp) -> None:
+    print(f"{'variant':>10s}  {'turnaround (s)':>14s}  {'makespan (s)':>12s}  "
+          f"{'reconfigs':>9s}  {'failed':>6s}")
+    for row in (cmp.static, cmp.elastic):
+        print(f"{row.variant:>10s}  {row.stats.mean_turnaround_s:14.1f}  "
+              f"{row.stats.makespan_s:12.1f}  {row.reconfigs:9d}  "
+              f"{row.failed_migrations:6d}")
+    print(f"elastic wins: turnaround {cmp.turnaround_improvement_pct:+.1f}%  "
+          f"makespan {cmp.makespan_improvement_pct:+.1f}%")
+
+
+def cmd_elastic(args: argparse.Namespace) -> int:
+    from repro.elastic.experiment import run_elastic_comparison
+
+    cmp = run_elastic_comparison(
+        seed=args.seed,
+        n_nodes=args.nodes,
+        n_jobs=args.jobs,
+        n_processes=args.procs,
+        ppn=args.ppn,
+        drift_intensity=args.intensity,
+        migration_failure_rate=args.failure_rate,
+        reprice_period_s=args.reprice_period_s,
+    )
+    if args.json:
+        out = cmp.to_dict()
+        if args.events:
+            out["elastic"]["events"] = list(cmp.elastic.reconfig_events)
+        print(json.dumps(out, indent=2))
+        return 0
+    _print_elastic_table(cmp)
+    if args.events:
+        for ev in cmp.elastic.reconfig_events:
+            print(f"  t={ev['time']:8.0f}s lease={ev['lease_id']} "
+                  f"{ev['kind']:>7s} {ev['outcome']:>9s} "
+                  f"gain={ev.get('predicted_gain', 0.0):+.3f}")
     return 0
 
 
@@ -317,6 +373,24 @@ def client_release(client, args: argparse.Namespace) -> int:
     return 0
 
 
+def client_reconfigure(client, args: argparse.Namespace) -> int:
+    result = client.reconfigure(
+        args.lease_id, remaining_s=args.remaining_s, alpha=args.alpha
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+    if not result.get("reconfigured"):
+        print(f"lease {args.lease_id}: staying put ({result.get('reason')})")
+        return 0
+    print(f"# lease={result['lease_id']} kind={result['kind']} "
+          f"gain={result['predicted_gain']:+.3f} "
+          f"cost={result['cost_s']:.1f}s "
+          f"drop={','.join(result['drop_nodes']) or '-'}")
+    sys.stdout.write(result["hostfile"])
+    return 0
+
+
 def client_status(client, args: argparse.Namespace) -> int:
     result = client.status()
     if args.json:
@@ -331,6 +405,11 @@ def client_status(client, args: argparse.Namespace) -> int:
     print(f"decisions: granted={m['granted']} denied={m['denied']} "
           f"busy_rejected={m['busy_rejected']} expired={m['expired']} "
           f"memoized={m['decisions_memoized']}")
+    print(f"reconfigure: committed={m['reconfigured']} "
+          f"rejected={m['reconfig_rejected']}")
+    print(f"protocol: errors={m['protocol_errors']} "
+          f"malformed={m['malformed_lines']} "
+          f"oversized={m['oversized_requests']}")
     print(f"batches: {m['batches']} sizes={m['batch_size_hist']}")
     print(f"latency: p50={lat['p50']:.3f}ms p99={lat['p99']:.3f}ms "
           f"max={lat['max']:.3f}ms")
@@ -368,7 +447,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=16)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of a table")
+    p.add_argument("--elastic", action="store_true",
+                   help="additionally run the static-vs-elastic DES "
+                        "comparison under drifting load (same seed)")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "elastic",
+        help="static vs. elastic scheduling under drifting load",
+    )
+    p.add_argument("--seed", type=int, default=0, help="simulation seed")
+    p.add_argument("--nodes", type=int, default=12)
+    p.add_argument("--jobs", type=int, default=6)
+    p.add_argument("-n", "--procs", type=int, default=8)
+    p.add_argument("--ppn", type=int, default=4)
+    p.add_argument("--intensity", type=float, default=1.0,
+                   help="drift intensity multiplier for the OU excursions")
+    p.add_argument("--failure-rate", type=float, default=0.0,
+                   help="probability an accepted migration fails mid-flight")
+    p.add_argument("--reprice-period-s", type=float, default=30.0)
+    p.add_argument("--events", action="store_true",
+                   help="also print each reconfiguration event")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_elastic)
 
     p = sub.add_parser("trace", help="record resource usage to CSV")
     add_scenario_args(p)
@@ -451,6 +552,18 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("lease_id")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_client, client_func=client_release)
+
+    c = csub.add_parser(
+        "reconfigure", help="replan a lease against current conditions"
+    )
+    c.add_argument("lease_id")
+    c.add_argument("--remaining-s", type=float, default=None,
+                   help="estimated remaining job runtime (amortizes the "
+                        "migration bill; default: lease's remaining TTL)")
+    c.add_argument("--alpha", type=float, default=None,
+                   help="override the Eq-4 trade-off recorded at grant time")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_client, client_func=client_reconfigure)
 
     c = csub.add_parser("status", help="daemon status and metrics")
     c.add_argument("--json", action="store_true")

@@ -1,0 +1,144 @@
+"""What a reconfiguration costs — checkpoint traffic plus restart.
+
+A malleable MPI job moves by checkpointing the ranks that change host,
+shipping their images to the destination nodes, and relaunching there
+(the DMR-style reconfigure).  The bill has two parts:
+
+* **transfer time** — every destination node pulls the images of the
+  ranks it gains.  Transfers run concurrently, so the wall cost is the
+  *slowest* transfer, priced against the same contended network the
+  execution model uses;
+* **restart overhead** — a fixed checkpoint/relaunch/rewire term that
+  makes microscopic migrations never worth it.
+
+Two interchangeable estimators share :class:`MigrationCostConfig`:
+
+* :class:`NetworkMigrationCost` prices transfers with
+  :meth:`repro.simmpi.costmodel.MessageCostModel.point_to_point_time_s`
+  against the live :class:`~repro.net.model.NetworkModel` — the DES
+  scheduler uses this (ground truth, contention included);
+* :class:`SnapshotMigrationCost` prices them from the monitor snapshot's
+  measured pair bandwidths — all the broker daemon has (its clients are
+  real processes; there is no ground-truth network object to ask).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.monitor.snapshot import ClusterSnapshot
+from repro.simmpi.costmodel import MessageCostModel
+from repro.util.validation import require_non_negative, require_positive
+
+if TYPE_CHECKING:
+    from repro.elastic.plan import ReconfigPlan
+    from repro.net.model import NetworkModel
+
+
+@dataclass(frozen=True)
+class MigrationCostConfig:
+    """Tunables shared by both migration-cost estimators."""
+
+    #: checkpoint image size per rank, MB (working set, not full RSS)
+    image_mb_per_rank: float = 256.0
+    #: fixed checkpoint + relaunch + rewire overhead, seconds
+    restart_overhead_s: float = 2.0
+    #: bandwidth assumed for pairs the monitor never measured, MB/s
+    fallback_bandwidth_mbs: float = 50.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.image_mb_per_rank, "image_mb_per_rank")
+        require_non_negative(self.restart_overhead_s, "restart_overhead_s")
+        require_positive(self.fallback_bandwidth_mbs, "fallback_bandwidth_mbs")
+
+
+def plan_transfers(plan: "ReconfigPlan") -> list[tuple[str, str, int]]:
+    """The rank moves a plan implies: ``(src, dst, ranks_moved)`` triples.
+
+    Every node that gains ranks pulls them from the nodes that lose
+    ranks, matched round-robin; a node keeping its count moves nothing.
+    Intra-node "moves" cannot occur (a node either gains or loses).
+    """
+    gains: list[tuple[str, int]] = []
+    losses: list[tuple[str, int]] = []
+    nodes = dict.fromkeys(list(plan.old_nodes) + list(plan.new_nodes))
+    for node in nodes:
+        before = int(plan.old_procs.get(node, 0))
+        after = int(plan.procs.get(node, 0))
+        if after > before:
+            gains.append((node, after - before))
+        elif before > after:
+            losses.append((node, before - after))
+    if not gains or not losses:
+        return []
+    transfers: list[tuple[str, str, int]] = []
+    li = 0
+    src, src_left = losses[0]
+    for dst, need in gains:
+        while need > 0:
+            take = min(need, src_left)
+            transfers.append((src, dst, take))
+            need -= take
+            src_left -= take
+            if src_left == 0:
+                li += 1
+                if li >= len(losses):
+                    return transfers
+                src, src_left = losses[li]
+    return transfers
+
+
+class NetworkMigrationCost:
+    """Migration cost priced against the live network model (DES path)."""
+
+    def __init__(
+        self,
+        network: "NetworkModel",
+        config: MigrationCostConfig | None = None,
+    ) -> None:
+        self.config = config or MigrationCostConfig()
+        self._cost = MessageCostModel(network)
+
+    def migration_cost_s(self, plan: "ReconfigPlan") -> float:
+        """Wall seconds to apply ``plan`` (slowest concurrent transfer)."""
+        transfers = plan_transfers(plan)
+        if not transfers:
+            return 0.0
+        slowest = max(
+            self._cost.point_to_point_time_s(
+                src, dst, ranks * self.config.image_mb_per_rank
+            )
+            for src, dst, ranks in transfers
+        )
+        return slowest + self.config.restart_overhead_s
+
+
+class SnapshotMigrationCost:
+    """Migration cost from monitor-measured pair bandwidths (broker path)."""
+
+    def __init__(
+        self,
+        snapshot: ClusterSnapshot,
+        config: MigrationCostConfig | None = None,
+    ) -> None:
+        self.snapshot = snapshot
+        self.config = config or MigrationCostConfig()
+
+    def migration_cost_s(self, plan: "ReconfigPlan") -> float:
+        """Wall seconds to apply ``plan`` under measured bandwidths."""
+        transfers = plan_transfers(plan)
+        if not transfers:
+            return 0.0
+        cfg = self.config
+        slowest = 0.0
+        for src, dst, ranks in transfers:
+            pair = self.snapshot.pair(src, dst)
+            bw = float(
+                self.snapshot.bandwidth_mbs.get(
+                    pair, cfg.fallback_bandwidth_mbs
+                )
+            )
+            bw = max(bw, 1e-6)
+            slowest = max(slowest, ranks * cfg.image_mb_per_rank / bw)
+        return slowest + cfg.restart_overhead_s

@@ -1,0 +1,119 @@
+"""When to reconsider a placement — sustained drift on a job's nodes.
+
+Replanning is cheap but not free (Algorithm 1/2 over the usable node
+set), and acting on a plan is expensive; neither should run on every
+monitor tick.  :class:`LoadDriftMonitor` watches the per-core load of
+every monitored node through the generic
+:class:`~repro.monitor.drift.DriftTracker` and flags a job only when the
+short-window mean on enough of its nodes has pulled away from the
+long-window mean — i.e. the load *moved and stayed moved*, the pattern
+Figure 1 of the paper shows external users producing.
+
+By default only *rising* drift triggers (the job's nodes getting
+busier).  Falling drift elsewhere — a better placement opening up — is
+still caught, because the controller replans whenever any of the job's
+nodes trips; set ``rising_only=False`` to also replan when the job's own
+nodes improve (useful for shrink-onto-fewer-nodes policies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.monitor.drift import DriftReading, DriftTracker
+from repro.monitor.snapshot import ClusterSnapshot
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """What counts as actionable drift."""
+
+    #: relative short-vs-long divergence that marks a node as drifting
+    rel_threshold: float = 0.25
+    #: how many of the job's nodes must drift before we replan
+    min_nodes: int = 1
+    #: only rising load triggers (see module docstring)
+    rising_only: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(self.rel_threshold, "rel_threshold")
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes}")
+
+    def trips(self, reading: DriftReading) -> bool:
+        """Whether one node's reading counts as drifting under this policy."""
+        if self.rising_only:
+            return reading.relative > self.rel_threshold
+        return reading.exceeds(self.rel_threshold)
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """The monitor's answer for one job at one instant."""
+
+    #: replan this job now?
+    triggered: bool
+    #: the job's nodes whose load drifted past the threshold
+    drifting: tuple[str, ...]
+    #: per-node readings for every job node with enough history
+    readings: Mapping[str, DriftReading]
+
+
+class LoadDriftMonitor:
+    """Tracks per-core load drift for every monitored node.
+
+    Feed it each monitor snapshot via :meth:`observe_snapshot`; ask it
+    about a specific job's nodes via :meth:`verdict`.  Load is
+    normalized per core so readings are comparable across heterogeneous
+    nodes (a load of 8 is idle chatter on a 64-core node and saturation
+    on an 8-core one).
+    """
+
+    def __init__(
+        self,
+        policy: DriftPolicy | None = None,
+        *,
+        tracker: DriftTracker | None = None,
+        load_key: str = "now",
+    ) -> None:
+        self.policy = policy or DriftPolicy()
+        self.tracker = tracker or DriftTracker()
+        #: which cpu_load entry feeds the tracker (``now`` — the rolling
+        #: windows do their own averaging on top of raw samples)
+        self.load_key = load_key
+        #: snapshots observed (observability)
+        self.observations = 0
+
+    def observe_snapshot(self, snapshot: ClusterSnapshot) -> None:
+        """Record one sample per monitored node from this snapshot."""
+        for name, view in snapshot.nodes.items():
+            load = float(view.cpu_load[self.load_key])
+            per_core = load / max(view.cores, 1)
+            self.tracker.observe(name, snapshot.time, per_core)
+        self.observations += 1
+
+    def verdict(
+        self, nodes: Sequence[str], now: float | None = None
+    ) -> DriftVerdict:
+        """Should the job running on ``nodes`` be replanned right now?"""
+        readings: dict[str, DriftReading] = {}
+        drifting: list[str] = []
+        for node in nodes:
+            reading = self.tracker.reading(node, now)
+            if reading is None:
+                continue
+            readings[node] = reading
+            if self.policy.trips(reading):
+                drifting.append(node)
+        return DriftVerdict(
+            triggered=len(drifting) >= self.policy.min_nodes,
+            drifting=tuple(drifting),
+            readings=readings,
+        )
+
+    def forget(self, nodes: Sequence[str]) -> None:
+        """Drop history for nodes (e.g. decommissioned ones)."""
+        for node in nodes:
+            self.tracker.forget(node)

@@ -1,0 +1,158 @@
+"""Two-phase plan execution — a migration that dies strands nothing.
+
+Applying a :class:`~repro.elastic.plan.ReconfigPlan` to the lease table
+naively (release old, grant new) has an obvious failure window: if the
+job's checkpoint transfer dies after the release, the job holds nothing
+and its old nodes may already be double-booked.  The executor closes the
+window with a reserve → switch → release protocol:
+
+1. **reserve** — the nodes the plan *adds* are taken under a temporary
+   lease (policy ``elastic-reserve``).  If any is no longer free the
+   plan aborts here with ``NODE_CONFLICT`` and nothing has changed.
+   The reservation carries a short TTL, so even a crashed executor
+   cannot strand nodes past one sweep interval.
+2. **switch** — the caller's ``migrate`` callback runs (checkpoint,
+   transfer, restart).  If it raises, the reservation is released and
+   the original lease is untouched: the job keeps running exactly where
+   it was, and ``RECONFIG_FAILED`` propagates with the cause chained.
+3. **release + swap** — the reservation is dropped and the job's own
+   lease is atomically :meth:`~repro.scheduler.leases.LeaseTable.swap`-ed
+   onto the new node set.  The broker's service loop is single-threaded
+   (asyncio), so no allocation can interleave between the two steps.
+
+At every exit — success or any failure — the table holds either the old
+placement or the new one, never both halves of one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.scheduler.leases import Lease, LeaseError, LeaseTable
+
+if TYPE_CHECKING:
+    from repro.elastic.plan import ReconfigPlan
+
+
+class ReconfigError(Exception):
+    """A plan that could not be applied.
+
+    ``code`` mirrors the lease-table error codes (``UNKNOWN_LEASE``,
+    ``EXPIRED_LEASE``, ``NODE_CONFLICT``, ``BAD_SWAP``) plus
+    ``STALE_PLAN`` (the lease no longer matches the placement the plan
+    was computed against) and ``RECONFIG_FAILED`` (the migration
+    callback raised; the original cause is chained).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class TwoPhaseExecutor:
+    """Applies accepted plans to a :class:`LeaseTable` transactionally."""
+
+    def __init__(
+        self, leases: LeaseTable, *, reserve_ttl_s: float = 60.0
+    ) -> None:
+        if reserve_ttl_s <= 0:
+            raise ValueError(
+                f"reserve_ttl_s must be positive, got {reserve_ttl_s}"
+            )
+        self.leases = leases
+        self.reserve_ttl_s = reserve_ttl_s
+        #: observability counters
+        self.attempts = 0
+        self.commits = 0
+        self.rollbacks = 0
+        self.rejects = 0
+
+    def apply(
+        self,
+        plan: "ReconfigPlan",
+        *,
+        migrate: Callable[["ReconfigPlan"], None] | None = None,
+    ) -> Lease:
+        """Run the full reserve → switch → release protocol for ``plan``.
+
+        Returns the job's post-swap lease.  Raises :class:`ReconfigError`
+        on any failure; the table is left consistent in every case (see
+        module docstring).
+        """
+        self.attempts += 1
+        lease = self.leases.get(plan.lease_id)
+        if lease is None:
+            self.rejects += 1
+            raise ReconfigError(
+                "UNKNOWN_LEASE",
+                f"lease {plan.lease_id!r} is not active; plan dropped",
+            )
+        if set(lease.nodes) != set(plan.old_nodes):
+            self.rejects += 1
+            raise ReconfigError(
+                "STALE_PLAN",
+                f"lease {plan.lease_id} now holds {sorted(lease.nodes)} "
+                f"but the plan was computed against "
+                f"{sorted(plan.old_nodes)}; replan required",
+            )
+
+        add = plan.add_nodes
+        drop = plan.drop_nodes
+
+        # Phase 1 — reserve the incoming nodes under a temporary lease.
+        reserve: Lease | None = None
+        if add:
+            try:
+                reserve = self.leases.grant(
+                    add,
+                    {n: int(plan.procs[n]) for n in add},
+                    ttl_s=self.reserve_ttl_s,
+                    policy="elastic-reserve",
+                )
+            except LeaseError as err:
+                self.rejects += 1
+                raise ReconfigError(err.code, err.message) from err
+
+        # Phase 2 — the actual migration (checkpoint/transfer/restart).
+        if migrate is not None:
+            try:
+                migrate(plan)
+            except Exception as err:
+                self._release_quietly(reserve)
+                self.rollbacks += 1
+                raise ReconfigError(
+                    "RECONFIG_FAILED",
+                    f"migration for lease {plan.lease_id} failed "
+                    f"({err!r}); reservation rolled back, original "
+                    "allocation intact",
+                ) from err
+
+        # Phase 3 — commit: free the reservation, swap the job's lease.
+        # The service loop is single-threaded, so nothing can grab the
+        # freed nodes between these two calls.
+        self._release_quietly(reserve)
+        try:
+            swapped = self.leases.swap(
+                plan.lease_id,
+                add,
+                drop,
+                procs={n: int(c) for n, c in plan.procs.items()},
+            )
+        except LeaseError as err:
+            # Only expiry can fail here (structure was pre-validated and
+            # the adds were reserved); the table already reclaimed the
+            # lease, which is consistent — the grant simply lapsed.
+            self.rollbacks += 1
+            raise ReconfigError(err.code, err.message) from err
+        self.commits += 1
+        return swapped
+
+    def _release_quietly(self, reserve: Lease | None) -> None:
+        if reserve is None:
+            return
+        try:
+            self.leases.release(reserve.lease_id)
+        except LeaseError:
+            # Reservation already expired/swept — nodes are free either way.
+            pass

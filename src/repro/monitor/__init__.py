@@ -12,6 +12,7 @@ Components map one-to-one onto Figure 3 of the paper:
 
 from repro.monitor.central import CentralMonitor
 from repro.monitor.daemons import Daemon, LivehostsD, NodeStateD
+from repro.monitor.drift import DriftReading, DriftTracker
 from repro.monitor.failures import FailureInjector
 from repro.monitor.netdaemons import BandwidthD, LatencyD
 from repro.monitor.rolling import RollingWindows
@@ -29,6 +30,8 @@ __all__ = [
     "Daemon",
     "LivehostsD",
     "NodeStateD",
+    "DriftReading",
+    "DriftTracker",
     "FailureInjector",
     "BandwidthD",
     "LatencyD",

@@ -56,6 +56,13 @@ class Lease:
     renewals: int = 0
     #: §5 policy name that produced the allocation (for status/debugging)
     policy: str = "network_load_aware"
+    #: requested processes-per-node (kept so elastic reconfiguration can
+    #: re-derive the original request shape); ``None`` = unpinned
+    ppn: int | None = None
+    #: Equation-4 α the grant was decided with (β = 1 − α)
+    alpha: float = 0.3
+    #: number of completed reconfigurations (expand/shrink/migrate)
+    reconfigs: int = 0
 
     def expired(self, now: float) -> bool:
         """Whether the TTL has elapsed at time ``now``."""
@@ -121,13 +128,15 @@ class LeaseTable:
         *,
         ttl_s: float | None = None,
         policy: str = "network_load_aware",
+        ppn: int | None = None,
+        alpha: float = 0.3,
     ) -> Lease:
         """Create a lease over ``nodes``; they must not be held already."""
         node_tuple = tuple(nodes)
         conflict = [n for n in node_tuple if n in self._held]
         if conflict:
             raise LeaseError(
-                "INTERNAL",
+                "NODE_CONFLICT",
                 f"nodes already held by another lease: {conflict}",
             )
         now = self.clock()
@@ -140,6 +149,8 @@ class LeaseTable:
             expires_at=now + ttl,
             ttl_s=ttl,
             policy=policy,
+            ppn=ppn,
+            alpha=alpha,
         )
         self._next_id += 1
         self._leases[lease.lease_id] = lease
@@ -190,6 +201,110 @@ class LeaseTable:
                 f"lease {lease_id} had already expired; nodes reclaimed",
             )
         return lease
+
+    def swap(
+        self,
+        lease_id: str,
+        add_nodes: Iterable[str],
+        drop_nodes: Iterable[str],
+        *,
+        procs: Mapping[str, int] | None = None,
+    ) -> Lease:
+        """Atomically change a live lease's node set; all-or-nothing.
+
+        ``add_nodes`` join the lease and ``drop_nodes`` leave it in one
+        step — the building block of elastic expand/shrink/migrate.  The
+        whole operation is validated *before* any state changes, so a
+        rejected swap leaves the table byte-identical to before the call:
+
+        * ``UNKNOWN_LEASE`` — the id is not in the table;
+        * ``EXPIRED_LEASE`` — the lease's TTL elapsed (nodes reclaimed,
+          exactly as :meth:`renew` does);
+        * ``NODE_CONFLICT`` — *any* node in ``add_nodes`` is held by a
+          different lease (a partial conflict rejects the entire swap);
+        * ``BAD_SWAP`` — a ``drop_nodes`` entry the lease does not hold,
+          an ``add_nodes`` entry it already holds, overlapping add/drop
+          sets, or a swap that would leave the lease with no nodes.
+
+        ``procs`` optionally replaces the process map (it must cover
+        exactly the resulting node set); without it, dropped nodes lose
+        their entries and added nodes get the mean of the surviving
+        per-node counts (at least 1).  A successful swap does **not**
+        touch the TTL — rebalancing a grant is not a keep-alive; clients
+        renew explicitly.
+        """
+        lease = self._require(lease_id)
+        now = self.clock()
+        if lease.expired(now):
+            self._evict(lease)
+            raise LeaseError(
+                "EXPIRED_LEASE",
+                f"lease {lease_id} expired at t={lease.expires_at:.3f} "
+                f"(now t={now:.3f}); cannot swap a dead grant",
+            )
+        add = tuple(dict.fromkeys(add_nodes))
+        drop = tuple(dict.fromkeys(drop_nodes))
+        held_now = set(lease.nodes)
+        overlap = [n for n in add if n in drop]
+        if overlap:
+            raise LeaseError(
+                "BAD_SWAP", f"nodes in both add and drop sets: {overlap}"
+            )
+        bad_drop = [n for n in drop if n not in held_now]
+        if bad_drop:
+            raise LeaseError(
+                "BAD_SWAP",
+                f"lease {lease_id} does not hold drop nodes: {bad_drop}",
+            )
+        dup_add = [n for n in add if n in held_now]
+        if dup_add:
+            raise LeaseError(
+                "BAD_SWAP",
+                f"lease {lease_id} already holds add nodes: {dup_add}",
+            )
+        conflict = [
+            n for n in add if self._held.get(n, lease_id) != lease_id
+        ]
+        if conflict:
+            raise LeaseError(
+                "NODE_CONFLICT",
+                f"nodes held by another lease: {conflict}; swap rejected "
+                "in full (all-or-nothing)",
+            )
+        new_nodes = tuple(n for n in lease.nodes if n not in drop) + add
+        if not new_nodes:
+            raise LeaseError(
+                "BAD_SWAP", f"swap would leave lease {lease_id} with no nodes"
+            )
+        if procs is not None:
+            if set(procs) != set(new_nodes):
+                raise LeaseError(
+                    "BAD_SWAP",
+                    "procs keys must exactly match the post-swap node set",
+                )
+            new_procs = {n: int(procs[n]) for n in new_nodes}
+        else:
+            kept = {
+                n: int(c) for n, c in lease.procs.items() if n not in drop
+            }
+            fill = max(
+                1, round(sum(kept.values()) / len(kept)) if kept else 1
+            )
+            new_procs = {**kept, **{n: fill for n in add}}
+        # -- validation complete; mutate in one step ---------------------
+        swapped = replace(
+            lease,
+            nodes=new_nodes,
+            procs=new_procs,
+            reconfigs=lease.reconfigs + 1,
+        )
+        self._leases[lease_id] = swapped
+        for n in drop:
+            if self._held.get(n) == lease_id:
+                del self._held[n]
+        for n in add:
+            self._held[n] = lease_id
+        return swapped
 
     def sweep(self) -> list[Lease]:
         """Reclaim every expired lease; returns the leases reclaimed.

@@ -28,7 +28,7 @@ from repro.core.policies import (
     NetworkLoadAwarePolicy,
 )
 from repro.core.weights import TradeOff
-from repro.des.engine import Engine
+from repro.des.engine import Engine, Event
 from repro.monitor.snapshot import ClusterSnapshot
 from repro.net.flows import Flow
 from repro.net.model import NetworkModel
@@ -70,6 +70,9 @@ class ClusterScheduler:
         self._running: dict[int, ScheduledJob] = {}
         self._busy_nodes: set[str] = set()
         self._job_flows: dict[int, list[Flow]] = {}
+        #: finish-event handle per running job, so subclasses (elastic
+        #: reconfiguration) can cancel and reschedule completions
+        self._finish_events: dict[int, Event] = {}
 
     # ------------------------------------------------------------------
     def submit(self, request: JobRequest) -> ScheduledJob:
@@ -136,10 +139,14 @@ class ClusterScheduler:
         job.execution_time_s = report.total_time_s
         self._running[req.job_id] = job
         self._occupy(job, placement)
-        self.engine.schedule(
+        self._finish_events[req.job_id] = self.engine.schedule(
             report.total_time_s, lambda: self._finish(job)
         )
+        self._on_started(job, report.total_time_s)
         return True
+
+    def _on_started(self, job: ScheduledJob, priced_time_s: float) -> None:
+        """Hook for subclasses; called after a job starts occupying nodes."""
 
     # ------------------------------------------------------------------
     def _occupy(self, job: ScheduledJob, placement: Placement) -> None:
@@ -165,9 +172,9 @@ class ClusterScheduler:
         if self.exclusive_nodes:
             self._busy_nodes.update(nodes)
 
-    def _finish(self, job: ScheduledJob) -> None:
+    def _vacate(self, job: ScheduledJob) -> None:
+        """Remove a job's load, traffic and node holds (not its record)."""
         assert job.allocation is not None
-        job.finish_time = self.engine.now
         placement = Placement.from_allocation(job.allocation)
         for node, count in placement.procs_per_node().items():
             self.workload.add_external_load(node, -float(count))
@@ -176,8 +183,17 @@ class ClusterScheduler:
                 self.network.remove_flow(flow)
         if self.exclusive_nodes:
             self._busy_nodes.difference_update(job.allocation.nodes)
+
+    def _finish(self, job: ScheduledJob) -> None:
+        job.finish_time = self.engine.now
+        self._vacate(job)
+        self._finish_events.pop(job.request.job_id, None)
         del self._running[job.request.job_id]
+        self._on_finished(job)
         self._try_start()
+
+    def _on_finished(self, job: ScheduledJob) -> None:
+        """Hook for subclasses; called after a job released its nodes."""
 
     # ------------------------------------------------------------------
     @property

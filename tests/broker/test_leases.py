@@ -33,7 +33,7 @@ class TestGrant:
         table.grant(["a"], {"a": 1})
         with pytest.raises(LeaseError) as err:
             table.grant(["a", "b"], {"a": 1, "b": 1})
-        assert err.value.code == "INTERNAL"
+        assert err.value.code == "NODE_CONFLICT"
         # the failed grant must not leak a partial hold on "b"
         assert table.held_nodes() == {"a"}
 
@@ -121,6 +121,108 @@ class TestSweep:
         clock.advance(10.0)
         assert table.sweep() == []
         assert table.held_nodes() == {"a"}
+
+
+class TestSwap:
+    """Atomic node-set swaps (elastic expand/shrink/migrate building block).
+
+    The all-or-nothing contract: a rejected swap — for *any* reason,
+    including a partial conflict — leaves the table byte-identical.
+    """
+
+    def _snapshot(self, table):
+        """Observable table state, for exact before/after comparison."""
+        return (
+            {l.lease_id: (l.nodes, dict(l.procs), l.expires_at, l.reconfigs)
+             for l in table.active()},
+            table.held_nodes(),
+        )
+
+    def test_migrate_swaps_nodes_and_counts_reconfig(self, table):
+        lease = table.grant(["a", "b"], {"a": 4, "b": 4})
+        swapped = table.swap(lease.lease_id, ["c"], ["b"])
+        assert set(swapped.nodes) == {"a", "c"}
+        assert swapped.reconfigs == 1
+        assert table.held_nodes() == {"a", "c"}
+
+    def test_swap_does_not_touch_ttl(self, table, clock):
+        lease = table.grant(["a"], {"a": 4}, ttl_s=30.0)
+        clock.advance(20.0)
+        swapped = table.swap(lease.lease_id, ["b"], [])
+        assert swapped.expires_at == 30.0  # rebalance is not a keep-alive
+        clock.advance(10.0)  # now == expires_at: dead despite the swap
+        with pytest.raises(LeaseError) as err:
+            table.swap(lease.lease_id, ["c"], [])
+        assert err.value.code == "EXPIRED_LEASE"
+        assert table.held_nodes() == frozenset()
+
+    def test_partial_conflict_rejects_whole_swap(self, table, clock):
+        """One conflicting node among many poisons the entire swap."""
+        victim = table.grant(["a", "b"], {"a": 4, "b": 4})
+        other = table.grant(["c"], {"c": 4})
+        clock.advance(5.0)
+        before = self._snapshot(table)
+        with pytest.raises(LeaseError) as err:
+            # "d" is free, "c" is other's: all-or-nothing must roll back
+            table.swap(victim.lease_id, ["d", "c"], ["b"])
+        assert err.value.code == "NODE_CONFLICT"
+        assert self._snapshot(table) == before
+        assert table.get(victim.lease_id).nodes == ("a", "b")
+        assert table.get(victim.lease_id).reconfigs == 0
+        # the free node of the failed swap was not leaked into the table
+        assert "d" not in table.held_nodes()
+        # and both leases still operate normally afterwards
+        assert table.swap(other.lease_id, ["d"], []).nodes == ("c", "d")
+
+    def test_bad_procs_map_rolls_back(self, table):
+        lease = table.grant(["a", "b"], {"a": 4, "b": 4})
+        before = self._snapshot(table)
+        with pytest.raises(LeaseError) as err:
+            table.swap(lease.lease_id, ["c"], ["b"], procs={"a": 4})
+        assert err.value.code == "BAD_SWAP"
+        assert self._snapshot(table) == before
+
+    @pytest.mark.parametrize("add,drop", [
+        (["b"], ["b"]),    # overlapping add/drop
+        ([], ["z"]),       # dropping a node the lease does not hold
+        (["a"], []),       # adding a node it already holds
+        ([], ["a"]),       # would leave the lease empty
+    ])
+    def test_structural_rejections(self, table, add, drop):
+        lease = table.grant(["a"], {"a": 4})
+        before = self._snapshot(table)
+        with pytest.raises(LeaseError) as err:
+            table.swap(lease.lease_id, add, drop)
+        assert err.value.code == "BAD_SWAP"
+        assert self._snapshot(table) == before
+
+    def test_unknown_lease(self, table):
+        with pytest.raises(LeaseError) as err:
+            table.swap("L99999999", ["a"], [])
+        assert err.value.code == "UNKNOWN_LEASE"
+
+    def test_expired_lease_is_reclaimed_by_swap(self, table, clock):
+        lease = table.grant(["a"], {"a": 1}, ttl_s=10.0)
+        clock.advance(15.0)
+        with pytest.raises(LeaseError) as err:
+            table.swap(lease.lease_id, ["b"], [])
+        assert err.value.code == "EXPIRED_LEASE"
+        assert table.held_nodes() == frozenset()
+        assert table.sweep() == []  # reclaimed exactly once
+
+    def test_default_procs_fill_mean(self, table):
+        lease = table.grant(["a", "b"], {"a": 6, "b": 2})
+        swapped = table.swap(lease.lease_id, ["c"], [])
+        assert swapped.procs == {"a": 6, "b": 2, "c": 4}
+
+    def test_explicit_procs_replace_map(self, table):
+        lease = table.grant(["a", "b"], {"a": 4, "b": 4})
+        swapped = table.swap(
+            lease.lease_id, ["c"], ["a", "b"], procs={"c": 8}
+        )
+        assert swapped.nodes == ("c",)
+        assert swapped.procs == {"c": 8}
+        assert table.held_nodes() == {"c"}
 
 
 class TestValidation:

@@ -1,0 +1,72 @@
+"""Shared fixtures for the elastic reallocation engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import AllocationRequest
+from repro.core.weights import TradeOff
+from repro.elastic.plan import ReconfigPlan, plan_kind
+
+
+class FakeClock:
+    """A manually advanced clock: call it for 'now', advance() to move."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        assert dt >= 0
+        self.t += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_plan(
+    *,
+    lease_id: str = "L00000001",
+    old_nodes=("a", "b"),
+    new_nodes=("a", "c"),
+    old_procs=None,
+    procs=None,
+    predicted_gain: float = 0.3,
+    n: int = 8,
+    ppn: int = 4,
+) -> ReconfigPlan:
+    """A hand-built plan (planner output shape) for gate/executor tests."""
+    old_procs = old_procs or {node: ppn for node in old_nodes}
+    procs = procs or {node: ppn for node in new_nodes}
+    current_total = 1.0
+    return ReconfigPlan(
+        lease_id=lease_id,
+        kind=plan_kind(old_nodes, new_nodes),
+        old_nodes=tuple(old_nodes),
+        new_nodes=tuple(new_nodes),
+        old_procs=dict(old_procs),
+        procs=dict(procs),
+        current_total=current_total,
+        proposed_total=current_total * (1.0 - predicted_gain),
+        predicted_gain=predicted_gain,
+        request=AllocationRequest(
+            n_processes=n, ppn=ppn, tradeoff=TradeOff.from_alpha(0.3)
+        ),
+        snapshot_time=0.0,
+    )
+
+
+class FlatCoster:
+    """A MigrationCoster with a constant bill (gate arithmetic tests)."""
+
+    def __init__(self, cost_s: float = 10.0) -> None:
+        self.cost_s = cost_s
+        self.priced = 0
+
+    def migration_cost_s(self, plan) -> float:
+        self.priced += 1
+        return self.cost_s

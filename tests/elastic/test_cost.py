@@ -1,0 +1,128 @@
+"""Migration pricing — transfer decomposition and both estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic.cost import (
+    MigrationCostConfig,
+    SnapshotMigrationCost,
+    plan_transfers,
+)
+
+from tests.core.conftest import make_snapshot, make_view
+from tests.elastic.conftest import make_plan
+
+
+class TestPlanTransfers:
+    def test_pure_migrate_moves_everything(self):
+        plan = make_plan(
+            old_nodes=("a", "b"), new_nodes=("c", "d"),
+            old_procs={"a": 4, "b": 4}, procs={"c": 4, "d": 4},
+        )
+        transfers = plan_transfers(plan)
+        assert sorted(transfers) == [("a", "c", 4), ("b", "d", 4)]
+
+    def test_shrink_concentrates_on_survivor(self):
+        plan = make_plan(
+            old_nodes=("a", "b"), new_nodes=("a",),
+            old_procs={"a": 4, "b": 4}, procs={"a": 8},
+        )
+        assert plan_transfers(plan) == [("b", "a", 4)]
+
+    def test_expand_fans_out_from_source(self):
+        plan = make_plan(
+            old_nodes=("a",), new_nodes=("a", "b", "c"),
+            old_procs={"a": 9}, procs={"a": 3, "b": 3, "c": 3},
+        )
+        assert sorted(plan_transfers(plan)) == [
+            ("a", "b", 3), ("a", "c", 3),
+        ]
+
+    def test_round_robin_splits_across_sources(self):
+        plan = make_plan(
+            old_nodes=("a", "b"), new_nodes=("c",),
+            old_procs={"a": 3, "b": 5}, procs={"c": 8},
+        )
+        assert plan_transfers(plan) == [("a", "c", 3), ("b", "c", 5)]
+
+    def test_unchanged_node_moves_nothing(self):
+        plan = make_plan(
+            old_nodes=("a", "b"), new_nodes=("a", "c"),
+            old_procs={"a": 4, "b": 4}, procs={"a": 4, "c": 4},
+        )
+        assert plan_transfers(plan) == [("b", "c", 4)]
+
+    def test_rebalance_with_no_count_change_is_free(self):
+        plan = make_plan(
+            old_nodes=("a", "b"), new_nodes=("a", "b"),
+            old_procs={"a": 4, "b": 4}, procs={"a": 4, "b": 4},
+        )
+        assert plan_transfers(plan) == []
+
+
+class TestSnapshotMigrationCost:
+    def make_cost(self, bandwidth=None, **cfg):
+        views = {n: make_view(n) for n in ("a", "b", "c", "d")}
+        snapshot = make_snapshot(views, bandwidth=bandwidth)
+        return SnapshotMigrationCost(
+            snapshot, MigrationCostConfig(**cfg)
+        )
+
+    def test_wall_cost_is_slowest_transfer_plus_restart(self):
+        cost = self.make_cost(
+            bandwidth={("a", "c"): 100.0, ("b", "d"): 10.0},
+            image_mb_per_rank=100.0,
+            restart_overhead_s=2.0,
+        )
+        plan = make_plan(
+            old_nodes=("a", "b"), new_nodes=("c", "d"),
+            old_procs={"a": 4, "b": 4}, procs={"c": 4, "d": 4},
+        )
+        # a->c: 400MB @ 100MB/s = 4s; b->d: 400MB @ 10MB/s = 40s
+        assert cost.migration_cost_s(plan) == pytest.approx(42.0)
+
+    def test_no_moves_costs_nothing_at_all(self):
+        cost = self.make_cost(restart_overhead_s=5.0)
+        plan = make_plan(
+            old_nodes=("a", "b"), new_nodes=("a", "b"),
+            old_procs={"a": 4, "b": 4}, procs={"a": 4, "b": 4},
+        )
+        assert cost.migration_cost_s(plan) == 0.0
+
+    def test_unmeasured_pair_uses_fallback_bandwidth(self):
+        views = {n: make_view(n) for n in ("a", "b")}
+        snapshot = make_snapshot(views)
+        snapshot = type(snapshot)(
+            time=snapshot.time,
+            nodes=snapshot.nodes,
+            bandwidth_mbs={},  # the monitor never measured a-b
+            latency_us=snapshot.latency_us,
+            peak_bandwidth_mbs=snapshot.peak_bandwidth_mbs,
+            livehosts=snapshot.livehosts,
+        )
+        cost = SnapshotMigrationCost(
+            snapshot,
+            MigrationCostConfig(
+                image_mb_per_rank=100.0,
+                restart_overhead_s=0.0,
+                fallback_bandwidth_mbs=50.0,
+            ),
+        )
+        plan = make_plan(
+            old_nodes=("a",), new_nodes=("b",),
+            old_procs={"a": 2}, procs={"b": 2},
+        )
+        assert cost.migration_cost_s(plan) == pytest.approx(200.0 / 50.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"image_mb_per_rank": 0.0},
+        {"image_mb_per_rank": -1.0},
+        {"restart_overhead_s": -0.1},
+        {"fallback_bandwidth_mbs": 0.0},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MigrationCostConfig(**kwargs)

@@ -1,0 +1,126 @@
+"""LoadDriftMonitor — sustained drift triggers, spikes and idling don't."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic.drift import DriftPolicy, LoadDriftMonitor
+
+from tests.core.conftest import make_snapshot, make_view
+
+
+def feed(monitor, loads_by_time, cores=12):
+    """Feed one snapshot per (time, {node: load}) entry."""
+    for t, loads in loads_by_time:
+        views = {
+            name: make_view(name, cores=cores, load=load)
+            for name, load in loads.items()
+        }
+        monitor.observe_snapshot(make_snapshot(views, time=t))
+
+
+def steady_then_step(node_loads_before, node_loads_after, *,
+                     t_step=900.0, t_end=1020.0, period=30.0):
+    """A load trajectory: steady history, then a step that persists."""
+    out = []
+    t = 0.0
+    while t < t_step:
+        out.append((t, dict(node_loads_before)))
+        t += period
+    while t <= t_end:
+        out.append((t, dict(node_loads_after)))
+        t += period
+    return out
+
+
+class TestTrigger:
+    def test_sustained_rise_triggers(self):
+        monitor = LoadDriftMonitor(DriftPolicy(rel_threshold=0.25))
+        feed(monitor, steady_then_step(
+            {"a": 1.0, "b": 1.0}, {"a": 10.0, "b": 1.0},
+        ))
+        verdict = monitor.verdict(["a", "b"], now=1020.0)
+        assert verdict.triggered
+        assert verdict.drifting == ("a",)
+        assert verdict.readings["a"].relative > 0.25
+        assert abs(verdict.readings["b"].relative) < 0.25
+
+    def test_steady_load_does_not_trigger(self):
+        monitor = LoadDriftMonitor(DriftPolicy(rel_threshold=0.25))
+        feed(monitor, steady_then_step(
+            {"a": 4.0, "b": 4.0}, {"a": 4.0, "b": 4.0},
+        ))
+        verdict = monitor.verdict(["a", "b"], now=1020.0)
+        assert not verdict.triggered
+        assert verdict.drifting == ()
+
+    def test_rising_only_ignores_falling_load(self):
+        trajectory = steady_then_step({"a": 10.0}, {"a": 0.5})
+        rising = LoadDriftMonitor(DriftPolicy(rising_only=True))
+        feed(rising, trajectory)
+        assert not rising.verdict(["a"], now=1020.0).triggered
+
+        both = LoadDriftMonitor(DriftPolicy(rising_only=False))
+        feed(both, trajectory)
+        assert both.verdict(["a"], now=1020.0).triggered
+
+    def test_min_nodes_requires_enough_drifters(self):
+        monitor = LoadDriftMonitor(DriftPolicy(min_nodes=2))
+        feed(monitor, steady_then_step(
+            {"a": 1.0, "b": 1.0}, {"a": 10.0, "b": 1.0},
+        ))
+        verdict = monitor.verdict(["a", "b"], now=1020.0)
+        assert verdict.drifting == ("a",)
+        assert not verdict.triggered  # one drifter < min_nodes=2
+
+    def test_load_is_normalized_per_core(self):
+        """The same absolute load step is drift on a small node only."""
+        monitor = LoadDriftMonitor(DriftPolicy(rel_threshold=0.25))
+        # 4-core node: 1 -> 5 load is a 4x per-core jump
+        feed(monitor, steady_then_step({"small": 1.0}, {"small": 5.0}),
+             cores=4)
+        assert monitor.verdict(["small"], now=1020.0).triggered
+        # 128-core node: same absolute step is idle chatter per core,
+        # but relative drift is scale-free, so guard with the floor:
+        big = LoadDriftMonitor(DriftPolicy(rel_threshold=0.25))
+        feed(big, steady_then_step({"big": 1.0}, {"big": 1.2}), cores=128)
+        reading = big.verdict(["big"], now=1020.0).readings["big"]
+        # per-core means sit far below the 0.05 floor: tiny relative
+        assert not big.verdict(["big"], now=1020.0).triggered
+        assert reading.short_mean < 0.05
+
+
+class TestHistoryHandling:
+    def test_unknown_node_yields_no_reading(self):
+        monitor = LoadDriftMonitor()
+        verdict = monitor.verdict(["ghost"], now=0.0)
+        assert not verdict.triggered and verdict.readings == {}
+
+    def test_single_sample_suppressed(self):
+        """min_samples stops a fresh tracker reporting spurious drift."""
+        monitor = LoadDriftMonitor()
+        feed(monitor, [(0.0, {"a": 10.0})])
+        assert monitor.verdict(["a"], now=0.0).readings == {}
+
+    def test_forget_drops_history(self):
+        monitor = LoadDriftMonitor()
+        feed(monitor, steady_then_step({"a": 1.0}, {"a": 10.0}))
+        assert monitor.verdict(["a"], now=1020.0).triggered
+        monitor.forget(["a"])
+        assert monitor.verdict(["a"], now=1020.0).readings == {}
+
+    def test_observation_counter(self):
+        monitor = LoadDriftMonitor()
+        feed(monitor, [(0.0, {"a": 1.0}), (30.0, {"a": 1.0})])
+        assert monitor.observations == 2
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rel_threshold": 0.0},
+        {"rel_threshold": -0.5},
+        {"min_nodes": 0},
+    ])
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftPolicy(**kwargs)

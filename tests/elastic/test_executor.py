@@ -1,0 +1,185 @@
+"""TwoPhaseExecutor — reserve/switch/release with fault injection.
+
+The acceptance criterion this file locks in: an injected mid-flight
+migration failure leaves the lease table consistent — the job keeps its
+original nodes, the reservation is rolled back, and nothing is stranded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
+from repro.scheduler.leases import LeaseTable
+
+from tests.elastic.conftest import make_plan
+
+
+@pytest.fixture
+def table(clock) -> LeaseTable:
+    return LeaseTable(clock=clock, default_ttl_s=3600.0, max_ttl_s=7200.0)
+
+
+@pytest.fixture
+def executor(table) -> TwoPhaseExecutor:
+    return TwoPhaseExecutor(table, reserve_ttl_s=60.0)
+
+
+def grant_job(table, nodes=("a", "b"), ppn=4):
+    return table.grant(list(nodes), {n: ppn for n in nodes})
+
+
+class TestCommit:
+    def test_migrate_plan_commits(self, table, executor):
+        lease = grant_job(table)
+        plan = make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"),
+            new_nodes=("a", "c"),
+        )
+        migrated = []
+        swapped = executor.apply(plan, migrate=lambda p: migrated.append(p))
+        assert migrated == [plan]
+        assert set(swapped.nodes) == {"a", "c"}
+        assert table.held_nodes() == {"a", "c"}
+        assert swapped.reconfigs == 1
+        assert (executor.commits, executor.rollbacks) == (1, 0)
+
+    def test_commit_leaves_no_reserve_lease_behind(self, table, executor):
+        lease = grant_job(table)
+        plan = make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"),
+            new_nodes=("c", "d"),
+        )
+        executor.apply(plan)
+        active = table.active()
+        assert len(active) == 1  # the job's own lease only
+        assert active[0].lease_id == lease.lease_id
+        assert table.held_nodes() == {"c", "d"}
+
+    def test_pure_expand_and_shrink(self, table, executor):
+        lease = grant_job(table, nodes=("a",), ppn=8)
+        grown = executor.apply(make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a",), new_nodes=("a", "b"),
+            old_procs={"a": 8}, procs={"a": 4, "b": 4},
+        ))
+        assert set(grown.nodes) == {"a", "b"}
+        shrunk = executor.apply(make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"), new_nodes=("b",),
+            old_procs={"a": 4, "b": 4}, procs={"b": 8},
+        ))
+        assert shrunk.nodes == ("b",)
+        assert shrunk.procs == {"b": 8}
+        assert table.held_nodes() == {"b"}
+
+
+class TestRollback:
+    def test_migration_failure_rolls_back_everything(self, table, executor):
+        """The headline fault-injection invariant."""
+        lease = grant_job(table)
+        before = (lease.nodes, dict(lease.procs), lease.expires_at)
+        plan = make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"),
+            new_nodes=("a", "c"),
+        )
+
+        def failing_migrate(p):
+            raise RuntimeError("checkpoint transfer died")
+
+        with pytest.raises(ReconfigError) as err:
+            executor.apply(plan, migrate=failing_migrate)
+        assert err.value.code == "RECONFIG_FAILED"
+        # the job's lease is untouched...
+        after = table.get(lease.lease_id)
+        assert (after.nodes, dict(after.procs), after.expires_at) == before
+        assert after.reconfigs == 0
+        # ...and the reservation on "c" was rolled back, not stranded
+        assert table.held_nodes() == {"a", "b"}
+        assert len(table.active()) == 1
+        assert (executor.commits, executor.rollbacks) == (0, 1)
+
+    def test_failed_target_is_regrantable_immediately(self, table, executor):
+        lease = grant_job(table)
+        plan = make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"), new_nodes=("a", "c"),
+        )
+        with pytest.raises(ReconfigError):
+            executor.apply(plan, migrate=lambda p: 1 / 0)
+        # no TTL shadow: another job can take "c" right now
+        other = table.grant(["c"], {"c": 4})
+        assert "c" in table.held_nodes()
+        assert other.lease_id != lease.lease_id
+
+
+class TestRejection:
+    def test_unknown_lease(self, table, executor):
+        plan = make_plan(lease_id="L99999999")
+        with pytest.raises(ReconfigError) as err:
+            executor.apply(plan)
+        assert err.value.code == "UNKNOWN_LEASE"
+        assert executor.rejects == 1
+
+    def test_stale_plan_rejected(self, table, executor):
+        """A plan computed against an outdated node set must not apply."""
+        lease = grant_job(table)
+        plan = make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "z"),  # lease actually holds (a, b)
+            new_nodes=("a", "c"),
+        )
+        with pytest.raises(ReconfigError) as err:
+            executor.apply(plan)
+        assert err.value.code == "STALE_PLAN"
+        assert table.held_nodes() == {"a", "b"}
+
+    def test_add_node_conflict_is_all_or_nothing(self, table, executor):
+        lease = grant_job(table)
+        table.grant(["c"], {"c": 4})  # someone else holds c
+        plan = make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"),
+            new_nodes=("a", "c", "d"),  # c conflicts, d is free
+            procs={"a": 4, "c": 2, "d": 2},
+        )
+        with pytest.raises(ReconfigError) as err:
+            executor.apply(plan)
+        assert err.value.code == "NODE_CONFLICT"
+        # victim unchanged and the free node "d" was not leaked
+        assert table.get(lease.lease_id).nodes == ("a", "b")
+        assert table.held_nodes() == {"a", "b", "c"}
+
+    def test_expired_lease_rejected(self, table, executor, clock):
+        lease = grant_job(table)
+        clock.advance(7200.0)
+        plan = make_plan(lease_id=lease.lease_id)
+        with pytest.raises(ReconfigError) as err:
+            executor.apply(plan)
+        assert err.value.code == "EXPIRED_LEASE"
+
+
+class TestCounters:
+    def test_attempts_partition_into_outcomes(self, table, executor):
+        lease = grant_job(table)
+        executor.apply(make_plan(lease_id=lease.lease_id))  # commit
+        with pytest.raises(ReconfigError):
+            executor.apply(make_plan(lease_id="L404"))  # reject
+        fresh = table.get(lease.lease_id)
+        with pytest.raises(ReconfigError):
+            executor.apply(
+                make_plan(
+                    lease_id=lease.lease_id,
+                    old_nodes=fresh.nodes,
+                    new_nodes=("b",) if "b" not in fresh.nodes else ("a",),
+                    procs=None,
+                ),
+                migrate=lambda p: 1 / 0,
+            )  # rollback
+        assert executor.attempts == 3
+        assert executor.commits == 1
+        assert executor.rejects == 1
+        assert executor.rollbacks == 1

@@ -1,0 +1,102 @@
+"""PlanGate — the cost/benefit damper that prevents thrashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic.gate import GateConfig, PlanGate
+
+from tests.elastic.conftest import FlatCoster, make_plan
+
+
+@pytest.fixture
+def gate() -> PlanGate:
+    return PlanGate(
+        FlatCoster(cost_s=10.0),
+        GateConfig(
+            min_gain=0.05,
+            benefit_margin=1.5,
+            min_remaining_s=60.0,
+            cooldown_s=300.0,
+        ),
+    )
+
+
+class TestAcceptance:
+    def test_profitable_plan_accepted(self, gate):
+        plan = make_plan(predicted_gain=0.3)
+        decision = gate.evaluate(plan, remaining_s=600.0, now=0.0)
+        assert decision.accepted and bool(decision)
+        assert decision.reason == "accepted"
+        # default benefit proxy: gain x remaining
+        assert decision.benefit_s == pytest.approx(180.0)
+        assert decision.cost_s == pytest.approx(10.0)
+
+    def test_benefit_override_replaces_proxy(self, gate):
+        plan = make_plan(predicted_gain=0.3)
+        decision = gate.evaluate(
+            plan, remaining_s=600.0, now=0.0, benefit_s=12.0
+        )
+        # 12 < 1.5 * 10: the exact benefit kills a proxy-profitable plan
+        assert not decision.accepted
+        assert decision.reason == "cost_exceeds_benefit"
+
+
+class TestRejectionReasons:
+    def test_job_nearly_done(self, gate):
+        plan = make_plan(predicted_gain=0.9)
+        decision = gate.evaluate(plan, remaining_s=59.0, now=0.0)
+        assert decision.reason == "job_nearly_done"
+
+    def test_gain_below_floor(self, gate):
+        plan = make_plan(predicted_gain=0.01)
+        decision = gate.evaluate(plan, remaining_s=3600.0, now=0.0)
+        assert decision.reason == "gain_below_floor"
+
+    def test_cost_exceeds_benefit_includes_margin(self, gate):
+        # benefit 12s vs cost 10s: profitable absolutely, not at 1.5x
+        plan = make_plan(predicted_gain=0.12)
+        decision = gate.evaluate(plan, remaining_s=100.0, now=0.0)
+        assert decision.reason == "cost_exceeds_benefit"
+        assert decision.benefit_s == pytest.approx(12.0)
+
+    def test_rejection_does_not_start_cooldown(self, gate):
+        bad = make_plan(predicted_gain=0.01)
+        gate.evaluate(bad, remaining_s=3600.0, now=0.0)
+        good = make_plan(predicted_gain=0.5)
+        assert gate.evaluate(good, remaining_s=3600.0, now=1.0).accepted
+
+
+class TestCooldown:
+    def test_accept_starts_cooldown(self, gate):
+        plan = make_plan(predicted_gain=0.5)
+        assert gate.evaluate(plan, remaining_s=3600.0, now=1000.0).accepted
+        again = gate.evaluate(plan, remaining_s=3600.0, now=1200.0)
+        assert again.reason == "in_cooldown"
+        # cooldown_s after the acceptance, the job may move again
+        later = gate.evaluate(plan, remaining_s=3600.0, now=1300.0)
+        assert later.accepted
+
+    def test_cooldown_is_per_lease(self, gate):
+        first = make_plan(lease_id="L1", predicted_gain=0.5)
+        other = make_plan(lease_id="L2", predicted_gain=0.5)
+        assert gate.evaluate(first, remaining_s=3600.0, now=0.0).accepted
+        assert gate.evaluate(other, remaining_s=3600.0, now=1.0).accepted
+
+    def test_forget_clears_cooldown(self, gate):
+        plan = make_plan(predicted_gain=0.5)
+        assert gate.evaluate(plan, remaining_s=3600.0, now=0.0).accepted
+        gate.forget(plan.lease_id)
+        assert gate.evaluate(plan, remaining_s=3600.0, now=1.0).accepted
+
+
+class TestObservability:
+    def test_counts_by_reason(self, gate):
+        gate.evaluate(make_plan(predicted_gain=0.5), remaining_s=3600.0)
+        gate.evaluate(make_plan(predicted_gain=0.01), remaining_s=3600.0)
+        gate.evaluate(make_plan(predicted_gain=0.5), remaining_s=10.0)
+        assert gate.counts == {
+            "accepted": 1,
+            "gain_below_floor": 1,
+            "job_nearly_done": 1,
+        }

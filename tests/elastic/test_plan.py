@@ -1,0 +1,171 @@
+"""ReconfigPlanner — Algorithm 1/2 replanning for running jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import AllocationRequest
+from repro.core.weights import TradeOff
+from repro.elastic.plan import ReconfigPlanner, plan_kind
+
+from tests.core.conftest import make_snapshot, make_view
+
+
+def request(n=8, ppn=4, alpha=0.3) -> AllocationRequest:
+    return AllocationRequest(
+        n_processes=n, ppn=ppn, tradeoff=TradeOff.from_alpha(alpha)
+    )
+
+
+def snapshot_with_loads(loads, time=0.0, bandwidth=None):
+    views = {n: make_view(n, load=v) for n, v in loads.items()}
+    return make_snapshot(views, time=time, bandwidth=bandwidth)
+
+
+@pytest.fixture
+def planner() -> ReconfigPlanner:
+    return ReconfigPlanner()
+
+
+class TestPropose:
+    def test_escapes_hot_nodes(self, planner):
+        """A job on saturated nodes gets a plan onto the idle ones."""
+        snap = snapshot_with_loads(
+            {"a": 11.0, "b": 11.0, "c": 0.2, "d": 0.2, "e": 0.2, "f": 0.2}
+        )
+        plan = planner.propose(
+            snap,
+            lease_id="L1",
+            nodes=["a", "b"],
+            procs={"a": 4, "b": 4},
+            request=request(),
+        )
+        assert plan is not None
+        assert plan.predicted_gain > 0.0
+        assert not (set(plan.new_nodes) & {"a", "b"})
+        assert sum(plan.procs.values()) == 8
+        assert plan.lease_id == "L1"
+        assert plan.proposed_total < plan.current_total
+
+    def test_incumbent_best_returns_none(self):
+        """A job already on the only idle nodes should stay put.
+
+        Same-shape only: with shape changes allowed the planner may
+        legitimately propose shrinking onto one node (zero network
+        cost), which is a different claim than this test makes.
+        """
+        planner = ReconfigPlanner(shape_factors=(1.0,))
+        snap = snapshot_with_loads(
+            {"a": 0.2, "b": 0.2, "c": 11.0, "d": 11.0, "e": 11.0, "f": 11.0}
+        )
+        plan = planner.propose(
+            snap,
+            lease_id="L1",
+            nodes=["a", "b"],
+            procs={"a": 4, "b": 4},
+            request=request(),
+        )
+        assert plan is None
+
+    def test_exclude_masks_other_jobs_nodes(self, planner):
+        """Nodes held by other leases are never proposed."""
+        snap = snapshot_with_loads(
+            {"a": 11.0, "b": 11.0, "c": 0.2, "d": 0.2, "e": 0.3, "f": 0.3}
+        )
+        plan = planner.propose(
+            snap,
+            lease_id="L1",
+            nodes=["a", "b"],
+            procs={"a": 4, "b": 4},
+            request=request(),
+            exclude={"c", "d"},
+        )
+        if plan is not None:
+            assert not (set(plan.new_nodes) & {"c", "d"})
+
+    def test_own_nodes_usable_despite_exclude(self):
+        """The job's own nodes stay in the universe even when the caller
+        passes the full busy set (which includes the job itself)."""
+        planner = ReconfigPlanner(shape_factors=(1.0,))
+        snap = snapshot_with_loads(
+            {"a": 0.2, "b": 0.2, "c": 11.0, "d": 11.0}
+        )
+        plan = planner.propose(
+            snap,
+            lease_id="L1",
+            nodes=["a", "b"],
+            procs={"a": 4, "b": 4},
+            request=request(),
+            exclude={"a", "b", "c", "d"},  # everything is "busy"
+        )
+        assert plan is None  # already best; not an error
+
+    def test_plan_allocation_roundtrip(self, planner):
+        snap = snapshot_with_loads(
+            {"a": 11.0, "b": 11.0, "c": 0.2, "d": 0.2, "e": 0.2, "f": 0.2}
+        )
+        plan = planner.propose(
+            snap,
+            lease_id="L1",
+            nodes=["a", "b"],
+            procs={"a": 4, "b": 4},
+            request=request(),
+        )
+        alloc = plan.allocation()
+        assert alloc.policy == "elastic"
+        assert set(alloc.nodes) == set(plan.new_nodes)
+        assert sum(alloc.procs.values()) == 8
+        assert alloc.hostfile()  # well-formed
+
+    def test_shapes_explored_allow_shrink(self):
+        """With shape factor 2.0 available, a single very idle node can
+        host everything (fewer nodes, more ranks each)."""
+        planner = ReconfigPlanner(shape_factors=(1.0, 2.0))
+        snap = snapshot_with_loads(
+            {"a": 6.0, "b": 6.0, "c": 0.1, "d": 9.0},
+        )
+        plan = planner.propose(
+            snap,
+            lease_id="L1",
+            nodes=["a", "b"],
+            procs={"a": 4, "b": 4},
+            request=request(n=8, ppn=4),
+        )
+        assert plan is not None
+        assert plan.kind in ("shrink", "migrate")
+        assert sum(plan.procs.values()) == 8
+
+    def test_bad_shape_factors_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigPlanner(shape_factors=())
+        with pytest.raises(ValueError):
+            ReconfigPlanner(shape_factors=(1.0, 0.0))
+
+
+class TestPlanKind:
+    @pytest.mark.parametrize("old,new,kind", [
+        (("a", "b"), ("a", "b", "c"), "expand"),
+        (("a", "b", "c"), ("a",), "shrink"),
+        (("a", "b"), ("c", "d"), "migrate"),
+        (("a", "b"), ("a", "c"), "migrate"),
+        (("a", "b"), ("a", "b"), "rebalance"),
+    ])
+    def test_classification(self, old, new, kind):
+        assert plan_kind(old, new) == kind
+
+
+class TestPlanProperties:
+    def test_add_drop_and_moved_ranks(self, planner):
+        snap = snapshot_with_loads(
+            {"a": 11.0, "b": 11.0, "c": 0.2, "d": 0.2, "e": 0.2, "f": 0.2}
+        )
+        plan = planner.propose(
+            snap,
+            lease_id="L1",
+            nodes=["a", "b"],
+            procs={"a": 4, "b": 4},
+            request=request(),
+        )
+        assert set(plan.add_nodes) == set(plan.new_nodes) - {"a", "b"}
+        assert set(plan.drop_nodes) == {"a", "b"} - set(plan.new_nodes)
+        assert plan.moved_ranks > 0

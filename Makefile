@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: test bench bench-full bench-smoke bench-json elastic examples clean
+.PHONY: test bench bench-full bench-smoke bench-json elastic chaos chaos-smoke examples clean
 
 test:
 	pytest tests/
@@ -27,6 +27,14 @@ bench-json:
 # same drifting-load world (single reproducible entry point).
 elastic:
 	python -m repro elastic --seed 3 --events
+
+# Deterministic fault-injection harness: every scenario end-to-end with
+# a fixed seed, exiting non-zero on any invariant violation.
+chaos:
+	python -m repro chaos --seed 0
+
+chaos-smoke:
+	python -m repro chaos --seed 0 --smoke
 
 examples:
 	python examples/quickstart.py

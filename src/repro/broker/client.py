@@ -24,12 +24,28 @@ from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
 import time
+import uuid
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.broker.protocol import PROTOCOL_VERSION, encode_request
+
+#: operations the client retries on transport death without being told.
+#: ``status`` is read-only; ``allocate`` is safe only because the typed
+#: helper always attaches a dedupe token (see :meth:`BrokerClient.call`).
+_RETRY_SAFE_OPS = frozenset({"allocate", "status"})
+
+
+def _default_socket_factory(
+    host: str, port: int, timeout_s: float
+) -> socket.socket:
+    """A real TCP connection with Nagle disabled (the production path)."""
+    sock = socket.create_connection((host, port), timeout=timeout_s)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
 
 
 class BrokerError(Exception):
@@ -69,16 +85,29 @@ class BrokerClient:
         timeout_s: float = 10.0,
         connect_retries: int = 20,
         retry_delay_s: float = 0.1,
+        transport_retries: int = 1,
+        backoff_s: float = 0.05,
+        socket_factory: Callable[[str, int, float], socket.socket] | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive: {timeout_s}")
         if connect_retries < 0 or retry_delay_s < 0:
             raise ValueError("retries/delay must be non-negative")
+        if transport_retries < 0 or backoff_s < 0:
+            raise ValueError("transport_retries/backoff_s must be non-negative")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.connect_retries = connect_retries
         self.retry_delay_s = retry_delay_s
+        self.transport_retries = transport_retries
+        self.backoff_s = backoff_s
+        self.retries_used = 0
+        self._socket_factory = socket_factory or _default_socket_factory
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
         self._sock: socket.socket | None = None
         self._rfile = None
         self._ids = itertools.count(1)
@@ -91,17 +120,16 @@ class BrokerClient:
         last: Exception | None = None
         for attempt in range(self.connect_retries + 1):
             try:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout_s
+                sock = self._socket_factory(
+                    self.host, self.port, self.timeout_s
                 )
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 self._sock = sock
                 self._rfile = sock.makefile("rb")
                 return self
             except OSError as exc:
                 last = exc
                 if attempt < self.connect_retries:
-                    time.sleep(self.retry_delay_s)
+                    self._sleep(self.retry_delay_s)
         raise BrokerError(
             "CONNECT",
             f"cannot reach broker at {self.host}:{self.port} "
@@ -137,7 +165,34 @@ class BrokerClient:
         failure responses, ``TIMEOUT`` when the daemon doesn't answer in
         ``timeout_s``, and ``CONNECT`` when the connection cannot be
         (re-)established.
+
+        Transport deaths (``CONNECT``/``TIMEOUT``) are retried up to
+        ``transport_retries`` times with jittered exponential backoff —
+        but only for operations that are safe to replay: ``status`` is
+        read-only, and ``allocate`` only when the request carries an
+        idempotency ``token`` the server dedupes on.  ``renew``,
+        ``release`` and ``reconfigure`` are never replayed automatically;
+        the caller sees the transport error and decides.
         """
+        retryable = op in _RETRY_SAFE_OPS and (
+            op != "allocate" or bool((params or {}).get("token"))
+        )
+        attempts = self.transport_retries + 1 if retryable else 1
+        for attempt in range(attempts):
+            try:
+                return self._call_once(op, params)
+            except BrokerError as exc:
+                transient = exc.code in ("CONNECT", "TIMEOUT")
+                if not transient or attempt + 1 >= attempts:
+                    raise
+                self.retries_used += 1
+                delay = self.backoff_s * (2**attempt) * (
+                    0.5 + self._rng.random()
+                )
+                self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, op: str, params: dict[str, Any] | None = None) -> dict:
         self.connect()
         assert self._sock is not None and self._rfile is not None
         req_id = f"c{next(self._ids)}"
@@ -187,12 +242,18 @@ class BrokerClient:
         alpha: float = 0.3,
         policy: str | None = None,
         ttl_s: float | None = None,
+        token: str | None = None,
     ) -> Grant:
-        """Request nodes for ``n`` processes; returns the lease grant."""
+        """Request nodes for ``n`` processes; returns the lease grant.
+
+        A fresh idempotency ``token`` is attached when the caller does
+        not supply one, so a request replayed after a transport death is
+        deduped server-side rather than granted twice.
+        """
         result = self.call(
             "allocate",
             {"n": n, "ppn": ppn, "alpha": alpha, "policy": policy,
-             "ttl_s": ttl_s},
+             "ttl_s": ttl_s, "token": token or uuid.uuid4().hex},
         )
         return Grant(
             lease_id=str(result["lease_id"]),

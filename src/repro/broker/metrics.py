@@ -61,6 +61,9 @@ class BrokerMetrics:
         #: reconfigure requests answered "stay put" (no plan or gated off)
         self.reconfig_rejected = 0
         self.decisions_memoized = 0
+        #: allocate replays answered from the idempotency-token memo
+        #: (a retried request that did NOT grant a second lease)
+        self.allocates_deduped = 0
         self.batches = 0
         self.batch_size_hist: Counter[int] = Counter()
         #: last ``latency_window`` allocate decision latencies, seconds
@@ -112,6 +115,7 @@ class BrokerMetrics:
             "reconfigured": self.reconfigured,
             "reconfig_rejected": self.reconfig_rejected,
             "decisions_memoized": self.decisions_memoized,
+            "allocates_deduped": self.allocates_deduped,
             "batches": self.batches,
             "batch_size_hist": {
                 str(k): v for k, v in sorted(self.batch_size_hist.items())

@@ -67,6 +67,9 @@ class ErrorCode(str, enum.Enum):
     STALE_PLAN = "STALE_PLAN"
     #: the migration itself failed; the original allocation is intact
     RECONFIG_FAILED = "RECONFIG_FAILED"
+    #: the monitor pipeline is down and the last-known-good snapshot is
+    #: too old to allocate from — retry once monitoring recovers
+    MONITOR_STALE = "MONITOR_STALE"
     #: unexpected server-side failure (bug — check daemon logs)
     INTERNAL = "INTERNAL"
 
@@ -84,17 +87,36 @@ class ProtocolError(Exception):
 OPS = ("allocate", "renew", "release", "reconfigure", "status")
 
 
+#: longest accepted client dedupe token (they're opaque ids, not payloads)
+MAX_TOKEN_CHARS = 128
+
+
 @dataclass(frozen=True)
 class AllocateParams:
-    """Parameters of an ``allocate`` request."""
+    """Parameters of an ``allocate`` request.
+
+    ``token`` is an optional client-chosen idempotency key: retrying an
+    allocate with the same token returns the *original* grant (or the
+    original denial) instead of creating a second lease — the safety net
+    for a response lost to a mid-request transport death.
+    """
 
     n_processes: int
     ppn: int | None = None
     alpha: float = 0.3
     policy: str | None = None
     ttl_s: float | None = None
+    token: str | None = None
 
     def __post_init__(self) -> None:
+        if self.token is not None and not (
+            0 < len(self.token) <= MAX_TOKEN_CHARS
+        ):
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.token must be 1..{MAX_TOKEN_CHARS} chars, "
+                f"got {len(self.token)}",
+            )
         if self.n_processes <= 0:
             raise ProtocolError(
                 ErrorCode.BAD_REQUEST,
@@ -277,6 +299,7 @@ def parse_request(line: str | bytes) -> Request:
             alpha=0.3 if alpha is None else float(alpha),
             policy=_opt(raw, "policy", (str,), "params"),
             ttl_s=_opt(raw, "ttl_s", (int, float), "params"),
+            token=_opt(raw, "token", (str,), "params"),
         )
     elif op == "renew":
         params = RenewParams(

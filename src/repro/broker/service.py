@@ -23,6 +23,7 @@ around this class; tests drive it directly with an injected clock.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -49,15 +50,22 @@ from repro.core.policies import (
     PAPER_POLICIES,
 )
 from repro.core.weights import TradeOff
+from repro.monitor.quarantine import NodeQuarantine
 from repro.monitor.snapshot import (
     CachedSnapshotSource,
     ClusterSnapshot,
+    SnapshotUnavailableError,
     derived_cache,
 )
 from repro.scheduler.leases import Lease, LeaseError, LeaseTable
 
 #: service-level counters start from this wall-clock origin
 _DecisionKey = tuple
+
+#: how many allocate idempotency tokens the dedupe memo remembers.
+#: Bounded so a hostile or leaky client cannot grow service memory;
+#: retries land within seconds, so even a small LRU is generous.
+_TOKEN_MEMO_CAP = 4096
 
 
 class _SnapshotCoster:
@@ -105,6 +113,8 @@ class BrokerService:
         memoize_decisions: bool = True,
         gate_config: GateConfig | None = None,
         migration_cost_config: MigrationCostConfig | None = None,
+        quarantine: NodeQuarantine | None = None,
+        migrate_hook: Callable[[Any], None] | None = None,
     ) -> None:
         if default_policy not in PAPER_POLICIES:
             raise ValueError(
@@ -134,6 +144,12 @@ class BrokerService:
         self._executor = TwoPhaseExecutor(
             self.leases, reserve_ttl_s=default_ttl_s
         )
+        self.quarantine = quarantine
+        self.migrate_hook = migrate_hook
+        # idempotency-token → decided result (grant dict or ProtocolError)
+        self._token_memo: OrderedDict[str, dict[str, Any] | ProtocolError] = (
+            OrderedDict()
+        )
         self._started_at = clock()
 
     # ------------------------------------------------------------------
@@ -152,7 +168,19 @@ class BrokerService:
         """
         if not batch:
             return []
-        snapshot = self._snapshots()
+        try:
+            snapshot = self._snapshots()
+        except SnapshotUnavailableError as exc:
+            # Degradation floor: no fresh snapshot and the last-known-good
+            # one aged out.  Denying is safer than placing jobs blind —
+            # the whole batch gets the same typed, retryable error.
+            self.metrics.record_batch(len(batch))
+            err = ProtocolError(ErrorCode.MONITOR_STALE, str(exc))
+            for _ in batch:
+                self.metrics.record_decision(0.0, granted=False)
+            return [err] * len(batch)
+        if self.quarantine is not None:
+            self.quarantine.observe(snapshot.livehosts)
         self.metrics.record_batch(len(batch))
         out: list[dict[str, Any] | ProtocolError] = []
         for params in batch:
@@ -160,6 +188,25 @@ class BrokerService:
         return out
 
     def _allocate_one(
+        self, snapshot: ClusterSnapshot, params: AllocateParams
+    ) -> dict[str, Any] | ProtocolError:
+        if params.token is not None:
+            memoized = self._token_memo.get(params.token)
+            if memoized is not None:
+                # Replay of a request whose answer the client never saw
+                # (transport died mid-response).  Return the *same*
+                # outcome — critically, without granting a second lease.
+                self._token_memo.move_to_end(params.token)
+                self.metrics.allocates_deduped += 1
+                return memoized
+        result = self._allocate_one_uncached(snapshot, params)
+        if params.token is not None:
+            self._token_memo[params.token] = result
+            while len(self._token_memo) > _TOKEN_MEMO_CAP:
+                self._token_memo.popitem(last=False)
+        return result
+
+    def _allocate_one_uncached(
         self, snapshot: ClusterSnapshot, params: AllocateParams
     ) -> dict[str, Any] | ProtocolError:
         policy = params.policy or self.default_policy
@@ -170,6 +217,10 @@ class BrokerService:
                 f"unknown policy {policy!r}; choose from {sorted(PAPER_POLICIES)}",
             )
         held = self.leases.held_nodes()
+        if self.quarantine is not None:
+            quarantined = self.quarantine.excluded()
+            if quarantined:
+                held = frozenset(held | quarantined)
         t0 = time.perf_counter()
         try:
             allocation = self._decide(snapshot, params, policy, held)
@@ -320,13 +371,24 @@ class BrokerService:
                 f"lease {params.lease_id} expired; nodes reclaimed — "
                 "re-allocate instead of reconfiguring",
             )
-        snapshot = self._snapshots()
+        try:
+            snapshot = self._snapshots()
+        except SnapshotUnavailableError as exc:
+            self.metrics.reconfig_rejected += 1
+            raise ProtocolError(ErrorCode.MONITOR_STALE, str(exc)) from None
+        if self.quarantine is not None:
+            self.quarantine.observe(snapshot.livehosts)
         alpha = params.alpha if params.alpha is not None else lease.alpha
         request = AllocationRequest(
             n_processes=sum(lease.procs.values()),
             ppn=lease.ppn,
             tradeoff=TradeOff.from_alpha(alpha),
         )
+        exclude = self.leases.held_nodes()
+        if self.quarantine is not None:
+            quarantined = self.quarantine.excluded()
+            if quarantined:
+                exclude = frozenset(exclude | quarantined)
         t0 = time.perf_counter()
         plan = self.planner.propose(
             snapshot,
@@ -334,7 +396,7 @@ class BrokerService:
             nodes=lease.nodes,
             procs=lease.procs,
             request=request,
-            exclude=self.leases.held_nodes(),
+            exclude=exclude,
         )
         if plan is None:
             self.metrics.reconfig_rejected += 1
@@ -364,7 +426,7 @@ class BrokerService:
                 "plan_latency_s": time.perf_counter() - t0,
             }
         try:
-            swapped = self._executor.apply(plan)
+            swapped = self._executor.apply(plan, migrate=self.migrate_hook)
         except ReconfigError as exc:
             try:
                 code = ErrorCode(exc.code)
@@ -422,5 +484,8 @@ class BrokerService:
                 "max_age_s": self._snapshots.max_age_s,
                 "refreshes": self._snapshots.refreshes,
                 "hits": self._snapshots.hits,
+                "fallbacks": self._snapshots.fallbacks,
             }
+        if self.quarantine is not None:
+            result["quarantine"] = self.quarantine.stats()
         return result

@@ -1,0 +1,57 @@
+"""Deterministic chaos harness for the monitor → broker → elastic stack.
+
+Seed-driven fault injection at every seam the stack exposes — the shared
+store, the monitor daemons, the snapshot source, the broker transport,
+and the two-phase migration executor — plus the invariants that define
+graceful degradation and a registry of named end-to-end scenarios.
+
+Entry points: ``python -m repro chaos`` (CLI), :func:`runner.main`
+(programmatic), and :data:`scenarios.SCENARIOS` (the registry).
+"""
+
+from repro.chaos.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.chaos.invariants import (
+    DEFAULT_QUALITY_BOUND,
+    TYPED_ERRORS,
+    InvariantChecker,
+    Violation,
+)
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    ChaosReport,
+    ChaosScenario,
+    ChaosWorld,
+    build_world,
+)
+from repro.chaos.store import (
+    ChaosRule,
+    ChaoticStore,
+    poison_huge,
+    poison_nan,
+    poison_negative,
+)
+from repro.chaos.transport import ScriptedSocketFactory, dispatch_line
+
+__all__ = [
+    "DEFAULT_QUALITY_BOUND",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "TYPED_ERRORS",
+    "ChaosReport",
+    "ChaosRule",
+    "ChaosScenario",
+    "ChaosWorld",
+    "ChaoticStore",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "ScriptedSocketFactory",
+    "Violation",
+    "build_world",
+    "dispatch_line",
+    "poison_huge",
+    "poison_nan",
+    "poison_negative",
+]

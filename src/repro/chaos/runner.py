@@ -1,0 +1,99 @@
+"""Chaos scenario runner — ``python -m repro chaos`` / ``make chaos``.
+
+Runs named scenarios (all, a selection, or the CI smoke trio), prints a
+per-scenario verdict with degradation statistics, and exits non-zero if
+any invariant was violated — so the harness gates CI exactly like a test
+suite, while staying runnable (and replayable by seed) from the shell.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.chaos.scenarios import SCENARIOS, SMOKE_SCENARIOS, ChaosReport
+
+
+def select_scenarios(
+    only: Iterable[str] | None = None, *, smoke: bool = False
+) -> list[str]:
+    """Resolve which scenario names to run, validating unknown names."""
+    if only:
+        names = list(only)
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            raise KeyError(
+                f"unknown scenario(s) {unknown}; "
+                f"available: {sorted(SCENARIOS)}"
+            )
+        return names
+    if smoke:
+        return list(SMOKE_SCENARIOS)
+    return list(SCENARIOS)
+
+
+def run_scenarios(
+    names: Iterable[str], *, seed: int = 0
+) -> list[ChaosReport]:
+    return [SCENARIOS[name].run(seed) for name in names]
+
+
+def format_report(report: ChaosReport, *, verbose: bool = False) -> str:
+    verdict = "OK      " if report.ok else "VIOLATED"
+    stats = report.checker.stats
+    line = (
+        f"{verdict}  {report.name:<22s}"
+        f" grants={report.stats.get('grants', 0):<3d}"
+        f" typed_errors={stats.get('typed_errors', 0):<3d}"
+        f" quality_checks={stats.get('quality_checks', 0)}"
+    )
+    parts = [line]
+    if report.checker.error_codes:
+        codes = ", ".join(
+            f"{code}×{n}" for code, n in sorted(report.checker.error_codes.items())
+        )
+        parts.append(f"          error codes: {codes}")
+    for violation in report.checker.violations:
+        parts.append(f"          !! {violation}")
+    if verbose:
+        for fault in report.fault_log:
+            parts.append(f"          fault: {fault}")
+    return "\n".join(parts)
+
+
+def main(
+    *,
+    seed: int = 0,
+    only: Iterable[str] | None = None,
+    smoke: bool = False,
+    list_only: bool = False,
+    as_json: bool = False,
+    verbose: bool = False,
+) -> int:
+    """Run the harness; returns the process exit code (0 = all held)."""
+    # Degradation warnings (skip-and-log, LKG fallbacks) are the point
+    # of the harness, but hundreds of them drown the verdict table; the
+    # checkers count them either way.  --verbose restores the log.
+    if not verbose:
+        import logging
+
+        logging.getLogger("repro").setLevel(logging.ERROR)
+    if list_only:
+        for name, scenario in SCENARIOS.items():
+            tag = " [smoke]" if scenario.smoke else ""
+            print(f"{name:<22s} {scenario.description}{tag}")
+        return 0
+    names = select_scenarios(only, smoke=smoke)
+    reports = run_scenarios(names, seed=seed)
+    if as_json:
+        print(json.dumps([r.summary() for r in reports], indent=2))
+    else:
+        print(f"chaos harness: {len(reports)} scenario(s), seed={seed}")
+        for report in reports:
+            print(format_report(report, verbose=verbose))
+        failed = [r.name for r in reports if not r.ok]
+        if failed:
+            print(f"\nFAILED: {len(failed)}/{len(reports)} — {', '.join(failed)}")
+        else:
+            print(f"\nall invariants held across {len(reports)} scenario(s)")
+    return 0 if all(r.ok for r in reports) else 1

@@ -1,0 +1,196 @@
+"""ChaoticStore — deterministic fault injection at the store seam.
+
+The paper's data plane is a shared filesystem: every failure mode of NFS
+(torn writes, stale mounts, skewed mtimes, silently wrong bytes) reaches
+the allocator through exactly one interface, :class:`SharedStore`.  This
+wrapper injects those failures at that interface, so the rest of the
+stack is exercised unmodified:
+
+* ``corrupt``  — reads of matching keys raise :class:`StoreCorruptError`
+  (what :class:`~repro.monitor.store.FileStore` raises on torn JSON);
+* ``missing``  — reads of matching keys return ``None`` (file vanished);
+* ``freeze``   — writes to matching keys are dropped (stale mount: the
+  existing record survives but never refreshes — a staleness storm);
+* ``skew``     — read timestamps are shifted by a constant (clock skew
+  between the writer and the reader of the shared filesystem);
+* ``poison``   — read values pass through a mutator (silent data
+  corruption: NaN, negative, or absurd magnitudes).
+
+Rules are plain objects; adding and removing them is how the scenario
+runner turns faults on and off at scheduled simulation times.  Every
+rule counts its hits so scenarios can assert the fault actually fired.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.monitor.store import SharedStore, StoreCorruptError
+
+#: ``(key, value) -> value`` applied to reads of poisoned keys
+Mutator = Callable[[str, Any], Any]
+
+
+@dataclass
+class ChaosRule:
+    """One active fault: a mode applied to keys matching a glob pattern."""
+
+    mode: str                      # corrupt | missing | freeze | skew | poison
+    pattern: str                   # fnmatch glob over store keys
+    skew_s: float = 0.0            # only for mode="skew"
+    mutate: Mutator | None = None  # only for mode="poison"
+    hits: int = field(default=0, compare=False)
+
+    _MODES = frozenset({"corrupt", "missing", "freeze", "skew", "poison"})
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(
+                f"unknown chaos mode {self.mode!r}; "
+                f"choose from {sorted(self._MODES)}"
+            )
+        if self.mode == "poison" and self.mutate is None:
+            raise ValueError("poison rules need a mutate callable")
+
+    def matches(self, key: str) -> bool:
+        return fnmatch.fnmatchcase(key, self.pattern)
+
+
+class ChaoticStore(SharedStore):
+    """A :class:`SharedStore` that misbehaves exactly as instructed."""
+
+    def __init__(self, inner: SharedStore) -> None:
+        self.inner = inner
+        self._rules: list[ChaosRule] = []
+        #: observability counters for scenario assertions
+        self.corrupt_served = 0
+        self.missing_served = 0
+        self.writes_frozen = 0
+        self.values_poisoned = 0
+        self.times_skewed = 0
+
+    # -- rule management ------------------------------------------------
+    def add(self, rule: ChaosRule) -> ChaosRule:
+        """Arm a rule; returns it so the caller can :meth:`remove` it."""
+        self._rules.append(rule)
+        return rule
+
+    def remove(self, rule: ChaosRule) -> None:
+        """Disarm a rule (no-op if already removed)."""
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            pass
+
+    def clear(self) -> None:
+        """Disarm every rule — the cluster heals."""
+        self._rules.clear()
+
+    def active_rules(self) -> tuple[ChaosRule, ...]:
+        return tuple(self._rules)
+
+    # -- convenience constructors ---------------------------------------
+    def corrupt(self, pattern: str) -> ChaosRule:
+        return self.add(ChaosRule("corrupt", pattern))
+
+    def vanish(self, pattern: str) -> ChaosRule:
+        return self.add(ChaosRule("missing", pattern))
+
+    def freeze(self, pattern: str) -> ChaosRule:
+        return self.add(ChaosRule("freeze", pattern))
+
+    def skew(self, pattern: str, skew_s: float) -> ChaosRule:
+        return self.add(ChaosRule("skew", pattern, skew_s=skew_s))
+
+    def poison(self, pattern: str, mutate: Mutator) -> ChaosRule:
+        return self.add(ChaosRule("poison", pattern, mutate=mutate))
+
+    # -- SharedStore interface ------------------------------------------
+    def put(self, key: str, value: Any, time: float) -> None:
+        for rule in self._rules:
+            if rule.mode == "freeze" and rule.matches(key):
+                rule.hits += 1
+                self.writes_frozen += 1
+                return
+        self.inner.put(key, value, time)
+
+    def get(self, key: str) -> tuple[float, Any] | None:
+        for rule in self._rules:
+            if not rule.matches(key):
+                continue
+            if rule.mode == "corrupt":
+                rule.hits += 1
+                self.corrupt_served += 1
+                raise StoreCorruptError(key, "chaos-injected corruption")
+            if rule.mode == "missing":
+                rule.hits += 1
+                self.missing_served += 1
+                return None
+        rec = self.inner.get(key)
+        if rec is None:
+            return None
+        t, value = rec
+        for rule in self._rules:
+            if not rule.matches(key):
+                continue
+            if rule.mode == "skew":
+                rule.hits += 1
+                self.times_skewed += 1
+                t = t + rule.skew_s
+            elif rule.mode == "poison":
+                assert rule.mutate is not None
+                rule.hits += 1
+                self.values_poisoned += 1
+                value = rule.mutate(key, value)
+        return (t, value)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        out = []
+        for key in self.inner.keys(prefix):
+            if any(
+                r.mode == "missing" and r.matches(key) for r in self._rules
+            ):
+                continue
+            out.append(key)
+        return out
+
+    def delete(self, key: str) -> bool:
+        return self.inner.delete(key)
+
+
+# -- stock poisons ------------------------------------------------------
+def _map_floats(value: Any, fn: Callable[[float], float]) -> Any:
+    """Apply ``fn`` to every float in a nested dict/list/tuple value.
+
+    ``bool`` is deliberately left alone (it is an ``int`` subclass) and
+    ints are preserved as ints only when ``fn`` is identity on them —
+    the poisons below intentionally break numbers, so everything numeric
+    goes through ``fn``.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return fn(float(value))
+    if isinstance(value, dict):
+        return {k: _map_floats(v, fn) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_map_floats(v, fn) for v in value)
+    return value
+
+
+def poison_nan(key: str, value: Any) -> Any:
+    """Every number becomes NaN — validation must refuse the record."""
+    return _map_floats(value, lambda _: math.nan)
+
+
+def poison_negative(key: str, value: Any) -> Any:
+    """Every number flips negative — loads/cores below physical floors."""
+    return _map_floats(value, lambda x: -abs(x) - 1.0)
+
+
+def poison_huge(key: str, value: Any) -> Any:
+    """Every number explodes to 1e30 — beyond any plausibility bound."""
+    return _map_floats(value, lambda _: 1e30)

@@ -1,0 +1,201 @@
+"""Scripted in-memory transport — broker wire faults without sockets.
+
+:class:`ScriptedSocketFactory` plugs into ``BrokerClient(socket_factory=…)``
+and serves each request by calling :func:`dispatch_line` — a synchronous
+mirror of the daemon's parse → dispatch pipeline — against a real
+:class:`~repro.broker.service.BrokerService`.  A *script* of behaviors,
+consumed one per request (plus ``REFUSE`` consumed at connect), injects
+the transport failures that matter for client correctness:
+
+``DIE_BEFORE_SEND``
+    the connection dies before the request reaches the server — the
+    server never saw it, so a retry is trivially safe;
+``DIE_AFTER_SEND``
+    the server *processed* the request but the response was lost — the
+    dangerous case: a naive allocate retry would double-grant, which is
+    exactly what the idempotency token must prevent;
+``GARBAGE`` / ``CLOSE``
+    an unparseable response line / an orderly close with no response.
+
+Everything is deterministic: no threads, no ports, no timing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.broker.protocol import (
+    ErrorCode,
+    ProtocolError,
+    Request,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.broker.service import BrokerService
+
+#: per-request behaviors a script may contain
+OK = "ok"
+REFUSE = "refuse"
+DIE_BEFORE_SEND = "die_before_send"
+DIE_AFTER_SEND = "die_after_send"
+GARBAGE = "garbage"
+CLOSE = "close"
+
+BEHAVIORS = frozenset(
+    {OK, REFUSE, DIE_BEFORE_SEND, DIE_AFTER_SEND, GARBAGE, CLOSE}
+)
+
+
+def dispatch_line(service: BrokerService, line: bytes) -> bytes:
+    """One request line → one response line, synchronously.
+
+    Mirrors ``BrokerServer._handle_line`` + ``_dispatch`` without the
+    admission queue: allocate requests are decided as singleton batches.
+    Internal exceptions become ``INTERNAL`` error responses, exactly as
+    the daemon must never die on a request.
+    """
+    try:
+        request = parse_request(line)
+    except ProtocolError as exc:
+        service.metrics.protocol_errors += 1
+        return encode_response(error_response(_best_effort_id(line), exc))
+    service.metrics.record_request(request.op)
+    try:
+        return encode_response(_dispatch(service, request))
+    except ProtocolError as exc:
+        return encode_response(error_response(request.id, exc))
+    except Exception as exc:  # noqa: BLE001 — the daemon must not die
+        return encode_response(
+            error_response(
+                request.id,
+                ProtocolError(
+                    ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+                ),
+            )
+        )
+
+
+def _dispatch(service: BrokerService, request: Request):
+    if request.op == "allocate":
+        outcome = service.allocate_batch([request.params])[0]
+        if isinstance(outcome, ProtocolError):
+            return error_response(request.id, outcome)
+        return ok_response(request.id, outcome)
+    if request.op == "renew":
+        return ok_response(request.id, service.renew(request.params))
+    if request.op == "release":
+        return ok_response(request.id, service.release(request.params))
+    if request.op == "reconfigure":
+        return ok_response(request.id, service.reconfigure(request.params))
+    assert request.op == "status"
+    return ok_response(request.id, service.status())
+
+
+def _best_effort_id(line: bytes) -> str:
+    try:
+        obj = json.loads(line)
+        if isinstance(obj, dict) and isinstance(obj.get("id"), (str, int)):
+            return str(obj["id"])
+    except Exception:  # noqa: BLE001
+        pass
+    return ""
+
+
+class ScriptedSocketFactory:
+    """``(host, port, timeout_s) -> socket``-alike driving a service.
+
+    The script is a sequence of behaviors consumed in order — one per
+    request sent (``REFUSE`` entries are consumed at connect time
+    instead).  An exhausted script behaves as ``OK`` forever.
+    """
+
+    def __init__(
+        self,
+        service: BrokerService,
+        script: Iterable[str] = (),
+        *,
+        dispatch: Callable[[BrokerService, bytes], bytes] = dispatch_line,
+    ) -> None:
+        script = list(script)
+        unknown = set(script) - BEHAVIORS
+        if unknown:
+            raise ValueError(f"unknown behaviors in script: {sorted(unknown)}")
+        self.service = service
+        self.script: deque[str] = deque(script)
+        self.dispatch = dispatch
+        #: observability for test assertions
+        self.connections = 0
+        self.dispatched = 0
+
+    def next_behavior(self) -> str:
+        return self.script.popleft() if self.script else OK
+
+    def __call__(self, host: str, port: int, timeout_s: float) -> "_FakeSocket":
+        if self.script and self.script[0] == REFUSE:
+            self.script.popleft()
+            raise OSError("chaos: connection refused")
+        self.connections += 1
+        return _FakeSocket(self)
+
+
+class _FakeSocket:
+    """Just enough socket surface for ``BrokerClient``."""
+
+    def __init__(self, factory: ScriptedSocketFactory) -> None:
+        self._factory = factory
+        self._responses: deque[Any] = deque()
+        self._closed = False
+
+    def makefile(self, mode: str) -> "_FakeReadFile":
+        assert mode == "rb", f"unexpected makefile mode {mode!r}"
+        return _FakeReadFile(self)
+
+    def sendall(self, line: bytes) -> None:
+        if self._closed:
+            raise OSError("chaos: socket already closed")
+        behavior = self._factory.next_behavior()
+        if behavior == DIE_BEFORE_SEND:
+            self._closed = True
+            raise OSError("chaos: connection reset before send")
+        # From here on the server HAS processed the request — any further
+        # fault loses only the response, never the side effect.
+        response = self._factory.dispatch(self._factory.service, line)
+        self._factory.dispatched += 1
+        if behavior == DIE_AFTER_SEND:
+            self._responses.append(
+                OSError("chaos: connection reset mid-response")
+            )
+        elif behavior == GARBAGE:
+            self._responses.append(b"%%% not json %%%\n")
+        elif behavior == CLOSE:
+            self._responses.append(b"")
+        else:
+            self._responses.append(response)
+
+    def close(self) -> None:
+        self._closed = True
+
+    # BrokerClient's default factory sets TCP options; a custom factory
+    # controls its own socket, but keep the method for drop-in safety.
+    def setsockopt(self, *args: Any) -> None:  # pragma: no cover
+        pass
+
+
+class _FakeReadFile:
+    def __init__(self, sock: _FakeSocket) -> None:
+        self._sock = sock
+
+    def readline(self) -> bytes:
+        if not self._sock._responses:
+            return b""
+        item = self._sock._responses.popleft()
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def close(self) -> None:
+        pass

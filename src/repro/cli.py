@@ -201,6 +201,26 @@ def cmd_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.runner import main as chaos_main
+
+    only = None
+    if args.only:
+        only = [s for chunk in args.only for s in chunk.split(",") if s]
+    try:
+        return chaos_main(
+            seed=args.seed,
+            only=only,
+            smoke=args.smoke,
+            list_only=args.list,
+            as_json=args.json,
+            verbose=args.verbose,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.workload.traces import TraceRecorder
 
@@ -470,6 +490,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print each reconfiguration event")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_elastic)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection scenario harness",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="drives faults, workload, and targets identically")
+    p.add_argument("--only", action="append", default=None,
+                   metavar="NAME[,NAME...]",
+                   help="run only these scenarios (repeatable)")
+    p.add_argument("--smoke", action="store_true",
+                   help="run only the fast CI smoke trio")
+    p.add_argument("--list", action="store_true",
+                   help="list available scenarios and exit")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable reports")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print each injected fault")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("trace", help="record resource usage to CSV")
     add_scenario_args(p)

@@ -42,6 +42,7 @@ class Scenario:
         workload_config: WorkloadConfig | None = None,
         monitor_config: MonitorConfig | None = None,
         with_monitoring: bool = True,
+        store=None,
     ) -> "Scenario":
         streams = RngStream(seed)
         engine = Engine()
@@ -53,7 +54,12 @@ class Scenario:
         monitoring = None
         if with_monitoring:
             monitoring = MonitoringSystem(
-                engine, cluster, network, config=monitor_config, seed=streams
+                engine,
+                cluster,
+                network,
+                store=store,
+                config=monitor_config,
+                seed=streams,
             )
             monitoring.start()
         return cls(

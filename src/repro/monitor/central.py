@@ -19,7 +19,7 @@ from typing import Callable, Iterable
 from repro.cluster.cluster import Cluster
 from repro.des.engine import Engine
 from repro.monitor.daemons import HEARTBEAT_PREFIX, Daemon
-from repro.monitor.store import SharedStore
+from repro.monitor.store import SharedStore, StoreCorruptError
 from repro.util.validation import require_positive
 
 _monitor_ids = itertools.count()
@@ -104,8 +104,20 @@ class CentralMonitor:
         else:
             self._check_peer(MASTER_KEY, now)
 
+    def _read_age(self, key: str, now: float) -> float | None:
+        """A record's age, treating a corrupt record as an absent one.
+
+        The supervisor must outlive a corrupted shared store — an
+        unreadable heartbeat means "no usable signal", the same verdict
+        as a missing one.
+        """
+        try:
+            return self.store.age(key, now)
+        except StoreCorruptError:
+            return None
+
     def _check_peer(self, peer_key: str, now: float) -> None:
-        age = self.store.age(peer_key, now)
+        age = self._read_age(peer_key, now)
         threshold = self.stale_factor * self.period_s
         if age is not None and age <= threshold:
             return  # peer healthy
@@ -125,7 +137,7 @@ class CentralMonitor:
     def _supervise(self, now: float) -> None:
         for daemon in self.supervised:
             hb_key = HEARTBEAT_PREFIX + daemon.name
-            age = self.store.age(hb_key, now)
+            age = self._read_age(hb_key, now)
             first = self._first_seen.setdefault(daemon.name, now)
             grace = self.stale_factor * max(daemon.period_s, self.period_s)
             if age is None:
@@ -151,7 +163,12 @@ class CentralMonitor:
         self.restarts_performed += 1
 
     def _pick_host(self, exclude: str | None = None) -> str | None:
-        live = self.store.value("livehosts")
+        try:
+            live = self.store.value("livehosts")
+        except StoreCorruptError:
+            live = None
+        if not isinstance(live, (list, tuple)):
+            live = None
         candidates = live if live is not None else self.cluster.names
         for n in candidates:
             if n != exclude and n in self.cluster and self.cluster.state(n).up:

@@ -26,8 +26,12 @@ class ForecastingNodeStateD(NodeStateD):
     def sample(self) -> None:
         super().sample()
         key = f"nodestate/{self.node}"
-        rec = self.store.value(key)
-        assert rec is not None  # super().sample() just wrote it
+        try:
+            rec = self.store.value(key)
+        except Exception:  # noqa: BLE001 — a broken store read must not
+            return  # kill the daemon; the base record was already written
+        if not isinstance(rec, dict):
+            return
         for attr, forecaster in self._forecasters.items():
             observed = rec[attr]["now"]
             forecaster.update(observed)

@@ -22,18 +22,26 @@ from repro.cluster.cluster import Cluster
 from repro.des.engine import Engine
 from repro.monitor.daemons import Daemon
 from repro.monitor.rolling import RollingWindows
-from repro.monitor.store import SharedStore
+from repro.monitor.store import SharedStore, StoreCorruptError
 from repro.net.model import NetworkModel
 from repro.net.probes import round_robin_rounds
 from repro.util.units import MINUTES
 
 
 def _live_nodes(store: SharedStore, cluster: Cluster) -> list[str]:
-    """Nodes to probe: the livehosts list if available, else every node."""
-    live = store.value("livehosts")
-    if live is None:
+    """Nodes to probe: the livehosts list if available, else every node.
+
+    A corrupt or malformed livehosts record must not kill a probe daemon
+    — probing every member is the safe fallback (exactly what happens
+    before LivehostsD's first write).
+    """
+    try:
+        live = store.value("livehosts")
+    except StoreCorruptError:
         return list(cluster.names)
-    return [n for n in live if n in cluster]
+    if live is None or not isinstance(live, (list, tuple)):
+        return list(cluster.names)
+    return [n for n in live if isinstance(n, str) and n in cluster]
 
 
 class LatencyD(Daemon):

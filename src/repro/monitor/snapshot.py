@@ -9,13 +9,28 @@ static peak-bandwidth knowledge.  For tests and oracle experiments,
 
 from __future__ import annotations
 
+import logging
+import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.cluster.cluster import Cluster
-from repro.monitor.store import SharedStore
+from repro.monitor.store import SharedStore, StoreCorruptError
 from repro.net.model import NetworkModel
 from repro.net.probes import round_robin_rounds
+
+log = logging.getLogger(__name__)
+
+
+class SnapshotUnavailableError(RuntimeError):
+    """No usable snapshot can be served, not even a last-known-good one.
+
+    Raised by :class:`CachedSnapshotSource` when the underlying source
+    fails (or yields an empty view) *and* the cached fallback snapshot is
+    older than the configured bound — the typed signal for "the monitor
+    pipeline is down"; callers answer with a structured denial instead of
+    allocating blind.
+    """
 
 
 @dataclass(frozen=True)
@@ -107,6 +122,68 @@ def derived_cache(snapshot: ClusterSnapshot) -> dict:
     return cache
 
 
+#: sanity bounds for monitor-reported attributes; a record outside these
+#: is treated as corrupt (cosmic-ray NaNs, negative loads, absurd specs)
+#: rather than fed to the allocator's arithmetic
+_MAX_CORES = 4096
+_MAX_FREQUENCY_GHZ = 100.0
+_MAX_MEMORY_GB = 1 << 20
+_MAX_USERS = 1_000_000
+_MAX_DYNAMIC = 1e9
+
+
+def _read(store: SharedStore, key: str) -> Any:
+    """``store.value`` that degrades a corrupt record to "absent"."""
+    try:
+        return store.value(key)
+    except StoreCorruptError as exc:
+        log.warning("skipping corrupt store record: %s", exc)
+        return None
+
+
+def _bounded(value: Any, lo: float, hi: float, what: str) -> float:
+    out = float(value)
+    if not math.isfinite(out) or not lo <= out <= hi:
+        raise ValueError(f"{what} {value!r} outside [{lo}, {hi}]")
+    return out
+
+
+def _checked_fill(stats: Any, what: str) -> dict[str, float]:
+    filled = _fill(stats)
+    for k, v in filled.items():
+        _bounded(v, 0.0, _MAX_DYNAMIC, f"{what}[{k}]")
+    return filled
+
+
+def _validated_view(name: str, rec: Any) -> NodeView:
+    """A :class:`NodeView` from one ``nodestate`` record, or ``ValueError``.
+
+    Rejects records whose shape is wrong or whose values are NaN,
+    negative, or outside physical bounds — a daemon writing garbage must
+    cost the cluster one node's visibility, not the whole allocation.
+    """
+    static = rec["static"]
+    cores = int(static["cores"])
+    if not 1 <= cores <= _MAX_CORES:
+        raise ValueError(f"cores {cores} outside [1, {_MAX_CORES}]")
+    return NodeView(
+        name=name,
+        cores=cores,
+        frequency_ghz=_bounded(
+            static["frequency_ghz"], 1e-3, _MAX_FREQUENCY_GHZ, "frequency_ghz"
+        ),
+        memory_gb=_bounded(static["memory_gb"], 0.0, _MAX_MEMORY_GB, "memory_gb"),
+        users=int(_bounded(rec["users"], 0, _MAX_USERS, "users")),
+        cpu_load=_checked_fill(rec["cpu_load"], "cpu_load"),
+        cpu_util=_checked_fill(rec["cpu_util"], "cpu_util"),
+        flow_rate_mbs=_checked_fill(rec["flow_rate_mbs"], "flow_rate_mbs"),
+        available_memory_gb=_checked_fill(
+            rec["available_memory_gb"], "available_memory_gb"
+        ),
+        switch=static.get("switch"),
+    )
+
+
 def build_snapshot(
     store: SharedStore,
     cluster: Cluster,
@@ -117,47 +194,64 @@ def build_snapshot(
 
     Nodes lacking a ``nodestate`` record (daemon never ran / crashed
     before writing) are omitted — the allocator cannot reason about nodes
-    it has no data for.  Pairs lacking probe data are omitted likewise;
-    policies treat missing network data conservatively.
+    it has no data for.  Corrupt or out-of-range records are *skipped and
+    logged* the same way (see :func:`_validated_view`), and pairs lacking
+    probe data are omitted likewise; policies treat missing network data
+    conservatively.
     """
-    live = store.value("livehosts")
-    livehosts = tuple(live) if live is not None else tuple(cluster.names)
+    live = _read(store, "livehosts")
+    if isinstance(live, (list, tuple)) and all(
+        isinstance(n, str) for n in live
+    ):
+        livehosts = tuple(live)
+    else:
+        if live is not None:
+            log.warning(
+                "livehosts record is malformed (%r); assuming all nodes live",
+                live,
+            )
+        livehosts = tuple(cluster.names)
 
     views: dict[str, NodeView] = {}
     for name in cluster.names:
-        rec = store.value(f"nodestate/{name}")
+        rec = _read(store, f"nodestate/{name}")
         if rec is None:
             continue
-        views[name] = NodeView(
-            name=name,
-            cores=int(rec["static"]["cores"]),
-            frequency_ghz=float(rec["static"]["frequency_ghz"]),
-            memory_gb=float(rec["static"]["memory_gb"]),
-            users=int(rec["users"]),
-            cpu_load=_fill(rec["cpu_load"]),
-            cpu_util=_fill(rec["cpu_util"]),
-            flow_rate_mbs=_fill(rec["flow_rate_mbs"]),
-            available_memory_gb=_fill(rec["available_memory_gb"]),
-            switch=rec["static"].get("switch"),
-        )
+        try:
+            views[name] = _validated_view(name, rec)
+        except (KeyError, TypeError, ValueError) as exc:
+            log.warning("skipping invalid nodestate/%s record: %s", name, exc)
 
     bandwidth: dict[tuple[str, str], float] = {}
     latency: dict[tuple[str, str], float] = {}
     peak: dict[tuple[str, str], float] = {}
     names = list(views)
     for i, a in enumerate(names):
-        bw_rec = store.value(f"bandwidth/{a}") or {}
-        lat_rec = store.value(f"latency/{a}") or {}
+        bw_rec = _read(store, f"bandwidth/{a}") or {}
+        lat_rec = _read(store, f"latency/{a}") or {}
+        if not isinstance(bw_rec, dict):
+            log.warning("bandwidth/%s record is malformed; skipping", a)
+            bw_rec = {}
+        if not isinstance(lat_rec, dict):
+            log.warning("latency/%s record is malformed; skipping", a)
+            lat_rec = {}
         for b in names[i + 1 :]:
             key = (a, b) if a <= b else (b, a)
             if b in bw_rec:
-                bandwidth[key] = float(bw_rec[b])
+                try:
+                    bandwidth[key] = _bounded(
+                        bw_rec[b], 0.0, _MAX_DYNAMIC, "bandwidth"
+                    )
+                except (TypeError, ValueError) as exc:
+                    log.warning("skipping bandwidth pair %s: %s", key, exc)
             if b in lat_rec:
                 # Prefer the 1-minute mean per §4; fall back to instantaneous.
-                stats = lat_rec[b]
-                latency[key] = float(
-                    stats["m1"] if stats.get("m1") is not None else stats["now"]
-                )
+                try:
+                    stats = lat_rec[b]
+                    raw = stats["m1"] if stats.get("m1") is not None else stats["now"]
+                    latency[key] = _bounded(raw, 0.0, _MAX_DYNAMIC, "latency")
+                except (KeyError, TypeError, ValueError) as exc:
+                    log.warning("skipping latency pair %s: %s", key, exc)
             peak[key] = network.peak_bandwidth(a, b)
 
     return ClusterSnapshot(
@@ -248,6 +342,14 @@ class CachedSnapshotSource:
     ``refresh_hook`` (optional) runs right before each rebuild; the serve
     command uses it to advance the simulated cluster so monitor daemons
     produce genuinely new data between refreshes.
+
+    ``lkg_max_age_s`` (optional) arms a *last-known-good* fallback: when
+    a rebuild fails (the source raises) or yields an empty snapshot —
+    every record corrupt, every daemon dead — the previous snapshot keeps
+    being served as long as it is no older than this bound.  Past the
+    bound, :class:`SnapshotUnavailableError` propagates so callers can
+    answer with a typed denial.  ``None`` (default) keeps the historical
+    fail-fast behaviour.
     """
 
     def __init__(
@@ -257,20 +359,29 @@ class CachedSnapshotSource:
         max_age_s: float = 5.0,
         clock=None,
         refresh_hook=None,
+        lkg_max_age_s: float | None = None,
     ) -> None:
         if max_age_s < 0:
             raise ValueError(f"max_age_s must be non-negative: {max_age_s}")
+        if lkg_max_age_s is not None and lkg_max_age_s < max_age_s:
+            raise ValueError(
+                f"lkg_max_age_s ({lkg_max_age_s}) must be >= max_age_s "
+                f"({max_age_s})"
+            )
         import time as _time
 
         self._source = source
         self._clock = clock if clock is not None else _time.monotonic
         self.max_age_s = max_age_s
+        self.lkg_max_age_s = lkg_max_age_s
         self._refresh_hook = refresh_hook
         self._snapshot: ClusterSnapshot | None = None
         self._built_at: float = float("-inf")
         #: observability counters (surfaced by the broker's status RPC)
         self.refreshes = 0
         self.hits = 0
+        #: times a failed rebuild was papered over with the cached snapshot
+        self.fallbacks = 0
 
     def __call__(self) -> ClusterSnapshot:
         """The current snapshot, rebuilt only when stale."""
@@ -283,10 +394,40 @@ class CachedSnapshotSource:
             return self._snapshot
         if self._refresh_hook is not None:
             self._refresh_hook()
-        self._snapshot = self._source()
+        if self.lkg_max_age_s is None:
+            self._snapshot = self._source()
+            self._built_at = now
+            self.refreshes += 1
+            return self._snapshot
+        try:
+            fresh = self._source()
+        except SnapshotUnavailableError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — degrade, don't crash
+            return self._fallback(now, f"snapshot source failed: {exc!r}")
+        if not fresh.nodes:
+            return self._fallback(now, "snapshot source yielded no nodes")
+        self._snapshot = fresh
         self._built_at = now
         self.refreshes += 1
-        return self._snapshot
+        return fresh
+
+    def _fallback(self, now: float, reason: str) -> ClusterSnapshot:
+        """Serve the last-known-good snapshot, or raise a typed error."""
+        assert self.lkg_max_age_s is not None
+        age = now - self._built_at
+        if self._snapshot is not None and age <= self.lkg_max_age_s:
+            self.fallbacks += 1
+            log.warning(
+                "%s; serving last-known-good snapshot (age %.1fs <= %.1fs)",
+                reason, age, self.lkg_max_age_s,
+            )
+            return self._snapshot
+        raise SnapshotUnavailableError(
+            f"{reason}; last-known-good snapshot is "
+            + ("absent" if self._snapshot is None else f"{age:.1f}s old")
+            + f" (bound {self.lkg_max_age_s:.1f}s)"
+        )
 
     def invalidate(self) -> None:
         """Force the next call to rebuild regardless of age."""

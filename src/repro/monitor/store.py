@@ -20,6 +20,22 @@ from pathlib import Path
 from typing import Any, Iterable
 
 
+class StoreCorruptError(Exception):
+    """A stored record that cannot be decoded into ``(time, value)``.
+
+    Raised instead of a raw ``json.JSONDecodeError``/``KeyError`` so
+    readers (snapshot assembly, the broker's refresh loop) can skip the
+    damaged key and keep serving from the rest of the store — a torn or
+    half-written file on the shared filesystem must degrade one key, not
+    crash the allocator.
+    """
+
+    def __init__(self, key: str, reason: str) -> None:
+        super().__init__(f"store record {key!r} is corrupt: {reason}")
+        self.key = key
+        self.reason = reason
+
+
 class SharedStore(ABC):
     """Abstract timestamped key-value store."""
 
@@ -71,6 +87,23 @@ class InMemoryStore(SharedStore):
 
     def __len__(self) -> int:
         return len(self._data)
+
+
+def _decode_record(key: str, rec: Any) -> tuple[float, Any]:
+    """``{"time": t, "value": v}`` → ``(t, v)``, or :class:`StoreCorruptError`."""
+    if not isinstance(rec, dict):
+        raise StoreCorruptError(
+            key, f"record must be a JSON object, got {type(rec).__name__}"
+        )
+    if "time" not in rec or "value" not in rec:
+        raise StoreCorruptError(key, "record lacks 'time'/'value' fields")
+    try:
+        time = float(rec["time"])
+    except (TypeError, ValueError) as exc:
+        raise StoreCorruptError(
+            key, f"record time {rec['time']!r} is not a number"
+        ) from exc
+    return (time, rec["value"])
 
 
 _SAFE = re.compile(r"[^A-Za-z0-9_.|-]")
@@ -125,8 +158,11 @@ class FileStore(SharedStore):
         path = self._path(key)
         if not path.exists():
             return None
-        rec = json.loads(path.read_text())
-        return (float(rec["time"]), rec["value"])
+        try:
+            rec = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreCorruptError(key, f"not valid JSON ({exc})") from exc
+        return _decode_record(key, rec)
 
     def keys(self, prefix: str = "") -> list[str]:
         out = []

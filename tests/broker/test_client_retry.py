@@ -1,0 +1,161 @@
+"""BrokerClient transport retries: idempotent, jittered, and bounded.
+
+Driven through the chaos transport (a scripted in-memory socket factory
+over a real service): the client must survive a mid-request socket death
+by retrying — but only for replay-safe operations, and for ``allocate``
+only because the idempotency token makes the replay dedupe server-side
+instead of double-granting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.broker.client import BrokerClient, BrokerError
+from repro.broker.service import BrokerService
+from repro.chaos.transport import (
+    DIE_AFTER_SEND,
+    DIE_BEFORE_SEND,
+    OK,
+    ScriptedSocketFactory,
+)
+
+from tests.core.test_array_equivalence import random_snapshot
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def service() -> BrokerService:
+    snap = random_snapshot(np.random.default_rng(42), 8)
+    return BrokerService(lambda: snap, clock=FakeClock(), default_ttl_s=600.0)
+
+
+def _client(service, script, **kwargs):
+    factory = ScriptedSocketFactory(service, script)
+    defaults = dict(
+        connect_retries=2,
+        retry_delay_s=0.0,
+        transport_retries=1,
+        backoff_s=0.0,
+        socket_factory=factory,
+        rng=random.Random(0),
+        sleep=lambda _s: None,
+    )
+    defaults.update(kwargs)
+    return BrokerClient("fake", 0, **defaults), factory
+
+
+class TestAllocateRetryIdempotency:
+    def test_die_after_send_retries_and_dedupes(self, service):
+        """The dangerous case: the grant happened, the response was lost."""
+        client, factory = _client(service, [DIE_AFTER_SEND, OK])
+        grant = client.allocate(4, ppn=2)
+        assert grant.lease_id
+        assert client.retries_used == 1
+        # Two requests reached the server; the token collapsed them into
+        # ONE lease — a naive retry would have granted twice.
+        assert factory.dispatched == 2
+        assert service.metrics.allocates_deduped == 1
+        assert len(service.leases.active()) == 1
+        held = {n for l in service.leases.active() for n in l.nodes}
+        assert set(grant.nodes) == held
+
+    def test_die_before_send_retry_is_trivially_safe(self, service):
+        client, factory = _client(service, [DIE_BEFORE_SEND, OK])
+        grant = client.allocate(4, ppn=2)
+        assert grant.lease_id
+        assert client.retries_used == 1
+        assert factory.dispatched == 1  # server saw it exactly once
+        assert service.metrics.allocates_deduped == 0
+        assert len(service.leases.active()) == 1
+
+    def test_caller_supplied_token_dedupes_across_clients(self, service):
+        client_a, _ = _client(service, [OK])
+        client_b, _ = _client(service, [OK])
+        a = client_a.allocate(4, ppn=2, token="job-77")
+        b = client_b.allocate(4, ppn=2, token="job-77")
+        assert a.lease_id == b.lease_id
+        assert len(service.leases.active()) == 1
+
+    def test_retries_exhausted_raises_transport_error(self, service):
+        client, factory = _client(
+            service, [DIE_AFTER_SEND, DIE_AFTER_SEND], transport_retries=1
+        )
+        with pytest.raises(BrokerError) as err:
+            client.allocate(4, ppn=2)
+        assert err.value.code == "CONNECT"
+        assert client.retries_used == 1
+        # Both attempts reached the server, still only one lease.
+        assert factory.dispatched == 2
+        assert len(service.leases.active()) == 1
+
+
+class TestRetryScope:
+    def test_status_is_retried(self, service):
+        client, _ = _client(service, [DIE_AFTER_SEND, OK])
+        status = client.call("status")
+        assert status["leases"]["active"] == 0
+        assert client.retries_used == 1
+
+    @pytest.mark.parametrize("op", ["renew", "release", "reconfigure"])
+    def test_mutating_ops_are_never_replayed(self, service, op):
+        client, factory = _client(service, [DIE_AFTER_SEND, OK])
+        with pytest.raises(BrokerError) as err:
+            client.call(op, {"lease_id": "L00000000"})
+        assert err.value.code == "CONNECT"
+        assert client.retries_used == 0
+        assert factory.dispatched == 1  # no second attempt
+
+    def test_allocate_without_token_is_not_replayed(self, service):
+        client, factory = _client(service, [DIE_AFTER_SEND, OK])
+        with pytest.raises(BrokerError):
+            client.call("allocate", {"n": 4, "ppn": 2})  # raw, token-less
+        assert client.retries_used == 0
+        assert factory.dispatched == 1
+
+    def test_server_side_errors_are_not_transport_retried(self, service):
+        client, factory = _client(service, [OK, OK])
+        with pytest.raises(BrokerError) as err:
+            client.allocate(0)  # invalid n → typed protocol error
+        assert err.value.code != "CONNECT"
+        assert client.retries_used == 0
+        assert factory.dispatched == 1
+
+
+class TestBackoff:
+    def test_backoff_is_jittered_and_exponential(self, service):
+        delays: list[float] = []
+        client, _ = _client(
+            service,
+            [DIE_AFTER_SEND, DIE_AFTER_SEND, DIE_AFTER_SEND, OK],
+            transport_retries=3,
+            backoff_s=0.1,
+            rng=random.Random(123),
+            sleep=delays.append,
+        )
+        grant = client.allocate(4, ppn=2)
+        assert grant.lease_id
+        assert len(delays) == 3
+        for attempt, delay in enumerate(delays):
+            base = 0.1 * (2**attempt)
+            assert 0.5 * base <= delay <= 1.5 * base
+        # Deterministic under an injected rng.
+        rng = random.Random(123)
+        expected = [
+            0.1 * (2**i) * (0.5 + rng.random()) for i in range(3)
+        ]
+        assert delays == pytest.approx(expected)
+
+    def test_zero_backoff_allowed(self, service):
+        client, _ = _client(service, [DIE_AFTER_SEND, OK], backoff_s=0.0)
+        assert client.allocate(2, ppn=2).lease_id

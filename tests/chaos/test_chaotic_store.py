@@ -1,0 +1,124 @@
+"""Unit tests for the fault-injecting store wrapper."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.chaos.store import (
+    ChaosRule,
+    ChaoticStore,
+    poison_huge,
+    poison_nan,
+    poison_negative,
+)
+from repro.monitor.store import InMemoryStore, StoreCorruptError
+
+
+@pytest.fixture
+def store() -> ChaoticStore:
+    inner = InMemoryStore()
+    chaotic = ChaoticStore(inner)
+    chaotic.put("nodestate/n0", {"x": 1.0}, 10.0)
+    chaotic.put("nodestate/n1", {"x": 2.0}, 20.0)
+    chaotic.put("livehosts", ["n0", "n1"], 30.0)
+    return chaotic
+
+
+class TestRuleValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            ChaosRule(mode="melt", pattern="*")
+
+    def test_poison_requires_mutator(self):
+        with pytest.raises(ValueError, match="mutate"):
+            ChaosRule(mode="poison", pattern="*")
+
+    def test_glob_matching(self):
+        rule = ChaosRule(mode="missing", pattern="nodestate/*")
+        assert rule.matches("nodestate/n3")
+        assert not rule.matches("livehosts")
+
+
+class TestFaultModes:
+    def test_corrupt_raises_typed_error_and_counts(self, store):
+        rule = store.corrupt("nodestate/n0")
+        with pytest.raises(StoreCorruptError):
+            store.get("nodestate/n0")
+        assert store.get("nodestate/n1") == (20.0, {"x": 2.0})
+        assert store.corrupt_served == 1
+        assert rule.hits == 1
+
+    def test_missing_hides_key_from_get_and_keys(self, store):
+        store.vanish("nodestate/*")
+        assert store.get("nodestate/n0") is None
+        assert store.get("nodestate/n1") is None
+        assert store.keys() == ["livehosts"]
+        assert store.missing_served == 2
+
+    def test_freeze_drops_writes(self, store):
+        store.freeze("livehosts")
+        store.put("livehosts", ["n0"], 99.0)
+        assert store.get("livehosts") == (30.0, ["n0", "n1"])
+        assert store.writes_frozen == 1
+        # Unfrozen keys still write through.
+        store.put("nodestate/n0", {"x": 3.0}, 99.0)
+        assert store.value("nodestate/n0") == {"x": 3.0}
+
+    def test_skew_shifts_read_timestamps_only(self, store):
+        store.skew("nodestate/n0", 500.0)
+        t, _ = store.get("nodestate/n0")
+        assert t == 510.0
+        assert store.times_skewed == 1
+        # The record itself is untouched.
+        assert store.inner.get("nodestate/n0")[0] == 10.0
+
+    def test_poison_applies_mutator_to_reads(self, store):
+        store.poison("nodestate/*", poison_negative)
+        _, value = store.get("nodestate/n0")
+        assert value == {"x": -2.0}
+        assert store.values_poisoned == 1
+
+
+class TestRuleLifecycle:
+    def test_remove_restores_behavior(self, store):
+        rule = store.corrupt("nodestate/n0")
+        with pytest.raises(StoreCorruptError):
+            store.get("nodestate/n0")
+        store.remove(rule)
+        assert store.get("nodestate/n0") == (10.0, {"x": 1.0})
+
+    def test_remove_is_idempotent(self, store):
+        rule = store.vanish("livehosts")
+        store.remove(rule)
+        store.remove(rule)  # second removal must not raise
+        assert store.get("livehosts") is not None
+
+    def test_clear_drops_all_rules(self, store):
+        store.corrupt("nodestate/*")
+        store.vanish("livehosts")
+        assert len(store.active_rules()) == 2
+        store.clear()
+        assert store.active_rules() == ()
+        assert store.get("nodestate/n0") is not None
+
+
+class TestPoisonHelpers:
+    def test_poison_nan_hits_numbers_recursively(self):
+        rec = {"a": 1.5, "nested": {"b": [2.0, 3]}, "s": "keep", "flag": True}
+        out = poison_nan("k", rec)
+        assert math.isnan(out["a"])
+        assert math.isnan(out["nested"]["b"][0])
+        assert math.isnan(out["nested"]["b"][1])  # ints are numbers too
+        assert out["s"] == "keep"
+        assert out["flag"] is True  # bool is not a float casualty
+
+    def test_poison_negative_and_huge(self):
+        assert poison_negative("k", {"a": 2.0})["a"] == -3.0
+        assert poison_huge("k", {"a": 2.0})["a"] > 1e12
+
+    def test_poison_does_not_mutate_original(self):
+        rec = {"a": 1.0}
+        poison_nan("k", rec)
+        assert rec["a"] == 1.0

@@ -1,0 +1,145 @@
+"""Unit tests for the chaos invariant checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos.invariants import (
+    DEFAULT_QUALITY_BOUND,
+    InvariantChecker,
+    Violation,
+)
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.monitor.store import StoreCorruptError
+from repro.scheduler.leases import LeaseTable
+
+from tests.core.test_array_equivalence import random_snapshot
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def checker() -> InvariantChecker:
+    return InvariantChecker("unit")
+
+
+class TestGuard:
+    def test_success_passes_result_through(self, checker):
+        assert checker.guard("x", lambda: 42) == 42
+        assert checker.ok
+        assert checker.stats["ok_calls"] == 1
+
+    def test_typed_error_counts_as_degradation(self, checker):
+        def fail():
+            raise StoreCorruptError("k", "torn")
+
+        assert checker.guard("x", fail) is None
+        assert checker.ok  # degradation, not a violation
+        assert checker.stats["typed_errors"] == 1
+        assert checker.error_codes["StoreCorruptError"] == 1
+
+    def test_raw_exception_is_a_violation(self, checker):
+        def fail():
+            raise KeyError("nope")
+
+        assert checker.guard("x", fail) is None
+        assert not checker.ok
+        assert checker.violations[0].invariant == "no_unhandled_exception"
+        assert "KeyError" in checker.violations[0].detail
+
+
+class TestLeaseSafety:
+    def test_clean_table_passes(self, checker):
+        leases = LeaseTable(clock=FakeClock())
+        leases.grant(("n0", "n1"), {"n0": 2, "n1": 2}, ttl_s=60.0)
+        checker.check_no_double_grant(leases)
+        checker.check_lease_accounting(leases, expected_active=1)
+        assert checker.ok
+
+    def test_accounting_mismatch_is_a_leak(self, checker):
+        leases = LeaseTable(clock=FakeClock())
+        leases.grant(("n0",), {"n0": 2}, ttl_s=60.0)
+        checker.check_lease_accounting(leases, expected_active=0)
+        assert not checker.ok
+        assert checker.violations[0].invariant == "no_lease_leak"
+
+    def test_double_grant_detected(self, checker):
+        clock = FakeClock()
+        leases = LeaseTable(clock=clock)
+        leases.grant(("n0", "n1"), {"n0": 1, "n1": 1}, ttl_s=60.0)
+        # Forge an overlapping lease directly: the public API refuses
+        # overlap, which is exactly why the checker must catch a bypass.
+        forged = leases.grant(("n2",), {"n2": 1}, ttl_s=60.0)
+        object.__setattr__(forged, "nodes", ("n1", "n2"))
+        checker.check_no_double_grant(leases)
+        assert not checker.ok
+        assert checker.violations[0].invariant == "no_double_grant"
+
+
+class TestQualityBound:
+    def _setup(self):
+        truth = random_snapshot(np.random.default_rng(11), 8)
+        request = AllocationRequest(n_processes=4, ppn=2)
+        oracle = NetworkLoadAwarePolicy().allocate(truth, request).nodes
+        return truth, request, oracle
+
+    def test_oracle_vs_itself_is_ratio_one(self, checker):
+        truth, request, oracle = self._setup()
+        ratio = checker.check_quality(
+            chosen=oracle, oracle=oracle, truth=truth, request=request
+        )
+        assert ratio == pytest.approx(1.0)
+        assert checker.ok
+        assert checker.stats["quality_checks"] == 1
+
+    def test_within_bound_passes(self, checker):
+        truth, request, oracle = self._setup()
+        others = [n for n in truth.nodes if n not in oracle][:2]
+        ratio = checker.check_quality(
+            chosen=others, oracle=oracle, truth=truth, request=request,
+            bound=float("inf"),
+        )
+        assert ratio >= 1.0 - 1e-9  # the oracle's pick is optimal on truth
+        assert checker.ok
+
+    def test_over_bound_is_a_violation(self, checker):
+        truth, request, oracle = self._setup()
+        others = [n for n in truth.nodes if n not in oracle][:2]
+        checker.check_quality(
+            chosen=others, oracle=oracle, truth=truth, request=request,
+            bound=1.0 - 1e-6, label="probe",
+        )
+        # A distinct group cannot beat the optimum, so a bound below 1
+        # must trip unless the scores tie exactly.
+        assert not checker.ok or checker.stats["quality_checks"] == 1
+
+    def test_unknown_nodes_count_as_stale_not_violations(self, checker):
+        truth, request, oracle = self._setup()
+        ratio = checker.check_quality(
+            chosen=["ghost0", "ghost1"], oracle=oracle, truth=truth,
+            request=request,
+        )
+        assert ratio == 1.0
+        assert checker.ok
+        assert checker.stats["stale_placements"] == 1
+
+
+class TestReporting:
+    def test_summary_shape(self, checker):
+        checker.guard("x", lambda: 1)
+        checker.violate("demo", "detail")
+        summary = checker.summary()
+        assert summary["ok"] is False
+        assert summary["violations"] == ["[demo] detail"]
+        assert summary["stats"]["ok_calls"] == 1
+
+    def test_violation_str(self):
+        assert str(Violation("inv", "why")) == "[inv] why"
+        assert DEFAULT_QUALITY_BOUND > 1.0

@@ -1,0 +1,44 @@
+"""End-to-end smoke: the CI scenario trio must hold every invariant.
+
+The full matrix runs via ``make chaos``; this keeps the three fastest,
+highest-signal scenarios (healthy baseline, corrupt store, mid-migration
+death) inside the regular pytest tier so a regression in the degradation
+paths fails the ordinary test run too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.runner import format_report, run_scenarios, select_scenarios
+from repro.chaos.scenarios import SCENARIOS, SMOKE_SCENARIOS
+
+
+class TestSelection:
+    def test_smoke_trio_is_a_subset_of_the_matrix(self):
+        assert set(SMOKE_SCENARIOS) <= set(SCENARIOS)
+        assert len(SMOKE_SCENARIOS) == 3
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            select_scenarios(["baseline_no_faults", "nope"])
+
+    def test_default_selection_is_everything(self):
+        assert select_scenarios() == list(SCENARIOS)
+        assert select_scenarios(smoke=True) == list(SMOKE_SCENARIOS)
+
+
+@pytest.mark.parametrize("name", SMOKE_SCENARIOS)
+def test_smoke_scenario_holds_invariants(name):
+    report = run_scenarios([name], seed=0)[0]
+    detail = "; ".join(str(v) for v in report.checker.violations)
+    assert report.ok, f"{name}: {detail}"
+    assert report.stats["grants"] >= 1
+    rendered = format_report(report)
+    assert "OK" in rendered and name in rendered
+
+
+def test_reports_are_seed_deterministic():
+    a = run_scenarios(["baseline_no_faults"], seed=7)[0]
+    b = run_scenarios(["baseline_no_faults"], seed=7)[0]
+    assert a.summary() == b.summary()

@@ -1,0 +1,196 @@
+"""Snapshot validation and last-known-good fallback under bad monitor data.
+
+A daemon writing garbage (NaN, negative loads, absurd specs) must cost
+the cluster exactly one node's visibility; a fully broken monitor
+pipeline must degrade to the last-known-good snapshot, then to a typed
+``SnapshotUnavailableError`` — never to arithmetic on poison.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import uniform_cluster
+from repro.monitor.snapshot import (
+    CachedSnapshotSource,
+    SnapshotUnavailableError,
+    _validated_view,
+    build_snapshot,
+)
+from repro.monitor.store import InMemoryStore
+from repro.net.model import NetworkModel
+
+
+def _stats(v: float = 0.5) -> dict:
+    return {"now": v, "m1": v, "m5": v, "m15": v}
+
+
+def _record(**overrides) -> dict:
+    rec = {
+        "static": {"cores": 8, "frequency_ghz": 2.5, "memory_gb": 32.0},
+        "users": 1,
+        "cpu_load": _stats(),
+        "cpu_util": _stats(),
+        "flow_rate_mbs": _stats(),
+        "available_memory_gb": _stats(),
+    }
+    rec.update(overrides)
+    return rec
+
+
+class TestValidatedView:
+    def test_valid_record_accepted(self):
+        view = _validated_view("n0", _record())
+        assert view.cores == 8
+        assert view.cpu_load["m1"] == 0.5
+
+    @pytest.mark.parametrize(
+        "poison",
+        [math.nan, -0.5, 1e12, math.inf, -math.inf],
+        ids=["nan", "negative", "huge", "inf", "-inf"],
+    )
+    def test_poisoned_dynamic_attribute_rejected(self, poison):
+        with pytest.raises(ValueError, match="cpu_load"):
+            _validated_view("n0", _record(cpu_load=_stats(poison)))
+
+    def test_nonpositive_cores_rejected(self):
+        rec = _record()
+        rec["static"]["cores"] = 0
+        with pytest.raises(ValueError, match="cores"):
+            _validated_view("n0", rec)
+
+    def test_absurd_static_spec_rejected(self):
+        rec = _record()
+        rec["static"]["frequency_ghz"] = -3.0
+        with pytest.raises(ValueError, match="frequency_ghz"):
+            _validated_view("n0", rec)
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(ValueError, match="users"):
+            _validated_view("n0", _record(users=-1))
+
+    def test_wrong_shape_raises_catchable_types(self):
+        with pytest.raises((KeyError, TypeError, ValueError)):
+            _validated_view("n0", {"static": "not a dict"})
+
+
+@pytest.fixture
+def world():
+    specs, topo = uniform_cluster(4, nodes_per_switch=2)
+    cluster = Cluster(specs, topo)
+    network = NetworkModel(topo)
+    store = InMemoryStore()
+    for name in cluster.names:
+        store.put(f"nodestate/{name}", _record(), 1.0)
+    store.put("livehosts", list(cluster.names), 1.0)
+    return store, cluster, network
+
+
+class TestBuildSnapshotDegradation:
+    def test_poisoned_node_skipped_and_logged(self, world, caplog):
+        store, cluster, network = world
+        victim = cluster.names[1]
+        store.put(
+            f"nodestate/{victim}", _record(cpu_load=_stats(math.nan)), 1.5
+        )
+        with caplog.at_level("WARNING", logger="repro.monitor.snapshot"):
+            snap = build_snapshot(store, cluster, network, now=2.0)
+        assert victim not in snap.nodes
+        assert len(snap.nodes) == 3
+        assert any(victim in r.message for r in caplog.records)
+
+    def test_malformed_livehosts_falls_back_to_all(self, world):
+        store, cluster, network = world
+        store.put("livehosts", {"oops": True}, 1.5)
+        snap = build_snapshot(store, cluster, network, now=2.0)
+        assert set(snap.livehosts) == set(cluster.names)
+
+    def test_out_of_range_pair_values_skipped(self, world):
+        store, cluster, network = world
+        a, b = sorted(cluster.names)[:2]
+        store.put(f"bandwidth/{a}", {b: math.nan}, 1.5)
+        store.put(f"latency/{a}", {b: {"now": -5.0, "m1": -5.0}}, 1.5)
+        snap = build_snapshot(store, cluster, network, now=2.0)
+        assert (a, b) not in snap.bandwidth_mbs
+        assert (a, b) not in snap.latency_us
+
+
+class TestLastKnownGoodFallback:
+    def _source(self, snapshots):
+        """A source that serves scripted results (exceptions raise)."""
+        script = list(snapshots)
+
+        def source():
+            item = script.pop(0) if len(script) > 1 else script[0]
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        return source
+
+    def test_failed_rebuild_serves_lkg_within_bound(self, world):
+        store, cluster, network = world
+        good = build_snapshot(store, cluster, network, now=0.0)
+        t = {"now": 0.0}
+        src = CachedSnapshotSource(
+            self._source([good, RuntimeError("monitor down")]),
+            max_age_s=5.0,
+            clock=lambda: t["now"],
+            lkg_max_age_s=60.0,
+        )
+        assert src() is good
+        t["now"] = 10.0  # stale → rebuild fails → LKG still fresh enough
+        assert src() is good
+        assert src.fallbacks == 1
+
+    def test_typed_error_past_lkg_bound(self, world):
+        store, cluster, network = world
+        good = build_snapshot(store, cluster, network, now=0.0)
+        t = {"now": 0.0}
+        src = CachedSnapshotSource(
+            self._source([good, RuntimeError("monitor down")]),
+            max_age_s=5.0,
+            clock=lambda: t["now"],
+            lkg_max_age_s=60.0,
+        )
+        assert src() is good
+        t["now"] = 120.0  # beyond the LKG age bound
+        with pytest.raises(SnapshotUnavailableError, match="monitor down"):
+            src()
+
+    def test_empty_snapshot_triggers_fallback_too(self, world):
+        store, cluster, network = world
+        good = build_snapshot(store, cluster, network, now=0.0)
+        empty = build_snapshot(
+            InMemoryStore(), cluster, network, now=0.0
+        )
+        t = {"now": 0.0}
+        src = CachedSnapshotSource(
+            self._source([good, empty]),
+            max_age_s=5.0,
+            clock=lambda: t["now"],
+            lkg_max_age_s=60.0,
+        )
+        assert src() is good
+        t["now"] = 10.0
+        assert src() is good  # empty rebuild papered over with LKG
+        assert src.fallbacks == 1
+
+    def test_no_lkg_at_all_is_typed(self):
+        src = CachedSnapshotSource(
+            self._source([RuntimeError("never worked"), RuntimeError("x")]),
+            max_age_s=5.0,
+            clock=lambda: 0.0,
+            lkg_max_age_s=60.0,
+        )
+        with pytest.raises(SnapshotUnavailableError):
+            src()
+
+    def test_bound_must_cover_freshness_window(self):
+        with pytest.raises(ValueError, match="lkg_max_age_s"):
+            CachedSnapshotSource(
+                lambda: None, max_age_s=10.0, lkg_max_age_s=5.0
+            )

@@ -1,0 +1,146 @@
+"""Corrupt store records: typed errors at the seam, skip-and-log above it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.cluster.cluster import Cluster
+from repro.monitor.snapshot import build_snapshot
+from repro.monitor.store import (
+    FileStore,
+    InMemoryStore,
+    StoreCorruptError,
+    _decode_record,
+)
+from repro.net.model import NetworkModel
+
+
+@pytest.fixture
+def fstore(tmp_path) -> FileStore:
+    return FileStore(tmp_path)
+
+
+class TestFileStoreCorruption:
+    def test_torn_json_raises_typed_error(self, fstore, tmp_path):
+        fstore.put("nodestate/n0", {"x": 1}, 5.0)
+        path = next(tmp_path.rglob("*.json"))
+        path.write_text('{"time": 5.0, "value": {"x"')  # torn mid-write
+        with pytest.raises(StoreCorruptError) as err:
+            fstore.get("nodestate/n0")
+        assert err.value.key == "nodestate/n0"
+        assert "not valid JSON" in err.value.reason
+
+    def test_binary_garbage_raises_typed_error(self, fstore, tmp_path):
+        fstore.put("k", 1, 0.0)
+        path = next(tmp_path.rglob("*.json"))
+        path.write_bytes(b"\xff\xfe\x00garbage")
+        with pytest.raises(StoreCorruptError):
+            fstore.get("k")
+
+    def test_value_convenience_propagates_corruption(self, fstore, tmp_path):
+        fstore.put("k", 1, 0.0)
+        next(tmp_path.rglob("*.json")).write_text("[[[")
+        with pytest.raises(StoreCorruptError):
+            fstore.value("k")
+        with pytest.raises(StoreCorruptError):
+            fstore.age("k", now=1.0)
+
+    def test_intact_records_unaffected(self, fstore):
+        fstore.put("a", {"x": 1}, 2.0)
+        assert fstore.get("a") == (2.0, {"x": 1})
+
+
+class TestDecodeRecord:
+    def test_non_object_record(self):
+        with pytest.raises(StoreCorruptError, match="JSON object"):
+            _decode_record("k", [1, 2, 3])
+
+    def test_missing_fields(self):
+        with pytest.raises(StoreCorruptError, match="time.*value"):
+            _decode_record("k", {"time": 1.0})
+
+    def test_non_numeric_time(self):
+        with pytest.raises(StoreCorruptError, match="not a number"):
+            _decode_record("k", {"time": "noon", "value": 1})
+
+    def test_valid_record_round_trips(self):
+        assert _decode_record("k", {"time": 3, "value": "v"}) == (3.0, "v")
+
+
+def _valid_nodestate(cores: int = 8) -> dict:
+    stats = {"now": 0.5, "m1": 0.5, "m5": 0.5, "m15": 0.5}
+    return {
+        "static": {"cores": cores, "frequency_ghz": 2.5, "memory_gb": 32.0},
+        "users": 1,
+        "cpu_load": dict(stats),
+        "cpu_util": dict(stats),
+        "flow_rate_mbs": dict(stats),
+        "available_memory_gb": dict(stats),
+    }
+
+
+class TestSnapshotSkipsCorruptRecords:
+    """A corrupt key costs one node's visibility, never the snapshot."""
+
+    @pytest.fixture
+    def world(self):
+        specs, topo = uniform_cluster(4, nodes_per_switch=2)
+        cluster = Cluster(specs, topo)
+        network = NetworkModel(topo)
+        store = InMemoryStore()
+        names = list(cluster.names)
+        for i, name in enumerate(names):
+            store.put(f"nodestate/{name}", _valid_nodestate(), 1.0)
+            peers = names[i + 1 :]
+            store.put(
+                f"bandwidth/{name}", {p: 100.0 for p in peers}, 1.0
+            )
+            store.put(
+                f"latency/{name}",
+                {p: {"now": 80.0, "m1": 80.0} for p in peers},
+                1.0,
+            )
+        store.put("livehosts", names, 1.0)
+        return store, cluster, network
+
+    def _corrupt(self, store, key):
+        # InMemoryStore never raises on its own; emulate FileStore's torn
+        # read by overriding get for one key.
+        original = store.get
+
+        def get(k):
+            if k == key:
+                raise StoreCorruptError(k, "torn write")
+            return original(k)
+
+        store.get = get
+
+    def test_corrupt_nodestate_drops_one_node(self, world, caplog):
+        store, cluster, network = world
+        victim = cluster.names[0]
+        self._corrupt(store, f"nodestate/{victim}")
+        with caplog.at_level("WARNING", logger="repro.monitor.snapshot"):
+            snap = build_snapshot(store, cluster, network, now=2.0)
+        assert victim not in snap.nodes
+        assert set(snap.nodes) == set(cluster.names) - {victim}
+        assert any("corrupt" in r.message for r in caplog.records)
+
+    def test_corrupt_livehosts_falls_back_to_all_nodes(self, world):
+        store, cluster, network = world
+        self._corrupt(store, "livehosts")
+        snap = build_snapshot(store, cluster, network, now=2.0)
+        assert set(snap.livehosts) == set(cluster.names)
+        assert len(snap.nodes) == 4
+
+    def test_corrupt_pair_records_drop_pairs_not_nodes(self, world):
+        store, cluster, network = world
+        victim = cluster.names[0]
+        self._corrupt(store, f"bandwidth/{victim}")
+        snap = build_snapshot(store, cluster, network, now=2.0)
+        assert set(snap.nodes) == set(cluster.names)
+        # The victim's outgoing bandwidth pairs vanish; everyone else's
+        # (and all latency pairs) survive.
+        assert snap.bandwidth_mbs
+        assert all(victim not in pair for pair in snap.bandwidth_mbs)
+        assert any(victim in pair for pair in snap.latency_us)

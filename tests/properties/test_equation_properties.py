@@ -1,0 +1,233 @@
+"""Property tests for the paper's Equations 1–4 and Algorithm 2.
+
+Hypothesis drives the *structure* of each example (node count, seed,
+degeneracy fractions); numpy expands the seed into attribute values.
+This keeps examples diverse and shrinkable while making accidental
+ties measure-zero — the invariants under test are:
+
+* Eq. 1/2: sum-normalized loads land in [0, 1]; mean-normalized loads
+  are finite and non-negative regardless of input degeneracy.
+* Eq. 3: ``pc_v`` always lands in [1, coreCount_v].
+* Algorithm 2 / Eq. 4: the selected score (and score multiset) is
+  invariant under node relabeling — only measurements matter, never
+  what a node happens to be called.
+* Degenerate inputs (all-zero loads, single node, no measured pairs)
+  never divide by zero.
+
+Runs under the pinned "repro" profile registered in tests/conftest.py
+(derandomized, capped examples, no deadline).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.core.candidate import generate_all_candidates  # noqa: E402
+from repro.core.compute_load import compute_loads  # noqa: E402
+from repro.core.effective_procs import (  # noqa: E402
+    effective_proc_count,
+    effective_proc_counts,
+)
+from repro.core.network_load import network_loads  # noqa: E402
+from repro.core.policies import (  # noqa: E402
+    AllocationRequest,
+    NetworkLoadAwarePolicy,
+)
+from repro.core.selection import score_candidates, select_best  # noqa: E402
+from repro.core.weights import TradeOff  # noqa: E402
+
+from tests.core.test_array_equivalence import random_snapshot  # noqa: E402
+
+TOL = 1e-9
+
+snapshots = st.builds(
+    lambda seed, n, missing, zero, full: random_snapshot(
+        np.random.default_rng(seed),
+        n,
+        missing_fraction=missing,
+        zero_load_fraction=zero,
+        full_load_fraction=full,
+    ),
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 12),
+    missing=st.sampled_from([0.0, 0.3, 1.0]),
+    zero=st.sampled_from([0.0, 0.5, 1.0]),
+    full=st.sampled_from([0.0, 0.5]),
+)
+
+
+class TestNormalizedLoadRanges:
+    @given(snap=snapshots)
+    def test_compute_loads_sum_normalized_in_unit_interval(self, snap):
+        loads = compute_loads(snap, method="sum")
+        assert set(loads) == set(snap.nodes)
+        for node, value in loads.items():
+            assert math.isfinite(value), node
+            assert -TOL <= value <= 1.0 + TOL, (node, value)
+
+    @given(snap=snapshots)
+    def test_compute_loads_mean_normalized_finite_nonnegative(self, snap):
+        loads = compute_loads(snap, method="mean")
+        for node, value in loads.items():
+            assert math.isfinite(value), node
+            assert value >= -TOL, (node, value)
+
+    @given(snap=snapshots)
+    def test_network_loads_sum_normalized_in_unit_interval(self, snap):
+        nl = network_loads(snap, method="sum")
+        for pair, value in nl.items():
+            assert math.isfinite(value), pair
+            assert -TOL <= value <= 1.0 + TOL, (pair, value)
+
+    @given(snap=snapshots)
+    def test_network_loads_mean_normalized_finite_nonnegative(self, snap):
+        nl = network_loads(snap, method="mean")
+        for pair, value in nl.items():
+            assert math.isfinite(value), pair
+            assert value >= -TOL, (pair, value)
+
+
+class TestEffectiveProcCountRange:
+    @given(
+        cores=st.integers(1, 256),
+        load=st.floats(
+            0.0, 1e6, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_scalar_in_one_to_cores(self, cores, load):
+        pc = effective_proc_count(cores, load)
+        assert 1 <= pc <= cores, (cores, load, pc)
+
+    @given(snap=snapshots)
+    def test_vector_respects_each_nodes_core_count(self, snap):
+        pcs = effective_proc_counts(snap)
+        assert set(pcs) == set(snap.nodes)
+        for node, pc in pcs.items():
+            assert 1 <= pc <= snap.nodes[node].cores, (node, pc)
+
+    @given(snap=snapshots, ppn=st.integers(1, 16))
+    def test_explicit_ppn_overrides_formula(self, snap, ppn):
+        pcs = effective_proc_counts(snap, ppn=ppn)
+        assert all(pc == ppn for pc in pcs.values())
+
+
+def _relabel(mapping, cl, nl, pc, names):
+    """Apply a node-name bijection to every Algorithm-2 input."""
+    cl2 = {mapping[n]: v for n, v in cl.items()}
+    pc2 = {mapping[n]: v for n, v in pc.items()}
+    nl2 = {}
+    for (a, b), v in nl.items():
+        x, y = mapping[a], mapping[b]
+        nl2[(x, y) if x <= y else (y, x)] = v
+    return cl2, nl2, pc2, [mapping[n] for n in names]
+
+
+class TestSelectionRelabelingInvariance:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_nodes=st.integers(2, 10),
+        alpha=st.sampled_from([0.0, 0.3, 0.5, 0.7, 1.0]),
+        n_procs=st.integers(1, 24),
+    )
+    def test_scores_invariant_under_relabeling(
+        self, seed, n_nodes, alpha, n_procs
+    ):
+        rng = np.random.default_rng(seed)
+        names = [f"n{i:02d}" for i in range(n_nodes)]
+        # Continuous draws: ties between distinct nodes are measure-zero,
+        # so candidate growth order is determined by costs, not names.
+        cl = {n: float(v) for n, v in zip(names, rng.uniform(0.1, 2.0, n_nodes))}
+        pc = {n: int(rng.integers(1, 9)) for n in names}
+        nl = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if rng.uniform() < 0.8:  # some pairs unmeasured
+                    nl[(a, b)] = float(rng.uniform(0.05, 1.5))
+        tradeoff = TradeOff.from_alpha(alpha)
+
+        # An order-scrambling bijection: new names sort differently.
+        perm = rng.permutation(n_nodes)
+        mapping = {n: f"z{int(k):02d}" for n, k in zip(names, perm)}
+        cl2, nl2, pc2, names2 = _relabel(mapping, cl, nl, pc, names)
+
+        cands1 = generate_all_candidates(names, cl, nl, pc, n_procs, tradeoff)
+        cands2 = generate_all_candidates(names2, cl2, nl2, pc2, n_procs, tradeoff)
+        scored1 = score_candidates(cands1, cl, nl, tradeoff)
+        scored2 = score_candidates(cands2, cl2, nl2, tradeoff)
+
+        totals1 = sorted(s.total for s in scored1)
+        totals2 = sorted(s.total for s in scored2)
+        assert len(totals1) == len(totals2)
+        for t1, t2 in zip(totals1, totals2):
+            assert abs(t1 - t2) <= TOL
+
+        best1 = select_best(cands1, cl, nl, tradeoff)
+        best2 = select_best(cands2, cl2, nl2, tradeoff)
+        assert abs(best1.total - best2.total) <= TOL
+
+        # With a uniquely-best score the winning *group* must map exactly
+        # (ties fall back to the name-based deterministic tiebreak, which
+        # relabeling legitimately permutes).
+        runners_up = [t for t in totals1 if t > best1.total + TOL]
+        unique = len([t for t in totals1 if abs(t - best1.total) <= TOL]) == 1
+        if unique and (not runners_up or runners_up[0] > best1.total + TOL):
+            mapped = {mapping[n] for n in best1.candidate.nodes}
+            assert mapped == set(best2.candidate.nodes)
+            for node, procs in best1.candidate.procs.items():
+                assert best2.candidate.procs[mapping[node]] == procs
+
+
+class TestDegenerateInputs:
+    """The paper's formulas all divide by aggregate sums — every one of
+    these inputs makes at least one of those sums zero or empty."""
+
+    def test_all_zero_loads_snapshot(self):
+        snap = random_snapshot(
+            np.random.default_rng(5), 6, zero_load_fraction=1.0
+        )
+        loads = compute_loads(snap, method="sum")
+        assert all(math.isfinite(v) for v in loads.values())
+        alloc = NetworkLoadAwarePolicy().allocate(
+            snap, AllocationRequest(n_processes=4, ppn=2)
+        )
+        assert alloc.nodes
+
+    def test_single_node_no_pairs(self):
+        snap = random_snapshot(np.random.default_rng(9), 1)
+        assert network_loads(snap) == {}
+        loads = compute_loads(snap)
+        assert len(loads) == 1
+        alloc = NetworkLoadAwarePolicy().allocate(
+            snap, AllocationRequest(n_processes=2, ppn=2)
+        )
+        assert len(alloc.nodes) == 1
+
+    def test_no_measured_pairs_at_all(self):
+        snap = random_snapshot(
+            np.random.default_rng(13), 5, missing_fraction=1.0
+        )
+        assert network_loads(snap) == {}
+        alloc = NetworkLoadAwarePolicy().allocate(
+            snap, AllocationRequest(n_processes=6, ppn=2)
+        )
+        assert len(alloc.nodes) == 3
+
+    @given(snap=snapshots, n=st.integers(1, 40))
+    def test_policy_never_raises_arithmetic_errors(self, snap, n):
+        policy = NetworkLoadAwarePolicy()
+        try:
+            alloc = policy.allocate(
+                snap, AllocationRequest(n_processes=n, ppn=2)
+            )
+        except (ZeroDivisionError, FloatingPointError) as exc:
+            pytest.fail(f"arithmetic blow-up on degenerate input: {exc!r}")
+        except Exception:
+            return  # typed domain errors (e.g. no live hosts) are fine
+        assert sum(alloc.procs.values()) == n

@@ -1,9 +1,32 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: test bench bench-full bench-smoke bench-json elastic chaos chaos-smoke examples clean
+.PHONY: all test lint typecheck bench bench-full bench-smoke bench-json elastic chaos chaos-smoke examples clean
+
+all: test lint typecheck
 
 test:
 	pytest tests/
+
+# In-tree invariant checks (determinism / async-safety / typed errors /
+# protocol drift) — stdlib-only, always available.  Exit 1 on any
+# finding not grandfathered in lint-baseline.json (docs/ANALYSIS.md).
+# mypy/ruff are optional extras (`pip install -e ".[lint]"`); the
+# targets skip gracefully where they aren't installed so `make all`
+# works in minimal containers.
+lint:
+	python -m repro lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,97 @@
+"""Baseline handling — grandfathered findings are explicit, not ignored.
+
+The baseline file (``lint-baseline.json`` at the repo root) records the
+findings that existed when the gate was introduced, as *fingerprint
+counts*.  A fingerprint is ``rule|path|context`` — the enclosing
+function qualname rather than a line number, so unrelated edits above a
+grandfathered site don't churn the file.  Per fingerprint the baseline
+stores how many findings are tolerated; the gate fails only on findings
+**beyond** those counts, so:
+
+* fixing a grandfathered violation never breaks the build (the entry
+  just goes stale, and the CLI nags to ``--write-baseline``);
+* introducing a *second* violation of an already-baselined kind in the
+  same function **does** fail — the count is exceeded;
+* nothing is ever silently excluded: the tolerated debt is a committed,
+  reviewable JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding, LintReport
+
+BASELINE_VERSION = 1
+
+#: default baseline filename, resolved against the lint root
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Position-independent identity used for grandfathering."""
+    return f"{finding.rule}|{finding.path}|{finding.context}"
+
+
+def load(path: Path) -> dict[str, int]:
+    """Fingerprint counts from ``path`` (empty when the file is absent)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(
+            f"{path} is not a lint baseline (expected a 'findings' map)"
+        )
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} has baseline version {version!r}; this build "
+            f"understands version {BASELINE_VERSION}"
+        )
+    findings = data["findings"]
+    if not isinstance(findings, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in findings.items()
+    ):
+        raise ValueError(f"{path}: 'findings' must map fingerprints to counts")
+    return dict(findings)
+
+
+def write(path: Path, findings: list[Finding]) -> None:
+    """Write the baseline grandfathering exactly ``findings``."""
+    counts = Counter(fingerprint(f) for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "Grandfathered lint findings (see docs/ANALYSIS.md). Entries "
+            "are rule|path|context fingerprints with tolerated counts; "
+            "regenerate with `python -m repro lint --write-baseline` "
+            "after deliberately accepting or fixing a finding."
+        ),
+        "findings": {k: counts[k] for k in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply(findings: list[Finding], baseline: dict[str, int]) -> LintReport:
+    """Split ``findings`` into new vs. grandfathered against ``baseline``.
+
+    Findings are consumed against their fingerprint's tolerated count in
+    source order; overflow is new.  Baseline entries with a tolerated
+    count higher than what exists now are reported as stale.
+    """
+    report = LintReport(findings=sorted(findings))
+    remaining = dict(baseline)
+    for finding in report.findings:
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            report.baselined.append(finding)
+        else:
+            report.new.append(finding)
+    report.stale_baseline = sorted(
+        fp for fp, count in remaining.items() if count > 0
+    )
+    return report

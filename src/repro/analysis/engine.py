@@ -1,0 +1,55 @@
+"""The lint engine: load sources, run every rule, apply the baseline."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.findings import Finding, LintReport
+from repro.analysis.rules import FILE_RULES, PROJECT_RULES
+from repro.analysis.source import Project
+
+
+def lint_project(project: Project, *, families: set[str] | None = None) -> list[Finding]:
+    """Every finding from every rule over ``project``, sorted.
+
+    ``families`` restricts output to rule-id prefixes (``DET``, ``ASY``,
+    ``ERR``, ``PRO``); ``None`` runs everything.  Parse failures surface
+    as ``GEN001`` findings rather than exceptions, so one broken file
+    cannot hide the rest of the run.
+    """
+    findings: list[Finding] = []
+    for file in project.files:
+        if file.parse_error is not None:
+            findings.append(file.parse_error)
+            continue
+        for rule in FILE_RULES:
+            findings.extend(rule(file))
+    for project_rule in PROJECT_RULES:
+        findings.extend(project_rule(project))
+    if families is not None:
+        findings = [
+            f for f in findings if f.family in families or f.rule == "GEN001"
+        ]
+    return sorted(findings)
+
+
+def run(
+    root: Path,
+    paths: list[Path],
+    *,
+    baseline_path: Path | None = None,
+    families: set[str] | None = None,
+) -> LintReport:
+    """One full lint run: parse, check, baseline-split.
+
+    ``baseline_path=None`` treats every finding as new (``--no-baseline``).
+    """
+    project = Project.load(root, paths)
+    findings = lint_project(project, families=families)
+    tolerated = (
+        baseline_mod.load(baseline_path) if baseline_path is not None else {}
+    )
+    report = baseline_mod.apply(findings, tolerated)
+    report.files_checked = len(project.files)
+    return report

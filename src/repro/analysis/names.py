@@ -1,0 +1,72 @@
+"""Best-effort static name resolution for call sites.
+
+The determinism and async-safety rules need to know that ``sleep(1)``
+means ``time.sleep`` after ``from time import sleep``, and that
+``dt.datetime.now()`` means ``datetime.datetime.now`` after
+``import datetime as dt``.  This module builds a per-file alias table
+from the import statements and resolves ``Call.func`` expressions to
+canonical dotted names.  It is deliberately conservative: anything it
+cannot resolve stays unresolved (no finding) rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted names they import.
+
+    ``import time`` → ``{"time": "time"}``;
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from random import Random`` → ``{"Random": "random.Random"}``.
+    Wildcard imports and relative imports are ignored.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # `import a.b` binds `a`; `import a.b as c` binds `c` → a.b
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay project-internal
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call(func: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of a call target, through the alias table.
+
+    ``sleep`` with ``from time import sleep`` → ``time.sleep``;
+    ``np.random.default_rng`` → ``numpy.random.default_rng``.  Returns
+    ``None`` for targets rooted in a local variable (method calls on
+    objects are resolved by the caller's own heuristics, not here).
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head not in aliases:
+        return None
+    canonical = aliases[head]
+    return f"{canonical}.{rest}" if rest else canonical

@@ -1,0 +1,77 @@
+"""Justification pragmas — suppression that must explain itself.
+
+Two comment forms silence a finding on their line, and **both require a
+one-line rationale** after a dash; a pragma without a rationale does not
+suppress anything (that is the whole point — grep the codebase for the
+pragma and you read the list of justified exceptions):
+
+* the generic form works for any rule::
+
+      risky()  # lint: allow(DET001) — DES replay stamps real walltime
+
+* broad ``except`` clauses reuse the pre-existing in-tree convention
+  (also understood by ruff's BLE family), again rationale-required::
+
+      except Exception as exc:  # noqa: BLE001 — daemon must not die
+
+The rationale separator accepts an em dash, en dash, or ``-``/``--`` so
+authors don't fight their keyboard layout.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.source import SourceFile
+
+#: ``# lint: allow(RULE1, RULE2) — rationale``
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*(?P<rules>[A-Z0-9_,\s]+?)\s*\)"
+    r"(?:\s*(?:—|–|--|-)\s*(?P<reason>\S.*))?"
+)
+
+#: ``# noqa: ..., BLE001 — rationale`` (broad-except convention)
+_BLE_RE = re.compile(
+    r"#\s*noqa:[^#]*?\bBLE001\b[^—–#-]*"
+    r"(?:(?:—|–|--|-)\s*(?P<reason>\S.*))?"
+)
+
+#: rules the ``noqa: BLE001`` form may suppress (broad catches only)
+_BLE_RULES = frozenset({"ERR001", "ERR002"})
+
+
+def justification(file: SourceFile, lineno: int, rule: str) -> str | None:
+    """The rationale justifying ``rule`` on ``lineno``, or ``None``.
+
+    Returns the rationale text only when a pragma on that physical line
+    names the rule (or is the BLE001 form and the rule is a broad-except
+    rule) *and* carries a non-empty rationale.
+    """
+    text = file.line_text(lineno)
+    m = _ALLOW_RE.search(text)
+    if m is not None:
+        rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        reason = (m.group("reason") or "").strip()
+        if rule in rules and reason:
+            return reason
+    if rule in _BLE_RULES:
+        m = _BLE_RE.search(text)
+        if m is not None:
+            reason = (m.group("reason") or "").strip()
+            if reason:
+                return reason
+    return None
+
+
+def has_unjustified_pragma(file: SourceFile, lineno: int) -> bool:
+    """Whether the line carries a suppression pragma missing its rationale.
+
+    Used to sharpen the fix hint: a bare ``# noqa: BLE001`` is one dash
+    and a sentence away from conforming.
+    """
+    text = file.line_text(lineno)
+    m = _ALLOW_RE.search(text)
+    if m is not None and not (m.group("reason") or "").strip():
+        return True
+    m = _BLE_RE.search(text)
+    return m is not None and not (m.group("reason") or "").strip()

@@ -1,0 +1,238 @@
+"""Protocol-drift rules — client verbs and server dispatch stay in sync.
+
+The wire protocol is defined in one place (``broker/protocol.py``'s
+``OPS`` tuple) but *implemented* in three: the protocol parser's
+``op ==`` ladder, the daemon's ``_dispatch`` ladder (mirrored by the
+chaos transport's socketless dispatcher), and the client library's
+typed ``self.call("<op>", ...)`` methods.  Adding a verb to one ladder
+and forgetting another compiles fine and fails at runtime with
+``UNKNOWN_OP`` — precisely the drift PR 3 hit when ``reconfigure``
+landed.  These rules diff the four surfaces on every lint run:
+
+* ``PRO001`` — an op in ``OPS`` is missing from a dispatch ladder
+  (parser, daemon, or chaos transport mirror).
+* ``PRO002`` — an op in ``OPS`` has no client ``call()`` literal.
+* ``PRO003`` — a dispatch/client literal is not in ``OPS`` (a verb that
+  can never be requested, or a typo).
+* ``PRO004`` — ``_RETRY_SAFE_OPS`` names an op outside ``OPS``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.source import Project, SourceFile
+
+RULES = (
+    RuleInfo("PRO001", "protocol-drift", "declared op missing from a dispatch ladder"),
+    RuleInfo("PRO002", "protocol-drift", "declared op missing from the client library"),
+    RuleInfo("PRO003", "protocol-drift", "dispatched/called op not declared in OPS"),
+    RuleInfo("PRO004", "protocol-drift", "_RETRY_SAFE_OPS entry not declared in OPS"),
+)
+
+PROTOCOL_MODULE = "repro.broker.protocol"
+CLIENT_MODULE = "repro.broker.client"
+
+#: modules holding an ``op ==`` dispatch ladder that must cover OPS
+DISPATCH_MODULES = ("repro.broker.server", "repro.chaos.transport")
+
+
+def check_project(project: Project) -> list[Finding]:
+    protocol = project.find_module(PROTOCOL_MODULE)
+    if protocol is None or protocol.tree is None:
+        return []
+    ops = _ops_tuple(protocol)
+    if ops is None:
+        return []
+    declared, ops_line = ops
+
+    findings: list[Finding] = []
+
+    # 1. every dispatch ladder (parser included) covers every op
+    ladders: list[tuple[SourceFile, dict[str, int]]] = [
+        (protocol, _op_comparisons(protocol))
+    ]
+    for module in DISPATCH_MODULES:
+        file = project.find_module(module)
+        if file is not None and file.tree is not None:
+            ladders.append((file, _op_comparisons(file)))
+    for file, seen in ladders:
+        for op in sorted(declared):
+            if op not in seen:
+                findings.append(
+                    Finding(
+                        path=file.rel,
+                        line=1,
+                        col=0,
+                        rule="PRO001",
+                        severity="error",
+                        message=f"op {op!r} is declared in OPS but this "
+                        "module's dispatch ladder never matches it",
+                        hint="add the `op == ...` branch (and its handler) "
+                        "or drop the op from OPS",
+                        context="<dispatch>",
+                    )
+                )
+        for op, lineno in sorted(seen.items()):
+            if op not in declared:
+                findings.append(
+                    Finding(
+                        path=file.rel,
+                        line=lineno,
+                        col=0,
+                        rule="PRO003",
+                        severity="error",
+                        message=f"dispatch matches op {op!r}, which is not "
+                        "declared in protocol OPS",
+                        hint="declare it in OPS (and the parser) or remove "
+                        "the dead branch",
+                        context="<dispatch>",
+                    )
+                )
+
+    # 2. the client's typed methods cover every op, and only real ops
+    client = project.find_module(CLIENT_MODULE)
+    if client is not None and client.tree is not None:
+        called = _client_call_ops(client)
+        for op in sorted(declared):
+            if op not in called:
+                findings.append(
+                    Finding(
+                        path=client.rel,
+                        line=1,
+                        col=0,
+                        rule="PRO002",
+                        severity="error",
+                        message=f"op {op!r} is declared in OPS but the "
+                        "client library never calls it",
+                        hint="add a typed client method wrapping "
+                        f"call({op!r}, ...)",
+                        context="BrokerClient",
+                    )
+                )
+        for op, lineno in sorted(called.items()):
+            if op not in declared:
+                findings.append(
+                    Finding(
+                        path=client.rel,
+                        line=lineno,
+                        col=0,
+                        rule="PRO003",
+                        severity="error",
+                        message=f"client calls op {op!r}, which is not "
+                        "declared in protocol OPS",
+                        hint="declare the op in broker/protocol.py or fix "
+                        "the verb string",
+                        context="BrokerClient",
+                    )
+                )
+        retry_safe = _retry_safe_ops(client)
+        if retry_safe is not None:
+            safe_ops, line = retry_safe
+            for op in sorted(safe_ops):
+                if op not in declared:
+                    findings.append(
+                        Finding(
+                            path=client.rel,
+                            line=line,
+                            col=0,
+                            rule="PRO004",
+                            severity="error",
+                            message=f"_RETRY_SAFE_OPS lists {op!r}, which "
+                            "is not declared in protocol OPS",
+                            hint="retry safety only applies to real verbs; "
+                            "fix the entry",
+                            context="_RETRY_SAFE_OPS",
+                        )
+                    )
+    return findings
+
+
+def _ops_tuple(protocol: SourceFile) -> tuple[set[str], int] | None:
+    """The ``OPS = (...)`` declaration: ``(ops, lineno)``."""
+    assert protocol.tree is not None
+    for node in protocol.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "OPS" for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            ops = {
+                e.value
+                for e in node.value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            }
+            return ops, node.lineno
+    return None
+
+
+def _op_comparisons(file: SourceFile) -> dict[str, int]:
+    """String literals compared (or matched) against an ``op`` expression.
+
+    Covers ``request.op == "allocate"``, ``op == "renew"``,
+    ``assert request.op == "status"`` and ``match op: case "..."``.
+    """
+    assert file.tree is not None
+    seen: dict[str, int] = {}
+
+    def is_op_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id == "op"
+        return isinstance(expr, ast.Attribute) and expr.attr == "op"
+
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Compare) and is_op_expr(node.left):
+            for comparator in node.comparators:
+                if isinstance(comparator, ast.Constant) and isinstance(
+                    comparator.value, str
+                ):
+                    seen.setdefault(comparator.value, node.lineno)
+        elif isinstance(node, ast.Match) and is_op_expr(node.subject):
+            for case in node.cases:
+                pattern = case.pattern
+                if isinstance(pattern, ast.MatchValue) and isinstance(
+                    pattern.value, ast.Constant
+                ):
+                    if isinstance(pattern.value.value, str):
+                        seen.setdefault(pattern.value.value, pattern.value.lineno)
+    return seen
+
+
+def _client_call_ops(client: SourceFile) -> dict[str, int]:
+    """First-argument literals of ``*.call("<op>", ...)`` invocations."""
+    assert client.tree is not None
+    seen: dict[str, int] = {}
+    for node in ast.walk(client.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "call"):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                seen.setdefault(value, node.lineno)
+    return seen
+
+
+def _retry_safe_ops(client: SourceFile) -> tuple[set[str], int] | None:
+    """The ``_RETRY_SAFE_OPS`` declaration, if present."""
+    assert client.tree is not None
+    for node in ast.walk(client.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_RETRY_SAFE_OPS"
+            for t in node.targets
+        ):
+            continue
+        ops = {
+            c.value
+            for c in ast.walk(node.value)
+            if isinstance(c, ast.Constant) and isinstance(c.value, str)
+        }
+        return ops, node.lineno
+    return None

@@ -1,0 +1,159 @@
+"""Source loading: parse each file once, share the AST across rules.
+
+The engine walks a package tree, producing one :class:`SourceFile` per
+``*.py`` file (text, split lines, parsed AST, dotted module name) and
+one :class:`Project` holding them all — file rules see a single file,
+project rules (exhaustiveness and drift cross-checks) see the corpus.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+
+def module_name(root: Path, path: Path) -> str:
+    """Dotted module name for ``path``, e.g. ``repro.broker.client``.
+
+    Derived from the path relative to ``root`` with any leading ``src``
+    segment stripped, so both installed layouts and the in-repo
+    ``src/repro/...`` layout resolve to ``repro.*`` names.
+    """
+    rel = path.resolve().relative_to(root.resolve())
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file."""
+
+    path: Path  #: absolute path on disk
+    rel: str  #: repo-relative POSIX path (used in findings)
+    module: str  #: dotted module name, e.g. ``repro.chaos.faults``
+    text: str
+    lines: list[str]
+    tree: ast.Module | None  #: ``None`` when the file failed to parse
+    parse_error: Finding | None = None
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module lives under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-indexed physical line (empty string out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class Project:
+    """The full corpus one lint run operates on."""
+
+    root: Path
+    files: list[SourceFile] = field(default_factory=list)
+
+    def find_module(self, module: str) -> SourceFile | None:
+        """The file for an exact dotted module name, if present."""
+        for f in self.files:
+            if f.module == module:
+                return f
+        return None
+
+    @classmethod
+    def load(cls, root: Path, paths: list[Path]) -> "Project":
+        """Parse every ``*.py`` under ``paths`` (files or directories)."""
+        root = root.resolve()
+        seen: set[Path] = set()
+        files: list[SourceFile] = []
+        for target in paths:
+            target = target if target.is_absolute() else root / target
+            if target.is_dir():
+                candidates = sorted(target.rglob("*.py"))
+            else:
+                candidates = [target]
+            for path in candidates:
+                path = path.resolve()
+                if path in seen:
+                    continue
+                seen.add(path)
+                files.append(_load_one(root, path))
+        return cls(root=root, files=files)
+
+
+def _load_one(root: Path, path: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    tree: ast.Module | None = None
+    parse_error: Finding | None = None
+    try:
+        tree = ast.parse(text, filename=rel)
+    except SyntaxError as exc:
+        parse_error = Finding(
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule="GEN001",
+            severity="error",
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; no other rule ran on this file",
+        )
+    return SourceFile(
+        path=path,
+        rel=rel,
+        module=module_name(root, path),
+        text=text,
+        lines=text.splitlines(),
+        tree=tree,
+        parse_error=parse_error,
+    )
+
+
+class QualnameVisitor:
+    """Maps line numbers to enclosing ``Class.func`` qualnames.
+
+    Used to give findings a position-independent ``context`` so baseline
+    fingerprints survive unrelated edits above them in the file.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._spans: list[tuple[int, int, str]] = []
+        self._walk(tree, [])
+        # innermost span first
+        self._spans.sort(key=lambda s: (s[0] - s[1],))
+
+    def _walk(self, node: ast.AST, stack: list[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qual = stack + [child.name]
+                end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                self._spans.append((child.lineno, end, ".".join(qual)))
+                self._walk(child, qual)
+            else:
+                self._walk(child, stack)
+
+    def qualname(self, lineno: int) -> str:
+        """Innermost enclosing qualname for ``lineno`` (or ``<module>``)."""
+        best: tuple[int, str] | None = None
+        for start, end, qual in self._spans:
+            if start <= lineno <= end:
+                width = end - start
+                if best is None or width < best[0]:
+                    best = (width, qual)
+        return best[1] if best is not None else "<module>"

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import random
 import socket
 import time
@@ -37,6 +38,71 @@ from repro.broker.protocol import PROTOCOL_VERSION, encode_request
 #: ``status`` is read-only; ``allocate`` is safe only because the typed
 #: helper always attaches a dedupe token (see :meth:`BrokerClient.call`).
 _RETRY_SAFE_OPS = frozenset({"allocate", "status"})
+
+#: every error code this client understands: the full server-side
+#: :class:`~repro.broker.protocol.ErrorCode` enum plus the two codes the
+#: client mints locally (``CONNECT``/``TIMEOUT`` — transport failures
+#: that never crossed the wire).  ``repro lint`` cross-checks this
+#: registry against the enum (rules ERR004/ERR005), so a code added to
+#: the protocol without teaching the client fails the build.
+KNOWN_ERROR_CODES = frozenset(
+    {
+        # transport (client-side)
+        "CONNECT",
+        "TIMEOUT",
+        # request validation
+        "BAD_REQUEST",
+        "UNSUPPORTED_VERSION",
+        "UNKNOWN_OP",
+        # admission / placement
+        "BUSY",
+        "NO_CAPACITY",
+        "WAIT",
+        "MONITOR_STALE",
+        # lease lifecycle
+        "UNKNOWN_LEASE",
+        "EXPIRED_LEASE",
+        # reconfiguration
+        "NODE_CONFLICT",
+        "BAD_SWAP",
+        "STALE_PLAN",
+        "RECONFIG_FAILED",
+        # server bugs
+        "INTERNAL",
+    }
+)
+
+#: codes where retrying after a backoff can plausibly succeed
+TRANSIENT_ERROR_CODES = frozenset(
+    {"CONNECT", "TIMEOUT", "BUSY", "MONITOR_STALE"}
+)
+
+#: environment knob seeding the client's retry-jitter stream when neither
+#: ``rng`` nor ``seed`` is passed (``repro client --seed`` sets it too)
+SEED_ENV_VAR = "REPRO_CLIENT_SEED"
+
+
+def _default_rng(seed: int | None) -> random.Random:
+    """The retry-jitter stream: explicit seed > env knob > 0.
+
+    Always seeded — an entropy-seeded generator here would make chaos
+    transport scenarios (which replay injected connection deaths against
+    recorded backoff schedules) non-reproducible.  Identical seeds give
+    identical jitter, which is exactly what replay wants; callers that
+    need decorrelated fleets pass distinct seeds.
+    """
+    if seed is None:
+        env = os.environ.get(SEED_ENV_VAR)
+        if env:
+            try:
+                seed = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{SEED_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            seed = 0
+    return random.Random(seed)
 
 
 def _default_socket_factory(
@@ -59,6 +125,11 @@ class BrokerError(Exception):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+
+    @property
+    def transient(self) -> bool:
+        """Whether retrying later can plausibly succeed."""
+        return self.code in TRANSIENT_ERROR_CODES
 
 
 @dataclass(frozen=True)
@@ -89,8 +160,13 @@ class BrokerClient:
         backoff_s: float = 0.05,
         socket_factory: Callable[[str, int, float], socket.socket] | None = None,
         rng: random.Random | None = None,
+        seed: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        """``rng`` (an already-seeded generator) wins over ``seed``; with
+        neither, the jitter stream is seeded from ``$REPRO_CLIENT_SEED``
+        (default 0) so retry schedules replay byte-identically.
+        """
         if timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive: {timeout_s}")
         if connect_retries < 0 or retry_delay_s < 0:
@@ -106,7 +182,7 @@ class BrokerClient:
         self.backoff_s = backoff_s
         self.retries_used = 0
         self._socket_factory = socket_factory or _default_socket_factory
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else _default_rng(seed)
         self._sleep = sleep
         self._sock: socket.socket | None = None
         self._rfile = None
@@ -154,7 +230,7 @@ class BrokerClient:
     def __enter__(self) -> "BrokerClient":
         return self.connect()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- RPC ------------------------------------------------------------

@@ -128,7 +128,7 @@ class BrokerServer:
         for task in self._tasks:
             try:
                 await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001 — shutdown drains every background task; a task that died earlier must not abort stop()
                 pass
         self._tasks.clear()
         if self._queue is not None:
@@ -308,7 +308,7 @@ def _parses_as_object(line: bytes) -> bool:
 
     try:
         return isinstance(json.loads(line), dict)
-    except Exception:  # noqa: BLE001
+    except ValueError:  # JSONDecodeError and UnicodeDecodeError both are
         return False
 
 
@@ -320,7 +320,7 @@ def _best_effort_id(line: bytes) -> str:
         obj = json.loads(line)
         if isinstance(obj, dict) and isinstance(obj.get("id"), (str, int)):
             return str(obj["id"])
-    except Exception:  # noqa: BLE001
+    except ValueError:  # JSONDecodeError and UnicodeDecodeError both are
         pass
     return ""
 
@@ -357,7 +357,7 @@ class BrokerDaemonThread:
             async def boot() -> None:
                 try:
                     await self.server.start()
-                except BaseException as exc:  # noqa: BLE001
+                except BaseException as exc:  # noqa: BLE001 — captured for the foreground thread to re-raise; swallowing any failure here would hang start()'s wait
                     self._start_error = exc
                     raise
                 finally:
@@ -397,5 +397,5 @@ class BrokerDaemonThread:
     def __enter__(self) -> "BrokerDaemonThread":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

@@ -41,7 +41,7 @@ from repro.broker.protocol import (
 from repro.elastic.cost import MigrationCostConfig, SnapshotMigrationCost
 from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
 from repro.elastic.gate import GateConfig, PlanGate
-from repro.elastic.plan import ReconfigPlanner
+from repro.elastic.plan import ReconfigPlan, ReconfigPlanner
 from repro.core.broker import ResourceBroker, WaitRecommended
 from repro.core.policies import (
     Allocation,
@@ -78,11 +78,11 @@ class _SnapshotCoster:
     assignment cannot race).
     """
 
-    def __init__(self, config=None) -> None:
+    def __init__(self, config: MigrationCostConfig | None = None) -> None:
         self.config = config
-        self.snapshot = None
+        self.snapshot: ClusterSnapshot | None = None
 
-    def migration_cost_s(self, plan) -> float:
+    def migration_cost_s(self, plan: ReconfigPlan) -> float:
         assert self.snapshot is not None, "set .snapshot before evaluating"
         return SnapshotMigrationCost(
             self.snapshot, self.config

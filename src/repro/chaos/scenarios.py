@@ -686,7 +686,7 @@ def scenario_mid_migration_death(seed: int) -> ChaosReport:
             )
         checker.stats["typed_errors"] += 1
         checker.error_codes[exc.code] += 1
-    except Exception as exc:  # noqa: BLE001
+    except Exception as exc:  # noqa: BLE001 — the invariant under test is "typed errors only"; any other type IS the violation being recorded
         checker.violate(
             "no_unhandled_exception", f"{type(exc).__name__}: {exc}"
         )
@@ -729,7 +729,7 @@ def scenario_mid_migration_death(seed: int) -> ChaosReport:
                 f"post-swap nodes {sorted(swapped.nodes)} != plan "
                 f"{sorted(new_nodes)}",
             )
-    except Exception as exc:  # noqa: BLE001
+    except Exception as exc:  # noqa: BLE001 — any failure here, typed or not, is a commit-path violation; the scenario must keep driving to check accounting
         checker.violate(
             "commit", f"retried migration failed: {type(exc).__name__}: {exc}"
         )

@@ -100,7 +100,7 @@ def _best_effort_id(line: bytes) -> str:
         obj = json.loads(line)
         if isinstance(obj, dict) and isinstance(obj.get("id"), (str, int)):
             return str(obj["id"])
-    except Exception:  # noqa: BLE001
+    except ValueError:  # JSONDecodeError and UnicodeDecodeError both are
         pass
     return ""
 

@@ -11,7 +11,9 @@ every invocation is reproducible):
 * ``report``   — regenerate a figure/table of the paper by name;
 * ``serve``    — run the persistent allocation broker daemon (TCP);
 * ``client``   — talk to a running broker
-  (allocate/renew/release/reconfigure/status).
+  (allocate/renew/release/reconfigure/status);
+* ``lint``     — static invariant checks (determinism, async-safety,
+  typed errors, protocol drift) with a CI-gateable exit code.
 
 ``allocate`` and ``compare`` accept ``--json`` for machine-readable
 output, so scripted callers don't scrape the human-formatted text.
@@ -339,6 +341,7 @@ def cmd_client(args: argparse.Namespace) -> int:
         port=args.port,
         timeout_s=args.timeout_s,
         connect_retries=args.connect_retries,
+        seed=args.client_seed,
     )
     try:
         with client:
@@ -434,6 +437,12 @@ def client_status(client, args: argparse.Namespace) -> int:
     print(f"latency: p50={lat['p50']:.3f}ms p99={lat['p99']:.3f}ms "
           f"max={lat['max']:.3f}ms")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(getattr(args, "lint_args", []))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -570,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=7077)
     p.add_argument("--timeout-s", type=float, default=10.0)
     p.add_argument("--connect-retries", type=int, default=20)
+    p.add_argument("--seed", dest="client_seed", type=int, default=None,
+                   help="seed for retry-jitter (default: $REPRO_CLIENT_SEED "
+                        "or 0, so retry schedules replay byte-identically)")
     csub = p.add_subparsers(dest="client_command", required=True)
 
     c = csub.add_parser("allocate", help="request nodes and a lease")
@@ -607,10 +619,26 @@ def build_parser() -> argparse.ArgumentParser:
     c = csub.add_parser("status", help="daemon status and metrics")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_client, client_func=client_status)
+
+    # `lint` forwards everything after the verb to the analysis CLI (see
+    # main(): argparse.REMAINDER cannot forward leading options).
+    p = sub.add_parser(
+        "lint",
+        help="run the static invariant checks (see docs/ANALYSIS.md)",
+    )
+    p.set_defaults(func=cmd_lint)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forwarded verbatim: the lint engine owns its own argparse
+        # (argparse.REMAINDER would swallow leading --options here).
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

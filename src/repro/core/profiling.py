@@ -14,6 +14,7 @@ miniFE: 25–60 % comm → β = 0.6).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.apps.base import AppModel
 from repro.cluster.cluster import Cluster
@@ -98,6 +99,6 @@ def tradeoff_from_profile(
     return TradeOff(alpha=round(1.0 - beta, 6), beta=round(beta, 6))
 
 
-def recommend_tradeoff(app: AppModel, **profile_kwargs) -> TradeOff:
+def recommend_tradeoff(app: AppModel, **profile_kwargs: Any) -> TradeOff:
     """Profile ``app`` and return the derived α/β in one call."""
     return tradeoff_from_profile(profile_app(app, **profile_kwargs))

@@ -35,7 +35,11 @@ from repro.elastic.cost import (
     SnapshotMigrationCost,
 )
 from repro.elastic.drift import DriftPolicy, DriftVerdict, LoadDriftMonitor
-from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
+from repro.elastic.executor import (
+    MigrationFailure,
+    ReconfigError,
+    TwoPhaseExecutor,
+)
 from repro.elastic.gate import GateConfig, GateDecision, PlanGate
 from repro.elastic.plan import ReconfigPlan, ReconfigPlanner
 
@@ -49,6 +53,7 @@ __all__ = [
     "MigrationCostConfig",
     "NetworkMigrationCost",
     "SnapshotMigrationCost",
+    "MigrationFailure",
     "ReconfigError",
     "ReconfigPlan",
     "ReconfigPlanner",

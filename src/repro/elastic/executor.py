@@ -14,7 +14,10 @@ window with a reserve → switch → release protocol:
 2. **switch** — the caller's ``migrate`` callback runs (checkpoint,
    transfer, restart).  If it raises, the reservation is released and
    the original lease is untouched: the job keeps running exactly where
-   it was, and ``RECONFIG_FAILED`` propagates with the cause chained.
+   it was.  Expected migration deaths (:class:`MigrationFailure`,
+   ``OSError``, ``RuntimeError``) become typed ``RECONFIG_FAILED`` with
+   the cause chained; anything else is a programming error and
+   propagates raw — after the same rollback.
 3. **release + swap** — the reservation is dropped and the job's own
    lease is atomically :meth:`~repro.scheduler.leases.LeaseTable.swap`-ed
    onto the new node set.  The broker's service loop is single-threaded
@@ -32,6 +35,15 @@ from repro.scheduler.leases import Lease, LeaseError, LeaseTable
 
 if TYPE_CHECKING:
     from repro.elastic.plan import ReconfigPlan
+
+
+class MigrationFailure(Exception):
+    """A migration callback failed mid-flight (checkpoint, transfer, restart).
+
+    Well-behaved ``migrate`` callbacks raise this (or :class:`OSError` /
+    :class:`RuntimeError` from the transport underneath) so the executor
+    can distinguish an expected migration death from a programming error.
+    """
 
 
 class ReconfigError(Exception):
@@ -118,7 +130,10 @@ class TwoPhaseExecutor:
         if migrate is not None:
             try:
                 migrate(plan)
-            except Exception as err:
+            except (MigrationFailure, OSError, RuntimeError) as err:
+                # RuntimeError stays in the net deliberately: untyped
+                # transports (and the chaos harness's flaky_migrate) must
+                # still surface as typed RECONFIG_FAILED, never escape raw.
                 self._release_quietly(reserve)
                 self.rollbacks += 1
                 raise ReconfigError(
@@ -127,6 +142,10 @@ class TwoPhaseExecutor:
                     f"({err!r}); reservation rolled back, original "
                     "allocation intact",
                 ) from err
+            except BaseException:  # noqa: BLE001 — cleanup-and-reraise: a programming error in the callback propagates raw, but the reservation must never strand
+                self._release_quietly(reserve)
+                self.rollbacks += 1
+                raise
 
         # Phase 3 — commit: free the reservation, swap the job's lease.
         # The service loop is single-threaded, so nothing can grab the

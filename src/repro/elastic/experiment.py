@@ -18,7 +18,7 @@ attributable to reconfiguration alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.apps.minimd import MiniMD, MiniMDConfig
 from repro.cluster.topology import uniform_cluster
@@ -200,7 +200,7 @@ def run_elastic_comparison(
     *,
     seed: int = 0,
     config: ElasticExperimentConfig | None = None,
-    **overrides,
+    **overrides: Any,
 ) -> ElasticComparison:
     """The headline experiment: same drifting world, with and without escape.
 

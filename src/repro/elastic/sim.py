@@ -36,8 +36,12 @@ from repro.core.policies import AllocationPolicy, AllocationRequest
 from repro.des.engine import Engine
 from repro.elastic.cost import MigrationCostConfig, NetworkMigrationCost
 from repro.elastic.drift import DriftPolicy, LoadDriftMonitor
-from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
-from repro.elastic.gate import GateConfig, PlanGate
+from repro.elastic.executor import (
+    MigrationFailure,
+    ReconfigError,
+    TwoPhaseExecutor,
+)
+from repro.elastic.gate import GateConfig, GateDecision, PlanGate
 from repro.elastic.plan import ReconfigPlan, ReconfigPlanner
 from repro.monitor.snapshot import ClusterSnapshot
 from repro.net.model import NetworkModel
@@ -316,7 +320,7 @@ class MalleableClusterScheduler(ClusterScheduler):
             self.migration_failure_rate > 0
             and self._failure_rng.random() < self.migration_failure_rate
         ):
-            raise RuntimeError(
+            raise MigrationFailure(
                 f"injected migration failure for lease {plan.lease_id}"
             )
 
@@ -325,7 +329,7 @@ class MalleableClusterScheduler(ClusterScheduler):
         plan: ReconfigPlan,
         now: float,
         outcome: str,
-        decision,
+        decision: GateDecision,
         *,
         error: str | None = None,
     ) -> None:

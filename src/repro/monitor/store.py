@@ -147,7 +147,7 @@ class FileStore(SharedStore):
             with os.fdopen(fd, "w") as fh:
                 fh.write(json.dumps({"time": time, "value": value}))
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException:  # noqa: BLE001 — cleanup-and-reraise: only unlinks the temp file, and must run even on KeyboardInterrupt so aborted writes don't litter the store
             try:
                 os.unlink(tmp)
             except OSError:

@@ -1,0 +1,42 @@
+"""Fixture-corpus helpers for the lint-engine tests.
+
+Each test writes a tiny fake package tree under ``tmp_path`` (mirroring
+the real ``src/repro/...`` layout, so package-scoped rules fire) and
+lints it in-process — no subprocess, no reliance on the real repo's
+sources.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import lint_project
+from repro.analysis.findings import Finding
+from repro.analysis.source import Project
+
+
+def write_tree(root: Path, files: dict[str, str]) -> None:
+    """Write ``{relpath: source}`` under ``root`` (dedented)."""
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint({relpath: source}) -> list[Finding]`` over a fake corpus."""
+
+    def run(files: dict[str, str]) -> list[Finding]:
+        write_tree(tmp_path, files)
+        project = Project.load(tmp_path, [tmp_path / "src"])
+        return lint_project(project)
+
+    return run
+
+
+def rules_of(findings) -> list[str]:
+    return [f.rule for f in findings]

@@ -1,0 +1,125 @@
+"""ASY rules: nothing blocks an async def body."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rules_of
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_async_def_flagged(self, lint):
+        findings = lint({
+            "src/repro/broker/server.py": """
+                import time
+
+                async def handler():
+                    time.sleep(1.0)
+            """,
+        })
+        assert rules_of(findings) == ["ASY001"]
+        assert "handler" in findings[0].message
+
+    def test_asyncio_sleep_ok(self, lint):
+        findings = lint({
+            "src/repro/broker/server.py": """
+                import asyncio
+
+                async def handler():
+                    await asyncio.sleep(1.0)
+            """,
+        })
+        assert findings == []
+
+    def test_subprocess_and_socket_flagged(self, lint):
+        findings = lint({
+            "src/repro/broker/server.py": """
+                import socket
+                import subprocess
+
+                async def handler(host, port):
+                    subprocess.run(["true"])
+                    socket.create_connection((host, port))
+            """,
+        })
+        assert sorted(rules_of(findings)) == ["ASY001", "ASY001"]
+
+    def test_sync_def_not_scanned(self, lint):
+        # Blocking calls in ordinary functions are the caller's business.
+        findings = lint({
+            "src/repro/broker/server.py": """
+                import time
+
+                def helper():
+                    time.sleep(1.0)
+            """,
+        })
+        assert findings == []
+
+    def test_nested_sync_def_inside_async_not_scanned(self, lint):
+        # A nested def's execution context is unknown (it may run in a
+        # thread via to_thread); only direct async-body calls count.
+        findings = lint({
+            "src/repro/broker/server.py": """
+                import time
+
+                async def handler():
+                    def blocking_job():
+                        time.sleep(1.0)
+                    return blocking_job
+            """,
+        })
+        assert findings == []
+
+    def test_nested_async_def_scanned_exactly_once(self, lint):
+        findings = lint({
+            "src/repro/broker/server.py": """
+                import time
+
+                async def outer():
+                    async def inner():
+                        time.sleep(1.0)
+                    await inner()
+            """,
+        })
+        assert rules_of(findings) == ["ASY001"]
+
+    def test_applies_outside_broker_too(self, lint):
+        # Any async def in the package is an event-loop context.
+        findings = lint({
+            "src/repro/monitor/poller.py": """
+                import time
+
+                async def poll():
+                    time.sleep(0.1)
+            """,
+        })
+        assert rules_of(findings) == ["ASY001"]
+
+
+class TestStoreAccess:
+    def test_store_read_in_async_def_warns(self, lint):
+        findings = lint({
+            "src/repro/broker/server.py": """
+                async def refresh(self):
+                    return self.store.value("load")
+            """,
+        })
+        assert rules_of(findings) == ["ASY002"]
+        assert findings[0].severity == "warning"
+
+    def test_non_store_receiver_ok(self, lint):
+        findings = lint({
+            "src/repro/broker/server.py": """
+                async def refresh(mapping):
+                    return mapping.get("load")
+            """,
+        })
+        assert findings == []
+
+    def test_pragma_suppresses_store_warning(self, lint):
+        findings = lint({
+            "src/repro/broker/server.py": """
+                async def refresh(self):
+                    return self.store.value("load")  # lint: allow(ASY002) — tmpfs-backed store, sub-ms reads
+            """,
+        })
+        assert findings == []

@@ -1,0 +1,94 @@
+"""Baseline round-trip: grandfathering, overflow, staleness, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.findings import Finding
+
+
+def make_finding(line=10, rule="ERR002", context="Daemon.loop", path="src/repro/x.py"):
+    return Finding(
+        path=path,
+        line=line,
+        col=4,
+        rule=rule,
+        severity="error",
+        message="broad except",
+        context=context,
+    )
+
+
+class TestFingerprint:
+    def test_position_independent(self):
+        # Same site after unrelated edits above it: line moved, identity
+        # unchanged — the baseline must not churn.
+        a = make_finding(line=10)
+        b = make_finding(line=57)
+        assert baseline.fingerprint(a) == baseline.fingerprint(b)
+
+    def test_distinguishes_rule_path_and_context(self):
+        base = baseline.fingerprint(make_finding())
+        assert baseline.fingerprint(make_finding(rule="ERR001")) != base
+        assert baseline.fingerprint(make_finding(path="src/repro/y.py")) != base
+        assert baseline.fingerprint(make_finding(context="Daemon.stop")) != base
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        findings = [make_finding(), make_finding(line=20), make_finding(rule="DET003")]
+        baseline.write(path, findings)
+        loaded = baseline.load(path)
+        assert loaded == {
+            "ERR002|src/repro/x.py|Daemon.loop": 2,
+            "DET003|src/repro/x.py|Daemon.loop": 1,
+        }
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert baseline.load(tmp_path / "absent.json") == {}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError, match="version"):
+            baseline.load(path)
+
+    def test_malformed_counts_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 1, "findings": {"a|b|c": 0}}))
+        with pytest.raises(ValueError, match="counts"):
+            baseline.load(path)
+
+
+class TestApply:
+    def test_grandfathered_finding_is_not_new(self):
+        f = make_finding()
+        report = baseline.apply([f], {baseline.fingerprint(f): 1})
+        assert report.clean
+        assert report.baselined == [f]
+        assert report.new == []
+
+    def test_overflow_beyond_tolerated_count_is_new(self):
+        # A second violation of an already-baselined kind in the same
+        # function exceeds the count and fails the gate.
+        a, b = make_finding(line=10), make_finding(line=20)
+        report = baseline.apply([a, b], {baseline.fingerprint(a): 1})
+        assert not report.clean
+        assert len(report.baselined) == 1
+        assert len(report.new) == 1
+
+    def test_fixed_violation_goes_stale_not_failing(self):
+        fp = baseline.fingerprint(make_finding())
+        report = baseline.apply([], {fp: 1})
+        assert report.clean  # fixing debt never breaks the build
+        assert report.stale_baseline == [fp]
+
+    def test_unrelated_finding_is_new(self):
+        f = make_finding()
+        other = make_finding(rule="DET001")
+        report = baseline.apply([other], {baseline.fingerprint(f): 1})
+        assert report.new == [other]

@@ -1,0 +1,132 @@
+"""PRO rules: OPS, dispatch ladders, and client verbs stay in sync."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rules_of
+
+_PROTOCOL = """
+    OPS = ("allocate", "status")
+
+    def parse_request(op):
+        if op == "allocate":
+            return 1
+        if op == "status":
+            return 2
+"""
+
+_SERVER = """
+    def dispatch(request):
+        if request.op == "allocate":
+            return 1
+        if request.op == "status":
+            return 2
+"""
+
+_CLIENT = """
+    _RETRY_SAFE_OPS = frozenset({"status"})
+
+    class BrokerClient:
+        def allocate(self):
+            return self.call("allocate", {})
+
+        def status(self):
+            return self.call("status", {})
+"""
+
+
+def corpus(**overrides):
+    files = {
+        "src/repro/broker/protocol.py": _PROTOCOL,
+        "src/repro/broker/server.py": _SERVER,
+        "src/repro/broker/client.py": _CLIENT,
+    }
+    files.update(overrides)
+    return files
+
+
+class TestProtocolDrift:
+    def test_synced_corpus_is_clean(self, lint):
+        assert lint(corpus()) == []
+
+    def test_op_missing_from_server_dispatch(self, lint):
+        files = corpus()
+        files["src/repro/broker/server.py"] = """
+            def dispatch(request):
+                if request.op == "allocate":
+                    return 1
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO001"]
+        assert "status" in findings[0].message
+        assert findings[0].path.endswith("server.py")
+
+    def test_op_missing_from_parser_ladder(self, lint):
+        files = corpus()
+        files["src/repro/broker/protocol.py"] = """
+            OPS = ("allocate", "status")
+
+            def parse_request(op):
+                if op == "allocate":
+                    return 1
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO001"]
+        assert findings[0].path.endswith("protocol.py")
+
+    def test_undeclared_dispatch_branch(self, lint):
+        files = corpus()
+        files["src/repro/broker/server.py"] = _SERVER + """
+        def extra(request):
+            if request.op == "zombie":
+                return 3
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO003"]
+        assert "zombie" in findings[0].message
+
+    def test_op_missing_from_client(self, lint):
+        files = corpus()
+        files["src/repro/broker/client.py"] = """
+            class BrokerClient:
+                def allocate(self):
+                    return self.call("allocate", {})
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO002"]
+        assert "status" in findings[0].message
+
+    def test_client_calling_unknown_op(self, lint):
+        files = corpus()
+        files["src/repro/broker/client.py"] = _CLIENT + """
+        def probe(client):
+            return client.call("zombie", {})
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO003"]
+
+    def test_retry_safe_entry_outside_ops(self, lint):
+        files = corpus()
+        files["src/repro/broker/client.py"] = _CLIENT.replace(
+            'frozenset({"status"})', 'frozenset({"status", "zombie"})'
+        )
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO004"]
+
+    def test_match_statement_ladder_counts(self, lint):
+        files = corpus()
+        files["src/repro/broker/server.py"] = """
+            def dispatch(request):
+                op = request.op
+                match op:
+                    case "allocate":
+                        return 1
+                    case "status":
+                        return 2
+        """
+        assert lint(files) == []
+
+    def test_corpus_without_ops_is_exempt(self, lint):
+        findings = lint({
+            "src/repro/broker/protocol.py": "X = 1\n",
+        })
+        assert findings == []

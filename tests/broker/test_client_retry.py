@@ -159,3 +159,59 @@ class TestBackoff:
     def test_zero_backoff_allowed(self, service):
         client, _ = _client(service, [DIE_AFTER_SEND, OK], backoff_s=0.0)
         assert client.allocate(2, ppn=2).lease_id
+
+
+class TestSeedKnob:
+    """The DET003 fix: retry jitter replays byte-identically from a seed."""
+
+    def _delays(self, service, **kwargs):
+        delays: list[float] = []
+        client, _ = _client(
+            service,
+            [DIE_AFTER_SEND, DIE_AFTER_SEND, OK],
+            transport_retries=3,
+            backoff_s=0.1,
+            rng=None,  # exercise the seed path, not the injected-rng path
+            sleep=delays.append,
+            **kwargs,
+        )
+        assert client.allocate(4, ppn=2).lease_id
+        return delays
+
+    def test_same_seed_replays_identical_jitter(self, service):
+        assert self._delays(service, seed=7) == self._delays(service, seed=7)
+
+    def test_different_seeds_diverge(self, service):
+        assert self._delays(service, seed=7) != self._delays(service, seed=8)
+
+    def test_env_knob_seeds_the_default(self, service, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_SEED", "7")
+        from_env = self._delays(service)
+        assert from_env == self._delays(service, seed=7)
+
+    def test_unseeded_default_is_still_deterministic(self, service, monkeypatch):
+        # No seed, no env: seed 0, so two fresh clients replay identically.
+        monkeypatch.delenv("REPRO_CLIENT_SEED", raising=False)
+        assert self._delays(service) == self._delays(service, seed=0)
+
+    def test_garbage_env_value_is_a_clear_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_SEED", "not-an-int")
+        with pytest.raises(ValueError, match="REPRO_CLIENT_SEED"):
+            BrokerClient("fake", 0, socket_factory=lambda *a: None)
+
+    def test_explicit_rng_wins_over_seed(self, service):
+        delays_rng: list[float] = []
+        client, _ = _client(
+            service,
+            [DIE_AFTER_SEND, OK],
+            transport_retries=2,
+            backoff_s=0.1,
+            rng=random.Random(123),
+            seed=999,
+            sleep=delays_rng.append,
+        )
+        assert client.allocate(4, ppn=2).lease_id
+        rng = random.Random(123)
+        assert delays_rng == pytest.approx(
+            [0.1 * (0.5 + rng.random())]
+        )

@@ -9,7 +9,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
+from repro.elastic.executor import (
+    MigrationFailure,
+    ReconfigError,
+    TwoPhaseExecutor,
+)
 from repro.scheduler.leases import LeaseTable
 
 from tests.elastic.conftest import make_plan
@@ -27,6 +31,10 @@ def executor(table) -> TwoPhaseExecutor:
 
 def grant_job(table, nodes=("a", "b"), ppn=4):
     return table.grant(list(nodes), {n: ppn for n in nodes})
+
+
+def _failing_migrate(plan):
+    raise MigrationFailure("injected mid-flight failure")
 
 
 class TestCommit:
@@ -108,12 +116,32 @@ class TestRollback:
             lease_id=lease.lease_id,
             old_nodes=("a", "b"), new_nodes=("a", "c"),
         )
+        def die(p):
+            raise MigrationFailure("transfer died mid-flight")
+
         with pytest.raises(ReconfigError):
-            executor.apply(plan, migrate=lambda p: 1 / 0)
+            executor.apply(plan, migrate=die)
         # no TTL shadow: another job can take "c" right now
         other = table.grant(["c"], {"c": 4})
         assert "c" in table.held_nodes()
         assert other.lease_id != lease.lease_id
+
+    def test_programming_error_propagates_raw_but_rolls_back(
+        self, table, executor
+    ):
+        """A bug in the callback isn't a migration death: it escapes as
+        itself (never typed RECONFIG_FAILED) — yet the reservation must
+        still be rolled back, so nothing is stranded."""
+        lease = grant_job(table)
+        plan = make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"), new_nodes=("a", "c"),
+        )
+        with pytest.raises(ZeroDivisionError):
+            executor.apply(plan, migrate=lambda p: 1 / 0)
+        assert table.held_nodes() == {"a", "b"}
+        assert len(table.active()) == 1
+        assert executor.rollbacks == 1
 
 
 class TestRejection:
@@ -177,7 +205,7 @@ class TestCounters:
                     new_nodes=("b",) if "b" not in fresh.nodes else ("a",),
                     procs=None,
                 ),
-                migrate=lambda p: 1 / 0,
+                migrate=_failing_migrate,
             )  # rollback
         assert executor.attempts == 3
         assert executor.commits == 1

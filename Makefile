@@ -38,13 +38,17 @@ bench-smoke:
 	REPRO_SMOKE=1 pytest benchmarks/ --benchmark-only
 
 # Machine-readable timings for trajectory tracking (compare
-# BENCH_allocator.json / BENCH_broker.json / BENCH_elastic.json across
-# commits; see docs/PERFORMANCE.md, docs/BROKER.md and docs/ELASTIC.md).
+# BENCH_allocator.json / BENCH_broker.json / BENCH_elastic.json /
+# BENCH_hotpath.json across commits; see docs/PERFORMANCE.md,
+# docs/BROKER.md and docs/ELASTIC.md).  bench_broker runs before
+# bench_hotpath: the hotpath transport floor is a ratio against the
+# JSON-lines number bench_broker just wrote.
 bench-json:
 	pytest benchmarks/bench_allocator_overhead.py --benchmark-only \
 		--benchmark-json=BENCH_allocator.json
 	pytest benchmarks/bench_broker.py --benchmark-only
 	pytest benchmarks/bench_elastic.py --benchmark-only
+	pytest benchmarks/bench_hotpath.py --benchmark-only
 
 # The headline elastic experiment: static vs. elastic scheduling on the
 # same drifting-load world (single reproducible entry point).

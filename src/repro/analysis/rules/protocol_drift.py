@@ -12,9 +12,15 @@ landed.  These rules diff the four surfaces on every lint run:
 * ``PRO001`` — an op in ``OPS`` is missing from a dispatch ladder
   (parser, daemon, or chaos transport mirror).
 * ``PRO002`` — an op in ``OPS`` has no client ``call()`` literal.
-* ``PRO003`` — a dispatch/client literal is not in ``OPS`` (a verb that
-  can never be requested, or a typo).
-* ``PRO004`` — ``_RETRY_SAFE_OPS`` names an op outside ``OPS``.
+* ``PRO003`` — a dispatch/client literal is not in ``OPS`` or
+  ``TRANSPORT_OPS`` (a verb that can never be requested, or a typo).
+* ``PRO004`` — ``_RETRY_SAFE_OPS`` names an op outside ``OPS``
+  (transport verbs are deliberately excluded: replaying a ``hello``
+  after a transport death is the *client's* reconnect logic, not a
+  generic retry).
+* ``PRO005`` — a transport verb in ``TRANSPORT_OPS`` is missing from
+  the parser or a transport ladder (the codec-negotiation/pipelining
+  path must stay in sync everywhere requests are interpreted).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ RULES = (
     RuleInfo("PRO002", "protocol-drift", "declared op missing from the client library"),
     RuleInfo("PRO003", "protocol-drift", "dispatched/called op not declared in OPS"),
     RuleInfo("PRO004", "protocol-drift", "_RETRY_SAFE_OPS entry not declared in OPS"),
+    RuleInfo("PRO005", "protocol-drift", "transport op missing from a transport ladder"),
 )
 
 PROTOCOL_MODULE = "repro.broker.protocol"
@@ -42,10 +49,13 @@ def check_project(project: Project) -> list[Finding]:
     protocol = project.find_module(PROTOCOL_MODULE)
     if protocol is None or protocol.tree is None:
         return []
-    ops = _ops_tuple(protocol)
+    ops = _ops_tuple(protocol, "OPS")
     if ops is None:
         return []
     declared, ops_line = ops
+    transport = _ops_tuple(protocol, "TRANSPORT_OPS")
+    transport_ops = transport[0] if transport is not None else set()
+    known = declared | transport_ops
 
     findings: list[Finding] = []
 
@@ -74,8 +84,26 @@ def check_project(project: Project) -> list[Finding]:
                         context="<dispatch>",
                     )
                 )
+        # transport verbs must be understood wherever requests are
+        # interpreted: the parser and every transport ladder
+        for op in sorted(transport_ops):
+            if op not in seen:
+                findings.append(
+                    Finding(
+                        path=file.rel,
+                        line=1,
+                        col=0,
+                        rule="PRO005",
+                        severity="error",
+                        message=f"transport op {op!r} is declared in "
+                        "TRANSPORT_OPS but this module never matches it",
+                        hint="handle the transport verb (codec negotiation/"
+                        "pipelining) or drop it from TRANSPORT_OPS",
+                        context="<dispatch>",
+                    )
+                )
         for op, lineno in sorted(seen.items()):
-            if op not in declared:
+            if op not in known:
                 findings.append(
                     Finding(
                         path=file.rel,
@@ -84,7 +112,7 @@ def check_project(project: Project) -> list[Finding]:
                         rule="PRO003",
                         severity="error",
                         message=f"dispatch matches op {op!r}, which is not "
-                        "declared in protocol OPS",
+                        "declared in protocol OPS or TRANSPORT_OPS",
                         hint="declare it in OPS (and the parser) or remove "
                         "the dead branch",
                         context="<dispatch>",
@@ -112,7 +140,7 @@ def check_project(project: Project) -> list[Finding]:
                     )
                 )
         for op, lineno in sorted(called.items()):
-            if op not in declared:
+            if op not in known:
                 findings.append(
                     Finding(
                         path=client.rel,
@@ -121,7 +149,7 @@ def check_project(project: Project) -> list[Finding]:
                         rule="PRO003",
                         severity="error",
                         message=f"client calls op {op!r}, which is not "
-                        "declared in protocol OPS",
+                        "declared in protocol OPS or TRANSPORT_OPS",
                         hint="declare the op in broker/protocol.py or fix "
                         "the verb string",
                         context="BrokerClient",
@@ -149,23 +177,29 @@ def check_project(project: Project) -> list[Finding]:
     return findings
 
 
-def _ops_tuple(protocol: SourceFile) -> tuple[set[str], int] | None:
-    """The ``OPS = (...)`` declaration: ``(ops, lineno)``."""
+def _ops_tuple(
+    protocol: SourceFile, name: str
+) -> tuple[set[str], int] | None:
+    """An ``<name> = (...)`` ops declaration: ``(ops, lineno)``.
+
+    String literals anywhere in the right-hand side count, so
+    ``TRANSPORT_OPS``-style conditional concatenations (e.g. appending
+    ``"msgpack"`` only when the library imports) are still seen.
+    """
     assert protocol.tree is not None
     for node in protocol.tree.body:
         if not isinstance(node, ast.Assign):
             continue
         if not any(
-            isinstance(t, ast.Name) and t.id == "OPS" for t in node.targets
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
         ):
             continue
-        if isinstance(node.value, (ast.Tuple, ast.List)):
-            ops = {
-                e.value
-                for e in node.value.elts
-                if isinstance(e, ast.Constant) and isinstance(e.value, str)
-            }
-            return ops, node.lineno
+        ops = {
+            c.value
+            for c in ast.walk(node.value)
+            if isinstance(c, ast.Constant) and isinstance(c.value, str)
+        }
+        return ops, node.lineno
     return None
 
 

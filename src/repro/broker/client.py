@@ -32,7 +32,14 @@ import uuid
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
-from repro.broker.protocol import PROTOCOL_VERSION, encode_request
+from repro.broker.protocol import (
+    FRAME_HEADER,
+    PROTOCOL_VERSION,
+    encode_frame,
+    encode_request,
+    load_payload,
+    request_obj,
+)
 
 #: operations the client retries on transport death without being told.
 #: ``status`` is read-only; ``allocate`` is safe only because the typed
@@ -187,10 +194,22 @@ class BrokerClient:
         self._sock: socket.socket | None = None
         self._rfile = None
         self._ids = itertools.count(1)
+        # live transport state (re-negotiated on every reconnect)
+        self._codec = "json"
+        self._pipeline = False
+        self._max_inflight = 1
+        # desired negotiation, replayed by connect() after a reconnect
+        self._negotiate: dict[str, Any] | None = None
+        self._last_hello: dict[str, Any] = {}
 
     # -- connection -----------------------------------------------------
     def connect(self) -> "BrokerClient":
-        """Establish the connection, retrying while the daemon boots."""
+        """Establish the connection, retrying while the daemon boots.
+
+        If :meth:`hello` negotiated transport options earlier, they are
+        re-negotiated automatically — a transparent reconnect lands in
+        the same codec/pipelining mode the caller chose.
+        """
         if self._sock is not None:
             return self
         last: Exception | None = None
@@ -201,16 +220,24 @@ class BrokerClient:
                 )
                 self._sock = sock
                 self._rfile = sock.makefile("rb")
-                return self
+                break
             except OSError as exc:
                 last = exc
                 if attempt < self.connect_retries:
                     self._sleep(self.retry_delay_s)
-        raise BrokerError(
-            "CONNECT",
-            f"cannot reach broker at {self.host}:{self.port} "
-            f"after {self.connect_retries + 1} attempts: {last}",
-        )
+        else:
+            raise BrokerError(
+                "CONNECT",
+                f"cannot reach broker at {self.host}:{self.port} "
+                f"after {self.connect_retries + 1} attempts: {last}",
+            )
+        if self._negotiate is not None:
+            try:
+                self._hello_exchange(self._negotiate)
+            except BrokerError:
+                self.close()
+                raise
+        return self
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -226,6 +253,10 @@ class BrokerClient:
             except OSError:
                 pass
             self._sock = None
+        # a fresh connection always starts in JSON-lines mode
+        self._codec = "json"
+        self._pipeline = False
+        self._max_inflight = 1
 
     def __enter__(self) -> "BrokerClient":
         return self.connect()
@@ -270,12 +301,15 @@ class BrokerClient:
 
     def _call_once(self, op: str, params: dict[str, Any] | None = None) -> dict:
         self.connect()
+        return self._exchange(op, params)
+
+    def _exchange(self, op: str, params: dict[str, Any] | None) -> dict:
+        """One raw round-trip on the live connection (no reconnect)."""
         assert self._sock is not None and self._rfile is not None
         req_id = f"c{next(self._ids)}"
-        line = encode_request(req_id, op, params)
         try:
-            self._sock.sendall(line)
-            raw = self._rfile.readline()
+            self._sock.sendall(self._encode(req_id, op, params))
+            obj = self._read_response_obj()
         except socket.timeout:
             self.close()
             raise BrokerError(
@@ -284,30 +318,162 @@ class BrokerClient:
         except OSError as exc:
             self.close()
             raise BrokerError("CONNECT", f"connection lost: {exc}") from None
-        if not raw:
+        outcome = self._outcome(obj)
+        if isinstance(outcome, BrokerError):
+            raise outcome
+        return outcome
+
+    def _encode(
+        self, req_id: str, op: str, params: dict[str, Any] | None
+    ) -> bytes:
+        if self._codec == "json":
+            return encode_request(req_id, op, params)
+        return encode_frame(request_obj(req_id, op, params), self._codec)
+
+    def _read_exact(self, n: int) -> bytes:
+        assert self._rfile is not None
+        data = self._rfile.read(n)
+        if data is None or len(data) < n:
             self.close()
             raise BrokerError("CONNECT", "server closed the connection")
-        try:
-            obj = json.loads(raw)
-        except json.JSONDecodeError as exc:
+        return data
+
+    def _read_response_obj(self) -> dict:
+        """Read and decode one response in the connection's codec."""
+        assert self._rfile is not None
+        if self._codec == "json":
+            raw = self._rfile.readline()
+            if not raw:
+                self.close()
+                raise BrokerError("CONNECT", "server closed the connection")
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                self.close()
+                raise BrokerError(
+                    "INTERNAL", f"unparseable response: {exc}"
+                ) from None
+        else:
+            header = self._read_exact(FRAME_HEADER.size)
+            (length,) = FRAME_HEADER.unpack(header)
+            payload = self._read_exact(length)
+            try:
+                obj = load_payload(payload, self._codec)
+            except Exception as exc:  # noqa: BLE001 — any decode fault
+                self.close()
+                raise BrokerError(
+                    "INTERNAL", f"unparseable response: {exc}"
+                ) from None
+        if not isinstance(obj, dict):
             self.close()
-            raise BrokerError(
-                "INTERNAL", f"unparseable response: {exc}"
-            ) from None
+            raise BrokerError("INTERNAL", "response is not an object")
+        return obj
+
+    @staticmethod
+    def _outcome(obj: dict) -> dict | BrokerError:
+        """Map a decoded response to its result dict or a BrokerError."""
         if obj.get("v") != PROTOCOL_VERSION:
-            raise BrokerError(
+            return BrokerError(
                 "UNSUPPORTED_VERSION",
                 f"server answered v{obj.get('v')}, client speaks "
                 f"v{PROTOCOL_VERSION}",
             )
         if not obj.get("ok"):
             err = obj.get("error") or {}
-            raise BrokerError(
+            return BrokerError(
                 str(err.get("code", "INTERNAL")),
                 str(err.get("message", "unknown error")),
             )
         result = obj.get("result")
         return result if isinstance(result, dict) else {}
+
+    # -- transport negotiation ------------------------------------------
+    def hello(
+        self,
+        *,
+        codec: str = "json",
+        pipeline: bool = False,
+        max_inflight: int = 32,
+    ) -> dict:
+        """Negotiate the connection's codec and pipelining window.
+
+        The choice is remembered: a transparent reconnect after a
+        transport death re-negotiates the same options before the next
+        request is sent.  Returns the server's hello result (granted
+        codec, window, and its full codec list).
+        """
+        self._negotiate = {
+            "codec": codec,
+            "pipeline": pipeline,
+            "max_inflight": max_inflight,
+        }
+        if self._sock is None:
+            self.connect()  # connect() replays the negotiation
+            return dict(self._last_hello)
+        return self._hello_exchange(self._negotiate)
+
+    def _hello_exchange(self, want: dict[str, Any]) -> dict:
+        result = self._exchange("hello", dict(want))
+        self._codec = str(result.get("codec", "json"))
+        self._pipeline = bool(result.get("pipeline", False))
+        self._max_inflight = int(result.get("max_inflight", 1))
+        self._last_hello = result
+        return result
+
+    # -- pipelined bursts -----------------------------------------------
+    def call_many(
+        self, op: str, params_list: list[dict[str, Any] | None]
+    ) -> list[dict | BrokerError]:
+        """Issue many calls down one pipelined connection.
+
+        Requests are written in bursts of the negotiated in-flight
+        window (one ``sendall`` per burst) and responses are matched
+        back by request id, in whatever order the server finishes them.
+        Per-request failures come back as :class:`BrokerError` *values*;
+        only transport death raises — and is **never** retried
+        automatically, because half a burst may already be decided
+        (attach idempotency tokens and replay yourself if you need
+        exactly-once allocates).  Requires a prior
+        :meth:`hello(pipeline=True) <hello>`.
+        """
+        if not params_list:
+            return []
+        if not self._pipeline:
+            raise BrokerError(
+                "BAD_REQUEST",
+                "call_many requires hello(pipeline=True) first",
+            )
+        self.connect()
+        assert self._sock is not None
+        results: list[dict | BrokerError | None] = [None] * len(params_list)
+        window = max(1, self._max_inflight)
+        pos = 0
+        try:
+            while pos < len(params_list):
+                chunk = params_list[pos : pos + window]
+                frames: list[bytes] = []
+                id_to_index: dict[str, int] = {}
+                for offset, params in enumerate(chunk):
+                    req_id = f"c{next(self._ids)}"
+                    id_to_index[req_id] = pos + offset
+                    frames.append(self._encode(req_id, op, params))
+                self._sock.sendall(b"".join(frames))
+                while id_to_index:
+                    obj = self._read_response_obj()
+                    index = id_to_index.pop(str(obj.get("id")), None)
+                    if index is not None:
+                        results[index] = self._outcome(obj)
+                pos += len(chunk)
+        except socket.timeout:
+            self.close()
+            raise BrokerError(
+                "TIMEOUT",
+                f"pipelined {op!r} burst timed out after {self.timeout_s}s",
+            ) from None
+        except OSError as exc:
+            self.close()
+            raise BrokerError("CONNECT", f"connection lost: {exc}") from None
+        return results  # type: ignore[return-value]
 
     # -- typed operations ----------------------------------------------
     def allocate(
@@ -319,17 +485,21 @@ class BrokerClient:
         policy: str | None = None,
         ttl_s: float | None = None,
         token: str | None = None,
+        priority: float = 0.0,
     ) -> Grant:
         """Request nodes for ``n`` processes; returns the lease grant.
 
         A fresh idempotency ``token`` is attached when the caller does
         not supply one, so a request replayed after a transport death is
-        deduped server-side rather than granted twice.
+        deduped server-side rather than granted twice.  ``priority``
+        orders the request within the server's micro-batch (higher
+        decides first under contention).
         """
         result = self.call(
             "allocate",
             {"n": n, "ppn": ppn, "alpha": alpha, "policy": policy,
-             "ttl_s": ttl_s, "token": token or uuid.uuid4().hex},
+             "ttl_s": ttl_s, "token": token or uuid.uuid4().hex,
+             "priority": priority if priority else None},
         )
         return Grant(
             lease_id=str(result["lease_id"]),

@@ -61,6 +61,12 @@ class BrokerMetrics:
         #: reconfigure requests answered "stay put" (no plan or gated off)
         self.reconfig_rejected = 0
         self.decisions_memoized = 0
+        #: decision-memo entries evicted by a lineage change (delta
+        #: invalidation or a wholesale clear on a fresh snapshot)
+        self.decisions_invalidated = 0
+        #: batch order-swaps adopted by the improvement pass (each one
+        #: strictly lowered a pair's summed raw Equation-4 cost)
+        self.batch_swaps_adopted = 0
         #: allocate replays answered from the idempotency-token memo
         #: (a retried request that did NOT grant a second lease)
         self.allocates_deduped = 0
@@ -115,6 +121,8 @@ class BrokerMetrics:
             "reconfigured": self.reconfigured,
             "reconfig_rejected": self.reconfig_rejected,
             "decisions_memoized": self.decisions_memoized,
+            "decisions_invalidated": self.decisions_invalidated,
+            "batch_swaps_adopted": self.batch_swaps_adopted,
             "allocates_deduped": self.allocates_deduped,
             "batches": self.batches,
             "batch_size_hist": {

@@ -21,14 +21,32 @@ Everything here is transport-free: parsing, validation and encoding only.
 The daemon (:mod:`repro.broker.server`) and the client library
 (:mod:`repro.broker.client`) share this module, so a version or schema
 change happens in exactly one place.
+
+Transport negotiation (still protocol v1, fully backward compatible): a
+connection starts in JSON-lines mode; a ``hello`` request may switch it
+to the length-prefixed ``binary`` codec (4-byte big-endian length +
+compact JSON payload — no newline scanning, cheap framing) and/or enable
+*pipelining* (many requests in flight per connection, responses matched
+by ``id`` and possibly out of order).  ``hello`` is a transport verb
+(:data:`TRANSPORT_OPS`): the daemon answers it itself and it never
+reaches :class:`~repro.broker.service.BrokerService`.  Clients that
+never send ``hello`` see exactly the historical one-line-in,
+one-line-out protocol.
 """
 
 from __future__ import annotations
 
 import enum
 import json
+import math
+import struct
 from dataclasses import dataclass, field
 from typing import Any, Mapping
+
+try:  # optional accelerator; the wire format gates on importability
+    import msgpack as _msgpack  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover — exercised only without msgpack
+    _msgpack = None
 
 #: Protocol version spoken by this build.  Requests carrying a different
 #: ``v`` are rejected with ``UNSUPPORTED_VERSION`` (no negotiation — the
@@ -86,6 +104,27 @@ class ProtocolError(Exception):
 #: Operations a client may request.
 OPS = ("allocate", "renew", "release", "reconfigure", "status")
 
+#: Transport-negotiation verbs — answered by the transport layer itself
+#: (the daemon or the chaos transport mirror), never dispatched to the
+#: service.  Kept out of :data:`OPS` so service-level surfaces (dispatch
+#: ladders, retry policy) are not forced to know about them.
+TRANSPORT_OPS = ("hello",)
+
+#: Codecs a connection may negotiate via ``hello``.  ``json`` is the
+#: JSON-lines default; ``binary`` is length-prefixed compact JSON;
+#: ``msgpack`` is length-prefixed MessagePack, offered only when the
+#: library is importable (it is optional and never required).
+CODECS = ("json", "binary") + (() if _msgpack is None else ("msgpack",))
+
+#: Framed codecs prefix every payload with this 4-byte big-endian length.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Hard cap on one framed payload — same budget as a JSON line.
+MAX_FRAME_BYTES = MAX_LINE_BYTES
+
+#: Upper bound a server will grant for pipelined in-flight requests.
+MAX_INFLIGHT_LIMIT = 1024
+
 
 #: longest accepted client dedupe token (they're opaque ids, not payloads)
 MAX_TOKEN_CHARS = 128
@@ -99,6 +138,12 @@ class AllocateParams:
     allocate with the same token returns the *original* grant (or the
     original denial) instead of creating a second lease — the safety net
     for a response lost to a mid-request transport death.
+
+    ``priority`` orders jobs *within one micro-batch*: the batch solver
+    decides higher-priority jobs first, so under contention they get the
+    better placements.  Ties (including the default ``0.0``) keep
+    arrival order, which makes an all-default batch byte-identical to
+    the historical sequential behaviour.
     """
 
     n_processes: int
@@ -107,8 +152,14 @@ class AllocateParams:
     policy: str | None = None
     ttl_s: float | None = None
     token: str | None = None
+    priority: float = 0.0
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.priority):
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.priority must be finite, got {self.priority}",
+            )
         if self.token is not None and not (
             0 < len(self.token) <= MAX_TOKEN_CHARS
         ):
@@ -209,12 +260,42 @@ class StatusParams:
     """Parameters of a ``status`` request (none defined in v1)."""
 
 
+@dataclass(frozen=True)
+class HelloParams:
+    """Parameters of a ``hello`` transport-negotiation request.
+
+    ``codec`` picks the framing for *subsequent* traffic on the
+    connection (the hello exchange itself always runs in the codec the
+    connection is currently speaking).  ``pipeline`` opts into
+    out-of-order responses with up to ``max_inflight`` requests in
+    flight; without it the server keeps the historical strict
+    request/response alternation.
+    """
+
+    codec: str = "json"
+    pipeline: bool = False
+    max_inflight: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.codec:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "params.codec must be non-empty"
+            )
+        if not 1 <= self.max_inflight <= MAX_INFLIGHT_LIMIT:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.max_inflight must lie in "
+                f"[1, {MAX_INFLIGHT_LIMIT}], got {self.max_inflight}",
+            )
+
+
 Params = (
     AllocateParams
     | RenewParams
     | ReleaseParams
     | ReconfigureParams
     | StatusParams
+    | HelloParams
 )
 
 
@@ -259,7 +340,7 @@ def _opt(obj: Mapping[str, Any], key: str, types: tuple, where: str) -> Any:
 
 
 def parse_request(line: str | bytes) -> Request:
-    """Parse one wire line into a :class:`Request`.
+    """Parse one JSON wire line into a :class:`Request`.
 
     Raises :class:`ProtocolError` with ``BAD_REQUEST``,
     ``UNSUPPORTED_VERSION`` or ``UNKNOWN_OP`` on anything off-spec.
@@ -274,6 +355,11 @@ def parse_request(line: str | bytes) -> Request:
         raise ProtocolError(
             ErrorCode.BAD_REQUEST, f"request is not valid JSON: {exc}"
         ) from None
+    return parse_request_obj(obj)
+
+
+def parse_request_obj(obj: Any) -> Request:
+    """Validate an already-decoded request object (any codec)."""
     if not isinstance(obj, dict):
         raise ProtocolError(
             ErrorCode.BAD_REQUEST, "request must be a JSON object"
@@ -293,6 +379,7 @@ def parse_request(line: str | bytes) -> Request:
         )
     if op == "allocate":
         alpha = _opt(raw, "alpha", (int, float), "params")
+        priority = _opt(raw, "priority", (int, float), "params")
         params: Params = AllocateParams(
             n_processes=_require(raw, "n", (int,), "params"),
             ppn=_opt(raw, "ppn", (int,), "params"),
@@ -300,6 +387,7 @@ def parse_request(line: str | bytes) -> Request:
             policy=_opt(raw, "policy", (str,), "params"),
             ttl_s=_opt(raw, "ttl_s", (int, float), "params"),
             token=_opt(raw, "token", (str,), "params"),
+            priority=0.0 if priority is None else float(priority),
         )
     elif op == "renew":
         params = RenewParams(
@@ -319,9 +407,23 @@ def parse_request(line: str | bytes) -> Request:
         )
     elif op == "status":
         params = StatusParams()
+    elif op == "hello":
+        pipeline = raw.get("pipeline", False)
+        if not isinstance(pipeline, bool):
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"params.pipeline must be a boolean, got {pipeline!r}",
+            )
+        max_inflight = _opt(raw, "max_inflight", (int,), "params")
+        params = HelloParams(
+            codec=_opt(raw, "codec", (str,), "params") or "json",
+            pipeline=pipeline,
+            max_inflight=32 if max_inflight is None else max_inflight,
+        )
     else:
         raise ProtocolError(
-            ErrorCode.UNKNOWN_OP, f"unknown op {op!r}; choose from {OPS}"
+            ErrorCode.UNKNOWN_OP,
+            f"unknown op {op!r}; choose from {OPS + TRANSPORT_OPS}",
         )
     return Request(id=req_id, op=op, params=params, v=version)
 
@@ -329,13 +431,21 @@ def parse_request(line: str | bytes) -> Request:
 # ----------------------------------------------------------------------
 # encoding
 
+def request_obj(
+    req_id: str, op: str, params: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """The request object all codecs serialize (``None`` params dropped)."""
+    obj: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": req_id, "op": op}
+    if params:
+        obj["params"] = {k: v for k, v in params.items() if v is not None}
+    return obj
+
+
 def encode_request(
     req_id: str, op: str, params: Mapping[str, Any] | None = None
 ) -> bytes:
     """One request wire line (used by the client library)."""
-    obj: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": req_id, "op": op}
-    if params:
-        obj["params"] = {k: v for k, v in params.items() if v is not None}
+    obj = request_obj(req_id, op, params)
     return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
 
 
@@ -349,8 +459,8 @@ def error_response(req_id: str, error: ProtocolError) -> Response:
     return Response(id=req_id, ok=False, error=error)
 
 
-def encode_response(response: Response) -> bytes:
-    """One response wire line."""
+def response_obj(response: Response) -> dict[str, Any]:
+    """The response object all codecs serialize."""
     obj: dict[str, Any] = {
         "v": response.v,
         "id": response.id,
@@ -364,4 +474,55 @@ def encode_response(response: Response) -> bytes:
             "code": response.error.code.value,
             "message": response.error.message,
         }
-    return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
+    return obj
+
+
+def encode_response(response: Response) -> bytes:
+    """One response wire line."""
+    return (json.dumps(response_obj(response), separators=(",", ":")) + "\n").encode()
+
+
+# ----------------------------------------------------------------------
+# framed codecs ("binary" / "msgpack")
+
+def dump_payload(obj: Mapping[str, Any], codec: str) -> bytes:
+    """Serialize one request/response object for a framed codec."""
+    if codec == "msgpack":
+        if _msgpack is None:  # pragma: no cover — guarded by CODECS
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "msgpack codec is not available"
+            )
+        return _msgpack.packb(obj, use_bin_type=True)
+    return json.dumps(obj, separators=(",", ":")).encode()
+
+
+def load_payload(data: bytes, codec: str) -> Any:
+    """Deserialize one framed payload; raises ``BAD_REQUEST`` on garbage."""
+    try:
+        if codec == "msgpack":
+            if _msgpack is None:  # pragma: no cover — guarded by CODECS
+                raise ProtocolError(
+                    ErrorCode.BAD_REQUEST, "msgpack codec is not available"
+                )
+            obj = _msgpack.unpackb(data, raw=False)
+            # msgpack map keys arrive as decoded already; pair keys are
+            # not used on the wire, so nothing further to normalize
+            return obj
+        return json.loads(data)
+    except ProtocolError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — decoder faults differ per codec library; all of them must become a typed BAD_REQUEST, never kill the connection handler
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"undecodable {codec} payload: {exc}"
+        ) from None
+
+
+def encode_frame(obj: Mapping[str, Any], codec: str) -> bytes:
+    """One framed message: 4-byte big-endian length + payload."""
+    payload = dump_payload(obj, codec)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST,
+            f"frame exceeds {MAX_FRAME_BYTES} bytes",
+        )
+    return FRAME_HEADER.pack(len(payload)) + payload

@@ -4,7 +4,13 @@ Transport architecture:
 
 * one :func:`asyncio.start_server` connection handler per client,
   reading newline-delimited requests and writing one response line per
-  request, in order;
+  request, in order.  A ``hello`` request may upgrade the connection:
+  to the length-prefixed ``binary``/``msgpack`` codec (the hello
+  response itself still travels in the old codec), and/or to
+  **pipelined** mode, where up to ``max_inflight`` allocate requests
+  ride the admission queue concurrently and responses are written as
+  they complete — possibly out of order, matched by request ``id``.
+  Exceeding the in-flight window answers ``BUSY`` immediately;
 * ``allocate`` requests flow through a **bounded admission queue** into
   a single batcher task.  The batcher drains whatever accumulated while
   the previous batch was being decided (plus, optionally, waits
@@ -32,20 +38,56 @@ import threading
 from typing import Any
 
 from repro.broker.protocol import (
+    CODECS,
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
     MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
     AllocateParams,
     ErrorCode,
+    HelloParams,
     ProtocolError,
     Request,
     Response,
+    encode_frame,
     encode_response,
     error_response,
+    load_payload,
     ok_response,
     parse_request,
+    parse_request_obj,
+    response_obj,
 )
 from repro.broker.service import BrokerService
 
 log = logging.getLogger(__name__)
+
+#: Coalesced-response cap: a pipelined burst flushes at least this often
+#: even while further requests are still buffered, bounding both memory
+#: and the client's wait for the first response of a very large burst.
+_FLUSH_HIGH_WATER = 256 * 1024
+
+
+class _TransportViolation(Exception):
+    """A framing-level fault the connection cannot recover from."""
+
+    def __init__(self, error: ProtocolError) -> None:
+        super().__init__(error.message)
+        self.error = error
+
+
+class _ConnState:
+    """Per-connection transport options negotiated via ``hello``."""
+
+    __slots__ = ("codec", "pipeline", "max_inflight", "write_lock", "out")
+
+    def __init__(self) -> None:
+        self.codec = "json"
+        self.pipeline = False
+        self.max_inflight = 1
+        self.write_lock = asyncio.Lock()
+        # Coalesced inline responses awaiting one flush (reader loop only).
+        self.out = bytearray()
 
 
 class BrokerServer:
@@ -148,42 +190,37 @@ class BrokerServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peer = writer.get_extra_info("peername")
+        conn = _ConnState()
+        pending: set[asyncio.Task] = set()
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (ConnectionResetError, asyncio.IncompleteReadError):
-                    break
-                except ValueError:
-                    # A line even the raised stream limit couldn't hold.
-                    # The stream can't be resynced mid-line, so answer
-                    # once, count it, and drop the connection.
+                    raw = await self._read_message(reader, conn)
+                except _TransportViolation as exc:
+                    # Oversized line/frame: the stream cannot be resynced
+                    # mid-message, so answer once, count it, and drop the
+                    # connection.
                     metrics = self.service.metrics
                     metrics.protocol_errors += 1
                     metrics.oversized_requests += 1
-                    writer.write(encode_response(error_response(
-                        "",
-                        ProtocolError(
-                            ErrorCode.BAD_REQUEST,
-                            f"request exceeds {MAX_LINE_BYTES} bytes",
-                        ),
-                    )))
                     try:
-                        await writer.drain()
-                    except ConnectionResetError:
+                        await self._send(writer, conn, error_response("", exc.error))
+                    except (ConnectionResetError, BrokenPipeError):
                         pass
                     break
-                if not line:
+                except (ConnectionResetError, asyncio.IncompleteReadError):
                     break
-                if line.strip() == b"":
-                    continue
-                response = await self._handle_line(line)
-                writer.write(encode_response(response))
+                if raw is None:
+                    break
                 try:
-                    await writer.drain()
-                except ConnectionResetError:
+                    await self._handle_message(raw, conn, writer, pending)
+                    if conn.out and not self._defer_flush(reader, conn):
+                        await self._flush(writer, conn)
+                except (ConnectionResetError, BrokenPipeError):
                     break
         finally:
+            for task in pending:
+                task.cancel()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -191,19 +228,182 @@ class BrokerServer:
                 pass
             log.debug("connection from %s closed", peer)
 
-    async def _handle_line(self, line: bytes) -> Response:
+    async def _read_message(
+        self, reader: asyncio.StreamReader, conn: _ConnState
+    ) -> bytes | None:
+        """One raw message in the connection's codec; ``None`` on EOF."""
+        if conn.codec == "json":
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # A line even the raised stream limit couldn't hold.
+                    raise _TransportViolation(ProtocolError(
+                        ErrorCode.BAD_REQUEST,
+                        f"request exceeds {MAX_LINE_BYTES} bytes",
+                    )) from None
+                if not line:
+                    return None
+                if line.strip() == b"":
+                    continue
+                return line
         try:
-            request = parse_request(line)
+            header = await reader.readexactly(FRAME_HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean close between frames
+            raise ConnectionResetError from None
+        (length,) = FRAME_HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise _TransportViolation(ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"frame exceeds {MAX_FRAME_BYTES} bytes",
+            ))
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ConnectionResetError from None
+
+    @staticmethod
+    def _encode_payload(conn: _ConnState, response: Response) -> bytes:
+        """One response serialized in the connection's current codec."""
+        if conn.codec == "json":
+            return encode_response(response)
+        return encode_frame(response_obj(response), conn.codec)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, conn: _ConnState, response: Response
+    ) -> None:
+        """Serialize and write one response in the connection's codec.
+
+        The lock serializes writers: in pipelined mode the reader loop
+        and any number of completion tasks share one socket.
+        """
+        data = self._encode_payload(conn, response)
+        async with conn.write_lock:
+            writer.write(data)
+            await writer.drain()
+
+    @staticmethod
+    def _defer_flush(reader: asyncio.StreamReader, conn: _ConnState) -> bool:
+        """Whether coalesced responses may wait for the next request.
+
+        Only a *pipelined* connection (which has promised to read
+        responses concurrently) with more request bytes already buffered
+        gets its inline responses coalesced into one write — a burst of
+        N cheap ops then costs one syscall instead of N.  Everyone else
+        is flushed before the reader blocks, preserving strict
+        request/response alternation for stop-and-wait clients.
+        """
+        return (
+            conn.pipeline
+            and len(conn.out) < _FLUSH_HIGH_WATER
+            and bool(getattr(reader, "_buffer", None))
+        )
+
+    async def _flush(
+        self, writer: asyncio.StreamWriter, conn: _ConnState
+    ) -> None:
+        """Write every coalesced inline response in one locked burst."""
+        data = bytes(conn.out)
+        del conn.out[:]
+        async with conn.write_lock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _handle_message(
+        self,
+        raw: bytes,
+        conn: _ConnState,
+        writer: asyncio.StreamWriter,
+        pending: set[asyncio.Task],
+    ) -> None:
+        try:
+            if conn.codec == "json":
+                request = parse_request(raw)
+            else:
+                request = parse_request_obj(load_payload(raw, conn.codec))
         except ProtocolError as exc:
             metrics = self.service.metrics
             metrics.protocol_errors += 1
-            if len(line) > MAX_LINE_BYTES:
+            if len(raw) > MAX_LINE_BYTES:
                 metrics.oversized_requests += 1
-            elif not _parses_as_object(line):
+            elif conn.codec == "json" and not _parses_as_object(raw):
                 metrics.malformed_lines += 1
-            req_id = _best_effort_id(line)
-            return error_response(req_id, exc)
+            req_id = _best_effort_id(raw) if conn.codec == "json" else ""
+            conn.out += self._encode_payload(conn, error_response(req_id, exc))
+            return
         self.service.metrics.record_request(request.op)
+        if request.op == "hello":
+            # Answered in the *current* codec; the upgrade applies to
+            # every message after the response.
+            response, upgrade = self._hello(request)
+            conn.out += self._encode_payload(conn, response)
+            if upgrade is not None:
+                conn.codec, conn.pipeline, conn.max_inflight = upgrade
+            return
+        if conn.pipeline and request.op == "allocate":
+            if len(pending) >= conn.max_inflight:
+                self.service.metrics.busy_rejected += 1
+                conn.out += self._encode_payload(conn, error_response(
+                    request.id,
+                    ProtocolError(
+                        ErrorCode.BUSY,
+                        f"pipeline window full ({conn.max_inflight}); "
+                        "read some responses before sending more",
+                    ),
+                ))
+                return
+            task = asyncio.ensure_future(
+                self._serve_pipelined(request, conn, writer)
+            )
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+            return
+        response = await self._dispatch_safe(request)
+        conn.out += self._encode_payload(conn, response)
+
+    def _hello(
+        self, request: Request
+    ) -> tuple[Response, tuple[str, bool, int] | None]:
+        """Negotiate transport options; returns (response, upgrade)."""
+        params = request.params
+        assert isinstance(params, HelloParams)
+        if params.codec not in CODECS:
+            return error_response(request.id, ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"unsupported codec {params.codec!r}; "
+                f"server offers {list(CODECS)}",
+            )), None
+        granted_inflight = min(params.max_inflight, self.max_queue)
+        result = {
+            "codec": params.codec,
+            "pipeline": params.pipeline,
+            "max_inflight": granted_inflight if params.pipeline else 1,
+            "codecs": list(CODECS),
+            "protocol_version": PROTOCOL_VERSION,
+        }
+        upgrade = (
+            params.codec,
+            params.pipeline,
+            granted_inflight if params.pipeline else 1,
+        )
+        return ok_response(request.id, result), upgrade
+
+    async def _serve_pipelined(
+        self,
+        request: Request,
+        conn: _ConnState,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Decide one pipelined allocate and write its response when done."""
+        response = await self._dispatch_safe(request)
+        try:
+            await self._send(writer, conn, response)
+        except (ConnectionResetError, BrokenPipeError, OSError, RuntimeError):
+            log.debug("pipelined response for %s lost: peer gone", request.id)
+
+    async def _dispatch_safe(self, request: Request) -> Response:
         try:
             return await self._dispatch(request)
         except ProtocolError as exc:

@@ -12,8 +12,15 @@ needs beyond the one-shot :class:`~repro.core.broker.ResourceBroker`:
 * **decision memoization**: allocation is a pure function of
   ``(snapshot, request, held nodes)``, so repeated identical requests on
   an unchanged cluster return the cached answer in microseconds.  The
-  memo lives in the snapshot's ``derived_cache`` and therefore can never
-  outlive the snapshot it was computed from;
+  memo is keyed on the snapshot's *lineage* (``serial, generation`` from
+  :func:`repro.monitor.delta.snapshot_lineage`): a delta-patched
+  snapshot advances the generation and evicts exactly the entries whose
+  usable-node scope intersects the delta's affected nodes, while any
+  other lineage change clears the memo wholesale;
+* a **batch solver**: :meth:`allocate_batch` decides every request
+  before granting any lease — greedy in priority order, then a pairwise
+  order-swap improvement pass — so a batch's total Equation-4 cost is
+  never worse than the historical decide-and-grant-one-at-a-time loop;
 * **metrics** for every grant/denial/renewal/expiry and decision latency.
 
 The asyncio daemon in :mod:`repro.broker.server` is a thin transport
@@ -50,12 +57,12 @@ from repro.core.policies import (
     PAPER_POLICIES,
 )
 from repro.core.weights import TradeOff
+from repro.monitor.delta import snapshot_lineage
 from repro.monitor.quarantine import NodeQuarantine
 from repro.monitor.snapshot import (
     CachedSnapshotSource,
     ClusterSnapshot,
     SnapshotUnavailableError,
-    derived_cache,
 )
 from repro.scheduler.leases import Lease, LeaseError, LeaseTable
 
@@ -66,6 +73,42 @@ _DecisionKey = tuple
 #: Bounded so a hostile or leaky client cannot grow service memory;
 #: retries land within seconds, so even a small LRU is generous.
 _TOKEN_MEMO_CAP = 4096
+
+#: how many (request, held-set) decisions the lineage-keyed memo holds
+_DECISION_MEMO_CAP = 4096
+
+
+class _BatchEntry:
+    """One successfully decided (not yet granted) batch member."""
+
+    __slots__ = ("params", "policy", "allocation", "latency_s")
+
+    def __init__(
+        self,
+        params: AllocateParams,
+        policy: str,
+        allocation: Allocation,
+        latency_s: float,
+    ) -> None:
+        self.params = params
+        self.policy = policy
+        self.allocation = allocation
+        self.latency_s = latency_s
+
+    def raw_cost(self) -> float | None:
+        """``α·C_G + β·N_G`` from the allocation's raw Equation-4 terms.
+
+        Raw (un-normalized) costs are the only ones comparable across
+        decisions — the normalized totals each divide by a different
+        candidate-set denominator.  ``None`` when the policy does not
+        report cost metadata (e.g. ``random``).
+        """
+        meta = self.allocation.metadata
+        c, n = meta.get("compute_cost"), meta.get("network_cost")
+        if c is None or n is None:
+            return None
+        alpha = self.params.alpha
+        return alpha * float(c) + (1.0 - alpha) * float(n)
 
 
 class _SnapshotCoster:
@@ -111,6 +154,8 @@ class BrokerService:
         wait_threshold_load_per_core: float | None = None,
         rng: np.random.Generator | None = None,
         memoize_decisions: bool = True,
+        batch_improve: bool = True,
+        batch_improve_passes: int = 2,
         gate_config: GateConfig | None = None,
         migration_cost_config: MigrationCostConfig | None = None,
         quarantine: NodeQuarantine | None = None,
@@ -137,6 +182,14 @@ class BrokerService:
         self.metrics = BrokerMetrics()
         self._rng = rng
         self.memoize_decisions = memoize_decisions
+        #: run the pairwise order-swap improvement pass over each batch
+        self.batch_improve = batch_improve
+        self.batch_improve_passes = batch_improve_passes
+        # lineage-keyed decision memo: key → (usable-node scope, outcome)
+        self._decision_memo: OrderedDict[
+            _DecisionKey, tuple[frozenset[str], Allocation | AllocationError]
+        ] = OrderedDict()
+        self._memo_lineage: tuple[int, int] | None = None
         # -- elastic reconfiguration plumbing ---------------------------
         self.planner = ReconfigPlanner()
         self._coster = _SnapshotCoster(migration_cost_config)
@@ -158,13 +211,25 @@ class BrokerService:
     def allocate_batch(
         self, batch: list[AllocateParams]
     ) -> list[dict[str, Any] | ProtocolError]:
-        """Decide a micro-batch of allocate requests against one snapshot.
+        """Solve a micro-batch of allocate requests against one snapshot.
 
-        Requests are decided in order; each grant's nodes join the
-        exclusion mask of the requests behind it, so one batch can never
-        double-book a node.  Returns, per request, either a result dict
-        for the wire or a :class:`ProtocolError` (``NO_CAPACITY``/
-        ``WAIT``).
+        Three stages, all before any lease is granted:
+
+        1. **replay** — idempotency tokens already answered return the
+           original outcome without re-deciding;
+        2. **greedy** — remaining requests are decided in stable
+           priority order (ties keep arrival order, so an all-default
+           batch reproduces the historical sequential behaviour); each
+           decision's nodes join the exclusion mask of the ones after
+           it, so one batch can never double-book a node;
+        3. **improve** — adjacent pairs in decision order are re-decided
+           in swapped order; a swap is adopted only when it strictly
+           lowers the pair's summed raw Equation-4 cost, so the batch
+           total is never worse than the greedy (= sequential) solution.
+
+        Leases are then granted in arrival order.  Returns, per request,
+        either a result dict for the wire or a :class:`ProtocolError`
+        (``NO_CAPACITY``/``WAIT``/``BAD_REQUEST``).
         """
         if not batch:
             return []
@@ -182,65 +247,161 @@ class BrokerService:
         if self.quarantine is not None:
             self.quarantine.observe(snapshot.livehosts)
         self.metrics.record_batch(len(batch))
-        out: list[dict[str, Any] | ProtocolError] = []
-        for params in batch:
-            out.append(self._allocate_one(snapshot, params))
-        return out
 
-    def _allocate_one(
-        self, snapshot: ClusterSnapshot, params: AllocateParams
-    ) -> dict[str, Any] | ProtocolError:
-        if params.token is not None:
-            memoized = self._token_memo.get(params.token)
-            if memoized is not None:
-                # Replay of a request whose answer the client never saw
-                # (transport died mid-response).  Return the *same*
-                # outcome — critically, without granting a second lease.
-                self._token_memo.move_to_end(params.token)
-                self.metrics.allocates_deduped += 1
-                return memoized
-        result = self._allocate_one_uncached(snapshot, params)
-        if params.token is not None:
-            self._token_memo[params.token] = result
-            while len(self._token_memo) > _TOKEN_MEMO_CAP:
-                self._token_memo.popitem(last=False)
-        return result
+        results: list[dict[str, Any] | ProtocolError | None] = [None] * len(batch)
+        pending: list[int] = []
+        for i, params in enumerate(batch):
+            if params.token is not None:
+                memoized = self._token_memo.get(params.token)
+                if memoized is not None:
+                    # Replay of a request whose answer the client never
+                    # saw (transport died mid-response).  Return the
+                    # *same* outcome — critically, without granting a
+                    # second lease.
+                    self._token_memo.move_to_end(params.token)
+                    self.metrics.allocates_deduped += 1
+                    results[i] = memoized
+                    continue
+            pending.append(i)
 
-    def _allocate_one_uncached(
-        self, snapshot: ClusterSnapshot, params: AllocateParams
-    ) -> dict[str, Any] | ProtocolError:
-        policy = params.policy or self.default_policy
-        if policy not in PAPER_POLICIES:
-            self.metrics.record_decision(0.0, granted=False)
-            return ProtocolError(
-                ErrorCode.BAD_REQUEST,
-                f"unknown policy {policy!r}; choose from {sorted(PAPER_POLICIES)}",
-            )
         held = self.leases.held_nodes()
         if self.quarantine is not None:
             quarantined = self.quarantine.excluded()
             if quarantined:
                 held = frozenset(held | quarantined)
-        t0 = time.perf_counter()
-        try:
-            allocation = self._decide(snapshot, params, policy, held)
-        except WaitRecommended as exc:
-            self.metrics.record_decision(time.perf_counter() - t0, granted=False)
-            return ProtocolError(ErrorCode.WAIT, str(exc))
-        except AllocationError as exc:
-            self.metrics.record_decision(time.perf_counter() - t0, granted=False)
-            return ProtocolError(ErrorCode.NO_CAPACITY, str(exc))
-        lease = self.leases.grant(
-            allocation.nodes,
-            allocation.procs,
-            ttl_s=params.ttl_s,
-            policy=allocation.policy,
-            # kept on the lease so reconfigure can rebuild the request
-            ppn=params.ppn,
-            alpha=params.alpha,
-        )
-        self.metrics.record_decision(time.perf_counter() - t0, granted=True)
-        return self._grant_result(lease, allocation)
+
+        # -- stage 2: greedy decide, priority order --------------------
+        order = sorted(pending, key=lambda i: -batch[i].priority)
+        decided: dict[int, _BatchEntry] = {}
+        failed: dict[int, tuple[ProtocolError, float]] = {}
+        solved: list[int] = []  # batch indexes, in decision order
+        taken: set[str] = set()
+        for i in order:
+            params = batch[i]
+            policy = params.policy or self.default_policy
+            if policy not in PAPER_POLICIES:
+                failed[i] = (
+                    ProtocolError(
+                        ErrorCode.BAD_REQUEST,
+                        f"unknown policy {policy!r}; "
+                        f"choose from {sorted(PAPER_POLICIES)}",
+                    ),
+                    0.0,
+                )
+                continue
+            exclude = frozenset(held | taken) if taken else held
+            t0 = time.perf_counter()
+            try:
+                allocation = self._decide(snapshot, params, policy, exclude)
+            except WaitRecommended as exc:
+                failed[i] = (
+                    ProtocolError(ErrorCode.WAIT, str(exc)),
+                    time.perf_counter() - t0,
+                )
+                continue
+            except AllocationError as exc:
+                failed[i] = (
+                    ProtocolError(ErrorCode.NO_CAPACITY, str(exc)),
+                    time.perf_counter() - t0,
+                )
+                continue
+            decided[i] = _BatchEntry(
+                params, policy, allocation, time.perf_counter() - t0
+            )
+            taken.update(allocation.nodes)
+            solved.append(i)
+
+        # -- stage 3: pairwise order-swap improvement ------------------
+        if self.batch_improve and len(solved) >= 2:
+            self._improve_batch(snapshot, held, solved, decided)
+
+        # -- grant in arrival order ------------------------------------
+        for i in pending:
+            if i in failed:
+                error, latency_s = failed[i]
+                self.metrics.record_decision(latency_s, granted=False)
+                results[i] = error
+            else:
+                entry = decided[i]
+                lease = self.leases.grant(
+                    entry.allocation.nodes,
+                    entry.allocation.procs,
+                    ttl_s=entry.params.ttl_s,
+                    policy=entry.allocation.policy,
+                    # kept on the lease so reconfigure can rebuild the request
+                    ppn=entry.params.ppn,
+                    alpha=entry.params.alpha,
+                )
+                self.metrics.record_decision(entry.latency_s, granted=True)
+                results[i] = self._grant_result(lease, entry.allocation)
+            params = batch[i]
+            if params.token is not None:
+                self._token_memo[params.token] = results[i]
+                while len(self._token_memo) > _TOKEN_MEMO_CAP:
+                    self._token_memo.popitem(last=False)
+        return results  # type: ignore[return-value]
+
+    def _improve_batch(
+        self,
+        snapshot: ClusterSnapshot,
+        held: frozenset[str],
+        solved: list[int],
+        decided: dict[int, _BatchEntry],
+    ) -> None:
+        """Adjacent order-swap improvement over the greedy solution.
+
+        A single job re-decided against the same exclusion superset can
+        never beat its own greedy decision, so the only gains live in
+        *ordering*: decide ``b`` before ``a`` and both may land better.
+        Each probe re-decides the pair against all other final node sets
+        (through the decision memo, so repeated shapes are cheap) and is
+        adopted only on a strict decrease of the pair's summed raw
+        Equation-4 cost — the batch total can only go down, and the loop
+        terminates because the total is bounded below.
+        """
+        for _ in range(max(0, self.batch_improve_passes)):
+            improved = False
+            for pos in range(len(solved) - 1):
+                a, b = solved[pos], solved[pos + 1]
+                ea, eb = decided[a], decided[b]
+                if ea.policy == "random" or eb.policy == "random":
+                    continue
+                old_cost_a, old_cost_b = ea.raw_cost(), eb.raw_cost()
+                if old_cost_a is None or old_cost_b is None:
+                    continue
+                base = set(held)
+                for j in solved:
+                    if j != a and j != b:
+                        base.update(decided[j].allocation.nodes)
+                t0 = time.perf_counter()
+                try:
+                    alloc_b = self._decide(
+                        snapshot, eb.params, eb.policy, frozenset(base)
+                    )
+                    alloc_a = self._decide(
+                        snapshot,
+                        ea.params,
+                        ea.policy,
+                        frozenset(base | set(alloc_b.nodes)),
+                    )
+                except (WaitRecommended, AllocationError):
+                    continue
+                finally:
+                    probe_s = time.perf_counter() - t0
+                new_b = _BatchEntry(eb.params, eb.policy, alloc_b, eb.latency_s)
+                new_a = _BatchEntry(ea.params, ea.policy, alloc_a, ea.latency_s)
+                new_cost_a, new_cost_b = new_a.raw_cost(), new_b.raw_cost()
+                if new_cost_a is None or new_cost_b is None:
+                    continue
+                gain = (old_cost_a + old_cost_b) - (new_cost_a + new_cost_b)
+                if gain > 1e-12:
+                    new_a.latency_s += probe_s
+                    decided[a], decided[b] = new_a, new_b
+                    solved[pos], solved[pos + 1] = b, a
+                    self.metrics.batch_swaps_adopted += 1
+                    improved = True
+            if not improved:
+                break
 
     def _decide(
         self,
@@ -265,21 +426,30 @@ class BrokerService:
                 exclude=held or None,
                 snapshot=snapshot,
             ).allocation
+        serial, generation, affected = snapshot_lineage(snapshot)
+        self._sync_decision_memo(serial, generation, affected)
         key: _DecisionKey = (
-            "broker_decision",
             policy,
             params.n_processes,
             params.ppn,
             round(params.alpha, 12),
             held,
         )
-        cache = derived_cache(snapshot)
-        hit = cache.get(key)
+        hit = self._decision_memo.get(key)
         if hit is not None:
+            self._decision_memo.move_to_end(key)
             self.metrics.decisions_memoized += 1
-            if isinstance(hit, AllocationError):
-                raise hit
-            return hit
+            outcome = hit[1]
+            if isinstance(outcome, AllocationError):
+                raise outcome
+            return outcome
+        # The decision depends on every usable node (normalization runs
+        # over the whole set), so the entry's invalidation scope is the
+        # usable set itself — a delta touching none of these nodes
+        # cannot change the outcome.
+        scope = frozenset(snapshot.nodes) & frozenset(snapshot.livehosts)
+        if held:
+            scope = scope - held
         try:
             allocation = self._broker.request(
                 request, policy=policy, exclude=held or None, snapshot=snapshot
@@ -287,14 +457,62 @@ class BrokerService:
         except WaitRecommended:
             raise  # depends on the threshold config, not worth caching
         except AllocationError as exc:
-            cache[key] = exc  # a denial is as deterministic as a grant
+            self._memo_store(key, scope, exc)  # a denial is deterministic too
             raise
-        cache[key] = allocation
+        self._memo_store(key, scope, allocation)
         return allocation
+
+    def _memo_store(
+        self,
+        key: _DecisionKey,
+        scope: frozenset[str],
+        outcome: Allocation | AllocationError,
+    ) -> None:
+        self._decision_memo[key] = (scope, outcome)
+        while len(self._decision_memo) > _DECISION_MEMO_CAP:
+            self._decision_memo.popitem(last=False)
+
+    def _sync_decision_memo(
+        self,
+        serial: int,
+        generation: int,
+        affected: frozenset[str] | None,
+    ) -> None:
+        """Reconcile the decision memo with the current snapshot lineage.
+
+        A one-step advance on the same lineage (``generation == memo
+        generation + 1`` with a known affected set) evicts exactly the
+        entries whose usable-node scope intersects the delta; any other
+        transition — new serial (full rebuild), a skipped generation, or
+        an unknown affected set — clears the memo wholesale, which is
+        the safe historical "memo dies with the snapshot" behaviour.
+        """
+        lineage = (serial, generation)
+        if self._memo_lineage == lineage:
+            return
+        if (
+            self._memo_lineage is not None
+            and affected is not None
+            and serial == self._memo_lineage[0]
+            and generation == self._memo_lineage[1] + 1
+        ):
+            stale = [
+                key
+                for key, (scope, _) in self._decision_memo.items()
+                if scope & affected
+            ]
+            for key in stale:
+                del self._decision_memo[key]
+            self.metrics.decisions_invalidated += len(stale)
+        else:
+            self.metrics.decisions_invalidated += len(self._decision_memo)
+            self._decision_memo.clear()
+        self._memo_lineage = lineage
 
     def _grant_result(
         self, lease: Lease, allocation: Allocation
     ) -> dict[str, Any]:
+        meta = allocation.metadata
         return {
             "lease_id": lease.lease_id,
             "nodes": list(lease.nodes),
@@ -304,6 +522,9 @@ class BrokerService:
             "ttl_s": lease.ttl_s,
             "expires_at": lease.expires_at,
             "snapshot_time": allocation.snapshot_time,
+            "total_cost": meta.get("total_cost"),
+            "compute_cost": meta.get("compute_cost"),
+            "network_cost": meta.get("network_cost"),
         }
 
     # ------------------------------------------------------------------
@@ -485,6 +706,10 @@ class BrokerService:
                 "refreshes": self._snapshots.refreshes,
                 "hits": self._snapshots.hits,
                 "fallbacks": self._snapshots.fallbacks,
+                "incremental": self._snapshots.incremental,
+                "deltas_applied": self._snapshots.deltas_applied,
+                "deltas_empty": self._snapshots.deltas_empty,
+                "delta_full_rebuilds": self._snapshots.delta_full_rebuilds,
             }
         if self.quarantine is not None:
             result["quarantine"] = self.quarantine.stats()

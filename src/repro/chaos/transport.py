@@ -27,7 +27,9 @@ from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.broker.protocol import (
+    PROTOCOL_VERSION,
     ErrorCode,
+    HelloParams,
     ProtocolError,
     Request,
     encode_response,
@@ -80,6 +82,24 @@ def dispatch_line(service: BrokerService, line: bytes) -> bytes:
 
 
 def _dispatch(service: BrokerService, request: Request):
+    if request.op == "hello":
+        # Transport-verb mirror: this in-memory transport speaks exactly
+        # one framing (JSON lines, strict alternation), so it answers
+        # hello honestly but never upgrades.
+        params = request.params
+        assert isinstance(params, HelloParams)
+        if params.codec != "json" or params.pipeline:
+            return error_response(request.id, ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                "chaos transport speaks JSON lines only",
+            ))
+        return ok_response(request.id, {
+            "codec": "json",
+            "pipeline": False,
+            "max_inflight": 1,
+            "codecs": ["json"],
+            "protocol_version": PROTOCOL_VERSION,
+        })
     if request.op == "allocate":
         outcome = service.allocate_batch([request.params])[0]
         if isinstance(outcome, ProtocolError):

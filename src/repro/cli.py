@@ -297,6 +297,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         sc.snapshot,
         max_age_s=args.snapshot_max_age_s,
         refresh_hook=refresh_hook,
+        incremental=args.incremental,
     )
     service = BrokerService(
         source,
@@ -566,6 +567,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how often expired leases are reclaimed")
     p.add_argument("--snapshot-max-age-s", type=float, default=5.0,
                    help="serve decisions from a snapshot at most this old")
+    p.add_argument("--incremental", action="store_true",
+                   help="refresh snapshots via delta patches (migrates the "
+                        "cached LoadState instead of rebuilding; structural "
+                        "changes still fall back to a full rebuild)")
     p.add_argument("--advance-on-refresh-s", type=float, default=5.0,
                    help="simulated seconds the cluster advances per "
                         "snapshot refresh (0 = frozen cluster)")

@@ -22,20 +22,18 @@ from repro.monitor.snapshot import ClusterSnapshot
 PairKey = tuple[str, str]
 
 
-def network_loads(
+def pair_inputs(
     snapshot: ClusterSnapshot,
-    weights: NetworkWeights | None = None,
     *,
     nodes: Sequence[str] | None = None,
-    method: str = "mean",
-) -> dict[PairKey, float]:
-    """``NL_(u,v)`` for every measured pair among ``nodes``.
+) -> tuple[dict[PairKey, float], dict[PairKey, float]]:
+    """Raw Equation-2 inputs: measured latency and bandwidth complement.
 
-    Pairs missing either a bandwidth or a latency measurement are
-    omitted; callers decide how to penalise unknown links (policies use
-    the worst observed value).
+    This is the O(V²) part of :func:`network_loads` — the scan over
+    every candidate pair among ``nodes``.  The incremental path
+    (``LoadState.apply_delta``) runs it once at build time, then patches
+    only the changed entries and re-runs :func:`combine_pair_costs`.
     """
-    weights = weights or NetworkWeights()
     if nodes is None:
         names = snapshot.names
     else:
@@ -50,6 +48,23 @@ def network_loads(
         if key in snapshot.latency_us and key in snapshot.bandwidth_mbs:
             lat[key] = snapshot.latency(*key)
             bwc[key] = snapshot.bandwidth_complement(*key)
+    return lat, bwc
+
+
+def combine_pair_costs(
+    lat: Mapping[PairKey, float],
+    bwc: Mapping[PairKey, float],
+    weights: NetworkWeights | None = None,
+    *,
+    method: str = "mean",
+) -> dict[PairKey, float]:
+    """Normalize both Equation-2 terms over the pair set and combine.
+
+    O(pairs); iteration follows ``lat``'s key order, so patching values
+    in an existing input dict and re-combining reproduces a full
+    :func:`network_loads` rebuild bit for bit.
+    """
+    weights = weights or NetworkWeights()
     try:
         normalize = NORMALIZERS[method]
     except KeyError:
@@ -61,6 +76,23 @@ def network_loads(
     return {
         key: weights.w_lt * lat_n[key] + weights.w_bw * bwc_n[key] for key in lat
     }
+
+
+def network_loads(
+    snapshot: ClusterSnapshot,
+    weights: NetworkWeights | None = None,
+    *,
+    nodes: Sequence[str] | None = None,
+    method: str = "mean",
+) -> dict[PairKey, float]:
+    """``NL_(u,v)`` for every measured pair among ``nodes``.
+
+    Pairs missing either a bandwidth or a latency measurement are
+    omitted; callers decide how to penalise unknown links (policies use
+    the worst observed value).
+    """
+    lat, bwc = pair_inputs(snapshot, nodes=nodes)
+    return combine_pair_costs(lat, bwc, weights, method=method)
 
 
 def group_network_load(

@@ -19,7 +19,12 @@ from typing import Collection
 
 import numpy as np
 
-from repro.core.arrays import best_candidate_fast, load_state
+from repro.core.arrays import (
+    PRUNE_KEEP_DEFAULT,
+    PRUNE_THRESHOLD_DEFAULT,
+    best_candidate_fast,
+    load_state,
+)
 from repro.core.candidate import generate_all_candidates
 from repro.core.compute_load import compute_loads
 from repro.core.effective_procs import effective_proc_counts
@@ -39,11 +44,25 @@ class NetworkLoadAwarePolicy(AllocationPolicy):
 
     name = "network_load_aware"
 
-    def __init__(self, *, load_key: str = "m1", use_arrays: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        load_key: str = "m1",
+        use_arrays: bool = True,
+        prune_threshold: int | None = PRUNE_THRESHOLD_DEFAULT,
+        prune_keep: int = PRUNE_KEEP_DEFAULT,
+    ) -> None:
         #: which running mean feeds Equation 3 (m1/m5/m15/now)
         self.load_key = load_key
         #: vectorized fast path (default) vs. dict reference oracle
         self.use_arrays = use_arrays
+        #: above this many usable nodes the array path prunes Algorithm-1
+        #: seeds by a lower bound on their Equation-4 addition cost before
+        #: the greedy grow (``None`` disables pruning entirely); at or
+        #: below it the result stays bit-identical to the dict oracle
+        self.prune_threshold = prune_threshold
+        #: how many seeds survive pruning
+        self.prune_keep = prune_keep
 
     def allocate(
         self,
@@ -91,7 +110,11 @@ class NetworkLoadAwarePolicy(AllocationPolicy):
         )
         try:
             return best_candidate_fast(
-                state, request.n_processes, request.tradeoff
+                state,
+                request.n_processes,
+                request.tradeoff,
+                prune_threshold=self.prune_threshold,
+                prune_keep=self.prune_keep,
             )
         except ValueError as exc:
             raise AllocationError(str(exc)) from exc

@@ -1,0 +1,241 @@
+"""Delta snapshots — the monitor's incremental view of a drifting fleet.
+
+Between two monitor sweeps only a small fraction of a large cluster
+moves: most nodes idle along at the same rolling means, most links keep
+their measured latency/bandwidth.  Rebuilding every derived structure
+(normalized load vectors, dense network-load matrices) from scratch for
+each sweep is the fleet-scale hot-path tax PR 6 removes.
+
+This module provides the three pieces of the incremental path:
+
+* :class:`SnapshotDelta` — the set of node views and link measurements
+  that moved beyond a threshold between two snapshots.
+* :func:`compute_delta` — diff two snapshots into a delta, or report a
+  *structural* change (nodes/pairs/livehosts appeared or vanished,
+  static specs changed) that requires a full rebuild.
+* :func:`apply_snapshot_delta` — patch the previous snapshot into a new
+  immutable :class:`~repro.monitor.snapshot.ClusterSnapshot`, migrate
+  its cached :class:`~repro.core.arrays.LoadState` objects via
+  ``LoadState.apply_delta`` (O(changed) instead of O(V²)), and stamp the
+  new snapshot's *lineage* so the broker's decision memo can invalidate
+  exactly the affected entries.
+
+Lineage: every snapshot belongs to a ``(serial, generation)`` line.  A
+full rebuild starts a new serial at generation 0; each applied delta
+bumps the generation and records which nodes the delta touched.  The
+broker reads this via :func:`snapshot_lineage` — same serial and a +1
+generation means "the previous memo survives except entries whose
+usable-node scope intersects ``affected``".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.monitor.snapshot import ClusterSnapshot, NodeView, derived_cache
+
+PairKey = tuple[str, str]
+
+#: key under which the (serial, generation, affected) triple lives in a
+#: snapshot's ``derived_cache``
+_LINEAGE_KEY = "snapshot_lineage"
+
+#: monotonically increasing serial handed to every fresh (non-delta)
+#: snapshot lineage; process-wide so two sources never collide
+_SERIALS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """Nodes and links that moved beyond threshold between two sweeps."""
+
+    #: timestamp of the newer snapshot the delta was computed against
+    time: float
+    #: changed node views (full replacement views from the new snapshot)
+    nodes: Mapping[str, NodeView] = field(default_factory=dict)
+    #: changed measured bandwidths, MB/s (canonically ordered pairs)
+    bandwidth_mbs: Mapping[PairKey, float] = field(default_factory=dict)
+    #: changed measured latencies, microseconds
+    latency_us: Mapping[PairKey, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pairmap, label in (
+            (self.bandwidth_mbs, "bandwidth"),
+            (self.latency_us, "latency"),
+        ):
+            for a, b in pairmap:
+                if a > b:
+                    raise ValueError(
+                        f"{label} pair {(a, b)} not canonically ordered"
+                    )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.nodes or self.bandwidth_mbs or self.latency_us)
+
+    def affected_nodes(self) -> frozenset[str]:
+        """Every node whose own view or incident link the delta touches."""
+        touched = set(self.nodes)
+        for a, b in self.bandwidth_mbs:
+            touched.add(a)
+            touched.add(b)
+        for a, b in self.latency_us:
+            touched.add(a)
+            touched.add(b)
+        return frozenset(touched)
+
+
+def _moved(old: float, new: float, threshold: float) -> bool:
+    """Relative-change test: |new − old| > threshold · max(1, |old|)."""
+    return abs(new - old) > threshold * max(1.0, abs(old))
+
+
+#: dynamic NodeView attribute maps compared by :func:`_node_changed`
+_DYNAMIC_ATTRS = (
+    "cpu_load",
+    "cpu_util",
+    "flow_rate_mbs",
+    "available_memory_gb",
+)
+
+
+def _node_changed(old: NodeView, new: NodeView, threshold: float) -> bool:
+    if old.users != new.users:
+        return True
+    for attr in _DYNAMIC_ATTRS:
+        a, b = getattr(old, attr), getattr(new, attr)
+        if set(a) != set(b):
+            return True
+        for key, value in a.items():
+            if _moved(float(value), float(b[key]), threshold):
+                return True
+    return False
+
+
+def _static_changed(old: NodeView, new: NodeView) -> bool:
+    return (
+        old.cores != new.cores
+        or old.frequency_ghz != new.frequency_ghz
+        or old.memory_gb != new.memory_gb
+        or old.switch != new.switch
+    )
+
+
+def compute_delta(
+    old: ClusterSnapshot,
+    new: ClusterSnapshot,
+    *,
+    node_threshold: float = 0.0,
+    link_threshold: float = 0.0,
+) -> SnapshotDelta | None:
+    """Diff two snapshots into a :class:`SnapshotDelta`.
+
+    Returns ``None`` when the change is *structural* — nodes or measured
+    pairs appeared/disappeared, livehosts changed, or a static spec
+    moved — in which case the caller must fall back to a full rebuild
+    (incremental patching assumes fixed topology and index order).
+
+    Thresholds are relative (``|Δ| > t·max(1, |old|)``); ``0.0`` means
+    any change at all is emitted.  Sub-threshold drift is deliberately
+    *dropped*: the served view stays within the threshold band of the
+    truth, which is the monitor's freshness contract at fleet scale.
+    """
+    if set(old.nodes) != set(new.nodes):
+        return None
+    if old.livehosts != new.livehosts:
+        return None
+    for attr in ("bandwidth_mbs", "latency_us", "peak_bandwidth_mbs"):
+        if set(getattr(old, attr)) != set(getattr(new, attr)):
+            return None
+    if any(
+        old.peak_bandwidth_mbs[k] != new.peak_bandwidth_mbs[k]
+        for k in old.peak_bandwidth_mbs
+    ):
+        return None  # peak bandwidth is static knowledge; a change is structural
+
+    nodes: dict[str, NodeView] = {}
+    for name, view in old.nodes.items():
+        fresh = new.nodes[name]
+        if _static_changed(view, fresh):
+            return None
+        if _node_changed(view, fresh, node_threshold):
+            nodes[name] = fresh
+    bandwidth = {
+        k: new.bandwidth_mbs[k]
+        for k, v in old.bandwidth_mbs.items()
+        if _moved(float(v), float(new.bandwidth_mbs[k]), link_threshold)
+    }
+    latency = {
+        k: new.latency_us[k]
+        for k, v in old.latency_us.items()
+        if _moved(float(v), float(new.latency_us[k]), link_threshold)
+    }
+    return SnapshotDelta(
+        time=new.time,
+        nodes=nodes,
+        bandwidth_mbs=bandwidth,
+        latency_us=latency,
+    )
+
+
+def snapshot_lineage(
+    snapshot: ClusterSnapshot,
+) -> tuple[int, int, frozenset[str] | None]:
+    """The snapshot's ``(serial, generation, affected)`` lineage triple.
+
+    Snapshots that never went through :func:`apply_snapshot_delta` get a
+    fresh serial at generation 0 on first access (``affected`` is
+    ``None``): each independently built snapshot is its own line, which
+    preserves the historical "memo dies with the snapshot" behaviour for
+    non-incremental sources.
+    """
+    cache = derived_cache(snapshot)
+    lineage = cache.get(_LINEAGE_KEY)
+    if lineage is None:
+        lineage = (next(_SERIALS), 0, None)
+        cache[_LINEAGE_KEY] = lineage
+    return lineage
+
+
+def apply_snapshot_delta(
+    old: ClusterSnapshot,
+    delta: SnapshotDelta,
+    *,
+    migrate: bool = True,
+    inplace: bool = True,
+) -> ClusterSnapshot:
+    """Patch ``old`` into a new snapshot and migrate its cached states.
+
+    The returned snapshot is a fresh immutable object whose maps share
+    unchanged entries with ``old``.  With ``migrate`` (default), every
+    ``LoadState`` memoized on ``old`` is carried over via
+    ``LoadState.apply_delta`` — O(changed nodes + measured links)
+    instead of the O(V²) ``_build_state`` pair scan.  ``inplace``
+    forwards to ``apply_delta``: the migrated states may reuse (and
+    mutate) the old states' array buffers, so the *old snapshot must be
+    dropped* after this call — exactly what
+    :class:`~repro.monitor.snapshot.CachedSnapshotSource` does.
+    """
+    patched = ClusterSnapshot(
+        time=delta.time,
+        nodes={**old.nodes, **delta.nodes},
+        bandwidth_mbs={**old.bandwidth_mbs, **delta.bandwidth_mbs},
+        latency_us={**old.latency_us, **delta.latency_us},
+        peak_bandwidth_mbs=old.peak_bandwidth_mbs,
+        livehosts=old.livehosts,
+    )
+    serial, generation, _ = snapshot_lineage(old)
+    derived_cache(patched)[_LINEAGE_KEY] = (
+        serial,
+        generation + 1,
+        delta.affected_nodes(),
+    )
+    if migrate:
+        # Local import: arrays.py imports the snapshot module at import
+        # time, so the dependency must stay one-way at module load.
+        from repro.core.arrays import migrate_states
+
+        migrate_states(old, patched, delta, inplace=inplace)
+    return patched

@@ -350,6 +350,16 @@ class CachedSnapshotSource:
     bound, :class:`SnapshotUnavailableError` propagates so callers can
     answer with a typed denial.  ``None`` (default) keeps the historical
     fail-fast behaviour.
+
+    ``incremental`` turns on the PR-6 delta path: each refresh diffs the
+    freshly built snapshot against the one currently being served
+    (:func:`repro.monitor.delta.compute_delta` with the two thresholds)
+    and serves a *patched* snapshot that carries the previous snapshot's
+    migrated ``LoadState`` arrays and a ``(serial, generation)`` lineage
+    — so neither the allocator's Equation-1/2 arrays nor the broker's
+    decision memo restart from zero.  Structural changes (nodes, links,
+    or livehosts appearing/vanishing) fall back to a full rebuild; an
+    empty delta keeps serving the existing snapshot object unchanged.
     """
 
     def __init__(
@@ -360,6 +370,9 @@ class CachedSnapshotSource:
         clock=None,
         refresh_hook=None,
         lkg_max_age_s: float | None = None,
+        incremental: bool = False,
+        node_threshold: float = 0.0,
+        link_threshold: float = 0.0,
     ) -> None:
         if max_age_s < 0:
             raise ValueError(f"max_age_s must be non-negative: {max_age_s}")
@@ -368,6 +381,11 @@ class CachedSnapshotSource:
                 f"lkg_max_age_s ({lkg_max_age_s}) must be >= max_age_s "
                 f"({max_age_s})"
             )
+        if node_threshold < 0 or link_threshold < 0:
+            raise ValueError(
+                "delta thresholds must be non-negative: "
+                f"node={node_threshold}, link={link_threshold}"
+            )
         import time as _time
 
         self._source = source
@@ -375,6 +393,9 @@ class CachedSnapshotSource:
         self.max_age_s = max_age_s
         self.lkg_max_age_s = lkg_max_age_s
         self._refresh_hook = refresh_hook
+        self.incremental = incremental
+        self.node_threshold = node_threshold
+        self.link_threshold = link_threshold
         self._snapshot: ClusterSnapshot | None = None
         self._built_at: float = float("-inf")
         #: observability counters (surfaced by the broker's status RPC)
@@ -382,6 +403,11 @@ class CachedSnapshotSource:
         self.hits = 0
         #: times a failed rebuild was papered over with the cached snapshot
         self.fallbacks = 0
+        #: incremental-mode counters: patches served, refreshes where
+        #: nothing moved beyond threshold, and structural full rebuilds
+        self.deltas_applied = 0
+        self.deltas_empty = 0
+        self.delta_full_rebuilds = 0
 
     def __call__(self) -> ClusterSnapshot:
         """The current snapshot, rebuilt only when stale."""
@@ -395,10 +421,7 @@ class CachedSnapshotSource:
         if self._refresh_hook is not None:
             self._refresh_hook()
         if self.lkg_max_age_s is None:
-            self._snapshot = self._source()
-            self._built_at = now
-            self.refreshes += 1
-            return self._snapshot
+            return self._adopt(self._source(), now)
         try:
             fresh = self._source()
         except SnapshotUnavailableError:
@@ -407,6 +430,32 @@ class CachedSnapshotSource:
             return self._fallback(now, f"snapshot source failed: {exc!r}")
         if not fresh.nodes:
             return self._fallback(now, "snapshot source yielded no nodes")
+        return self._adopt(fresh, now)
+
+    def _adopt(self, fresh: ClusterSnapshot, now: float) -> ClusterSnapshot:
+        """Install a freshly built snapshot, incrementally when possible."""
+        prev = self._snapshot
+        if self.incremental and prev is not None:
+            # Local import: the delta module imports this one.
+            from repro.monitor.delta import apply_snapshot_delta, compute_delta
+
+            delta = compute_delta(
+                prev,
+                fresh,
+                node_threshold=self.node_threshold,
+                link_threshold=self.link_threshold,
+            )
+            if delta is None:
+                self.delta_full_rebuilds += 1
+            elif delta.is_empty:
+                # Nothing moved beyond threshold: the served snapshot is
+                # as good as the rebuild; keep its object identity (and
+                # every derived structure) alive.
+                self.deltas_empty += 1
+                fresh = prev
+            else:
+                fresh = apply_snapshot_delta(prev, delta)
+                self.deltas_applied += 1
         self._snapshot = fresh
         self._built_at = now
         self.refreshes += 1

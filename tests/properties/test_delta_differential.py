@@ -1,0 +1,234 @@
+"""Differential fuzz: incremental delta application ≡ full rebuild.
+
+The incremental hot path (``compute_delta`` → ``apply_snapshot_delta``
+→ ``LoadState.apply_delta``) must be *bit-identical* to throwing the old
+snapshot away and rebuilding every derived array from the new one.  The
+sweep drives randomized delta sequences — node-load drift, link drift,
+both, neither — over random clusters and compares the migrated state
+against a from-scratch rebuild after every step: CL/NL/PC arrays with
+exact equality, and the resulting allocation decision for a spread of
+request shapes.
+
+Edges covered explicitly: the empty delta (state object reused, not
+copied), the everything-changed delta (every node and every measured
+link moves), and structural changes (which must refuse to produce a
+delta at all).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.arrays import load_state
+from repro.core.policies import AllocationRequest, NetworkLoadAwarePolicy
+from repro.core.weights import TradeOff
+from repro.monitor.delta import (
+    SnapshotDelta,
+    apply_snapshot_delta,
+    compute_delta,
+    snapshot_lineage,
+)
+from repro.monitor.snapshot import ClusterSnapshot, NodeView
+
+from tests.core.test_array_equivalence import random_snapshot
+
+
+def _drift_stats(rng: np.random.Generator, stats: dict) -> dict:
+    factor = float(rng.uniform(0.5, 1.5))
+    return {k: float(v) * factor for k, v in stats.items()}
+
+
+def perturb(
+    rng: np.random.Generator,
+    snap: ClusterSnapshot,
+    *,
+    node_fraction: float,
+    link_fraction: float,
+    drift_users: bool = True,
+) -> ClusterSnapshot:
+    """A topologically identical snapshot with drifted dynamic values."""
+    views: dict[str, NodeView] = {}
+    for name, view in snap.nodes.items():
+        if rng.uniform() < node_fraction:
+            views[name] = dataclasses.replace(
+                view,
+                cpu_load=_drift_stats(rng, view.cpu_load),
+                flow_rate_mbs=_drift_stats(rng, view.flow_rate_mbs),
+                users=int(rng.integers(0, 5)) if drift_users else view.users,
+            )
+        else:
+            views[name] = view
+    bandwidth = dict(snap.bandwidth_mbs)
+    latency = dict(snap.latency_us)
+    for key in snap.bandwidth_mbs:
+        if rng.uniform() < link_fraction:
+            bandwidth[key] = float(
+                min(snap.peak_bandwidth_mbs[key], bandwidth[key] * rng.uniform(0.5, 1.2))
+            )
+            latency[key] = float(latency[key] * rng.uniform(0.5, 1.5))
+    return ClusterSnapshot(
+        time=snap.time + 1.0,
+        nodes=views,
+        bandwidth_mbs=bandwidth,
+        latency_us=latency,
+        peak_bandwidth_mbs=snap.peak_bandwidth_mbs,
+        livehosts=snap.livehosts,
+    )
+
+
+def _fresh_copy(snap: ClusterSnapshot) -> ClusterSnapshot:
+    """The same cluster facts in a brand-new object (no derived cache)."""
+    return ClusterSnapshot(
+        time=snap.time,
+        nodes=dict(snap.nodes),
+        bandwidth_mbs=dict(snap.bandwidth_mbs),
+        latency_us=dict(snap.latency_us),
+        peak_bandwidth_mbs=dict(snap.peak_bandwidth_mbs),
+        livehosts=snap.livehosts,
+    )
+
+
+def _state_kwargs(snap: ClusterSnapshot) -> dict:
+    return {"nodes": list(snap.nodes), "ppn": 4}
+
+
+def assert_states_identical(incremental, rebuilt) -> None:
+    assert incremental.nodes == rebuilt.nodes
+    assert incremental.cl == rebuilt.cl
+    assert incremental.nl == rebuilt.nl
+    assert incremental.pc == rebuilt.pc
+    assert np.array_equal(incremental.cl_vec, rebuilt.cl_vec)
+    assert np.array_equal(incremental.nl_mat, rebuilt.nl_mat)
+    assert np.array_equal(incremental.pc_vec, rebuilt.pc_vec)
+    assert incremental.missing_penalty == rebuilt.missing_penalty
+
+
+DRIFT_MIXES = [
+    (0.3, 0.0),  # node loads only
+    (0.0, 0.3),  # links only
+    (0.4, 0.4),  # both
+    (1.0, 1.0),  # everything moves at once
+]
+
+
+class TestDeltaEqualsRebuild:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("mix", DRIFT_MIXES, ids=lambda m: f"n{m[0]}l{m[1]}")
+    def test_randomized_delta_sequences(self, seed, mix):
+        node_fraction, link_fraction = mix
+        rng = np.random.default_rng(41_000 + seed)
+        snap = random_snapshot(rng, int(rng.integers(6, 14)), missing_fraction=0.2)
+        state = load_state(snap, **_state_kwargs(snap))
+        policy = NetworkLoadAwarePolicy()
+        for _ in range(4):
+            target = perturb(
+                rng, snap,
+                node_fraction=node_fraction,
+                link_fraction=link_fraction,
+            )
+            delta = compute_delta(snap, target)
+            assert delta is not None, "non-structural drift must delta"
+            patched = apply_snapshot_delta(snap, delta)
+            migrated = load_state(patched, **_state_kwargs(patched))
+            rebuilt = load_state(_fresh_copy(patched), **_state_kwargs(patched))
+            assert_states_identical(migrated, rebuilt)
+            request = AllocationRequest(
+                n_processes=int(rng.integers(2, 9)),
+                ppn=4,
+                tradeoff=TradeOff.from_alpha(0.3),
+            )
+            a = policy.allocate(patched, request)
+            b = policy.allocate(_fresh_copy(patched), request)
+            assert a.nodes == b.nodes and dict(a.procs) == dict(b.procs)
+            snap, state = patched, migrated
+
+    def test_empty_delta_reuses_state_object(self):
+        rng = np.random.default_rng(7)
+        snap = random_snapshot(rng, 8)
+        state = load_state(snap, **_state_kwargs(snap))
+        twin = _fresh_copy(snap)
+        delta = compute_delta(snap, twin)
+        assert delta is not None and delta.is_empty
+        assert state.apply_delta(snap, delta) is state
+        assert state.generation == 0
+
+    def test_every_node_changed_delta(self):
+        rng = np.random.default_rng(8)
+        snap = random_snapshot(rng, 10, missing_fraction=0.1)
+        state = load_state(snap, **_state_kwargs(snap))
+        target = perturb(rng, snap, node_fraction=1.0, link_fraction=1.0)
+        delta = compute_delta(snap, target)
+        assert delta is not None
+        assert delta.affected_nodes() == frozenset(snap.nodes)
+        patched = apply_snapshot_delta(snap, delta)
+        migrated = load_state(patched, **_state_kwargs(patched))
+        assert migrated.generation == state.generation + 1
+        rebuilt = load_state(_fresh_copy(patched), **_state_kwargs(patched))
+        assert_states_identical(migrated, rebuilt)
+
+    def test_generation_counts_applied_deltas(self):
+        rng = np.random.default_rng(9)
+        snap = random_snapshot(rng, 8)
+        load_state(snap, **_state_kwargs(snap))
+        for expected_gen in (1, 2, 3):
+            target = perturb(rng, snap, node_fraction=0.5, link_fraction=0.5)
+            delta = compute_delta(snap, target)
+            snap = apply_snapshot_delta(snap, delta)
+            state = load_state(snap, **_state_kwargs(snap))
+            assert state.generation == expected_gen
+            serial, gen, affected = snapshot_lineage(snap)
+            assert gen == expected_gen and affected == delta.affected_nodes()
+
+
+class TestStructuralChangesRefuse:
+    def test_node_set_change_is_structural(self):
+        rng = np.random.default_rng(10)
+        snap = random_snapshot(rng, 6)
+        nodes = dict(snap.nodes)
+        nodes.pop(next(iter(nodes)))
+        shrunk = dataclasses.replace(snap, nodes=nodes)
+        assert compute_delta(snap, shrunk) is None
+
+    def test_livehosts_change_is_structural(self):
+        rng = np.random.default_rng(11)
+        snap = random_snapshot(rng, 6)
+        drained = dataclasses.replace(snap, livehosts=snap.livehosts[:-1])
+        assert compute_delta(snap, drained) is None
+
+    def test_pair_set_change_is_structural(self):
+        rng = np.random.default_rng(12)
+        snap = random_snapshot(rng, 6)
+        bandwidth = dict(snap.bandwidth_mbs)
+        bandwidth.pop(next(iter(bandwidth)))
+        lost = dataclasses.replace(snap, bandwidth_mbs=bandwidth)
+        assert compute_delta(snap, lost) is None
+
+    def test_static_spec_change_is_structural(self):
+        rng = np.random.default_rng(13)
+        snap = random_snapshot(rng, 6)
+        name, view = next(iter(snap.nodes.items()))
+        nodes = dict(snap.nodes)
+        nodes[name] = dataclasses.replace(view, cores=view.cores + 2)
+        upgraded = dataclasses.replace(snap, nodes=nodes)
+        assert compute_delta(snap, upgraded) is None
+
+
+class TestThresholds:
+    def test_subthreshold_drift_is_dropped(self):
+        rng = np.random.default_rng(14)
+        snap = random_snapshot(rng, 6)
+        target = perturb(
+            rng, snap, node_fraction=1.0, link_fraction=1.0, drift_users=False
+        )
+        # users is an exact compare (no threshold), so hold it fixed here
+        delta = compute_delta(
+            snap, target, node_threshold=10.0, link_threshold=10.0
+        )
+        assert delta is not None and delta.is_empty
+
+    def test_canonical_pair_order_enforced(self):
+        with pytest.raises(ValueError, match="canonically ordered"):
+            SnapshotDelta(time=0.0, latency_us={("b", "a"): 1.0})

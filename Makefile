@@ -39,16 +39,18 @@ bench-smoke:
 
 # Machine-readable timings for trajectory tracking (compare
 # BENCH_allocator.json / BENCH_broker.json / BENCH_elastic.json /
-# BENCH_hotpath.json across commits; see docs/PERFORMANCE.md,
-# docs/BROKER.md and docs/ELASTIC.md).  bench_broker runs before
-# bench_hotpath: the hotpath transport floor is a ratio against the
-# JSON-lines number bench_broker just wrote.
+# BENCH_hotpath.json / BENCH_federation.json across commits; see
+# docs/PERFORMANCE.md, docs/BROKER.md, docs/ELASTIC.md and
+# docs/FEDERATION.md).  bench_broker runs before bench_hotpath: the
+# hotpath transport floor is a ratio against the JSON-lines number
+# bench_broker just wrote.
 bench-json:
 	pytest benchmarks/bench_allocator_overhead.py --benchmark-only \
 		--benchmark-json=BENCH_allocator.json
 	pytest benchmarks/bench_broker.py --benchmark-only
 	pytest benchmarks/bench_elastic.py --benchmark-only
 	pytest benchmarks/bench_hotpath.py --benchmark-only
+	pytest benchmarks/bench_federation.py --benchmark-only
 
 # The headline elastic experiment: static vs. elastic scheduling on the
 # same drifting-load world (single reproducible entry point).

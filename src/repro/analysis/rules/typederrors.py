@@ -54,6 +54,7 @@ SERVER_MODULES = (
     "repro.scheduler.leases",
     "repro.elastic.executor",
     "repro.chaos.transport",
+    "repro.federation.router",
 )
 
 #: codes the client mints locally (transport failures, not wire codes)

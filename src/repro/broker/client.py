@@ -42,9 +42,10 @@ from repro.broker.protocol import (
 )
 
 #: operations the client retries on transport death without being told.
-#: ``status`` is read-only; ``allocate`` is safe only because the typed
-#: helper always attaches a dedupe token (see :meth:`BrokerClient.call`).
-_RETRY_SAFE_OPS = frozenset({"allocate", "status"})
+#: ``status``/``shards``/``resolve`` are read-only; ``allocate`` is safe
+#: only because the typed helper always attaches a dedupe token (see
+#: :meth:`BrokerClient.call`).
+_RETRY_SAFE_OPS = frozenset({"allocate", "status", "shards", "resolve"})
 
 #: every error code this client understands: the full server-side
 #: :class:`~repro.broker.protocol.ErrorCode` enum plus the two codes the
@@ -66,6 +67,7 @@ KNOWN_ERROR_CODES = frozenset(
         "NO_CAPACITY",
         "WAIT",
         "MONITOR_STALE",
+        "SHARD_DOWN",
         # lease lifecycle
         "UNKNOWN_LEASE",
         "EXPIRED_LEASE",
@@ -81,7 +83,7 @@ KNOWN_ERROR_CODES = frozenset(
 
 #: codes where retrying after a backoff can plausibly succeed
 TRANSIENT_ERROR_CODES = frozenset(
-    {"CONNECT", "TIMEOUT", "BUSY", "MONITOR_STALE"}
+    {"CONNECT", "TIMEOUT", "BUSY", "MONITOR_STALE", "SHARD_DOWN"}
 )
 
 #: environment knob seeding the client's retry-jitter stream when neither
@@ -549,3 +551,15 @@ class BrokerClient:
     def status(self) -> dict:
         """The daemon's status/metrics block."""
         return self.call("status")
+
+    def shards(self) -> dict:
+        """The federation router's per-shard aggregates and scores.
+
+        Only a federation daemon (``serve --shards N``) answers this; a
+        single-broker daemon returns ``UNKNOWN_OP``.
+        """
+        return self.call("shards")
+
+    def resolve(self, lease_id: str) -> dict:
+        """Which federation shard owns ``lease_id`` (router verb)."""
+        return self.call("resolve", {"lease_id": lease_id})

@@ -88,6 +88,9 @@ class ErrorCode(str, enum.Enum):
     #: the monitor pipeline is down and the last-known-good snapshot is
     #: too old to allocate from — retry once monitoring recovers
     MONITOR_STALE = "MONITOR_STALE"
+    #: the federation shard owning this lease (or chosen for placement)
+    #: is down/detached — retry after the router re-admits it
+    SHARD_DOWN = "SHARD_DOWN"
     #: unexpected server-side failure (bug — check daemon logs)
     INTERNAL = "INTERNAL"
 
@@ -109,6 +112,14 @@ OPS = ("allocate", "renew", "release", "reconfigure", "status")
 #: service.  Kept out of :data:`OPS` so service-level surfaces (dispatch
 #: ladders, retry policy) are not forced to know about them.
 TRANSPORT_OPS = ("hello",)
+
+#: Router verbs spoken only by a federation daemon (``serve --shards N``).
+#: ``shards`` reports the router's per-subtree aggregates and scores;
+#: ``resolve`` maps a lease id to the shard that owns it.  Kept out of
+#: :data:`OPS` so a plain single-broker daemon (and the chaos transport
+#: mirror) is not forced to grow dead branches for them — the PRO lint
+#: family checks the federation ladders separately (PRO006/PRO007).
+FEDERATION_OPS = ("shards", "resolve")
 
 #: Codecs a connection may negotiate via ``hello``.  ``json`` is the
 #: JSON-lines default; ``binary`` is length-prefixed compact JSON;
@@ -261,6 +272,24 @@ class StatusParams:
 
 
 @dataclass(frozen=True)
+class ShardsParams:
+    """Parameters of a ``shards`` router request (none defined in v1)."""
+
+
+@dataclass(frozen=True)
+class ResolveParams:
+    """Parameters of a ``resolve`` router request."""
+
+    lease_id: str
+
+    def __post_init__(self) -> None:
+        if not self.lease_id:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "params.lease_id must be non-empty"
+            )
+
+
+@dataclass(frozen=True)
 class HelloParams:
     """Parameters of a ``hello`` transport-negotiation request.
 
@@ -295,6 +324,8 @@ Params = (
     | ReleaseParams
     | ReconfigureParams
     | StatusParams
+    | ShardsParams
+    | ResolveParams
     | HelloParams
 )
 
@@ -407,6 +438,12 @@ def parse_request_obj(obj: Any) -> Request:
         )
     elif op == "status":
         params = StatusParams()
+    elif op == "shards":
+        params = ShardsParams()
+    elif op == "resolve":
+        params = ResolveParams(
+            lease_id=_require(raw, "lease_id", (str,), "params")
+        )
     elif op == "hello":
         pipeline = raw.get("pipeline", False)
         if not isinstance(pipeline, bool):
@@ -423,7 +460,8 @@ def parse_request_obj(obj: Any) -> Request:
     else:
         raise ProtocolError(
             ErrorCode.UNKNOWN_OP,
-            f"unknown op {op!r}; choose from {OPS + TRANSPORT_OPS}",
+            f"unknown op {op!r}; choose from "
+            f"{OPS + FEDERATION_OPS + TRANSPORT_OPS}",
         )
     return Request(id=req_id, op=op, params=params, v=version)
 

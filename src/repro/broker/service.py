@@ -53,6 +53,7 @@ from repro.core.broker import ResourceBroker, WaitRecommended
 from repro.core.policies import (
     Allocation,
     AllocationError,
+    AllocationPolicy,
     AllocationRequest,
     PAPER_POLICIES,
 )
@@ -160,6 +161,8 @@ class BrokerService:
         migration_cost_config: MigrationCostConfig | None = None,
         quarantine: NodeQuarantine | None = None,
         migrate_hook: Callable[[Any], None] | None = None,
+        lease_namespace: str = "",
+        policy_overrides: Mapping[str, AllocationPolicy] | None = None,
     ) -> None:
         if default_policy not in PAPER_POLICIES:
             raise ValueError(
@@ -169,6 +172,15 @@ class BrokerService:
         self._snapshots = snapshot_source
         self._clock = clock
         self.default_policy = default_policy
+        # name → configured policy instance used instead of the registry
+        # default (e.g. a federation shard scaling its prune threshold)
+        self._policy_overrides = dict(policy_overrides or {})
+        for name in self._policy_overrides:
+            if name not in PAPER_POLICIES:
+                raise ValueError(
+                    f"policy override for unknown policy {name!r}; "
+                    f"choose from {sorted(PAPER_POLICIES)}"
+                )
         self._broker = ResourceBroker(
             snapshot_source,
             wait_threshold_load_per_core=wait_threshold_load_per_core,
@@ -178,6 +190,7 @@ class BrokerService:
             default_ttl_s=default_ttl_s,
             min_ttl_s=min_ttl_s,
             max_ttl_s=max_ttl_s,
+            namespace=lease_namespace,
         )
         self.metrics = BrokerMetrics()
         self._rng = rng
@@ -415,6 +428,11 @@ class BrokerService:
             ppn=params.ppn,
             tradeoff=TradeOff.from_alpha(params.alpha),
         )
+        # An override swaps in a configured instance; the memo still
+        # keys on the *name* (the override is fixed for this service).
+        chosen: AllocationPolicy | str = self._policy_overrides.get(
+            policy, policy
+        )
         # Stochastic policies must not be memoized — two clients asking
         # twice expect two draws — and are the only rng consumers.
         memoizable = self.memoize_decisions and policy != "random"
@@ -422,7 +440,7 @@ class BrokerService:
             return self._broker.request(
                 request,
                 rng=self._rng,
-                policy=policy,
+                policy=chosen,
                 exclude=held or None,
                 snapshot=snapshot,
             ).allocation
@@ -452,7 +470,7 @@ class BrokerService:
             scope = scope - held
         try:
             allocation = self._broker.request(
-                request, policy=policy, exclude=held or None, snapshot=snapshot
+                request, policy=chosen, exclude=held or None, snapshot=snapshot
             ).allocation
         except WaitRecommended:
             raise  # depends on the threshold config, not worth caching

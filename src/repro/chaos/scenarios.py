@@ -52,6 +52,11 @@ from repro.core.weights import TradeOff
 from repro.elastic.executor import ReconfigError
 from repro.elastic.plan import ReconfigPlan, plan_kind
 from repro.experiments.scenario import Scenario
+from repro.federation import (
+    build_federation,
+    snapshot_switches,
+    subtree_partition,
+)
 from repro.monitor.quarantine import NodeQuarantine
 from repro.monitor.snapshot import CachedSnapshotSource, oracle_snapshot
 from repro.monitor.store import InMemoryStore
@@ -756,6 +761,176 @@ def scenario_mid_migration_death(seed: int) -> ChaosReport:
     )
 
 
+def scenario_shard_death_cross_reserve(seed: int) -> ChaosReport:
+    """A shard dies between cross-shard reserve and commit.
+
+    The federation router must roll the transaction back: surviving
+    shards keep **zero** reservation leases, the caller sees a typed
+    ``SHARD_DOWN`` denial (never a hang or a raw exception), and after
+    the shard is re-admitted the same request commits across both
+    subtrees.
+    """
+    world = build_world(seed)
+    checker = InvariantChecker("shard_death_cross_reserve")
+    world.scenario.advance(30.0)
+
+    # 8 nodes / 4 per switch → two switch subtrees → two shards.
+    partition = subtree_partition(snapshot_switches(world.source()), 2)
+    killed: list[str] = []
+
+    def die_at_commit(sid: str) -> None:
+        # First commit call: the *other* shard's process dies, so the
+        # in-flight transaction loses a member it already reserved.
+        if not killed:
+            victim = next(s for s in router.shard_ids if s != sid)
+            router.kill(victim)
+            killed.append(victim)
+
+    router = build_federation(
+        world.source,
+        partition,
+        clock=lambda: world.now,
+        commit_hook=die_at_commit,
+        default_ttl_s=_LEASE_TTL_S,
+    )
+
+    def fed_allocate(
+        params: AllocateParams, label: str
+    ) -> dict[str, Any] | None:
+        result = checker.guard(
+            label, lambda: router.allocate_batch([params])[0]
+        )
+        if result is None:
+            return None
+        if isinstance(result, ProtocolError):
+            checker.stats["typed_errors"] += 1
+            checker.error_codes[str(result.code.value)] += 1
+            return None
+        return result
+
+    def cross_shard_n() -> int:
+        """A process count no single shard can host but the fleet can.
+
+        Sized from the router's own aggregates (the ``shards`` verb):
+        bigger than the freest shard, comfortably under the fleet
+        total, whatever load the warmup left behind.
+        """
+        frees = sorted(
+            row["free_procs"] for row in router.shards()["shards"]
+        )
+        return frees[-1] + max(2, frees[0] // 4)
+
+    stats = DriveStats()
+
+    # Warm-up traffic: single-shard grants routed by the aggregates.
+    for step in range(3):
+        world.scenario.advance(30.0)
+        small = AllocateParams(n_processes=4, ppn=2, ttl_s=_LEASE_TTL_S)
+        result = fed_allocate(small, f"allocate@step{step}")
+        if result is not None:
+            stats.grants += 1
+            stats.outstanding.append(result["lease_id"])
+    while stats.outstanding:
+        lease_id = stats.outstanding.popleft()
+        released = checker.guard(
+            "warmup_release",
+            lambda: router.release(_release_params(lease_id)),
+        )
+        if released is not None:
+            stats.releases += 1
+
+    # The doomed transaction: more processes than either 4-node subtree
+    # holds, so the router must reserve on both shards.
+    big = AllocateParams(
+        n_processes=cross_shard_n(),
+        ttl_s=_LEASE_TTL_S,
+        token="chaos-fed-1",
+    )
+    result = fed_allocate(big, "cross_shard_doomed")
+    if result is not None:
+        checker.violate(
+            "rollback", "cross-shard grant succeeded despite shard death"
+        )
+        stats.grants += 1
+    if not killed:
+        checker.violate("fault_fired", "commit hook never killed a shard")
+    if checker.error_codes["SHARD_DOWN"] != 1:
+        checker.violate(
+            "typed_errors",
+            "expected exactly one SHARD_DOWN denial, saw "
+            f"{dict(checker.error_codes)}",
+        )
+    if router.cross_shard_rollbacks != 1:
+        checker.violate(
+            "rollback",
+            f"cross_shard_rollbacks={router.cross_shard_rollbacks}, "
+            "expected 1",
+        )
+    # Zero leaked leases anywhere: the survivor's reservation was
+    # rolled back and the dead shard's table died with its process.
+    for sid in router.shard_ids:
+        svc = router.shard(sid).service
+        checker.check_lease_accounting(svc.leases, 0)
+        checker.check_no_double_grant(svc.leases)
+
+    # Recovery: re-admit the shard; the retried transaction commits.
+    router.commit_hook = None
+    for sid in killed:
+        router.revive(sid)
+    world.scenario.advance(30.0)
+    retry_n = cross_shard_n()
+    retry = AllocateParams(
+        n_processes=retry_n, ttl_s=_LEASE_TTL_S, token="chaos-fed-2"
+    )
+    grant = fed_allocate(retry, "cross_shard_retry")
+    if grant is None:
+        checker.violate("liveness", "cross-shard retry denied after revive")
+    else:
+        stats.grants += 1
+        if len(grant["shards"]) < 2:
+            checker.violate(
+                "cross_shard",
+                f"grant spans {len(grant['shards'])} shard(s), expected ≥2",
+            )
+        total_procs = sum(int(v) for v in grant["procs"].values())
+        if total_procs != retry_n:
+            checker.violate(
+                "cross_shard",
+                f"granted {total_procs} procs, wanted {retry_n}",
+            )
+        released = checker.guard(
+            "fed_release",
+            lambda: router.release(_release_params(grant["lease_id"])),
+        )
+        if released is not None:
+            stats.releases += 1
+    router.sweep_expired()
+    for sid in router.shard_ids:
+        svc = router.shard(sid).service
+        checker.check_lease_accounting(svc.leases, 0)
+        checker.check_no_double_grant(svc.leases)
+    _require_liveness(checker, stats, 3)
+    return _report(
+        "shard_death_cross_reserve",
+        seed,
+        world,
+        checker,
+        stats,
+        federation={
+            "partition": {
+                sid: len(router.partition[sid]) for sid in router.shard_ids
+            },
+            "killed": killed,
+            "forwards": router.forwards,
+            "spills": router.spills,
+            "cross_shard_attempts": router.cross_shard_attempts,
+            "cross_shard_grants": router.cross_shard_grants,
+            "cross_shard_rollbacks": router.cross_shard_rollbacks,
+            "shard_down_errors": router.shard_down_errors,
+        },
+    )
+
+
 def scenario_clock_skew(seed: int) -> ChaosReport:
     """Monitor record timestamps jump 15 minutes forward, then backward.
 
@@ -834,6 +1009,12 @@ SCENARIOS: dict[str, ChaosScenario] = {
             smoke=True,
         ),
         ChaosScenario(
+            "shard_death_cross_reserve",
+            "shard dies mid cross-shard reserve; router rollback",
+            scenario_shard_death_cross_reserve,
+            smoke=True,
+        ),
+        ChaosScenario(
             "clock_skew",
             "record timestamps skew ±15 minutes",
             scenario_clock_skew,
@@ -841,7 +1022,7 @@ SCENARIOS: dict[str, ChaosScenario] = {
     )
 }
 
-#: the three fastest scenarios, run per-PR in CI
+#: the fastest scenarios, run per-PR in CI
 SMOKE_SCENARIOS: tuple[str, ...] = tuple(
     name for name, s in SCENARIOS.items() if s.smoke
 )

@@ -299,27 +299,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
         refresh_hook=refresh_hook,
         incremental=args.incremental,
     )
-    service = BrokerService(
-        source,
-        default_policy=args.policy,
-        default_ttl_s=args.default_ttl_s,
-        max_ttl_s=args.max_ttl_s,
-        wait_threshold_load_per_core=args.wait_threshold,
-        rng=sc.streams.child("broker"),
-    )
-    server = BrokerServer(
-        service,
-        host=args.host,
-        port=args.port,
-        batch_window_s=args.batch_window_ms / 1e3,
-        max_batch=args.max_batch,
-        max_queue=args.max_queue,
-        sweep_period_s=args.sweep_period_s,
-    )
+    shards = getattr(args, "shards", 0)
+    if shards > 0:
+        from repro.federation.daemon import FederationDaemon
+        from repro.federation.router import build_federation
+        from repro.federation.sharding import (
+            snapshot_switches,
+            subtree_partition,
+        )
+
+        partition = subtree_partition(snapshot_switches(source()), shards)
+        router = build_federation(
+            source,
+            partition,
+            default_policy=args.policy,
+            default_ttl_s=args.default_ttl_s,
+            max_ttl_s=args.max_ttl_s,
+            wait_threshold_load_per_core=args.wait_threshold,
+        )
+        server = FederationDaemon(
+            router,
+            host=args.host,
+            port=args.port,
+            batch_window_s=args.batch_window_ms / 1e3,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            sweep_period_s=args.sweep_period_s,
+        )
+        banner = f"federation ({len(partition)} shards) listening on"
+    else:
+        service = BrokerService(
+            source,
+            default_policy=args.policy,
+            default_ttl_s=args.default_ttl_s,
+            max_ttl_s=args.max_ttl_s,
+            wait_threshold_load_per_core=args.wait_threshold,
+            rng=sc.streams.child("broker"),
+        )
+        server = BrokerServer(
+            service,
+            host=args.host,
+            port=args.port,
+            batch_window_s=args.batch_window_ms / 1e3,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            sweep_period_s=args.sweep_period_s,
+        )
+        banner = "broker listening on"
 
     async def run() -> None:
         host, port = await server.start()
-        print(f"broker listening on {host}:{port}", flush=True)
+        print(f"{banner} {host}:{port}", flush=True)
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -331,6 +361,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("broker stopped", flush=True)
+    return 0
+
+
+def cmd_federate(args: argparse.Namespace) -> int:
+    """Build a federation over the paper cluster and show its routing."""
+    from repro.broker.protocol import AllocateParams, ProtocolError
+    from repro.federation.router import build_federation
+    from repro.federation.sharding import snapshot_switches, subtree_partition
+    from repro.monitor.snapshot import CachedSnapshotSource
+
+    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    source = CachedSnapshotSource(sc.snapshot, max_age_s=1e9)
+    partition = subtree_partition(snapshot_switches(source()), args.shards)
+    router = build_federation(source, partition)
+    out = router.allocate_batch([
+        AllocateParams(
+            n_processes=args.procs,
+            ppn=args.ppn if args.ppn > 0 else None,
+            alpha=args.alpha,
+        )
+    ])[0]
+    report = router.shards()
+    if isinstance(out, ProtocolError):
+        grant: dict = {"error": out.code, "message": out.message}
+    else:
+        grant = {
+            "lease_id": out["lease_id"],
+            "policy": out["policy"],
+            "nodes": list(out["nodes"]),
+            "cross_shard": str(out["lease_id"]).startswith("x:"),
+        }
+    if args.json:
+        print(json.dumps({"shards": report["shards"], "grant": grant},
+                         indent=2))
+        return 0 if "error" not in grant else 1
+    print(f"{len(report['shards'])} shard(s) over "
+          f"{sum(r['n_nodes'] for r in report['shards'])} nodes:")
+    for row in report["shards"]:
+        print(f"  {row['shard']}: nodes={row['n_nodes']} "
+              f"free_procs={row['free_procs']} "
+              f"mean_cl={row['mean_cl']:.3f} mean_nl={row['mean_nl']:.3f} "
+              f"score={row['score']:.3f}"
+              + ("" if row["alive"] else " [down]"))
+    if "error" in grant:
+        print(f"allocate {args.procs} procs: error {grant['error']}: "
+              f"{grant['message']}")
+        return 1
+    kind = "cross-shard" if grant["cross_shard"] else "single-shard"
+    print(f"allocate {args.procs} procs -> {kind} lease "
+          f"{grant['lease_id']} over {len(grant['nodes'])} node(s)")
     return 0
 
 
@@ -577,7 +657,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wait-threshold", type=float, default=None,
                    help="§6 saturation guard: mean load/core above which "
                         "allocate answers WAIT")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run a sharded federation instead of one broker: "
+                        "partition the cluster into up to N switch-subtree "
+                        "shards behind a scoring router (0 = single broker)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "federate",
+        help="build a sharded federation and show its routing",
+    )
+    add_scenario_args(p)
+    add_request_args(p)
+    p.add_argument("--shards", type=int, default=4,
+                   help="target shard count (whole switch subtrees)")
+    p.add_argument("--json", action="store_true",
+                   help="print shard aggregates and the grant as JSON")
+    p.set_defaults(func=cmd_federate)
 
     p = sub.add_parser("client", help="talk to a running broker daemon")
     p.add_argument("--host", default="127.0.0.1")

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.attributes import ATTRIBUTES, Criterion
 from repro.core.candidate import CandidateSubgraph
 from repro.core.compute_load import compute_loads
 from repro.core.effective_procs import effective_proc_count, effective_proc_counts
@@ -119,6 +120,11 @@ class LoadState:
     lat: Mapping[PairKey, float] | None = None
     #: raw bandwidth complement per pair (Equation-2 input)
     bwc: Mapping[PairKey, float] | None = None
+    #: raw attribute matrix, (attributes, V) in ``ATTRIBUTES`` order —
+    #: the pre-normalization Equation-1 inputs, kept so
+    #: :meth:`apply_delta` patches changed columns and re-normalizes as
+    #: array operations instead of re-extracting every view
+    raw_mat: np.ndarray | None = None
     #: measured pairs in ``nl`` iteration order (the normalization order)
     pair_order: tuple[PairKey, ...] = ()
     #: row/column index arrays matching ``pair_order`` — one fancy-index
@@ -131,6 +137,37 @@ class LoadState:
     #: per-state scratch memos (seed-pruning bounds); reset on delta
     scratch: dict = field(default_factory=dict, compare=False, repr=False)
 
+    def _cl_from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Equation 1 over the raw matrix, bit-identical to the dicts.
+
+        Mirrors ``to_cost`` + ``saw_scores`` operation for operation:
+        the normalization denominator is a sequential Python sum in node
+        order (exactly ``sum(values.values())``), divisions and the
+        weighted accumulation are the same per-element IEEE operations
+        in the same attribute order, so the result matches a
+        ``compute_loads`` rebuild to the last bit.
+        """
+        assert self.params is not None
+        v = raw.shape[1]
+        weights = self.params.compute_weights.weights
+        cl = np.zeros(v, dtype=np.float64)
+        for i, attr in enumerate(ATTRIBUTES):
+            w = float(weights.get(attr.name, 0.0))
+            if w == 0.0:
+                continue
+            column = raw[i]
+            total = sum(column.tolist())
+            denom = total / v if self.params.method == "mean" else total
+            norm = (
+                column / denom
+                if denom != 0
+                else np.zeros(v, dtype=np.float64)
+            )
+            if attr.criterion is Criterion.MAXIMIZE:
+                norm = float(norm.max()) - norm
+            cl += w * norm
+        return cl
+
     def apply_delta(
         self, snapshot: ClusterSnapshot, delta: "SnapshotDelta", *,
         inplace: bool = False,
@@ -142,8 +179,10 @@ class LoadState:
         delta cannot touch single entries — instead the O(V²) pair scan is
         skipped and only the cheap parts re-run:
 
-        * **CL** — ``compute_loads`` re-runs over the stored node subset,
-          O(attributes · V), bit-identical to a rebuild.
+        * **CL** — the raw attribute matrix is patched for the changed
+          nodes and re-normalized as array operations (O(changed) Python
+          work plus vectorized O(attributes · V) arithmetic), bit-identical
+          to a ``compute_loads`` rebuild.
         * **NL** — the stored raw latency/bandwidth-complement dicts are
           patched for the changed pairs and re-combined in the original
           key order (O(E), bit-identical); ``nl_mat``'s measured entries
@@ -176,12 +215,28 @@ class LoadState:
 
         cl, cl_vec = self.cl, self.cl_vec
         pc, pc_vec = self.pc, self.pc_vec
+        raw_mat = self.raw_mat
         if changed_nodes:
-            cl = compute_loads(
-                snapshot, p.compute_weights,
-                nodes=list(self.nodes), method=p.method,
-            )
-            cl_vec = np.array([cl[n] for n in self.nodes], dtype=np.float64)
+            if raw_mat is not None:
+                raw_mat = raw_mat if inplace else raw_mat.copy()
+                for n in changed_nodes:
+                    view = snapshot.nodes[n]
+                    j = self.index[n]
+                    for i, attr in enumerate(ATTRIBUTES):
+                        if not attr.static:
+                            # deltas never move static specs (a static
+                            # change is structural → full rebuild)
+                            raw_mat[i, j] = attr.extract(view)
+                cl_vec = self._cl_from_raw(raw_mat)
+                cl = dict(zip(self.nodes, cl_vec.tolist()))
+            else:
+                cl = compute_loads(
+                    snapshot, p.compute_weights,
+                    nodes=list(self.nodes), method=p.method,
+                )
+                cl_vec = np.array(
+                    [cl[n] for n in self.nodes], dtype=np.float64
+                )
             if p.ppn is None:
                 pc = dict(self.pc)
                 pc_vec = self.pc_vec.copy()
@@ -219,7 +274,7 @@ class LoadState:
             self,
             cl=cl, nl=nl, pc=pc,
             cl_vec=cl_vec, nl_mat=nl_mat, pc_vec=pc_vec,
-            missing_penalty=penalty, lat=lat, bwc=bwc,
+            missing_penalty=penalty, lat=lat, bwc=bwc, raw_mat=raw_mat,
             generation=self.generation + 1, scratch={},
         )
 
@@ -339,6 +394,11 @@ def _build_state(
         measured[pair_ii, pair_jj] = True
         measured[pair_jj, pair_ii] = True
     pc_vec = np.array([pc[n] for n in names], dtype=np.int64)
+    views = [snapshot.nodes[n] for n in names]
+    raw_mat = np.array(
+        [[a.extract(view) for view in views] for a in ATTRIBUTES],
+        dtype=np.float64,
+    )
     return LoadState(
         nodes=names,
         index=index,
@@ -362,6 +422,7 @@ def _build_state(
         pair_order=pair_order,
         pair_ii=pair_ii,
         pair_jj=pair_jj,
+        raw_mat=raw_mat,
     )
 
 

@@ -29,25 +29,24 @@ def pair_inputs(
 ) -> tuple[dict[PairKey, float], dict[PairKey, float]]:
     """Raw Equation-2 inputs: measured latency and bandwidth complement.
 
-    This is the O(V²) part of :func:`network_loads` — the scan over
-    every candidate pair among ``nodes``.  The incremental path
+    A pair contributes only when **both** measurements exist, so the
+    scan walks the measured-link keys — O(links · log links) for the
+    deterministic sort — never the O(V²) candidate pairs; fleet-scale
+    monitors measure a sparse subset and the federation router runs
+    this pass over the whole fleet per snapshot.  The incremental path
     (``LoadState.apply_delta``) runs it once at build time, then patches
     only the changed entries and re-runs :func:`combine_pair_costs`.
     """
-    if nodes is None:
-        names = snapshot.names
-    else:
-        names = list(nodes)
-    wanted = {
-        (a, b) if a <= b else (b, a)
-        for a, b in itertools.combinations(names, 2)
-    }
+    keep = None if nodes is None else frozenset(nodes)
     lat: dict[PairKey, float] = {}
     bwc: dict[PairKey, float] = {}
-    for key in wanted:
-        if key in snapshot.latency_us and key in snapshot.bandwidth_mbs:
-            lat[key] = snapshot.latency(*key)
-            bwc[key] = snapshot.bandwidth_complement(*key)
+    for key in sorted(snapshot.latency_us):
+        if key not in snapshot.bandwidth_mbs:
+            continue
+        if keep is not None and (key[0] not in keep or key[1] not in keep):
+            continue
+        lat[key] = snapshot.latency(*key)
+        bwc[key] = snapshot.bandwidth_complement(*key)
     return lat, bwc
 
 

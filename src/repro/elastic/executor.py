@@ -62,6 +62,22 @@ class ReconfigError(Exception):
         self.message = message
 
 
+def release_quietly(leases: LeaseTable, lease: Lease | None) -> None:
+    """Release a reservation, swallowing "already gone" outcomes.
+
+    The rollback half of the reserve/rollback discipline: a reservation
+    that already expired or was swept leaves its nodes free either way,
+    so the cleanup path must never raise over it.  Shared by the
+    executor and the federation router's cross-shard reserve.
+    """
+    if lease is None:
+        return
+    try:
+        leases.release(lease.lease_id)
+    except LeaseError:
+        pass
+
+
 class TwoPhaseExecutor:
     """Applies accepted plans to a :class:`LeaseTable` transactionally."""
 
@@ -168,10 +184,4 @@ class TwoPhaseExecutor:
         return swapped
 
     def _release_quietly(self, reserve: Lease | None) -> None:
-        if reserve is None:
-            return
-        try:
-            self.leases.release(reserve.lease_id)
-        except LeaseError:
-            # Reservation already expired/swept — nodes are free either way.
-            pass
+        release_quietly(self.leases, reserve)

@@ -1,0 +1,63 @@
+"""Switch-subtree sharding — the node space cut along the topology.
+
+A federation shard owns whole leaf-switch subtrees, never fractions of
+one: intra-subtree links are the cheap links (one hop through the leaf
+switch), so keeping a subtree inside one shard means each shard's
+Equations 1–3 see every link that matters for its own placements, and
+only inter-switch traffic crosses shard boundaries — which the router
+accounts for at aggregate granularity.
+
+:func:`subtree_partition` does the cut deterministically: subtrees are
+sorted largest-first and greedily assigned to the currently lightest
+shard (ties broken by name/index), so the same topology always yields
+the same partition — a requirement for lease-prefix routing to survive
+router restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.monitor.snapshot import ClusterSnapshot
+
+
+def snapshot_switches(snapshot: ClusterSnapshot) -> dict[str, str]:
+    """node → leaf-switch name, from the monitor's static specs.
+
+    Nodes the monitor knows no topology for (``switch is None``) each
+    become their own singleton pseudo-subtree (``~<node>``), so they
+    spread across shards instead of clumping into one.
+    """
+    return {
+        name: (view.switch or f"~{name}")
+        for name, view in snapshot.nodes.items()
+    }
+
+
+def subtree_partition(
+    node_switches: Mapping[str, str | None], n_shards: int
+) -> dict[str, tuple[str, ...]]:
+    """Partition nodes into ≤ ``n_shards`` shards of whole subtrees.
+
+    Returns ``{"shard1": (nodes...), ...}``.  Fewer shards than asked
+    come back when there are fewer subtrees than ``n_shards`` — a
+    subtree is never split.  Deterministic in its inputs.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if not node_switches:
+        raise ValueError("cannot partition an empty node set")
+    groups: dict[str, list[str]] = {}
+    for node, switch in node_switches.items():
+        groups.setdefault(switch or f"~{node}", []).append(node)
+    # Largest subtree first, greedily onto the lightest shard: classic
+    # LPT balancing, deterministic via the (size, name) sort key.
+    order = sorted(groups, key=lambda s: (-len(groups[s]), s))
+    n = min(n_shards, len(groups))
+    members: list[list[str]] = [[] for _ in range(n)]
+    loads = [0] * n
+    for switch in order:
+        i = min(range(n), key=lambda k: (loads[k], k))
+        members[i].extend(groups[switch])
+        loads[i] += len(groups[switch])
+    return {f"shard{i + 1}": tuple(members[i]) for i in range(n)}

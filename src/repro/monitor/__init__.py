@@ -22,7 +22,14 @@ from repro.monitor.snapshot import (
     NodeView,
     oracle_snapshot,
 )
-from repro.monitor.store import FileStore, InMemoryStore, SharedStore
+from repro.monitor.slicing import ShardSnapshotSource, slice_delta, slice_snapshot
+from repro.monitor.store import (
+    AsyncSharedStore,
+    FileStore,
+    InMemoryStore,
+    MemoryStore,
+    SharedStore,
+)
 from repro.monitor.system import MonitoringSystem
 
 __all__ = [
@@ -40,8 +47,13 @@ __all__ = [
     "ClusterSnapshot",
     "NodeView",
     "oracle_snapshot",
+    "AsyncSharedStore",
     "FileStore",
     "InMemoryStore",
+    "MemoryStore",
     "SharedStore",
+    "ShardSnapshotSource",
+    "slice_delta",
+    "slice_snapshot",
     "MonitoringSystem",
 ]

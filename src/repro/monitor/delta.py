@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.monitor.snapshot import ClusterSnapshot, NodeView, derived_cache
 
@@ -41,6 +41,10 @@ PairKey = tuple[str, str]
 #: key under which the (serial, generation, affected) triple lives in a
 #: snapshot's ``derived_cache``
 _LINEAGE_KEY = "snapshot_lineage"
+
+#: key under which a delta-patched snapshot stashes the exact
+#: :class:`SnapshotDelta` that produced it from its predecessor
+_STEP_DELTA_KEY = "snapshot_step_delta"
 
 #: monotonically increasing serial handed to every fresh (non-delta)
 #: snapshot lineage; process-wide so two sources never collide
@@ -199,6 +203,54 @@ def snapshot_lineage(
     return lineage
 
 
+def compose_deltas(steps: Sequence[SnapshotDelta]) -> SnapshotDelta:
+    """Collapse consecutive step deltas into one equivalent delta.
+
+    Applying the result equals applying the steps in order: each map is
+    merged with later steps winning (node views are full replacements,
+    link entries are point values), and the composed time is the last
+    step's.  Raises ``ValueError`` on an empty sequence.
+    """
+    if not steps:
+        raise ValueError("cannot compose zero deltas")
+    nodes: dict[str, NodeView] = {}
+    bandwidth: dict[PairKey, float] = {}
+    latency: dict[PairKey, float] = {}
+    for step in steps:
+        nodes.update(step.nodes)
+        bandwidth.update(step.bandwidth_mbs)
+        latency.update(step.latency_us)
+    return SnapshotDelta(
+        time=steps[-1].time,
+        nodes=nodes,
+        bandwidth_mbs=bandwidth,
+        latency_us=latency,
+    )
+
+
+def snapshot_step_delta(
+    snapshot: ClusterSnapshot, after: ClusterSnapshot
+) -> SnapshotDelta | None:
+    """The delta that advanced ``after`` into ``snapshot``, if it chains.
+
+    Snapshots produced by :func:`apply_snapshot_delta` carry the exact
+    delta that built them; a consumer holding the predecessor can catch
+    up in O(changed) without re-diffing the fleet (the monitor already
+    knew what moved at ingestion — diffing would re-pay O(V) for that
+    knowledge).  Returns ``None`` unless ``snapshot`` is exactly one
+    generation ahead of ``after`` on the same lineage; callers then fall
+    back to :func:`compute_delta` or a full rebuild.
+    """
+    delta = derived_cache(snapshot).get(_STEP_DELTA_KEY)
+    if delta is None:
+        return None
+    old_serial, old_generation, _ = snapshot_lineage(after)
+    serial, generation, _ = snapshot_lineage(snapshot)
+    if serial != old_serial or generation != old_generation + 1:
+        return None
+    return delta
+
+
 def apply_snapshot_delta(
     old: ClusterSnapshot,
     delta: SnapshotDelta,
@@ -227,11 +279,9 @@ def apply_snapshot_delta(
         livehosts=old.livehosts,
     )
     serial, generation, _ = snapshot_lineage(old)
-    derived_cache(patched)[_LINEAGE_KEY] = (
-        serial,
-        generation + 1,
-        delta.affected_nodes(),
-    )
+    cache = derived_cache(patched)
+    cache[_LINEAGE_KEY] = (serial, generation + 1, delta.affected_nodes())
+    cache[_STEP_DELTA_KEY] = delta
     if migrate:
         # Local import: arrays.py imports the snapshot module at import
         # time, so the dependency must stay one-way at module load.

@@ -87,6 +87,11 @@ class LeaseTable:
     default_ttl_s: float = 60.0
     min_ttl_s: float = 1.0
     max_ttl_s: float = 3600.0
+    #: prefix minted into every lease id (federation shards set e.g.
+    #: ``"shard1:"`` so a router can route ``renew``/``release`` back to
+    #: the owning shard from the id alone); must not collide with the
+    #: bare ``L########`` ids an un-namespaced table mints
+    namespace: str = ""
     _leases: dict[str, Lease] = field(default_factory=dict)
     _held: dict[str, str] = field(default_factory=dict)  # node -> lease_id
     _next_id: int = 1
@@ -96,6 +101,11 @@ class LeaseTable:
             raise ValueError(
                 "need 0 < min_ttl_s <= default_ttl_s <= max_ttl_s, got "
                 f"{self.min_ttl_s}/{self.default_ttl_s}/{self.max_ttl_s}"
+            )
+        if self.namespace and self.namespace.startswith("L"):
+            raise ValueError(
+                f"namespace {self.namespace!r} would collide with "
+                "un-namespaced lease ids"
             )
 
     # -- queries --------------------------------------------------------
@@ -142,7 +152,7 @@ class LeaseTable:
         now = self.clock()
         ttl = self.clamp_ttl(ttl_s)
         lease = Lease(
-            lease_id=f"L{self._next_id:08d}",
+            lease_id=f"{self.namespace}L{self._next_id:08d}",
             nodes=node_tuple,
             procs=dict(procs),
             granted_at=now,

@@ -130,3 +130,160 @@ class TestProtocolDrift:
             "src/repro/broker/protocol.py": "X = 1\n",
         })
         assert findings == []
+
+
+_FED_PROTOCOL = """
+    OPS = ("allocate", "status")
+    FEDERATION_OPS = ("shards", "resolve")
+
+    def parse_request(op):
+        if op == "allocate":
+            return 1
+        if op == "status":
+            return 2
+        if op == "shards":
+            return 3
+        if op == "resolve":
+            return 4
+"""
+
+_FED_DAEMON = """
+    class FederationDaemon:
+        async def _dispatch(self, request):
+            if request.op == "shards":
+                return 1
+            if request.op == "resolve":
+                return 2
+            return await super()._dispatch(request)
+"""
+
+_FED_CLIENT = """
+    _RETRY_SAFE_OPS = frozenset({"status", "shards", "resolve"})
+
+    class BrokerClient:
+        def allocate(self):
+            return self.call("allocate", {})
+
+        def status(self):
+            return self.call("status", {})
+
+        def shards(self):
+            return self.call("shards")
+
+        def resolve(self, lease_id):
+            return self.call("resolve", {"lease_id": lease_id})
+"""
+
+
+def fed_corpus(**overrides):
+    files = {
+        "src/repro/broker/protocol.py": _FED_PROTOCOL,
+        "src/repro/broker/server.py": _SERVER,
+        "src/repro/broker/client.py": _FED_CLIENT,
+        "src/repro/federation/daemon.py": _FED_DAEMON,
+    }
+    files.update(overrides)
+    return files
+
+
+class TestFederationDrift:
+    def test_synced_federation_corpus_is_clean(self, lint):
+        assert lint(fed_corpus()) == []
+
+    def test_base_daemon_needs_no_federation_branches(self, lint):
+        # _SERVER has no shards/resolve ladder — deliberately not drift.
+        assert lint(fed_corpus()) == []
+
+    def test_federation_op_missing_from_daemon(self, lint):
+        files = fed_corpus()
+        files["src/repro/federation/daemon.py"] = """
+            class FederationDaemon:
+                async def _dispatch(self, request):
+                    if request.op == "shards":
+                        return 1
+                    return await super()._dispatch(request)
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO006"]
+        assert "resolve" in findings[0].message
+        assert findings[0].path.endswith("daemon.py")
+
+    def test_federation_op_missing_from_parser(self, lint):
+        files = fed_corpus()
+        files["src/repro/broker/protocol.py"] = """
+            OPS = ("allocate", "status")
+            FEDERATION_OPS = ("shards", "resolve")
+
+            def parse_request(op):
+                if op == "allocate":
+                    return 1
+                if op == "status":
+                    return 2
+                if op == "shards":
+                    return 3
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO006"]
+        assert findings[0].path.endswith("protocol.py")
+
+    def test_federation_op_missing_from_client(self, lint):
+        files = fed_corpus()
+        files["src/repro/broker/client.py"] = _FED_CLIENT.replace(
+            """
+        def resolve(self, lease_id):
+            return self.call("resolve", {"lease_id": lease_id})
+""",
+            "",
+        )
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO007"]
+        assert "resolve" in findings[0].message
+
+    def test_retry_safe_may_name_federation_ops(self, lint):
+        # shards/resolve in _RETRY_SAFE_OPS must NOT trip PRO004.
+        assert lint(fed_corpus()) == []
+
+    def test_undeclared_op_in_federation_daemon(self, lint):
+        files = fed_corpus()
+        files["src/repro/federation/daemon.py"] = _FED_DAEMON + """
+        def extra(request):
+            if request.op == "zombie":
+                return 3
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO003"]
+        assert "zombie" in findings[0].message
+
+    def test_tokenless_allocate_params_in_federation(self, lint):
+        files = fed_corpus()
+        files["src/repro/federation/router.py"] = """
+            def split(params, take):
+                return AllocateParams(n_processes=take, ppn=params.ppn)
+        """
+        findings = lint(files)
+        assert rules_of(findings) == ["PRO008"]
+        assert "token" in findings[0].message
+
+    def test_token_forwarding_allocate_params_is_clean(self, lint):
+        files = fed_corpus()
+        files["src/repro/federation/router.py"] = """
+            def split(params, take, sub):
+                return AllocateParams(n_processes=take, token=sub)
+        """
+        assert lint(files) == []
+
+    def test_token_via_splat_is_trusted(self, lint):
+        files = fed_corpus()
+        files["src/repro/federation/router.py"] = """
+            def split(kwargs):
+                return AllocateParams(**kwargs)
+        """
+        assert lint(files) == []
+
+    def test_tokenless_outside_federation_is_fine(self, lint):
+        files = fed_corpus()
+        files["src/repro/broker/helper.py"] = """
+            def probe():
+                return AllocateParams(n_processes=1)
+        """
+        assert lint(files) == []

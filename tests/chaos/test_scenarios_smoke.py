@@ -1,9 +1,10 @@
-"""End-to-end smoke: the CI scenario trio must hold every invariant.
+"""End-to-end smoke: the CI scenario set must hold every invariant.
 
-The full matrix runs via ``make chaos``; this keeps the three fastest,
+The full matrix runs via ``make chaos``; this keeps the fastest,
 highest-signal scenarios (healthy baseline, corrupt store, mid-migration
-death) inside the regular pytest tier so a regression in the degradation
-paths fails the ordinary test run too.
+death, shard death mid-cross-shard-reserve) inside the regular pytest
+tier so a regression in the degradation paths fails the ordinary test
+run too.
 """
 
 from __future__ import annotations
@@ -15,9 +16,10 @@ from repro.chaos.scenarios import SCENARIOS, SMOKE_SCENARIOS
 
 
 class TestSelection:
-    def test_smoke_trio_is_a_subset_of_the_matrix(self):
+    def test_smoke_set_is_a_subset_of_the_matrix(self):
         assert set(SMOKE_SCENARIOS) <= set(SCENARIOS)
-        assert len(SMOKE_SCENARIOS) == 3
+        assert len(SMOKE_SCENARIOS) == 4
+        assert "shard_death_cross_reserve" in SMOKE_SCENARIOS
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(KeyError, match="unknown scenario"):

@@ -1,0 +1,52 @@
+"""Shared fixtures for the federation subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import paper_scenario, small_scenario
+from repro.federation import (
+    build_federation,
+    snapshot_switches,
+    subtree_partition,
+)
+
+#: leases far outlive every test, so expiry never confounds accounting
+TTL = 3600.0
+
+
+@pytest.fixture(scope="module")
+def paper_sc():
+    """The §5 evaluation cluster, warmed — read-only per module."""
+    return paper_scenario(seed=5, warmup_s=600.0)
+
+
+@pytest.fixture(scope="module")
+def small_sc():
+    """16 nodes / 4 per switch → four subtrees, warmed — read-only."""
+    return small_scenario(16, seed=3, warmup_s=600.0)
+
+
+def make_federation(sc, n_shards, **kwargs):
+    """A federation over a frozen snapshot of the scenario.
+
+    The snapshot is captured once, so every shard (and the router's
+    aggregates) reason about the identical fleet state — routing tests
+    stay deterministic regardless of how often sources are polled.
+    """
+    snap = sc.snapshot()
+    partition = subtree_partition(snapshot_switches(snap), n_shards)
+    kwargs.setdefault("default_ttl_s", TTL)
+    return build_federation(
+        lambda: snap, partition, clock=lambda: sc.engine.now, **kwargs
+    )
+
+
+def cross_shard_n(router) -> int:
+    """A process count no single shard can host but the fleet can."""
+    frees = sorted(
+        row["free_procs"]
+        for row in router.shards()["shards"]
+        if row["alive"]
+    )
+    return frees[-1] + max(2, frees[0] // 4)

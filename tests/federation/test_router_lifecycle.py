@@ -1,0 +1,209 @@
+"""Lease lifecycle through the router: tokens, two-phase, shard death."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.protocol import (
+    AllocateParams,
+    ErrorCode,
+    ProtocolError,
+    ReconfigureParams,
+    ReleaseParams,
+    RenewParams,
+    ResolveParams,
+)
+from tests.federation.conftest import TTL, cross_shard_n, make_federation
+
+
+def allocate(router, **kwargs):
+    kwargs.setdefault("ttl_s", TTL)
+    out = router.allocate_batch([AllocateParams(**kwargs)])[0]
+    if isinstance(out, ProtocolError):
+        raise out
+    return out
+
+
+def active_leases(router) -> int:
+    return sum(
+        len(router.shard(sid).service.leases.active())
+        for sid in router.shard_ids
+    )
+
+
+class TestTokenPreservation:
+    def test_single_shard_retry_replays_the_grant(self, small_sc):
+        router = make_federation(small_sc, 2)
+        first = allocate(router, n_processes=2, token="tok-1")
+        again = allocate(router, n_processes=2, token="tok-1")
+        assert again["lease_id"] == first["lease_id"]
+        assert active_leases(router) == 1
+
+    def test_retry_sticks_to_the_granting_shard(self, small_sc):
+        # Even when the first grant made its shard look worse than the
+        # other, the retry must go back to it — the shard's own memo is
+        # the only place the duplicate can be detected.
+        router = make_federation(small_sc, 2)
+        first = allocate(router, n_processes=4, token="tok-sticky")
+        sid = first["lease_id"].split(":")[0]
+        assert router._token_shard["tok-sticky"] == sid
+        again = allocate(router, n_processes=4, token="tok-sticky")
+        assert again["lease_id"] == first["lease_id"]
+
+    def test_cross_shard_retry_replays_verbatim(self, small_sc):
+        router = make_federation(small_sc, 2)
+        n = cross_shard_n(router)
+        first = allocate(router, n_processes=n, token="tok-x")
+        assert len(first["shards"]) >= 2
+        before = active_leases(router)
+        again = allocate(router, n_processes=n, token="tok-x")
+        assert again == first
+        assert active_leases(router) == before
+        assert router.metrics.allocates_deduped == 1
+        assert router.cross_shard_grants == 1
+
+
+class TestCrossShardLifecycle:
+    def test_grant_spans_shards_and_composes(self, small_sc):
+        router = make_federation(small_sc, 2)
+        n = cross_shard_n(router)
+        grant = allocate(router, n_processes=n)
+        assert grant["lease_id"].startswith("x:")
+        assert grant["policy"] == "federated"
+        assert len(grant["shards"]) == 2
+        assert sum(grant["procs"].values()) == n
+        assert len(grant["nodes"]) == len(set(grant["nodes"]))
+        assert grant["hostfile"].endswith("\n")
+        # every member shard holds exactly its slice
+        for sid, member_id in grant["shards"].items():
+            lease = router.shard(sid).service.leases.get(member_id)
+            assert lease is not None
+            assert set(lease.nodes) <= set(router.partition[sid])
+
+    def test_renew_fans_out(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grant = allocate(router, n_processes=cross_shard_n(router))
+        renewed = router.renew(
+            RenewParams(lease_id=grant["lease_id"], ttl_s=2 * TTL)
+        )
+        assert renewed["lease_id"] == grant["lease_id"]
+        # every member clamps to its table's max_ttl_s; the composed
+        # answer is the *minimum* over members — the honest expiry
+        assert renewed["ttl_s"] == TTL
+        assert renewed["renewals"] >= 1
+
+    def test_resolve_names_the_members(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grant = allocate(router, n_processes=cross_shard_n(router))
+        resolved = router.resolve(ResolveParams(lease_id=grant["lease_id"]))
+        assert resolved["cross_shard"] is True
+        assert {
+            (m["shard"], m["lease_id"]) for m in resolved["members"]
+        } == set(grant["shards"].items())
+
+    def test_release_frees_every_member(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grant = allocate(router, n_processes=cross_shard_n(router))
+        released = router.release(ReleaseParams(lease_id=grant["lease_id"]))
+        assert released["released"] is True
+        assert set(released["nodes"]) == set(grant["nodes"])
+        assert active_leases(router) == 0
+        with pytest.raises(ProtocolError) as err:
+            router.resolve(ResolveParams(lease_id=grant["lease_id"]))
+        assert err.value.code == ErrorCode.UNKNOWN_LEASE
+
+    def test_reconfigure_is_a_typed_denial(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grant = allocate(router, n_processes=cross_shard_n(router))
+        with pytest.raises(ProtocolError) as err:
+            router.reconfigure(
+                ReconfigureParams(lease_id=grant["lease_id"], alpha=0.5)
+            )
+        assert err.value.code == ErrorCode.BAD_REQUEST
+
+
+class TestShardDeath:
+    def test_commit_phase_death_rolls_back_everything(self, small_sc):
+        router = make_federation(small_sc, 2)
+        killed: list[str] = []
+
+        def die_at_commit(sid: str) -> None:
+            if not killed:
+                victim = next(s for s in router.shard_ids if s != sid)
+                router.kill(victim)
+                killed.append(victim)
+
+        router.commit_hook = die_at_commit
+        out = router.allocate_batch(
+            [AllocateParams(n_processes=cross_shard_n(router), ttl_s=TTL)]
+        )[0]
+        assert isinstance(out, ProtocolError)
+        assert out.code == ErrorCode.SHARD_DOWN
+        assert "rolled back" in out.message
+        assert router.cross_shard_rollbacks == 1
+        assert active_leases(router) == 0
+
+    def test_revived_shard_serves_the_retry(self, small_sc):
+        router = make_federation(small_sc, 2)
+        killed: list[str] = []
+
+        def die_at_commit(sid: str) -> None:
+            if not killed:
+                victim = next(s for s in router.shard_ids if s != sid)
+                router.kill(victim)
+                killed.append(victim)
+
+        router.commit_hook = die_at_commit
+        n = cross_shard_n(router)
+        with pytest.raises(ProtocolError):
+            allocate(router, n_processes=n, token="t1")
+        router.commit_hook = None
+        router.revive(killed[0])
+        grant = allocate(router, n_processes=n, token="t2")
+        assert len(grant["shards"]) == 2
+
+    def test_dead_shard_lease_ops_are_typed(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grant = allocate(router, n_processes=2)
+        sid = grant["lease_id"].split(":")[0]
+        router.kill(sid)
+        with pytest.raises(ProtocolError) as err:
+            router.renew(RenewParams(lease_id=grant["lease_id"]))
+        assert err.value.code == ErrorCode.SHARD_DOWN
+        assert router.shard_down_errors >= 1
+
+    def test_sweep_reaps_a_fed_lease_missing_a_member(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grant = allocate(router, n_processes=cross_shard_n(router))
+        victim = next(iter(grant["shards"]))
+        router.kill(victim)
+        router.sweep_expired()
+        assert router.cross_shard_reclaimed == 1
+        assert active_leases(router) == 0
+        with pytest.raises(ProtocolError) as err:
+            router.resolve(ResolveParams(lease_id=grant["lease_id"]))
+        assert err.value.code == ErrorCode.UNKNOWN_LEASE
+
+    def test_all_shards_down_is_no_capacity(self, small_sc):
+        router = make_federation(small_sc, 2)
+        for sid in router.shard_ids:
+            router.kill(sid)
+        out = router.allocate_batch(
+            [AllocateParams(n_processes=2, ttl_s=TTL)]
+        )[0]
+        assert isinstance(out, ProtocolError)
+        assert out.code == ErrorCode.NO_CAPACITY
+
+
+class TestStatusShape:
+    def test_status_is_single_broker_shaped_plus_federation(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grant = allocate(router, n_processes=cross_shard_n(router))
+        status = router.status()
+        assert status["policy"] == "federated"
+        assert status["leases"]["cross_shard"] == 1
+        assert status["leases"]["nodes_held"] == len(grant["nodes"])
+        fed = status["federation"]
+        assert set(fed["shards"]) == set(router.shard_ids)
+        assert fed["counters"]["cross_shard_grants"] == 1
+        assert status["metrics"]["granted"] >= 1

@@ -1,0 +1,86 @@
+"""subtree_partition: whole subtrees, LPT balance, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation import snapshot_switches, subtree_partition
+
+
+def grid(n_nodes: int, n_switches: int) -> dict[str, str]:
+    return {f"n{i:02d}": f"s{i % n_switches}" for i in range(n_nodes)}
+
+
+class TestSubtreePartition:
+    def test_every_node_lands_exactly_once(self):
+        nodes = grid(16, 4)
+        part = subtree_partition(nodes, 3)
+        placed = [n for members in part.values() for n in members]
+        assert sorted(placed) == sorted(nodes)
+        assert len(placed) == len(set(placed))
+
+    def test_subtrees_are_never_split(self):
+        nodes = grid(16, 4)
+        part = subtree_partition(nodes, 3)
+        owner: dict[str, str] = {}
+        for sid, members in part.items():
+            for n in members:
+                switch = nodes[n]
+                assert owner.setdefault(switch, sid) == sid
+
+    def test_deterministic_under_input_order(self):
+        a = grid(16, 4)
+        b = dict(reversed(list(a.items())))
+        pa = subtree_partition(a, 3)
+        pb = subtree_partition(b, 3)
+        assert {s: frozenset(m) for s, m in pa.items()} == {
+            s: frozenset(m) for s, m in pb.items()
+        }
+
+    def test_shard_count_capped_at_subtree_count(self):
+        nodes = {"n1": "s1", "n2": "s1", "n3": "s2"}
+        part = subtree_partition(nodes, 8)
+        assert set(part) == {"shard1", "shard2"}
+
+    def test_lpt_keeps_shards_balanced(self):
+        # one 8-node subtree + three 2-node subtrees over two shards:
+        # the big subtree sits alone, the small ones pack the other.
+        nodes = {f"big{i}": "sbig" for i in range(8)}
+        for s in ("sa", "sb", "sc"):
+            nodes.update({f"{s}{i}": s for i in range(2)})
+        part = subtree_partition(nodes, 2)
+        assert sorted(len(m) for m in part.values()) == [6, 8]
+
+    def test_none_switch_is_a_singleton_subtree(self):
+        nodes = {"n1": None, "n2": None, "n3": "s1", "n4": "s1"}
+        part = subtree_partition(nodes, 3)
+        # the switched pair stays together; each unswitched node is its
+        # own subtree, so three shards exist and none mixes the groups
+        assert len(part) == 3
+        for members in part.values():
+            if "n3" in members or "n4" in members:
+                assert set(members) == {"n3", "n4"}
+            else:
+                assert len(members) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            subtree_partition({"n1": "s1"}, 0)
+        with pytest.raises(ValueError):
+            subtree_partition({}, 2)
+
+
+class TestSnapshotSwitches:
+    def test_reads_switches_from_the_snapshot(self, small_sc):
+        snap = small_sc.snapshot()
+        switches = snapshot_switches(snap)
+        assert set(switches) == set(snap.nodes)
+        # uniform_cluster(16, nodes_per_switch=4) → four leaf switches
+        assert len(set(switches.values())) == 4
+
+    def test_partition_of_snapshot_respects_subtrees(self, small_sc):
+        snap = small_sc.snapshot()
+        switches = snapshot_switches(snap)
+        part = subtree_partition(switches, 2)
+        for members in part.values():
+            assert len(members) == 8  # two whole 4-node subtrees each

@@ -1,0 +1,78 @@
+"""Snapshot slicing: projection correctness and the incremental path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import small_scenario
+from repro.federation import snapshot_switches, subtree_partition
+from repro.monitor.slicing import ShardSnapshotSource, slice_snapshot
+
+
+@pytest.fixture
+def sc():
+    """A private scenario — these tests advance simulated time."""
+    return small_scenario(8, seed=1, warmup_s=300.0)
+
+
+class TestSliceSnapshot:
+    def test_projection_keeps_only_shard_state(self, sc):
+        snap = sc.snapshot()
+        part = subtree_partition(snapshot_switches(snap), 2)
+        keep = set(part["shard1"])
+        sliced = slice_snapshot(snap, keep)
+        assert set(sliced.nodes) == keep & set(snap.nodes)
+        assert sliced.time == snap.time
+        for pair in sliced.bandwidth_mbs:
+            assert pair[0] in keep and pair[1] in keep
+        for pair in sliced.latency_us:
+            assert pair[0] in keep and pair[1] in keep
+        assert all(h in keep for h in sliced.livehosts)
+        # livehosts order is the parent's, filtered
+        assert list(sliced.livehosts) == [
+            h for h in snap.livehosts if h in keep
+        ]
+
+    def test_cross_subtree_links_are_dropped(self, sc):
+        snap = sc.snapshot()
+        part = subtree_partition(snapshot_switches(snap), 2)
+        sliced = slice_snapshot(snap, part["shard1"])
+        crossing = [
+            pair
+            for pair in snap.latency_us
+            if (pair[0] in part["shard1"]) != (pair[1] in part["shard1"])
+        ]
+        assert all(pair not in sliced.latency_us for pair in crossing)
+
+    def test_unknown_nodes_are_ignored(self, sc):
+        snap = sc.snapshot()
+        sliced = slice_snapshot(snap, ["ghost1", *list(snap.nodes)[:2]])
+        assert len(sliced.nodes) == 2
+
+
+class TestShardSnapshotSource:
+    def test_same_parent_object_reuses_the_slice(self, sc):
+        snap = sc.snapshot()
+        source = ShardSnapshotSource(lambda: snap, list(snap.nodes)[:4])
+        first = source()
+        second = source()
+        assert second is first
+        assert source.reuses == 1
+        assert source.rebuilds == 1  # the initial slice
+
+    def test_parent_advance_is_served_incrementally(self, sc):
+        part = subtree_partition(
+            snapshot_switches(sc.snapshot()), 2
+        )
+        source = ShardSnapshotSource(sc.snapshot, part["shard1"])
+        first = source()
+        sc.advance(30.0)
+        second = source()
+        assert second is not first
+        assert second.time > first.time
+        assert set(second.nodes) == set(first.nodes)
+        assert source.deltas + source.rebuilds >= 2
+
+    def test_rejects_empty_node_set(self, sc):
+        with pytest.raises(ValueError):
+            ShardSnapshotSource(sc.snapshot, [])

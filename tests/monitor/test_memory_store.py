@@ -1,0 +1,160 @@
+"""MemoryStore: FileStore's isolation and corruption semantics, in RAM.
+
+The serialized in-memory backend must honour the same contracts its
+sibling backends are tested for — last-writer-wins (see
+``test_store_concurrent_writers``, which parametrizes over it), typed
+:class:`StoreCorruptError` on undecodable records, and write isolation
+(a caller mutating a value it already ``put`` cannot change what
+readers see) — plus the :class:`AsyncSharedStore` surface the
+federation's coroutine daemons rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.monitor.store import (
+    AsyncSharedStore,
+    InMemoryStore,
+    MemoryStore,
+    SharedStore,
+    StoreCorruptError,
+)
+
+
+@pytest.fixture
+def store() -> MemoryStore:
+    return MemoryStore()
+
+
+class TestBasics:
+    def test_round_trip(self, store):
+        store.put("k", {"x": 1}, 2.0)
+        assert store.get("k") == (2.0, {"x": 1})
+        assert store.value("k") == {"x": 1}
+        assert store.age("k", now=5.0) == 3.0
+
+    def test_missing_key(self, store):
+        assert store.get("absent") is None
+        assert store.value("absent", default="d") == "d"
+        assert store.age("absent", now=1.0) is None
+
+    def test_keys_prefix_and_delete(self, store):
+        store.put("a/1", 1, 0.0)
+        store.put("a/2", 2, 0.0)
+        store.put("b/1", 3, 0.0)
+        assert store.keys("a/") == ["a/1", "a/2"]
+        assert store.keys() == ["a/1", "a/2", "b/1"]
+        assert store.delete("a/1") is True
+        assert store.delete("a/1") is False
+        assert len(store) == 2
+
+    def test_implements_both_interfaces(self, store):
+        assert isinstance(store, SharedStore)
+        assert isinstance(store, AsyncSharedStore)
+
+
+class TestWriteIsolation:
+    """The property InMemoryStore deliberately lacks."""
+
+    def test_put_snapshots_the_value(self, store):
+        value = {"load": 1.0}
+        store.put("k", value, 0.0)
+        value["load"] = 99.0
+        assert store.value("k") == {"load": 1.0}
+
+    def test_in_memory_store_shares_by_reference(self):
+        # Contrast fixture: documents *why* MemoryStore exists.
+        raw = InMemoryStore()
+        value = {"load": 1.0}
+        raw.put("k", value, 0.0)
+        value["load"] = 99.0
+        assert raw.value("k") == {"load": 99.0}
+
+    def test_read_mutations_do_not_write_back(self, store):
+        store.put("k", {"load": 1.0}, 0.0)
+        read = store.value("k")
+        read["load"] = 99.0
+        assert store.value("k") == {"load": 1.0}
+
+
+class TestCorruption:
+    """Same (key, reason) contract as FileStore's torn files."""
+
+    def test_torn_json_raises_typed_error(self, store):
+        store.put("nodestate/n0", {"x": 1}, 5.0)
+        store._data["nodestate/n0"] = '{"time": 5.0, "value": {"x'
+        with pytest.raises(StoreCorruptError) as err:
+            store.get("nodestate/n0")
+        assert err.value.key == "nodestate/n0"
+        assert "not valid JSON" in err.value.reason
+
+    def test_non_object_record_raises(self, store):
+        store._data["k"] = "[1, 2, 3]"
+        with pytest.raises(StoreCorruptError, match="JSON object"):
+            store.get("k")
+
+    def test_missing_fields_raise(self, store):
+        store._data["k"] = '{"time": 1.0}'
+        with pytest.raises(StoreCorruptError, match="time.*value"):
+            store.get("k")
+
+    def test_value_and_age_propagate_corruption(self, store):
+        store._data["k"] = "[[["
+        with pytest.raises(StoreCorruptError):
+            store.value("k")
+        with pytest.raises(StoreCorruptError):
+            store.age("k", now=1.0)
+
+    def test_intact_records_unaffected(self, store):
+        store.put("good", {"x": 1}, 2.0)
+        store._data["bad"] = "garbage"
+        assert store.get("good") == (2.0, {"x": 1})
+        assert store.keys() == ["bad", "good"]
+
+
+class TestAsyncSurface:
+    def test_async_round_trip(self, store):
+        async def run():
+            await store.aput("k", {"x": 1}, 2.0)
+            assert await store.aget("k") == (2.0, {"x": 1})
+            assert await store.avalue("k") == {"x": 1}
+            assert await store.aage("k", now=5.0) == 3.0
+            assert await store.akeys() == ["k"]
+            assert await store.adelete("k") is True
+            assert await store.aget("k") is None
+
+        asyncio.run(run())
+
+    def test_sync_and_async_share_data(self, store):
+        async def run():
+            await store.aput("k", "async-wrote", 1.0)
+
+        asyncio.run(run())
+        assert store.value("k") == "async-wrote"
+
+    def test_concurrent_async_writers_never_tear(self, store):
+        """N coroutines hammering one key: the record stays decodable."""
+
+        async def writer(i: int) -> None:
+            for j in range(20):
+                await store.aput("shared", {"writer": i, "seq": j}, float(j))
+
+        async def run():
+            await asyncio.gather(*(writer(i) for i in range(8)))
+
+        asyncio.run(run())
+        t, value = store.get("shared")  # decodes ⇒ no torn hybrid
+        assert t == 19.0
+        assert value["seq"] == 19
+
+    def test_async_corruption_propagates(self, store):
+        store._data["k"] = "{torn"
+
+        async def run():
+            with pytest.raises(StoreCorruptError):
+                await store.aget("k")
+
+        asyncio.run(run())

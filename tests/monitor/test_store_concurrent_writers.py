@@ -6,16 +6,16 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.topology import uniform_cluster
 from repro.des.engine import Engine
 from repro.monitor.daemons import LivehostsD
-from repro.monitor.store import FileStore, InMemoryStore
+from repro.monitor.store import FileStore, InMemoryStore, MemoryStore
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "serialized", "file"])
 def store(request, tmp_path):
-    return (
-        InMemoryStore()
-        if request.param == "memory"
-        else FileStore(tmp_path / "nfs")
-    )
+    if request.param == "memory":
+        return InMemoryStore()
+    if request.param == "serialized":
+        return MemoryStore()
+    return FileStore(tmp_path / "nfs")
 
 
 class TestSharedKeyWriters:

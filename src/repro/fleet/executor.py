@@ -1,0 +1,145 @@
+"""Atomic execution of a fleet pass — ordered, per-action transactional.
+
+The optimizer emits a *joint* action set; this module turns it into
+lease-table reality without ever leaving the table inconsistent:
+
+* **ordering** — shrinks run before everything else so the nodes they
+  free are available to the migrations and expansions that follow
+  (``shrink < migrate/rebalance < expand``; admissions happen after the
+  pass, once capacity exists);
+* **atomicity** — every action runs through the PR-3
+  :class:`~repro.elastic.executor.TwoPhaseExecutor` (reserve → migrate →
+  atomic swap), so a mid-flight failure rolls that action fully back
+  and the pass carries on: each completed action either fully lands or
+  fully rolls back, never half-way;
+* **accounting** — the returned :class:`FleetPassReport` records every
+  action's outcome so callers (broker ``fleet_plan``, the chaos
+  harness, the DES scheduler) can assert exactly what happened.
+
+Federation note: the router fans a fleet pass out as per-shard batches
+(each shard's service runs its own ordered pass over its own lease
+table); cross-shard migrations ride the existing two-phase
+reserve/commit path, not this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
+from repro.elastic.plan import ReconfigPlan
+
+#: execution order by plan kind — shrinks first to free capacity,
+#: expansions last so they can use it
+ACTION_ORDER = {
+    "shrink": 0,
+    "migrate": 1,
+    "rebalance": 1,
+    "expand": 2,
+}
+
+
+def order_plans(plans: Sequence[ReconfigPlan]) -> list[ReconfigPlan]:
+    """Plans in execution order: shrinks, then moves, then expansions.
+
+    Ties break on lease id so a pass replays deterministically.
+    """
+    return sorted(
+        plans, key=lambda p: (ACTION_ORDER.get(p.kind, 1), p.lease_id)
+    )
+
+
+@dataclass(frozen=True)
+class FleetActionResult:
+    """What happened to one action of a fleet pass."""
+
+    lease_id: str
+    kind: str
+    #: committed / failed (failed actions were fully rolled back)
+    outcome: str
+    predicted_gain: float
+    error: str | None = None
+
+
+@dataclass
+class FleetPassReport:
+    """Per-action outcomes of one executed fleet pass."""
+
+    results: list[FleetActionResult] = field(default_factory=list)
+
+    @property
+    def applied(self) -> int:
+        return sum(1 for r in self.results if r.outcome == "committed")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.results if r.outcome == "failed")
+
+    def to_dict(self) -> dict:
+        return {
+            "applied": self.applied,
+            "failed": self.failed,
+            "actions": [
+                {
+                    "lease_id": r.lease_id,
+                    "kind": r.kind,
+                    "outcome": r.outcome,
+                    "predicted_gain": r.predicted_gain,
+                    "error": r.error,
+                }
+                for r in self.results
+            ],
+        }
+
+
+class FleetExecutor:
+    """Applies one pass's accepted plans in order, atomically each."""
+
+    def __init__(self, executor: TwoPhaseExecutor) -> None:
+        self.executor = executor
+        #: lifetime counters across passes (observability)
+        self.passes = 0
+        self.actions_applied = 0
+        self.actions_failed = 0
+
+    def apply_pass(
+        self,
+        plans: Sequence[ReconfigPlan],
+        *,
+        migrate: Callable[[ReconfigPlan], None] | None = None,
+    ) -> FleetPassReport:
+        """Execute every plan, shrinks first; never raises mid-pass.
+
+        A plan that dies mid-migration is rolled back by the two-phase
+        executor (lease untouched, reservations freed) and recorded as
+        ``failed``; the remaining plans still run.  The lease table is
+        consistent after every action regardless of outcome.
+        """
+        self.passes += 1
+        report = FleetPassReport()
+        for plan in order_plans(plans):
+            try:
+                self.executor.apply(plan, migrate=migrate)
+            except ReconfigError as err:
+                self.actions_failed += 1
+                report.results.append(
+                    FleetActionResult(
+                        lease_id=plan.lease_id,
+                        kind=plan.kind,
+                        outcome="failed",
+                        predicted_gain=plan.predicted_gain,
+                        error=err.code,
+                    )
+                )
+                continue
+            self.actions_applied += 1
+            report.results.append(
+                FleetActionResult(
+                    lease_id=plan.lease_id,
+                    kind=plan.kind,
+                    outcome="committed",
+                    predicted_gain=plan.predicted_gain,
+                )
+            )
+        return report

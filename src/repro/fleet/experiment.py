@@ -1,0 +1,278 @@
+"""Fleet-elastic vs. per-job-elastic vs. static — the subsystem's claim.
+
+One seed builds three identical drifting-load worlds and runs the same
+job stream through three schedulers:
+
+* **static** — repricing only, no escape
+  (:class:`MalleableClusterScheduler` with ``reconfigure=False``);
+* **elastic** — the full PR-3 per-job drift → plan → gate → execute
+  loop;
+* **fleet** — the same per-job loop *plus* the global malleability pass
+  (:class:`~repro.fleet.sim.FleetScheduler`): joint expand / shrink /
+  admit actions that maximize the fleet objective.
+
+The job stream deliberately oversubscribes the cluster (short
+interarrival against multi-node jobs) so a queue forms — the regime
+where coordinated shrink-to-admit beats any per-job reaction.  Beyond
+turnaround, each variant reports measured cluster **utilization**
+(busy node·seconds over nodes × makespan), the second axis the
+malleability literature scores on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.apps.minimd import MiniMD, MiniMDConfig
+from repro.cluster.topology import uniform_cluster
+from repro.elastic.cost import MigrationCostConfig
+from repro.elastic.drift import DriftPolicy
+from repro.elastic.experiment import drifting_workload_config
+from repro.elastic.gate import GateConfig
+from repro.elastic.sim import MalleableClusterScheduler
+from repro.experiments.scenario import Scenario
+from repro.fleet.optimizer import FleetWeights
+from repro.fleet.sim import FleetScheduler
+from repro.scheduler.queue import JobRequest, SchedulerStats
+
+#: the three scheduler variants, in reporting order
+VARIANTS = ("static", "elastic", "fleet")
+
+
+@dataclass(frozen=True)
+class FleetExperimentConfig:
+    """Everything one three-way comparison run depends on."""
+
+    n_nodes: int = 8
+    nodes_per_switch: int = 4
+    n_jobs: int = 6
+    n_processes: int = 8
+    ppn: int = 4
+    app_s: int = 64
+    app_timesteps: int = 12000
+    #: short against ~30-minute jobs on a 2-nodes-each × 8-node cluster,
+    #: so arrivals outpace departures and a queue forms
+    interarrival_s: float = 240.0
+    warmup_s: float = 1800.0
+    reprice_period_s: float = 30.0
+    drift_intensity: float = 1.0
+    migration_failure_rate: float = 0.0
+    utility_seed: int = 0
+    max_expand_factor: float = 2.0
+    drift_policy: DriftPolicy = field(default_factory=DriftPolicy)
+    gate_config: GateConfig = field(default_factory=GateConfig)
+    cost_config: MigrationCostConfig = field(
+        default_factory=MigrationCostConfig
+    )
+    fleet_weights: FleetWeights = field(default_factory=FleetWeights)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2 or self.n_jobs < 1:
+            raise ValueError("need at least 2 nodes and 1 job")
+
+
+@dataclass(frozen=True)
+class FleetVariantResult:
+    """One variant's outcome on the oversubscribed drifting scenario."""
+
+    variant: str
+    stats: SchedulerStats
+    reconfigs: int
+    failed_migrations: int
+    #: busy node·seconds over nodes × makespan, in [0, 1]
+    utilization: float
+    fleet_passes: int = 0
+    fleet_actions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "n_jobs": self.stats.n_jobs,
+            "makespan_s": self.stats.makespan_s,
+            "mean_wait_s": self.stats.mean_wait_s,
+            "mean_turnaround_s": self.stats.mean_turnaround_s,
+            "mean_execution_s": self.stats.mean_execution_s,
+            "utilization": self.utilization,
+            "reconfigs": self.reconfigs,
+            "failed_migrations": self.failed_migrations,
+            "fleet_passes": self.fleet_passes,
+            "fleet_actions": self.fleet_actions,
+        }
+
+
+@dataclass(frozen=True)
+class FleetComparison:
+    """Three schedulers, one seed, one drifting oversubscribed world."""
+
+    seed: int
+    static: FleetVariantResult
+    elastic: FleetVariantResult
+    fleet: FleetVariantResult
+
+    @staticmethod
+    def _pct(base: float, other: float) -> float:
+        if base <= 0:
+            return 0.0
+        return (base - other) / base * 100.0
+
+    @property
+    def elastic_vs_static_pct(self) -> float:
+        """Turnaround gain of per-job elastic over static (positive = wins)."""
+        return self._pct(
+            self.static.stats.mean_turnaround_s,
+            self.elastic.stats.mean_turnaround_s,
+        )
+
+    @property
+    def fleet_vs_static_pct(self) -> float:
+        return self._pct(
+            self.static.stats.mean_turnaround_s,
+            self.fleet.stats.mean_turnaround_s,
+        )
+
+    @property
+    def fleet_vs_elastic_pct(self) -> float:
+        """Turnaround gain of the fleet pass over per-job elastic."""
+        return self._pct(
+            self.elastic.stats.mean_turnaround_s,
+            self.fleet.stats.mean_turnaround_s,
+        )
+
+    @property
+    def fleet_utilization_delta(self) -> float:
+        """Utilization points the fleet pass adds over per-job elastic."""
+        return self.fleet.utilization - self.elastic.utilization
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "static": self.static.to_dict(),
+            "elastic": self.elastic.to_dict(),
+            "fleet": self.fleet.to_dict(),
+            "elastic_vs_static_pct": self.elastic_vs_static_pct,
+            "fleet_vs_static_pct": self.fleet_vs_static_pct,
+            "fleet_vs_elastic_pct": self.fleet_vs_elastic_pct,
+            "fleet_utilization_delta": self.fleet_utilization_delta,
+        }
+
+
+def run_fleet_variant(
+    *,
+    variant: str,
+    seed: int,
+    config: FleetExperimentConfig,
+) -> FleetVariantResult:
+    """One scheduler variant on a freshly built drifting-load world."""
+    if variant not in VARIANTS:
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from {VARIANTS}"
+        )
+    cfg = config
+    specs, topo = uniform_cluster(
+        cfg.n_nodes, nodes_per_switch=cfg.nodes_per_switch
+    )
+    sc = Scenario.build(
+        specs,
+        topo,
+        seed=seed,
+        workload_config=drifting_workload_config(cfg.drift_intensity),
+    )
+    sc.warm_up(cfg.warmup_s)
+    common: dict[str, Any] = dict(
+        rng=sc.streams.child("scheduler"),
+        reprice_period_s=cfg.reprice_period_s,
+        drift_policy=cfg.drift_policy,
+        gate_config=cfg.gate_config,
+        cost_config=cfg.cost_config,
+        migration_failure_rate=(
+            cfg.migration_failure_rate if variant != "static" else 0.0
+        ),
+        failure_rng=sc.streams.child("migration-failures"),
+    )
+    scheduler: MalleableClusterScheduler
+    if variant == "fleet":
+        scheduler = FleetScheduler(
+            sc.engine,
+            sc.workload,
+            sc.network,
+            sc.snapshot,
+            fleet_weights=cfg.fleet_weights,
+            fleet_rng=sc.streams.child("fleet"),
+            utility_seed=cfg.utility_seed,
+            max_expand_factor=cfg.max_expand_factor,
+            **common,
+        )
+    else:
+        scheduler = MalleableClusterScheduler(
+            sc.engine,
+            sc.workload,
+            sc.network,
+            sc.snapshot,
+            reconfigure=variant == "elastic",
+            **common,
+        )
+    app = MiniMD(cfg.app_s, MiniMDConfig(timesteps=cfg.app_timesteps))
+    t0 = sc.engine.now
+    for i in range(cfg.n_jobs):
+        scheduler.submit(
+            JobRequest(
+                app=app,
+                n_processes=cfg.n_processes,
+                ppn=cfg.ppn,
+                submit_time=t0 + i * cfg.interarrival_s,
+            )
+        )
+    stats = scheduler.drain()
+    scheduler.stop()
+    utilization = 0.0
+    if stats.makespan_s > 0:
+        utilization = min(
+            scheduler.busy_node_seconds / (cfg.n_nodes * stats.makespan_s),
+            1.0,
+        )
+    fleet_passes = 0
+    fleet_actions = 0
+    if isinstance(scheduler, FleetScheduler):
+        fleet_passes = scheduler.fleet_pass_count
+        fleet_actions = scheduler.fleet_actions_applied
+    return FleetVariantResult(
+        variant=variant,
+        stats=stats,
+        reconfigs=scheduler.reconfig_count,
+        failed_migrations=scheduler.failed_migrations,
+        utilization=utilization,
+        fleet_passes=fleet_passes,
+        fleet_actions=fleet_actions,
+    )
+
+
+def run_fleet_comparison(
+    *,
+    seed: int = 0,
+    config: FleetExperimentConfig | None = None,
+    **overrides: Any,
+) -> FleetComparison:
+    """The headline fleet experiment: three variants, one world per seed.
+
+    ``overrides`` are field overrides for :class:`FleetExperimentConfig`
+    (convenience for the CLI / benchmarks).
+    """
+    cfg = config or FleetExperimentConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    static = run_fleet_variant(variant="static", seed=seed, config=cfg)
+    elastic = run_fleet_variant(variant="elastic", seed=seed, config=cfg)
+    fleet = run_fleet_variant(variant="fleet", seed=seed, config=cfg)
+    return FleetComparison(
+        seed=seed, static=static, elastic=elastic, fleet=fleet
+    )
+
+
+def fleet_comparison_rows(comparison: FleetComparison) -> list[Mapping]:
+    """Flat rows (one per variant) for tables and JSON artifacts."""
+    return [
+        comparison.static.to_dict(),
+        comparison.elastic.to_dict(),
+        comparison.fleet.to_dict(),
+    ]

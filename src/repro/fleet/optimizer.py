@@ -1,0 +1,463 @@
+"""Global malleability search — one fleet objective, joint actions.
+
+The per-job elastic loop (PR 3) answers "is *this* job better off
+elsewhere?".  This module answers the coordinated question the
+malleability literature shows is worth much more: given **all** running
+malleable jobs and the pending queue, which joint set of expand /
+shrink / admit actions maximizes fleet productivity?
+
+The objective is a weighted sum of
+
+* **productivity** — Σ weightⱼ · Sⱼ(ranksⱼ) over active jobs, the
+  aggregate rate of serial-equivalent work (speedup curves from
+  :mod:`repro.fleet.utility`); queued jobs contribute nothing, which is
+  exactly the cost of leaving them queued;
+* **utilization** — allocated ranks over cluster capacity;
+* **fairness** — Jain's index over per-job rank counts.
+
+The search is a greedy-by-marginal-utility pass (repeatedly adopt the
+single best strictly-improving move: expand one job a step, admit the
+queue head, or the compound "shrink lowest-marginal donors until the
+head fits, then admit") followed by a swap-improvement refinement
+(move one step of ranks between job pairs while that strictly
+improves).  Every adopted move strictly improves the objective, so
+**objective-after ≥ objective-before holds by construction** — and
+because the search starts from the current allocation (the state the
+per-job elastic loop left behind) and no-op is always available, the
+fleet pass is never worse than per-job elasticity under this model.
+
+The optimizer is a pure function of its inputs: no clocks, no RNG —
+the same fleet state always yields the same plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.fleet.utility import SpeedupCurve
+
+#: minimum objective improvement a move must deliver to be adopted —
+#: guards against floating-point churn masquerading as progress
+MIN_IMPROVEMENT = 1e-9
+
+
+@dataclass(frozen=True)
+class FleetJobState:
+    """One running malleable job as the optimizer sees it."""
+
+    job_id: str
+    ranks: int
+    curve: SpeedupCurve
+    #: resize bounds (inclusive); ``max_ranks=None`` means unbounded
+    min_ranks: int = 1
+    max_ranks: int | None = None
+    #: resize granularity in ranks (typically the job's ppn)
+    step: int = 1
+    #: relative importance in the productivity term
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.min_ranks < 1 or self.min_ranks > self.ranks:
+            raise ValueError(
+                f"min_ranks must be in [1, ranks], got {self.min_ranks}"
+            )
+        if self.max_ranks is not None and self.max_ranks < self.ranks:
+            raise ValueError(
+                f"max_ranks must be >= ranks, got {self.max_ranks}"
+            )
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class PendingJobState:
+    """One queued job the pass may admit (FIFO order preserved)."""
+
+    job_id: str
+    ranks: int
+    curve: SpeedupCurve
+    wait_s: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.wait_s < 0:
+            raise ValueError(f"wait_s must be >= 0, got {self.wait_s}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class FleetWeights:
+    """Relative weights of the fleet-objective terms."""
+
+    productivity: float = 1.0
+    utilization: float = 2.0
+    fairness: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("productivity", "utilization", "fairness"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} weight must be >= 0")
+
+
+def jain_index(values: Sequence[int]) -> float:
+    """Jain's fairness index over positive counts — 1.0 when equal."""
+    if not values:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares <= 0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+def fleet_objective(
+    jobs: Sequence[FleetJobState],
+    capacity: int,
+    weights: FleetWeights | None = None,
+) -> float:
+    """The fleet objective for a set of *active* jobs.
+
+    Queued jobs are simply absent from ``jobs`` — their zero
+    contribution is what makes admission attractive.
+    """
+    w = weights or FleetWeights()
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    used = sum(j.ranks for j in jobs)
+    prod = sum(j.weight * j.curve.speedup(j.ranks) for j in jobs)
+    util = min(used / capacity, 1.0)
+    fair = jain_index([j.ranks for j in jobs])
+    return w.productivity * prod + w.utilization * util + w.fairness * fair
+
+
+@dataclass(frozen=True)
+class FleetAction:
+    """One element of the chosen joint action set."""
+
+    #: expand / shrink / admit (no-ops are simply omitted)
+    kind: str
+    job_id: str
+    #: signed rank change for resizes; the admitted size for admits
+    delta_ranks: int
+    target_ranks: int
+    #: heuristic objective contribution attributed to this action (the
+    #: pass-level invariant is on the *total* objective, not this split)
+    gain: float = 0.0
+
+
+@dataclass(frozen=True)
+class FleetPlanResult:
+    """What one optimizer pass decided, with its arithmetic shown."""
+
+    actions: tuple[FleetAction, ...]
+    objective_before: float
+    objective_after: float
+    rounds: int = 0
+
+    @property
+    def objective_gain(self) -> float:
+        return self.objective_after - self.objective_before
+
+
+class FleetOptimizer:
+    """Greedy-by-marginal-utility search with swap refinement."""
+
+    def __init__(
+        self,
+        weights: FleetWeights | None = None,
+        *,
+        max_rounds: int = 64,
+        swap_passes: int = 4,
+        reserve_frac: float = 0.25,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if swap_passes < 0:
+            raise ValueError(f"swap_passes must be >= 0, got {swap_passes}")
+        if not 0.0 <= reserve_frac < 1.0:
+            raise ValueError(
+                f"reserve_frac must be in [0, 1), got {reserve_frac}"
+            )
+        self.weights = weights or FleetWeights()
+        self.max_rounds = max_rounds
+        self.swap_passes = swap_passes
+        #: expansions must leave this fraction of capacity free — the
+        #: headroom drift migrations (and the next arrival) escape into;
+        #: a fleet that packs itself solid has no room to react
+        self.reserve_frac = reserve_frac
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        jobs: Sequence[FleetJobState],
+        pending: Sequence[PendingJobState],
+        capacity: int,
+    ) -> FleetPlanResult:
+        """The best strictly-improving joint action set found.
+
+        ``pending`` must be in queue (FIFO) order; only a prefix is ever
+        admitted, so the pass cannot starve the queue head.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        jobs = sorted(jobs, key=lambda j: j.job_id)
+        by_id = {j.job_id: j for j in jobs}
+        if len(by_id) != len(jobs):
+            raise ValueError("duplicate job_id in fleet state")
+        ranks = {j.job_id: j.ranks for j in jobs}
+        admitted: list[PendingJobState] = []
+        before = self._objective(by_id, ranks, admitted, capacity)
+        current = before
+        rounds = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            adopted = self._adopt_best_move(
+                by_id, ranks, admitted, list(pending), capacity, current
+            )
+            if adopted is None:
+                break
+            current = adopted
+        current = self._swap_refine(by_id, ranks, admitted, capacity, current)
+        actions = self._actions(by_id, ranks, admitted, current - before)
+        return FleetPlanResult(
+            actions=tuple(actions),
+            objective_before=before,
+            objective_after=current,
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------
+    def _objective(
+        self,
+        by_id: Mapping[str, FleetJobState],
+        ranks: Mapping[str, int],
+        admitted: Sequence[PendingJobState],
+        capacity: int,
+    ) -> float:
+        w = self.weights
+        used = sum(ranks.values()) + sum(p.ranks for p in admitted)
+        prod = sum(
+            j.weight * j.curve.speedup(ranks[j.job_id])
+            for j in by_id.values()
+        )
+        prod += sum(p.weight * p.curve.speedup(p.ranks) for p in admitted)
+        util = min(used / capacity, 1.0)
+        counts = list(ranks.values()) + [p.ranks for p in admitted]
+        fair = jain_index(counts)
+        return w.productivity * prod + w.utilization * util + w.fairness * fair
+
+    def _free(
+        self,
+        ranks: Mapping[str, int],
+        admitted: Sequence[PendingJobState],
+        capacity: int,
+    ) -> int:
+        return capacity - sum(ranks.values()) - sum(
+            p.ranks for p in admitted
+        )
+
+    def _adopt_best_move(
+        self,
+        by_id: Mapping[str, FleetJobState],
+        ranks: dict[str, int],
+        admitted: list[PendingJobState],
+        pending: list[PendingJobState],
+        capacity: int,
+        current: float,
+    ) -> float | None:
+        """Try every single move; adopt the best strict improvement."""
+        free = self._free(ranks, admitted, capacity)
+        queue = [p for p in pending if p not in admitted]
+        head = queue[0] if queue else None
+
+        best_value: float | None = None
+        best_apply: tuple[dict[str, int], list[PendingJobState]] | None = None
+
+        def consider(
+            new_ranks: dict[str, int], new_admitted: list[PendingJobState]
+        ) -> None:
+            nonlocal best_value, best_apply
+            value = self._objective(by_id, new_ranks, new_admitted, capacity)
+            if value <= current + MIN_IMPROVEMENT:
+                return
+            if best_value is None or value > best_value:
+                best_value = value
+                best_apply = (new_ranks, new_admitted)
+
+        # 1) Admit the queue head outright when it fits.
+        if head is not None and head.ranks <= free:
+            consider(dict(ranks), admitted + [head])
+        # 2) Shrink-to-admit: free ranks from the cheapest donors until
+        #    the head fits (the coordinated move per-job elasticity can
+        #    never make).  Unlike a plain FIFO admission, this move
+        #    *forces* occupancy the scheduler would not otherwise take
+        #    on, so it must also leave the capacity reserve free —
+        #    otherwise one pass can pack the cluster solid and the
+        #    crowding (visible only through later repricing) costs more
+        #    than the admitted job's avoided wait.
+        if head is not None and head.ranks > free:
+            compound = self._shrink_to_admit(
+                by_id, ranks, admitted, head, capacity
+            )
+            if compound is not None:
+                consider(*compound)
+        # 3) Expansions — only once the queue is fully admitted (so a
+        #    running job never grows past a waiting one) and only while
+        #    they leave the capacity reserve free.
+        if head is None:
+            reserve = int(math.ceil(self.reserve_frac * capacity))
+            for jid in sorted(ranks):
+                job = by_id[jid]
+                target = ranks[jid] + job.step
+                if job.max_ranks is not None and target > job.max_ranks:
+                    continue
+                if free - job.step < reserve:
+                    continue
+                new_ranks = dict(ranks)
+                new_ranks[jid] = target
+                consider(new_ranks, list(admitted))
+
+        if best_value is None or best_apply is None:
+            return None
+        new_ranks, new_admitted = best_apply
+        ranks.clear()
+        ranks.update(new_ranks)
+        admitted.clear()
+        admitted.extend(new_admitted)
+        return best_value
+
+    def _shrink_to_admit(
+        self,
+        by_id: Mapping[str, FleetJobState],
+        ranks: Mapping[str, int],
+        admitted: Sequence[PendingJobState],
+        head: PendingJobState,
+        capacity: int,
+    ) -> tuple[dict[str, int], list[PendingJobState]] | None:
+        """Donor shrinks (cheapest marginal loss first) to fit ``head``.
+
+        The donors must free enough for the head *plus* the capacity
+        reserve, so the compound never packs the cluster solid.
+        """
+        reserve = int(math.ceil(self.reserve_frac * capacity))
+        need = (
+            head.ranks + reserve - self._free(ranks, admitted, capacity)
+        )
+        new_ranks = dict(ranks)
+        while need > 0:
+            best_jid: str | None = None
+            best_loss = float("inf")
+            for jid in sorted(new_ranks):
+                job = by_id[jid]
+                target = new_ranks[jid] - job.step
+                if target < job.min_ranks:
+                    continue
+                loss = job.weight * (
+                    job.curve.speedup(new_ranks[jid])
+                    - job.curve.speedup(target)
+                )
+                if loss < best_loss:
+                    best_loss = loss
+                    best_jid = jid
+            if best_jid is None:
+                return None  # nobody can donate: the head must wait
+            new_ranks[best_jid] -= by_id[best_jid].step
+            need -= by_id[best_jid].step
+        return new_ranks, list(admitted) + [head]
+
+    def _swap_refine(
+        self,
+        by_id: Mapping[str, FleetJobState],
+        ranks: dict[str, int],
+        admitted: list[PendingJobState],
+        capacity: int,
+        current: float,
+    ) -> float:
+        """Move one step between job pairs while that strictly improves."""
+        for _ in range(self.swap_passes):
+            improved = False
+            for src in sorted(ranks):
+                for dst in sorted(ranks):
+                    if src == dst:
+                        continue
+                    s_job, d_job = by_id[src], by_id[dst]
+                    s_target = ranks[src] - s_job.step
+                    d_target = ranks[dst] + d_job.step
+                    if s_target < s_job.min_ranks:
+                        continue
+                    if (
+                        d_job.max_ranks is not None
+                        and d_target > d_job.max_ranks
+                    ):
+                        continue
+                    delta = d_job.step - s_job.step
+                    if delta > self._free(ranks, admitted, capacity):
+                        continue
+                    trial = dict(ranks)
+                    trial[src] = s_target
+                    trial[dst] = d_target
+                    value = self._objective(
+                        by_id, trial, admitted, capacity
+                    )
+                    if value > current + MIN_IMPROVEMENT:
+                        ranks[src] = s_target
+                        ranks[dst] = d_target
+                        current = value
+                        improved = True
+            if not improved:
+                break
+        return current
+
+    def _actions(
+        self,
+        by_id: Mapping[str, FleetJobState],
+        ranks: Mapping[str, int],
+        admitted: Sequence[PendingJobState],
+        pass_gain: float,
+    ) -> list[FleetAction]:
+        w = self.weights
+        actions: list[FleetAction] = []
+        for jid in sorted(ranks):
+            job = by_id[jid]
+            delta = ranks[jid] - job.ranks
+            if delta == 0:
+                continue
+            if delta > 0:
+                gain = w.productivity * job.weight * (
+                    job.curve.speedup(ranks[jid])
+                    - job.curve.speedup(job.ranks)
+                )
+            else:
+                # A shrink's own marginal is negative by definition; its
+                # justification is the pass it enables (freed capacity →
+                # admission), so it carries the pass-level gain.
+                gain = pass_gain
+            actions.append(
+                FleetAction(
+                    kind="expand" if delta > 0 else "shrink",
+                    job_id=jid,
+                    delta_ranks=delta,
+                    target_ranks=ranks[jid],
+                    gain=gain,
+                )
+            )
+        for p in admitted:
+            actions.append(
+                FleetAction(
+                    kind="admit",
+                    job_id=p.job_id,
+                    delta_ranks=p.ranks,
+                    target_ranks=p.ranks,
+                    gain=w.productivity * p.weight * p.curve.speedup(p.ranks),
+                )
+            )
+        return actions

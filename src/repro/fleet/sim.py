@@ -1,0 +1,327 @@
+"""FleetScheduler — the DES consumer of the global malleability pass.
+
+Extends the per-job elastic scheduler with a periodic *fleet* pass:
+
+1. the per-job elastic loop runs first, exactly as in
+   :class:`~repro.elastic.sim.MalleableClusterScheduler` — drift
+   detection, same-size replanning, gated migration (this is the
+   baseline the fleet pass builds on, so fleet-elastic starts from
+   per-job-elastic behavior by construction);
+2. the fleet optimizer then snapshots every running malleable job plus
+   the pending queue and searches joint expand / shrink / admit sets
+   that strictly improve the fleet objective
+   (:mod:`repro.fleet.optimizer`);
+3. chosen actions execute shrinks-first through the same
+   vacate → price → gate → two-phase-apply machinery as per-job
+   reconfigurations — an expansion only commits when the BSP model
+   prices the larger placement genuinely faster (margin over migration
+   cost), and a shrink's benefit is the queued head job's avoided wait;
+4. freed capacity is offered to the FIFO queue immediately, which is
+   how the optimizer's ``admit`` actions materialize.
+
+Fleet actions bypass the per-job cooldown (``fleet=True`` at the gate)
+under the global :class:`~repro.elastic.gate.FleetRateLimiter`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core.policies import (
+    AllocationError,
+    AllocationPolicy,
+    AllocationRequest,
+)
+from repro.des.engine import Engine
+from repro.elastic.cost import MigrationCostConfig
+from repro.elastic.drift import DriftPolicy
+from repro.elastic.gate import FleetRateLimiter, GateConfig
+from repro.elastic.plan import ReconfigPlan, ReconfigPlanner, plan_kind
+from repro.elastic.sim import MalleableClusterScheduler
+from repro.fleet.executor import ACTION_ORDER
+from repro.fleet.optimizer import (
+    FleetAction,
+    FleetJobState,
+    FleetOptimizer,
+    FleetWeights,
+    PendingJobState,
+)
+from repro.fleet.utility import SpeedupCurve, curve_for_class
+from repro.monitor.snapshot import ClusterSnapshot
+from repro.net.model import NetworkModel
+from repro.scheduler.queue import ScheduledJob
+from repro.workload.generator import BackgroundWorkload
+
+
+class FleetScheduler(MalleableClusterScheduler):
+    """Malleable scheduler with a coordinated fleet pass per tick."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        workload: BackgroundWorkload,
+        network: NetworkModel,
+        snapshot_source: Callable[[], ClusterSnapshot],
+        *,
+        policy: AllocationPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        exclusive_nodes: bool = True,
+        job_flow_mbs: float = 8.0,
+        reprice_period_s: float = 30.0,
+        planner: ReconfigPlanner | None = None,
+        drift_policy: DriftPolicy | None = None,
+        gate_config: GateConfig | None = None,
+        cost_config: MigrationCostConfig | None = None,
+        migration_failure_rate: float = 0.0,
+        failure_rng: np.random.Generator | None = None,
+        fleet_weights: FleetWeights | None = None,
+        fleet_limiter: FleetRateLimiter | None = None,
+        fleet_rng: np.random.Generator | None = None,
+        utility_seed: int = 0,
+        max_expand_factor: float = 2.0,
+    ) -> None:
+        super().__init__(
+            engine,
+            workload,
+            network,
+            snapshot_source,
+            policy=policy,
+            rng=rng,
+            exclusive_nodes=exclusive_nodes,
+            job_flow_mbs=job_flow_mbs,
+            reprice_period_s=reprice_period_s,
+            reconfigure=True,
+            planner=planner,
+            drift_policy=drift_policy,
+            gate_config=gate_config,
+            cost_config=cost_config,
+            migration_failure_rate=migration_failure_rate,
+            failure_rng=failure_rng,
+        )
+        if max_expand_factor < 1.0:
+            raise ValueError(
+                f"max_expand_factor must be >= 1, got {max_expand_factor}"
+            )
+        self.optimizer = FleetOptimizer(fleet_weights)
+        self.utility_seed = int(utility_seed)
+        self.max_expand_factor = float(max_expand_factor)
+        # Fleet planning draws placements from its own stream so the
+        # per-job elastic trajectory is bit-identical to a plain
+        # MalleableClusterScheduler run until a fleet action commits —
+        # the "never worse than per-job-elastic" claim depends on it.
+        self._fleet_rng = (
+            fleet_rng
+            if fleet_rng is not None
+            else np.random.default_rng(0xF1EE7)
+        )
+        # Fleet actions skip the per-job cooldown; this global window is
+        # what bounds pass-driven churn instead (satellite: bypass token
+        # replaced by a fleet-wide rate limiter).
+        self.gate.fleet_limiter = fleet_limiter or FleetRateLimiter()
+        #: one record per fleet pass that proposed at least one action
+        self.fleet_events: list[dict] = []
+        self._curves: dict[str, SpeedupCurve] = {}
+
+    # -- utility wiring -------------------------------------------------
+    def _curve(self, job: ScheduledJob) -> SpeedupCurve:
+        """The job's speedup curve, keyed by application class."""
+        name = job.request.app.name
+        if name not in self._curves:
+            self._curves[name] = curve_for_class(name, seed=self.utility_seed)
+        return self._curves[name]
+
+    # -- the periodic tick ----------------------------------------------
+    def _tick(self) -> None:
+        super()._tick()  # repricing + the per-job elastic baseline pass
+        if self._running:
+            self._fleet_pass()
+
+    # -- the global pass -------------------------------------------------
+    def _fleet_pass(self) -> None:
+        now = self.engine.now
+        snapshot = self._snapshot_source()
+        # Expansion helps the expanded job but taxes every peer (extra
+        # load and ring traffic the gate's self-benefit pricing cannot
+        # see), so growth *beyond the requested size* is allowed only
+        # for the last unfinished job in the batch — the tail-end
+        # flex-up that uses an otherwise idle cluster and can crowd
+        # nobody, present or future.  Growing *back up to* the requested
+        # size (undoing an earlier shrink-to-admit) is allowed whenever
+        # the queue is empty: peers were priced against that footprint
+        # at admission, and the optimizer's capacity reserve still keeps
+        # headroom free.  Shrink-to-admit is available at any occupancy.
+        tail = (
+            len(self._running) == 1
+            and sum(1 for j in self.jobs if j.finish_time is None) == 1
+        )
+        states: list[FleetJobState] = []
+        for jid in sorted(self._running):
+            job = self._running[jid]
+            assert job.allocation is not None
+            cur = sum(job.allocation.procs.values())
+            ppn = job.request.ppn or 1
+            if tail:
+                max_ranks = max(
+                    cur,
+                    int(
+                        math.ceil(
+                            self.max_expand_factor * job.request.n_processes
+                        )
+                    ),
+                )
+            elif not self._pending:
+                max_ranks = max(cur, job.request.n_processes)
+            else:
+                max_ranks = cur
+            states.append(
+                FleetJobState(
+                    job_id=str(jid),
+                    ranks=cur,
+                    curve=self._curve(job),
+                    min_ranks=min(ppn, cur),
+                    max_ranks=max_ranks,
+                    step=ppn,
+                )
+            )
+        pending = [
+            PendingJobState(
+                job_id=str(p.request.job_id),
+                ranks=p.request.n_processes,
+                curve=self._curve(p),
+                wait_s=max(now - p.request.submit_time, 0.0),
+            )
+            for p in self._pending
+        ]
+        capacity = self._capacity_ranks(snapshot)
+        result = self.optimizer.optimize(states, pending, capacity)
+        if not result.actions:
+            return
+
+        applied = 0
+        ordered = sorted(
+            result.actions,
+            key=lambda a: (ACTION_ORDER.get(a.kind, 1), a.job_id),
+        )
+        for action in ordered:
+            if action.kind not in ("expand", "shrink"):
+                continue  # admissions materialize via _try_start below
+            job = self._running.get(int(action.job_id))
+            if job is None:
+                continue  # finished between optimize and execute
+            if self._apply_resize(job, action, snapshot):
+                applied += 1
+        self._try_start()
+        self.fleet_events.append(
+            {
+                "time": now,
+                "objective_before": result.objective_before,
+                "objective_after": result.objective_after,
+                "actions": len(result.actions),
+                "applied": applied,
+                "rounds": result.rounds,
+            }
+        )
+
+    def _capacity_ranks(self, snapshot: ClusterSnapshot) -> int:
+        """Rank capacity under space sharing: nodes × the fleet's ppn."""
+        ppns = [j.request.ppn or 1 for j in self._running.values()]
+        ppns += [p.request.ppn or 1 for p in self._pending]
+        ppn = max(ppns, default=1)
+        return max(len(snapshot.nodes) * ppn, 1)
+
+    def _apply_resize(
+        self,
+        job: ScheduledJob,
+        action: FleetAction,
+        snapshot: ClusterSnapshot,
+    ) -> bool:
+        """Plan and (gate willing) execute one resize action."""
+        plan = self._resize_plan(job, action, snapshot)
+        if plan is None:
+            return False
+        bonus_s = 0.0
+        if action.kind == "shrink":
+            # The shrink's payoff is the queued head job starting now
+            # instead of waiting for the earliest running job to finish.
+            # The gate adds this avoided wait to the donor's (negative)
+            # self benefit, so a shrink only commits when the head's
+            # saving genuinely exceeds the donor's slowdown plus the
+            # migration cost — the net fleet economics.
+            bonus_s = min(
+                (1.0 - self._done[j]) * self._exec_T[j]
+                for j in self._running
+            )
+        return self._execute_plan(
+            job, plan, fleet=True, benefit_bonus_s=bonus_s
+        )
+
+    def _resize_plan(
+        self,
+        job: ScheduledJob,
+        action: FleetAction,
+        snapshot: ClusterSnapshot,
+    ) -> ReconfigPlan | None:
+        """A concrete placement for the action's target size, or None.
+
+        The paper's allocator picks *where* the resized job lives; the
+        optimizer only decided *how big* it should be.  ``None`` means
+        no feasible placement exists right now (the action is dropped —
+        fail closed, never force a placement).
+        """
+        assert job.allocation is not None
+        target = action.target_ranks
+        if target < 1 or target == sum(job.allocation.procs.values()):
+            return None
+        request = AllocationRequest(
+            n_processes=target,
+            ppn=job.request.ppn,
+            tradeoff=job.request.app.recommended_tradeoff(),
+        )
+        own = set(job.allocation.nodes)
+        exclude = (
+            frozenset(self._busy_nodes - own) if self.exclusive_nodes else None
+        )
+        try:
+            allocation = self.policy.allocate(
+                snapshot, request, rng=self._fleet_rng, exclude=exclude
+            )
+        except AllocationError:
+            return None
+        if self.exclusive_nodes:
+            needed = request.nodes_needed
+            if needed is not None and allocation.n_nodes < needed:
+                return None
+        if (
+            tuple(allocation.nodes) == tuple(job.allocation.nodes)
+            and dict(allocation.procs) == dict(job.allocation.procs)
+        ):
+            return None
+        return ReconfigPlan(
+            lease_id=self._lease_ids[job.request.job_id],
+            kind=plan_kind(job.allocation.nodes, allocation.nodes),
+            old_nodes=tuple(job.allocation.nodes),
+            new_nodes=tuple(allocation.nodes),
+            old_procs=dict(job.allocation.procs),
+            procs=dict(allocation.procs),
+            # Resizes are justified by marginal utility, not by Eq-4
+            # score deltas (totals of different sizes are incomparable);
+            # the gate still prices benefit vs. migration cost exactly.
+            current_total=0.0,
+            proposed_total=0.0,
+            predicted_gain=max(float(action.gain), 0.0),
+            request=request,
+            snapshot_time=snapshot.time,
+        )
+
+    # -- observability ---------------------------------------------------
+    @property
+    def fleet_pass_count(self) -> int:
+        """Fleet passes that proposed at least one action."""
+        return len(self.fleet_events)
+
+    @property
+    def fleet_actions_applied(self) -> int:
+        return sum(e["applied"] for e in self.fleet_events)

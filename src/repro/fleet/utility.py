@@ -1,0 +1,185 @@
+"""Job-utility abstraction — speedup-vs-ranks curves for malleable jobs.
+
+The fleet optimizer needs a *cheap* predictor of what one more (or one
+fewer) node is worth to each running job; re-pricing every job at every
+candidate size with the BSP model would make the global search
+quadratic in fleet size.  This module provides that predictor:
+
+* three classic speedup families — **Amdahl** (serial-fraction bound),
+  **logarithmic** (communication-dominated) and **linear** (embarrassing
+  parallelism at sub-unit efficiency) — each monotone non-decreasing in
+  ranks with non-increasing marginal utility;
+* deterministic per-job-class parameterization
+  (:func:`curve_for_class`): the same job class and seed always map to
+  the same curve, so fleet passes are replayable;
+* a calibration path wired into :mod:`repro.simmpi`
+  (:func:`calibrate_amdahl`): price the *actual* application at two rank
+  counts with :func:`repro.simmpi.job.price_placement` and fit the
+  serial fraction, so curves can come from the ground-truth execution
+  model instead of the seeded prior.
+
+The curves are advisory — every action the optimizer picks is still
+re-priced exactly (DES) or gated on measured migration cost (broker)
+before it commits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.simmpi.placement import Placement
+
+if TYPE_CHECKING:
+    from repro.apps.base import AppModel
+    from repro.cluster.cluster import Cluster
+    from repro.net.model import NetworkModel
+
+#: the supported curve families, in the deterministic draw order
+FAMILIES = ("amdahl", "log", "linear")
+
+
+@dataclass(frozen=True)
+class SpeedupCurve:
+    """Speedup over a single rank as a function of rank count.
+
+    Exactly one family is active; the other parameters are ignored.
+    All families satisfy ``speedup(1) == 1.0``, monotone non-decreasing
+    speedup, and non-increasing marginal utility (concavity) — the
+    properties the optimizer's greedy pass relies on.
+    """
+
+    family: str
+    #: Amdahl serial fraction ``f`` in ``[0, 1]``:  ``S(n) = 1/(f + (1-f)/n)``
+    serial_fraction: float = 0.05
+    #: log-family scale ``c``:  ``S(n) = 1 + c·ln(n)``
+    log_scale: float = 1.0
+    #: linear-family per-rank efficiency ``e`` in ``(0, 1]``:
+    #: ``S(n) = 1 + e·(n-1)``
+    efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown curve family {self.family!r}; choose from {FAMILIES}"
+            )
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1], got {self.serial_fraction}"
+            )
+        if self.log_scale < 0.0:
+            raise ValueError(f"log_scale must be >= 0, got {self.log_scale}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    # ------------------------------------------------------------------
+    def speedup(self, ranks: int) -> float:
+        """``S(ranks)`` — predicted speedup over one rank."""
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {ranks}")
+        n = float(ranks)
+        if self.family == "amdahl":
+            f = self.serial_fraction
+            return 1.0 / (f + (1.0 - f) / n)
+        if self.family == "log":
+            return 1.0 + self.log_scale * math.log(n)
+        return 1.0 + self.efficiency * (n - 1.0)
+
+    def marginal_utility(self, ranks: int, k: int = 1) -> float:
+        """``S(ranks + k) − S(ranks)`` — the value of ``k`` more ranks.
+
+        Negative ``k`` prices a shrink (the result is ``<= 0``).  The
+        target size ``ranks + k`` must stay ``>= 1``.
+        """
+        if ranks + k < 1:
+            raise ValueError(
+                f"ranks + k must stay >= 1, got {ranks} + {k}"
+            )
+        return self.speedup(ranks + k) - self.speedup(ranks)
+
+
+def curve_for_class(job_class: str, *, seed: int = 0) -> SpeedupCurve:
+    """The deterministic speedup curve for one job class.
+
+    The family and its parameter are drawn from a SHA-256 of
+    ``job_class:seed``, so every scheduler/broker/shard that sees the
+    same class name under the same seed prices it identically — no
+    shared state required, and fleet passes replay bit-for-bit.
+    """
+    digest = hashlib.sha256(f"{job_class}:{seed}".encode()).digest()
+    rng = random.Random(int.from_bytes(digest[:8], "big"))
+    family = FAMILIES[rng.randrange(len(FAMILIES))]
+    if family == "amdahl":
+        return SpeedupCurve("amdahl", serial_fraction=rng.uniform(0.02, 0.20))
+    if family == "log":
+        return SpeedupCurve("log", log_scale=rng.uniform(0.5, 1.5))
+    return SpeedupCurve("linear", efficiency=rng.uniform(0.6, 0.95))
+
+
+# ----------------------------------------------------------------------
+# simmpi-backed calibration
+
+
+def measured_speedup(
+    app: "AppModel",
+    cluster: "Cluster",
+    network: "NetworkModel",
+    nodes: Sequence[str],
+    *,
+    ranks: int,
+    base_ranks: int = 1,
+    ppn: int = 4,
+) -> float:
+    """Ground-truth speedup of ``ranks`` over ``base_ranks`` ranks.
+
+    Both sizes are priced with the BSP execution model on block
+    placements over ``nodes`` at ``ppn`` ranks per node — the same
+    model the DES uses to run jobs, so a curve calibrated from this is
+    consistent with what the scheduler will actually observe.
+    """
+    from repro.simmpi.job import price_placement
+
+    if ranks < 1 or base_ranks < 1:
+        raise ValueError("ranks and base_ranks must be >= 1")
+    t_base = price_placement(
+        app, Placement.block(nodes, ppn, base_ranks), cluster, network
+    )
+    t_n = price_placement(
+        app, Placement.block(nodes, ppn, ranks), cluster, network
+    )
+    if t_n <= 0:
+        raise ValueError(f"non-positive priced time {t_n} at {ranks} ranks")
+    return t_base / t_n
+
+
+def calibrate_amdahl(
+    app: "AppModel",
+    cluster: "Cluster",
+    network: "NetworkModel",
+    nodes: Sequence[str],
+    *,
+    probe_ranks: int = 8,
+    ppn: int = 4,
+) -> SpeedupCurve:
+    """Fit an Amdahl curve to the application's measured speedup.
+
+    Prices the app at 1 and ``probe_ranks`` ranks via
+    :func:`repro.simmpi.job.price_placement` and inverts
+    ``S = 1/(f + (1-f)/n)`` for the serial fraction ``f``, clipped to
+    ``[0, 1]``.  A sub-linear-but-positive measured speedup lands on a
+    sensible concave curve; a measured *slowdown* clips to ``f = 1``
+    (no benefit from more ranks — the optimizer will leave it alone).
+    """
+    if probe_ranks < 2:
+        raise ValueError(f"probe_ranks must be >= 2, got {probe_ranks}")
+    s = measured_speedup(
+        app, cluster, network, nodes, ranks=probe_ranks, ppn=ppn
+    )
+    n = float(probe_ranks)
+    f = (n / max(s, 1e-9) - 1.0) / (n - 1.0)
+    return SpeedupCurve("amdahl", serial_fraction=min(max(f, 0.0), 1.0))

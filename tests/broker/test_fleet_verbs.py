@@ -1,0 +1,229 @@
+"""The ``fleet_plan`` / ``fleet_status`` RPCs — parser to round-trip.
+
+The broker side of the fleet optimizer: one pass replans every live
+lease against one snapshot, gates each plan with the per-lease cooldown
+bypassed (the global :class:`FleetRateLimiter` takes over), and applies
+the accepted batch shrinks-first through the two-phase executor.  A
+dry run must be a pure function of the snapshot: no lease moves, no
+cooldown or limiter state burned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import BrokerClient, BrokerService
+from repro.broker.protocol import (
+    AllocateParams,
+    FleetPlanParams,
+    FleetStatusParams,
+    ProtocolError,
+    parse_request,
+)
+from repro.chaos.transport import ScriptedSocketFactory
+from repro.elastic.gate import FleetRateLimiter
+
+from tests.core.conftest import make_snapshot, make_view
+
+
+def snapshot_of(loads, time=0.0):
+    views = {n: make_view(n, load=v) for n, v in loads.items()}
+    return make_snapshot(views, time=time)
+
+
+@pytest.fixture
+def world():
+    holder = {
+        "snap": snapshot_of({f"n{i}": 0.5 if i <= 4 else 6.0
+                             for i in range(1, 9)})
+    }
+    return holder
+
+
+@pytest.fixture
+def service(world, clock):
+    return BrokerService(
+        lambda: world["snap"], clock=clock, default_ttl_s=3600.0
+    )
+
+
+def allocate(service, n=8, ppn=4):
+    result = service.allocate_batch([AllocateParams(n_processes=n, ppn=ppn)])[0]
+    assert not isinstance(result, ProtocolError), result
+    return result
+
+
+def make_hot(world, nodes, time):
+    """Saturate ``nodes``, idle everything else."""
+    hot = set(nodes)
+    world["snap"] = snapshot_of(
+        {f"n{i}": 10.0 if f"n{i}" in hot else 0.2 for i in range(1, 9)},
+        time=time,
+    )
+
+
+def request_line(op, params=None, id="1"):
+    import json
+
+    return json.dumps(
+        {"v": 1, "id": id, "op": op, "params": params or {}}
+    ).encode() + b"\n"
+
+
+class TestParser:
+    def test_fleet_plan_defaults(self):
+        req = parse_request(request_line("fleet_plan"))
+        assert isinstance(req.params, FleetPlanParams)
+        assert req.params.dry_run is False
+        assert req.params.max_actions == 8
+
+    def test_fleet_plan_explicit(self):
+        req = parse_request(
+            request_line("fleet_plan", {"dry_run": True, "max_actions": 3})
+        )
+        assert req.params == FleetPlanParams(dry_run=True, max_actions=3)
+
+    @pytest.mark.parametrize("params", [
+        {"dry_run": "yes"},
+        {"max_actions": 0},
+        {"max_actions": -1},
+        {"max_actions": 10_000},
+        {"max_actions": 2.5},
+    ])
+    def test_fleet_plan_bad_params(self, params):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(request_line("fleet_plan", params))
+        assert err.value.code.value == "BAD_REQUEST"
+
+    def test_fleet_status_parses(self):
+        req = parse_request(request_line("fleet_status"))
+        assert isinstance(req.params, FleetStatusParams)
+
+
+class TestServiceFleetPlan:
+    def test_dry_run_plans_without_moving(self, service, world, clock):
+        grant = allocate(service)
+        make_hot(world, grant["nodes"], time=100.0)
+        clock.advance(100.0)
+        result = service.fleet_plan(FleetPlanParams(dry_run=True))
+        assert result["dry_run"] is True
+        assert result["considered"] == 1
+        assert len(result["planned"]) == 1
+        assert result["applied"] == 0 and result["failed"] == 0
+        assert result["objective_gain"] > 0
+        # nothing moved, nothing counted, no limiter slot burned
+        lease = service.leases.get(grant["lease_id"])
+        assert set(lease.nodes) == set(grant["nodes"])
+        assert service.metrics.fleet_passes == 0
+        assert service.gate.fleet_limiter.in_window == 0
+
+    def test_executed_pass_moves_the_drifted_lease(self, service, world, clock):
+        grant = allocate(service)
+        make_hot(world, grant["nodes"], time=100.0)
+        clock.advance(100.0)
+        result = service.fleet_plan(FleetPlanParams())
+        assert result["applied"] == 1 and result["failed"] == 0
+        assert result["actions"][0]["outcome"] == "committed"
+        lease = service.leases.get(grant["lease_id"])
+        assert not (set(lease.nodes) & set(grant["nodes"]))
+        assert service.metrics.fleet_passes == 1
+        assert service.metrics.fleet_actions_applied == 1
+        # fleet commits land in the shared reconfigure counters too
+        assert service.metrics.reconfigured == 1
+        assert service.gate.fleet_limiter.in_window == 1
+
+    def test_settled_fleet_is_a_no_op_pass(self, service, world, clock):
+        # a single-node lease on a uniform idle cluster has no better
+        # shape: the pass considers it and plans nothing
+        world["snap"] = snapshot_of({f"n{i}": 0.5 for i in range(1, 9)})
+        allocate(service, n=4, ppn=4)
+        result = service.fleet_plan(FleetPlanParams())
+        assert result["considered"] == 1
+        assert result["planned"] == []
+        assert result["applied"] == 0
+
+    def test_max_actions_caps_the_pass(self, world, clock):
+        service = BrokerService(
+            lambda: world["snap"], clock=clock, default_ttl_s=3600.0
+        )
+        grants = [allocate(service, n=4, ppn=4) for _ in range(2)]
+        make_hot(
+            world,
+            [n for g in grants for n in g["nodes"]],
+            time=100.0,
+        )
+        clock.advance(100.0)
+        result = service.fleet_plan(FleetPlanParams(max_actions=1))
+        assert len(result["planned"]) <= 1
+        reasons = {s["reason"] for s in result["skipped"]}
+        assert "max_actions" in reasons
+
+    def test_rate_limiter_stops_a_saturated_window(self, world, clock):
+        service = BrokerService(
+            lambda: world["snap"],
+            clock=clock,
+            default_ttl_s=3600.0,
+            fleet_limiter=FleetRateLimiter(max_actions=1, window_s=300.0),
+        )
+        grants = [allocate(service, n=4, ppn=4) for _ in range(2)]
+        make_hot(
+            world,
+            [n for g in grants for n in g["nodes"]],
+            time=100.0,
+        )
+        clock.advance(100.0)
+        result = service.fleet_plan(FleetPlanParams())
+        assert result["applied"] == 1
+        reasons = {s["reason"] for s in result["skipped"]}
+        assert "fleet_rate_limited" in reasons
+
+    def test_pass_plans_do_not_claim_the_same_nodes(self, world, clock):
+        service = BrokerService(
+            lambda: world["snap"], clock=clock, default_ttl_s=3600.0
+        )
+        grants = [allocate(service, n=4, ppn=4) for _ in range(2)]
+        make_hot(
+            world,
+            [n for g in grants for n in g["nodes"]],
+            time=100.0,
+        )
+        clock.advance(100.0)
+        result = service.fleet_plan(FleetPlanParams(dry_run=True))
+        claimed: set[str] = set()
+        for action in result["planned"]:
+            added = set(action["add_nodes"])
+            assert not (added & claimed), "two plans claimed the same node"
+            claimed |= added
+
+
+class TestServiceFleetStatus:
+    def test_counters_and_limiter_state(self, service, world, clock):
+        grant = allocate(service)
+        make_hot(world, grant["nodes"], time=100.0)
+        clock.advance(100.0)
+        service.fleet_plan(FleetPlanParams())
+        status = service.fleet_status()
+        assert status["passes"] == 1
+        assert status["actions_applied"] == 1
+        assert status["actions_failed"] == 0
+        assert status["rate_limiter"]["in_window"] == 1
+        assert status["rate_limiter"]["max_actions"] >= 1
+        assert status["gate_counts"]["accepted"] == 1
+
+
+class TestClientRoundTrip:
+    def test_fleet_verbs_over_the_wire(self, service, world, clock):
+        grant = allocate(service)
+        make_hot(world, grant["nodes"], time=100.0)
+        clock.advance(100.0)
+        factory = ScriptedSocketFactory(service)
+        client = BrokerClient(socket_factory=factory)
+        with client:
+            dry = client.fleet_plan(dry_run=True)
+            assert dry["dry_run"] is True and dry["applied"] == 0
+            executed = client.fleet_plan()
+            assert executed["applied"] == 1
+            status = client.fleet_status()
+            assert status["passes"] == 1
+        assert service.metrics.requests_by_op["fleet_plan"] == 2
+        assert service.metrics.requests_by_op["fleet_status"] == 1

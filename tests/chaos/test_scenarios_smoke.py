@@ -2,9 +2,9 @@
 
 The full matrix runs via ``make chaos``; this keeps the fastest,
 highest-signal scenarios (healthy baseline, corrupt store, mid-migration
-death, shard death mid-cross-shard-reserve) inside the regular pytest
-tier so a regression in the degradation paths fails the ordinary test
-run too.
+death, mid-fleet-pass death, shard death mid-cross-shard-reserve) inside
+the regular pytest tier so a regression in the degradation paths fails
+the ordinary test run too.
 """
 
 from __future__ import annotations
@@ -18,8 +18,9 @@ from repro.chaos.scenarios import SCENARIOS, SMOKE_SCENARIOS
 class TestSelection:
     def test_smoke_set_is_a_subset_of_the_matrix(self):
         assert set(SMOKE_SCENARIOS) <= set(SCENARIOS)
-        assert len(SMOKE_SCENARIOS) == 4
+        assert len(SMOKE_SCENARIOS) == 5
         assert "shard_death_cross_reserve" in SMOKE_SCENARIOS
+        assert "fleet_pass_partial_failure" in SMOKE_SCENARIOS
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(KeyError, match="unknown scenario"):

@@ -1,0 +1,125 @@
+"""Fleet passes through the federation router.
+
+A fleet pass fans out as per-shard batches: each live shard replans its
+own slice against its own source (a shard cannot price another shard's
+nodes), the router sums the reports, and cross-shard leases stay on the
+two-phase reserve path.  Dead shards degrade the pass — their row says
+so — rather than failing it.
+"""
+
+from __future__ import annotations
+
+from repro.broker.protocol import AllocateParams, FleetPlanParams, ProtocolError
+from tests.federation.conftest import TTL, make_federation
+
+#: a two-node lease on a uniform shard always has a shrink available,
+#: so executed passes have something real to commit
+LEASE_KW = dict(n_processes=8, ppn=4)
+
+
+def allocate(router, **kwargs):
+    kwargs.setdefault("ttl_s", TTL)
+    out = router.allocate_batch([AllocateParams(**kwargs)])[0]
+    if isinstance(out, ProtocolError):
+        raise out
+    return out
+
+
+def seed_each_shard(router):
+    """One single-shard lease per shard, via each shard's own service."""
+    grants = {}
+    for sid in router.shard_ids:
+        out = router.shard(sid).service.allocate_batch(
+            [AllocateParams(ttl_s=TTL, **LEASE_KW)]
+        )[0]
+        assert not isinstance(out, ProtocolError), out
+        grants[sid] = out
+    return grants
+
+
+class TestFleetPlanFanOut:
+    def test_dry_run_aggregates_per_shard_batches(self, small_sc):
+        router = make_federation(small_sc, 2)
+        seed_each_shard(router)
+        out = router.fleet_plan(FleetPlanParams(dry_run=True))
+        assert out["dry_run"] is True
+        assert set(out["shards"]) == set(router.shard_ids)
+        assert out["considered"] == 2
+        assert out["planned"] == sum(
+            len(row["planned"]) for row in out["shards"].values()
+        )
+        assert out["objective_gain"] == sum(
+            row["objective_gain"] for row in out["shards"].values()
+        )
+        assert out["applied"] == 0 and out["failed"] == 0
+        # a dry run is not a pass: no router or shard counters burned
+        assert router.metrics.fleet_passes == 0
+        for sid in router.shard_ids:
+            assert router.shard(sid).service.metrics.fleet_passes == 0
+
+    def test_executed_pass_commits_on_every_shard(self, small_sc):
+        router = make_federation(small_sc, 2)
+        grants = seed_each_shard(router)
+        out = router.fleet_plan(FleetPlanParams())
+        assert out["applied"] == 2 and out["failed"] == 0
+        assert router.metrics.fleet_passes == 1
+        assert router.metrics.fleet_actions_applied == 2
+        # each shard committed an action; the reshaped lease is still
+        # active and still confined to its own shard's slice
+        for sid, grant in grants.items():
+            lease = router.shard(sid).service.leases.get(grant["lease_id"])
+            assert lease is not None
+            assert set(lease.nodes) != set(grant["nodes"])
+            assert set(lease.nodes) <= set(router.partition[sid])
+
+    def test_dead_shard_degrades_not_fails(self, small_sc):
+        router = make_federation(small_sc, 2)
+        seed_each_shard(router)
+        dead, live = router.shard_ids
+        router.kill(dead)
+        out = router.fleet_plan(FleetPlanParams())
+        assert out["shards"][dead] == {"alive": False}
+        assert out["considered"] == 1
+        assert out["applied"] == out["shards"][live]["applied"]
+
+
+class TestFleetStatusAggregation:
+    def test_totals_and_router_passes(self, small_sc):
+        router = make_federation(small_sc, 2)
+        seed_each_shard(router)
+        router.fleet_plan(FleetPlanParams())
+        status = router.fleet_status()
+        assert status["router_passes"] == 1
+        assert status["passes"] == 2  # one per-shard pass each
+        assert status["actions_applied"] == 2
+        assert status["actions_failed"] == 0
+        assert set(status["shards"]) == set(router.shard_ids)
+
+    def test_dead_shard_row_in_status(self, small_sc):
+        router = make_federation(small_sc, 2)
+        dead = router.shard_ids[0]
+        router.kill(dead)
+        status = router.fleet_status()
+        assert status["shards"][dead] == {"alive": False}
+        assert status["passes"] == 0
+
+
+class TestStatusCounters:
+    def test_shard_rows_carry_malleability_counters(self, small_sc):
+        router = make_federation(small_sc, 2)
+        seed_each_shard(router)
+        router.fleet_plan(FleetPlanParams())
+        rows = router.status()["federation"]["shards"]
+        for sid in router.shard_ids:
+            row = rows[sid]
+            for key in (
+                "reconfigured",
+                "reconfig_rejected",
+                "fleet_passes",
+                "fleet_actions_applied",
+                "fleet_actions_failed",
+            ):
+                assert key in row, f"{key} missing from shard row"
+            # fleet commits land in the shared reconfigure counter too
+            assert row["fleet_passes"] == 1
+            assert row["reconfigured"] == row["fleet_actions_applied"]

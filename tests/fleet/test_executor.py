@@ -1,0 +1,137 @@
+"""FleetExecutor — ordered pass execution with per-action atomicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic.executor import MigrationFailure, TwoPhaseExecutor
+from repro.fleet.executor import (
+    ACTION_ORDER,
+    FleetExecutor,
+    FleetPassReport,
+    order_plans,
+)
+from repro.scheduler.leases import LeaseTable
+
+from tests.elastic.conftest import FakeClock, make_plan
+
+
+@pytest.fixture
+def table() -> LeaseTable:
+    return LeaseTable(
+        clock=FakeClock(), default_ttl_s=3600.0, max_ttl_s=7200.0
+    )
+
+
+@pytest.fixture
+def fleet(table) -> FleetExecutor:
+    return FleetExecutor(TwoPhaseExecutor(table, reserve_ttl_s=60.0))
+
+
+class TestOrdering:
+    def test_shrinks_then_moves_then_expands(self):
+        expand = make_plan(
+            lease_id="L3", old_nodes=("a",), new_nodes=("a", "b")
+        )
+        shrink = make_plan(
+            lease_id="L2", old_nodes=("c", "d"), new_nodes=("c",)
+        )
+        migrate = make_plan(
+            lease_id="L1", old_nodes=("e", "f"), new_nodes=("g", "h")
+        )
+        ordered = order_plans([expand, migrate, shrink])
+        assert [p.kind for p in ordered] == ["shrink", "migrate", "expand"]
+
+    def test_ties_break_on_lease_id(self):
+        a = make_plan(lease_id="LA", old_nodes=("a", "b"), new_nodes=("c", "d"))
+        b = make_plan(lease_id="LB", old_nodes=("e", "f"), new_nodes=("g", "h"))
+        assert [p.lease_id for p in order_plans([b, a])] == ["LA", "LB"]
+
+    def test_rebalance_rides_with_migrate(self):
+        assert ACTION_ORDER["rebalance"] == ACTION_ORDER["migrate"]
+        assert ACTION_ORDER["shrink"] < ACTION_ORDER["migrate"]
+        assert ACTION_ORDER["migrate"] < ACTION_ORDER["expand"]
+
+
+class TestApplyPass:
+    def grant(self, table, nodes):
+        return table.grant(list(nodes), {n: 4 for n in nodes})
+
+    def test_all_commit(self, table, fleet):
+        l1 = self.grant(table, ("a", "b"))
+        l2 = self.grant(table, ("c", "d"))
+        plans = [
+            make_plan(lease_id=l1.lease_id,
+                      old_nodes=("a", "b"), new_nodes=("e", "f")),
+            make_plan(lease_id=l2.lease_id,
+                      old_nodes=("c", "d"), new_nodes=("c",)),
+        ]
+        report = fleet.apply_pass(plans)
+        assert (report.applied, report.failed) == (2, 0)
+        assert table.held_nodes() == {"e", "f", "c"}
+        assert (fleet.passes, fleet.actions_applied) == (1, 2)
+
+    def test_mid_pass_failure_rolls_back_only_that_action(self, table, fleet):
+        l1 = self.grant(table, ("a", "b"))
+        l2 = self.grant(table, ("c", "d"))
+        plans = [
+            make_plan(lease_id=l1.lease_id,
+                      old_nodes=("a", "b"), new_nodes=("e", "f")),
+            make_plan(lease_id=l2.lease_id,
+                      old_nodes=("c", "d"), new_nodes=("g", "h")),
+        ]
+        calls = {"n": 0}
+
+        def flaky_migrate(plan):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise MigrationFailure("transfer died mid-flight")
+
+        report = fleet.apply_pass(plans, migrate=flaky_migrate)
+        assert (report.applied, report.failed) == (1, 1)
+        outcomes = {r.lease_id: r for r in report.results}
+        assert outcomes[l1.lease_id].outcome == "committed"
+        failed = outcomes[l2.lease_id]
+        assert failed.outcome == "failed"
+        assert failed.error == "RECONFIG_FAILED"
+        # the failed lease kept its nodes; the committed one moved
+        assert set(table.get(l1.lease_id).nodes) == {"e", "f"}
+        assert set(table.get(l2.lease_id).nodes) == {"c", "d"}
+        assert table.held_nodes() == {"e", "f", "c", "d"}
+        assert (fleet.actions_applied, fleet.actions_failed) == (1, 1)
+
+    def test_counters_accumulate_across_passes(self, table, fleet):
+        lease = self.grant(table, ("a", "b"))
+        fleet.apply_pass([make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"), new_nodes=("c", "d"),
+        )])
+        fleet.apply_pass([make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("c", "d"), new_nodes=("a", "b"),
+        )])
+        assert fleet.passes == 2
+        assert fleet.actions_applied == 2
+
+    def test_empty_pass_is_counted_but_harmless(self, fleet):
+        report = fleet.apply_pass([])
+        assert report == FleetPassReport()
+        assert fleet.passes == 1
+
+    def test_report_to_dict_shape(self, table, fleet):
+        lease = self.grant(table, ("a", "b"))
+        report = fleet.apply_pass([make_plan(
+            lease_id=lease.lease_id,
+            old_nodes=("a", "b"), new_nodes=("c", "d"),
+            predicted_gain=0.4,
+        )])
+        d = report.to_dict()
+        assert d["applied"] == 1 and d["failed"] == 0
+        (action,) = d["actions"]
+        assert action == {
+            "lease_id": lease.lease_id,
+            "kind": "migrate",
+            "outcome": "committed",
+            "predicted_gain": 0.4,
+            "error": None,
+        }

@@ -1,0 +1,197 @@
+"""The global malleability search: admit / expand / shrink-to-admit.
+
+Concrete fleet states with hand-checkable arithmetic; the randomized
+never-worse invariant lives in tests/properties/test_fleet_properties.py
+and benchmarks/bench_fleet.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.optimizer import (
+    FleetAction,
+    FleetJobState,
+    FleetOptimizer,
+    FleetWeights,
+    PendingJobState,
+    fleet_objective,
+    jain_index,
+)
+from repro.fleet.utility import SpeedupCurve
+
+LINEAR = SpeedupCurve("linear", efficiency=0.9)
+#: nearly serial: shrinking this job costs almost nothing
+SERIAL = SpeedupCurve("amdahl", serial_fraction=0.9)
+
+
+def job(job_id, ranks, curve=LINEAR, **kwargs):
+    return FleetJobState(job_id=job_id, ranks=ranks, curve=curve, **kwargs)
+
+
+def pending(job_id, ranks, curve=LINEAR, **kwargs):
+    return PendingJobState(job_id=job_id, ranks=ranks, curve=curve, **kwargs)
+
+
+def by_kind(result, kind):
+    return [a for a in result.actions if a.kind == kind]
+
+
+class TestObjective:
+    def test_jain_index_bounds(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([4, 4, 4]) == pytest.approx(1.0)
+        # one hog, three starved → well below 1
+        assert jain_index([16, 1, 1, 1]) < 0.5
+
+    def test_fleet_objective_terms(self):
+        jobs = [job("a", 4), job("b", 4)]
+        weights = FleetWeights(productivity=1.0, utilization=2.0, fairness=0.5)
+        expected = (
+            2 * LINEAR.speedup(4)  # productivity, weight 1 each
+            + 2.0 * (8 / 16)       # utilization
+            + 0.5 * 1.0            # fairness (equal ranks)
+        )
+        assert fleet_objective(jobs, 16, weights) == pytest.approx(expected)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            fleet_objective([], 0)
+
+
+class TestValidation:
+    def test_job_state_bounds(self):
+        with pytest.raises(ValueError):
+            job("a", 0)
+        with pytest.raises(ValueError):
+            job("a", 4, min_ranks=5)
+        with pytest.raises(ValueError):
+            job("a", 4, max_ranks=3)
+        with pytest.raises(ValueError):
+            job("a", 4, weight=0.0)
+
+    def test_pending_state_bounds(self):
+        with pytest.raises(ValueError):
+            pending("p", 0)
+        with pytest.raises(ValueError):
+            pending("p", 2, wait_s=-1.0)
+
+    def test_duplicate_job_ids_rejected(self):
+        with pytest.raises(ValueError):
+            FleetOptimizer().optimize([job("a", 2), job("a", 4)], [], 16)
+
+    def test_optimizer_config_bounds(self):
+        with pytest.raises(ValueError):
+            FleetOptimizer(max_rounds=0)
+        with pytest.raises(ValueError):
+            FleetOptimizer(swap_passes=-1)
+        with pytest.raises(ValueError):
+            FleetOptimizer(reserve_frac=1.0)
+
+
+class TestAdmission:
+    def test_fitting_head_is_admitted(self):
+        result = FleetOptimizer().optimize(
+            [job("a", 4)], [pending("p0", 4)], 32
+        )
+        admits = by_kind(result, "admit")
+        assert [a.job_id for a in admits] == ["p0"]
+        assert admits[0].delta_ranks == 4
+        assert result.objective_gain > 0
+
+    def test_queue_admits_in_fifo_order(self):
+        result = FleetOptimizer().optimize(
+            [],
+            [pending("p0", 4), pending("p1", 4), pending("p2", 4)],
+            32,
+        )
+        admits = [a.job_id for a in by_kind(result, "admit")]
+        # only a FIFO prefix is ever admitted — never p1 without p0
+        assert admits == sorted(admits)
+        assert admits[0] == "p0"
+
+    def test_shrink_to_admit_compound(self):
+        # cluster packed solid by one nearly-serial job; a small
+        # well-scaling arrival is worth donor shrinks + admission
+        result = FleetOptimizer().optimize(
+            [job("hog", 8, curve=SERIAL, min_ranks=1)],
+            [pending("p0", 2, weight=2.0)],
+            8,
+        )
+        shrinks = by_kind(result, "shrink")
+        admits = by_kind(result, "admit")
+        assert [a.job_id for a in shrinks] == ["hog"]
+        assert [a.job_id for a in admits] == ["p0"]
+        # donors freed the head *plus* the 25% capacity reserve
+        used = shrinks[0].target_ranks + admits[0].target_ranks
+        assert used <= 8 - 2
+        assert result.objective_gain > 0
+
+    def test_head_that_cannot_fit_blocks_everything(self):
+        # nobody can donate (min_ranks == ranks) and the head does not
+        # fit: no admission — and no expansion either, because growing a
+        # running job past a waiting one would starve the queue
+        result = FleetOptimizer().optimize(
+            [job("a", 4, min_ranks=4, max_ranks=16)],
+            [pending("huge", 100)],
+            16,
+        )
+        assert result.actions == ()
+        assert result.objective_gain == pytest.approx(0.0)
+
+
+class TestExpansion:
+    def test_expansion_only_with_empty_queue(self):
+        with_queue = FleetOptimizer().optimize(
+            [job("a", 4, max_ranks=16)], [pending("huge", 100)], 16
+        )
+        without = FleetOptimizer().optimize(
+            [job("a", 4, max_ranks=16)], [], 16
+        )
+        assert by_kind(with_queue, "expand") == []
+        assert len(by_kind(without, "expand")) == 1
+
+    def test_expansion_respects_capacity_reserve(self):
+        result = FleetOptimizer(reserve_frac=0.25).optimize(
+            [job("a", 4, step=4)], [], 16
+        )
+        expands = by_kind(result, "expand")
+        assert expands, "a well-scaling lone job should grow"
+        # 25% of 16 = 4 ranks must stay free after every expansion
+        assert expands[0].target_ranks <= 12
+
+    def test_expansion_respects_max_ranks(self):
+        result = FleetOptimizer(reserve_frac=0.0).optimize(
+            [job("a", 4, max_ranks=8)], [], 64
+        )
+        assert by_kind(result, "expand")[0].target_ranks == 8
+
+
+class TestResultShape:
+    def test_pure_function_of_inputs(self):
+        jobs = [job("a", 4, curve=SERIAL), job("b", 2)]
+        queue = [pending("p0", 2)]
+        a = FleetOptimizer().optimize(jobs, queue, 16)
+        b = FleetOptimizer().optimize(jobs, queue, 16)
+        assert a == b
+
+    def test_gain_is_after_minus_before(self):
+        result = FleetOptimizer().optimize([job("a", 4)], [], 32)
+        assert result.objective_gain == pytest.approx(
+            result.objective_after - result.objective_before
+        )
+        assert result.rounds >= 1
+
+    def test_noop_state_yields_no_actions(self):
+        # at max_ranks with nothing queued there is no move to make
+        result = FleetOptimizer().optimize(
+            [job("a", 4, max_ranks=4)], [], 32
+        )
+        assert result.actions == ()
+        assert result.objective_after == result.objective_before
+
+    def test_actions_are_typed(self):
+        result = FleetOptimizer().optimize([job("a", 4)], [], 32)
+        for action in result.actions:
+            assert isinstance(action, FleetAction)
+            assert action.kind in ("expand", "shrink", "admit")

@@ -1,0 +1,121 @@
+"""Speedup-curve families: exact forms, class seeding, calibration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.scenario import small_scenario
+from repro.fleet.utility import (
+    FAMILIES,
+    SpeedupCurve,
+    calibrate_amdahl,
+    curve_for_class,
+    measured_speedup,
+)
+
+
+class TestFamilies:
+    def test_amdahl_closed_form(self):
+        curve = SpeedupCurve("amdahl", serial_fraction=0.1)
+        assert curve.speedup(1) == pytest.approx(1.0)
+        assert curve.speedup(8) == pytest.approx(1.0 / (0.1 + 0.9 / 8))
+        # bounded above by 1/f no matter how many ranks
+        assert curve.speedup(10_000) < 10.0
+
+    def test_log_closed_form(self):
+        curve = SpeedupCurve("log", log_scale=1.5)
+        assert curve.speedup(1) == pytest.approx(1.0)
+        assert curve.speedup(10) == pytest.approx(1.0 + 1.5 * math.log(10))
+
+    def test_linear_closed_form(self):
+        curve = SpeedupCurve("linear", efficiency=0.8)
+        assert curve.speedup(1) == pytest.approx(1.0)
+        assert curve.speedup(5) == pytest.approx(1.0 + 0.8 * 4)
+        assert curve.marginal_utility(5) == pytest.approx(0.8)
+
+    def test_marginal_utility_signs(self):
+        curve = SpeedupCurve("amdahl", serial_fraction=0.05)
+        assert curve.marginal_utility(4, 1) > 0
+        assert curve.marginal_utility(4, -1) < 0
+        assert curve.marginal_utility(4, 0) == 0.0
+
+    @pytest.mark.parametrize("bad", [
+        dict(family="cubic"),
+        dict(family="amdahl", serial_fraction=-0.1),
+        dict(family="amdahl", serial_fraction=1.5),
+        dict(family="log", log_scale=-1.0),
+        dict(family="linear", efficiency=0.0),
+        dict(family="linear", efficiency=1.5),
+    ])
+    def test_parameter_validation(self, bad):
+        with pytest.raises(ValueError):
+            SpeedupCurve(**bad)
+
+    def test_ranks_validation(self):
+        curve = SpeedupCurve("linear")
+        with pytest.raises(ValueError):
+            curve.speedup(0)
+        with pytest.raises(ValueError):
+            curve.marginal_utility(2, -2)
+
+
+class TestClassCurves:
+    def test_deterministic_per_class_and_seed(self):
+        assert curve_for_class("fft") == curve_for_class("fft")
+        assert curve_for_class("fft", seed=1) == curve_for_class("fft", seed=1)
+        assert curve_for_class("fft") != curve_for_class("fft", seed=1)
+
+    def test_distinct_classes_get_distinct_curves(self):
+        curves = {curve_for_class(f"class-{i}") for i in range(16)}
+        assert len(curves) > 1
+        assert {c.family for c in curves} <= set(FAMILIES)
+
+    def test_parameters_land_in_documented_ranges(self):
+        for i in range(64):
+            curve = curve_for_class(f"c{i}")
+            if curve.family == "amdahl":
+                assert 0.02 <= curve.serial_fraction <= 0.20
+            elif curve.family == "log":
+                assert 0.5 <= curve.log_scale <= 1.5
+            else:
+                assert 0.6 <= curve.efficiency <= 0.95
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def sc(self):
+        return small_scenario(n_nodes=8, seed=4, warmup_s=600.0)
+
+    @pytest.fixture(scope="class")
+    def app(self):
+        from repro.apps.minimd import MiniMD, MiniMDConfig
+
+        return MiniMD(8, MiniMDConfig(timesteps=50))
+
+    def test_measured_speedup_of_parallel_app(self, sc, app):
+        nodes = sorted(sc.cluster.names)[:4]
+        s = measured_speedup(
+            app, sc.cluster, sc.network, nodes, ranks=8, ppn=4
+        )
+        assert s > 1.0  # more ranks genuinely help this app
+
+    def test_calibrated_curve_matches_the_probe(self, sc, app):
+        nodes = sorted(sc.cluster.names)[:4]
+        curve = calibrate_amdahl(
+            app, sc.cluster, sc.network, nodes, probe_ranks=8, ppn=4
+        )
+        assert curve.family == "amdahl"
+        measured = measured_speedup(
+            app, sc.cluster, sc.network, nodes, ranks=8, ppn=4
+        )
+        # the fit inverts Amdahl at the probe point, so it reproduces it
+        assert curve.speedup(8) == pytest.approx(measured, rel=1e-6)
+
+    def test_probe_validation(self, sc, app):
+        with pytest.raises(ValueError):
+            calibrate_amdahl(
+                app, sc.cluster, sc.network,
+                sorted(sc.cluster.names)[:4], probe_ranks=1,
+            )

@@ -1,0 +1,182 @@
+"""Property tests for the fleet utility curves and global optimizer.
+
+The optimizer's greedy-by-marginal-utility pass is only correct if the
+curve families deliver what they promise, so Hypothesis checks the
+contract directly:
+
+* every family is monotone non-decreasing in ranks;
+* marginal utility never increases with size (concavity) — the property
+  that makes greedy expansion order-optimal;
+* exact closed forms at ``k = 1`` per family (Amdahl / log / linear);
+* the optimizer invariant: the fleet objective after a pass is never
+  below the objective before it, on arbitrary job/queue/capacity mixes.
+
+Runs under the pinned "repro" profile registered in tests/conftest.py
+(derandomized, capped examples, no deadline).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.fleet.optimizer import (  # noqa: E402
+    FleetJobState,
+    FleetOptimizer,
+    FleetWeights,
+    PendingJobState,
+    fleet_objective,
+)
+from repro.fleet.utility import FAMILIES, SpeedupCurve, curve_for_class  # noqa: E402
+
+TOL = 1e-9
+
+curves = st.one_of(
+    st.builds(
+        lambda f: SpeedupCurve("amdahl", serial_fraction=f),
+        st.floats(0.0, 1.0),
+    ),
+    st.builds(
+        lambda c: SpeedupCurve("log", log_scale=c),
+        st.floats(0.0, 3.0),
+    ),
+    st.builds(
+        lambda e: SpeedupCurve("linear", efficiency=e),
+        st.floats(0.01, 1.0),
+    ),
+)
+
+
+class TestCurveShape:
+    @given(curve=curves, ranks=st.integers(1, 256))
+    def test_speedup_monotone_non_decreasing(self, curve, ranks):
+        assert curve.speedup(ranks + 1) >= curve.speedup(ranks) - TOL
+
+    @given(curve=curves, ranks=st.integers(1, 256))
+    def test_speedup_at_one_rank_is_one(self, curve, ranks):
+        assert curve.speedup(1) == pytest.approx(1.0)
+        assert curve.speedup(ranks) >= 1.0 - TOL
+
+    @given(curve=curves, ranks=st.integers(1, 128), k=st.integers(1, 16))
+    def test_marginal_utility_diminishes(self, curve, ranks, k):
+        # concavity: the k-rank gain from a larger base never beats the
+        # same gain from a smaller base
+        early = curve.marginal_utility(ranks, k)
+        late = curve.marginal_utility(ranks + 1, k)
+        assert late <= early + TOL
+
+    @given(curve=curves, ranks=st.integers(2, 256))
+    def test_shrink_marginal_is_non_positive(self, curve, ranks):
+        assert curve.marginal_utility(ranks, -1) <= TOL
+
+
+class TestClosedForms:
+    @given(f=st.floats(0.0, 1.0), n=st.integers(1, 256))
+    def test_amdahl_exact(self, f, n):
+        curve = SpeedupCurve("amdahl", serial_fraction=f)
+        expected = 1.0 / (f + (1.0 - f) / n)
+        assert curve.speedup(n) == pytest.approx(expected)
+        assert curve.marginal_utility(n, 1) == pytest.approx(
+            1.0 / (f + (1.0 - f) / (n + 1)) - expected
+        )
+
+    @given(c=st.floats(0.0, 3.0), n=st.integers(1, 256))
+    def test_log_exact(self, c, n):
+        curve = SpeedupCurve("log", log_scale=c)
+        assert curve.speedup(n) == pytest.approx(1.0 + c * math.log(n))
+        assert curve.marginal_utility(n, 1) == pytest.approx(
+            c * math.log((n + 1) / n)
+        )
+
+    @given(e=st.floats(0.01, 1.0), n=st.integers(1, 256))
+    def test_linear_exact(self, e, n):
+        curve = SpeedupCurve("linear", efficiency=e)
+        assert curve.speedup(n) == pytest.approx(1.0 + e * (n - 1))
+        # every +1 rank is worth exactly the efficiency
+        assert curve.marginal_utility(n, 1) == pytest.approx(e)
+
+    @given(
+        job_class=st.text(min_size=1, max_size=12),
+        seed=st.integers(0, 2**16),
+    )
+    def test_class_curves_are_deterministic(self, job_class, seed):
+        a = curve_for_class(job_class, seed=seed)
+        b = curve_for_class(job_class, seed=seed)
+        assert a == b
+        assert a.family in FAMILIES
+
+
+# -- optimizer invariant ------------------------------------------------
+
+job_states = st.builds(
+    lambda i, ranks, cls, max_extra, weight: FleetJobState(
+        job_id=f"j{i}",
+        ranks=ranks,
+        curve=curve_for_class(f"class-{cls}"),
+        min_ranks=1,
+        max_ranks=None if max_extra is None else ranks + max_extra,
+        weight=weight,
+    ),
+    i=st.integers(0, 10_000),
+    ranks=st.integers(1, 16),
+    cls=st.integers(0, 7),
+    max_extra=st.one_of(st.none(), st.integers(0, 16)),
+    weight=st.sampled_from([0.5, 1.0, 2.0]),
+)
+
+pending_states = st.builds(
+    lambda i, ranks, cls, wait: PendingJobState(
+        job_id=f"p{i}",
+        ranks=ranks,
+        curve=curve_for_class(f"class-{cls}"),
+        wait_s=wait,
+    ),
+    i=st.integers(0, 10_000),
+    ranks=st.integers(1, 16),
+    cls=st.integers(0, 7),
+    wait=st.floats(0.0, 3600.0),
+)
+
+
+def _dedupe(states):
+    seen = set()
+    out = []
+    for s in states:
+        if s.job_id not in seen:
+            seen.add(s.job_id)
+            out.append(s)
+    return out
+
+
+class TestOptimizerInvariant:
+    @given(
+        jobs=st.lists(job_states, max_size=8).map(_dedupe),
+        pending=st.lists(pending_states, max_size=4).map(_dedupe),
+        capacity=st.integers(4, 256),
+        w_util=st.floats(0.0, 4.0),
+        w_fair=st.floats(0.0, 2.0),
+    )
+    def test_pass_never_degrades_objective(
+        self, jobs, pending, capacity, w_util, w_fair
+    ):
+        weights = FleetWeights(utilization=w_util, fairness=w_fair)
+        optimizer = FleetOptimizer(weights=weights)
+        result = optimizer.optimize(jobs, pending, capacity)
+        assert result.objective_after >= result.objective_before - TOL
+        assert result.objective_gain >= -TOL
+
+    @given(
+        jobs=st.lists(job_states, max_size=8).map(_dedupe),
+        capacity=st.integers(4, 256),
+    )
+    def test_reported_before_matches_fleet_objective(self, jobs, capacity):
+        optimizer = FleetOptimizer()
+        result = optimizer.optimize(jobs, [], capacity)
+        assert result.objective_before == pytest.approx(
+            fleet_objective(jobs, capacity, optimizer.weights)
+        )

@@ -1,8 +1,8 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: all test lint typecheck bench bench-full bench-smoke bench-json elastic fleet chaos chaos-smoke examples clean
+.PHONY: all test lint typecheck bench bench-full bench-smoke bench-json elastic fleet chaos chaos-smoke scenarios examples clean
 
-all: test lint typecheck
+all: test lint typecheck scenarios
 
 test:
 	pytest tests/
@@ -39,9 +39,10 @@ bench-smoke:
 
 # Machine-readable timings for trajectory tracking (compare
 # BENCH_allocator.json / BENCH_broker.json / BENCH_elastic.json /
-# BENCH_hotpath.json / BENCH_federation.json / BENCH_fleet.json across
-# commits; see docs/PERFORMANCE.md, docs/BROKER.md, docs/ELASTIC.md,
-# docs/FEDERATION.md and docs/FLEET.md).  bench_broker runs before
+# BENCH_hotpath.json / BENCH_federation.json / BENCH_fleet.json /
+# BENCH_scenarios.json across commits; see docs/PERFORMANCE.md,
+# docs/BROKER.md, docs/ELASTIC.md, docs/FEDERATION.md, docs/FLEET.md
+# and docs/SCENARIOS.md).  bench_broker runs before
 # bench_hotpath: the hotpath transport floor is a ratio against the
 # JSON-lines number bench_broker just wrote.
 bench-json:
@@ -52,6 +53,7 @@ bench-json:
 	pytest benchmarks/bench_hotpath.py --benchmark-only
 	pytest benchmarks/bench_federation.py --benchmark-only
 	pytest benchmarks/bench_fleet.py --benchmark-only
+	pytest benchmarks/bench_scenarios.py --benchmark-only
 
 # The headline elastic experiment: static vs. elastic scheduling on the
 # same drifting-load world (single reproducible entry point).
@@ -70,6 +72,14 @@ chaos:
 
 chaos-smoke:
 	python -m repro chaos --seed 0 --smoke
+
+# Scenario-zoo smoke sweep: the registry listing, one §5 comparison per
+# smoke cell, and the cross-scenario test matrix (docs/SCENARIOS.md).
+# The full registry runs nightly via REPRO_NIGHTLY=1.
+scenarios:
+	python -m repro scenarios list
+	python -m repro scenarios run fat-tree --jobs 2
+	pytest tests/scenarios -q
 
 examples:
 	python examples/quickstart.py

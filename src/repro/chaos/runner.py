@@ -33,9 +33,14 @@ def select_scenarios(
 
 
 def run_scenarios(
-    names: Iterable[str], *, seed: int = 0
+    names: Iterable[str], *, seed: int = 0, world: str | None = None
 ) -> list[ChaosReport]:
-    return [SCENARIOS[name].run(seed) for name in names]
+    """Run fault scenarios, optionally against a registered world scenario.
+
+    ``world`` is a name from :func:`repro.scenarios.list_scenarios`
+    (e.g. ``"bursty"``); ``None`` keeps the legacy uniform tree.
+    """
+    return [SCENARIOS[name].run(seed, world) for name in names]
 
 
 def format_report(report: ChaosReport, *, verbose: bool = False) -> str:
@@ -66,6 +71,7 @@ def main(
     seed: int = 0,
     only: Iterable[str] | None = None,
     smoke: bool = False,
+    world: str | None = None,
     list_only: bool = False,
     as_json: bool = False,
     verbose: bool = False,
@@ -84,11 +90,12 @@ def main(
             print(f"{name:<22s} {scenario.description}{tag}")
         return 0
     names = select_scenarios(only, smoke=smoke)
-    reports = run_scenarios(names, seed=seed)
+    reports = run_scenarios(names, seed=seed, world=world)
     if as_json:
         print(json.dumps([r.summary() for r in reports], indent=2))
     else:
-        print(f"chaos harness: {len(reports)} scenario(s), seed={seed}")
+        where = f", world={world}" if world else ""
+        print(f"chaos harness: {len(reports)} scenario(s), seed={seed}{where}")
         for report in reports:
             print(format_report(report, verbose=verbose))
         failed = [r.name for r in reports if not r.ok]

@@ -81,6 +81,10 @@ class ChaosWorld:
     service: BrokerService
     injector: FaultInjector
     quarantine: NodeQuarantine | None = None
+    #: bounded-quality invariant bound this world was calibrated for —
+    #: faster-varying regimes (bursty worlds) honestly cost more quality
+    #: per second of monitoring staleness than the legacy smooth load
+    quality_bound: float = DEFAULT_QUALITY_BOUND
 
     @property
     def now(self) -> float:
@@ -96,15 +100,35 @@ class ChaosWorld:
 def build_world(
     seed: int,
     *,
+    scenario: str | None = None,
     n_nodes: int = 8,
     warmup_s: float = 600.0,
     lkg_max_age_s: float | None = 600.0,
     with_quarantine: bool = False,
     migrate_hook: Callable[[Any], None] | None = None,
 ) -> ChaosWorld:
+    """One fault-injectable world; ``scenario`` swaps in a registered cell.
+
+    ``scenario=None`` keeps the legacy 8-node uniform tree bit-for-bit;
+    a registered name (e.g. ``"bursty"`` — fat-tree under arrival
+    storms) replays every fault schedule against that cell's topology
+    and background regime instead.
+    """
     store = ChaoticStore(InMemoryStore())
-    specs, topo = uniform_cluster(n_nodes, nodes_per_switch=4)
-    sc = Scenario.build(specs, topo, seed=seed, store=store)
+    quality_bound = DEFAULT_QUALITY_BOUND
+    if scenario is None:
+        specs, topo = uniform_cluster(n_nodes, nodes_per_switch=4)
+        workload_config = None
+    else:
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario(scenario)
+        specs, topo = spec.build_cluster()
+        workload_config = spec.workload_config
+        quality_bound = spec.chaos_quality_bound
+    sc = Scenario.build(
+        specs, topo, seed=seed, store=store, workload_config=workload_config
+    )
     sc.warm_up(warmup_s)
     clock = lambda: sc.engine.now  # noqa: E731 — the DES clock, injected
     source = CachedSnapshotSource(
@@ -128,7 +152,10 @@ def build_world(
         migrate_hook=migrate_hook,
     )
     injector = FaultInjector(sc, store=store, seed=seed)
-    return ChaosWorld(sc, store, source, service, injector, quarantine)
+    return ChaosWorld(
+        sc, store, source, service, injector, quarantine,
+        quality_bound=quality_bound,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -205,12 +232,14 @@ def drive(
                     ),
                 )
                 if oracle is not None:
+                    # Compose the fault scenario's bound with the
+                    # world's calibration: whichever is looser wins.
                     checker.check_quality(
                         chosen=nodes,
                         oracle=oracle.nodes,
                         truth=world.truth(),
                         request=request,
-                        bound=quality_bound,
+                        bound=max(quality_bound, world.quality_bound),
                         label=f"step{step}",
                     )
         else:
@@ -298,7 +327,9 @@ class ChaosReport:
 class ChaosScenario:
     name: str
     description: str
-    run: Callable[[int], ChaosReport]
+    #: ``run(seed, world_scenario)`` — the second argument selects a
+    #: registered world scenario (None = legacy uniform tree)
+    run: Callable[[int, str | None], ChaosReport]
     #: included in the CI smoke trio
     smoke: bool = False
 
@@ -337,9 +368,9 @@ def _report(
 # scenarios
 
 
-def scenario_baseline_no_faults(seed: int) -> ChaosReport:
+def scenario_baseline_no_faults(seed: int, scenario: str | None = None) -> ChaosReport:
     """Sanity floor: no faults, every invariant, quality ratio ≈ 1."""
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("baseline_no_faults")
     stats = drive(world, checker, steps=10, check_quality=True)
     finish(world, checker, stats)
@@ -351,13 +382,13 @@ def scenario_baseline_no_faults(seed: int) -> ChaosReport:
     return _report("baseline_no_faults", seed, world, checker, stats)
 
 
-def scenario_daemon_crash_storm(seed: int) -> ChaosReport:
+def scenario_daemon_crash_storm(seed: int, scenario: str | None = None) -> ChaosReport:
     """A third of the NodeStateDs plus LivehostsD and LatencyD crash.
 
     The Central Monitor pair must restart them; allocations must keep
     flowing off stale-but-present records in the meantime.
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("daemon_crash_storm")
     mon = world.scenario.monitoring
     assert mon is not None
@@ -379,13 +410,13 @@ def scenario_daemon_crash_storm(seed: int) -> ChaosReport:
     return _report("daemon_crash_storm", seed, world, checker, stats)
 
 
-def scenario_stale_monitor(seed: int) -> ChaosReport:
+def scenario_stale_monitor(seed: int, scenario: str | None = None) -> ChaosReport:
     """Staleness storm: node-state writes freeze for five minutes.
 
     Records stay present but stop refreshing — the classic stale-NFS
     failure.  Allocations continue on stale data with bounded quality.
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("stale_monitor")
     world.injector.freeze_keys(
         "nodestate/*", world.now + 60.0, duration_s=300.0
@@ -398,13 +429,13 @@ def scenario_stale_monitor(seed: int) -> ChaosReport:
     return _report("stale_monitor", seed, world, checker, stats)
 
 
-def scenario_corrupt_store(seed: int) -> ChaosReport:
+def scenario_corrupt_store(seed: int, scenario: str | None = None) -> ChaosReport:
     """Torn JSON on two nodes' records plus all latency records.
 
     Snapshot assembly must skip-and-log the damaged keys; the damaged
     nodes must not be chosen while their records are unreadable.
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("corrupt_store")
     victims = world.injector.pick_nodes(2)
     t0 = world.now
@@ -435,13 +466,13 @@ def scenario_corrupt_store(seed: int) -> ChaosReport:
     return _report("corrupt_store", seed, world, checker, stats)
 
 
-def scenario_poisoned_records(seed: int) -> ChaosReport:
+def scenario_poisoned_records(seed: int, scenario: str | None = None) -> ChaosReport:
     """Silent data corruption: NaN and negative values in node records.
 
     Snapshot validation must reject the records (never letting NaN reach
     Eq. 1–4) and the poisoned nodes must drop out of placement.
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("poisoned_records")
     nan_node, neg_node = world.injector.pick_nodes(2)
     t0 = world.now
@@ -469,13 +500,13 @@ def scenario_poisoned_records(seed: int) -> ChaosReport:
     return _report("poisoned_records", seed, world, checker, stats)
 
 
-def scenario_livehosts_blackout(seed: int) -> ChaosReport:
+def scenario_livehosts_blackout(seed: int, scenario: str | None = None) -> ChaosReport:
     """The livehosts record turns to garbage for four minutes.
 
     Snapshot assembly falls back to the static member list; allocations
     keep flowing (optimistically assuming nodes up beats refusing all).
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("livehosts_blackout")
     world.injector.corrupt_keys("livehosts", world.now + 60.0, duration_s=240.0)
     stats = drive(world, checker, steps=12, check_quality=True)
@@ -486,9 +517,9 @@ def scenario_livehosts_blackout(seed: int) -> ChaosReport:
     return _report("livehosts_blackout", seed, world, checker, stats)
 
 
-def scenario_node_flapping(seed: int) -> ChaosReport:
+def scenario_node_flapping(seed: int, scenario: str | None = None) -> ChaosReport:
     """One host bounces up/down; quarantine must stop placements on it."""
-    world = build_world(seed, with_quarantine=True)
+    world = build_world(seed, scenario=scenario, with_quarantine=True)
     checker = InvariantChecker("node_flapping")
     flapper = world.scenario.cluster.names[-1]
     t0 = world.now
@@ -527,10 +558,10 @@ def scenario_node_flapping(seed: int) -> ChaosReport:
     )
 
 
-def scenario_snapshot_outage(seed: int) -> ChaosReport:
+def scenario_snapshot_outage(seed: int, scenario: str | None = None) -> ChaosReport:
     """Every store key unreadable: LKG fallback, then typed denial, then
     recovery — the full degradation ladder in one run."""
-    world = build_world(seed, lkg_max_age_s=120.0)
+    world = build_world(seed, scenario=scenario, lkg_max_age_s=120.0)
     checker = InvariantChecker("snapshot_outage")
     t0 = world.now
     world.injector.corrupt_keys("*", t0 + 150.0, duration_s=300.0)
@@ -554,13 +585,13 @@ def scenario_snapshot_outage(seed: int) -> ChaosReport:
     return _report("snapshot_outage", seed, world, checker, stats)
 
 
-def scenario_flaky_transport(seed: int) -> ChaosReport:
+def scenario_flaky_transport(seed: int, scenario: str | None = None) -> ChaosReport:
     """Connections die before and after the server processes requests.
 
     The client must retry safely: the post-processing death is the
     double-grant trap, closed by the idempotency token.
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("flaky_transport")
     factory = ScriptedSocketFactory(
         world.service,
@@ -627,7 +658,7 @@ def scenario_flaky_transport(seed: int) -> ChaosReport:
     )
 
 
-def scenario_mid_migration_death(seed: int) -> ChaosReport:
+def scenario_mid_migration_death(seed: int, scenario: str | None = None) -> ChaosReport:
     """The migration callback dies mid-reconfiguration.
 
     The two-phase executor must roll back: the job keeps its original
@@ -641,7 +672,7 @@ def scenario_mid_migration_death(seed: int) -> ChaosReport:
         if calls["n"] == 1:
             raise RuntimeError("chaos: checkpoint transfer died")
 
-    world = build_world(seed, migrate_hook=flaky_migrate)
+    world = build_world(seed, scenario=scenario, migrate_hook=flaky_migrate)
     checker = InvariantChecker("mid_migration_death")
     world.scenario.advance(30.0)
     params = AllocateParams(n_processes=4, ppn=2, ttl_s=_LEASE_TTL_S)
@@ -762,7 +793,7 @@ def scenario_mid_migration_death(seed: int) -> ChaosReport:
     )
 
 
-def scenario_fleet_pass_partial_failure(seed: int) -> ChaosReport:
+def scenario_fleet_pass_partial_failure(seed: int, scenario: str | None = None) -> ChaosReport:
     """A migration dies midway through a multi-action fleet pass.
 
     The fleet executor orders the batch but applies each action through
@@ -778,7 +809,7 @@ def scenario_fleet_pass_partial_failure(seed: int) -> ChaosReport:
         if calls["n"] == 2:
             raise RuntimeError("chaos: checkpoint transfer died mid-pass")
 
-    world = build_world(seed, migrate_hook=flaky_migrate)
+    world = build_world(seed, scenario=scenario, migrate_hook=flaky_migrate)
     checker = InvariantChecker("fleet_pass_partial_failure")
     world.scenario.advance(30.0)
 
@@ -912,7 +943,7 @@ def scenario_fleet_pass_partial_failure(seed: int) -> ChaosReport:
     )
 
 
-def scenario_shard_death_cross_reserve(seed: int) -> ChaosReport:
+def scenario_shard_death_cross_reserve(seed: int, scenario: str | None = None) -> ChaosReport:
     """A shard dies between cross-shard reserve and commit.
 
     The federation router must roll the transaction back: surviving
@@ -921,7 +952,7 @@ def scenario_shard_death_cross_reserve(seed: int) -> ChaosReport:
     the shard is re-admitted the same request commits across both
     subtrees.
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("shard_death_cross_reserve")
     world.scenario.advance(30.0)
 
@@ -1082,13 +1113,13 @@ def scenario_shard_death_cross_reserve(seed: int) -> ChaosReport:
     )
 
 
-def scenario_clock_skew(seed: int) -> ChaosReport:
+def scenario_clock_skew(seed: int, scenario: str | None = None) -> ChaosReport:
     """Monitor record timestamps jump 15 minutes forward, then backward.
 
     Staleness arithmetic must survive negative and huge ages without a
     crash; allocations continue throughout.
     """
-    world = build_world(seed)
+    world = build_world(seed, scenario=scenario)
     checker = InvariantChecker("clock_skew")
     t0 = world.now
     world.injector.skew_keys("nodestate/*", +900.0, t0 + 60.0, duration_s=150.0)

@@ -33,7 +33,6 @@ from repro.apps.stencil import Stencil3D
 from repro.core.policies import AllocationRequest
 from repro.core.weights import TradeOff
 from repro.experiments.runner import POLICY_ORDER, compare_policies
-from repro.experiments.scenario import paper_scenario
 from repro.simmpi.job import SimJob
 from repro.simmpi.placement import Placement
 
@@ -52,6 +51,11 @@ def add_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--warmup-min", type=float, default=30.0,
         help="background warm-up before acting (simulated minutes)",
+    )
+    p.add_argument(
+        "--scenario", default="paper-tree", metavar="NAME",
+        help="registered world scenario to act on "
+             "(see `python -m repro scenarios list`)",
     )
 
 
@@ -72,8 +76,25 @@ def build_request(args: argparse.Namespace) -> AllocationRequest:
     )
 
 
+def scenario_from_args(args: argparse.Namespace, **build_kwargs):
+    """Build the world a CLI command acts on, from its ``--scenario``.
+
+    The default ``paper-tree`` reproduces the legacy ``paper_scenario()``
+    world bit-for-bit.
+    """
+    from repro.scenarios import get_scenario
+
+    name = getattr(args, "scenario", None) or "paper-tree"
+    try:
+        spec = get_scenario(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+    build_kwargs.setdefault("warmup_s", args.warmup_min * 60.0)
+    return spec.build(args.seed, **build_kwargs)
+
+
 def cmd_allocate(args: argparse.Namespace) -> int:
-    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    sc = scenario_from_args(args)
     broker = sc.broker()
     result = broker.request(
         build_request(args),
@@ -97,7 +118,7 @@ def cmd_allocate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    sc = scenario_from_args(args)
     broker = sc.broker()
     app = make_app(args.app, args.size)
     result = broker.request(
@@ -121,7 +142,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    sc = scenario_from_args(args)
     app = make_app(args.app, args.size)
     comparison = compare_policies(
         sc, app, build_request(args), rng=sc.streams.child("cli")
@@ -180,6 +201,7 @@ def cmd_elastic(args: argparse.Namespace) -> int:
 
     cmp = run_elastic_comparison(
         seed=args.seed,
+        scenario=args.scenario,
         n_nodes=args.nodes,
         n_jobs=args.jobs,
         n_processes=args.procs,
@@ -208,6 +230,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
     cmp = run_fleet_comparison(
         seed=args.seed,
+        scenario=args.scenario,
         n_nodes=args.nodes,
         n_jobs=args.jobs,
         n_processes=args.procs,
@@ -245,6 +268,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed,
             only=only,
             smoke=args.smoke,
+            world=args.scenario,
             list_only=args.list,
             as_json=args.json,
             verbose=args.verbose,
@@ -254,10 +278,62 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 2
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_comparison
+    from repro.scenarios import get_scenario, list_scenarios
+
+    if args.action == "list":
+        if args.json:
+            print(json.dumps([
+                {
+                    "name": name,
+                    "description": get_scenario(name).description,
+                    "smoke": get_scenario(name).smoke,
+                    "paper": get_scenario(name).paper,
+                }
+                for name in list_scenarios()
+            ], indent=2))
+            return 0
+        for name in list_scenarios():
+            spec = get_scenario(name)
+            tags = "".join(
+                f" [{t}]" for t, on in
+                (("paper", spec.paper), ("smoke", spec.smoke)) if on
+            )
+            print(f"{name:<14s} {spec.description}{tags}")
+        return 0
+    # action == "run"
+    try:
+        get_scenario(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    result = run_comparison(
+        args.name,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        n_processes=args.procs,
+        ppn=args.ppn,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    means = result.mean_times()
+    print(f"scenario={result.scenario} seed={result.seed} "
+          f"jobs={len(result.jobs)}")
+    print(f"{'policy':>20s}  {'mean time (s)':>13s}")
+    for name in POLICY_ORDER:
+        if name in means:
+            print(f"{name:>20s}  {means[name]:13.3f}")
+    print(f"allocate vs random {result.improvement_pct('random'):+.1f}%  "
+          f"vs sequential {result.improvement_pct('sequential'):+.1f}%")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.workload.traces import TraceRecorder
 
-    sc = paper_scenario(seed=args.seed, warmup_s=0.0, with_monitoring=False)
+    sc = scenario_from_args(args, warmup_s=0.0, with_monitoring=False)
     rec = TraceRecorder(sc.engine, sc.cluster, period_s=args.period_s)
     sc.engine.run(args.hours * 3600.0)
     trace = rec.finish()
@@ -320,7 +396,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.broker import BrokerServer, BrokerService
     from repro.monitor.snapshot import CachedSnapshotSource
 
-    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    sc = scenario_from_args(args)
     refresh_hook = None
     if args.advance_on_refresh_s > 0:
         refresh_hook = lambda: sc.advance(args.advance_on_refresh_s)  # noqa: E731
@@ -402,7 +478,7 @@ def cmd_federate(args: argparse.Namespace) -> int:
     from repro.federation.sharding import snapshot_switches, subtree_partition
     from repro.monitor.snapshot import CachedSnapshotSource
 
-    sc = paper_scenario(seed=args.seed, warmup_s=args.warmup_min * 60.0)
+    sc = scenario_from_args(args)
     source = CachedSnapshotSource(sc.snapshot, max_age_s=1e9)
     partition = subtree_partition(snapshot_switches(source()), args.shards)
     router = build_federation(source, partition)
@@ -642,6 +718,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--failure-rate", type=float, default=0.0,
                    help="probability an accepted migration fails mid-flight")
     p.add_argument("--reprice-period-s", type=float, default=30.0)
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="registered world scenario "
+                        "(default: legacy uniform tree)")
     p.add_argument("--events", action="store_true",
                    help="also print each reconfiguration event")
     p.add_argument("--json", action="store_true")
@@ -663,6 +742,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drift intensity multiplier for the OU excursions")
     p.add_argument("--utility-seed", type=int, default=0,
                    help="seed for the per-job-class speedup curves")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="registered world scenario "
+                        "(default: legacy uniform tree)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_fleet)
 
@@ -677,6 +759,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only these scenarios (repeatable)")
     p.add_argument("--smoke", action="store_true",
                    help="run only the fast CI smoke trio")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="registered world scenario to inject faults "
+                        "into (default: legacy uniform tree)")
     p.add_argument("--list", action="store_true",
                    help="list available scenarios and exit")
     p.add_argument("--json", action="store_true",
@@ -684,6 +769,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also print each injected fault")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="list registered world scenarios or run one end-to-end",
+    )
+    scen_sub = p.add_subparsers(dest="action", required=True)
+    pl = scen_sub.add_parser("list", help="list the registered matrix")
+    pl.add_argument("--json", action="store_true")
+    pl.set_defaults(func=cmd_scenarios)
+    pr = scen_sub.add_parser(
+        "run", help="four-policy comparison over one scenario's job stream"
+    )
+    pr.add_argument("name", help="registered scenario name")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--jobs", type=int, default=5)
+    pr.add_argument("-n", "--procs", type=int, default=16)
+    pr.add_argument("--ppn", type=int, default=4)
+    pr.add_argument("--json", action="store_true")
+    pr.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("trace", help="record resource usage to CSV")
     add_scenario_args(p)

@@ -1,4 +1,4 @@
-"""Switch-tree topology.
+"""Switch topologies: the paper's tree, plus general switch graphs.
 
 The paper's cluster "has a tree-like hierarchical topology with 4 switches.
 Each switch connects 10-15 nodes using Gigabit Ethernet."  We model an
@@ -6,11 +6,18 @@ arbitrary tree of switches; compute nodes attach to leaf switches.  Hop
 count between two nodes is the number of network links on the unique tree
 path (2 for same-switch pairs, 4 via a common parent, ...), matching the
 paper's "1 - 4 hops" proximity numbering.
+
+Beyond the paper: ``extra_switch_links`` turns the switch *tree* into a
+general connected switch *graph* (fat-trees with redundant cores, full
+meshes, N+1-redundant standby switches — the scenario-zoo shapes).
+Routing then uses deterministic BFS shortest paths (neighbors explored
+in sorted order, so the same topology always routes the same way); the
+tree's LCA fast path is kept bit-identical when no extra links exist.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import networkx as nx
 
@@ -29,6 +36,12 @@ class SwitchTopology:
         Mapping node name -> leaf switch it attaches to.
     uplink_capacity_mbs / edge_capacity_mbs:
         Capacities of switch-switch and node-switch links (MB/s).
+    extra_switch_links:
+        Optional switch-switch links beyond the parent tree — either
+        ``(a, b)`` pairs (at ``uplink_capacity_mbs``) or
+        ``(a, b, capacity_mbs)`` triples.  Any extra link switches
+        routing from the tree's LCA walk to deterministic BFS shortest
+        paths over the whole switch graph.
     """
 
     def __init__(
@@ -38,6 +51,7 @@ class SwitchTopology:
         *,
         uplink_capacity_mbs: float = GIGABIT_PER_S_IN_MB_S,
         edge_capacity_mbs: float = GIGABIT_PER_S_IN_MB_S,
+        extra_switch_links: Sequence[tuple] | None = None,
     ) -> None:
         roots = [s for s, p in switch_parents.items() if p is None]
         if len(roots) != 1:
@@ -57,14 +71,42 @@ class SwitchTopology:
         self._graph = nx.Graph()
         for s in switch_parents:
             self._graph.add_node(s, kind="switch")
+        tree_edges = []
         for s, p in switch_parents.items():
             if p is not None:
                 self._graph.add_edge(s, p, capacity=uplink_capacity_mbs)
+                tree_edges.append((s, p))
+        self._extra_links: list[tuple[str, str]] = []
+        for link in extra_switch_links or ():
+            if len(link) == 2:
+                a, b = link
+                cap = uplink_capacity_mbs
+            elif len(link) == 3:
+                a, b, cap = link
+            else:
+                raise ValueError(
+                    f"extra link must be (a, b) or (a, b, capacity): {link!r}"
+                )
+            for sw in (a, b):
+                if sw not in switch_parents:
+                    raise ValueError(f"extra link endpoint {sw!r} is not a switch")
+            if a == b:
+                raise ValueError(f"extra link {link!r} is a self-loop")
+            if self._graph.has_edge(a, b):
+                continue  # parent link (or duplicate) already carries traffic
+            self._graph.add_edge(a, b, capacity=float(cap))
+            self._extra_links.append((a, b) if a <= b else (b, a))
         for node, sw in node_switch.items():
             self._graph.add_node(node, kind="node")
             self._graph.add_edge(node, sw, capacity=edge_capacity_mbs)
-        if not nx.is_tree(self._graph.subgraph(list(switch_parents))):
-            raise ValueError("switch graph must be a tree")
+        # The parent mapping must always form a spanning tree of the
+        # switches (guarantees connectivity and a well-defined root);
+        # extra links may only add redundancy on top of it.
+        tree = nx.Graph()
+        tree.add_nodes_from(switch_parents)
+        tree.add_edges_from(tree_edges)
+        if not nx.is_tree(tree):
+            raise ValueError("switch parent graph must be a tree")
         # Depth of each switch for LCA computation.
         self._depth: dict[str, int] = {}
         for s in switch_parents:
@@ -73,7 +115,20 @@ class SwitchTopology:
                 cur = self._parents[cur]  # type: ignore[assignment]
                 d += 1
             self._depth[s] = d
+        # Sorted adjacency over the switch graph: BFS explores neighbors
+        # in this order, so shortest-path ties always break identically.
+        self._switch_adj: dict[str, tuple[str, ...]] = {
+            s: tuple(
+                sorted(
+                    n
+                    for n in self._graph.neighbors(s)
+                    if n in self._parents
+                )
+            )
+            for s in switch_parents
+        }
         self._path_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+        self._switch_path_cache: dict[tuple[str, str], tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -110,10 +165,22 @@ class SwitchTopology:
         return [n for n, s in self._node_switch.items() if s == switch]
 
     # ------------------------------------------------------------------
+    @property
+    def extra_switch_links(self) -> tuple[tuple[str, str], ...]:
+        """Canonically-ordered redundant switch links (empty for trees)."""
+        return tuple(self._extra_links)
+
     def switch_path(self, sa: str, sb: str) -> tuple[str, ...]:
-        """Sequence of switches on the tree path from ``sa`` to ``sb``."""
+        """Sequence of switches on the routed path from ``sa`` to ``sb``.
+
+        Pure trees use the LCA walk; once ``extra_switch_links`` exist,
+        paths come from BFS over the switch graph with sorted neighbor
+        order, so shortest-path ties break deterministically.
+        """
         if sa == sb:
             return (sa,)
+        if self._extra_links:
+            return self._bfs_switch_path(sa, sb)
         up_a, up_b = [sa], [sb]
         a, b = sa, sb
         while self._depth[a] > self._depth[b]:
@@ -129,6 +196,33 @@ class SwitchTopology:
             up_b.append(b)
         # up_a ends at LCA; up_b also ends at LCA — drop the duplicate.
         return tuple(up_a + up_b[-2::-1])
+
+    def _bfs_switch_path(self, sa: str, sb: str) -> tuple[str, ...]:
+        """Deterministic BFS shortest switch path (cached per pair)."""
+        key = (sa, sb) if sa <= sb else (sb, sa)
+        cached = self._switch_path_cache.get(key)
+        if cached is None:
+            src, dst = key
+            prev: dict[str, str] = {src: src}
+            frontier = [src]
+            while frontier and dst not in prev:
+                nxt: list[str] = []
+                for s in frontier:
+                    for n in self._switch_adj[s]:
+                        if n not in prev:
+                            prev[n] = s
+                            nxt.append(n)
+                frontier = nxt
+            if dst not in prev:  # unreachable: parent tree spans all switches
+                raise KeyError(f"no switch path {sa!r} -> {sb!r}")
+            rev = [dst]
+            while rev[-1] != src:
+                rev.append(prev[rev[-1]])
+            cached = tuple(reversed(rev))
+            self._switch_path_cache[key] = cached
+        if (sa, sb) == key:
+            return cached
+        return cached[::-1]
 
     def path(self, u: str, v: str) -> tuple[str, ...]:
         """Full node-to-node path: [u, switches..., v]. Cached."""

@@ -55,10 +55,58 @@ def drifting_workload_config(intensity: float = 1.0) -> WorkloadConfig:
     )
 
 
+def drifting_world(
+    scenario: str | None,
+    *,
+    drift_intensity: float,
+    n_nodes: int,
+    nodes_per_switch: int,
+):
+    """Cluster + workload for one variant world, optionally from a scenario.
+
+    Returns ``(specs, topo, workload_config, spec)`` where ``spec`` is the
+    resolved :class:`~repro.scenarios.registry.ScenarioSpec` (or ``None``
+    for the legacy uniform tree).  A scenario contributes its topology,
+    node classes, background job/flow processes and regime fields
+    (diurnal, spikes); the ambient terms stay the drifting OU this
+    experiment's static-vs-elastic claim depends on.
+    """
+    if scenario is None:
+        specs, topo = uniform_cluster(
+            n_nodes, nodes_per_switch=nodes_per_switch
+        )
+        return specs, topo, drifting_workload_config(drift_intensity), None
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario(scenario)
+    specs, topo = spec.build_cluster()
+    base = spec.workload_config
+    workload_config = replace(
+        drifting_workload_config(drift_intensity),
+        jobs=base.jobs,
+        netflows=base.netflows,
+        diurnal=base.diurnal,
+        spikes=base.spikes,
+    )
+    return specs, topo, workload_config, spec
+
+
+def submit_offsets(spec, n_jobs: int, interarrival_s: float, streams):
+    """Per-job submit offsets: fixed spacing, or the scenario's arrivals."""
+    if spec is None:
+        return tuple(i * interarrival_s for i in range(n_jobs))
+    return spec.arrival_offsets(n_jobs, streams.child("arrivals"))
+
+
 @dataclass(frozen=True)
 class ElasticExperimentConfig:
     """Everything one static-vs-elastic comparison run depends on."""
 
+    #: registered scenario providing cluster + regime (None = the legacy
+    #: uniform 12-node tree; any other value changes topology, job/flow
+    #: background and arrival process while keeping the drifting ambient
+    #: load the experiment's claim needs)
+    scenario: str | None = None
     n_nodes: int = 12
     nodes_per_switch: int = 4
     n_jobs: int = 6
@@ -148,14 +196,14 @@ def run_variant(
 ) -> VariantResult:
     """One scheduler variant on a freshly built drifting-load world."""
     cfg = config
-    specs, topo = uniform_cluster(
-        cfg.n_nodes, nodes_per_switch=cfg.nodes_per_switch
+    specs, topo, workload_config, spec = drifting_world(
+        cfg.scenario,
+        drift_intensity=cfg.drift_intensity,
+        n_nodes=cfg.n_nodes,
+        nodes_per_switch=cfg.nodes_per_switch,
     )
     sc = Scenario.build(
-        specs,
-        topo,
-        seed=seed,
-        workload_config=drifting_workload_config(cfg.drift_intensity),
+        specs, topo, seed=seed, workload_config=workload_config
     )
     sc.warm_up(cfg.warmup_s)
     scheduler = MalleableClusterScheduler(
@@ -176,13 +224,16 @@ def run_variant(
     )
     app = MiniMD(cfg.app_s, MiniMDConfig(timesteps=cfg.app_timesteps))
     t0 = sc.engine.now
-    for i in range(cfg.n_jobs):
+    offsets = submit_offsets(
+        spec, cfg.n_jobs, cfg.interarrival_s, sc.streams
+    )
+    for offset in offsets:
         scheduler.submit(
             JobRequest(
                 app=app,
                 n_processes=cfg.n_processes,
                 ppn=cfg.ppn,
-                submit_time=t0 + i * cfg.interarrival_s,
+                submit_time=t0 + offset,
             )
         )
     stats = scheduler.drain()

@@ -96,6 +96,119 @@ def compare_policies(
     return ComparisonRun(time=snapshot.time, runs=runs)
 
 
+@dataclass(frozen=True)
+class ScenarioJobRun:
+    """One job of a scenario comparison: its class and the §5 four-way run."""
+
+    index: int
+    app: str
+    alpha: float
+    submit_offset_s: float
+    comparison: ComparisonRun
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """A job stream compared across policies on one registered scenario."""
+
+    scenario: str
+    seed: int
+    jobs: tuple[ScenarioJobRun, ...]
+
+    def mean_times(self) -> dict[str, float]:
+        """Mean simulated execution time per policy across the stream."""
+        out: dict[str, list[float]] = {}
+        for job in self.jobs:
+            for policy, run in job.comparison.runs.items():
+                out.setdefault(policy, []).append(run.time_s)
+        return {p: float(np.mean(v)) for p, v in out.items()}
+
+    def improvement_pct(
+        self, baseline: str, policy: str = "network_load_aware"
+    ) -> float:
+        """Mean-time gain of ``policy`` over ``baseline`` (positive = wins)."""
+        means = self.mean_times()
+        if means[baseline] <= 0:
+            return 0.0
+        return (means[baseline] - means[policy]) / means[baseline] * 100.0
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "n_jobs": len(self.jobs),
+            "mean_times_s": self.mean_times(),
+            "jobs": [
+                {
+                    "index": j.index,
+                    "app": j.app,
+                    "alpha": j.alpha,
+                    "submit_offset_s": j.submit_offset_s,
+                    "times_s": j.comparison.times(),
+                }
+                for j in self.jobs
+            ],
+        }
+
+
+def run_comparison(
+    scenario: str = "paper-tree",
+    *,
+    seed: int = 0,
+    n_jobs: int = 5,
+    n_processes: int = 16,
+    ppn: int = 4,
+    app_size: int = 16,
+    warmup_s: float | None = None,
+    policies: Sequence[str] = POLICY_ORDER,
+) -> ScenarioComparison:
+    """Compare the §5 policies over a registered scenario's job stream.
+
+    Builds the named scenario, draws ``n_jobs`` submit times from its
+    arrival process and job classes from its mix, and runs
+    :func:`compare_policies` for each job as the cluster evolves to the
+    next arrival.  Requests carry the scenario's Eq-1/Eq-2 weight
+    profiles and each job class's α.
+    """
+    from repro.apps import FFT3D, MiniFE, MiniMD, Stencil3D
+    from repro.scenarios import get_scenario
+
+    apps: dict[str, Callable[[int], AppModel]] = {
+        "minimd": MiniMD, "minife": MiniFE,
+        "stencil": Stencil3D, "fft": FFT3D,
+    }
+    spec = get_scenario(scenario)
+    sc = spec.build(seed, warmup_s=warmup_s)
+    rng = sc.streams.child("experiment")
+    offsets = spec.arrival_offsets(n_jobs, sc.streams.child("arrivals"))
+    jobs: list[ScenarioJobRun] = []
+    elapsed = 0.0
+    for i, offset in enumerate(offsets):
+        if offset > elapsed:
+            sc.advance(offset - elapsed)
+            elapsed = offset
+        job_class = spec.sample_job(rng)
+        app = apps[job_class.app](app_size)
+        request = spec.request(
+            n_processes, ppn=ppn, alpha=job_class.alpha
+        )
+        comparison = compare_policies(
+            sc, app, request, rng=rng, policies=policies
+        )
+        jobs.append(
+            ScenarioJobRun(
+                index=i,
+                app=job_class.app,
+                alpha=job_class.alpha,
+                submit_offset_s=offset,
+                comparison=comparison,
+            )
+        )
+    return ScenarioComparison(
+        scenario=spec.name, seed=seed, jobs=tuple(jobs)
+    )
+
+
 @dataclass
 class GridResult:
     """Strong-scaling grid: times[policy][(n_procs, size)] = list over repeats."""

@@ -25,10 +25,9 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.apps.minimd import MiniMD, MiniMDConfig
-from repro.cluster.topology import uniform_cluster
 from repro.elastic.cost import MigrationCostConfig
 from repro.elastic.drift import DriftPolicy
-from repro.elastic.experiment import drifting_workload_config
+from repro.elastic.experiment import drifting_world, submit_offsets
 from repro.elastic.gate import GateConfig
 from repro.elastic.sim import MalleableClusterScheduler
 from repro.experiments.scenario import Scenario
@@ -44,6 +43,9 @@ VARIANTS = ("static", "elastic", "fleet")
 class FleetExperimentConfig:
     """Everything one three-way comparison run depends on."""
 
+    #: registered scenario providing cluster + regime (None = the legacy
+    #: uniform 8-node tree); the drifting ambient load is kept either way
+    scenario: str | None = None
     n_nodes: int = 8
     nodes_per_switch: int = 4
     n_jobs: int = 6
@@ -169,14 +171,14 @@ def run_fleet_variant(
             f"unknown variant {variant!r}; choose from {VARIANTS}"
         )
     cfg = config
-    specs, topo = uniform_cluster(
-        cfg.n_nodes, nodes_per_switch=cfg.nodes_per_switch
+    specs, topo, workload_config, spec = drifting_world(
+        cfg.scenario,
+        drift_intensity=cfg.drift_intensity,
+        n_nodes=cfg.n_nodes,
+        nodes_per_switch=cfg.nodes_per_switch,
     )
     sc = Scenario.build(
-        specs,
-        topo,
-        seed=seed,
-        workload_config=drifting_workload_config(cfg.drift_intensity),
+        specs, topo, seed=seed, workload_config=workload_config
     )
     sc.warm_up(cfg.warmup_s)
     common: dict[str, Any] = dict(
@@ -214,21 +216,28 @@ def run_fleet_variant(
         )
     app = MiniMD(cfg.app_s, MiniMDConfig(timesteps=cfg.app_timesteps))
     t0 = sc.engine.now
-    for i in range(cfg.n_jobs):
+    offsets = submit_offsets(
+        spec, cfg.n_jobs, cfg.interarrival_s, sc.streams
+    )
+    for offset in offsets:
         scheduler.submit(
             JobRequest(
                 app=app,
                 n_processes=cfg.n_processes,
                 ppn=cfg.ppn,
-                submit_time=t0 + i * cfg.interarrival_s,
+                submit_time=t0 + offset,
             )
         )
     stats = scheduler.drain()
     scheduler.stop()
+    # Utilization is against the *actual* node count — scenarios can
+    # build clusters of any size, so cfg.n_nodes is only the legacy
+    # world's parameter.
+    n_nodes = len(sc.cluster.names)
     utilization = 0.0
     if stats.makespan_s > 0:
         utilization = min(
-            scheduler.busy_node_seconds / (cfg.n_nodes * stats.makespan_s),
+            scheduler.busy_node_seconds / (n_nodes * stats.makespan_s),
             1.0,
         )
     fleet_passes = 0

@@ -1,0 +1,39 @@
+"""Scenario zoo: registered topology × workload × hardware bundles.
+
+Importing this package registers the built-in matrix (see
+:mod:`repro.scenarios.builtin`); experiments address cells by name:
+
+    from repro.scenarios import get_scenario, list_scenarios
+    sc = get_scenario("fat-tree").build(seed=0)
+
+See ``docs/SCENARIOS.md`` for the registry API and the full matrix.
+"""
+
+from repro.scenarios import builtin as _builtin  # noqa: F401  (registers)
+from repro.scenarios.registry import (
+    JobClass,
+    ScenarioSpec,
+    get_scenario,
+    iter_specs,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.topologies import (
+    ACCEL_COMPUTE_WEIGHTS,
+    fat_tree_cluster,
+    hetero_accel_cluster,
+    mesh_cluster,
+)
+
+__all__ = [
+    "ACCEL_COMPUTE_WEIGHTS",
+    "JobClass",
+    "ScenarioSpec",
+    "fat_tree_cluster",
+    "get_scenario",
+    "hetero_accel_cluster",
+    "iter_specs",
+    "list_scenarios",
+    "mesh_cluster",
+    "register_scenario",
+]

@@ -1,0 +1,214 @@
+"""The scenario registry: named topology × workload × hardware bundles.
+
+A :class:`ScenarioSpec` packages everything one evaluation environment
+needs — a cluster builder (node classes + switch topology), a background
+workload configuration, a job arrival process, a job mix, and the Eq-1 /
+Eq-2 weight profiles requests should carry.  Registering one makes it
+addressable by name from every experiment driver, the chaos harness, the
+benches, and ``python -m repro scenarios``:
+
+    @register_scenario
+    def my_scenario() -> ScenarioSpec:
+        return ScenarioSpec(name="my-scenario", ...)
+
+    spec = get_scenario("my-scenario")
+    sc = spec.build(seed=0)          # a live, warmed Scenario
+
+``list_scenarios()`` returns names in registration order, so the paper's
+own environment (registered first in :mod:`repro.scenarios.builtin`)
+always leads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.node import NodeSpec
+from repro.cluster.topology import SwitchTopology
+from repro.core.policies.base import AllocationRequest
+from repro.core.weights import ComputeWeights, NetworkWeights, TradeOff
+from repro.workload.arrivals import fixed_arrivals
+from repro.workload.generator import WorkloadConfig
+
+ClusterBuilder = Callable[[], tuple[list[NodeSpec], SwitchTopology]]
+ArrivalFn = Callable[[int, np.random.Generator], tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class JobClass:
+    """One entry of a scenario's job mix: an app and its Eq-4 trade-off."""
+
+    app: str
+    alpha: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+#: default job mix: the paper's two evaluation applications (§5)
+PAPER_JOB_MIX: tuple[JobClass, ...] = (
+    JobClass(app="minimd", alpha=0.3),
+    JobClass(app="minife", alpha=0.4),
+)
+
+
+def _default_arrivals(n: int, rng: np.random.Generator) -> tuple[float, ...]:
+    return fixed_arrivals(n, 600.0)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered evaluation environment.
+
+    ``build`` wires the cluster, workload and monitoring exactly like
+    :meth:`repro.experiments.scenario.Scenario.build`, so a spec whose
+    builder/config match the legacy defaults reproduces legacy runs
+    bit-for-bit (the ``paper-tree`` differential test relies on this).
+    """
+
+    name: str
+    description: str
+    build_cluster: ClusterBuilder
+    workload_config: WorkloadConfig = field(default_factory=WorkloadConfig)
+    arrivals: ArrivalFn = _default_arrivals
+    job_mix: tuple[JobClass, ...] = PAPER_JOB_MIX
+    compute_weights: ComputeWeights = field(default_factory=ComputeWeights)
+    network_weights: NetworkWeights = field(default_factory=NetworkWeights)
+    #: default Eq-4 alpha for requests that don't pick a job class
+    default_alpha: float = 0.3
+    #: warm-up used by drivers unless overridden
+    warmup_s: float = 1800.0
+    #: fast enough for tier-1 / CI smoke (False = nightly matrix only)
+    smoke: bool = False
+    #: True only for the paper's own environment
+    paper: bool = False
+    #: chaos bounded-quality invariant bound for this world (3.0 is the
+    #: legacy calibration; regimes whose ground truth moves faster than
+    #: the monitor honestly cost more quality per second of staleness)
+    chaos_quality_bound: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.job_mix:
+            raise ValueError("job_mix must not be empty")
+        if not 0.0 <= self.default_alpha <= 1.0:
+            raise ValueError(
+                f"default_alpha must be in [0, 1], got {self.default_alpha}"
+            )
+        if self.warmup_s < 0:
+            raise ValueError(f"warmup_s must be non-negative: {self.warmup_s}")
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        seed: int = 0,
+        *,
+        warmup_s: float | None = None,
+        with_monitoring: bool = True,
+        store=None,
+    ):
+        """Build (and warm up) a live Scenario for this spec."""
+        from repro.experiments.scenario import Scenario
+
+        specs, topo = self.build_cluster()
+        sc = Scenario.build(
+            specs,
+            topo,
+            seed=seed,
+            workload_config=self.workload_config,
+            with_monitoring=with_monitoring,
+            store=store,
+        )
+        warm = self.warmup_s if warmup_s is None else warmup_s
+        if warm > 0:
+            sc.warm_up(warm)
+        return sc
+
+    def request(
+        self,
+        n_processes: int,
+        *,
+        ppn: int | None = None,
+        alpha: float | None = None,
+    ) -> AllocationRequest:
+        """An allocation request carrying this scenario's weight profiles."""
+        a = self.default_alpha if alpha is None else alpha
+        return AllocationRequest(
+            n_processes=n_processes,
+            ppn=ppn,
+            tradeoff=TradeOff.from_alpha(a),
+            compute_weights=self.compute_weights,
+            network_weights=self.network_weights,
+        )
+
+    def sample_job(self, rng: np.random.Generator) -> JobClass:
+        """Draw one job class from the mix (weighted, deterministic)."""
+        weights = np.array([j.weight for j in self.job_mix], dtype=float)
+        idx = int(rng.choice(len(self.job_mix), p=weights / weights.sum()))
+        return self.job_mix[idx]
+
+    def arrival_offsets(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[float, ...]:
+        """``n`` submit-time offsets from the scenario's arrival process."""
+        offsets = self.arrivals(n, rng)
+        if len(offsets) != n:
+            raise ValueError(
+                f"arrival process returned {len(offsets)} offsets, wanted {n}"
+            )
+        if any(t < 0 for t in offsets):
+            raise ValueError(f"negative arrival offset in {offsets[:5]}...")
+        return offsets
+
+
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    fn: Callable[[], ScenarioSpec],
+) -> Callable[[], ScenarioSpec]:
+    """Register the ScenarioSpec returned by ``fn`` (decorator).
+
+    The function is evaluated once at import; its spec is stored under
+    ``spec.name``.  Duplicate names are an error — scenarios are global
+    addresses.
+    """
+    spec = fn()
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return fn
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY) or "<none>"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def list_scenarios(*, smoke_only: bool = False) -> list[str]:
+    """Registered scenario names in registration order."""
+    return [
+        name
+        for name, spec in _REGISTRY.items()
+        if not smoke_only or spec.smoke
+    ]
+
+
+def iter_specs(names: Sequence[str] | None = None) -> list[ScenarioSpec]:
+    """Specs for ``names`` (default: all, registration order)."""
+    return [get_scenario(n) for n in (names or list_scenarios())]

@@ -1,0 +1,186 @@
+"""Cluster builders beyond the paper's tree: fat-tree, mesh, hetero tiers.
+
+These produce the ``(specs, topology)`` pairs the scenario registry
+bundles.  The redundant shapes lean on
+:class:`~repro.cluster.topology.SwitchTopology`'s ``extra_switch_links``
+(deterministic BFS routing); the heterogeneous builder adds a third node
+class — an accelerator tier whose Eq-1 profile differs enough from the
+paper's two Intel classes that the stock attribute weights mis-rank it
+(see :data:`ACCEL_COMPUTE_WEIGHTS`).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import NodeSpec
+from repro.cluster.topology import SwitchTopology
+from repro.core.weights import ComputeWeights
+from repro.util.units import GIGABIT_PER_S_IN_MB_S
+
+#: Eq-1 weights for accelerator-tier scenarios.  Static capability
+#: (core count, total memory, clock) matters much more when node classes
+#: differ 4x in width, so weight shifts from the dynamic-load terms to
+#: the capability terms while keeping the SAW sum at 1.
+ACCEL_COMPUTE_WEIGHTS = ComputeWeights(
+    weights={
+        "cpu_load": 0.25,
+        "cpu_util": 0.15,
+        "flow_rate": 0.15,
+        "available_memory": 0.10,
+        "core_count": 0.20,
+        "cpu_frequency": 0.05,
+        "total_memory": 0.10,
+    }
+)
+
+
+def fat_tree_cluster(
+    n_nodes: int = 24,
+    *,
+    nodes_per_switch: int = 6,
+    cores: int = 12,
+    frequency_ghz: float = 4.6,
+    memory_gb: float = 16.0,
+) -> tuple[list[NodeSpec], SwitchTopology]:
+    """A two-level fat-tree: leaves dual-homed to two aggregation cores.
+
+    The parent tree hangs every leaf off ``agg1``; the extra links give
+    each leaf a second uplink to ``agg2`` plus an ``agg1``–``agg2``
+    trunk, so leaf-to-leaf traffic has the 2-hop path through either
+    aggregation switch (SNIPPETS.md snippet 1, "Fat-Tree").
+    """
+    n_leaves = _leaf_count(n_nodes, nodes_per_switch)
+    parents: dict[str, str | None] = {"core": None, "agg1": "core", "agg2": "core"}
+    extra: list[tuple[str, str, float]] = [
+        ("agg1", "agg2", 2.0 * GIGABIT_PER_S_IN_MB_S)
+    ]
+    for i in range(1, n_leaves + 1):
+        leaf = f"leaf{i}"
+        parents[leaf] = "agg1"
+        extra.append((leaf, "agg2", GIGABIT_PER_S_IN_MB_S))
+    specs, node_switch = _uniform_specs(
+        n_nodes, nodes_per_switch, "leaf", cores, frequency_ghz, memory_gb
+    )
+    topo = SwitchTopology(
+        parents,
+        node_switch,
+        uplink_capacity_mbs=GIGABIT_PER_S_IN_MB_S,
+        extra_switch_links=extra,
+    )
+    return specs, topo
+
+
+def mesh_cluster(
+    n_nodes: int = 18,
+    *,
+    nodes_per_switch: int = 6,
+    cores: int = 12,
+    frequency_ghz: float = 4.6,
+    memory_gb: float = 16.0,
+    with_standby: bool = True,
+) -> tuple[list[NodeSpec], SwitchTopology]:
+    """Full mesh of leaf switches plus an N+1 standby switch.
+
+    The spanning tree is the paper's star; the extra links connect every
+    leaf pair directly (full mesh) and, when ``with_standby``, add a
+    spare switch meshed to all leaves that carries no nodes — the N+1
+    redundancy shape from SNIPPETS.md snippet 1.
+    """
+    n_leaves = _leaf_count(n_nodes, nodes_per_switch)
+    parents: dict[str, str | None] = {"root": None}
+    for i in range(1, n_leaves + 1):
+        parents[f"switch{i}"] = "root"
+    extra: list[tuple[str, str]] = [
+        (f"switch{i}", f"switch{j}")
+        for i in range(1, n_leaves + 1)
+        for j in range(i + 1, n_leaves + 1)
+    ]
+    if with_standby:
+        parents["standby"] = "root"
+        extra.extend(
+            ("standby", f"switch{i}") for i in range(1, n_leaves + 1)
+        )
+    specs, node_switch = _uniform_specs(
+        n_nodes, nodes_per_switch, "switch", cores, frequency_ghz, memory_gb
+    )
+    topo = SwitchTopology(parents, node_switch, extra_switch_links=extra)
+    return specs, topo
+
+
+def hetero_accel_cluster(
+    *,
+    n_fast: int = 12,
+    n_slow: int = 10,
+    n_accel: int = 8,
+    nodes_per_switch: int = 10,
+) -> tuple[list[NodeSpec], SwitchTopology]:
+    """Three node classes: the paper's two Intel tiers plus accelerators.
+
+    * ``fast``: 12-core @ 4.6 GHz, 16 GB (the paper's first tier)
+    * ``slow``: 8-core @ 2.8 GHz, 16 GB (the paper's second tier)
+    * ``accel``: 32-core @ 2.2 GHz, 64 GB — wide, slow-clocked
+      accelerator hosts whose value the stock Eq-1 weights understate
+      (pair with :data:`ACCEL_COMPUTE_WEIGHTS`).
+
+    Classes are interleaved across leaf switches so every switch carries
+    a mix, like the paper cluster does for its two tiers.
+    """
+    classes = (
+        [("fast", 12, 4.6, 16.0)] * n_fast
+        + [("slow", 8, 2.8, 16.0)] * n_slow
+        + [("accel", 32, 2.2, 64.0)] * n_accel
+    )
+    if not classes:
+        raise ValueError("cluster must have at least one node")
+    n_leaves = _leaf_count(len(classes), nodes_per_switch)
+    parents: dict[str, str | None] = {"root": None}
+    for i in range(1, n_leaves + 1):
+        parents[f"switch{i}"] = "root"
+    specs: list[NodeSpec] = []
+    node_switch: dict[str, str] = {}
+    # Round-robin classes across switches: node i goes to switch i%L.
+    for i, (tier, cores, freq, mem) in enumerate(classes):
+        name = f"{tier}{i + 1}"
+        switch = f"switch{i % n_leaves + 1}"
+        node_switch[name] = switch
+        specs.append(
+            NodeSpec(
+                name=name, cores=cores, frequency_ghz=freq,
+                memory_gb=mem, switch=switch,
+            )
+        )
+    topo = SwitchTopology(parents, node_switch)
+    return specs, topo
+
+
+# ----------------------------------------------------------------------
+def _leaf_count(n_nodes: int, nodes_per_switch: int) -> int:
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    if nodes_per_switch <= 0:
+        raise ValueError(
+            f"nodes_per_switch must be positive, got {nodes_per_switch}"
+        )
+    return (n_nodes + nodes_per_switch - 1) // nodes_per_switch
+
+
+def _uniform_specs(
+    n_nodes: int,
+    nodes_per_switch: int,
+    leaf_prefix: str,
+    cores: int,
+    frequency_ghz: float,
+    memory_gb: float,
+) -> tuple[list[NodeSpec], dict[str, str]]:
+    specs: list[NodeSpec] = []
+    node_switch: dict[str, str] = {}
+    for i in range(n_nodes):
+        name = f"node{i + 1}"
+        switch = f"{leaf_prefix}{i // nodes_per_switch + 1}"
+        node_switch[name] = switch
+        specs.append(
+            NodeSpec(
+                name=name, cores=cores, frequency_ghz=frequency_ghz,
+                memory_gb=memory_gb, switch=switch,
+            )
+        )
+    return specs, node_switch

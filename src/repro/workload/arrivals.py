@@ -1,0 +1,100 @@
+"""Job arrival-time generators for the scenario zoo.
+
+Every generator returns a sorted tuple of non-negative submit-time
+*offsets* (seconds from the experiment start), fully determined by the
+``numpy`` generator passed in, so the same seed always produces the
+same arrival trace.  The legacy experiments' fixed-interval submits are
+:func:`fixed_arrivals`; the scenario regimes add Poisson, bursty-storm,
+and diurnally-modulated processes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.validation import require_positive
+
+
+def fixed_arrivals(n: int, interarrival_s: float) -> tuple[float, ...]:
+    """``n`` arrivals at exact ``interarrival_s`` spacing (legacy shape)."""
+    _require_count(n)
+    require_positive(interarrival_s, "interarrival_s")
+    return tuple(i * interarrival_s for i in range(n))
+
+
+def poisson_arrivals(
+    n: int, mean_interarrival_s: float, rng: np.random.Generator
+) -> tuple[float, ...]:
+    """``n`` arrivals of a homogeneous Poisson process."""
+    _require_count(n)
+    require_positive(mean_interarrival_s, "mean_interarrival_s")
+    gaps = rng.exponential(mean_interarrival_s, size=n)
+    gaps[0] = 0.0
+    return tuple(float(t) for t in np.cumsum(gaps))
+
+
+def bursty_arrivals(
+    n: int,
+    *,
+    burst_size: int,
+    within_burst_s: float,
+    between_bursts_s: float,
+    rng: np.random.Generator,
+) -> tuple[float, ...]:
+    """An arrival storm: tight bursts separated by long exponential lulls.
+
+    Jobs arrive in groups of ``burst_size`` with exponential
+    ``within_burst_s`` gaps inside a burst and exponential
+    ``between_bursts_s`` gaps between bursts.
+    """
+    _require_count(n)
+    require_positive(burst_size, "burst_size")
+    require_positive(within_burst_s, "within_burst_s")
+    require_positive(between_bursts_s, "between_bursts_s")
+    offsets: list[float] = []
+    t = 0.0
+    while len(offsets) < n:
+        if offsets:  # lull before every burst but the first
+            t += float(rng.exponential(between_bursts_s))
+        for _ in range(min(burst_size, n - len(offsets))):
+            offsets.append(t)
+            t += float(rng.exponential(within_burst_s))
+    return tuple(offsets[:n])
+
+
+def diurnal_arrivals(
+    n: int,
+    *,
+    mean_interarrival_s: float,
+    period_s: float = 86400.0,
+    amplitude: float = 0.5,
+    rng: np.random.Generator,
+) -> tuple[float, ...]:
+    """A non-homogeneous Poisson process following a day/night cycle.
+
+    The instantaneous rate is ``(1 + amplitude*sin(2*pi*t/period_s))``
+    times the base rate, so arrivals cluster in the "daytime" half of
+    each cycle.  ``amplitude`` must stay below 1 so the rate is always
+    positive and every gap is finite and non-negative.
+    """
+    _require_count(n)
+    require_positive(mean_interarrival_s, "mean_interarrival_s")
+    require_positive(period_s, "period_s")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    offsets: list[float] = [0.0]
+    t = 0.0
+    while len(offsets) < n:
+        rate = (
+            1.0 + amplitude * math.sin(2.0 * math.pi * t / period_s)
+        ) / mean_interarrival_s
+        t += float(rng.exponential(1.0 / rate))
+        offsets.append(t)
+    return tuple(offsets[:n])
+
+
+def _require_count(n: int) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")

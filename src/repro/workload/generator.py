@@ -25,6 +25,7 @@ from repro.util.validation import require_positive
 from repro.workload.jobs import BatchJobConfig, BatchJobProcess
 from repro.workload.netflows import NetFlowConfig, NetFlowProcess
 from repro.workload.ou_process import OUProcess
+from repro.workload.regimes import DiurnalConfig, SpikeConfig, SpikeProcess
 from repro.workload.sessions import SessionConfig, SessionProcess
 
 
@@ -58,6 +59,10 @@ class WorkloadConfig:
     util_base: float = 12.0
     #: std-dev of multiplicative node busyness (lognormal sigma)
     busyness_sigma: float = 0.5
+    #: optional day/night cycle on the ambient mean (None = stationary)
+    diurnal: DiurnalConfig | None = None
+    #: optional correlated multi-node load spikes (None = no spikes)
+    spikes: SpikeConfig | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.tick_s, "tick_s")
@@ -119,6 +124,18 @@ class BackgroundWorkload:
                 pick_peer=self._pick_peer,
             )
 
+        #: ambient base means, kept so diurnal modulation is multiplicative
+        self._ambient_mu0 = {n: p.mu for n, p in self._ambient.items()}
+        self._spikes: SpikeProcess | None = None
+        if cfg.spikes is not None:
+            self._spikes = SpikeProcess(
+                engine,
+                cluster.names,
+                cfg.spikes,
+                streams.child("spikes"),
+                on_change=self._refresh_node,
+            )
+
         self._jobs = BatchJobProcess(
             engine,
             cluster.names,
@@ -175,7 +192,12 @@ class BackgroundWorkload:
         self._stream_flows[node] = fresh
 
     def _tick(self) -> None:
-        dt = self.config.tick_s
+        cfg = self.config
+        dt = cfg.tick_s
+        if cfg.diurnal is not None:
+            factor = cfg.diurnal.factor(self.engine.now)
+            for n, proc in self._ambient.items():
+                proc.mu = self._ambient_mu0[n] * factor
         for proc in self._ambient.values():
             proc.step(dt, self._ambient_rng)
         self._refresh_all()
@@ -197,6 +219,8 @@ class BackgroundWorkload:
             + self._jobs.load_on(node)
             + self.external_load.get(node, 0.0)
         )
+        if self._spikes is not None:
+            load += self._spikes.load_on(node)
         util = cfg.util_base + cfg.util_per_load * min(load, spec.cores) / spec.cores
         util += float(self._util_noise_rng.normal(0.0, 1.5))
         util = float(np.clip(util, 0.0, 100.0))
@@ -225,6 +249,8 @@ class BackgroundWorkload:
         self._tick_task.stop()
         for s in self._sessions.values():
             s.stop()
+        if self._spikes is not None:
+            self._spikes.stop()
         self._jobs.stop()
         self._netflows.stop()
 

@@ -1,0 +1,134 @@
+"""Optional load regimes layered on the background workload.
+
+The paper's background load is stationary (OU around a fixed mean).
+Savvas & Kechadi (PAPERS.md) motivate the two non-stationary shapes a
+shared cluster actually shows, which the scenario zoo needs:
+
+* :class:`DiurnalConfig` — a day/night cycle: the ambient OU mean is
+  multiplied by ``1 + amplitude * sin(2*pi*(t + phase_s)/period_s)``
+  every workload tick.  Purely deterministic (no RNG draws), so adding
+  it never perturbs any other random stream.
+* :class:`SpikeConfig` — correlated multi-node load spikes: at
+  exponentially-distributed times, a random fraction of nodes all gain
+  a load step for a fixed duration (a cron storm, a parallel backup).
+  Driven by its own named child stream, so other streams are untouched.
+
+Both are ``None`` by default on :class:`~repro.workload.generator.
+WorkloadConfig`; legacy runs are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.des.engine import Engine
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class DiurnalConfig:
+    """Deterministic day/night modulation of the ambient load mean."""
+
+    #: cycle length, seconds (default: one day)
+    period_s: float = 86400.0
+    #: peak-to-mean modulation fraction in [0, 1)
+    amplitude: float = 0.5
+    #: phase offset, seconds (0 starts at the mean, rising)
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.period_s, "period_s")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+
+    def factor(self, t: float) -> float:
+        """Multiplier on the ambient OU mean at simulation time ``t``."""
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t + self.phase_s) / self.period_s
+        )
+
+
+@dataclass(frozen=True)
+class SpikeConfig:
+    """Correlated multi-node load spikes (cron storms, parallel backups)."""
+
+    #: mean time between spike events, seconds (exponential)
+    mean_interarrival_s: float = 1800.0
+    #: fraction of nodes hit by each spike, in (0, 1]
+    node_fraction: float = 0.25
+    #: CPU load added to each affected node while the spike lasts
+    magnitude: float = 2.0
+    #: how long each spike lasts, seconds
+    duration_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.mean_interarrival_s, "mean_interarrival_s")
+        require_positive(self.magnitude, "magnitude")
+        require_positive(self.duration_s, "duration_s")
+        if not 0.0 < self.node_fraction <= 1.0:
+            raise ValueError(
+                f"node_fraction must be in (0, 1], got {self.node_fraction}"
+            )
+
+
+class SpikeProcess:
+    """Schedules correlated load spikes over a fixed node population."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: Sequence[str],
+        config: SpikeConfig,
+        rng: np.random.Generator,
+        *,
+        on_change: Callable[[str], None],
+    ) -> None:
+        self.engine = engine
+        self.nodes = list(nodes)
+        self.config = config
+        self._rng = rng
+        self._on_change = on_change
+        self._load: dict[str, float] = {}
+        self._stopped = False
+        self._schedule_next()
+
+    def load_on(self, node: str) -> float:
+        """Current spike load on ``node`` (0 outside spikes)."""
+        return self._load.get(node, 0.0)
+
+    def stop(self) -> None:
+        """Stop scheduling new spikes (active spikes drain normally)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        delay = float(self._rng.exponential(self.config.mean_interarrival_s))
+        self.engine.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        cfg = self.config
+        count = max(1, int(math.ceil(cfg.node_fraction * len(self.nodes))))
+        idx = self._rng.permutation(len(self.nodes))[:count]
+        hit = [self.nodes[int(i)] for i in sorted(int(j) for j in idx)]
+        for n in hit:
+            self._load[n] = self._load.get(n, 0.0) + cfg.magnitude
+            self._on_change(n)
+        self.engine.schedule(cfg.duration_s, lambda: self._release(hit))
+        self._schedule_next()
+
+    def _release(self, hit: list[str]) -> None:
+        for n in hit:
+            remaining = self._load.get(n, 0.0) - self.config.magnitude
+            if remaining < 1e-12:
+                self._load.pop(n, None)
+            else:
+                self._load[n] = remaining
+            self._on_change(n)

@@ -1,0 +1,168 @@
+"""Property tests for the scenario zoo's generators.
+
+Three families, all seed-deterministic by contract:
+
+* topology builders always yield connected switch graphs whose routed
+  paths traverse only real, capacitated links;
+* arrival generators always produce sorted, non-negative offset tuples
+  that are byte-identical under the same seed;
+* the diurnal/spike regime configs keep their mathematical envelopes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+import networkx as nx  # noqa: E402
+
+from repro.scenarios.topologies import (  # noqa: E402
+    fat_tree_cluster,
+    hetero_accel_cluster,
+    mesh_cluster,
+)
+from repro.workload.arrivals import (  # noqa: E402
+    bursty_arrivals,
+    diurnal_arrivals,
+    fixed_arrivals,
+    poisson_arrivals,
+)
+from repro.workload.regimes import DiurnalConfig  # noqa: E402
+
+
+def _check_topology(specs, topo):
+    switch_graph = topo.graph.subgraph(topo.switches)
+    assert nx.is_connected(switch_graph)
+    assert set(topo.nodes) == {s.name for s in specs}
+    for s in specs:
+        assert s.switch in topo.switches
+    sample = topo.nodes[:: max(1, len(topo.nodes) // 6)]
+    for u in sample:
+        for v in sample:
+            if u == v:
+                assert topo.hops(u, v) == 0
+                continue
+            path = topo.path(u, v)
+            assert path[0] == u and path[-1] == v
+            assert len(set(path)) == len(path)
+            for a, b in zip(path[:-1], path[1:]):
+                assert topo.link_capacity(a, b) > 0
+            # routing is symmetric: same links both directions
+            assert topo.links_on_path(u, v) == tuple(
+                reversed(topo.links_on_path(v, u))
+            )
+
+
+@given(
+    n_nodes=st.integers(min_value=1, max_value=40),
+    nodes_per_switch=st.integers(min_value=1, max_value=12),
+)
+def test_fat_tree_always_consistent(n_nodes, nodes_per_switch):
+    specs, topo = fat_tree_cluster(
+        n_nodes, nodes_per_switch=nodes_per_switch
+    )
+    assert len(specs) == n_nodes
+    _check_topology(specs, topo)
+
+
+@given(
+    n_nodes=st.integers(min_value=1, max_value=30),
+    nodes_per_switch=st.integers(min_value=1, max_value=10),
+    with_standby=st.booleans(),
+)
+def test_mesh_always_consistent(n_nodes, nodes_per_switch, with_standby):
+    specs, topo = mesh_cluster(
+        n_nodes, nodes_per_switch=nodes_per_switch, with_standby=with_standby
+    )
+    assert len(specs) == n_nodes
+    _check_topology(specs, topo)
+
+
+@given(
+    n_fast=st.integers(min_value=0, max_value=12),
+    n_slow=st.integers(min_value=0, max_value=12),
+    n_accel=st.integers(min_value=1, max_value=12),
+    nodes_per_switch=st.integers(min_value=1, max_value=10),
+)
+def test_hetero_always_consistent(n_fast, n_slow, n_accel, nodes_per_switch):
+    specs, topo = hetero_accel_cluster(
+        n_fast=n_fast, n_slow=n_slow, n_accel=n_accel,
+        nodes_per_switch=nodes_per_switch,
+    )
+    assert len(specs) == n_fast + n_slow + n_accel
+    _check_topology(specs, topo)
+
+
+# ----------------------------------------------------------------------
+arrival_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _check_offsets(offsets, n):
+    assert isinstance(offsets, tuple) and len(offsets) == n
+    assert all(isinstance(t, float) and t >= 0.0 for t in offsets)
+    assert list(offsets) == sorted(offsets)
+    assert offsets[0] == 0.0
+
+
+@given(n=st.integers(min_value=1, max_value=50), seed=arrival_seeds)
+def test_poisson_arrivals_sorted_and_seed_identical(n, seed):
+    a = poisson_arrivals(n, 300.0, np.random.default_rng(seed))
+    b = poisson_arrivals(n, 300.0, np.random.default_rng(seed))
+    _check_offsets(a, n)
+    assert a == b
+
+
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    burst_size=st.integers(min_value=1, max_value=10),
+    seed=arrival_seeds,
+)
+def test_bursty_arrivals_sorted_and_seed_identical(n, burst_size, seed):
+    kwargs = dict(
+        burst_size=burst_size, within_burst_s=20.0, between_bursts_s=900.0
+    )
+    a = bursty_arrivals(n, rng=np.random.default_rng(seed), **kwargs)
+    b = bursty_arrivals(n, rng=np.random.default_rng(seed), **kwargs)
+    _check_offsets(a, n)
+    assert a == b
+
+
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    amplitude=st.floats(min_value=0.0, max_value=0.95),
+    seed=arrival_seeds,
+)
+def test_diurnal_arrivals_sorted_and_seed_identical(n, amplitude, seed):
+    kwargs = dict(
+        mean_interarrival_s=400.0, period_s=7200.0, amplitude=amplitude
+    )
+    a = diurnal_arrivals(n, rng=np.random.default_rng(seed), **kwargs)
+    b = diurnal_arrivals(n, rng=np.random.default_rng(seed), **kwargs)
+    _check_offsets(a, n)
+    assert a == b
+
+
+@given(n=st.integers(min_value=1, max_value=50))
+def test_fixed_arrivals_exact(n):
+    offsets = fixed_arrivals(n, 600.0)
+    _check_offsets(offsets, n)
+    assert all(
+        b - a == 600.0 for a, b in zip(offsets[:-1], offsets[1:])
+    )
+
+
+# ----------------------------------------------------------------------
+@given(
+    t=st.floats(min_value=0.0, max_value=1e7),
+    amplitude=st.floats(min_value=0.0, max_value=0.95),
+    period=st.floats(min_value=60.0, max_value=1e6),
+)
+def test_diurnal_factor_envelope_and_periodicity(t, amplitude, period):
+    cfg = DiurnalConfig(period_s=period, amplitude=amplitude)
+    f = cfg.factor(t)
+    assert 1.0 - amplitude <= f <= 1.0 + amplitude
+    assert f > 0.0  # a mean multiplier must never go non-positive
+    assert cfg.factor(t + period) == pytest.approx(f, abs=1e-6)

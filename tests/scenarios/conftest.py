@@ -1,0 +1,28 @@
+"""Scenario-matrix test fixtures.
+
+Tier-1 runs the matrix over the *smoke* scenarios only (the fast cells
+CI exercises on every push); setting ``REPRO_NIGHTLY=1`` widens every
+parametrized suite to the full registry — the nightly matrix sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.experiments.runner import ScenarioComparison, run_comparison
+from repro.scenarios import list_scenarios
+
+
+def matrix_names() -> list[str]:
+    """Scenario names under test: smoke cells, or all under nightly."""
+    if os.environ.get("REPRO_NIGHTLY"):
+        return list_scenarios()
+    return list_scenarios(smoke_only=True)
+
+
+@lru_cache(maxsize=None)
+def cached_comparison(name: str, seed: int = 0) -> ScenarioComparison:
+    """One §5 policy comparison per scenario, shared across the module's
+    tests (building + warming a scenario dominates the cost)."""
+    return run_comparison(name, seed=seed, n_jobs=3, warmup_s=300.0)

@@ -1,0 +1,50 @@
+"""Chaos harness × scenario zoo: faults injected into non-paper worlds.
+
+The harness's invariants (typed errors only, lease safety, liveness,
+bounded quality) must hold when the world under fault is a registered
+scenario instead of the legacy uniform tree — here the fat-tree and
+bursty cells, the redundant-topology and storm-arrival shapes most
+likely to break hidden assumptions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.runner import run_scenarios
+from repro.chaos.scenarios import SMOKE_SCENARIOS, build_world
+from repro.scenarios import get_scenario
+
+#: the tier-1 trio: cheapest smoke faults, enough to cover grant,
+#: degradation, and recovery paths on a foreign world
+TRIO = tuple(SMOKE_SCENARIOS[:3])
+
+
+@pytest.mark.parametrize("world", ["fat-tree", "bursty"])
+def test_smoke_trio_holds_on_scenario_world(world):
+    reports = run_scenarios(TRIO, seed=0, world=world)
+    for report in reports:
+        assert report.ok, (
+            f"{report.name} on world {world!r} violated: "
+            f"{[str(v) for v in report.checker.violations]}"
+        )
+    assert sum(r.stats.get("grants", 0) for r in reports) > 0
+
+
+def test_build_world_uses_scenario_cluster():
+    legacy = build_world(0)
+    fat = build_world(0, scenario="fat-tree")
+    assert set(fat.scenario.cluster.names) != set(legacy.scenario.cluster.names)
+    assert len(fat.scenario.cluster.names) == 24
+
+
+def test_build_world_carries_quality_bound():
+    spec = get_scenario("bursty")
+    world = build_world(0, scenario="bursty")
+    assert world.quality_bound == spec.chaos_quality_bound
+    assert build_world(0).quality_bound == 3.0  # legacy calibration
+
+
+def test_unknown_world_rejected():
+    with pytest.raises(KeyError, match="registered"):
+        build_world(0, scenario="no-such-world")

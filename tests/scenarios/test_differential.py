@@ -1,0 +1,90 @@
+"""Differential proof: the ``paper-tree`` scenario IS the legacy world.
+
+The registry refactor routed every driver through ScenarioSpec.build;
+these tests pin the refactor's central promise — building the
+``paper-tree`` cell is bit-for-bit identical to the legacy
+``paper_scenario()`` path, in cluster shape, warmed monitor state,
+evolved workload state, and experiment results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import MiniMD
+from repro.cluster.topology import paper_cluster
+from repro.experiments.runner import compare_policies
+from repro.experiments.scenario import paper_scenario
+from repro.scenarios import get_scenario
+
+SEED = 5
+WARMUP_S = 300.0
+
+
+@pytest.fixture(scope="module")
+def legacy():
+    return paper_scenario(seed=SEED, warmup_s=WARMUP_S)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return get_scenario("paper-tree").build(SEED, warmup_s=WARMUP_S)
+
+
+def test_cluster_identical():
+    spec = get_scenario("paper-tree")
+    specs_a, topo_a = spec.build_cluster()
+    specs_b, topo_b = paper_cluster()
+    assert specs_a == specs_b
+    assert topo_a.switches == topo_b.switches
+    assert topo_a.nodes == topo_b.nodes
+    assert topo_a.extra_switch_links == () == topo_b.extra_switch_links
+    for u in topo_a.nodes[:10]:
+        for v in topo_a.nodes[-10:]:
+            assert topo_a.path(u, v) == topo_b.path(u, v)
+
+
+def test_warmed_snapshot_bit_identical(legacy, scenario):
+    snap_a = legacy.snapshot()
+    snap_b = scenario.snapshot()
+    assert snap_a.time == snap_b.time
+    assert dataclasses.asdict(snap_a) == dataclasses.asdict(snap_b)
+
+
+def test_evolved_state_bit_identical(legacy, scenario):
+    legacy.advance(600.0)
+    scenario.advance(600.0)
+    loads_a = {n: legacy.cluster.state(n).cpu_load for n in legacy.cluster.names}
+    loads_b = {
+        n: scenario.cluster.state(n).cpu_load for n in scenario.cluster.names
+    }
+    assert loads_a == loads_b
+    assert dataclasses.asdict(legacy.snapshot()) == dataclasses.asdict(
+        scenario.snapshot()
+    )
+
+
+def test_experiment_results_bit_identical(legacy, scenario):
+    spec = get_scenario("paper-tree")
+    results = []
+    for sc in (legacy, scenario):
+        rng = np.random.default_rng(99)
+        cmp = compare_policies(
+            sc, MiniMD(16), spec.request(16, ppn=4), rng=rng
+        )
+        results.append(
+            {
+                p: (r.allocation.nodes, r.time_s, r.mean_load_per_core)
+                for p, r in cmp.runs.items()
+            }
+        )
+    assert results[0] == results[1]
+
+
+def test_workload_config_default_adds_no_regimes():
+    spec = get_scenario("paper-tree")
+    cfg = spec.workload_config
+    assert cfg.diurnal is None and cfg.spikes is None

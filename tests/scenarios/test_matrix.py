@@ -1,0 +1,88 @@
+"""The cross-scenario acceptance matrix.
+
+Each registered scenario must uphold three properties:
+
+* **quality** — the network-load-aware allocator's placements score no
+  worse under Equation 4 than the random and sequential baselines
+  picking from the same snapshot;
+* **safety** — every policy's allocation is well-formed (no node
+  granted twice, ppn respected, all nodes real);
+* **determinism** — the same scenario at the same seed reproduces the
+  comparison byte-for-byte.
+
+Tier-1 sweeps the smoke cells; ``REPRO_NIGHTLY=1`` widens every test to
+the full registry (see conftest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import POLICY_ORDER, run_comparison
+from repro.scenarios import get_scenario
+from repro.scenarios.quality import policy_quality
+from tests.scenarios.conftest import cached_comparison, matrix_names
+
+MATRIX = matrix_names()
+
+
+@pytest.mark.parametrize("name", MATRIX)
+def test_eq4_quality_beats_baselines(name):
+    q = policy_quality(name, seed=0, rounds=3, warmup_s=300.0)
+    nla = q["network_load_aware"]
+    assert nla <= q["random"], (
+        f"{name}: network_load_aware scored {nla:.4f} vs "
+        f"random {q['random']:.4f}"
+    )
+    assert nla <= q["sequential"], (
+        f"{name}: network_load_aware scored {nla:.4f} vs "
+        f"sequential {q['sequential']:.4f}"
+    )
+
+
+@pytest.mark.parametrize("name", MATRIX)
+def test_allocations_well_formed(name):
+    cmp = cached_comparison(name)
+    cluster_nodes = set(get_scenario(name).build_cluster()[1].nodes)
+    assert len(cmp.jobs) == 3
+    for job in cmp.jobs:
+        assert set(job.comparison.runs) == set(POLICY_ORDER)
+        for run in job.comparison.runs.values():
+            nodes = run.allocation.nodes
+            # no node granted twice within one allocation
+            assert len(set(nodes)) == len(nodes)
+            assert set(nodes) <= cluster_nodes
+            # ppn respected: ranks spread over ceil(n/ppn) nodes
+            assert len(nodes) * 4 >= 16
+            assert run.time_s > 0
+
+
+@pytest.mark.parametrize("name", MATRIX)
+def test_comparison_deterministic_under_seed(name):
+    a = run_comparison(name, seed=1, n_jobs=2, warmup_s=300.0)
+    b = run_comparison(name, seed=1, n_jobs=2, warmup_s=300.0)
+    assert a.to_dict() == b.to_dict()
+
+
+@pytest.mark.parametrize("name", MATRIX)
+def test_scenario_metadata_round_trips(name):
+    cmp = cached_comparison(name)
+    spec = get_scenario(name)
+    assert cmp.scenario == spec.name
+    mix_apps = {j.app for j in spec.job_mix}
+    for job in cmp.jobs:
+        assert job.app in mix_apps
+        assert 0.0 <= job.alpha <= 1.0
+    d = cmp.to_dict()
+    assert d["scenario"] == name and d["n_jobs"] == 3
+    assert set(d["mean_times_s"]) == set(POLICY_ORDER)
+
+
+def test_improvement_metric_consistent():
+    cmp = cached_comparison("paper-tree")
+    means = cmp.mean_times()
+    expected = (
+        (means["random"] - means["network_load_aware"])
+        / means["random"] * 100.0
+    )
+    assert cmp.improvement_pct("random") == pytest.approx(expected)

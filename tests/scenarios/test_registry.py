@@ -1,0 +1,154 @@
+"""The scenario registry contract: lookup, validation, spec behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import uniform_cluster
+from repro.core.weights import ComputeWeights
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    iter_specs,
+    list_scenarios,
+)
+from repro.scenarios.registry import (
+    _REGISTRY,
+    PAPER_JOB_MIX,
+    JobClass,
+    register_scenario,
+)
+
+#: the cells ISSUE/ROADMAP require to exist, by exact name
+REQUIRED_SCENARIOS = (
+    "paper-tree",
+    "fat-tree",
+    "mesh",
+    "diurnal",
+    "bursty",
+    "spike",
+    "hetero-accel",
+    "net-heavy",
+    "compute-heavy",
+)
+
+
+def test_registry_has_required_matrix():
+    names = list_scenarios()
+    assert len(names) >= 6
+    for required in REQUIRED_SCENARIOS:
+        assert required in names, f"missing scenario {required!r}"
+
+
+def test_paper_tree_registered_first_and_flagged():
+    names = list_scenarios()
+    assert names[0] == "paper-tree"
+    spec = get_scenario("paper-tree")
+    assert spec.paper and spec.smoke
+    # exactly one cell may claim to be the paper's own environment
+    assert sum(s.paper for s in iter_specs()) == 1
+
+
+def test_smoke_subset_is_proper():
+    smoke = list_scenarios(smoke_only=True)
+    assert smoke
+    assert set(smoke) < set(list_scenarios())
+    assert all(get_scenario(n).smoke for n in smoke)
+
+
+def test_unknown_scenario_lists_known_names():
+    with pytest.raises(KeyError, match="paper-tree"):
+        get_scenario("no-such-scenario")
+
+
+def test_duplicate_registration_rejected():
+    def dup() -> ScenarioSpec:
+        return ScenarioSpec(
+            name="paper-tree",
+            description="imposter",
+            build_cluster=lambda: uniform_cluster(4, nodes_per_switch=2),
+        )
+
+    before = dict(_REGISTRY)
+    with pytest.raises(ValueError, match="already registered"):
+        register_scenario(dup)
+    assert _REGISTRY == before  # failed registration must not mutate
+
+
+def test_job_class_validation():
+    with pytest.raises(ValueError, match="alpha"):
+        JobClass(app="minimd", alpha=1.5)
+    with pytest.raises(ValueError, match="weight"):
+        JobClass(app="minimd", alpha=0.5, weight=0.0)
+
+
+def test_spec_validation():
+    build = lambda: uniform_cluster(4, nodes_per_switch=2)  # noqa: E731
+    with pytest.raises(ValueError, match="name"):
+        ScenarioSpec(name="", description="d", build_cluster=build)
+    with pytest.raises(ValueError, match="job_mix"):
+        ScenarioSpec(
+            name="x", description="d", build_cluster=build, job_mix=()
+        )
+    with pytest.raises(ValueError, match="warmup_s"):
+        ScenarioSpec(
+            name="x", description="d", build_cluster=build, warmup_s=-1.0
+        )
+
+
+def test_request_carries_scenario_weights():
+    weights = ComputeWeights(
+        weights={
+            "cpu_load": 0.25, "cpu_util": 0.15, "flow_rate": 0.15,
+            "available_memory": 0.10, "core_count": 0.20,
+            "cpu_frequency": 0.05, "total_memory": 0.10,
+        }
+    )
+    spec = ScenarioSpec(
+        name="x",
+        description="d",
+        build_cluster=lambda: uniform_cluster(4, nodes_per_switch=2),
+        compute_weights=weights,
+        default_alpha=0.7,
+    )
+    req = spec.request(8, ppn=4)
+    assert req.compute_weights is weights
+    assert req.tradeoff.alpha == pytest.approx(0.7)
+    # per-job alpha overrides the scenario default
+    assert spec.request(8, alpha=0.2).tradeoff.alpha == pytest.approx(0.2)
+
+
+def test_sample_job_deterministic_and_weighted():
+    spec = get_scenario("net-heavy")
+    draws_a = [
+        spec.sample_job(np.random.default_rng(7)).app for _ in range(1)
+    ]
+    draws_b = [
+        spec.sample_job(np.random.default_rng(7)).app for _ in range(1)
+    ]
+    assert draws_a == draws_b
+    rng = np.random.default_rng(3)
+    apps = {spec.sample_job(rng).app for _ in range(200)}
+    assert apps == {j.app for j in spec.job_mix}  # every class reachable
+
+
+def test_arrival_offsets_validates_count_and_sign():
+    build = lambda: uniform_cluster(4, nodes_per_switch=2)  # noqa: E731
+    short = ScenarioSpec(
+        name="short", description="d", build_cluster=build,
+        arrivals=lambda n, rng: (0.0,),
+    )
+    with pytest.raises(ValueError, match="offsets"):
+        short.arrival_offsets(3, np.random.default_rng(0))
+    negative = ScenarioSpec(
+        name="neg", description="d", build_cluster=build,
+        arrivals=lambda n, rng: tuple(-1.0 for _ in range(n)),
+    )
+    with pytest.raises(ValueError, match="negative"):
+        negative.arrival_offsets(2, np.random.default_rng(0))
+
+
+def test_default_job_mix_is_papers():
+    assert tuple(j.app for j in PAPER_JOB_MIX) == ("minimd", "minife")
+    assert get_scenario("paper-tree").job_mix == PAPER_JOB_MIX

@@ -1,0 +1,85 @@
+"""Federation sharding on non-tree topologies (latent-assumption sweep).
+
+``subtree_partition`` was written against the paper's star-of-leaves
+shape; these regressions pin that it keeps its contract — whole leaf
+subtrees, deterministic balance — on the zoo's fat-tree, mesh, and
+hetero worlds, including the node-less standby switch the mesh adds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation.sharding import subtree_partition
+from repro.scenarios.topologies import (
+    fat_tree_cluster,
+    hetero_accel_cluster,
+    mesh_cluster,
+)
+
+BUILDERS = {
+    "fat-tree": fat_tree_cluster,
+    "mesh": mesh_cluster,
+    "hetero-accel": hetero_accel_cluster,
+}
+
+
+def _node_switches(builder):
+    specs, _topo = builder()
+    return {s.name: s.switch for s in specs}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_partition_keeps_subtrees_whole(name):
+    node_switches = _node_switches(BUILDERS[name])
+    shards = subtree_partition(node_switches, 2)
+    owner = {
+        node: shard for shard, nodes in shards.items() for node in nodes
+    }
+    assert set(owner) == set(node_switches)  # every node placed once
+    for shard, nodes in shards.items():
+        for node in nodes:
+            peers_on_switch = [
+                n for n, sw in node_switches.items()
+                if sw == node_switches[node]
+            ]
+            assert all(owner[p] == shard for p in peers_on_switch), (
+                f"subtree {node_switches[node]} split across shards"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_partition_deterministic_and_balanced(name):
+    node_switches = _node_switches(BUILDERS[name])
+    a = subtree_partition(node_switches, 3)
+    b = subtree_partition(dict(reversed(node_switches.items())), 3)
+    # membership must not depend on input insertion order (node order
+    # within a shard follows the input and may differ)
+    assert {s: set(v) for s, v in a.items()} == {
+        s: set(v) for s, v in b.items()
+    }
+    assert a == subtree_partition(node_switches, 3)  # same input, same output
+    sizes = sorted(len(v) for v in a.values())
+    # LPT balancing: no shard exceeds the lightest by more than the
+    # largest single subtree
+    largest_subtree = max(
+        sum(1 for sw in node_switches.values() if sw == s)
+        for s in set(node_switches.values())
+    )
+    assert sizes[-1] - sizes[0] <= largest_subtree
+
+
+def test_standby_switch_without_nodes_is_invisible():
+    # the mesh's standby switch carries no nodes, so it must simply not
+    # appear in any shard rather than producing an empty one
+    node_switches = _node_switches(mesh_cluster)
+    assert "standby" not in node_switches.values()
+    shards = subtree_partition(node_switches, 2)
+    assert all(shards.values())
+
+
+def test_more_shards_than_subtrees_collapses():
+    node_switches = _node_switches(fat_tree_cluster)
+    n_subtrees = len(set(node_switches.values()))
+    shards = subtree_partition(node_switches, n_subtrees + 5)
+    assert len(shards) == n_subtrees

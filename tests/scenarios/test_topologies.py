@@ -1,0 +1,181 @@
+"""The zoo's cluster builders and general-graph routing.
+
+Covers the fat-tree / mesh / hetero-accel builders end to end plus the
+``extra_switch_links`` machinery they lean on: validation, BFS routing
+determinism, and the guarantee that a pure tree still routes through
+the bit-identical LCA fast path.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.cluster.topology import SwitchTopology, uniform_cluster
+from repro.net.model import NetworkModel
+from repro.scenarios.topologies import (
+    ACCEL_COMPUTE_WEIGHTS,
+    fat_tree_cluster,
+    hetero_accel_cluster,
+    mesh_cluster,
+)
+
+
+def _assert_routes_consistent(topo: SwitchTopology) -> None:
+    """Every node pair routes, and every hop is a real capacitated link."""
+    nodes = topo.nodes
+    for u in nodes:
+        for v in nodes:
+            if u == v:
+                assert topo.hops(u, v) == 0
+                continue
+            path = topo.path(u, v)
+            assert path[0] == u and path[-1] == v
+            assert len(set(path)) == len(path), f"loop in {path}"
+            for a, b in zip(path[:-1], path[1:]):
+                assert topo.link_capacity(a, b) > 0
+
+
+class TestFatTree:
+    def test_shape(self):
+        specs, topo = fat_tree_cluster()
+        assert len(specs) == 24
+        assert set(topo.switches) == {
+            "core", "agg1", "agg2", "leaf1", "leaf2", "leaf3", "leaf4",
+        }
+        # every leaf is dual-homed: tree uplink to agg1, extra to agg2
+        extras = set(topo.extra_switch_links)
+        for leaf in ("leaf1", "leaf2", "leaf3", "leaf4"):
+            assert tuple(sorted((leaf, "agg2"))) in extras
+        assert ("agg1", "agg2") in extras
+
+    def test_cross_leaf_routes_shortcut_not_core(self):
+        _specs, topo = fat_tree_cluster()
+        # leaf-to-leaf stays 2 switch hops (via an aggregation switch),
+        # never climbing to the core — that's the fat-tree's point
+        path = topo.switch_path("leaf1", "leaf3")
+        assert len(path) == 3
+        assert "core" not in path
+
+    def test_routes_consistent(self):
+        _specs, topo = fat_tree_cluster()
+        _assert_routes_consistent(topo)
+
+    def test_network_model_accepts_it(self):
+        _specs, topo = fat_tree_cluster()
+        net = NetworkModel(topo)
+        u, v = topo.nodes[0], topo.nodes[-1]
+        assert net.peak_bandwidth(u, v) > 0
+
+
+class TestMesh:
+    def test_leaf_pairs_are_direct(self):
+        _specs, topo = mesh_cluster()
+        leaves = [s for s in topo.switches if s.startswith("switch")]
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1:]:
+                assert topo.switch_path(a, b) == (a, b)
+
+    def test_standby_switch_carries_no_nodes(self):
+        specs, topo = mesh_cluster(with_standby=True)
+        assert "standby" in topo.switches
+        assert topo.nodes_on_switch("standby") == []
+        assert all(s.switch != "standby" for s in specs)
+
+    def test_without_standby(self):
+        _specs, topo = mesh_cluster(with_standby=False)
+        assert "standby" not in topo.switches
+
+    def test_routes_consistent(self):
+        _specs, topo = mesh_cluster()
+        _assert_routes_consistent(topo)
+
+
+class TestHeteroAccel:
+    def test_three_tiers(self):
+        specs, topo = hetero_accel_cluster()
+        assert len(specs) == 30
+        by_tier = {"fast": [], "slow": [], "accel": []}
+        for s in specs:
+            for tier in by_tier:
+                if s.name.startswith(tier):
+                    by_tier[tier].append(s)
+        assert [len(v) for v in by_tier.values()] == [12, 10, 8]
+        fast, slow, accel = (by_tier[t][0] for t in ("fast", "slow", "accel"))
+        assert (fast.cores, fast.frequency_ghz) == (12, 4.6)
+        assert (slow.cores, slow.frequency_ghz) == (8, 2.8)
+        assert (accel.cores, accel.memory_gb) == (32, 64.0)
+
+    def test_every_switch_carries_a_mix(self):
+        specs, topo = hetero_accel_cluster()
+        leaves = {s.switch for s in specs}
+        for leaf in leaves:
+            tiers = {
+                n.rstrip("0123456789") for n in topo.nodes_on_switch(leaf)
+            }
+            assert len(tiers) >= 2, f"{leaf} carries only {tiers}"
+
+    def test_accel_weights_are_valid_saw_profile(self):
+        total = sum(ACCEL_COMPUTE_WEIGHTS.weights.values())
+        assert total == pytest.approx(1.0)
+        # capability terms outweigh the stock profile's
+        w = ACCEL_COMPUTE_WEIGHTS.weights
+        assert w["core_count"] + w["cpu_frequency"] + w["total_memory"] > 0.3
+
+
+class TestExtraLinkMachinery:
+    def test_pure_tree_has_no_extras_and_uses_lca(self):
+        _specs, topo = uniform_cluster(8, nodes_per_switch=4)
+        assert topo.extra_switch_links == ()
+        assert topo.switch_path("switch1", "switch2") == (
+            "switch1", "root", "switch2",
+        )
+
+    def test_extra_link_shortens_path_deterministically(self):
+        parents = {"root": None, "a": "root", "b": "root"}
+        nodes = {"n1": "a", "n2": "b"}
+        tree = SwitchTopology(parents, nodes)
+        ring = SwitchTopology(
+            parents, nodes, extra_switch_links=[("a", "b")]
+        )
+        assert tree.switch_path("a", "b") == ("a", "root", "b")
+        assert ring.switch_path("a", "b") == ("a", "b")
+        # both directions, same links
+        assert ring.switch_path("b", "a") == ("b", "a")
+
+    def test_extra_link_capacity_triple(self):
+        parents = {"root": None, "a": "root", "b": "root"}
+        topo = SwitchTopology(
+            parents, {"n1": "a"}, extra_switch_links=[("a", "b", 250.0)]
+        )
+        assert topo.link_capacity("a", "b") == 250.0
+
+    def test_extra_link_validation(self):
+        parents = {"root": None, "a": "root"}
+        nodes = {"n1": "a"}
+        with pytest.raises(ValueError, match="not a switch"):
+            SwitchTopology(
+                parents, nodes, extra_switch_links=[("a", "ghost")]
+            )
+        with pytest.raises(ValueError, match="self-loop"):
+            SwitchTopology(parents, nodes, extra_switch_links=[("a", "a")])
+        with pytest.raises(ValueError, match="must be"):
+            SwitchTopology(parents, nodes, extra_switch_links=[("a",)])
+
+    def test_duplicate_of_tree_edge_is_ignored(self):
+        parents = {"root": None, "a": "root"}
+        topo = SwitchTopology(
+            parents, {"n1": "a"}, extra_switch_links=[("a", "root")]
+        )
+        assert topo.extra_switch_links == ()
+
+    def test_parent_cycle_still_rejected_with_extras(self):
+        parents = {"root": None, "a": "b", "b": "a"}
+        with pytest.raises(ValueError, match="tree"):
+            SwitchTopology(parents, {}, extra_switch_links=[("a", "root")])
+
+    def test_switch_graphs_are_connected(self):
+        for builder in (fat_tree_cluster, mesh_cluster):
+            _specs, topo = builder()
+            sub = topo.graph.subgraph(topo.switches)
+            assert nx.is_connected(sub)

@@ -146,6 +146,67 @@ class TestJsonOutput:
             assert run["time_s"] > 0 and run["n_nodes"] == len(run["nodes"])
 
 
+class TestScenarios:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-tree" in out and "[paper]" in out
+        assert "fat-tree" in out and "bursty" in out
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["scenarios", "list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = [d["name"] for d in data]
+        assert names[0] == "paper-tree"
+        assert sum(d["paper"] for d in data) == 1
+        assert all({"name", "description", "smoke", "paper"} <= set(d)
+                   for d in data)
+
+    def test_run_json(self, capsys):
+        import json
+
+        rc = main(
+            ["scenarios", "run", "fat-tree", "--seed", "1", "--jobs", "2",
+             "-n", "8", "--json"]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "fat-tree" and data["n_jobs"] == 2
+        assert set(data["mean_times_s"]) == {
+            "random", "sequential", "load_aware", "network_load_aware",
+        }
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(["scenarios", "run", "no-such"]) == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_world_commands_accept_scenario_flag(self):
+        for argv in (
+            ["allocate", "--scenario", "mesh"],
+            ["elastic", "--scenario", "bursty"],
+            ["fleet", "--scenario", "fat-tree"],
+            ["chaos", "--scenario", "bursty"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert args.scenario == argv[-1]
+
+    def test_allocate_on_scenario_world(self, capsys):
+        rc = main(
+            ["allocate", "-n", "8", "--seed", "1", "--scenario", "fat-tree",
+             *FAST]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        assert sum(int(l.split(":")[1]) for l in lines) == 8
+
+    def test_allocate_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            main(["allocate", "--scenario", "no-such", *FAST])
+
+
 class TestServeClientParsers:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])

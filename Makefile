@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: all test lint typecheck bench bench-full bench-smoke bench-json elastic fleet chaos chaos-smoke scenarios examples clean
+.PHONY: all test lint race typecheck bench bench-full bench-smoke bench-json elastic fleet chaos chaos-smoke scenarios examples clean
 
 all: test lint typecheck scenarios
 
@@ -8,18 +8,24 @@ test:
 	pytest tests/
 
 # In-tree invariant checks (determinism / async-safety / typed errors /
-# protocol drift) — stdlib-only, always available.  Exit 1 on any
-# finding not grandfathered in lint-baseline.json (docs/ANALYSIS.md).
-# mypy/ruff are optional extras (`pip install -e ".[lint]"`); the
-# targets skip gracefully where they aren't installed so `make all`
-# works in minimal containers.
+# protocol drift / async races) — stdlib-only, always available.  Exit 1
+# on any finding not grandfathered in lint-baseline.json
+# (docs/ANALYSIS.md).  mypy/ruff are optional extras
+# (`pip install -e ".[lint]"`); the targets skip gracefully where they
+# aren't installed so `make all` works in minimal containers.
 lint:
 	python -m repro lint
+	pytest benchmarks/bench_lint.py --benchmark-only -q
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src/repro; \
 	else \
 		echo "ruff not installed; skipping (pip install -e '.[lint]')"; \
 	fi
+
+# Concurrency slice of the lint pass on its own: the RACE family
+# (await-segmented CFG over every async def — docs/ANALYSIS.md).
+race:
+	python -m repro lint --rules RACE
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \

@@ -1,0 +1,69 @@
+"""Lint-pass latency guard: the full-repo analysis must stay interactive.
+
+``python -m repro lint`` runs in every CI job and is meant to be run
+reflexively before each commit; the RACE family added whole-function
+CFG construction per async def, so this bench pins the end-to-end cost
+of linting the entire repository.  The floor is deliberately generous —
+10 s wall for the whole tree — because the point is to catch an
+accidental complexity blow-up (e.g. a rule going quadratic in file
+count), not to micro-tune the walker.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.engine import lint_project
+from repro.analysis.source import Project
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: CI floor: one full-repo lint pass, wall-clock seconds
+FULL_REPO_BUDGET_S = 10.0
+
+
+def test_full_repo_lint_under_budget(benchmark):
+    project = Project.load(ROOT, [ROOT / "src"])
+
+    def one_pass():
+        start = time.perf_counter()
+        findings = lint_project(project)
+        elapsed = time.perf_counter() - start
+        return elapsed, len(project.files), findings
+
+    elapsed, n_files, findings = run_once(benchmark, one_pass)
+    print(
+        f"\nlint pass: {n_files} file(s), {len(findings)} finding(s), "
+        f"{elapsed:.2f}s (budget {FULL_REPO_BUDGET_S:.0f}s)"
+    )
+    assert n_files > 100, "project loader lost most of the tree"
+    assert elapsed < FULL_REPO_BUDGET_S, (
+        f"full-repo lint took {elapsed:.2f}s — over the "
+        f"{FULL_REPO_BUDGET_S:.0f}s interactivity budget"
+    )
+
+
+def test_race_family_alone_is_a_fraction_of_the_pass(benchmark):
+    """The concurrency rules must not dominate the whole lint pass."""
+    from repro.analysis import race
+
+    project = Project.load(ROOT, [ROOT / "src"])
+
+    def race_only():
+        start = time.perf_counter()
+        findings = []
+        for file in project.files:
+            findings.extend(race.check(file))
+        return time.perf_counter() - start, findings
+
+    elapsed, findings = run_once(benchmark, race_only)
+    print(f"\nRACE-only pass: {elapsed:.2f}s, {len(findings)} raw finding(s)")
+    assert elapsed < FULL_REPO_BUDGET_S / 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "--benchmark-only", "-s"]))

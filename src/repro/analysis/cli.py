@@ -26,14 +26,14 @@ from repro.analysis.findings import LintReport
 from repro.analysis.rules import ALL_RULES
 
 #: rule-family prefixes accepted by ``--rules``
-FAMILIES = ("DET", "ASY", "ERR", "PRO")
+FAMILIES = ("DET", "ASY", "ERR", "PRO", "RACE")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="AST-based invariant checks: determinism, async-safety, "
-        "typed-error discipline, protocol drift",
+        "typed-error discipline, protocol drift, async races",
     )
     parser.add_argument(
         "paths", nargs="*", default=None,
@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable report instead of text",
+    )
+    parser.add_argument(
+        "--jsonl", action="store_true",
+        help="emit one JSON object per new finding (CI annotations)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -117,7 +121,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    if args.json:
+    if args.jsonl:
+        # one object per line, new findings only: `gh` annotations and
+        # editor integrations stream these without buffering the report
+        for finding in report.new:
+            print(json.dumps(finding.to_dict(), sort_keys=True))
+    elif args.json:
         print(json.dumps(_as_json(report), indent=2))
     else:
         _render_text(report)

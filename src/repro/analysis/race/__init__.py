@@ -1,0 +1,18 @@
+"""Async race detector — the RACE rule family.
+
+An interleaving-aware dataflow pass over every ``async def``: the CFG
+builder (:mod:`repro.analysis.race.cfg`) segments each function body at
+its yield points and stamps every shared-state access with the segment
+it runs in; the rules (:mod:`repro.analysis.race.rules`) then report
+accesses that only *look* atomic.  Wired into ``python -m repro lint``
+through the rule registry; the runtime counterpart that exercises the
+same atomicity claims under forced interleavings lives in
+:mod:`repro.chaos.interleave`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.race.cfg import AsyncCFG, build, module_assigned_names
+from repro.analysis.race.rules import RULES, check
+
+__all__ = ["AsyncCFG", "RULES", "build", "check", "module_assigned_names"]

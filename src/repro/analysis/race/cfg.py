@@ -1,0 +1,566 @@
+"""Await-segmented summaries of async function bodies.
+
+The race rules need one question answered precisely: *can another task
+run between these two statements?*  In asyncio the answer is static —
+control only transfers at ``await``, the implicit awaits of
+``async for`` / ``async with``, and generator ``yield`` — so a linear
+pre-order walk that counts yield points is an honest control-flow
+summary for straight-line reasoning.  Every shared-state access is
+stamped with the *segment* (yield-point epoch) it executes in and the
+set of locks held around it; two accesses in different segments can be
+interleaved by another task, two in the same segment cannot.
+
+Shared state means: ``self.*`` attribute chains, module-level names
+(read anywhere, written only via ``global`` declarations or mutating
+method calls), and ``nonlocal`` closure captures.  Locals are resolved
+per-function and excluded — a list built and mutated inside one call is
+nobody else's business.
+
+Deliberate imprecision, chosen to avoid false positives:
+
+* Loop back-edges are not modelled.  ``x += 1`` in a yielding loop is
+  atomic per iteration; only a read in an *earlier* segment than a
+  write is reported (the canonical ``v = self.x; await ...;
+  self.x = f(v)`` shape).
+* ``AugAssign`` records a write only — its read and write happen in the
+  same segment, so it cannot span an await by itself.
+* A name is a lock when its last component mentions ``lock``/``mutex``/
+  ``sem``/``cond``; anything else used in ``async with`` still counts
+  as a yield point, just not as protection.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.names import dotted_name
+
+#: access kinds (``Access.kind``)
+READ = "read"
+WRITE = "write"
+MUTATE = "mutate"
+CHECK = "check"  #: read inside an ``if``/``while`` test
+ITERATE = "iterate"  #: shared collection used as a ``for`` iterable
+
+#: method names that mutate their receiver in place
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "discard",
+        "clear",
+        "put_nowait",
+        "sort",
+        "reverse",
+    }
+)
+
+#: substrings that mark a name as a synchronization primitive
+_LOCK_HINTS = ("lock", "mutex", "sem", "cond")
+
+#: iterator-view methods — ``for k in self._d.items()`` iterates ``self._d``
+_VIEW_METHODS = frozenset({"items", "values", "keys"})
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read/write of a shared variable at one yield-point epoch."""
+
+    var: str  #: canonical name, e.g. ``self._tasks``
+    kind: str  #: one of READ/WRITE/MUTATE/CHECK/ITERATE
+    segment: int  #: yield-point epoch (0 before the first await)
+    line: int
+    col: int
+    locks: frozenset[str]  #: locks held when the access executes
+
+
+@dataclass(frozen=True)
+class YieldPoint:
+    """One place the coroutine can hand control to another task."""
+
+    segment: int  #: epoch *before* this yield
+    line: int
+    kind: str  #: ``await`` / ``async_for`` / ``async_with`` / ``yield``
+
+
+@dataclass(frozen=True)
+class LockReentry:
+    """``async with L`` nested inside ``async with L`` — deadlock."""
+
+    lock: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class LockPair:
+    """Observed acquisition order: ``inner`` taken while ``outer`` held."""
+
+    outer: str
+    inner: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class IterationSite:
+    """A ``for`` loop over shared state whose body can yield."""
+
+    var: str
+    line: int
+    col: int
+    yields_in_body: int
+
+
+@dataclass(frozen=True)
+class CheckActSite:
+    """A branch test read with a post-await write in the guarded suite."""
+
+    var: str
+    line: int  #: the test's line
+    col: int
+    write_line: int
+    check_segment: int
+    write_segment: int
+
+
+@dataclass
+class AsyncCFG:
+    """Everything the race rules need to know about one async function."""
+
+    name: str
+    line: int
+    accesses: list[Access] = field(default_factory=list)
+    yield_points: list[YieldPoint] = field(default_factory=list)
+    reentries: list[LockReentry] = field(default_factory=list)
+    lock_pairs: list[LockPair] = field(default_factory=list)
+    iterations: list[IterationSite] = field(default_factory=list)
+    check_acts: list[CheckActSite] = field(default_factory=list)
+
+    @property
+    def segments(self) -> int:
+        """Number of atomic segments (yield points + 1)."""
+        return len(self.yield_points) + 1
+
+
+def walk_same_context(stmt: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``stmt`` without descending into nested function bodies.
+
+    Yields every node reachable from ``stmt`` except the bodies of
+    nested ``def``/``async def``/``lambda`` — their execution context
+    (loop, task, thread) is not this function's.
+    """
+    yield stmt
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    for child in ast.iter_child_nodes(stmt):
+        yield from walk_same_context(child)
+
+
+def module_assigned_names(tree: ast.Module) -> frozenset[str]:
+    """Names bound by assignment at module scope (candidate globals).
+
+    Dunders are excluded; ALL_CAPS constants are kept — mutable module
+    registries are conventionally upper-cased, and a true constant is
+    never written so it can never complete a race pair anyway.
+    """
+    names: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+    return frozenset(n for n in names if not n.startswith("__"))
+
+
+def lock_name(expr: ast.expr) -> str | None:
+    """The dotted name of ``expr`` when it looks like a lock, else None."""
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    tail = dotted.split(".")[-1].lower()
+    if any(hint in tail for hint in _LOCK_HINTS):
+        return dotted
+    return None
+
+
+def build(fn: ast.AsyncFunctionDef, module_shared: frozenset[str]) -> AsyncCFG:
+    """Build the await-segmented summary for one async function."""
+    builder = _Builder(fn, module_shared)
+    builder.run()
+    return builder.cfg
+
+
+class _Builder:
+    """Single linear pass over a function body, in evaluation order."""
+
+    def __init__(
+        self, fn: ast.AsyncFunctionDef, module_shared: frozenset[str]
+    ) -> None:
+        self.fn = fn
+        self.cfg = AsyncCFG(name=fn.name, line=fn.lineno)
+        self.segment = 0
+        self._locks: list[str] = []
+        self._module_shared = module_shared
+        self._globals: set[str] = set()
+        self._nonlocals: set[str] = set()
+        self._locals: set[str] = set()
+        self._collect_scopes()
+
+    # -- scope pre-pass ---------------------------------------------------
+
+    def _collect_scopes(self) -> None:
+        args = self.fn.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ):
+            self._locals.add(arg.arg)
+        for stmt in self.fn.body:
+            for node in walk_same_context(stmt):
+                if isinstance(node, ast.Global):
+                    self._globals.update(node.names)
+                elif isinstance(node, ast.Nonlocal):
+                    self._nonlocals.update(node.names)
+                elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    self._locals.add(node.id)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node is not stmt:
+                        self._locals.add(node.name)
+        self._locals -= self._globals
+        self._locals -= self._nonlocals
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> None:
+        for stmt in self.fn.body:
+            self.visit_stmt(stmt)
+
+    # -- shared-name resolution -------------------------------------------
+
+    def shared_var(self, expr: ast.expr) -> str | None:
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head == "self" and rest:
+            return dotted
+        if not rest:
+            if head in self._globals or head in self._nonlocals:
+                return head
+            if head in self._module_shared and head not in self._locals:
+                return head
+        return None
+
+    def record(self, var: str, kind: str, node: ast.AST) -> None:
+        self.cfg.accesses.append(
+            Access(
+                var=var,
+                kind=kind,
+                segment=self.segment,
+                line=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                locks=frozenset(self._locks),
+            )
+        )
+
+    def bump(self, kind: str, node: ast.AST) -> None:
+        self.cfg.yield_points.append(
+            YieldPoint(
+                segment=self.segment,
+                line=getattr(node, "lineno", self.fn.lineno),
+                kind=kind,
+            )
+        )
+        self.segment += 1
+
+    # -- statements -------------------------------------------------------
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are scanned as their own context
+        if isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value, READ)
+            for target in stmt.targets:
+                self.visit_target(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value, READ)
+            self.visit_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            # read+write in one segment: atomic, so record the write only
+            self.visit_expr(stmt.value, READ)
+            self.visit_target(stmt.target)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.visit_target(target)
+        elif isinstance(stmt, (ast.Expr, ast.Return)) and stmt.value is not None:
+            self.visit_expr(stmt.value, READ)
+        elif isinstance(stmt, ast.If):
+            self._visit_branch(stmt, stmt.test, stmt.body, stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._visit_branch(stmt, stmt.test, stmt.body, stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_for(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, ast.Try):
+            for s in stmt.body:
+                self.visit_stmt(s)
+            for handler in stmt.handlers:
+                for s in handler.body:
+                    self.visit_stmt(s)
+            for s in stmt.orelse:
+                self.visit_stmt(s)
+            for s in stmt.finalbody:
+                self.visit_stmt(s)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, READ)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal, ast.Pass, ast.Break,
+                               ast.Continue, ast.Import, ast.ImportFrom)):
+            pass
+        else:  # Match and anything future: conservative generic walk
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, READ)
+                elif isinstance(child, ast.stmt):
+                    self.visit_stmt(child)
+                else:
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.stmt):
+                            self.visit_stmt(sub)
+                        elif isinstance(sub, ast.expr):
+                            self.visit_expr(sub, READ)
+
+    def _visit_branch(
+        self,
+        stmt: ast.stmt,
+        test: ast.expr,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+    ) -> None:
+        check_start = len(self.cfg.accesses)
+        self.visit_expr(test, CHECK)
+        checks = [
+            a for a in self.cfg.accesses[check_start:] if a.kind == CHECK
+        ]
+        act_start = len(self.cfg.accesses)
+        for s in body:
+            self.visit_stmt(s)
+        for s in orelse:
+            self.visit_stmt(s)
+        acts = self.cfg.accesses[act_start:]
+        for check in checks:
+            for act in acts:
+                if (
+                    act.var == check.var
+                    and act.kind in (WRITE, MUTATE)
+                    and act.segment > check.segment
+                    and not (act.locks & check.locks)
+                ):
+                    self.cfg.check_acts.append(
+                        CheckActSite(
+                            var=check.var,
+                            line=check.line,
+                            col=check.col,
+                            write_line=act.line,
+                            check_segment=check.segment,
+                            write_segment=act.segment,
+                        )
+                    )
+                    break
+
+    def _visit_for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        iter_var = self._iterated_shared(stmt.iter)
+        if iter_var is not None:
+            self.record(iter_var, ITERATE, stmt.iter)
+            # still evaluate view-call arguments, if any
+            if isinstance(stmt.iter, ast.Call):
+                for arg in stmt.iter.args:
+                    self.visit_expr(arg, READ)
+        else:
+            self.visit_expr(stmt.iter, READ)
+        is_async = isinstance(stmt, ast.AsyncFor)
+        if is_async:
+            self.bump("async_for", stmt)
+        body_start_segment = self.segment
+        self.visit_target(stmt.target)
+        for s in stmt.body:
+            self.visit_stmt(s)
+        yields_in_body = self.segment - body_start_segment
+        if is_async:
+            yields_in_body = max(yields_in_body, 1)
+        if iter_var is not None and yields_in_body > 0:
+            self.cfg.iterations.append(
+                IterationSite(
+                    var=iter_var,
+                    line=stmt.iter.lineno,
+                    col=stmt.iter.col_offset,
+                    yields_in_body=yields_in_body,
+                )
+            )
+        for s in stmt.orelse:
+            self.visit_stmt(s)
+
+    def _iterated_shared(self, iter_expr: ast.expr) -> str | None:
+        """The shared var a ``for`` iterates, seeing through dict views."""
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr in _VIEW_METHODS
+        ):
+            return self.shared_var(iter_expr.func.value)
+        return self.shared_var(iter_expr)
+
+    def _visit_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        entered: list[str] = []
+        for item in stmt.items:
+            name = lock_name(item.context_expr)
+            if name is None:
+                self.visit_expr(item.context_expr, READ)
+            else:
+                if name in self._locks:
+                    self.cfg.reentries.append(
+                        LockReentry(
+                            lock=name,
+                            line=item.context_expr.lineno,
+                            col=item.context_expr.col_offset,
+                        )
+                    )
+                else:
+                    for outer in self._locks:
+                        self.cfg.lock_pairs.append(
+                            LockPair(
+                                outer=outer,
+                                inner=name,
+                                line=item.context_expr.lineno,
+                                col=item.context_expr.col_offset,
+                            )
+                        )
+                entered.append(name)
+            if item.optional_vars is not None:
+                self.visit_target(item.optional_vars)
+        is_async = isinstance(stmt, ast.AsyncWith)
+        if is_async:
+            self.bump("async_with", stmt)
+        self._locks.extend(entered)
+        for s in stmt.body:
+            self.visit_stmt(s)
+        if entered:
+            del self._locks[len(self._locks) - len(entered):]
+        if is_async:
+            self.bump("async_with", stmt)  # __aexit__ awaits too
+
+    # -- assignment targets -----------------------------------------------
+
+    def visit_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.visit_target(elt)
+        elif isinstance(target, ast.Starred):
+            self.visit_target(target.value)
+        elif isinstance(target, ast.Subscript):
+            var = self.shared_var(target.value)
+            if var is not None:
+                self.record(var, MUTATE, target)
+            else:
+                self.visit_expr(target.value, READ)
+            self.visit_expr(target.slice, READ)
+        elif isinstance(target, ast.Attribute):
+            var = self.shared_var(target)
+            if var is not None:
+                self.record(var, WRITE, target)
+            else:
+                self.visit_expr(target.value, READ)
+        elif isinstance(target, ast.Name):
+            if target.id in self._globals or target.id in self._nonlocals:
+                self.record(target.id, WRITE, target)
+
+    # -- expressions ------------------------------------------------------
+
+    def visit_expr(self, expr: ast.expr, kind: str) -> None:
+        if isinstance(expr, ast.Await):
+            self.visit_expr(expr.value, READ)
+            self.bump("await", expr)
+        elif isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            if getattr(expr, "value", None) is not None:
+                self.visit_expr(expr.value, READ)  # type: ignore[arg-type]
+            self.bump("yield", expr)
+        elif isinstance(expr, ast.Lambda):
+            return  # deferred execution context
+        elif isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            # the outermost iterable is evaluated eagerly, in this context
+            if expr.generators:
+                self.visit_expr(expr.generators[0].iter, READ)
+        elif isinstance(expr, ast.Call):
+            self._visit_call(expr, kind)
+        elif isinstance(expr, (ast.BoolOp, ast.BinOp, ast.UnaryOp, ast.Compare,
+                               ast.IfExp)):
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, kind)
+        elif isinstance(expr, ast.NamedExpr):
+            self.visit_expr(expr.value, kind)
+        elif isinstance(expr, (ast.Attribute, ast.Name)):
+            var = self.shared_var(expr)
+            if var is not None:
+                self.record(var, READ if kind == ITERATE else kind, expr)
+            elif isinstance(expr, ast.Attribute):
+                self.visit_expr(expr.value, kind)
+        elif isinstance(expr, ast.Subscript):
+            var = self.shared_var(expr.value)
+            if var is not None:
+                self.record(var, kind, expr)
+            else:
+                self.visit_expr(expr.value, kind)
+            self.visit_expr(expr.slice, READ)
+        elif isinstance(expr, ast.Starred):
+            self.visit_expr(expr.value, kind)
+        else:
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, READ)
+
+    def _visit_call(self, call: ast.Call, kind: str) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            receiver = self.shared_var(func.value)
+            if receiver is not None:
+                if func.attr in MUTATOR_METHODS:
+                    self.record(receiver, MUTATE, call)
+                else:
+                    self.record(
+                        receiver, CHECK if kind == CHECK else READ, call
+                    )
+            else:
+                self.visit_expr(func.value, READ)
+        # a bare Name callee is code, not shared data — nothing to record
+        for arg in call.args:
+            self.visit_expr(arg, READ)
+        for keyword in call.keywords:
+            self.visit_expr(keyword.value, READ)

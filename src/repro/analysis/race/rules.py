@@ -1,0 +1,375 @@
+"""RACE rules — interleaving hazards in async code.
+
+Every rule reasons over the await-segmented summaries from
+:mod:`repro.analysis.race.cfg`: two accesses in different segments can
+have arbitrary other-task work interleaved between them, two in the
+same segment cannot.  That makes the reports *interleaving-aware*, not
+merely syntactic — an ``x += 1`` is never flagged (atomic in asyncio),
+while ``v = self.x`` … ``await`` … ``self.x = f(v)`` always is.
+
+* ``RACE001`` — shared state read in one segment and written in a later
+  one with no common lock held: another task can interleave and the
+  write clobbers its update (lost-update race).
+* ``RACE002`` — a branch test reads shared state and the guarded suite
+  writes it after an await: the condition may no longer hold when the
+  act executes (check-then-act / TOCTOU).
+* ``RACE003`` — ``asyncio.Lock`` re-entered while already held (it is
+  not reentrant: instant deadlock), or two locks acquired in opposite
+  orders at different sites (ABBA deadlock under interleaving).
+* ``RACE004`` — ``create_task``/``ensure_future`` result discarded: the
+  event loop keeps only a weak reference, so the task can be garbage
+  collected mid-flight and its exception is silently dropped.
+* ``RACE005`` — a ``for`` loop iterates shared state and its body can
+  yield: any interleaved mutation raises ``RuntimeError: changed size
+  during iteration`` or silently skips entries.
+* ``RACE006`` — an asyncio primitive bound at import/class-definition
+  time (before any loop runs), or ``asyncio.get_event_loop()`` inside a
+  coroutine: both couple the object to whichever loop happens to exist,
+  which breaks under multi-loop tests and daemon-thread loops.
+
+Suppress a deliberate violation with a rationale pragma on the line:
+``# lint: allow(RACE001) — single-writer by protocol design``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Protocol
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.names import dotted_name, import_aliases, resolve_call
+from repro.analysis.pragmas import justification
+from repro.analysis.race import cfg as cfg_mod
+from repro.analysis.race.cfg import (
+    CHECK,
+    MUTATE,
+    READ,
+    WRITE,
+    AsyncCFG,
+    walk_same_context,
+)
+from repro.analysis.source import QualnameVisitor, SourceFile
+
+RULES = (
+    RuleInfo(
+        "RACE001", "race", "shared read-modify-write spans an await without a lock"
+    ),
+    RuleInfo("RACE002", "race", "check-then-act on shared state across an await"),
+    RuleInfo(
+        "RACE003", "race", "asyncio lock re-entered or taken in conflicting order"
+    ),
+    RuleInfo(
+        "RACE004", "race", "fire-and-forget task: no reference or done-callback"
+    ),
+    RuleInfo("RACE005", "race", "shared collection iterated across a yield point"),
+    RuleInfo("RACE006", "race", "asyncio primitive bound to the wrong event loop"),
+)
+
+#: canonical task-spawning calls (module-level form)
+_SPAWNERS = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+
+#: attribute form: ``loop.create_task`` etc. — receivers that *retain*
+#: their tasks (TaskGroup, nursery) are exempt
+_SPAWNER_ATTRS = frozenset({"create_task", "ensure_future"})
+_RETAINING_RECEIVERS = ("group", "tg", "nursery")
+
+#: asyncio primitives that bind to the running loop on first use
+_LOOP_BOUND = frozenset(
+    {
+        f"asyncio.{name}"
+        for name in (
+            "Lock",
+            "Event",
+            "Condition",
+            "Semaphore",
+            "BoundedSemaphore",
+            "Queue",
+            "LifoQueue",
+            "PriorityQueue",
+            "Future",
+            "Barrier",
+        )
+    }
+)
+
+
+class _Emit(Protocol):
+    """Shape of the finding-emitting closure shared by the sub-checks."""
+
+    def __call__(
+        self, line: int, col: int, rule: str, severity: str, message: str, hint: str
+    ) -> None: ...
+
+
+def check(file: SourceFile) -> list[Finding]:
+    if file.tree is None:
+        return []
+    aliases = import_aliases(file.tree)
+    quals = QualnameVisitor(file.tree)
+    module_shared = cfg_mod.module_assigned_names(file.tree)
+    findings: list[Finding] = []
+
+    def emit(
+        line: int, col: int, rule: str, severity: str, message: str, hint: str
+    ) -> None:
+        if justification(file, line, rule) is not None:
+            return
+        findings.append(
+            Finding(
+                path=file.rel,
+                line=line,
+                col=col,
+                rule=rule,
+                severity=severity,
+                message=message,
+                hint=hint,
+                context=quals.qualname(line),
+            )
+        )
+
+    _check_fire_and_forget(file.tree, aliases, emit)
+    _check_loop_binding(file.tree, aliases, emit)
+
+    # lock acquisition order is a file-level property: function A taking
+    # store_lock then table_lock and function B the reverse can deadlock
+    # each other even though each function is locally consistent.
+    seen_pairs: dict[tuple[str, str], int] = {}
+
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        summary = cfg_mod.build(node, module_shared)
+        _check_rmw(summary, emit)
+        _check_then_act(summary, emit)
+        _check_locks(summary, seen_pairs, emit)
+        _check_iteration(summary, emit)
+
+    return findings
+
+
+# -- RACE001 ---------------------------------------------------------------
+
+
+def _check_rmw(summary: AsyncCFG, emit: "_Emit") -> None:
+    by_var: dict[str, list[cfg_mod.Access]] = {}
+    for access in summary.accesses:
+        by_var.setdefault(access.var, []).append(access)
+    for var, accesses in by_var.items():
+        reads = [a for a in accesses if a.kind == READ]
+        writes = [a for a in accesses if a.kind in (WRITE, MUTATE)]
+        for write in writes:
+            read = next(
+                (
+                    r
+                    for r in reads
+                    if r.segment < write.segment and not (r.locks & write.locks)
+                ),
+                None,
+            )
+            if read is None:
+                continue
+            awaits = write.segment - read.segment
+            emit(
+                write.line,
+                write.col,
+                "RACE001",
+                "error",
+                f"{var} is read at line {read.line} and written here in "
+                f"async def {summary.name!r} with {awaits} await point(s) "
+                "between — an interleaved task's update is lost",
+                "hold one asyncio.Lock across the read-modify-write, or "
+                "re-read and reconcile after the await",
+            )
+            break  # one report per variable per function
+
+
+# -- RACE002 ---------------------------------------------------------------
+
+
+def _check_then_act(summary: AsyncCFG, emit: "_Emit") -> None:
+    reported: set[tuple[str, int]] = set()
+    for site in summary.check_acts:
+        key = (site.var, site.write_line)
+        if key in reported:
+            continue
+        reported.add(key)
+        awaits = site.write_segment - site.check_segment
+        emit(
+            site.line,
+            site.col,
+            "RACE002",
+            "error",
+            f"{site.var} is tested here but only acted on at line "
+            f"{site.write_line}, {awaits} await point(s) later in async def "
+            f"{summary.name!r} — the condition can be invalidated "
+            "in between (check-then-act)",
+            "re-validate after the await, or guard the whole "
+            "check-then-act with one asyncio.Lock",
+        )
+
+
+# -- RACE003 ---------------------------------------------------------------
+
+
+def _check_locks(
+    summary: AsyncCFG,
+    seen_pairs: dict[tuple[str, str], int],
+    emit: "_Emit",
+) -> None:
+    for reentry in summary.reentries:
+        emit(
+            reentry.line,
+            reentry.col,
+            "RACE003",
+            "error",
+            f"{reentry.lock} is acquired here while already held in async "
+            f"def {summary.name!r} — asyncio.Lock is not reentrant, this "
+            "deadlocks immediately",
+            "release before re-acquiring, or split the critical section "
+            "so each path takes the lock exactly once",
+        )
+    for pair in summary.lock_pairs:
+        key = (pair.outer, pair.inner)
+        if (pair.inner, pair.outer) in seen_pairs:
+            first = seen_pairs[(pair.inner, pair.outer)]
+            emit(
+                pair.line,
+                pair.col,
+                "RACE003",
+                "error",
+                f"{pair.inner} is taken while holding {pair.outer}, but "
+                f"line {first} takes them in the opposite order — two tasks "
+                "can deadlock ABBA-style",
+                "pick one global acquisition order for these locks and use "
+                "it at every site",
+            )
+        else:
+            seen_pairs.setdefault(key, pair.line)
+
+
+# -- RACE004 ---------------------------------------------------------------
+
+
+def _check_fire_and_forget(
+    tree: ast.Module, aliases: dict[str, str], emit: "_Emit"
+) -> None:
+    for node in ast.walk(tree):
+        call: ast.Call | None = None
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+        elif (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "_"
+            and isinstance(node.value, ast.Call)
+        ):
+            call = node.value
+        if call is None:
+            continue
+        spawner = _spawner_name(call, aliases)
+        if spawner is None:
+            continue
+        emit(
+            call.lineno,
+            call.col_offset,
+            "RACE004",
+            "error",
+            f"{spawner}(...) result is discarded — the loop holds only a "
+            "weak reference, so the task can be garbage-collected "
+            "mid-flight and its exception is silently dropped",
+            "keep the task in a collection (discard on completion) or "
+            "chain .add_done_callback() that logs and counts failures",
+        )
+
+
+def _spawner_name(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    target = resolve_call(call.func, aliases)
+    if target in _SPAWNERS:
+        return target
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _SPAWNER_ATTRS
+    ):
+        receiver = dotted_name(call.func.value) or "<expr>"
+        tail = receiver.split(".")[-1].lower()
+        if any(mark in tail for mark in _RETAINING_RECEIVERS):
+            return None  # TaskGroup-style receivers retain their tasks
+        return f"{receiver}.{call.func.attr}"
+    return None
+
+
+# -- RACE005 ---------------------------------------------------------------
+
+
+def _check_iteration(summary: AsyncCFG, emit: "_Emit") -> None:
+    for site in summary.iterations:
+        emit(
+            site.line,
+            site.col,
+            "RACE005",
+            "error",
+            f"{site.var} is iterated in async def {summary.name!r} while "
+            f"the loop body has {site.yields_in_body} yield point(s) — an "
+            "interleaved task mutating it breaks the iteration "
+            "(RuntimeError or skipped entries)",
+            "snapshot first (iterate over list(...) or a swapped-out "
+            "copy), then await freely",
+        )
+
+
+# -- RACE006 ---------------------------------------------------------------
+
+
+def _check_loop_binding(
+    tree: ast.Module, aliases: dict[str, str], emit: "_Emit"
+) -> None:
+    # part A: primitives constructed before any loop exists
+    scopes: list[tuple[str, list[ast.stmt]]] = [("module", tree.body)]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            scopes.append((f"class {node.name}", node.body))
+    for where, body in scopes:
+        for stmt in body:
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            target = resolve_call(value.func, aliases)
+            if target in _LOOP_BOUND:
+                emit(
+                    value.lineno,
+                    value.col_offset,
+                    "RACE006",
+                    "warning",
+                    f"{target}() constructed at {where} scope binds to "
+                    "whichever event loop first touches it — daemon-thread "
+                    "loops and per-test loops then share one stale primitive",
+                    "construct it inside the coroutine/server that owns the "
+                    "running loop (e.g. in an async setup path)",
+                )
+    # part B: get_event_loop inside a coroutine
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        for stmt in node.body:
+            for sub in walk_same_context(stmt):
+                if isinstance(sub, ast.AsyncFunctionDef) and sub is not stmt:
+                    continue
+                if not isinstance(sub, ast.Call):
+                    continue
+                if resolve_call(sub.func, aliases) == "asyncio.get_event_loop":
+                    emit(
+                        sub.lineno,
+                        sub.col_offset,
+                        "RACE006",
+                        "warning",
+                        "asyncio.get_event_loop() inside async def "
+                        f"{node.name!r} can return a loop other than the "
+                        "running one (deprecated since 3.10)",
+                        "use asyncio.get_running_loop() — inside a "
+                        "coroutine it is always the right loop",
+                    )

@@ -8,6 +8,7 @@ is all it takes to wire a new one in.
 
 from __future__ import annotations
 
+from repro.analysis import race
 from repro.analysis.findings import RuleInfo
 from repro.analysis.rules import (
     asyncsafety,
@@ -21,6 +22,7 @@ FILE_RULES = (
     determinism.check,
     asyncsafety.check,
     typederrors.check,
+    race.check,
 )
 
 #: project rules: run once over the whole corpus
@@ -36,4 +38,5 @@ ALL_RULES: tuple[RuleInfo, ...] = (
     *asyncsafety.RULES,
     *typederrors.RULES,
     *protocol_drift.RULES,
+    *race.RULES,
 )

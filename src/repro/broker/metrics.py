@@ -76,6 +76,10 @@ class BrokerMetrics:
         #: allocate replays answered from the idempotency-token memo
         #: (a retried request that did NOT grant a second lease)
         self.allocates_deduped = 0
+        #: background tasks (batcher/sweeper/pipelined) that died with an
+        #: unexpected exception — counted by their done-callbacks so a
+        #: fire-and-forget failure is never silently dropped
+        self.background_task_failures = 0
         self.batches = 0
         self.batch_size_hist: Counter[int] = Counter()
         #: last ``latency_window`` allocate decision latencies, seconds
@@ -133,6 +137,7 @@ class BrokerMetrics:
             "decisions_invalidated": self.decisions_invalidated,
             "batch_swaps_adopted": self.batch_swaps_adopted,
             "allocates_deduped": self.allocates_deduped,
+            "background_task_failures": self.background_task_failures,
             "batches": self.batches,
             "batch_size_hist": {
                 str(k): v for k, v in sorted(self.batch_size_hist.items())

@@ -149,13 +149,35 @@ class BrokerServer:
             limit=4 * MAX_LINE_BYTES,
         )
         sock = self._server.sockets[0]
-        self.host, self.port = sock.getsockname()[:2]
+        self.host, self.port = sock.getsockname()[:2]  # lint: allow(RACE001) — start() runs once; rebinding host/port to the resolved socket address is the point
         if start_batcher:
-            self._tasks.append(asyncio.ensure_future(self._batcher()))
+            self._spawn(self._batcher(), "batcher")
         if start_sweeper:
-            self._tasks.append(asyncio.ensure_future(self._sweeper()))
+            self._spawn(self._sweeper(), "sweeper")
         log.info("broker listening on %s:%d", self.host, self.port)
         return self.host, self.port
+
+    def _spawn(self, coro: Any, name: str) -> "asyncio.Task[Any]":
+        """Start a background task with its failure accounted for.
+
+        The reference is retained in ``self._tasks`` (the loop keeps only
+        a weak one) and a done-callback logs and counts any unexpected
+        death into ``metrics.background_task_failures`` — a silently dead
+        sweeper would otherwise leak every expired lease forever.
+        """
+        task = asyncio.ensure_future(coro)
+
+        def _on_done(done: "asyncio.Task[Any]") -> None:
+            if done.cancelled():
+                return
+            exc = done.exception()
+            if exc is not None:
+                self.service.metrics.background_task_failures += 1
+                log.error("background task %r died: %r", name, exc)
+
+        task.add_done_callback(_on_done)
+        self._tasks.append(task)
+        return task
 
     async def serve_forever(self) -> None:
         """Run until cancelled (after :meth:`start`)."""
@@ -164,15 +186,24 @@ class BrokerServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, cancel background tasks, fail queued waiters."""
-        for task in self._tasks:
-            task.cancel()
-        for task in self._tasks:
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001 — shutdown drains every background task; a task that died earlier must not abort stop()
-                pass
-        self._tasks.clear()
+        """Stop accepting, cancel background tasks, fail queued waiters.
+
+        Safe to call twice or concurrently: every shared handle is
+        swapped out *before* the first await touching it, so a task
+        registered while the drain awaits lands in a fresh list and is
+        drained by the next round instead of being ``clear()``-ed away
+        uncancelled, and a second ``stop()`` closing the listener finds
+        it already taken.
+        """
+        while self._tasks:
+            tasks, self._tasks = self._tasks, []
+            for task in tasks:
+                task.cancel()
+            for task in tasks:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001 — shutdown drains every background task; a task that died earlier must not abort stop()
+                    pass
         if self._queue is not None:
             while not self._queue.empty():
                 _, fut = self._queue.get_nowait()
@@ -180,10 +211,10 @@ class BrokerServer:
                     fut.set_exception(
                         ProtocolError(ErrorCode.INTERNAL, "server shutting down")
                     )
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     # ------------------------------------------------------------------
     async def _handle_connection(

@@ -68,6 +68,7 @@ from repro.monitor.snapshot import (
     SnapshotUnavailableError,
 )
 from repro.scheduler.leases import Lease, LeaseError, LeaseTable
+from repro.util.atomic import atomic_between_awaits
 
 #: service-level counters start from this wall-clock origin
 _DecisionKey = tuple
@@ -229,6 +230,7 @@ class BrokerService:
     # ------------------------------------------------------------------
     # allocate (micro-batched)
 
+    @atomic_between_awaits
     def allocate_batch(
         self, batch: list[AllocateParams]
     ) -> list[dict[str, Any] | ProtocolError]:
@@ -587,6 +589,7 @@ class BrokerService:
             "nodes": list(lease.nodes),
         }
 
+    @atomic_between_awaits
     def reconfigure(self, params: ReconfigureParams) -> dict[str, Any]:
         """Replan a live lease; apply the plan if the gate accepts it.
 
@@ -720,6 +723,7 @@ class BrokerService:
     # ------------------------------------------------------------------
     # fleet pass
 
+    @atomic_between_awaits
     def fleet_plan(self, params: FleetPlanParams) -> dict[str, Any]:
         """One coordinated malleability pass over every live lease.
 

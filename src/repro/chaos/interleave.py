@@ -1,0 +1,142 @@
+"""Deterministic interleaving fuzzer — forced task reordering by seed.
+
+The static RACE pass (``repro/analysis/race/``) proves properties of
+*one* function's yield points; this module attacks the complementary
+dynamic question: of all the orders the event loop could run ready
+tasks in, does any break an invariant?  asyncio's default loop drains
+its ready queue FIFO, which hides every ordering bug that FIFO happens
+to mask.  :class:`InterleavingLoop` shuffles the ready queue with a
+seeded RNG before every drain — a mini-loom: same seed, same workload
+⇒ bit-for-bit the same (adversarial) schedule, so a failing
+interleaving replays exactly from its seed, just like every other
+chaos scenario in this harness.
+
+Usage::
+
+    result = run_interleaved(lambda: my_async_main(), seed=7)
+
+or across many seeds::
+
+    failures = sweep_seeds(lambda: my_async_main(), seeds=range(32))
+
+The atomic-section assertion helpers the scenarios drive
+(:class:`AtomicViolation`, :func:`atomic_between_awaits`,
+:func:`no_interleaving`) live in :mod:`repro.util.atomic` — production
+code must not import the chaos package — and are re-exported here for
+scenario authors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import selectors
+from typing import Any, Awaitable, Callable, Iterable
+
+from repro.util.atomic import (  # noqa: F401  — re-exported API
+    AtomicViolation,
+    atomic_between_awaits,
+    no_interleaving,
+)
+
+#: overall wall-clock guard per fuzzed run: an interleaving that
+#: deadlocks must fail the scenario, not hang the harness
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class InterleavingLoop(asyncio.SelectorEventLoop):
+    """A selector event loop that steps same-tick *tasks* in seeded
+    random order instead of FIFO.
+
+    Only task-step wakeups are permuted, and only among their own queue
+    positions — loop-internal plumbing callbacks (transport attachment,
+    ``sock_connect`` bookkeeping) have ordering contracts with each
+    other and stay FIFO.  Task wakeup order is exactly the freedom
+    asyncio gives no guarantee about, so every schedule produced is one
+    a legal loop could produce; the fuzzer widens coverage of the legal
+    schedule space, it never fabricates an illegal one.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(selectors.DefaultSelector())
+        self._interleave_rng = random.Random(seed)
+        #: number of ticks on which task order was actually permuted
+        self.reorders = 0
+
+    @staticmethod
+    def _is_task_step(handle: object) -> bool:
+        callback = getattr(handle, "_callback", None)
+        return isinstance(getattr(callback, "__self__", None), asyncio.Task)
+
+    def _run_once(self) -> None:  # type: ignore[override]
+        ready = getattr(self, "_ready", None)
+        if ready is not None and len(ready) > 1:
+            handles = list(ready)
+            slots = [
+                i for i, h in enumerate(handles) if self._is_task_step(h)
+            ]
+            if len(slots) > 1:
+                steps = [handles[i] for i in slots]
+                self._interleave_rng.shuffle(steps)
+                for slot, step in zip(slots, steps):
+                    handles[slot] = step
+                ready.clear()
+                ready.extend(handles)
+                self.reorders += 1
+        super()._run_once()  # type: ignore[misc]
+
+
+def run_interleaved(
+    main: Callable[[], Awaitable[Any]],
+    seed: int = 0,
+    *,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> Any:
+    """Run ``main()`` to completion on a fresh :class:`InterleavingLoop`.
+
+    The loop is installed as the thread's current loop for the duration
+    (so ``get_event_loop``-era code still lands on it) and always closed
+    afterwards.  A run exceeding ``timeout_s`` raises ``TimeoutError`` —
+    a deadlocking interleaving is a finding, not a hang.
+    """
+    loop = InterleavingLoop(seed)
+    asyncio.set_event_loop(loop)
+    try:
+        return loop.run_until_complete(
+            asyncio.wait_for(main(), timeout=timeout_s)
+        )
+    finally:
+        _drain_leftovers(loop)
+        loop.close()
+        asyncio.set_event_loop(None)
+
+
+def sweep_seeds(
+    main: Callable[[], Awaitable[Any]],
+    seeds: Iterable[int],
+    *,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> dict[int, BaseException]:
+    """Run ``main`` under every seed; map each failing seed to its error.
+
+    An empty dict means every explored interleaving held.  Reproduce any
+    failure exactly with ``run_interleaved(main, seed=<failing seed>)``.
+    """
+    failures: dict[int, BaseException] = {}
+    for seed in seeds:
+        try:
+            run_interleaved(main, seed, timeout_s=timeout_s)
+        except BaseException as exc:  # noqa: BLE001 — the sweep reports every failure mode, incl. AtomicViolation and TimeoutError, mapped to its seed
+            failures[seed] = exc
+    return failures
+
+
+def _drain_leftovers(loop: InterleavingLoop) -> None:
+    """Cancel and reap tasks a failed run left behind, before close()."""
+    leftovers = [t for t in asyncio.all_tasks(loop) if not t.done()]
+    for task in leftovers:
+        task.cancel()
+    if leftovers:
+        loop.run_until_complete(
+            asyncio.gather(*leftovers, return_exceptions=True)
+        )

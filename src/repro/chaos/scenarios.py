@@ -21,6 +21,8 @@ may cost quality, but only boundedly so.
 
 from __future__ import annotations
 
+import asyncio
+import json
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -28,8 +30,15 @@ from typing import Any, Callable
 
 from repro.broker.client import BrokerClient
 from repro.broker.protocol import AllocateParams, ProtocolError
+from repro.broker.server import BrokerServer
 from repro.broker.service import BrokerService
 from repro.chaos.faults import FaultInjector
+from repro.chaos.interleave import (
+    AtomicViolation,
+    atomic_between_awaits,
+    no_interleaving,
+    run_interleaved,
+)
 from repro.chaos.invariants import (
     DEFAULT_QUALITY_BOUND,
     InvariantChecker,
@@ -1133,6 +1142,289 @@ def scenario_clock_skew(seed: int, scenario: str | None = None) -> ChaosReport:
 
 
 # ----------------------------------------------------------------------
+# interleaving sanitizer scenarios (repro/chaos/interleave.py): the
+# dynamic counterpart of the static RACE pass — the same atomicity
+# claims, exercised under seed-driven adversarial task schedules
+
+
+def _wire_request(req_id: str, op: str, params: dict[str, Any]) -> bytes:
+    return json.dumps(
+        {"v": 1, "id": req_id, "op": op, "params": params}
+    ).encode() + b"\n"
+
+
+def scenario_interleave_pipelined_burst(
+    seed: int, scenario: str | None = None
+) -> ChaosReport:
+    """A pipelined allocate burst under seeded task reordering.
+
+    A real :class:`BrokerServer` serves a burst of pipelined allocates
+    over loopback TCP while the fuzzer loop shuffles every ready-queue
+    drain.  Whatever schedule the seed produces: every request must be
+    answered exactly once, no node may be double-granted, and the lease
+    table must account for exactly the grants that were answered.
+    """
+    world = build_world(seed, scenario=scenario)
+    checker = InvariantChecker("interleave_pipelined_burst")
+    n_requests = 12
+
+    async def burst() -> tuple[dict[str, Any], int]:
+        server = BrokerServer(world.service, batch_window_s=0.0, max_batch=8)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(_wire_request(
+            "hello", "hello",
+            {"codec": "json", "pipeline": True, "max_inflight": n_requests},
+        ))
+        await writer.drain()
+        await reader.readline()
+        for i in range(n_requests):
+            writer.write(_wire_request(
+                f"r{i}", "allocate",
+                {"n": 2, "ppn": 2, "alpha": 0.3, "ttl_s": _LEASE_TTL_S},
+            ))
+        await writer.drain()
+        responses: dict[str, Any] = {}
+        for _ in range(n_requests):
+            obj = json.loads(await reader.readline())
+            responses[str(obj["id"])] = obj
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        await server.stop()
+        loop = asyncio.get_running_loop()
+        return responses, getattr(loop, "reorders", 0)
+
+    outcome = checker.guard("burst", lambda: run_interleaved(burst, seed))
+    responses: dict[str, Any] = {}
+    reorders = 0
+    if outcome is not None:
+        responses, reorders = outcome
+        expected = {f"r{i}" for i in range(n_requests)}
+        if set(responses) != expected:
+            checker.violate(
+                "every_request_answered_once",
+                f"ids answered: {sorted(responses)} != {sorted(expected)}",
+            )
+    grants = sum(1 for r in responses.values() if r.get("ok"))
+    if outcome is not None and grants == 0:
+        checker.violate("liveness", "burst produced zero grants")
+    checker.check_no_double_grant(world.service.leases)
+    checker.check_lease_accounting(world.service.leases, grants)
+    return ChaosReport(
+        name="interleave_pipelined_burst",
+        seed=seed,
+        checker=checker,
+        stats={
+            "grants": grants,
+            "denials": len(responses) - grants,
+            "reorders": reorders,
+        },
+        fault_log=[f"ready-queue shuffles: {reorders}"],
+    )
+
+
+def scenario_interleave_shutdown_drain(
+    seed: int, scenario: str | None = None
+) -> ChaosReport:
+    """Two concurrent ``stop()`` calls race a live client connection.
+
+    ``stop()`` swaps shared handles out before its first await exactly
+    so this schedule is safe; under the fuzzer both stops must return,
+    every background task spawned by ``start()`` must be reaped, and
+    the task registry must end empty — the pre-fix ``clear()`` variant
+    orphans a task here (see ``tests/chaos/test_interleave.py``).
+    """
+    world = build_world(seed, scenario=scenario)
+    checker = InvariantChecker("interleave_shutdown_drain")
+
+    async def drain() -> dict[str, Any]:
+        server = BrokerServer(world.service)
+        host, port = await server.start()
+        spawned = list(server._tasks)
+
+        async def client() -> str:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(_wire_request(
+                    "c0", "allocate",
+                    {"n": 2, "ppn": 2, "alpha": 0.3, "ttl_s": _LEASE_TTL_S},
+                ))
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                writer.close()
+                return "answered" if line else "closed"
+            except asyncio.TimeoutError:
+                return "timeout"
+            except (ConnectionError, OSError):
+                return "refused"
+
+        client_fate, stop_a, stop_b = await asyncio.gather(
+            client(), server.stop(), server.stop(), return_exceptions=True
+        )
+        loop = asyncio.get_running_loop()
+        return {
+            "client": client_fate
+            if isinstance(client_fate, str)
+            else repr(client_fate),
+            "stop_errors": [
+                repr(r) for r in (stop_a, stop_b) if isinstance(r, BaseException)
+            ],
+            "orphans": sum(1 for t in spawned if not t.done()),
+            "tasks_left": len(server._tasks),
+            "reorders": getattr(loop, "reorders", 0),
+        }
+
+    out = checker.guard("drain", lambda: run_interleaved(drain, seed))
+    if out is not None:
+        if out["stop_errors"]:
+            checker.violate(
+                "idempotent_stop", f"stop() raised: {out['stop_errors']}"
+            )
+        if out["orphans"]:
+            checker.violate(
+                "no_orphaned_tasks",
+                f"{out['orphans']} background task(s) never reaped by stop()",
+            )
+        if out["tasks_left"]:
+            checker.violate(
+                "task_registry_drained",
+                f"{out['tasks_left']} task(s) left registered after stop()",
+            )
+    checker.check_no_double_grant(world.service.leases)
+    return ChaosReport(
+        name="interleave_shutdown_drain",
+        seed=seed,
+        checker=checker,
+        stats=dict(out or {}, grants=0),
+        fault_log=["concurrent stop()+stop()+client over fuzzer loop"],
+    )
+
+
+def scenario_interleave_atomic_sections(
+    seed: int, scenario: str | None = None
+) -> ChaosReport:
+    """The sanitizer's own teeth, end to end.
+
+    Four claims, each driven on a fuzzer loop: (1) the literal pre-fix
+    decision-memo TOCTOU double-computes under interleaving (the fuzzer
+    can actually reach the race); (2) the lock-guarded fix computes
+    exactly once under the same seed; (3) ``@atomic_between_awaits``
+    raises on a section that yields; (4) ``no_interleaving`` raises
+    when two tasks overlap inside a marked section.
+    """
+    del scenario  # no world: this scenario exercises the sanitizer itself
+    checker = InvariantChecker("interleave_atomic_sections")
+
+    class Memo:
+        """The decision-memo shape: check, await the compute, insert."""
+
+        def __init__(self) -> None:
+            self.data: dict[str, int] = {}
+            self.computes = 0
+            self.lock: asyncio.Lock | None = None
+
+        async def get_racy(self, key: str) -> int:
+            if key not in self.data:  # lint: allow(RACE002) — deliberate pre-fix TOCTOU; the scenario asserts the fuzzer reaches it
+                await asyncio.sleep(0)
+                self.computes += 1
+                self.data[key] = self.computes
+            return self.data[key]
+
+        async def get_locked(self, key: str) -> int:
+            if self.lock is None:
+                self.lock = asyncio.Lock()
+            async with self.lock:
+                if key not in self.data:
+                    await asyncio.sleep(0)
+                    self.computes += 1
+                    self.data[key] = self.computes
+            return self.data[key]
+
+    async def racy() -> int:
+        memo = Memo()
+        await asyncio.gather(*(memo.get_racy("k") for _ in range(4)))
+        return memo.computes
+
+    async def locked() -> int:
+        memo = Memo()
+        await asyncio.gather(*(memo.get_locked("k") for _ in range(4)))
+        return memo.computes
+
+    racy_computes = checker.guard("racy", lambda: run_interleaved(racy, seed))
+    if racy_computes is not None and racy_computes <= 1:
+        checker.violate(
+            "fuzzer_reaches_race",
+            f"pre-fix TOCTOU memo computed {racy_computes}× — the fuzzer "
+            "failed to exercise the known race",
+        )
+    locked_computes = checker.guard(
+        "locked", lambda: run_interleaved(locked, seed)
+    )
+    if locked_computes is not None and locked_computes != 1:
+        checker.violate(
+            "lock_fixes_race",
+            f"lock-guarded memo computed {locked_computes}× (expected 1)",
+        )
+
+    @atomic_between_awaits
+    async def yielding_section() -> None:
+        await asyncio.sleep(0)  # declared atomic, but yields: must raise
+
+    async def guard_trips() -> bool:
+        try:
+            await yielding_section()
+        except AtomicViolation:
+            return True
+        return False
+
+    tripped = checker.guard(
+        "atomic_guard", lambda: run_interleaved(guard_trips, seed)
+    )
+    if tripped is not None and not tripped:
+        checker.violate(
+            "atomic_guard_trips",
+            "@atomic_between_awaits let a yielding section pass",
+        )
+
+    monitor = object()
+
+    async def overlap() -> int:
+        async def section() -> None:
+            async with no_interleaving(monitor, "memo-update"):
+                await asyncio.sleep(0)
+
+        results = await asyncio.gather(
+            section(), section(), return_exceptions=True
+        )
+        return sum(isinstance(r, AtomicViolation) for r in results)
+
+    caught = checker.guard(
+        "no_interleaving", lambda: run_interleaved(overlap, seed)
+    )
+    if caught is not None and caught == 0:
+        checker.violate(
+            "overlap_detected",
+            "no_interleaving let two tasks overlap inside a marked section",
+        )
+    return ChaosReport(
+        name="interleave_atomic_sections",
+        seed=seed,
+        checker=checker,
+        stats={
+            "grants": 0,
+            "racy_computes": racy_computes or 0,
+            "locked_computes": locked_computes or 0,
+            "guard_tripped": bool(tripped),
+            "overlaps_caught": caught or 0,
+        },
+        fault_log=["seeded yield-point fuzzing of sanitizer primitives"],
+    )
+
+
+# ----------------------------------------------------------------------
 
 SCENARIOS: dict[str, ChaosScenario] = {
     s.name: s
@@ -1206,6 +1498,24 @@ SCENARIOS: dict[str, ChaosScenario] = {
             "clock_skew",
             "record timestamps skew ±15 minutes",
             scenario_clock_skew,
+        ),
+        ChaosScenario(
+            "interleave_pipelined_burst",
+            "pipelined allocate burst under seeded task reordering",
+            scenario_interleave_pipelined_burst,
+            smoke=True,
+        ),
+        ChaosScenario(
+            "interleave_shutdown_drain",
+            "concurrent stop() calls race a live connection",
+            scenario_interleave_shutdown_drain,
+            smoke=True,
+        ),
+        ChaosScenario(
+            "interleave_atomic_sections",
+            "atomic-section guards tripped and vindicated by the fuzzer",
+            scenario_interleave_atomic_sections,
+            smoke=True,
         ),
     )
 }

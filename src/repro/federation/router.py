@@ -59,6 +59,7 @@ from repro.core.partition import PartitionedLoadState, ShardAggregate
 from repro.core.policies import NetworkLoadAwarePolicy
 from repro.core.weights import ComputeWeights, NetworkWeights
 from repro.elastic.executor import release_quietly
+from repro.util.atomic import atomic_between_awaits
 from repro.monitor.delta import (
     SnapshotDelta,
     compose_deltas,
@@ -467,6 +468,7 @@ class FederationRouter:
             sub = hashlib.sha256(sub.encode()).hexdigest()[:MAX_TOKEN_CHARS]
         return sub
 
+    @atomic_between_awaits
     def _allocate_cross(
         self,
         params: AllocateParams,
@@ -680,6 +682,7 @@ class FederationRouter:
     # ------------------------------------------------------------------
     # fleet passes (per-shard batches; cross-shard leases stay put)
 
+    @atomic_between_awaits
     def fleet_plan(self, params: FleetPlanParams) -> dict[str, Any]:
         """One fleet pass over every live shard, as per-shard batches.
 

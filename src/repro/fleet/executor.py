@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 
 from repro.elastic.executor import ReconfigError, TwoPhaseExecutor
 from repro.elastic.plan import ReconfigPlan
+from repro.util.atomic import atomic_between_awaits
 
 #: execution order by plan kind — shrinks first to free capacity,
 #: expansions last so they can use it
@@ -103,6 +104,7 @@ class FleetExecutor:
         self.actions_applied = 0
         self.actions_failed = 0
 
+    @atomic_between_awaits
     def apply_pass(
         self,
         plans: Sequence[ReconfigPlan],

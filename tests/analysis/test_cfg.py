@@ -1,0 +1,276 @@
+"""Unit tests for the await-segmented CFG builder behind the RACE rules."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.race import build, module_assigned_names
+from repro.analysis.race.cfg import (
+    CHECK,
+    ITERATE,
+    MUTATE,
+    READ,
+    WRITE,
+    lock_name,
+)
+
+
+def cfg_of(source, module_shared=frozenset()):
+    tree = ast.parse(textwrap.dedent(source))
+    fns = [n for n in ast.walk(tree) if isinstance(n, ast.AsyncFunctionDef)]
+    assert len(fns) == 1, "fixture must contain exactly one async def"
+    return build(fns[0], module_shared)
+
+
+def accesses_by_kind(cfg, kind):
+    return [a for a in cfg.accesses if a.kind == kind]
+
+
+class TestSegments:
+    def test_no_awaits_is_one_segment(self):
+        cfg = cfg_of("""
+            async def f(self):
+                self.x = 1
+        """)
+        assert cfg.segments == 1
+        assert cfg.yield_points == []
+
+    def test_each_await_bumps_the_epoch(self):
+        cfg = cfg_of("""
+            async def f(self):
+                self.a = 1
+                await one()
+                self.b = 2
+                await two()
+                self.c = 3
+        """)
+        assert cfg.segments == 3
+        segs = {a.var: a.segment for a in cfg.accesses}
+        assert segs == {"self.a": 0, "self.b": 1, "self.c": 2}
+
+    def test_async_with_yields_on_enter_and_exit(self):
+        cfg = cfg_of("""
+            async def f(self):
+                async with self._lock:
+                    self.x = 1
+        """)
+        kinds = [y.kind for y in cfg.yield_points]
+        assert kinds == ["async_with", "async_with"]
+        assert cfg.segments == 3
+
+    def test_async_for_counts_the_implicit_anext(self):
+        cfg = cfg_of("""
+            async def f(self, source):
+                async for item in source:
+                    self.x = item
+        """)
+        assert any(y.kind == "async_for" for y in cfg.yield_points)
+
+    def test_await_inside_expression_stamps_value_first(self):
+        # the read of self.x happens *before* the await suspends
+        cfg = cfg_of("""
+            async def f(self):
+                await self.push(self.x)
+        """)
+        (read,) = accesses_by_kind(cfg, READ)
+        assert read.var == "self.x"
+        assert read.segment == 0
+
+
+class TestAccessKinds:
+    def test_assign_targets_are_writes(self):
+        cfg = cfg_of("""
+            async def f(self):
+                self.x = 1
+        """)
+        (write,) = cfg.accesses
+        assert (write.var, write.kind) == ("self.x", WRITE)
+
+    def test_augassign_is_write_only(self):
+        cfg = cfg_of("""
+            async def f(self):
+                self.count += 1
+        """)
+        assert [a.kind for a in cfg.accesses] == [WRITE]
+
+    def test_subscript_store_mutates_the_base(self):
+        cfg = cfg_of("""
+            async def f(self, k, v):
+                self.table[k] = v
+        """)
+        (mutate,) = accesses_by_kind(cfg, MUTATE)
+        assert mutate.var == "self.table"
+
+    def test_mutator_method_call_is_a_mutate(self):
+        cfg = cfg_of("""
+            async def f(self, t):
+                self.tasks.append(t)
+        """)
+        (mutate,) = accesses_by_kind(cfg, MUTATE)
+        assert mutate.var == "self.tasks"
+
+    def test_non_mutator_method_call_is_a_read(self):
+        cfg = cfg_of("""
+            async def f(self, k):
+                return self.table.get(k)
+        """)
+        assert accesses_by_kind(cfg, MUTATE) == []
+        (read,) = accesses_by_kind(cfg, READ)
+        assert read.var == "self.table"
+
+    def test_branch_test_reads_are_checks(self):
+        cfg = cfg_of("""
+            async def f(self, k):
+                if k in self.table:
+                    pass
+        """)
+        (check,) = accesses_by_kind(cfg, CHECK)
+        assert check.var == "self.table"
+
+    def test_for_iterable_is_an_iterate(self):
+        cfg = cfg_of("""
+            async def f(self):
+                for t in self.tasks:
+                    await t
+        """)
+        (it,) = accesses_by_kind(cfg, ITERATE)
+        assert it.var == "self.tasks"
+        (site,) = cfg.iterations
+        assert site.yields_in_body == 1
+
+
+class TestScopes:
+    def test_locals_and_params_are_excluded(self):
+        cfg = cfg_of("""
+            async def f(self, jobs):
+                out = []
+                for job in jobs:
+                    out.append(job)
+                return out
+        """)
+        assert cfg.accesses == []
+
+    def test_module_shared_names_are_included(self):
+        cfg = cfg_of(
+            """
+            async def f(k, v):
+                registry[k] = v
+            """,
+            module_shared=frozenset({"registry"}),
+        )
+        (mutate,) = accesses_by_kind(cfg, MUTATE)
+        assert mutate.var == "registry"
+
+    def test_module_shared_name_shadowed_by_local_is_excluded(self):
+        cfg = cfg_of(
+            """
+            async def f(k, v):
+                registry = {}
+                registry[k] = v
+            """,
+            module_shared=frozenset({"registry"}),
+        )
+        assert accesses_by_kind(cfg, MUTATE) == []
+
+    def test_global_declaration_makes_bare_writes_shared(self):
+        cfg = cfg_of("""
+            async def f():
+                global counter
+                counter = 1
+        """)
+        (write,) = cfg.accesses
+        assert (write.var, write.kind) == ("counter", WRITE)
+
+    def test_nested_defs_are_not_walked(self):
+        cfg = cfg_of("""
+            async def f(self):
+                def helper():
+                    self.x = 1
+                helper()
+        """)
+        assert all(a.var != "self.x" for a in cfg.accesses)
+
+
+class TestLocks:
+    def test_accesses_under_async_with_carry_the_lock(self):
+        cfg = cfg_of("""
+            async def f(self):
+                async with self._lock:
+                    self.x = 1
+                self.y = 2
+        """)
+        by_var = {a.var: a.locks for a in cfg.accesses}
+        assert by_var["self.x"] == frozenset({"self._lock"})
+        assert by_var["self.y"] == frozenset()
+
+    def test_reentry_is_recorded(self):
+        cfg = cfg_of("""
+            async def f(self):
+                async with self._lock:
+                    async with self._lock:
+                        pass
+        """)
+        (reentry,) = cfg.reentries
+        assert reentry.lock == "self._lock"
+
+    def test_nested_distinct_locks_record_an_ordered_pair(self):
+        cfg = cfg_of("""
+            async def f(self):
+                async with self._a_lock:
+                    async with self._b_lock:
+                        pass
+        """)
+        (pair,) = cfg.lock_pairs
+        assert (pair.outer, pair.inner) == ("self._a_lock", "self._b_lock")
+
+    def test_non_lock_context_manager_is_not_protection(self):
+        cfg = cfg_of("""
+            async def f(self):
+                async with self._session:
+                    self.x = 1
+        """)
+        (write,) = accesses_by_kind(cfg, WRITE)
+        assert write.var == "self.x"
+        assert write.locks == frozenset()
+
+
+class TestCheckActSites:
+    def test_check_then_later_segment_write_is_recorded(self):
+        cfg = cfg_of("""
+            async def f(self, k):
+                if k not in self.memo:
+                    v = await compute(k)
+                    self.memo[k] = v
+        """)
+        (site,) = cfg.check_acts
+        assert site.var == "self.memo"
+        assert site.write_segment > site.check_segment
+
+    def test_same_segment_act_is_not_recorded(self):
+        cfg = cfg_of("""
+            async def f(self, k, v):
+                if k not in self.memo:
+                    self.memo[k] = v
+        """)
+        assert cfg.check_acts == []
+
+
+class TestHelpers:
+    def test_module_assigned_names_skips_dunders(self):
+        tree = ast.parse(
+            textwrap.dedent("""
+                __all__ = ["a"]
+                registry = {}
+                COUNT = 0
+            """)
+        )
+        assert module_assigned_names(tree) == frozenset({"registry", "COUNT"})
+
+    def test_lock_name_recognizes_hints(self):
+        def parse(expr):
+            return ast.parse(expr, mode="eval").body
+
+        assert lock_name(parse("self._lock")) == "self._lock"
+        assert lock_name(parse("self._table_mutex")) == "self._table_mutex"
+        assert lock_name(parse("self._session")) is None

@@ -114,10 +114,30 @@ class TestOutputs:
         assert finding["path"].endswith("engine.py")
         assert finding["context"] == "stamp"
 
+    def test_jsonl_emits_one_object_per_finding(self, tmp_path, capsys):
+        write_tree(tmp_path, _VIOLATION)
+        rc = lint_main(["--root", str(tmp_path), "--no-baseline", "--jsonl"])
+        assert rc == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 1
+        assert records[0]["rule"] == "DET001"
+        assert records[0]["path"].endswith("engine.py")
+
+    def test_jsonl_clean_run_emits_nothing(self, tmp_path, capsys):
+        write_tree(
+            tmp_path, {"src/repro/des/fine.py": "x = 1\n"}
+        )
+        rc = lint_main(["--root", str(tmp_path), "--no-baseline", "--jsonl"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == ""
+
     def test_list_rules_covers_all_families(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("DET001", "ASY001", "ERR001", "PRO001", "GEN001"):
+        for rule in (
+            "DET001", "ASY001", "ERR001", "PRO001", "GEN001", "RACE001",
+        ):
             assert rule in out
 
     def test_syntax_error_becomes_gen001(self, tmp_path):

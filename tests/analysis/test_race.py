@@ -1,0 +1,441 @@
+"""Per-rule good/bad fixtures for the RACE family.
+
+Every bad fixture is a minimal reproduction of a hazard class (several
+are the literal pre-fix patterns from the broker), and every good
+fixture is the idiomatic fix — so each rule's trigger *and* its escape
+hatch are pinned.  Only RACE findings are asserted; the fixtures are
+written not to trip the other families.
+"""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rules_of
+
+
+def race_findings(findings):
+    return [f for f in findings if f.family == "RACE"]
+
+
+class TestRace001ReadModifyWrite:
+    def test_rmw_spanning_await_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/counter.py": """
+                import asyncio
+
+                class Counter:
+                    async def bump(self):
+                        seen = self._count
+                        await asyncio.sleep(0)
+                        self._count = seen + 1
+            """,
+        }))
+        assert rules_of(findings) == ["RACE001"]
+        (finding,) = findings
+        assert "self._count" in finding.message
+        assert finding.context == "Counter.bump"
+
+    def test_lock_held_across_both_sides_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/counter.py": """
+                import asyncio
+
+                class Counter:
+                    async def bump(self):
+                        async with self._lock:
+                            seen = self._count
+                            await asyncio.sleep(0)
+                            self._count = seen + 1
+            """,
+        }))
+        assert findings == []
+
+    def test_augmented_assign_is_atomic(self, lint):
+        # `x += 1` reads and writes in one segment: never a race by itself
+        findings = race_findings(lint({
+            "src/repro/des/counter.py": """
+                import asyncio
+
+                class Counter:
+                    async def bump(self):
+                        self._count += 1
+                        await asyncio.sleep(0)
+                        self._count -= 1
+            """,
+        }))
+        assert findings == []
+
+    def test_write_before_await_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/counter.py": """
+                import asyncio
+
+                class Counter:
+                    async def bump(self):
+                        seen = self._count
+                        self._count = seen + 1
+                        await asyncio.sleep(0)
+            """,
+        }))
+        assert findings == []
+
+    def test_mutating_method_after_await_read(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/memo.py": """
+                import asyncio
+
+                class Memo:
+                    async def refresh(self):
+                        stale = self._entries.get("k")
+                        await asyncio.sleep(0)
+                        self._entries.pop("k", stale)
+            """,
+        }))
+        assert rules_of(findings) == ["RACE001"]
+
+
+class TestRace002CheckThenAct:
+    def test_toctou_memo_insert_fires(self, lint):
+        # the literal decision-memo shape: check, await the compute, insert
+        findings = race_findings(lint({
+            "src/repro/des/memo.py": """
+                import asyncio
+
+                class Memo:
+                    async def get(self, key):
+                        if key not in self._memo:
+                            value = await self._compute(key)
+                            self._memo[key] = value
+                        return self._memo[key]
+            """,
+        }))
+        assert "RACE002" in rules_of(findings)
+
+    def test_act_before_await_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/memo.py": """
+                import asyncio
+
+                class Memo:
+                    async def get(self, key):
+                        if key not in self._memo:
+                            self._memo[key] = self._placeholder
+                            await asyncio.sleep(0)
+                        return self._memo[key]
+            """,
+        }))
+        assert findings == []
+
+    def test_lock_guarded_check_then_act_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/memo.py": """
+                import asyncio
+
+                class Memo:
+                    async def get(self, key):
+                        async with self._lock:
+                            if key not in self._memo:
+                                value = await self._compute(key)
+                                self._memo[key] = value
+                        return self._memo[key]
+            """,
+        }))
+        assert findings == []
+
+
+class TestRace003Locks:
+    def test_reentry_of_nonreentrant_lock_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/locks.py": """
+                class Store:
+                    async def outer(self):
+                        async with self._lock:
+                            async with self._lock:
+                                pass
+            """,
+        }))
+        assert rules_of(findings) == ["RACE003"]
+        assert "not reentrant" in findings[0].message
+
+    def test_abba_order_across_functions_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/locks.py": """
+                class Store:
+                    async def forward(self):
+                        async with self._table_lock:
+                            async with self._store_lock:
+                                pass
+
+                    async def backward(self):
+                        async with self._store_lock:
+                            async with self._table_lock:
+                                pass
+            """,
+        }))
+        assert rules_of(findings) == ["RACE003"]
+        assert "opposite order" in findings[0].message
+
+    def test_consistent_order_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/locks.py": """
+                class Store:
+                    async def first(self):
+                        async with self._table_lock:
+                            async with self._store_lock:
+                                pass
+
+                    async def second(self):
+                        async with self._table_lock:
+                            async with self._store_lock:
+                                pass
+            """,
+        }))
+        assert findings == []
+
+
+class TestRace004FireAndForget:
+    def test_bare_create_task_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/spawn.py": """
+                import asyncio
+
+                async def kick(work):
+                    asyncio.create_task(work())
+            """,
+        }))
+        assert rules_of(findings) == ["RACE004"]
+
+    def test_underscore_assignment_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/spawn.py": """
+                import asyncio
+
+                async def kick(work):
+                    _ = asyncio.ensure_future(work())
+            """,
+        }))
+        assert rules_of(findings) == ["RACE004"]
+
+    def test_retained_reference_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/spawn.py": """
+                import asyncio
+
+                class Spawner:
+                    async def kick(self, work):
+                        self._tasks.append(asyncio.create_task(work()))
+            """,
+        }))
+        assert findings == []
+
+    def test_done_callback_chain_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/spawn.py": """
+                import asyncio
+
+                async def kick(work, on_done):
+                    asyncio.create_task(work()).add_done_callback(on_done)
+            """,
+        }))
+        assert findings == []
+
+    def test_task_group_receiver_is_exempt(self, lint):
+        # TaskGroup retains its children; discarding its return is fine
+        findings = race_findings(lint({
+            "src/repro/des/spawn.py": """
+                import asyncio
+
+                async def kick(work):
+                    async with asyncio.TaskGroup() as task_group:
+                        task_group.create_task(work())
+            """,
+        }))
+        assert findings == []
+
+
+class TestRace005IterationAcrossYield:
+    def test_prefix_broker_stop_pattern_fires(self, lint):
+        # the literal pre-fix BrokerServer.stop(): awaited drain of a
+        # shared task list, then clear() — a task registered during the
+        # drain is wiped uncancelled
+        findings = race_findings(lint({
+            "src/repro/des/server.py": """
+                class Server:
+                    async def stop(self):
+                        for task in self._tasks:
+                            task.cancel()
+                        for task in self._tasks:
+                            await task
+                        self._tasks.clear()
+            """,
+        }))
+        assert rules_of(findings) == ["RACE005"]
+        assert "self._tasks" in findings[0].message
+
+    def test_dict_view_iteration_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/sweep.py": """
+                class Sweeper:
+                    async def sweep(self):
+                        for key, lease in self._leases.items():
+                            await self._expire(key, lease)
+            """,
+        }))
+        assert rules_of(findings) == ["RACE005"]
+
+    def test_snapshot_copy_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/server.py": """
+                class Server:
+                    async def stop(self):
+                        while self._tasks:
+                            tasks, self._tasks = self._tasks, []
+                            for task in tasks:
+                                task.cancel()
+                            for task in tasks:
+                                await task
+            """,
+        }))
+        assert findings == []
+
+    def test_iteration_without_yield_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/sweep.py": """
+                class Sweeper:
+                    async def count(self):
+                        total = 0
+                        for key in self._leases:
+                            total += 1
+                        return total
+            """,
+        }))
+        assert findings == []
+
+
+class TestRace006LoopBinding:
+    def test_module_scope_primitive_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/shared.py": """
+                import asyncio
+
+                QUEUE = asyncio.Queue()
+            """,
+        }))
+        assert rules_of(findings) == ["RACE006"]
+        assert findings[0].severity == "warning"
+
+    def test_class_scope_primitive_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/shared.py": """
+                import asyncio
+
+                class Hub:
+                    ready = asyncio.Event()
+            """,
+        }))
+        assert rules_of(findings) == ["RACE006"]
+
+    def test_get_event_loop_in_coroutine_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/shared.py": """
+                import asyncio
+
+                async def current():
+                    return asyncio.get_event_loop()
+            """,
+        }))
+        assert rules_of(findings) == ["RACE006"]
+        assert "get_running_loop" in findings[0].hint
+
+    def test_instance_scope_primitive_is_clean(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/shared.py": """
+                import asyncio
+
+                class Hub:
+                    def __init__(self):
+                        self.ready = asyncio.Event()
+
+                async def current():
+                    return asyncio.get_running_loop()
+            """,
+        }))
+        assert findings == []
+
+
+class TestPragmas:
+    def test_rationale_pragma_suppresses(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/counter.py": """
+                import asyncio
+
+                class Counter:
+                    async def bump(self):
+                        seen = self._count
+                        await asyncio.sleep(0)
+                        self._count = seen + 1  # lint: allow(RACE001) — single-writer by construction
+            """,
+        }))
+        assert findings == []
+
+    def test_pragma_without_rationale_does_not_suppress(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/counter.py": """
+                import asyncio
+
+                class Counter:
+                    async def bump(self):
+                        seen = self._count
+                        await asyncio.sleep(0)
+                        self._count = seen + 1  # lint: allow(RACE001)
+            """,
+        }))
+        assert rules_of(findings) == ["RACE001"]
+
+
+class TestScope:
+    def test_locals_are_not_shared_state(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/local.py": """
+                import asyncio
+
+                async def gather_all(jobs):
+                    results = []
+                    for job in jobs:
+                        results.append(await job())
+                    return results
+            """,
+        }))
+        assert findings == []
+
+    def test_module_global_mutation_fires(self, lint):
+        findings = race_findings(lint({
+            "src/repro/des/registry.py": """
+                import asyncio
+
+                registry = {}
+
+                async def register(key, factory):
+                    if key not in registry:
+                        value = await factory()
+                        registry[key] = value
+                    return registry[key]
+            """,
+        }))
+        assert "RACE002" in rules_of(findings)
+
+    def test_nested_sync_def_not_scanned_as_async(self, lint):
+        # the inner sync helper's body is not this coroutine's context
+        findings = race_findings(lint({
+            "src/repro/des/nested.py": """
+                import asyncio
+
+                class Box:
+                    async def run(self):
+                        def helper():
+                            seen = self._count
+                            self._count = seen + 1
+                        await asyncio.sleep(0)
+                        helper()
+            """,
+        }))
+        assert findings == []

@@ -1,0 +1,308 @@
+"""The interleaving fuzzer and atomic-section assertions.
+
+The headline test reproduces the literal pre-fix ``BrokerServer.stop()``
+bug — draining a *live* ``self._tasks`` list then ``clear()`` — from a
+seed, deterministically, and shows the snapshot-swap fix surviving the
+same seed.  The rest pins the sanitizer primitives themselves: seeded
+determinism of the loop, sweep bookkeeping, and both atomic-section
+guards tripping exactly when they should.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.chaos.interleave import (
+    AtomicViolation,
+    InterleavingLoop,
+    atomic_between_awaits,
+    no_interleaving,
+    run_interleaved,
+    sweep_seeds,
+)
+
+
+class MiniServer:
+    """Just enough of the broker server to host the stop() race."""
+
+    def __init__(self):
+        self.tasks = []
+
+    def spawn(self, delay_s=0.05):
+        async def background():
+            await asyncio.sleep(delay_s)
+
+        task = asyncio.ensure_future(background())
+        self.tasks.append(task)
+        return task
+
+    async def stop_prefix(self):
+        # the literal pre-fix drain: cancel what is registered *now*,
+        # then await the live list — a task registered mid-drain gets
+        # awaited to natural completion without ever being cancelled
+        # (with a real long-lived daemon that is a shutdown hang)
+        for task in self.tasks:
+            task.cancel()
+        for task in self.tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self.tasks.clear()
+
+    async def stop_fixed(self):
+        # the shipped fix: snapshot-swap until the registry stays empty,
+        # so every drained task was cancelled by the same pass first
+        while self.tasks:
+            tasks, self.tasks = self.tasks, []
+            for task in tasks:
+                task.cancel()
+            for task in tasks:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+
+
+def shutdown_workload(stop):
+    """A stop() racing a late registration, parameterized by the drain.
+
+    Fails if any background task ran to *natural* completion: a correct
+    shutdown cancels everything it drains, so a task stop() simply
+    waited out is the hang-class bug (the 0.05 s sleep stands in for a
+    daemon that would really sleep for hours).
+    """
+
+    async def main():
+        server = MiniServer()
+        spawned = [server.spawn()]
+
+        async def late_register():
+            await asyncio.sleep(0)
+            spawned.append(server.spawn())
+
+        registrar = asyncio.ensure_future(late_register())
+        await stop(server)
+        await registrar
+        await stop(server)  # second sweep, as a real supervisor would
+        hung = sum(1 for t in spawned if t.done() and not t.cancelled())
+        if hung:
+            raise AssertionError(
+                f"stop() waited out {hung} task(s) instead of cancelling"
+            )
+
+    return main
+
+
+class TestPrefixRaceReproduction:
+    def test_prefix_stop_fails_and_fix_survives_the_same_seed(self):
+        failures = sweep_seeds(
+            shutdown_workload(MiniServer.stop_prefix), seeds=range(8)
+        )
+        assert failures, "no seed reached the pre-fix stop() race"
+        assert len(failures) < 8, "race fired FIFO-independently of the seed"
+        seed, error = sorted(failures.items())[0]
+        assert isinstance(error, AssertionError)
+        # deterministic: the same seed replays the same failure
+        with pytest.raises(AssertionError, match="instead of cancelling"):
+            run_interleaved(shutdown_workload(MiniServer.stop_prefix), seed)
+        # and the snapshot-swap fix is clean under that exact schedule
+        run_interleaved(shutdown_workload(MiniServer.stop_fixed), seed)
+
+    def test_fixed_stop_survives_the_whole_sweep(self):
+        failures = sweep_seeds(
+            shutdown_workload(MiniServer.stop_fixed), seeds=range(8)
+        )
+        assert failures == {}
+
+
+class TestDeterminism:
+    @staticmethod
+    def completion_order():
+        order = []
+
+        async def worker(name):
+            for _ in range(3):
+                await asyncio.sleep(0)
+            order.append(name)
+
+        async def main():
+            await asyncio.gather(*(worker(i) for i in range(6)))
+            return tuple(order)
+
+        return main
+
+    def test_same_seed_same_schedule(self):
+        first = run_interleaved(self.completion_order(), seed=11)
+        second = run_interleaved(self.completion_order(), seed=11)
+        assert first == second
+
+    def test_some_seed_deviates_from_fifo(self):
+        fifo = tuple(range(6))
+        orders = {
+            run_interleaved(self.completion_order(), seed=s)
+            for s in range(8)
+        }
+        assert any(order != fifo for order in orders)
+
+    def test_reorder_counter_counts_permuted_ticks(self):
+        async def main():
+            await asyncio.gather(*(asyncio.sleep(0) for _ in range(4)))
+            return asyncio.get_running_loop()
+
+        loop = run_interleaved(main, seed=3)
+        assert isinstance(loop, InterleavingLoop)
+        assert loop.reorders >= 1
+
+    def test_loop_is_installed_then_cleared(self):
+        async def main():
+            return asyncio.get_event_loop() is asyncio.get_running_loop()
+
+        assert run_interleaved(main, seed=0) is True
+        with pytest.raises(RuntimeError):
+            asyncio.get_event_loop()
+
+
+class TestSweep:
+    def test_clean_workload_yields_no_failures(self):
+        async def main():
+            await asyncio.sleep(0)
+
+        assert sweep_seeds(lambda: main(), seeds=range(4)) == {}
+
+    def test_failures_map_seed_to_exception(self):
+        async def boom():
+            await asyncio.sleep(0)
+            raise ValueError("kaboom")
+
+        failures = sweep_seeds(lambda: boom(), seeds=[0, 1])
+        assert set(failures) == {0, 1}
+        assert all(isinstance(e, ValueError) for e in failures.values())
+
+    def test_timeout_is_a_finding_not_a_hang(self):
+        async def stuck():
+            await asyncio.sleep(3600)
+
+        failures = sweep_seeds(lambda: stuck(), seeds=[0], timeout_s=0.1)
+        assert isinstance(failures[0], asyncio.TimeoutError)
+
+
+class TestAtomicBetweenAwaitsAsync:
+    def test_non_yielding_body_passes_and_returns(self):
+        @atomic_between_awaits
+        async def section():
+            return 41 + 1
+
+        assert run_interleaved(section, seed=0) == 42
+
+    def test_awaiting_a_done_future_does_not_yield(self):
+        @atomic_between_awaits
+        async def section():
+            fut = asyncio.get_running_loop().create_future()
+            fut.set_result("done")
+            return await fut
+
+        assert run_interleaved(section, seed=0) == "done"
+
+    def test_yielding_body_raises(self):
+        @atomic_between_awaits
+        async def section():
+            await asyncio.sleep(0)
+
+        with pytest.raises(AtomicViolation, match="yielded control"):
+            run_interleaved(section, seed=0)
+
+
+class TestAtomicBetweenAwaitsSync:
+    def test_plain_call_and_recursion_pass(self):
+        calls = []
+
+        @atomic_between_awaits
+        def section(obj, depth):
+            calls.append(depth)
+            if depth:
+                section(obj, depth - 1)
+
+        section(object(), 2)
+        assert calls == [2, 1, 0]
+
+    def test_concurrent_entry_from_another_thread_raises(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        @atomic_between_awaits
+        def section(obj):
+            entered.set()
+            release.wait(timeout=2.0)
+
+        target = object()
+        worker = threading.Thread(target=section, args=(target,))
+        worker.start()
+        try:
+            assert entered.wait(timeout=2.0)
+            with pytest.raises(AtomicViolation, match="atomic between awaits"):
+                section(target)
+        finally:
+            release.set()
+            worker.join(timeout=2.0)
+
+    def test_distinct_instances_do_not_conflict(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        @atomic_between_awaits
+        def section(obj):
+            entered.set()
+            release.wait(timeout=2.0)
+
+        worker = threading.Thread(target=section, args=(object(),))
+        worker.start()
+        try:
+            assert entered.wait(timeout=2.0)
+            section(object())  # different receiver: no violation
+        finally:
+            release.set()
+            worker.join(timeout=2.0)
+
+
+class TestNoInterleaving:
+    def test_same_task_nesting_is_allowed(self):
+        monitor = object()
+
+        async def main():
+            async with no_interleaving(monitor, "outer"):
+                async with no_interleaving(monitor, "inner"):
+                    pass
+            return True
+
+        assert run_interleaved(main, seed=0) is True
+
+    def test_cross_task_overlap_raises(self):
+        monitor = object()
+
+        async def section():
+            async with no_interleaving(monitor, "memo-update"):
+                await asyncio.sleep(0)
+                await asyncio.sleep(0)
+
+        async def main():
+            results = await asyncio.gather(
+                section(), section(), return_exceptions=True
+            )
+            return sum(isinstance(r, AtomicViolation) for r in results)
+
+        assert run_interleaved(main, seed=0) >= 1
+
+    def test_section_reusable_after_clean_exit(self):
+        monitor = object()
+
+        async def main():
+            for _ in range(3):
+                async with no_interleaving(monitor):
+                    await asyncio.sleep(0)
+            return True
+
+        assert run_interleaved(main, seed=0) is True
